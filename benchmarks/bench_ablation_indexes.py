@@ -1,0 +1,123 @@
+"""Ablation B — AVL indexes vs linear scans.
+
+The paper indexes interface records "by three AVL trees ... This allows
+quick access to individual data records, as well as access to ranges of
+records."  This ablation measures what those indexes buy at the paper's
+own scale (the 16k-interface class-B scenario of Table 2): point
+lookups and range scans against the naive alternative, a walk of the
+modification-ordered record list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Journal
+from repro.core.records import Observation
+
+from . import paper
+
+SCALE = 16384
+
+
+@pytest.fixture(scope="module")
+def big_journal():
+    journal = Journal()
+    for index in range(SCALE):
+        third, fourth = divmod(index, 254)
+        journal.observe_interface(
+            Observation(
+                source="bench",
+                ip=f"128.138.{third}.{fourth + 1}",
+                mac=f"08:00:20:{(index >> 16) & 0xFF:02x}:"
+                f"{(index >> 8) & 0xFF:02x}:{index & 0xFF:02x}",
+            )
+        )
+    return journal
+
+
+def _linear_by_ip(journal, ip):
+    return [r for r in journal.interfaces.values() if r.ip == ip]
+
+
+def _linear_range(journal, low, high):
+    from repro.core.journal import ip_key
+
+    low_key, high_key = ip_key(low), ip_key(high)
+    return [
+        r
+        for r in journal.interfaces.values()
+        if r.ip is not None and low_key <= ip_key(r.ip) <= high_key
+    ]
+
+
+PROBE_IPS = [f"128.138.{(i * 13) % 64}.{(i * 7) % 253 + 1}" for i in range(64)]
+
+
+class TestIndexAblation:
+    def test_point_lookup_avl(self, big_journal, benchmark):
+        def lookups():
+            return sum(len(big_journal.interfaces_by_ip(ip)) for ip in PROBE_IPS)
+
+        found = benchmark(lookups)
+        assert found == len(PROBE_IPS)
+
+    def test_point_lookup_linear(self, big_journal, benchmark):
+        def lookups():
+            return sum(len(_linear_by_ip(big_journal, ip)) for ip in PROBE_IPS)
+
+        found = benchmark(lookups)
+        assert found == len(PROBE_IPS)
+
+    def test_range_scan_avl(self, big_journal, benchmark):
+        result = benchmark(
+            lambda: big_journal.interfaces_in_ip_range("128.138.7.1", "128.138.8.254")
+        )
+        assert len(result) == 508
+
+    def test_range_scan_linear(self, big_journal, benchmark):
+        result = benchmark(
+            lambda: _linear_range(big_journal, "128.138.7.1", "128.138.8.254")
+        )
+        assert len(result) == 508
+
+    def test_avl_wins_and_report(self, big_journal, benchmark):
+        """Head-to-head, reported as a table (the benchmark rows above
+        carry the precise timings)."""
+        import time
+
+        def timed(function, repeat=5):
+            best = float("inf")
+            for _ in range(repeat):
+                start = time.perf_counter()
+                function()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        avl_point = timed(
+            lambda: [big_journal.interfaces_by_ip(ip) for ip in PROBE_IPS]
+        )
+        linear_point = timed(
+            lambda: [_linear_by_ip(big_journal, ip) for ip in PROBE_IPS]
+        )
+        avl_range = timed(
+            lambda: big_journal.interfaces_in_ip_range("128.138.7.1", "128.138.8.254")
+        )
+        linear_range = timed(
+            lambda: _linear_range(big_journal, "128.138.7.1", "128.138.8.254")
+        )
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        paper.report(
+            f"Ablation B: AVL indexes vs linear scan ({SCALE} interfaces)",
+            [
+                ("64 point lookups", f"{linear_point * 1e3:.1f} ms (linear)",
+                 f"{avl_point * 1e3:.2f} ms (AVL)"),
+                ("range scan (2 subnets)", f"{linear_range * 1e3:.1f} ms (linear)",
+                 f"{avl_range * 1e3:.2f} ms (AVL)"),
+                ("point speedup", "-", f"{linear_point / avl_point:.0f}x"),
+                ("tree height", "O(log n) = 14-20", big_journal.by_ip.height),
+            ],
+            columns=("linear scan", "AVL index"),
+        )
+        assert avl_point < linear_point / 10, "AVL must beat linear by >10x"
+        assert big_journal.by_ip.height <= 20

@@ -1,0 +1,123 @@
+"""Future-work extensions — the paper's Observations, quantified.
+
+Two claims from the paper's Observations / Future Work sections:
+
+1. "The fact that a particular Well Known Service is running on a
+   machine ... is quite likely [not] correct, current, or complete in
+   the DNS. ... a name service works best for managing data needed for
+   correct network operation, and ... other types of data are better
+   provided by a dynamic discovery process."  — compared here: stale DNS
+   WKS records vs the promiscuous TrafficWatch monitor.
+
+2. GDP "would help fill in some of Fremont's discovery gaps" — measured
+   as free gateway discovery where announcers are deployed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.explorers import GdpWatch, TrafficWatch
+from repro.netsim import GdpAnnouncer, Network, Subnet, TrafficGenerator
+from repro.netsim.packet import UDP_ECHO_PORT
+
+from . import paper
+
+
+@pytest.fixture
+def service_subnet():
+    """One subnet where reality and the DNS WKS records disagree."""
+    net = Network(seed=91, domain="svc.edu")
+    subnet = Subnet.parse("10.20.1.0/24")
+    net.add_subnet(subnet)
+    gateway = net.add_gateway("gw", [(subnet, 1)])
+    hosts = []
+    for index in range(10):
+        host = net.add_host(subnet, name=f"s{index}", index=10 + index,
+                            activity_rate=0.0)
+        # Reality: even-numbered hosts run the echo service.
+        host.quirks.udp_echo_enabled = index % 2 == 0
+        hosts.append(host)
+    # The DNS: WKS recorded long ago, never maintained — three entries,
+    # two of them wrong.
+    net.dns.wks[hosts[0].hostname] = "udp: echo"       # correct
+    net.dns.wks[hosts[1].hostname] = "udp: echo"       # stale: no echo
+    net.dns.wks[hosts[3].hostname] = "udp: echo"       # stale: no echo
+    monitor = net.add_host(subnet, name="monitor", index=200,
+                           register_dns=False, activity_rate=0.0)
+    client_host = net.add_host(subnet, name="client", index=201,
+                               register_dns=False, activity_rate=0.0)
+    net.compute_routes()
+    return net, subnet, hosts, monitor, client_host
+
+
+class TestServiceDiscovery:
+    def test_traffic_monitor_beats_stale_wks(self, service_subnet, benchmark):
+        net, subnet, hosts, monitor, client_host = service_subnet
+        journal = Journal(clock=lambda: net.sim.now)
+
+        def observe():
+            watcher = TrafficWatch(monitor, LocalJournal(journal))
+            watcher.start()
+            # A client exercises the echo port on every host (the
+            # "attempting to connect to a service" probe the paper
+            # mentions for virtual-circuit services).
+            for host in hosts:
+                client_host.send_udp(host.ip, UDP_ECHO_PORT, payload="probe")
+                net.sim.run_for(1.0)
+            net.sim.run_for(5.0)
+            watcher.stop()
+            return watcher
+
+        watcher = benchmark.pedantic(observe, rounds=1, iterations=1)
+
+        truth = {host.ip for host in hosts if host.quirks.udp_echo_enabled}
+        observed = {ip for ip, service in watcher.services if service == "echo"}
+        wks_claims = {
+            host.ip for host in hosts
+            if net.dns.wks.get(host.hostname) == "udp: echo"
+        }
+        wks_correct = len(wks_claims & truth)
+        paper.report(
+            "Extensions: live service discovery vs DNS WKS records",
+            [
+                ("hosts actually running echo", len(truth), len(truth)),
+                ("DNS WKS claims", f"{len(wks_claims)} ({wks_correct} correct)",
+                 "stale, incomplete"),
+                ("TrafficWatch observations", "(dynamic discovery)",
+                 f"{len(observed)} (all correct)"),
+            ],
+        )
+        # Dynamic discovery is exactly right; the WKS records are both
+        # incomplete (missing hosts) and wrong (claiming dead services).
+        assert observed == truth
+        assert wks_claims != truth
+        assert len(wks_claims & truth) < len(truth)
+
+
+class TestGdpGapFilling:
+    def test_gdp_discovers_gateways_without_probing(self, campus, benchmark):
+        # GDP is "not widely deployed": announcers on a third of the
+        # healthy gateways.
+        deployed = [g for i, g in enumerate(campus.dns_gateways) if i % 3 == 0]
+        for gateway in deployed:
+            GdpAnnouncer(gateway, interval=60.0).start()
+        journal = Journal(clock=lambda: campus.sim.now)
+        client = LocalJournal(journal)
+
+        result = benchmark.pedantic(
+            lambda: GdpWatch(campus.monitor, client).run(duration=130.0),
+            rounds=1, iterations=1,
+        )
+        paper.report(
+            "Extensions: GDP watch on the backbone",
+            [
+                ("announcing gateways", len(deployed), result.discovered["gateways"]),
+                ("packets generated", "none (passive)", result.packets_sent),
+            ],
+        )
+        assert result.discovered["gateways"] == len(deployed)
+        assert result.packets_sent == 0
+        # Every discovered interface became a gateway record for free.
+        assert len(journal.all_gateways()) == len(deployed)

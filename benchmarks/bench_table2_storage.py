@@ -1,0 +1,131 @@
+"""Table 2 — Journal storage requirements.
+
+Paper: interface 200 B, gateway 84 B, subnet 76 B per record; "a 25%
+full class B network (16k interfaces) with 192 subnets used (and an
+equal number of gateways) would require under four megabytes of
+memory."
+
+We populate the paper's scenario, verify the struct-equivalent
+footprint stays under the 4 MB bound, report the actual Python-object
+footprint for honesty, and benchmark bulk Journal insertion at that
+scale.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.core import Journal
+from repro.core.records import Observation
+
+from . import paper
+
+
+def _deep_size(objects, seen=None):
+    """Rough recursive sys.getsizeof over the record graph."""
+    seen = seen if seen is not None else set()
+    total = 0
+    stack = list(objects)
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        total += sys.getsizeof(obj)
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set)):
+            stack.extend(obj)
+        elif hasattr(obj, "__dict__"):
+            stack.append(obj.__dict__)
+    return total
+
+
+def _populate(journal: Journal, *, interfaces: int, subnets: int, gateways: int):
+    for index in range(interfaces):
+        third, fourth = divmod(index, 254)
+        journal.observe_interface(
+            Observation(
+                source="bench",
+                ip=f"128.138.{third}.{fourth + 1}",
+                mac=f"08:00:20:{(index >> 16) & 0xFF:02x}:"
+                f"{(index >> 8) & 0xFF:02x}:{index & 0xFF:02x}",
+            )
+        )
+    gateway_ids = []
+    for index in range(gateways):
+        gateway, _ = journal.ensure_gateway(source="bench", name=f"gw{index}")
+        gateway_ids.append(gateway.record_id)
+    for index in range(subnets):
+        record, _ = journal.ensure_subnet(f"128.138.{index}.0/24", source="bench")
+        journal.link_gateway_subnet(
+            gateway_ids[index % len(gateway_ids)],
+            f"128.138.{index}.0/24",
+            source="bench",
+        )
+    return journal
+
+
+class TestTable2:
+    def test_paper_scenario_fits_in_four_megabytes(self, benchmark):
+        scenario = paper.TABLE2_SCENARIO
+        journal = benchmark.pedantic(
+            lambda: _populate(
+                Journal(),
+                interfaces=scenario["interfaces"],
+                subnets=scenario["subnets"],
+                gateways=scenario["gateways"],
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        equivalent = journal.paper_equivalent_bytes()
+        python_actual = _deep_size(
+            list(journal.interfaces.values())
+            + list(journal.gateways.values())
+            + list(journal.subnets.values())
+        )
+        paper.report(
+            "Table 2: Journal storage requirements",
+            [
+                ("interface bytes/record", paper.TABLE2_BYTES["interface"],
+                 paper.TABLE2_BYTES["interface"]),
+                ("gateway bytes/record", paper.TABLE2_BYTES["gateway"],
+                 paper.TABLE2_BYTES["gateway"]),
+                ("subnet bytes/record", paper.TABLE2_BYTES["subnet"],
+                 paper.TABLE2_BYTES["subnet"]),
+                ("16k-interface scenario (struct-equivalent)",
+                 "< 4 MB", f"{equivalent / 1e6:.2f} MB"),
+                ("16k-interface scenario (python objects)",
+                 "n/a", f"{python_actual / 1e6:.1f} MB"),
+            ],
+        )
+        assert equivalent < paper.TABLE2_LIMIT_BYTES
+        assert journal.counts() == {
+            "interfaces": scenario["interfaces"],
+            "subnets": scenario["subnets"],
+            "gateways": scenario["gateways"],
+        }
+
+    def test_bulk_insert_throughput(self, benchmark):
+        def build():
+            return _populate(Journal(), interfaces=4096, subnets=48, gateways=48)
+
+        journal = benchmark.pedantic(build, rounds=3, iterations=1)
+        assert journal.counts()["interfaces"] == 4096
+
+    def test_indexed_lookup_speed_at_scale(self, benchmark):
+        journal = _populate(Journal(), interfaces=16384, subnets=192, gateways=192)
+
+        def lookups():
+            found = 0
+            for index in range(0, 16384, 37):
+                third, fourth = divmod(index, 254)
+                found += len(journal.interfaces_by_ip(f"128.138.{third}.{fourth + 1}"))
+            return found
+
+        found = benchmark(lookups)
+        assert found == len(range(0, 16384, 37))

@@ -1,0 +1,127 @@
+"""Table 6 — Discovering subnets across the campus.
+
+Paper (114 subnet numbers assigned, 111 effectively connected):
+
+    Traceroute            86   77%   gateway software problems
+    RIPwatch             111  100%   nearly all subnets advertised
+    DNS                   93   84%   not all hosts name served
+    DNS (gateways)        48   43%   subnets with gateways identified
+                                     (31 gateways found)
+
+RIPwatch runs first and its findings seed the traceroute target list,
+"used by the traceroute Explorer Module to improve its performance",
+exactly as the paper describes the Journal doing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.explorers import DnsExplorer, RipWatch, TracerouteModule
+from repro.netsim.addresses import Subnet
+
+from . import paper
+
+
+@pytest.fixture
+def table6_results(campus, campus_journal):
+    journal, client = campus_journal
+    campus.network.start_rip()
+    found = {}
+
+    rip = RipWatch(campus.monitor, client).run(duration=120.0)
+    found["RIPwatch"] = rip.discovered["subnets"]
+
+    # Traceroute takes its targets from the Journal (RIP hints).
+    trace = TracerouteModule(campus.monitor, client).run()
+    found["Traceroute"] = trace.discovered["confirmed_subnets"]
+
+    nameserver = campus.network.dns.addresses_for(campus.network.dns.nameserver)[0]
+    dns = DnsExplorer(
+        campus.monitor, client, nameserver=nameserver, domain="cs.colorado.edu"
+    ).run()
+    found["DNS"] = dns.discovered["subnets"]
+    found["DNS-gateway-subnets"] = dns.discovered["gateway_subnets"]
+    found["DNS-gateways"] = dns.discovered["gateways"]
+    return campus, found
+
+
+class TestTable6:
+    def test_subnet_discovery_reproduces_paper_shape(self, table6_results, benchmark):
+        campus, found = benchmark.pedantic(
+            lambda: table6_results, rounds=1, iterations=1
+        )
+        denominator = len(campus.routable_subnets())
+        rows = []
+        for key in ("Traceroute", "RIPwatch", "DNS", "DNS-gateway-subnets"):
+            count, percent = paper.TABLE6[key]
+            measured = found[key]
+            rows.append(
+                (
+                    key,
+                    f"{count} ({percent}%)",
+                    f"{measured} ({100 * measured / denominator:.0f}%)",
+                )
+            )
+        rows.append(
+            ("DNS gateways identified", paper.TABLE6_DNS_GATEWAYS, found["DNS-gateways"])
+        )
+        paper.report(
+            f"Table 6: Discovering subnets (of {denominator} routable)", rows
+        )
+
+        # Shape assertions:
+        # 1. RIPwatch is exhaustive: "if we cannot find a route to a
+        #    subnet on campus, then effectively it is not connected".
+        assert found["RIPwatch"] == denominator
+        # 2. Traceroute loses the subnets behind broken gateways.
+        assert found["Traceroute"] == len(campus.traceroute_visible_subnets())
+        assert found["Traceroute"] < found["DNS"] < found["RIPwatch"]
+        # 3. The DNS census misses exactly the never-registered subnets.
+        assert found["DNS"] == len(campus.dns_registered_subnets())
+        # 4. Gateway identification covers fewer than half the subnets.
+        assert found["DNS-gateway-subnets"] / denominator < 0.5
+        # 5. Within a few counts of the paper's absolute numbers.
+        for key, (count, _pct) in paper.TABLE6.items():
+            assert abs(found[key] - count) <= 5, (
+                f"{key}: paper {count}, measured {found[key]}"
+            )
+        assert abs(found["DNS-gateways"] - paper.TABLE6_DNS_GATEWAYS) <= 2
+
+    def test_rip_hints_shrink_traceroute_work(self, campus, campus_journal, benchmark):
+        """Ablation inside Table 6: without RIP hints, traceroute must
+        sweep the whole class-B subnet space to match coverage."""
+        journal, client = campus_journal
+        campus.network.start_rip()
+        RipWatch(campus.monitor, client).run(duration=65.0)
+        hinted = benchmark.pedantic(
+            lambda: TracerouteModule(campus.monitor, client).run(),
+            rounds=1, iterations=1,
+        )
+        # Blind sweep: all 254 possible /24s of the class B.
+        blind_targets = [
+            Subnet.parse(f"128.138.{octet}.0/24") for octet in range(1, 255)
+        ]
+        journal2 = Journal(clock=lambda: campus.sim.now)
+        blind = TracerouteModule(campus.monitor, LocalJournal(journal2)).run(
+            targets=blind_targets
+        )
+        paper.report(
+            "Table 6 detail: RIP hints direct further discovery",
+            [
+                ("targets probed", "111 (hinted)", f"{len(blind_targets)} (blind)"),
+                ("probe packets", hinted.packets_sent, blind.packets_sent),
+                ("time to complete (s)", f"{hinted.duration:.0f}", f"{blind.duration:.0f}"),
+                ("subnets confirmed", hinted.discovered["confirmed_subnets"],
+                 blind.discovered["confirmed_subnets"]),
+            ],
+            columns=("hinted", "blind"),
+        )
+        assert hinted.packets_sent < blind.packets_sent
+        assert hinted.duration < blind.duration
+        # Coverage is the same: hints lose nothing.
+        assert (
+            hinted.discovered["confirmed_subnets"]
+            >= blind.discovered["confirmed_subnets"]
+        )

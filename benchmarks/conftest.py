@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.netsim import Network, Subnet, build_campus
+
+
+@pytest.fixture
+def campus():
+    """A fresh paper-scale campus per benchmark (runs mutate state)."""
+    return build_campus()
+
+
+@pytest.fixture
+def campus_journal(campus):
+    journal = Journal(clock=lambda: campus.sim.now)
+    return journal, LocalJournal(journal)
+
+
+@pytest.fixture
+def class_c_net():
+    """One class-C subnet with a gateway and a configurable population,
+    for the per-module load measurements of Table 4."""
+    net = Network(seed=77)
+    subnet = Subnet.parse("192.168.7.0/24")
+    net.add_subnet(subnet)
+    gateway = net.add_gateway("gw", [(subnet, 1)])
+    hosts = [
+        net.add_host(subnet, name=f"c{i}", index=10 + i) for i in range(25)
+    ]
+    monitor = net.add_host(subnet, name="monitor", index=250, activity_rate=0.0)
+    net.compute_routes()
+    journal = Journal(clock=lambda: net.sim.now)
+    return net, subnet, gateway, hosts, monitor, LocalJournal(journal)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Multi-site Fremont: replicated Journal Servers sharing findings.
+
+"Moreover, the system can be replicated at multiple sites, exploring
+different networks, and sharing information among the replicated
+components."
+
+Two campuses run their own discovery against their own Journal Servers;
+incremental replication (the future-work predicate-based exchange)
+merges both pictures so either site can answer questions about the
+other's network.
+
+Run:  python examples/multi_site.py
+"""
+
+from repro.core import Journal, JournalServer, RemoteJournal
+from repro.core.replicate import JournalReplicator
+from repro.core.explorers import EtherHostProbe, RipWatch, TracerouteModule
+from repro.netsim.campus import CampusProfile, build_campus
+
+SITE_PROFILES = {
+    "boulder": CampusProfile(
+        seed=11,
+        class_b="128.138.0.0/16",
+        assigned_subnets=14,
+        unconnected_subnets=1,
+        dnsless_subnets=1,
+        dns_gateway_mix=((1, 2), (2, 1)),
+        plain_gateway_mix=((2, 2),),
+        buggy_gateway_mix=((1, 4),),
+        cs_octet=5,
+        cs_registered_hosts=8,
+        cs_stale_hosts=1,
+    ),
+    "denver": CampusProfile(
+        seed=23,
+        class_b="128.99.0.0/16",
+        assigned_subnets=12,
+        unconnected_subnets=1,
+        dnsless_subnets=1,
+        dns_gateway_mix=((1, 2),),
+        plain_gateway_mix=((2, 2),),
+        buggy_gateway_mix=((1, 4),),
+        cs_octet=7,
+        cs_registered_hosts=6,
+        cs_stale_hosts=1,
+    ),
+}
+
+
+def discover_site(name, profile):
+    print(f"[{name}] building and exploring...")
+    campus = build_campus(profile)
+    campus.network.start_rip()
+    campus.set_cs_uptime(1.0)
+    journal = Journal(clock=lambda: campus.sim.now)
+    server = JournalServer(journal)
+    server.start()
+    with RemoteJournal(*server.address) as client:
+        RipWatch(campus.monitor, client).run(duration=65.0)
+        TracerouteModule(campus.monitor, client).run()
+        EtherHostProbe(campus.cs_monitor, client).run()
+    print(f"[{name}] local journal: {journal.counts()}")
+    return campus, journal, server
+
+
+def main() -> None:
+    sites = {
+        name: discover_site(name, profile)
+        for name, profile in SITE_PROFILES.items()
+    }
+
+    print("\nreplicating boulder -> denver and denver -> boulder...")
+    (b_campus, b_journal, b_server) = sites["boulder"]
+    (d_campus, d_journal, d_server) = sites["denver"]
+    with RemoteJournal(*b_server.address) as boulder, RemoteJournal(
+        *d_server.address
+    ) as denver:
+        to_denver = JournalReplicator(boulder, denver)
+        to_boulder = JournalReplicator(denver, boulder)
+        stats_one = to_denver.sync()
+        stats_two = to_boulder.sync()
+        print(
+            f"  boulder -> denver: {stats_one.records_sent} records "
+            f"({stats_one.records_changed} new there)"
+        )
+        print(
+            f"  denver -> boulder: {stats_two.records_sent} records "
+            f"({stats_two.records_changed} new there)"
+        )
+        # Incremental: a second pass has nothing to say.
+        assert to_denver.sync().records_sent == 0
+
+    print(f"\nafter replication:")
+    print(f"  boulder journal: {b_journal.counts()}")
+    print(f"  denver journal:  {d_journal.counts()}")
+    # Either site can now answer questions about the other's network.
+    denver_subnets_at_boulder = [
+        record.subnet
+        for record in b_journal.all_subnets()
+        if record.subnet and record.subnet.startswith("128.99.")
+    ]
+    print(
+        f"  boulder now knows {len(denver_subnets_at_boulder)} Denver "
+        "subnets without ever probing them"
+    )
+    b_server.stop()
+    d_server.stop()
+
+
+if __name__ == "__main__":
+    main()

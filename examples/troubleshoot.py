@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Troubleshoot: the paper's opening scenario, end to end.
+
+"Everything looked OK on the network monitor when your boss walked in,
+complaining that she couldn't get to the Ancient History server in the
+Classics department. ... if you have the tool that will tell you what
+the route is supposed to be to get to the Classics subnet [you learn]
+that the connection was via a Sun workstation / gateway in the
+Athletics department."
+
+This example builds that network, discovers it with Fremont, unplugs
+the coach's workstation, and asks the Journal who the culprit is.
+
+Run:  python examples/troubleshoot.py
+"""
+
+from repro.core import Journal, LocalJournal
+from repro.core.correlate import Correlator
+from repro.core.explorers import (
+    DnsExplorer,
+    EtherHostProbe,
+    SequentialPing,
+    TracerouteModule,
+)
+from repro.core.inquiry import NetworkPicture
+from repro.netsim import Network, Subnet
+
+
+def build_campus_fragment():
+    net = Network(seed=1846, domain="colorado.edu")  # Fremont's expedition year
+    backbone = Subnet.parse("10.60.0.0/24")
+    office = Subnet.parse("10.60.1.0/24")     # where the boss sits
+    classics = Subnet.parse("10.60.2.0/24")   # the Ancient History server
+    for subnet in (backbone, office, classics):
+        net.add_subnet(subnet)
+    core = net.add_gateway("core-gw", [(backbone, 1), (office, 1)])
+    # The Athletics department's Sun workstation doubles as the
+    # Classics subnet's only gateway.
+    coach_ws = net.add_gateway(
+        "coach-sun", [(backbone, 7), (classics, 1)], shared_mac=True
+    )
+    boss = net.add_host(office, name="boss", index=10)
+    server = net.add_host(classics, name="ancient-history", index=10)
+    ns_host = net.add_dns_server(backbone, name="ns")
+    monitor = net.add_host(
+        office, name="fremont", index=200, register_dns=False, activity_rate=0.0
+    )
+    net.compute_routes()
+    return net, office, classics, core, coach_ws, boss, server, monitor, ns_host
+
+
+def main() -> None:
+    net, office, classics, core, coach_ws, boss, server, monitor, ns_host = (
+        build_campus_fragment()
+    )
+    journal = Journal(clock=lambda: net.sim.now)
+    client = LocalJournal(journal)
+
+    print("discovering the network (before anything breaks)...")
+    TracerouteModule(monitor, client).run(targets=[office, classics,
+                                                   Subnet.parse("10.60.0.0/24")])
+    SequentialPing(monitor, client).run(addresses=[server.ip, boss.ip])
+    EtherHostProbe(monitor, client).run()
+    DnsExplorer(monitor, client, nameserver=ns_host.ip,
+                domain="colorado.edu").run()
+    Correlator(journal).correlate()
+    picture = NetworkPicture(journal)
+
+    print("\nthe boss walks in: 'I can't reach the Ancient History server!'")
+    records = picture.where_is(str(server.ip))
+    print(f"  the server {server.ip} is on {picture.subnet_of(str(server.ip))}")
+
+    route = picture.route_between(str(office), str(classics))
+    print(f"\n{route.describe()}")
+
+    print("\nthe coach unplugs his workstation; time passes...")
+    coach_ws.power_off()
+    net.sim.run_for(1800.0)
+    # Routine monitoring re-verifies whatever still answers.
+    SequentialPing(monitor, client).run(
+        addresses=[nic.ip for nic in core.nics]
+        + [nic.ip for nic in coach_ws.nics]
+        + [boss.ip]
+    )
+
+    route = picture.route_between(str(office), str(classics))
+    print(f"\n{route.describe()}")
+    suspects = route.suspects(silent_threshold=600.0)
+    for hop in suspects:
+        print(
+            f"\nSUSPECT: gateway '{hop.gateway_name}' on the "
+            f"{hop.from_subnet} -> {hop.to_subnet} hop has gone silent."
+        )
+    print(
+        "\n'After a quick call, you can report back to your boss that the "
+        "coach has plugged\nhis workstation back in, and the history server "
+        "should be accessible in ten minutes.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

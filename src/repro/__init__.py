@@ -1,0 +1,18 @@
+"""Fremont: a system for discovering network characteristics and problems.
+
+A full reproduction of Wood, Coleman & Schwartz (USENIX Winter 1993).
+
+Public API layout:
+
+* :mod:`repro.netsim` — the simulated network substrate (segments,
+  hosts, gateways, ARP/ICMP/UDP/RIP/DNS).
+* :mod:`repro.core` — the Fremont system itself: Explorer Modules, the
+  Journal and Journal Server, the Discovery Manager, cross-correlation,
+  analysis, and presentation programs.
+"""
+
+__version__ = "1.0.0"
+
+from . import netsim  # noqa: F401
+
+__all__ = ["netsim", "__version__"]

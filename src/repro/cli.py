@@ -1,0 +1,310 @@
+"""Command-line interface: ``fremont`` / ``python -m repro``.
+
+Subcommands mirror the paper's programs:
+
+* ``campus``   — build the synthetic campus, run a discovery campaign,
+  and save the resulting Journal (the end-to-end Figure 1 pipeline);
+* ``analyze``  — run the Table 8 problem finders over a saved Journal;
+* ``report``   — the three-level interface browser (presentation
+  program 2);
+* ``dump``     — the flat Journal dump (presentation program 1);
+* ``export``   — the topology exporters (presentation program 3 /
+  Figure 2), in SunNet-Manager-style or DOT format;
+* ``serve``    — run a standalone Journal Server on a TCP port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Journal, JournalServer, LocalJournal
+from .core.analysis import address_space_report, run_all_analyses
+from .core.correlate import Correlator
+from .core.inquiry import NetworkPicture
+from .core.explorers import (
+    ArpWatch,
+    DnsExplorer,
+    EtherHostProbe,
+    RipWatch,
+    SequentialPing,
+    SubnetMaskModule,
+    TracerouteModule,
+)
+from .core.manager import DiscoveryManager
+from .core.presentation import (
+    dot_export,
+    interface_detail,
+    interface_report,
+    journal_dump,
+    subnet_interfaces_report,
+    sunnet_export,
+    svg_export,
+)
+from .netsim import TrafficGenerator, build_campus
+from .netsim.campus import CampusProfile
+
+__all__ = ["main"]
+
+
+def _cmd_campus(args: argparse.Namespace) -> int:
+    campus = build_campus(CampusProfile(seed=args.seed))
+    journal = Journal(clock=lambda: campus.sim.now)
+    client = LocalJournal(journal)
+    campus.network.start_rip()
+    campus.set_cs_uptime(0.9)
+    traffic = TrafficGenerator(
+        campus.network, seed=args.seed, hosts=campus.cs_real_hosts()
+    )
+    traffic.start()
+
+    nameserver = campus.network.dns.addresses_for(campus.network.dns.nameserver)[0]
+    manager = DiscoveryManager(campus.sim, client, state_path=args.state)
+    manager.register(RipWatch(campus.monitor, client), directive={"duration": 120.0})
+    manager.register(ArpWatch(campus.cs_monitor, client), directive={"duration": 1800.0})
+    manager.register(EtherHostProbe(campus.cs_monitor, client))
+    manager.register(SequentialPing(campus.cs_monitor, client))
+    manager.register(SubnetMaskModule(campus.cs_monitor, client))
+    manager.register(TracerouteModule(campus.monitor, client))
+    manager.register(
+        DnsExplorer(
+            campus.monitor, client, nameserver=nameserver, domain="cs.colorado.edu"
+        )
+    )
+    runs = manager.run_until(campus.sim.now + args.duration)
+    for key, result in runs:
+        print(result.summary())
+    Correlator(journal).correlate()
+    print(f"journal: {journal.counts()}")
+    if args.output:
+        journal.save(args.output)
+        print(f"journal written to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    journal = Journal.load(args.journal)
+    findings = run_all_analyses(journal, stale_horizon=args.stale_horizon)
+    total = 0
+    for kind, items in findings.items():
+        print(f"{kind}: {len(items)}")
+        for finding in items:
+            print(f"  {finding}")
+        total += len(items)
+    print(f"total findings: {total}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    journal = Journal.load(args.journal)
+    if args.ip:
+        print(interface_detail(journal, args.ip))
+    elif args.subnet:
+        print(subnet_interfaces_report(journal, args.subnet))
+    else:
+        print(interface_report(journal, network=args.network))
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    journal = Journal.load(args.journal)
+    print(journal_dump(journal))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    journal = Journal.load(args.journal)
+    if args.format == "dot":
+        text = dot_export(journal)
+    elif args.format == "svg":
+        text = svg_export(journal)
+    else:
+        text = sunnet_export(journal)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    journal = Journal.load(args.journal)
+    Correlator(journal).correlate()
+    picture = NetworkPicture(journal)
+    route = picture.route_between(args.source, args.destination)
+    print(route.describe())
+    suspects = route.suspects(silent_threshold=args.silent_threshold)
+    for hop in suspects:
+        print(
+            f"SUSPECT: gateway '{hop.gateway_name}' on the "
+            f"{hop.from_subnet} -> {hop.to_subnet} hop has gone silent"
+        )
+    return 0 if route.reachable else 1
+
+
+def _cmd_whereis(args: argparse.Namespace) -> int:
+    journal = Journal.load(args.journal)
+    picture = NetworkPicture(journal)
+    records = picture.where_is(args.what)
+    if not records:
+        print(f"nothing known about {args.what}")
+        return 1
+    for record in records:
+        print(record.describe())
+    subnet = picture.subnet_of(args.what)
+    if subnet is not None:
+        print(f"subnet: {subnet}")
+    last = picture.last_seen(args.what)
+    if last is not None:
+        print(f"last live verification: {last:.0f}s ago")
+    else:
+        print("never verified by a live probe (DNS data only)")
+    return 0
+
+
+def _cmd_utilization(args: argparse.Namespace) -> int:
+    journal = Journal.load(args.journal)
+    rows = address_space_report(journal, stale_horizon=args.stale_horizon)
+    for row in rows:
+        print(row.describe())
+    print(f"{len(rows)} subnet(s) reported")
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    """One replication pass between two running Journal Servers."""
+    from .core import RemoteJournal
+    from .core.replicate import JournalReplicator
+
+    def parse_endpoint(text: str):
+        host, _, port = text.rpartition(":")
+        return host or "127.0.0.1", int(port)
+
+    source_host, source_port = parse_endpoint(args.source)
+    target_host, target_port = parse_endpoint(args.target)
+    with RemoteJournal(source_host, source_port) as source, RemoteJournal(
+        target_host, target_port
+    ) as target:
+        replicator = JournalReplicator(source, target)
+        stats = replicator.sync(full=True)
+    print(
+        f"pushed {stats.records_sent} record(s); "
+        f"{stats.records_changed} changed on the target"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    journal = Journal.load(args.journal) if args.journal else Journal(clock=time.time)
+    server = JournalServer(journal, host=args.host, port=args.port)
+    server.persist_path = args.persist
+    server.start()
+    host, port = server.address
+    print(f"journal server listening on {host}:{port} (ctrl-c to stop)")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fremont",
+        description="Fremont: discovering network characteristics and problems "
+        "(USENIX 1993 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campus = commands.add_parser("campus", help="run a discovery campaign")
+    campus.add_argument("--seed", type=int, default=1993)
+    campus.add_argument("--duration", type=float, default=4000.0,
+                        help="simulated seconds of discovery to schedule")
+    campus.add_argument("--state", default=None,
+                        help="Discovery Manager startup/history file")
+    campus.add_argument("--output", "-o", default=None,
+                        help="write the resulting journal here (JSON)")
+    campus.set_defaults(func=_cmd_campus)
+
+    analyze = commands.add_parser("analyze", help="find network problems")
+    analyze.add_argument("journal")
+    analyze.add_argument("--stale-horizon", type=float, default=0.0)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    report = commands.add_parser("report", help="interface browser")
+    report.add_argument("journal")
+    report.add_argument("--network", default=None, help="filter by prefix text")
+    report.add_argument("--subnet", default=None, help="level 2: one subnet")
+    report.add_argument("--ip", default=None, help="level 3: one interface")
+    report.set_defaults(func=_cmd_report)
+
+    dump = commands.add_parser("dump", help="flat journal dump")
+    dump.add_argument("journal")
+    dump.set_defaults(func=_cmd_dump)
+
+    export = commands.add_parser("export", help="topology export (Figure 2)")
+    export.add_argument("journal")
+    export.add_argument("--format", choices=("sunnet", "dot", "svg"), default="dot")
+    export.add_argument("--output", "-o", default=None)
+    export.set_defaults(func=_cmd_export)
+
+    route = commands.add_parser(
+        "route", help="the designed route between two subnets (inquiry agent)"
+    )
+    route.add_argument("journal")
+    route.add_argument("source", help="source subnet, e.g. 128.138.1.0/24")
+    route.add_argument("destination", help="destination subnet")
+    route.add_argument("--silent-threshold", type=float, default=600.0)
+    route.set_defaults(func=_cmd_route)
+
+    whereis = commands.add_parser(
+        "whereis", help="locate a host by address or DNS name"
+    )
+    whereis.add_argument("journal")
+    whereis.add_argument("what", help="IP address or DNS name")
+    whereis.set_defaults(func=_cmd_whereis)
+
+    utilization = commands.add_parser(
+        "utilization", help="per-subnet address-space usage and reclaim candidates"
+    )
+    utilization.add_argument("journal")
+    utilization.add_argument("--stale-horizon", type=float, default=0.0)
+    utilization.set_defaults(func=_cmd_utilization)
+
+    replicate = commands.add_parser(
+        "replicate", help="push one Journal Server's records to another"
+    )
+    replicate.add_argument("source", help="host:port of the source server")
+    replicate.add_argument("target", help="host:port of the target server")
+    replicate.set_defaults(func=_cmd_replicate)
+
+    serve = commands.add_parser("serve", help="run a Journal Server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=3856)
+    serve.add_argument("--journal", default=None, help="load this journal at start")
+    serve.add_argument("--persist", default=None, help="save here on shutdown")
+    serve.set_defaults(func=_cmd_serve)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into something like `head`; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The Fremont system core: Journal, Explorer Modules, Discovery
+Manager, cross-correlation, analysis, and presentation."""
+
+from .avl import AvlTree
+from .client import LocalJournal, RemoteJournal
+from .correlate import Correlator
+from .inquiry import NetworkPicture
+from .journal import Journal
+from .manager import DiscoveryManager
+from .records import (
+    Attribute,
+    GatewayRecord,
+    InterfaceRecord,
+    Observation,
+    Quality,
+    SubnetRecord,
+)
+from .replicate import JournalReplicator
+from .server import JournalServer
+
+__all__ = [
+    "Attribute",
+    "AvlTree",
+    "Correlator",
+    "DiscoveryManager",
+    "GatewayRecord",
+    "InterfaceRecord",
+    "Journal",
+    "JournalReplicator",
+    "JournalServer",
+    "LocalJournal",
+    "NetworkPicture",
+    "Observation",
+    "Quality",
+    "RemoteJournal",
+    "SubnetRecord",
+]

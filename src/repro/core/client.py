@@ -1,0 +1,317 @@
+"""Journal access for Explorer Modules and analysis programs.
+
+Two interchangeable clients implement the access-and-data-transfer
+library the paper describes ("supported through a common library of
+access and data transfer routines that the Explorer Modules, Discovery
+Manager, and data analysis and presentation programs use"):
+
+* :class:`LocalJournal` — a thin in-process pass-through (the common
+  case for a single-site deployment and for the benchmark harness);
+* :class:`RemoteJournal` — a socket client for a
+  :class:`~repro.core.server.JournalServer`, enabling the paper's
+  distributed placement ("there are no restrictions about the physical
+  location of individual modules").
+
+Both expose the same duck-typed surface, so explorers never know which
+they hold.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from . import wire
+from .journal import Journal
+from .records import GatewayRecord, InterfaceRecord, Observation, SubnetRecord
+
+__all__ = ["LocalJournal", "RemoteJournal"]
+
+
+class LocalJournal:
+    """In-process client: delegates straight to a :class:`Journal`."""
+
+    def __init__(self, journal: Journal) -> None:
+        self.journal = journal
+
+    # -- updates ---------------------------------------------------------
+
+    def observe_interface(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
+        return self.journal.observe_interface(observation)
+
+    def ensure_gateway(
+        self,
+        *,
+        source: str,
+        name: Optional[str] = None,
+        interface_ids: Iterable[int] = (),
+    ) -> Tuple[GatewayRecord, bool]:
+        return self.journal.ensure_gateway(
+            source=source, name=name, interface_ids=interface_ids
+        )
+
+    def link_gateway_subnet(self, gateway_id: int, subnet_key: str, *, source: str) -> bool:
+        return self.journal.link_gateway_subnet(gateway_id, subnet_key, source=source)
+
+    def ensure_subnet(
+        self, subnet_key: str, *, source: str, quality: str = "good", **stats: object
+    ) -> Tuple[SubnetRecord, bool]:
+        return self.journal.ensure_subnet(
+            subnet_key, source=source, quality=quality, **stats
+        )
+
+    def delete_interface(self, record_id: int) -> bool:
+        return self.journal.delete_interface(record_id)
+
+    # -- queries ---------------------------------------------------------
+
+    def interfaces_by_ip(self, ip: str) -> List[InterfaceRecord]:
+        return self.journal.interfaces_by_ip(ip)
+
+    def interfaces_by_mac(self, mac: str) -> List[InterfaceRecord]:
+        return self.journal.interfaces_by_mac(mac)
+
+    def interfaces_by_name(self, name: str) -> List[InterfaceRecord]:
+        return self.journal.interfaces_by_name(name)
+
+    def interfaces_in_ip_range(self, low: str, high: str) -> List[InterfaceRecord]:
+        return self.journal.interfaces_in_ip_range(low, high)
+
+    def all_interfaces(self) -> List[InterfaceRecord]:
+        return self.journal.all_interfaces()
+
+    def stale_interfaces(self, *, older_than: float) -> List[InterfaceRecord]:
+        return self.journal.stale_interfaces(older_than=older_than)
+
+    def all_gateways(self) -> List[GatewayRecord]:
+        return self.journal.all_gateways()
+
+    def all_subnets(self) -> List[SubnetRecord]:
+        return self.journal.all_subnets()
+
+    def counts(self) -> Dict[str, int]:
+        return self.journal.counts()
+
+    # -- negative cache ---------------------------------------------------
+
+    def negative_put(self, kind: str, key: str, *, ttl: float) -> None:
+        self.journal.negative_put(kind, key, ttl=ttl)
+
+    def negative_check(self, kind: str, key: str) -> bool:
+        return self.journal.negative_check(kind, key)
+
+    # -- replication --------------------------------------------------------
+
+    def interfaces_modified_since(self, when: float) -> List[InterfaceRecord]:
+        return self.journal.interfaces_modified_since(when)
+
+    def gateways_modified_since(self, when: float) -> List[GatewayRecord]:
+        return self.journal.gateways_modified_since(when)
+
+    def subnets_modified_since(self, when: float) -> List[SubnetRecord]:
+        return self.journal.subnets_modified_since(when)
+
+    def absorb_interface(self, record: InterfaceRecord) -> Tuple[InterfaceRecord, bool]:
+        return self.journal.absorb_interface(record)
+
+    def absorb_gateway(
+        self, record: GatewayRecord, interface_id_map: Dict[int, int]
+    ) -> Tuple[GatewayRecord, bool]:
+        return self.journal.absorb_gateway(record, interface_id_map)
+
+    def absorb_subnet(self, record: SubnetRecord) -> Tuple[SubnetRecord, bool]:
+        return self.journal.absorb_subnet(record)
+
+    # -- bulk -------------------------------------------------------------
+
+    def snapshot(self) -> Journal:
+        """A detached copy of the journal for offline analysis."""
+        return Journal.from_dict(self.journal.to_dict())
+
+    def close(self) -> None:
+        """Nothing to release for the in-process client."""
+
+
+class RemoteJournal:
+    """Socket client for a running :class:`JournalServer`.
+
+    Query methods return record objects reconstructed from the wire
+    form; their ``record_id`` values are the server's canonical ids and
+    may be passed back into gateway/subnet operations.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._socket.sendall(wire.encode_message(request))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("journal server closed the connection")
+        response = wire.decode_message(line)
+        if not response.get("ok"):
+            raise RuntimeError(f"journal server error: {response.get('error')}")
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "RemoteJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- updates ------------------------------------------------------------
+
+    def observe_interface(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
+        response = self._call(
+            {"op": "observe", "observation": wire.observation_to_dict(observation)}
+        )
+        return wire.interface_from_dict(response["record"]), response["changed"]
+
+    def ensure_gateway(
+        self,
+        *,
+        source: str,
+        name: Optional[str] = None,
+        interface_ids: Iterable[int] = (),
+    ) -> Tuple[GatewayRecord, bool]:
+        response = self._call(
+            {
+                "op": "ensure_gateway",
+                "source": source,
+                "name": name,
+                "interface_ids": list(interface_ids),
+            }
+        )
+        return wire.gateway_from_dict(response["record"]), response["changed"]
+
+    def link_gateway_subnet(self, gateway_id: int, subnet_key: str, *, source: str) -> bool:
+        response = self._call(
+            {
+                "op": "link_gateway_subnet",
+                "gateway_id": gateway_id,
+                "subnet": subnet_key,
+                "source": source,
+            }
+        )
+        return response["changed"]
+
+    def ensure_subnet(
+        self, subnet_key: str, *, source: str, quality: str = "good", **stats: object
+    ) -> Tuple[SubnetRecord, bool]:
+        response = self._call(
+            {
+                "op": "ensure_subnet",
+                "subnet": subnet_key,
+                "source": source,
+                "quality": quality,
+                "stats": stats,
+            }
+        )
+        return wire.subnet_from_dict(response["record"]), response["changed"]
+
+    def delete_interface(self, record_id: int) -> bool:
+        return self._call({"op": "delete_interface", "record_id": record_id})["deleted"]
+
+    # -- queries --------------------------------------------------------------
+
+    def _interfaces(self, request: Dict[str, Any]) -> List[InterfaceRecord]:
+        response = self._call(request)
+        return [wire.interface_from_dict(data) for data in response["records"]]
+
+    def interfaces_by_ip(self, ip: str) -> List[InterfaceRecord]:
+        return self._interfaces({"op": "get_interfaces", "by": "ip", "key": ip})
+
+    def interfaces_by_mac(self, mac: str) -> List[InterfaceRecord]:
+        return self._interfaces({"op": "get_interfaces", "by": "mac", "key": mac})
+
+    def interfaces_by_name(self, name: str) -> List[InterfaceRecord]:
+        return self._interfaces({"op": "get_interfaces", "by": "name", "key": name})
+
+    def interfaces_in_ip_range(self, low: str, high: str) -> List[InterfaceRecord]:
+        return self._interfaces(
+            {"op": "get_interfaces", "by": "ip_range", "low": low, "high": high}
+        )
+
+    def all_interfaces(self) -> List[InterfaceRecord]:
+        return self._interfaces({"op": "get_interfaces", "by": "all"})
+
+    def stale_interfaces(self, *, older_than: float) -> List[InterfaceRecord]:
+        return self._interfaces(
+            {"op": "get_interfaces", "by": "stale", "older_than": older_than}
+        )
+
+    def all_gateways(self) -> List[GatewayRecord]:
+        response = self._call({"op": "get_gateways"})
+        return [wire.gateway_from_dict(data) for data in response["records"]]
+
+    def all_subnets(self) -> List[SubnetRecord]:
+        response = self._call({"op": "get_subnets"})
+        return [wire.subnet_from_dict(data) for data in response["records"]]
+
+    def counts(self) -> Dict[str, int]:
+        return self._call({"op": "counts"})["counts"]
+
+    # -- replication -----------------------------------------------------------
+
+    def interfaces_modified_since(self, when: float) -> List[InterfaceRecord]:
+        return self._interfaces(
+            {"op": "get_interfaces", "by": "modified_since", "since": when}
+        )
+
+    def gateways_modified_since(self, when: float) -> List[GatewayRecord]:
+        response = self._call({"op": "get_gateways", "since": when})
+        return [wire.gateway_from_dict(data) for data in response["records"]]
+
+    def subnets_modified_since(self, when: float) -> List[SubnetRecord]:
+        response = self._call({"op": "get_subnets", "since": when})
+        return [wire.subnet_from_dict(data) for data in response["records"]]
+
+    def absorb_interface(self, record: InterfaceRecord) -> Tuple[InterfaceRecord, bool]:
+        response = self._call(
+            {"op": "absorb_interface", "record": wire.interface_to_dict(record)}
+        )
+        return wire.interface_from_dict(response["record"]), response["changed"]
+
+    def absorb_gateway(
+        self, record: GatewayRecord, interface_id_map: Dict[int, int]
+    ) -> Tuple[GatewayRecord, bool]:
+        response = self._call(
+            {
+                "op": "absorb_gateway",
+                "record": wire.gateway_to_dict(record),
+                "interface_id_map": {
+                    str(key): value for key, value in interface_id_map.items()
+                },
+            }
+        )
+        return wire.gateway_from_dict(response["record"]), response["changed"]
+
+    def absorb_subnet(self, record: SubnetRecord) -> Tuple[SubnetRecord, bool]:
+        response = self._call(
+            {"op": "absorb_subnet", "record": wire.subnet_to_dict(record)}
+        )
+        return wire.subnet_from_dict(response["record"]), response["changed"]
+
+    # -- negative cache ----------------------------------------------------------
+
+    def negative_put(self, kind: str, key: str, *, ttl: float) -> None:
+        self._call({"op": "negative_put", "kind": kind, "key": key, "ttl": ttl})
+
+    def negative_check(self, kind: str, key: str) -> bool:
+        return self._call({"op": "negative_check", "kind": kind, "key": key})["cached"]
+
+    # -- bulk ----------------------------------------------------------------------
+
+    def snapshot(self) -> Journal:
+        """Fetch the full journal for offline analysis/presentation."""
+        response = self._call({"op": "dump"})
+        return Journal.from_dict(response["journal"])

@@ -1,0 +1,240 @@
+"""Cross-correlation over the Journal.
+
+"Because it is the shared place where observations are stored, and
+because there are several Explorer Modules recording complimentary
+findings there, the Journal is more than just the sum of its parts.
+For example, the fact that the same Ethernet address is observed by two
+ARP modules running on different subnets is not significant until that
+information is written into the Journal.  Only then ... can that
+gateway be discovered."
+
+The :class:`Correlator` performs the Discovery-Manager-side inference:
+
+* gateway discovery from one Ethernet address appearing with several
+  network addresses on *different* subnets (SunOS workstation-gateways
+  use one station MAC on every interface);
+* proxy-ARP recognition when one Ethernet address answers for several
+  addresses on the *same* subnet ("recognise the device type when
+  multiple IP addresses are reported for a single Ethernet address");
+* gateway-to-subnet linking from recorded interface masks;
+* assembly of the overall topology graph used by the presentation
+  programs and by Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..netsim.addresses import Ipv4Address, Netmask, Subnet
+from .journal import Journal
+from .records import GatewayRecord, InterfaceRecord
+
+__all__ = ["Correlator", "CorrelationReport", "TopologyGraph"]
+
+SOURCE = "correlator"
+
+
+@dataclass
+class CorrelationReport:
+    """What one correlation pass concluded."""
+
+    gateways_inferred: int = 0
+    gateways_merged: int = 0
+    proxy_arp_devices: List[str] = field(default_factory=list)
+    subnet_links_added: int = 0
+    interfaces_assigned: int = 0
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TopologyGraph:
+    """The discovered subnet/gateway incidence structure (Figure 2)."""
+
+    #: subnet key -> sorted gateway record ids attached to it
+    subnets: Dict[str, List[int]] = field(default_factory=dict)
+    #: gateway record id -> (display name, sorted subnet keys)
+    gateways: Dict[int, Tuple[str, List[str]]] = field(default_factory=dict)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """(gateway display name, subnet key) incidence pairs."""
+        result = []
+        for gateway_id, (name, subnet_keys) in sorted(self.gateways.items()):
+            for key in subnet_keys:
+                result.append((name, key))
+        return result
+
+    def connected_components(self) -> List[Set[str]]:
+        """Components over subnets (two subnets connect via a gateway)."""
+        parent: Dict[str, str] = {}
+
+        def find(item: str) -> str:
+            while parent.setdefault(item, item) != item:
+                parent[item] = parent[parent[item]]
+                item = parent[item]
+            return item
+
+        def union(a: str, b: str) -> None:
+            parent[find(a)] = find(b)
+
+        for subnet in self.subnets:
+            find(subnet)
+        for _gateway_id, (_name, subnet_keys) in self.gateways.items():
+            for other in subnet_keys[1:]:
+                union(subnet_keys[0], other)
+        groups: Dict[str, Set[str]] = defaultdict(set)
+        for subnet in self.subnets:
+            groups[find(subnet)].add(subnet)
+        return sorted(groups.values(), key=lambda g: (-len(g), sorted(g)[0]))
+
+
+class Correlator:
+    """Cross-correlates Journal records into a coherent network picture."""
+
+    def __init__(self, journal: Journal, *, default_prefix: int = 24) -> None:
+        self.journal = journal
+        self.default_prefix = default_prefix
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def subnet_of_record(self, record: InterfaceRecord) -> Optional[Subnet]:
+        """The subnet an interface record belongs to, by its own mask
+        (falling back to the campus default prefix)."""
+        if record.ip is None:
+            return None
+        try:
+            ip = Ipv4Address.parse(record.ip)
+        except ValueError:
+            return None
+        mask_text = record.subnet_mask
+        if mask_text:
+            try:
+                return Subnet.containing(ip, Netmask.parse(mask_text))
+            except ValueError:
+                pass
+        return Subnet.containing(ip, Netmask.from_prefix(self.default_prefix))
+
+    # ------------------------------------------------------------------
+    # Passes
+    # ------------------------------------------------------------------
+
+    def infer_gateways_from_shared_macs(self, report: CorrelationReport) -> None:
+        """One MAC + several IPs: a gateway if the IPs span subnets, a
+        proxy-ARP device (or reconfiguration) if they share one."""
+        by_mac: Dict[str, List[InterfaceRecord]] = defaultdict(list)
+        for record in self.journal.all_interfaces():
+            if record.mac is not None and record.ip is not None:
+                by_mac[record.mac].append(record)
+        for mac, records in sorted(by_mac.items()):
+            if len(records) < 2:
+                continue
+            subnets = {str(self.subnet_of_record(r)) for r in records}
+            if len(subnets) >= 2:
+                gateway, created = self.journal.ensure_gateway(
+                    source=SOURCE,
+                    interface_ids=[r.record_id for r in records],
+                )
+                if created:
+                    report.gateways_inferred += 1
+                else:
+                    report.gateways_merged += 1
+                report.notes.append(
+                    f"MAC {mac} spans subnets {sorted(subnets)}: gateway "
+                    f"#{gateway.record_id}"
+                )
+            else:
+                report.proxy_arp_devices.append(mac)
+                report.notes.append(
+                    f"MAC {mac} answers for {len(records)} addresses on "
+                    f"{sorted(subnets)[0]}: proxy ARP or reconfiguration"
+                )
+
+    def merge_gateways_by_shared_interface(self, report: CorrelationReport) -> None:
+        """Different modules may each have created a partial gateway
+        holding the same interface; the Journal merge already handles
+        that on insert, so here we merge gateways that hold *different*
+        records for the same interface address."""
+        by_ip: Dict[str, List[GatewayRecord]] = defaultdict(list)
+        for gateway in self.journal.all_gateways():
+            for interface_id in gateway.interface_ids:
+                record = self.journal.interfaces.get(interface_id)
+                if record is not None and record.ip is not None:
+                    by_ip[record.ip].append(gateway)
+        for ip, gateways in sorted(by_ip.items()):
+            unique = {g.record_id: g for g in gateways}
+            if len(unique) < 2:
+                continue
+            keeper, *others = sorted(unique.values(), key=lambda g: g.record_id)
+            for other in others:
+                if other.record_id not in self.journal.gateways:
+                    continue  # already merged away
+                if keeper.record_id not in self.journal.gateways:
+                    break
+                self.journal._merge_gateways(keeper, other, self.journal.now)
+                report.gateways_merged += 1
+                report.notes.append(
+                    f"gateways sharing interface {ip} merged into "
+                    f"#{keeper.record_id}"
+                )
+
+    def link_gateways_to_subnets(self, report: CorrelationReport) -> None:
+        """Attach every gateway to the subnet of each member interface."""
+        for gateway in list(self.journal.all_gateways()):
+            for interface_id in list(gateway.interface_ids):
+                record = self.journal.interfaces.get(interface_id)
+                if record is None:
+                    continue
+                subnet = self.subnet_of_record(record)
+                if subnet is None:
+                    continue
+                if self.journal.link_gateway_subnet(
+                    gateway.record_id, str(subnet), source=SOURCE
+                ):
+                    report.subnet_links_added += 1
+
+    def assign_interfaces_to_gateways(self, report: CorrelationReport) -> None:
+        """Back-fill the Table 1 'gateway to which this interface
+        belongs' field on member interface records."""
+        for gateway in self.journal.all_gateways():
+            for interface_id in gateway.interface_ids:
+                record = self.journal.interfaces.get(interface_id)
+                if record is None:
+                    continue
+                if record.gateway_id != gateway.record_id:
+                    record.set(
+                        "gateway_id", gateway.record_id, self.journal.now, SOURCE
+                    )
+                    report.interfaces_assigned += 1
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def correlate(self) -> CorrelationReport:
+        """Run all correlation passes once."""
+        report = CorrelationReport()
+        self.infer_gateways_from_shared_macs(report)
+        self.merge_gateways_by_shared_interface(report)
+        self.link_gateways_to_subnets(report)
+        self.assign_interfaces_to_gateways(report)
+        return report
+
+    def topology(self) -> TopologyGraph:
+        """Assemble the discovered subnet/gateway graph."""
+        graph = TopologyGraph()
+        for subnet in self.journal.all_subnets():
+            if subnet.subnet is None:
+                continue
+            graph.subnets[subnet.subnet] = sorted(subnet.gateway_ids)
+        for gateway in self.journal.all_gateways():
+            name = gateway.name or f"gateway-{gateway.record_id}"
+            subnet_keys = sorted(gateway.connected_subnets)
+            graph.gateways[gateway.record_id] = (name, subnet_keys)
+            for key in subnet_keys:
+                graph.subnets.setdefault(key, [])
+                if gateway.record_id not in graph.subnets[key]:
+                    graph.subnets[key].append(gateway.record_id)
+        return graph

@@ -1,0 +1,71 @@
+"""Fremont's Explorer Modules.
+
+The paper's 8 prototype modules over 4 information sources:
+
+========  =====================================================
+Source    Modules
+========  =====================================================
+ARP       :class:`ArpWatch` (passive), :class:`EtherHostProbe`
+ICMP      :class:`SequentialPing`, :class:`BroadcastPing`,
+          :class:`SubnetMaskModule`, :class:`TracerouteModule`
+RIP       :class:`RipWatch` (passive)
+DNS       :class:`DnsExplorer`
+========  =====================================================
+
+Plus two future-work modules the paper sketches, implemented here:
+:class:`RipQuery` (directed RIP Request/Poll probes) and
+:class:`AgentPoll` (the planned SNMP-style instrumented-agent poller).
+"""
+
+from .agentpoll import AgentPoll
+from .arpwatch import ArpWatch
+from .base import ExplorerModule, PassiveExplorerModule, RunResult
+from .broadcastping import BroadcastPing
+from .dnsexplorer import DnsExplorer
+from .etherhostprobe import EtherHostProbe
+from .gdpwatch import GdpWatch
+from .multivantage import MultiVantageTraceroute
+from .ripquery import RipQuery
+from .ripwatch import RipWatch
+from .seqping import SequentialPing
+from .subnetmask import SubnetMaskModule
+from .traceroute import TraceResult, TracerouteModule
+from .trafficwatch import TrafficWatch, WELL_KNOWN_SERVICES
+
+#: the paper's prototype suite (Table 3 order)
+PAPER_MODULES = (
+    ArpWatch,
+    EtherHostProbe,
+    SequentialPing,
+    BroadcastPing,
+    SubnetMaskModule,
+    TracerouteModule,
+    RipWatch,
+    DnsExplorer,
+)
+
+#: future-work extensions implemented beyond the prototype
+EXTENSION_MODULES = (RipQuery, AgentPoll, GdpWatch, TrafficWatch)
+
+__all__ = [
+    "AgentPoll",
+    "ArpWatch",
+    "BroadcastPing",
+    "DnsExplorer",
+    "EtherHostProbe",
+    "ExplorerModule",
+    "EXTENSION_MODULES",
+    "GdpWatch",
+    "MultiVantageTraceroute",
+    "PAPER_MODULES",
+    "PassiveExplorerModule",
+    "RipQuery",
+    "RipWatch",
+    "RunResult",
+    "SequentialPing",
+    "SubnetMaskModule",
+    "TraceResult",
+    "TracerouteModule",
+    "TrafficWatch",
+    "WELL_KNOWN_SERVICES",
+]

@@ -1,0 +1,146 @@
+"""Agent Poll Explorer Module (the paper's planned SNMP module).
+
+"Although using SNMP requires knowledge of community strings, it is
+popular and powerful enough to allow improved topology discovery (as
+done by Columbia's netdig system)."
+
+This module polls :class:`~repro.netsim.agent.ManagementAgent`
+instances (the SNMP stand-in) for interface and routing tables.  It
+demonstrates both sides of the paper's argument: where an agent runs
+*and* the community string is known, discovery is complete and precise
+(interfaces with masks and MACs, routes with metrics); everywhere else
+the module is blind — which is why Fremont does not rely on a single
+instrumented-device protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ...netsim.addresses import Ipv4Address, Netmask, Subnet
+from ...netsim.agent import AGENT_PORT
+from ...netsim.nic import Nic
+from ...netsim.packet import Ipv4Packet, UdpDatagram
+from ..records import Observation
+from .base import ExplorerModule, RunResult
+
+__all__ = ["AgentPoll"]
+
+_src_ports = itertools.count(16100)
+
+
+class AgentPoll(ExplorerModule):
+    """Instrumented-agent poller (community-string guarded)."""
+
+    name = "AgentPoll"
+    source = "AGENT"
+    inputs = "Gateway addresses + community strings"
+    outputs = "Intfs. per gateway (with masks); routes"
+
+    QUERY_TIMEOUT = 5.0
+    PROBE_INTERVAL = 0.5
+
+    def __init__(
+        self,
+        node,
+        journal,
+        *,
+        communities: Optional[Dict[str, str]] = None,
+        default_community: str = "public",
+    ) -> None:
+        super().__init__(node, journal)
+        #: per-target community strings, keyed by address text
+        self.communities = communities or {}
+        self.default_community = default_community
+
+    def _community_for(self, target: Ipv4Address) -> str:
+        return self.communities.get(str(target), self.default_community)
+
+    def _poll(
+        self, result: RunResult, target: Ipv4Address, table: str
+    ) -> Optional[List[dict]]:
+        port = next(_src_ports)
+        state: Dict[str, Optional[List[dict]]] = {"body": None}
+
+        def on_packet(packet: Ipv4Packet, _nic: Nic) -> None:
+            payload = packet.payload
+            if not isinstance(payload, UdpDatagram) or payload.dst_port != port:
+                return
+            response = payload.payload
+            if (
+                isinstance(response, tuple)
+                and len(response) == 3
+                and response[0] == "agent-response"
+                and response[1] == table
+            ):
+                state["body"] = response[2]
+                result.replies_received += 1
+
+        remove = self.node.add_ip_listener(on_packet)
+        try:
+            self.node.send_udp(
+                target,
+                AGENT_PORT,
+                payload=("agent-get", self._community_for(target), table),
+                src_port=port,
+            )
+            result.packets_sent += 1
+            self.wait_until(lambda: state["body"] is not None, self.QUERY_TIMEOUT)
+        finally:
+            remove()
+        return state["body"]
+
+    def run(
+        self,
+        *,
+        targets: Optional[Iterable[Ipv4Address]] = None,
+        **directive,
+    ) -> RunResult:
+        """Poll each target (default: Journal gateway interfaces)."""
+        result = self._begin()
+        if targets is None:
+            targets = [
+                Ipv4Address.parse(record.ip)
+                for record in self.journal.all_interfaces()
+                if record.ip is not None and record.gateway_id is not None
+            ]
+        targets = list(dict.fromkeys(targets))
+        agents_found = 0
+        subnets: Set[str] = set()
+        for target in targets:
+            interfaces = self._poll(result, target, "interfaces")
+            self.sim.run_for(self.PROBE_INTERVAL)
+            if interfaces is None:
+                result.notes.append(f"{target}: no agent (or wrong community)")
+                continue
+            agents_found += 1
+            member_ids = []
+            for row in interfaces:
+                record = self.report(
+                    result,
+                    Observation(
+                        source=self.name,
+                        ip=row["ip"],
+                        mac=row.get("mac"),
+                        subnet_mask=row.get("mask"),
+                    ),
+                )
+                member_ids.append(record.record_id)
+            gateway, _created = self.journal.ensure_gateway(
+                source=self.name, interface_ids=member_ids
+            )
+            routes = self._poll(result, target, "routes")
+            self.sim.run_for(self.PROBE_INTERVAL)
+            for row in routes or []:
+                subnet_key = row["subnet"]
+                self.journal.ensure_subnet(subnet_key, source=self.name)
+                if row.get("via") == "direct":
+                    self.journal.link_gateway_subnet(
+                        gateway.record_id, subnet_key, source=self.name
+                    )
+                subnets.add(subnet_key)
+        result.discovered["agents"] = agents_found
+        result.discovered["silent"] = len(targets) - agents_found
+        result.discovered["subnets"] = len(subnets)
+        return self._finish(result)

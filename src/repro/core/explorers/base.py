@@ -1,0 +1,163 @@
+"""Explorer Module framework.
+
+"The Fremont system is based on an extensible suite of Explorer
+Modules, each of which uses a commonly available, existing network
+protocol or information source to uncover network information."
+
+Every module runs *on* a node in the simulated network (it can only see
+what that vantage point can see), reports findings to a journal client,
+and returns a :class:`RunResult` with the accounting the Discovery
+Manager and the Table 4/5/6 benchmarks need: packets sent, sim-time to
+complete, observations, and whether anything new was learned.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...netsim.host import Host
+from ...netsim.node import Node
+from ...netsim.sim import Simulator
+from ..records import InterfaceRecord, Observation
+
+__all__ = ["ExplorerModule", "PassiveExplorerModule", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one Explorer Module invocation."""
+
+    module: str
+    started_at: float
+    finished_at: float = 0.0
+    packets_sent: int = 0
+    replies_received: int = 0
+    observations: int = 0
+    changes: int = 0
+    #: module-specific result counters (e.g. {"interfaces": 48})
+    discovered: Dict[str, int] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds from start to completion."""
+        return self.finished_at - self.started_at
+
+    @property
+    def fruitful(self) -> bool:
+        """Did this run change the Journal?  Drives adaptive scheduling."""
+        return self.changes > 0
+
+    def packets_per_second(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.packets_sent / self.duration
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.module}: {self.duration:.1f}s",
+            f"{self.packets_sent} pkts",
+            f"{self.observations} obs ({self.changes} new)",
+        ]
+        parts.extend(f"{key}={value}" for key, value in sorted(self.discovered.items()))
+        return ", ".join(parts)
+
+
+class ExplorerModule(abc.ABC):
+    """Base class for all Explorer Modules.
+
+    Subclasses define the Table 3 metadata (``name``, ``source``,
+    ``inputs``, ``outputs``) and implement :meth:`run`.
+    """
+
+    #: module name as it appears in the paper's tables
+    name: str = "explorer"
+    #: information source (ARP / ICMP / RIP / DNS / SNMP-like)
+    source: str = ""
+    #: Table 3 "Inputs" column
+    inputs: str = ""
+    #: Table 3 "Outputs" column
+    outputs: str = ""
+    #: does the module generate network traffic?
+    active: bool = True
+    #: does the module require system privileges (NIT tap)?
+    requires_privilege: bool = False
+
+    def __init__(self, node: Node, journal) -> None:
+        self.node = node
+        self.journal = journal
+        self.last_result: Optional[RunResult] = None
+
+    @property
+    def sim(self) -> Simulator:
+        return self.node.sim
+
+    # ------------------------------------------------------------------
+    # Journal reporting with accounting
+    # ------------------------------------------------------------------
+
+    def _begin(self) -> RunResult:
+        return RunResult(module=self.name, started_at=self.sim.now)
+
+    def _finish(self, result: RunResult) -> RunResult:
+        result.finished_at = self.sim.now
+        self.last_result = result
+        return result
+
+    def report(self, result: RunResult, observation: Observation) -> InterfaceRecord:
+        """Send one interface observation to the Journal."""
+        record, changed = self.journal.observe_interface(observation)
+        result.observations += 1
+        if changed:
+            result.changes += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # Simulation driving helpers
+    # ------------------------------------------------------------------
+
+    def wait_until(self, predicate, timeout: float) -> bool:
+        """Drive the simulator until *predicate* is true or *timeout*
+        simulated seconds elapse.  Returns the final predicate value.
+
+        A sentinel event bounds the wait, so a sparse event heap (e.g. a
+        RIP timer 30 s away) cannot overshoot the deadline.
+        """
+        deadline = self.sim.now + timeout
+        self.sim.schedule(timeout, lambda: None)
+        while not predicate() and self.sim.now < deadline:
+            if not self.sim.step():
+                break
+        return bool(predicate())
+
+    @abc.abstractmethod
+    def run(self, **directive: Any) -> RunResult:
+        """Perform one exploration, driving the simulator as needed."""
+
+
+class PassiveExplorerModule(ExplorerModule):
+    """Modules that quietly observe (ARPwatch, RIPwatch).
+
+    They are started, left running while the simulation advances, and
+    stopped; :meth:`run` provides the convenience "watch for N seconds"
+    form the Discovery Manager uses.
+    """
+
+    active = False
+    requires_privilege = True  # NIT taps need system privileges
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Open the tap and begin observing."""
+
+    @abc.abstractmethod
+    def stop(self) -> RunResult:
+        """Close the tap and flush findings to the Journal."""
+
+    def run(self, *, duration: float = 1800.0, **directive: Any) -> RunResult:
+        """Watch the attached segment for *duration* simulated seconds."""
+        self.start()
+        self.sim.run_for(duration)
+        return self.stop()

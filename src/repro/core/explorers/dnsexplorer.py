@@ -1,0 +1,340 @@
+"""Domain Naming System Explorer Module.
+
+"The DNS module retrieves the set of all address-to-name mappings from
+a domain, using 'zone transfers' ... by descending recursively into the
+DNS tree starting from a specific point. ... Using the subnet mask and
+the information obtained from the DNS tree, the module tries to
+determine which sets of interfaces comprise gateways."
+
+Heuristics implemented, as in the paper:
+
+* multiple IP addresses for the same machine name (multi-A records),
+* multiple names for the same address, with matching within groups,
+* names differing only by a ``-gw`` style naming convention.
+
+The module honours the paper's recording policy: "we do not record a
+name/address pair if it is the only information that we have involving
+an interface" — plain host mappings only enrich interfaces the Journal
+already knows (pass ``record_all=True`` to override).  It also invokes
+the Subnet Mask module for the name server's address, reproducing the
+paper's footnote 2.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...netsim.addresses import Ipv4Address, Netmask, Subnet
+from ...netsim.dns import reverse_zone_for_network
+from ...netsim.nic import Nic
+from ...netsim.packet import (
+    DnsMessage,
+    DnsOp,
+    DnsQuestion,
+    DnsRecordType,
+    DnsResourceRecord,
+    DNS_PORT,
+    Ipv4Packet,
+    UdpDatagram,
+)
+from ..records import Observation
+from .base import ExplorerModule, RunResult
+from .subnetmask import SubnetMaskModule
+
+__all__ = ["DnsExplorer"]
+
+#: gateway naming conventions: a first label ending in one of these
+#: suffixes names an interface of the gateway called <base>
+_GW_SUFFIX = re.compile(r"(?P<base>.+?)(-gw\d*|-gateway|-router|-rtr)$")
+
+
+class DnsExplorer(ExplorerModule):
+    """Zone-transfer census with gateway-inference heuristics."""
+
+    name = "DNS"
+    source = "DNS"
+    inputs = "Network number"
+    outputs = "Intfs. per gateway"
+
+    QUERY_TIMEOUT = 5.0
+    QUERY_RETRIES = 2
+    #: pacing between zone transfers.  The paper's module "creates no
+    #: more network or name server load than is caused by a secondary
+    #: DNS server" — a polite walker, not a burst of back-to-back AXFRs;
+    #: this gap is what puts the campus census in Table 4's "1 - 5
+    #: minutes" band.
+    ZONE_QUERY_GAP = 1.5
+
+    def __init__(
+        self,
+        node,
+        journal,
+        *,
+        nameserver: Ipv4Address,
+        domain: str,
+    ) -> None:
+        super().__init__(node, journal)
+        self.nameserver = nameserver
+        self.domain = domain
+        self._src_port = 5300
+
+    # ------------------------------------------------------------------
+    # Query plumbing
+    # ------------------------------------------------------------------
+
+    def _query(
+        self, result: RunResult, question: DnsQuestion
+    ) -> Optional[List[DnsResourceRecord]]:
+        """One query (AXFR chunks reassembled).  None on timeout/refusal."""
+        self._src_port += 1
+        port = self._src_port
+        answers: List[DnsResourceRecord] = []
+        state = {"done": False, "failed": False}
+
+        def complete() -> bool:
+            return state["done"] or state["failed"]
+
+        def on_packet(packet: Ipv4Packet, _nic: Nic) -> None:
+            payload = packet.payload
+            if not isinstance(payload, UdpDatagram) or payload.dst_port != port:
+                return
+            message = payload.payload
+            if not isinstance(message, DnsMessage) or message.op is not DnsOp.RESPONSE:
+                return
+            if message.question != question:
+                return
+            result.replies_received += 1
+            if message.rcode != "NOERROR":
+                state["failed"] = True
+                return
+            answers.extend(message.answers)
+            if question.rtype is DnsRecordType.AXFR:
+                # A zone transfer ends with the zone's SOA record.
+                if any(r.rtype is DnsRecordType.SOA for r in message.answers):
+                    state["done"] = True
+            else:
+                state["done"] = True
+
+        remove = self.node.add_ip_listener(on_packet)
+        try:
+            for _attempt in range(self.QUERY_RETRIES):
+                self.node.send_udp(
+                    self.nameserver,
+                    DNS_PORT,
+                    payload=DnsMessage(op=DnsOp.QUERY, question=question),
+                    src_port=port,
+                )
+                result.packets_sent += 1
+                if self.wait_until(complete, self.QUERY_TIMEOUT):
+                    break
+        finally:
+            remove()
+        if state["failed"] or not state["done"]:
+            return None
+        return [r for r in answers if r.rtype is not DnsRecordType.SOA]
+
+    # ------------------------------------------------------------------
+    # Main entry
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        network: Optional[Ipv4Address] = None,
+        prefix: int = 16,
+        record_all: bool = False,
+        **directive,
+    ) -> RunResult:
+        """Census the reverse tree of *network* (default: the network
+        containing the node's own address) and the forward domain."""
+        result = self._begin()
+        if network is None:
+            own = self.node.primary_nic().ip
+            natural = own.natural_mask()
+            prefix = natural.prefix_length
+            network = Ipv4Address(own.value & natural.value)
+
+        # -- Phase 1a: descend the reverse tree via zone transfers ------
+        # "descending recursively into the DNS tree starting from a
+        # specific point": the apex transfer yields NS delegations,
+        # which are walked depth-first until PTR leaves appear.
+        ip_to_names: Dict[Ipv4Address, List[str]] = defaultdict(list)
+        apex = reverse_zone_for_network(network, prefix)
+        pending = [apex]
+        walked = set()
+        while pending:
+            zone = pending.pop()
+            if zone in walked:
+                continue
+            walked.add(zone)
+            if len(walked) > 1:
+                self.sim.run_for(self.ZONE_QUERY_GAP)
+            records = self._query(result, DnsQuestion(zone, DnsRecordType.AXFR))
+            if records is None:
+                result.notes.append(f"zone transfer of {zone} failed")
+                if zone == apex:
+                    return self._finish(result)
+                continue
+            for record in records:
+                if record.rtype is DnsRecordType.NS:
+                    pending.append(record.name)
+                elif record.rtype is DnsRecordType.PTR:
+                    ip = _ip_from_reverse_name(record.name)
+                    if ip is not None and record.rdata not in ip_to_names[ip]:
+                        ip_to_names[ip].append(record.rdata)
+
+        # -- Phase 1b: the forward zone (A records; multi-A heuristic) --
+        name_to_ips: Dict[str, Set[Ipv4Address]] = defaultdict(set)
+        hinfo_count = wks_count = 0
+        forward = self._query(result, DnsQuestion(self.domain, DnsRecordType.AXFR))
+        if forward is not None:
+            for record in forward:
+                if record.rtype is DnsRecordType.A:
+                    try:
+                        name_to_ips[record.name].add(Ipv4Address.parse(record.rdata))
+                    except ValueError:
+                        continue
+                elif record.rtype is DnsRecordType.HINFO:
+                    hinfo_count += 1
+                elif record.rtype is DnsRecordType.WKS:
+                    wks_count += 1
+        for ip, names in ip_to_names.items():
+            for name in names:
+                name_to_ips[name].add(ip)
+
+        # -- Phase 1c: mask from one of the first hosts discovered ------
+        # (the name server itself, per the paper's footnote).
+        mask = self._discover_mask(result)
+
+        # -- Phase 2: CPU-bound gateway search ---------------------------
+        gateways = self._infer_gateways(name_to_ips, ip_to_names)
+
+        # -- Reporting ----------------------------------------------------
+        self._report(result, ip_to_names, gateways, mask, record_all=record_all)
+        result.discovered["interfaces"] = len(ip_to_names)
+        result.discovered["hinfo_records"] = hinfo_count
+        result.discovered["wks_records"] = wks_count
+        return self._finish(result)
+
+    # ------------------------------------------------------------------
+
+    def _discover_mask(self, result: RunResult) -> Netmask:
+        mask_module = SubnetMaskModule(self.node, self.journal)
+        mask_result = mask_module.run(
+            addresses=[self.nameserver], use_negative_cache=False
+        )
+        result.packets_sent += mask_result.packets_sent
+        records = self.journal.interfaces_by_ip(str(self.nameserver))
+        for record in records:
+            if record.subnet_mask:
+                return Netmask.parse(record.subnet_mask)
+        result.notes.append("name server ignored mask request; assuming /24")
+        return Netmask.from_prefix(24)
+
+    @staticmethod
+    def _base_name(name: str) -> str:
+        """Strip gateway-convention suffixes from the first label."""
+        first, _, rest = name.partition(".")
+        match = _GW_SUFFIX.match(first)
+        if match:
+            first = match.group("base")
+        return f"{first}.{rest}" if rest else first
+
+    def _infer_gateways(
+        self,
+        name_to_ips: Dict[str, Set[Ipv4Address]],
+        ip_to_names: Dict[Ipv4Address, List[str]],
+    ) -> Dict[str, Set[Ipv4Address]]:
+        """Group interfaces into gateways via the three heuristics."""
+        groups: Dict[str, Set[Ipv4Address]] = defaultdict(set)
+        # Multi-A and -gw-suffix matching collapse into base-name groups.
+        for name, ips in name_to_ips.items():
+            groups[self._base_name(name)].update(ips)
+        # Multiple names for one address: merge those names' groups.
+        for ip, names in ip_to_names.items():
+            if len(names) < 2:
+                continue
+            bases = {self._base_name(name) for name in names}
+            if len(bases) < 2:
+                continue
+            keeper = sorted(bases)[0]
+            for other in sorted(bases)[1:]:
+                groups[keeper].update(groups.pop(other, set()))
+        return {
+            base: ips for base, ips in groups.items() if len(ips) >= 2
+        }
+
+    def _report(
+        self,
+        result: RunResult,
+        ip_to_names: Dict[Ipv4Address, List[str]],
+        gateways: Dict[str, Set[Ipv4Address]],
+        mask: Netmask,
+        *,
+        record_all: bool,
+    ) -> None:
+        gateway_members: Set[Ipv4Address] = set()
+        for ips in gateways.values():
+            gateway_members.update(ips)
+
+        # Subnet census: host counts and high/low addresses per subnet.
+        per_subnet: Dict[Subnet, List[Ipv4Address]] = defaultdict(list)
+        for ip in ip_to_names:
+            per_subnet[Subnet.containing(ip, mask)].append(ip)
+        for subnet, members in sorted(per_subnet.items(), key=lambda kv: str(kv[0])):
+            _record, changed = self.journal.ensure_subnet(
+                str(subnet),
+                source=self.name,
+                mask=str(mask),
+                host_count=len(members),
+                lowest_address=str(min(members)),
+                highest_address=str(max(members)),
+            )
+            if changed:
+                result.changes += 1
+
+        # Interface records: gateway members always; plain hosts only if
+        # the Journal already knows the interface (or record_all).
+        interface_ids: Dict[Ipv4Address, int] = {}
+        for ip, names in sorted(ip_to_names.items()):
+            is_member = ip in gateway_members
+            if not is_member and not record_all:
+                if not self.journal.interfaces_by_ip(str(ip)):
+                    continue
+            record = self.report(
+                result,
+                Observation(source=self.name, ip=str(ip), dns_name=names[0]),
+            )
+            interface_ids[ip] = record.record_id
+
+        gateway_subnets: Set[Subnet] = set()
+        for base, ips in sorted(gateways.items()):
+            member_ids = [interface_ids[ip] for ip in sorted(ips) if ip in interface_ids]
+            if not member_ids:
+                continue
+            gateway, _created = self.journal.ensure_gateway(
+                source=self.name, name=base, interface_ids=member_ids
+            )
+            for ip in sorted(ips):
+                subnet = Subnet.containing(ip, mask)
+                self.journal.link_gateway_subnet(
+                    gateway.record_id, str(subnet), source=self.name
+                )
+                gateway_subnets.add(subnet)
+        result.discovered["subnets"] = len(per_subnet)
+        result.discovered["gateways"] = len(gateways)
+        result.discovered["gateway_subnets"] = len(gateway_subnets)
+
+
+def _ip_from_reverse_name(name: str) -> Optional[Ipv4Address]:
+    if not name.endswith(".in-addr.arpa"):
+        return None
+    labels = name[: -len(".in-addr.arpa")].split(".")
+    if len(labels) != 4:
+        return None
+    try:
+        return Ipv4Address.parse(".".join(reversed(labels)))
+    except ValueError:
+        return None

@@ -1,0 +1,85 @@
+"""Multi-vantage traceroute (paper future work, implemented).
+
+"Because it will receive ICMP Time Exceeded messages from only the
+single closest interface on the routers along the traced path, the
+Traceroute module will only discover half the interfaces traversed.
+Running this module from multiple locations in the network will acquire
+more complete information about the router interface addresses."
+
+:class:`MultiVantageTraceroute` coordinates one
+:class:`~repro.core.explorers.traceroute.TracerouteModule` per vantage
+point against a *shared* journal — the remote-execution capability the
+paper planned for the Discovery Manager.  Because all vantages write
+into one Journal, interface records merge and gateways accumulate the
+interfaces each single run could not see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...netsim.addresses import Subnet
+from ...netsim.node import Node
+from .base import RunResult
+from .traceroute import TracerouteModule
+
+__all__ = ["MultiVantageTraceroute"]
+
+
+@dataclass
+class MultiVantageResult:
+    """Combined outcome plus the per-vantage breakdown."""
+
+    per_vantage: Dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def packets_sent(self) -> int:
+        return sum(result.packets_sent for result in self.per_vantage.values())
+
+    @property
+    def confirmed_subnets(self) -> int:
+        return max(
+            (result.discovered.get("confirmed_subnets", 0)
+             for result in self.per_vantage.values()),
+            default=0,
+        )
+
+    def interfaces_discovered(self) -> int:
+        return sum(
+            result.discovered.get("gateway_interfaces", 0)
+            for result in self.per_vantage.values()
+        )
+
+
+class MultiVantageTraceroute:
+    """Traceroute from several monitors into one shared Journal."""
+
+    def __init__(self, monitors: Sequence[Node], journal) -> None:
+        if not monitors:
+            raise ValueError("at least one vantage point is required")
+        self.monitors = list(monitors)
+        self.journal = journal
+        self.modules = [TracerouteModule(node, journal) for node in self.monitors]
+
+    def run(
+        self,
+        *,
+        targets: Optional[Sequence[Subnet]] = None,
+        stop_subnets: Sequence[Subnet] = (),
+        start_ttl: int = 1,
+    ) -> MultiVantageResult:
+        """Trace from every vantage point in turn (the Journal merges)."""
+        combined = MultiVantageResult()
+        for node, module in zip(self.monitors, self.modules):
+            result = module.run(
+                targets=targets, stop_subnets=stop_subnets, start_ttl=start_ttl
+            )
+            combined.per_vantage[node.name] = result
+        return combined
+
+    def distinct_gateway_interfaces(self) -> int:
+        """Gateway-member interface records now in the shared Journal."""
+        return sum(
+            len(gateway.interface_ids) for gateway in self.journal.all_gateways()
+        )

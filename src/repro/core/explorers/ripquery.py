@@ -1,0 +1,112 @@
+"""RIP Query Explorer Module (paper future work, implemented).
+
+"We plan to use directed probes to discover routing information, via
+the RIP Request and RIP Poll queries.  The major advantage of doing so
+is that these requests and replies can be routed through a network,
+thus providing access to routing information on subnets other than just
+the local subnet.  A problem, however, is that not all routers use RIP
+or respond properly."
+
+Unlike RIPwatch, this module is active and reaches beyond the attached
+wire: it unicasts RIP Requests at known (or suspected) gateway
+addresses and records the advertised routes from whoever answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ...netsim.addresses import Ipv4Address, Netmask, Subnet
+from ...netsim.nic import Nic
+from ...netsim.packet import Ipv4Packet, RipCommand, RipPacket
+from ..records import Observation
+from .base import ExplorerModule, RunResult
+
+__all__ = ["RipQuery"]
+
+
+class RipQuery(ExplorerModule):
+    """Directed RIP Request/Poll prober."""
+
+    name = "RIPquery"
+    source = "RIP"
+    inputs = "Gateway addresses"
+    outputs = "Routes per gateway; remote subnets"
+
+    QUERY_TIMEOUT = 5.0
+    PROBE_INTERVAL = 1.0
+    #: mask assumed when classifying advertised addresses from afar
+    ASSUMED_PREFIX = 24
+
+    def run(
+        self,
+        *,
+        targets: Optional[Iterable[Ipv4Address]] = None,
+        use_poll: bool = False,
+        **directive,
+    ) -> RunResult:
+        """Query each target (default: every Journal interface that
+        belongs to a gateway) for its routing table."""
+        result = self._begin()
+        if targets is None:
+            targets = [
+                Ipv4Address.parse(record.ip)
+                for record in self.journal.all_interfaces()
+                if record.ip is not None and record.gateway_id is not None
+            ]
+        targets = list(dict.fromkeys(targets))
+        command = RipCommand.POLL if use_poll else RipCommand.REQUEST
+        responses: Dict[Ipv4Address, Dict[Ipv4Address, int]] = {}
+
+        def on_rip(node, nic: Nic, packet: Ipv4Packet, rip: RipPacket) -> None:
+            if rip.command is not RipCommand.RESPONSE:
+                return
+            if packet.src not in pending:
+                return
+            table = responses.setdefault(packet.src, {})
+            for entry in rip.entries:
+                best = table.get(entry.address)
+                if best is None or entry.metric < best:
+                    table[entry.address] = entry.metric
+
+        pending: Set[Ipv4Address] = set(targets)
+        remove = self.node.add_rip_listener(on_rip)
+        try:
+            for target in targets:
+                self.node.send_ip(
+                    Ipv4Packet(
+                        src=self.node.primary_nic().ip,
+                        dst=target,
+                        ttl=Ipv4Packet.DEFAULT_TTL,
+                        payload=RipPacket(command=command),
+                    )
+                )
+                result.packets_sent += 1
+                self.sim.run_for(self.PROBE_INTERVAL)
+            self.wait_until(lambda: len(responses) >= len(pending), self.QUERY_TIMEOUT)
+        finally:
+            remove()
+
+        subnets: Set[Subnet] = set()
+        mask = Netmask.from_prefix(self.ASSUMED_PREFIX)
+        for source, table in sorted(responses.items()):
+            record = self.report(
+                result,
+                Observation(source=self.name, ip=str(source), rip_source=True),
+            )
+            gateway, _created = self.journal.ensure_gateway(
+                source=self.name, interface_ids=[record.record_id]
+            )
+            for address in table:
+                subnet = Subnet.containing(address, mask)
+                subnets.add(subnet)
+                _rec, changed = self.journal.ensure_subnet(
+                    str(subnet), source=self.name
+                )
+                if changed:
+                    result.changes += 1
+        result.replies_received = len(responses)
+        result.discovered["responders"] = len(responses)
+        result.discovered["silent"] = len(targets) - len(responses)
+        result.discovered["subnets"] = len(subnets)
+        return self._finish(result)

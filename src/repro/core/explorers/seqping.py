@@ -1,0 +1,85 @@
+"""Sequential Ping Explorer Module.
+
+"The Sequential Ping Explorer Module is the simplest and most reliable
+of the modules, because virtually every host implements the ICMP Echo
+Request/Reply protocol.  The load presented to the network is low,
+because request packets are sent only once every two seconds. ... If
+the module receives no response to a packet after issuing one request
+to each destination address, it sends one more request packet to each
+destination that did not respond."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set
+
+from ...netsim.addresses import Ipv4Address, Subnet
+from ...netsim.nic import Nic
+from ...netsim.packet import IcmpPacket, IcmpType, Ipv4Packet
+from ..records import Observation
+from .base import ExplorerModule, RunResult
+
+__all__ = ["SequentialPing"]
+
+_ident_counter = itertools.count(0x5ED0)
+
+
+class SequentialPing(ExplorerModule):
+    """ICMP echo sweep over an address range, one probe per two seconds."""
+
+    name = "SeqPing"
+    source = "ICMP"
+    inputs = "IP address range"
+    outputs = "Intf. IP addr."
+
+    #: seconds between probes (paper: request packets every two seconds)
+    PROBE_INTERVAL = 2.0
+    #: passes over the address list (initial sweep + one retry sweep)
+    MAX_PASSES = 2
+
+    def run(
+        self,
+        *,
+        subnet: Optional[Subnet] = None,
+        addresses: Optional[Iterable[Ipv4Address]] = None,
+        **directive,
+    ) -> RunResult:
+        result = self._begin()
+        nic = self.node.primary_nic()
+        if addresses is None:
+            target = subnet or nic.subnet
+            addresses = list(target.hosts())
+        targets: List[Ipv4Address] = [a for a in addresses if a != nic.ip]
+
+        ident = next(_ident_counter)
+        responders: Set[Ipv4Address] = set()
+
+        def on_packet(packet: Ipv4Packet, _nic: Nic) -> None:
+            payload = packet.payload
+            if (
+                isinstance(payload, IcmpPacket)
+                and payload.icmp_type is IcmpType.ECHO_REPLY
+                and payload.ident == ident
+            ):
+                responders.add(packet.src)
+
+        remove = self.node.add_ip_listener(on_packet)
+        try:
+            pending = list(targets)
+            for _sweep in range(self.MAX_PASSES):
+                if not pending:
+                    break
+                for seq, address in enumerate(pending):
+                    self.node.send_icmp_echo(address, ident=ident, seq=seq)
+                    result.packets_sent += 1
+                    self.sim.run_for(self.PROBE_INTERVAL)
+                pending = [a for a in pending if a not in responders]
+        finally:
+            remove()
+
+        for address in sorted(responders):
+            self.report(result, Observation(source=self.name, ip=str(address)))
+        result.replies_received = len(responders)
+        result.discovered["interfaces"] = len(responders)
+        return self._finish(result)

@@ -1,0 +1,119 @@
+"""Subnet Mask Explorer Module.
+
+"The third ICMP Explorer Module is based on ICMP mask request/reply
+messages for determining the subnet mask of a network interface.  This
+is not as widely implemented as the echo request/reply. ... Fremont
+uses this feature of ICMP to discover and record the subnet masks of
+all the interfaces that it has already discovered."
+
+Non-responders are negatively cached (the paper's future-work negative
+caching, implemented), so the Discovery Manager does not keep paying
+for queries known to fail.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+from ...netsim.addresses import Ipv4Address
+from ...netsim.nic import Nic
+from ...netsim.packet import IcmpPacket, IcmpType, Ipv4Packet
+from ..records import Observation
+from .base import ExplorerModule, RunResult
+
+__all__ = ["SubnetMaskModule"]
+
+_ident_counter = itertools.count(0x3A50)
+
+
+class SubnetMaskModule(ExplorerModule):
+    """ICMP mask-request sweep over already-discovered interfaces."""
+
+    name = "SubnetMasks"
+    source = "ICMP"
+    inputs = "IP address"
+    outputs = "Subnet Masks"
+
+    #: paper Table 4: ".5 pkts/sec", i.e. one request per two seconds
+    PROBE_INTERVAL = 2.0
+    MAX_PASSES = 2
+    #: how long a known non-responder stays negatively cached
+    NEGATIVE_TTL = 7 * 24 * 3600.0
+
+    def run(
+        self,
+        *,
+        addresses: Optional[Iterable[Ipv4Address]] = None,
+        use_negative_cache: bool = True,
+        **directive,
+    ) -> RunResult:
+        """Query masks for *addresses*, defaulting to every Journal
+        interface that has an IP but no recorded mask."""
+        result = self._begin()
+        if addresses is None:
+            addresses = [
+                Ipv4Address.parse(record.ip)
+                for record in self.journal.all_interfaces()
+                if record.ip is not None and record.subnet_mask is None
+            ]
+        targets: List[Ipv4Address] = []
+        for address in addresses:
+            if use_negative_cache and self.journal.negative_check(
+                "subnet-mask", str(address)
+            ):
+                result.notes.append(f"{address}: negatively cached, skipped")
+                continue
+            targets.append(address)
+
+        ident = next(_ident_counter)
+        masks: Dict[Ipv4Address, str] = {}
+
+        def on_packet(packet: Ipv4Packet, _nic: Nic) -> None:
+            payload = packet.payload
+            if (
+                isinstance(payload, IcmpPacket)
+                and payload.icmp_type is IcmpType.MASK_REPLY
+                and payload.ident == ident
+                and payload.mask is not None
+            ):
+                masks[packet.src] = str(payload.mask)
+
+        remove = self.node.add_ip_listener(on_packet)
+        try:
+            pending = list(targets)
+            for _sweep in range(self.MAX_PASSES):
+                if not pending:
+                    break
+                for seq, address in enumerate(pending):
+                    self.node.send_ip(
+                        Ipv4Packet(
+                            src=self.node.primary_nic().ip,
+                            dst=address,
+                            ttl=Ipv4Packet.DEFAULT_TTL,
+                            payload=IcmpPacket(
+                                IcmpType.MASK_REQUEST, ident=ident, seq=seq
+                            ),
+                        )
+                    )
+                    result.packets_sent += 1
+                    self.sim.run_for(self.PROBE_INTERVAL)
+                pending = [a for a in pending if a not in masks]
+        finally:
+            remove()
+
+        for address, mask in sorted(masks.items()):
+            self.report(
+                result,
+                Observation(source=self.name, ip=str(address), subnet_mask=mask),
+            )
+        if use_negative_cache:
+            for address in targets:
+                if address not in masks:
+                    self.journal.negative_put(
+                        "subnet-mask", str(address), ttl=self.NEGATIVE_TTL
+                    )
+        result.replies_received = len(masks)
+        result.discovered["masks"] = len(masks)
+        result.discovered["silent"] = len(targets) - len(masks)
+        return self._finish(result)

@@ -1,0 +1,455 @@
+"""Traceroute Explorer Module.
+
+"Fremont's Traceroute Explorer Module uses this mechanism to determine
+the structure of the network surrounding the host on which the module
+is running ... by using the traceroute scheme to identify gateways and
+the subnets to which those gateways are connected."
+
+Key behaviours reproduced from the paper:
+
+* probes three addresses per target subnet — host zero (accepted by the
+  destination gateway as its own, pinning the gateway-subnet link) plus
+  hosts one and two;
+* a UDP port "unlikely to be used", so the destination answers with
+  ICMP Port Unreachable;
+* TTL ramp from 1 (optionally from H+1, the paper's future-work
+  starting-TTL optimisation, implemented via ``start_ttl``);
+* parallel tracing across destinations with a global limit of eight
+  packets per second and a ten-second probe timeout;
+* routing-loop detection (stop tracing a destination on a repeated
+  responder) and a stop-list of backbone subnets;
+* tolerance of the TTL-echo bug: late errors are still consumed when
+  they finally survive the return path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ...netsim.addresses import Ipv4Address, Netmask, Subnet
+from ...netsim.nic import Nic
+from ...netsim.packet import (
+    IcmpPacket,
+    IcmpType,
+    Ipv4Packet,
+    TRACEROUTE_BASE_PORT,
+    UdpDatagram,
+)
+from ..records import Observation
+from .base import ExplorerModule, RunResult
+
+__all__ = ["TracerouteModule", "TraceResult"]
+
+_src_ports = itertools.count(42000)
+
+
+@dataclass
+class _DestinationState:
+    address: Ipv4Address
+    subnet: Subnet
+    ttl: int
+    done: bool = False
+    #: ttl -> responding interface (None for a timeout at that ttl)
+    hops: Dict[int, Optional[Ipv4Address]] = field(default_factory=dict)
+    seen: Set[Ipv4Address] = field(default_factory=set)
+    consecutive_timeouts: int = 0
+    #: probes already spent on the current TTL (for per-hop retries)
+    attempts_this_ttl: int = 0
+    final_responder: Optional[Ipv4Address] = None
+    final_type: Optional[IcmpType] = None
+    note: Optional[str] = None
+
+
+@dataclass
+class TraceResult:
+    """Per-destination outcome, exposed for tests and presentation."""
+
+    address: str
+    subnet: str
+    hops: List[Optional[str]]
+    final_responder: Optional[str]
+    final_type: Optional[str]
+    note: Optional[str]
+
+
+class TracerouteModule(ExplorerModule):
+    """Parallel TTL-ramp topology prober."""
+
+    name = "Traceroute"
+    source = "ICMP"
+    inputs = "Subnets, Nets, or nothing"
+    outputs = "Intfs. per gateway; gateway-subnet links"
+
+    #: global generated-packet budget (paper: no more than eight per second)
+    RATE_LIMIT = 8.0
+    #: per-probe response timeout (paper: ten seconds)
+    PROBE_TIMEOUT = 10.0
+    #: give up on a destination after this many silent TTLs in a row.
+    #: Four covers the TTL-echo failure mode: a buggy router's replies
+    #: only survive the return path "until the TTL of the original
+    #: packet is large enough for an entire round trip".
+    MAX_CONSECUTIVE_TIMEOUTS = 4
+    #: probes per TTL before declaring that hop silent (transient losses
+    #: — e.g. a reply caught in a broadcast-reply storm — get retried)
+    PROBES_PER_TTL = 2
+    MAX_TTL = 16
+    #: destinations traced concurrently (bounds outstanding packets)
+    MAX_ACTIVE = 24
+    #: addresses probed per subnet: host zero, one, and two
+    ADDRESSES_PER_SUBNET = 3
+    #: mask assumed for router interfaces with no recorded mask
+    ASSUMED_PREFIX = 24
+
+    def __init__(self, node, journal) -> None:
+        super().__init__(node, journal)
+        self.traces: List[TraceResult] = []
+        self._via: Optional[Ipv4Address] = None
+
+    # ------------------------------------------------------------------
+    # Main entry
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        targets: Optional[Sequence[Subnet]] = None,
+        stop_subnets: Sequence[Subnet] = (),
+        start_ttl: int = 1,
+        via: Optional[Ipv4Address] = None,
+        **directive,
+    ) -> RunResult:
+        """Trace toward every subnet in *targets* (default: all subnets
+        recorded in the Journal, e.g. from RIPwatch hints).
+
+        ``via`` engages loose source routing: every probe is steered
+        through the named router first — the paper's planned technique
+        "to look for multiple paths in the network".
+        """
+        result = self._begin()
+        self._via = via
+        if targets is None:
+            targets = self._targets_from_journal()
+        destinations: List[_DestinationState] = []
+        for subnet in targets:
+            for index in range(min(self.ADDRESSES_PER_SUBNET, subnet.size)):
+                destinations.append(
+                    _DestinationState(
+                        address=subnet.host(index), subnet=subnet, ttl=start_ttl
+                    )
+                )
+
+        self._result = result
+        self._stop_subnets = list(stop_subnets)
+        self._outstanding: Dict[int, Tuple[_DestinationState, int, object]] = {}
+        self._unfinished = len(destinations)
+        self._queue = list(destinations)
+        self._next_send_time = self.sim.now
+
+        # Watchdog: even with a hostile network (replies the module has
+        # never seen before), the run must terminate.  The bound is the
+        # worst case every destination walking the full TTL ladder.
+        worst_case = (
+            len(destinations)
+            * self.MAX_TTL
+            * self.PROBES_PER_TTL
+            * self.PROBE_TIMEOUT
+            / max(1, self.MAX_ACTIVE)
+        ) + 600.0
+        deadline = self.sim.now + worst_case
+        remove = self.node.add_ip_listener(self._on_packet)
+        try:
+            for _slot in range(min(self.MAX_ACTIVE, len(self._queue))):
+                self._launch_next()
+            while self._unfinished > 0:
+                if not self.sim.step():
+                    break
+                if self.sim.now > deadline:
+                    result.notes.append(
+                        f"watchdog expired with {self._unfinished} "
+                        "destination(s) unresolved"
+                    )
+                    for state in destinations:
+                        self._finish_destination(state, note="watchdog expired")
+                    break
+        finally:
+            remove()
+
+        self.traces = [
+            TraceResult(
+                address=str(d.address),
+                subnet=str(d.subnet),
+                hops=[
+                    str(d.hops[t]) if d.hops.get(t) is not None else None
+                    for t in sorted(d.hops)
+                ],
+                final_responder=(
+                    str(d.final_responder) if d.final_responder else None
+                ),
+                final_type=d.final_type.value if d.final_type else None,
+                note=d.note,
+            )
+            for d in destinations
+        ]
+        self._report_findings(result, destinations)
+        return self._finish(result)
+
+    def _targets_from_journal(self) -> List[Subnet]:
+        targets = []
+        for record in self.journal.all_subnets():
+            if record.subnet is None:
+                continue
+            try:
+                targets.append(Subnet.parse(record.subnet))
+            except ValueError:
+                continue
+        if targets:
+            return targets
+        # Nothing known yet: examine the directly connected subnets.
+        return [nic.subnet for nic in self.node.nics]
+
+    # ------------------------------------------------------------------
+    # Probe scheduling
+    # ------------------------------------------------------------------
+
+    def _launch_next(self) -> None:
+        while self._queue:
+            state = self._queue.pop(0)
+            if state.done:
+                continue
+            self._send_probe(state)
+            return
+
+    def _send_probe(self, state: _DestinationState) -> None:
+        if state.done:
+            return
+        if self._via is None:
+            dst, source_route = state.address, ()
+        else:
+            dst, source_route = self._via, (state.address,)
+        packet = Ipv4Packet(
+            src=self.node.primary_nic().ip,
+            dst=dst,
+            ttl=state.ttl,
+            payload=UdpDatagram(
+                src_port=next(_src_ports),
+                dst_port=TRACEROUTE_BASE_PORT + state.ttl,
+                payload=("traceroute-probe",),
+            ),
+            source_route=source_route,
+        )
+        ident = packet.ident
+        send_at = max(self.sim.now, self._next_send_time)
+        self._next_send_time = send_at + 1.0 / self.RATE_LIMIT
+        probe_ttl = state.ttl
+
+        def transmit() -> None:
+            if state.done:
+                self._outstanding.pop(ident, None)
+                return
+            self.node.send_ip(packet)
+            self._result.packets_sent += 1
+
+        self.sim.schedule_at(send_at, transmit)
+        timeout_event = self.sim.schedule_at(
+            send_at + self.PROBE_TIMEOUT, lambda: self._on_timeout(ident)
+        )
+        self._outstanding[ident] = (state, probe_ttl, timeout_event)
+
+    def _advance(self, state: _DestinationState) -> None:
+        """Ramp the TTL or give up, after the current probe resolved."""
+        if state.done:
+            return
+        state.ttl += 1
+        state.attempts_this_ttl = 0
+        if state.ttl > self.MAX_TTL:
+            self._finish_destination(state, note="TTL ceiling reached")
+            return
+        self._send_probe(state)
+
+    def _finish_destination(self, state: _DestinationState, *, note: Optional[str] = None) -> None:
+        if state.done:
+            return
+        state.done = True
+        if note is not None:
+            state.note = note
+        self._unfinished -= 1
+        self._launch_next()
+
+    # ------------------------------------------------------------------
+    # Reply handling
+    # ------------------------------------------------------------------
+
+    def _on_packet(self, packet: Ipv4Packet, _nic: Nic) -> None:
+        payload = packet.payload
+        if not isinstance(payload, IcmpPacket) or payload.original is None:
+            return
+        # Only Time Exceeded and Unreachable resolve a probe.  Other
+        # ICMP about our probes (e.g. a Redirect for a doglegged first
+        # hop) must not consume the outstanding entry — the probe is
+        # still in flight.
+        if (
+            payload.icmp_type is not IcmpType.TIME_EXCEEDED
+            and not payload.icmp_type.is_unreachable
+        ):
+            return
+        entry = self._outstanding.pop(payload.original.ident, None)
+        if entry is None:
+            return
+        state, probe_ttl, timeout_event = entry
+        timeout_event.cancel()
+        if state.done:
+            return
+        self._result.replies_received += 1
+        state.consecutive_timeouts = 0
+        responder = packet.src
+
+        if payload.icmp_type is IcmpType.TIME_EXCEEDED:
+            state.hops[probe_ttl] = responder
+            if responder in state.seen:
+                self._finish_destination(state, note=f"routing loop at {responder}")
+                return
+            state.seen.add(responder)
+            if any(responder in stop for stop in self._stop_subnets):
+                self._finish_destination(
+                    state, note=f"reached stop network at {responder}"
+                )
+                return
+            self._advance(state)
+        elif payload.icmp_type.is_unreachable:
+            state.final_responder = responder
+            state.final_type = payload.icmp_type
+            self._finish_destination(state)
+
+    def _on_timeout(self, ident: int) -> None:
+        entry = self._outstanding.pop(ident, None)
+        if entry is None:
+            return
+        state, probe_ttl, _event = entry
+        if state.done:
+            return
+        state.attempts_this_ttl += 1
+        if state.attempts_this_ttl < self.PROBES_PER_TTL:
+            # Retry the same hop once; a single loss (collision, busy
+            # router) should not silence the whole hop.
+            self._send_probe(state)
+            return
+        state.hops[probe_ttl] = None
+        state.consecutive_timeouts += 1
+        if state.consecutive_timeouts >= self.MAX_CONSECUTIVE_TIMEOUTS:
+            self._finish_destination(state, note="no response (gave up)")
+            return
+        self._advance(state)
+
+    # ------------------------------------------------------------------
+    # Turning traces into Journal records
+    # ------------------------------------------------------------------
+
+    def _subnet_of(self, ip: Ipv4Address) -> Subnet:
+        """Best-known subnet containing *ip*: the Journal's recorded mask
+        for that interface, else the assumed campus prefix."""
+        records = self.journal.interfaces_by_ip(str(ip))
+        for record in records:
+            mask = record.subnet_mask
+            if mask:
+                try:
+                    return Subnet.containing(ip, Netmask.parse(mask))
+                except ValueError:
+                    continue
+        return Subnet.containing(ip, Netmask.from_prefix(self.ASSUMED_PREFIX))
+
+    def _report_findings(
+        self, result: RunResult, destinations: List[_DestinationState]
+    ) -> None:
+        gateway_interfaces: Set[Ipv4Address] = set()
+        # (router interface ip, subnet it is attached to)
+        links: Set[Tuple[Ipv4Address, Subnet]] = set()
+        confirmed_subnets: Set[Subnet] = set()
+        plain_interfaces: Set[Ipv4Address] = set()
+        # pairs of interface addresses known to be one gateway.  "The
+        # gateway should then send a final ICMP Time Exceeded message as
+        # it decrements the TTL to zero": a gateway decrements before
+        # accepting host-zero (or failing ARP toward the subnet), so the
+        # hop-h Time Exceeded and the hop-(h+1) terminal reply for the
+        # same destination come from two interfaces of one device.
+        same_device: Set[Tuple[Ipv4Address, Ipv4Address]] = set()
+
+        for state in destinations:
+            path: List[Ipv4Address] = [
+                state.hops[t] for t in sorted(state.hops) if state.hops[t] is not None
+            ]
+            for position, router in enumerate(path):
+                gateway_interfaces.add(router)
+                links.add((router, self._subnet_of(router)))
+                if position + 1 < len(path):
+                    # The next hop's near interface shares a subnet with
+                    # this router: both are attached to it.
+                    links.add((router, self._subnet_of(path[position + 1])))
+            final = state.final_responder
+            if final is None:
+                continue
+            if state.final_type is IcmpType.DEST_UNREACHABLE_PORT:
+                confirmed_subnets.add(state.subnet)
+                if final == state.address and state.address != state.subnet.host_zero:
+                    # An ordinary node answered for its own address
+                    # without decrementing: no same-device inference.
+                    plain_interfaces.add(final)
+                else:
+                    # Host-zero answered by the destination gateway: the
+                    # reply's own source address pins the gateway-subnet
+                    # attachment, and the gateway's Time Exceeded one
+                    # TTL earlier names its receiving interface.
+                    gateway_interfaces.add(final)
+                    links.add((final, state.subnet))
+                    previous_hop = state.hops.get(state.ttl - 1)
+                    if previous_hop is not None and previous_hop != final:
+                        same_device.add((previous_hop, final))
+            elif state.final_type is IcmpType.DEST_UNREACHABLE_HOST:
+                # The destination gateway vouched for the subnet even
+                # though the probed address is unoccupied; it, too,
+                # decremented before failing, so the same-device
+                # inference applies.
+                confirmed_subnets.add(state.subnet)
+                gateway_interfaces.add(final)
+                links.add((final, state.subnet))
+                previous_hop = state.hops.get(state.ttl - 1)
+                if previous_hop is not None and previous_hop != final:
+                    same_device.add((previous_hop, final))
+
+        for address in sorted(plain_interfaces - gateway_interfaces):
+            self.report(result, Observation(source=self.name, ip=str(address)))
+        interface_records: Dict[Ipv4Address, int] = {}
+        for address in sorted(gateway_interfaces):
+            record = self.report(result, Observation(source=self.name, ip=str(address)))
+            interface_records[address] = record.record_id
+
+        gateways_before = len(self.journal.all_gateways())
+        linked_subnets: Set[Subnet] = set(confirmed_subnets)
+        # Same-device pairs first, so the per-interface pass below finds
+        # and extends the merged records instead of creating singletons.
+        for near, far in sorted(same_device):
+            self.journal.ensure_gateway(
+                source=self.name,
+                interface_ids=[interface_records[near], interface_records[far]],
+            )
+        for address in sorted(gateway_interfaces):
+            gateway, _changed = self.journal.ensure_gateway(
+                source=self.name, interface_ids=[interface_records[address]]
+            )
+            for link_address, subnet in sorted(links, key=lambda l: (l[0], str(l[1]))):
+                if link_address != address:
+                    continue
+                self.journal.link_gateway_subnet(
+                    gateway.record_id, str(subnet), source=self.name
+                )
+                linked_subnets.add(subnet)
+        for subnet in sorted(confirmed_subnets, key=str):
+            self.journal.ensure_subnet(str(subnet), source=self.name)
+
+        result.discovered["gateway_interfaces"] = len(gateway_interfaces)
+        result.discovered["gateways"] = max(
+            0, len(self.journal.all_gateways()) - gateways_before
+        )
+        result.discovered["subnets"] = len(linked_subnets)
+        result.discovered["confirmed_subnets"] = len(confirmed_subnets)

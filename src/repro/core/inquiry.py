@@ -1,0 +1,236 @@
+"""Inquiry agents: asking the Journal operational questions.
+
+The paper opens with a scenario: the Classics department's server is
+unreachable, and what the manager needs is "the tool that will tell you
+what the route is supposed to be to get to the Classics subnet" — plus
+the knowledge that the route runs through a workstation-gateway in the
+Athletics department that somebody unplugged.
+
+:class:`NetworkPicture` is that tool: a query facade over a discovered
+Journal.  It answers *where is this host*, *what is the designed route
+between these subnets*, *which gateways carry it and when were they
+last seen alive*, and *what changed recently* — all from discovery
+data, no live probes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.addresses import Ipv4Address, Netmask, Subnet
+from .correlate import Correlator, TopologyGraph
+from .journal import Journal
+from .records import GatewayRecord, InterfaceRecord
+
+__all__ = ["NetworkPicture", "RouteHop", "RouteExplanation"]
+
+
+@dataclass
+class RouteHop:
+    """One gateway along a designed route."""
+
+    gateway_id: int
+    gateway_name: str
+    from_subnet: str
+    to_subnet: str
+    #: seconds since any interface of this gateway was last verified by
+    #: a live (non-DNS) observation; None if never
+    silent_for: Optional[float] = None
+
+    #: a gateway quieter than this is flagged in the rendering, seconds
+    SILENCE_THRESHOLD = 600.0
+
+    def describe(self) -> str:
+        if self.silent_for is None:
+            health = "never verified live"
+        elif self.silent_for > self.SILENCE_THRESHOLD:
+            health = f"SILENT for {self.silent_for:.0f}s"
+        else:
+            health = f"alive {self.silent_for:.0f}s ago"
+        return (
+            f"{self.from_subnet} --[{self.gateway_name}]--> {self.to_subnet}"
+            f"  ({health})"
+        )
+
+
+@dataclass
+class RouteExplanation:
+    """The designed route between two subnets, hop by hop."""
+
+    source: str
+    destination: str
+    hops: List[RouteHop] = field(default_factory=list)
+    reachable: bool = False
+
+    def suspects(self, *, silent_threshold: float = 600.0) -> List[RouteHop]:
+        """Hops whose gateway has gone quiet — the likely culprits."""
+        return [
+            hop
+            for hop in self.hops
+            if hop.silent_for is None or hop.silent_for > silent_threshold
+        ]
+
+    def describe(self) -> str:
+        if not self.reachable:
+            return (
+                f"no discovered route from {self.source} to {self.destination}"
+            )
+        lines = [f"designed route {self.source} -> {self.destination}:"]
+        lines.extend(f"  {hop.describe()}" for hop in self.hops)
+        return "\n".join(lines)
+
+
+class NetworkPicture:
+    """Read-only operational queries over a discovered Journal."""
+
+    def __init__(self, journal: Journal, *, default_prefix: int = 24) -> None:
+        self.journal = journal
+        self.default_prefix = default_prefix
+        self._correlator = Correlator(journal, default_prefix=default_prefix)
+
+    # ------------------------------------------------------------------
+    # Host and interface questions
+    # ------------------------------------------------------------------
+
+    def where_is(self, what: str) -> List[InterfaceRecord]:
+        """Find interface records by IP address or DNS name."""
+        try:
+            Ipv4Address.parse(what)
+        except ValueError:
+            return self.journal.interfaces_by_name(what)
+        return self.journal.interfaces_by_ip(what)
+
+    def subnet_of(self, what: str) -> Optional[Subnet]:
+        """Which subnet does this host or address live on?"""
+        records = self.where_is(what)
+        for record in records:
+            subnet = self._correlator.subnet_of_record(record)
+            if subnet is not None:
+                return subnet
+        return None
+
+    def last_seen(self, what: str) -> Optional[float]:
+        """Seconds since the newest live (non-DNS) verification."""
+        times = []
+        for record in self.where_is(what):
+            times.extend(
+                attribute.last_verified_live
+                for attribute in record.attributes.values()
+                if attribute.last_verified_live is not None
+            )
+        if not times:
+            return None
+        return self.journal.now - max(times)
+
+    # ------------------------------------------------------------------
+    # Topology questions
+    # ------------------------------------------------------------------
+
+    def _gateway_silence(self, gateway: GatewayRecord) -> Optional[float]:
+        times = []
+        for interface_id in gateway.interface_ids:
+            record = self.journal.interfaces.get(interface_id)
+            if record is None:
+                continue
+            times.extend(
+                attribute.last_verified_live
+                for attribute in record.attributes.values()
+                if attribute.last_verified_live is not None
+            )
+        if not times:
+            return None
+        return self.journal.now - max(times)
+
+    def route_between(self, source: str, destination: str) -> RouteExplanation:
+        """The designed route between two subnets (BFS over the
+        discovered gateway-subnet incidence graph)."""
+        explanation = RouteExplanation(source=source, destination=destination)
+        graph = self._correlator.topology()
+        if source not in graph.subnets or destination not in graph.subnets:
+            return explanation
+        # BFS over subnets; edges are gateways.
+        parent: Dict[str, Tuple[str, int]] = {}
+        visited = {source}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            if current == destination:
+                break
+            for gateway_id in graph.subnets.get(current, []):
+                _name, subnet_keys = graph.gateways.get(gateway_id, ("", []))
+                for neighbour in subnet_keys:
+                    if neighbour in visited:
+                        continue
+                    visited.add(neighbour)
+                    parent[neighbour] = (current, gateway_id)
+                    queue.append(neighbour)
+        if destination not in visited:
+            return explanation
+        # Walk back from the destination.
+        chain: List[Tuple[str, int, str]] = []
+        node = destination
+        while node != source:
+            previous, gateway_id = parent[node]
+            chain.append((previous, gateway_id, node))
+            node = previous
+        chain.reverse()
+        explanation.reachable = True
+        for from_subnet, gateway_id, to_subnet in chain:
+            gateway = self.journal.gateways.get(gateway_id)
+            explanation.hops.append(
+                RouteHop(
+                    gateway_id=gateway_id,
+                    gateway_name=(
+                        gateway.name if gateway and gateway.name
+                        else f"gateway-{gateway_id}"
+                    ),
+                    from_subnet=from_subnet,
+                    to_subnet=to_subnet,
+                    silent_for=(
+                        self._gateway_silence(gateway) if gateway else None
+                    ),
+                )
+            )
+        return explanation
+
+    def gateways_for(self, subnet_key: str) -> List[GatewayRecord]:
+        """The local gateways serving a subnet."""
+        record = self.journal.subnet_by_key(subnet_key)
+        if record is None:
+            return []
+        return [
+            self.journal.gateways[gateway_id]
+            for gateway_id in record.gateway_ids
+            if gateway_id in self.journal.gateways
+        ]
+
+    # ------------------------------------------------------------------
+    # Change questions
+    # ------------------------------------------------------------------
+
+    def what_changed_since(self, when: float) -> List[str]:
+        """Human-readable list of Journal changes after *when*."""
+        changes: List[str] = []
+        for record in self.journal.all_interfaces():
+            for name, attribute in sorted(record.attributes.items()):
+                if attribute.last_changed > when and attribute.history:
+                    old_value, _until = attribute.history[-1]
+                    changes.append(
+                        f"interface {record.ip or record.record_id}: {name} "
+                        f"changed {old_value!r} -> {attribute.value!r}"
+                    )
+                elif attribute.first_discovered > when:
+                    changes.append(
+                        f"interface {record.ip or record.record_id}: {name} "
+                        f"discovered = {attribute.value!r}"
+                    )
+        for gateway in self.journal.all_gateways():
+            for subnet_key, attribute in sorted(gateway.connected_subnets.items()):
+                if attribute.first_discovered > when:
+                    changes.append(
+                        f"gateway {gateway.name or gateway.record_id}: "
+                        f"attached to {subnet_key}"
+                    )
+        return changes

@@ -1,0 +1,548 @@
+"""The Journal: Fremont's central repository of discovered information.
+
+"Just as Fremont the explorer kept a dated journal of his activities,
+the Fremont system records discovered information in a central
+repository, which we call the Journal."
+
+Records are grouped into interfaces, gateways, and subnets.  Interface
+records are indexed by three AVL trees (Ethernet address, IP address,
+DNS name); subnet records by a fourth (subnet address).  Gateways are
+reached through their member interfaces.  Lists are ordered by time of
+last modification, most recently changed last, as in the paper.
+
+Merge semantics implement the paper's conflict philosophy: an
+observation pairing a known IP with a *different* Ethernet address does
+not overwrite — it creates a second record, because "multiple interface
+records [with] the same network layer address for different media
+access addresses" is precisely what the analysis programs look for.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .avl import AvlTree
+from .records import (
+    Attribute,
+    GatewayRecord,
+    InterfaceRecord,
+    Observation,
+    Quality,
+    SubnetRecord,
+)
+
+__all__ = ["Journal"]
+
+#: identity fields: conflicting values here split records instead of
+#: overwriting (the conflict itself is a finding)
+_IDENTITY_FIELDS = ("ip", "mac")
+
+
+def ip_key(ip: str) -> str:
+    """Zero-padded dotted quad, so lexicographic order equals numeric
+    order and the IP AVL tree supports meaningful range scans."""
+    return ".".join(f"{int(part):03d}" for part in ip.split("."))
+
+
+def _identity(value: str) -> str:
+    return value
+
+
+#: per-field index key normalisers
+_KEY_FUNCS = {"ip": ip_key, "mac": _identity, "dns_name": _identity}
+
+
+class Journal:
+    """In-memory journal with AVL indexes and timestamped records."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        #: time source; defaults to a counter so the Journal is usable
+        #: standalone, but normally wired to the simulator clock
+        self._clock = clock or _StepClock()
+        self.interfaces: Dict[int, InterfaceRecord] = {}
+        self.gateways: Dict[int, GatewayRecord] = {}
+        self.subnets: Dict[int, SubnetRecord] = {}
+        self.by_ip: AvlTree[str, int] = AvlTree()
+        self.by_mac: AvlTree[str, int] = AvlTree()
+        self.by_name: AvlTree[str, int] = AvlTree()
+        self.by_subnet: AvlTree[str, int] = AvlTree()
+        self.observations_applied = 0
+        self.changes_recorded = 0
+        #: negative cache (future-work feature): key -> expiry time
+        self._negative: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # Interface observations
+    # ------------------------------------------------------------------
+
+    def observe_interface(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
+        """Merge one sighting.  Returns (record, anything_changed)."""
+        now = self.now
+        self.observations_applied += 1
+        record = self._match_record(observation)
+        created = record is None
+        if record is None:
+            record = InterfaceRecord()
+            self.interfaces[record.record_id] = record
+        changed = created
+        for name, value in observation.fields().items():
+            old_value = record.get(name)
+            if record.set(name, value, now, observation.source, observation.quality):
+                changed = True
+                self._reindex(record, name, old_value, record.get(name))
+        if changed:
+            self.changes_recorded += 1
+        return record, changed
+
+    def _match_record(self, observation: Observation) -> Optional[InterfaceRecord]:
+        """Find the record this observation belongs to, if any."""
+        ip, mac = observation.ip, observation.mac
+        if ip is not None and mac is not None:
+            holders = self._records_for(self.by_ip, ip_key(ip))
+            exact = [r for r in holders if r.mac == mac]
+            if exact:
+                return self._freshest(exact)
+            # A record with this IP and no MAC yet can be claimed.
+            claimable = [r for r in holders if r.mac is None]
+            if claimable:
+                return self._freshest(claimable)
+            # Likewise a record with this MAC and no IP.
+            claimable = [
+                r for r in self._records_for(self.by_mac, mac) if r.ip is None
+            ]
+            if claimable:
+                return self._freshest(claimable)
+            # Conflict with every existing holder: a brand-new record.
+            return None
+        if ip is not None:
+            matches = self._records_for(self.by_ip, ip_key(ip))
+            return self._freshest(matches) if matches else None
+        if mac is not None:
+            matches = self._records_for(self.by_mac, mac)
+            return self._freshest(matches) if matches else None
+        if observation.dns_name is not None:
+            matches = self._records_for(self.by_name, observation.dns_name)
+            return self._freshest(matches) if matches else None
+        return None
+
+    def _records_for(self, index: AvlTree, key: str) -> List[InterfaceRecord]:
+        return [self.interfaces[rid] for rid in index.get(key) if rid in self.interfaces]
+
+    @staticmethod
+    def _freshest(records: List[InterfaceRecord]) -> InterfaceRecord:
+        return max(records, key=lambda r: (r.last_verified, r.record_id))
+
+    def _reindex(
+        self,
+        record: InterfaceRecord,
+        field: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+    ) -> None:
+        index = {"ip": self.by_ip, "mac": self.by_mac, "dns_name": self.by_name}.get(field)
+        if index is None:
+            return
+        normalise = _KEY_FUNCS[field]
+        if old_value is not None and old_value != new_value:
+            index.remove(normalise(old_value), record.record_id)
+        if new_value is not None and old_value != new_value:
+            index.insert(normalise(new_value), record.record_id)
+
+    # ------------------------------------------------------------------
+    # Interface queries
+    # ------------------------------------------------------------------
+
+    def interfaces_by_ip(self, ip: str) -> List[InterfaceRecord]:
+        return self._records_for(self.by_ip, ip_key(ip))
+
+    def interfaces_by_mac(self, mac: str) -> List[InterfaceRecord]:
+        return self._records_for(self.by_mac, mac)
+
+    def interfaces_by_name(self, name: str) -> List[InterfaceRecord]:
+        return self._records_for(self.by_name, name)
+
+    def interfaces_in_ip_range(self, low: str, high: str) -> List[InterfaceRecord]:
+        """Numeric range scan over the IP index (dotted-quad arguments)."""
+        return [
+            self.interfaces[rid]
+            for _, rid in self.by_ip.range(ip_key(low), ip_key(high))
+        ]
+
+    def all_interfaces(self) -> List[InterfaceRecord]:
+        """All interface records, least recently modified first."""
+        return sorted(
+            self.interfaces.values(), key=lambda r: (r.last_modified, r.record_id)
+        )
+
+    def stale_interfaces(self, *, older_than: float) -> List[InterfaceRecord]:
+        """Interfaces whose last verification predates *older_than*."""
+        return [
+            record
+            for record in self.all_interfaces()
+            if record.last_verified < older_than
+        ]
+
+    def delete_interface(self, record_id: int) -> bool:
+        record = self.interfaces.pop(record_id, None)
+        if record is None:
+            return False
+        for field, index in (
+            ("ip", self.by_ip),
+            ("mac", self.by_mac),
+            ("dns_name", self.by_name),
+        ):
+            value = record.get(field)
+            if value is not None:
+                index.remove(_KEY_FUNCS[field](value), record_id)
+        for gateway in self.gateways.values():
+            if record_id in gateway.interface_ids:
+                gateway.interface_ids.remove(record_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Gateways
+    # ------------------------------------------------------------------
+
+    def gateway_for_interface(self, interface_id: int) -> Optional[GatewayRecord]:
+        for gateway in self.gateways.values():
+            if interface_id in gateway.interface_ids:
+                return gateway
+        return None
+
+    def ensure_gateway(
+        self,
+        *,
+        source: str,
+        name: Optional[str] = None,
+        interface_ids: Iterable[int] = (),
+    ) -> Tuple[GatewayRecord, bool]:
+        """Find or create the gateway containing any of *interface_ids*
+        (or named *name*), then absorb the rest of the members."""
+        now = self.now
+        interface_ids = list(interface_ids)
+        gateway: Optional[GatewayRecord] = None
+        for interface_id in interface_ids:
+            gateway = self.gateway_for_interface(interface_id)
+            if gateway is not None:
+                break
+        if gateway is None and name is not None:
+            gateway = next(
+                (g for g in self.gateways.values() if g.name == name), None
+            )
+        created = gateway is None
+        if gateway is None:
+            gateway = GatewayRecord()
+            self.gateways[gateway.record_id] = gateway
+        changed = created
+        if name is not None and gateway.set("name", name, now, source):
+            changed = True
+        for interface_id in interface_ids:
+            other = self.gateway_for_interface(interface_id)
+            if other is not None and other is not gateway:
+                changed = self._merge_gateways(gateway, other, now) or changed
+            elif gateway.add_interface(interface_id, now):
+                changed = True
+            self.interfaces[interface_id].set(
+                "gateway_id", gateway.record_id, now, source
+            )
+        if changed:
+            self.changes_recorded += 1
+        return gateway, changed
+
+    def _merge_gateways(self, keeper: GatewayRecord, other: GatewayRecord, now: float) -> bool:
+        """Two partial gateway records turn out to be one device."""
+        changed = False
+        for interface_id in other.interface_ids:
+            if keeper.add_interface(interface_id, now):
+                changed = True
+            record = self.interfaces.get(interface_id)
+            if record is not None:
+                record.set("gateway_id", keeper.record_id, now, "journal-merge")
+        for subnet_key, attribute in other.connected_subnets.items():
+            if subnet_key not in keeper.connected_subnets:
+                keeper.connected_subnets[subnet_key] = attribute
+                changed = True
+        if other.name is not None and keeper.name is None:
+            keeper.set("name", other.name, now, "journal-merge")
+        # Re-point subnet attachments at the keeper.
+        for subnet in self.subnets.values():
+            if other.record_id in subnet.gateway_ids:
+                subnet.gateway_ids.remove(other.record_id)
+                subnet.attach_gateway(keeper.record_id, now)
+        del self.gateways[other.record_id]
+        return changed
+
+    def link_gateway_subnet(self, gateway_id: int, subnet_key: str, *, source: str) -> bool:
+        """Record that a gateway is attached to a subnet (both sides)."""
+        now = self.now
+        gateway = self.gateways[gateway_id]
+        changed = gateway.attach_subnet(subnet_key, now, source)
+        subnet, subnet_changed = self.ensure_subnet(subnet_key, source=source)
+        changed = subnet.attach_gateway(gateway_id, now) or changed or subnet_changed
+        if changed:
+            self.changes_recorded += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # Subnets
+    # ------------------------------------------------------------------
+
+    def ensure_subnet(
+        self,
+        subnet_key: str,
+        *,
+        source: str,
+        quality: str = Quality.GOOD,
+        **stats: object,
+    ) -> Tuple[SubnetRecord, bool]:
+        """Find or create a subnet record; *stats* may carry mask,
+        host_count, lowest_address, highest_address."""
+        now = self.now
+        existing_ids = self.by_subnet.get(subnet_key)
+        created = not existing_ids
+        if existing_ids:
+            record = self.subnets[existing_ids[0]]
+        else:
+            record = SubnetRecord()
+            self.subnets[record.record_id] = record
+            self.by_subnet.insert(subnet_key, record.record_id)
+        changed = created
+        if record.set("subnet", subnet_key, now, source, quality):
+            changed = True
+        for name, value in stats.items():
+            if value is None:
+                continue
+            if record.set(name, value, now, source, quality):
+                changed = True
+        if changed:
+            self.changes_recorded += 1
+        return record, changed
+
+    def subnet_by_key(self, subnet_key: str) -> Optional[SubnetRecord]:
+        ids = self.by_subnet.get(subnet_key)
+        return self.subnets[ids[0]] if ids else None
+
+    def all_subnets(self) -> List[SubnetRecord]:
+        return sorted(self.subnets.values(), key=lambda r: (r.last_modified, r.record_id))
+
+    def all_gateways(self) -> List[GatewayRecord]:
+        return sorted(self.gateways.values(), key=lambda r: (r.last_modified, r.record_id))
+
+    # ------------------------------------------------------------------
+    # Replication: absorbing records from another site's Journal
+    # ------------------------------------------------------------------
+
+    def interfaces_modified_since(self, when: float) -> List[InterfaceRecord]:
+        """Interface records touched after *when* (predicate query:
+        "limit exchanged data to the parts that are needed")."""
+        return [r for r in self.all_interfaces() if r.last_modified > when]
+
+    def gateways_modified_since(self, when: float) -> List[GatewayRecord]:
+        return [r for r in self.all_gateways() if r.last_modified > when]
+
+    def subnets_modified_since(self, when: float) -> List[SubnetRecord]:
+        return [r for r in self.all_subnets() if r.last_modified > when]
+
+    def absorb_interface(self, foreign: InterfaceRecord) -> Tuple[InterfaceRecord, bool]:
+        """Merge a record from a replicated Journal, preserving its
+        original timestamps (unlike observe_interface, which stamps the
+        local clock).  Returns (local record, anything changed)."""
+        probe = Observation(
+            source="replica",
+            ip=foreign.ip,
+            mac=foreign.mac,
+            dns_name=foreign.dns_name,
+        )
+        record = self._match_record(probe)
+        created = record is None
+        if record is None:
+            record = InterfaceRecord()
+            record.created_at = foreign.created_at
+            self.interfaces[record.record_id] = record
+        changed = created
+        for name, theirs in foreign.attributes.items():
+            ours = record.attributes.get(name)
+            if ours is None:
+                copied = Attribute(
+                    value=theirs.value,
+                    first_discovered=theirs.first_discovered,
+                    last_changed=theirs.last_changed,
+                    last_verified=theirs.last_verified,
+                    source=theirs.source,
+                    quality=theirs.quality,
+                    verified_by=theirs.verified_by,
+                    last_verified_live=theirs.last_verified_live,
+                )
+                copied.history = list(theirs.history)
+                record.attributes[name] = copied
+                self._reindex(record, name, None, theirs.value)
+                changed = True
+            elif theirs.value == ours.value:
+                ours.first_discovered = min(
+                    ours.first_discovered, theirs.first_discovered
+                )
+                if theirs.last_verified > ours.last_verified:
+                    ours.last_verified = theirs.last_verified
+                    ours.verified_by = theirs.verified_by
+                if theirs.last_verified_live is not None and (
+                    ours.last_verified_live is None
+                    or theirs.last_verified_live > ours.last_verified_live
+                ):
+                    ours.last_verified_live = theirs.last_verified_live
+            elif theirs.last_changed > ours.last_changed:
+                old_value = ours.value
+                ours.change(
+                    theirs.value, theirs.last_changed, theirs.source, theirs.quality
+                )
+                ours.last_verified = theirs.last_verified
+                self._reindex(record, name, old_value, theirs.value)
+                changed = True
+        record.last_modified = max(record.last_modified, foreign.last_modified)
+        if changed:
+            self.changes_recorded += 1
+        return record, changed
+
+    def absorb_gateway(
+        self,
+        foreign: GatewayRecord,
+        interface_id_map: Dict[int, int],
+    ) -> Tuple[GatewayRecord, bool]:
+        """Merge a foreign gateway record; member ids translate through
+        *interface_id_map* (foreign record id -> local record id)."""
+        member_ids = [
+            interface_id_map[interface_id]
+            for interface_id in foreign.interface_ids
+            if interface_id in interface_id_map
+        ]
+        gateway, changed = self.ensure_gateway(
+            source="replica", name=foreign.name, interface_ids=member_ids
+        )
+        for subnet_key, theirs in foreign.connected_subnets.items():
+            ours = gateway.connected_subnets.get(subnet_key)
+            if ours is None:
+                gateway.connected_subnets[subnet_key] = Attribute(
+                    value=theirs.value,
+                    first_discovered=theirs.first_discovered,
+                    last_changed=theirs.last_changed,
+                    last_verified=theirs.last_verified,
+                    source=theirs.source,
+                    quality=theirs.quality,
+                    verified_by=theirs.verified_by,
+                    last_verified_live=theirs.last_verified_live,
+                )
+                changed = True
+            else:
+                ours.first_discovered = min(
+                    ours.first_discovered, theirs.first_discovered
+                )
+                ours.last_verified = max(ours.last_verified, theirs.last_verified)
+            subnet_record, _ = self.ensure_subnet(subnet_key, source="replica")
+            subnet_record.attach_gateway(gateway.record_id, self.now)
+        return gateway, changed
+
+    def absorb_subnet(self, foreign: SubnetRecord) -> Tuple[SubnetRecord, bool]:
+        """Merge a foreign subnet record (stats follow freshest wins)."""
+        if foreign.subnet is None:
+            raise ValueError("foreign subnet record has no subnet key")
+        record, changed = self.ensure_subnet(foreign.subnet, source="replica")
+        for name, theirs in foreign.attributes.items():
+            ours = record.attributes.get(name)
+            if ours is None:
+                record.attributes[name] = Attribute(
+                    value=theirs.value,
+                    first_discovered=theirs.first_discovered,
+                    last_changed=theirs.last_changed,
+                    last_verified=theirs.last_verified,
+                    source=theirs.source,
+                    quality=theirs.quality,
+                    verified_by=theirs.verified_by,
+                    last_verified_live=theirs.last_verified_live,
+                )
+                changed = True
+            elif theirs.last_changed > ours.last_changed and theirs.value != ours.value:
+                ours.change(
+                    theirs.value, theirs.last_changed, theirs.source, theirs.quality
+                )
+                changed = True
+        record.last_modified = max(record.last_modified, foreign.last_modified)
+        return record, changed
+
+    # ------------------------------------------------------------------
+    # Negative cache (future-work feature, implemented)
+    # ------------------------------------------------------------------
+
+    def negative_put(self, kind: str, key: str, *, ttl: float) -> None:
+        """Remember that *key* of *kind* is known unavailable until now+ttl."""
+        self._negative[(kind, key)] = self.now + ttl
+
+    def negative_check(self, kind: str, key: str) -> bool:
+        """True if the datum is negatively cached (skip re-discovery)."""
+        expiry = self._negative.get((kind, key))
+        if expiry is None:
+            return False
+        if expiry < self.now:
+            del self._negative[(kind, key)]
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Accounting & persistence
+    # ------------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "interfaces": len(self.interfaces),
+            "gateways": len(self.gateways),
+            "subnets": len(self.subnets),
+        }
+
+    def paper_equivalent_bytes(self) -> int:
+        """Storage footprint using the paper's per-record struct sizes
+        (Table 2): 200 B/interface, 84 B/gateway, 76 B/subnet."""
+        return (
+            len(self.interfaces) * InterfaceRecord.PAPER_BYTES
+            + len(self.gateways) * GatewayRecord.PAPER_BYTES
+            + len(self.subnets) * SubnetRecord.PAPER_BYTES
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        from . import wire
+
+        return wire.journal_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object], clock: Optional[Callable[[], float]] = None) -> "Journal":
+        from . import wire
+
+        return wire.journal_from_dict(data, clock=clock)
+
+    def save(self, path: str) -> None:
+        """Write the journal to disk (the Journal Server does this
+        "periodically and at termination")."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str, clock: Optional[Callable[[], float]] = None) -> "Journal":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle), clock=clock)
+
+
+class _StepClock:
+    """Monotonic fallback clock for standalone Journal use."""
+
+    def __init__(self) -> None:
+        self._tick = 0.0
+
+    def __call__(self) -> float:
+        self._tick += 1.0
+        return self._tick

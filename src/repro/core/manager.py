@@ -1,0 +1,253 @@
+"""The Discovery Manager.
+
+"The purpose of the Discovery Manager is to decide what information
+needs to be collected and what Explorer Modules should be invoked to
+collect those data. ... As the Discovery Manager runs the various
+Explorer Modules, it updates the startup/history file, which is used to
+determine what modules to run next.  For example, if the Discovery
+Manager sees that 20 of 400 interfaces recorded in the Journal do not
+have subnet masks recorded and that this was true before the 'subnet
+mask' module was last invoked, then the Discovery Manager will not
+shorten the interval until the next invocation of that module."
+
+Scheduling policy: every module has a [min, max] invocation interval
+(Table 4).  A *fruitful* run (one that changed the Journal) halves the
+current interval toward the minimum; a fruitless one doubles it toward
+the maximum — exactly the ensure-effort-is-fruitful behaviour quoted
+above.  The startup/history file is a JSON document that survives
+restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..netsim.sim import Simulator
+from .correlate import Correlator
+from .explorers.base import ExplorerModule, RunResult
+
+__all__ = ["DiscoveryManager", "ModuleEntry", "DEFAULT_INTERVALS"]
+
+_HOUR = 3600.0
+_DAY = 24 * _HOUR
+_WEEK = 7 * _DAY
+
+#: Table 4 "Min/Max Interval" per module name
+DEFAULT_INTERVALS: Dict[str, Tuple[float, float]] = {
+    "ARPwatch": (2 * _HOUR, _WEEK),
+    "EtherHostProbe": (_DAY, _WEEK),
+    "SeqPing": (2 * _DAY, 2 * _WEEK),
+    "BrdcastPing": (_WEEK, 4 * _WEEK),
+    "SubnetMasks": (_DAY, _WEEK),
+    "Traceroute": (2 * _DAY, 2 * _WEEK),
+    "RIPwatch": (2 * _HOUR, _WEEK),
+    "DNS": (2 * _DAY, 2 * _WEEK),
+    "RIPquery": (2 * _DAY, 2 * _WEEK),
+    "AgentPoll": (_DAY, 2 * _WEEK),
+}
+
+#: how much run history the startup/history file retains per module
+HISTORY_KEEP = 20
+
+
+@dataclass
+class ModuleEntry:
+    """One scheduled Explorer Module."""
+
+    key: str
+    module: ExplorerModule
+    min_interval: float
+    max_interval: float
+    current_interval: float
+    directive: Dict[str, Any] = field(default_factory=dict)
+    last_run_at: Optional[float] = None
+    next_due: float = 0.0
+    history: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record_run(self, result: RunResult) -> None:
+        self.history.append(
+            {
+                "at": result.started_at,
+                "duration": result.duration,
+                "packets": result.packets_sent,
+                "observations": result.observations,
+                "changes": result.changes,
+                "fruitful": result.fruitful,
+            }
+        )
+        del self.history[:-HISTORY_KEEP]
+
+
+class DiscoveryManager:
+    """Adaptive scheduler over a set of registered Explorer Modules."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        journal,
+        *,
+        state_path: Optional[str] = None,
+        correlate_after_each: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.journal = journal
+        self.state_path = state_path
+        self.correlate_after_each = correlate_after_each
+        self.entries: Dict[str, ModuleEntry] = {}
+        self.runs_completed = 0
+        self._correlator: Optional[Correlator] = None
+        if state_path is not None and os.path.exists(state_path):
+            self._load_state()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        module: ExplorerModule,
+        *,
+        key: Optional[str] = None,
+        min_interval: Optional[float] = None,
+        max_interval: Optional[float] = None,
+        directive: Optional[Dict[str, Any]] = None,
+        first_due: Optional[float] = None,
+    ) -> ModuleEntry:
+        """Add a module to the schedule.  Intervals default to Table 4's
+        values for the module's name."""
+        key = key or module.name
+        if key in self.entries:
+            raise ValueError(f"module {key!r} already registered")
+        defaults = DEFAULT_INTERVALS.get(module.name, (_DAY, _WEEK))
+        minimum = min_interval if min_interval is not None else defaults[0]
+        maximum = max_interval if max_interval is not None else defaults[1]
+        if minimum > maximum:
+            raise ValueError(f"min interval exceeds max for {key!r}")
+        entry = ModuleEntry(
+            key=key,
+            module=module,
+            min_interval=minimum,
+            max_interval=maximum,
+            current_interval=minimum,
+            directive=dict(directive or {}),
+            next_due=self.sim.now if first_due is None else first_due,
+        )
+        # Restore persisted schedule state if the history file had it.
+        persisted = getattr(self, "_persisted", {}).get(key)
+        if persisted:
+            entry.current_interval = min(
+                maximum, max(minimum, persisted.get("current_interval", minimum))
+            )
+            entry.history = persisted.get("history", [])
+        self.entries[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def next_entry(self) -> Optional[ModuleEntry]:
+        """The registered module that is due soonest."""
+        if not self.entries:
+            return None
+        return min(self.entries.values(), key=lambda e: (e.next_due, e.key))
+
+    def run_next(self) -> Tuple[str, RunResult]:
+        """Advance the simulation to the next due module and run it."""
+        entry = self.next_entry()
+        if entry is None:
+            raise RuntimeError("no modules registered")
+        if entry.next_due > self.sim.now:
+            self.sim.run_until(entry.next_due)
+        # Directive values may be callables evaluated at invocation time
+        # ("the Discovery Manager interrogates the Journal ... to direct
+        # further discovery") — e.g. traceroute targets computed from
+        # the subnets RIPwatch has recorded by now.
+        directive = {
+            key: (value() if callable(value) else value)
+            for key, value in entry.directive.items()
+        }
+        result = entry.module.run(**directive)
+        entry.last_run_at = result.started_at
+        entry.record_run(result)
+        self._adapt(entry, result)
+        self.runs_completed += 1
+        if self.correlate_after_each:
+            self._correlate()
+        if self.state_path is not None:
+            self.save_state()
+        return entry.key, result
+
+    def run_until(self, until: float) -> List[Tuple[str, RunResult]]:
+        """Run every module invocation due before *until* (sim time)."""
+        completed: List[Tuple[str, RunResult]] = []
+        while True:
+            entry = self.next_entry()
+            if entry is None or entry.next_due > until:
+                break
+            completed.append(self.run_next())
+        if until > self.sim.now:
+            self.sim.run_until(until)
+        return completed
+
+    def _adapt(self, entry: ModuleEntry, result: RunResult) -> None:
+        """Fruitful runs shorten the interval; fruitless ones lengthen it
+        — "this ensures that the resulting exploration effort is as
+        fruitful as possible"."""
+        if result.fruitful:
+            entry.current_interval = max(
+                entry.min_interval, entry.current_interval / 2.0
+            )
+        else:
+            entry.current_interval = min(
+                entry.max_interval, entry.current_interval * 2.0
+            )
+        entry.next_due = self.sim.now + entry.current_interval
+
+    def _correlate(self) -> None:
+        from .journal import Journal
+
+        journal = getattr(self.journal, "journal", self.journal)
+        if not isinstance(journal, Journal):
+            # Remote deployment: correlation runs against snapshots (or
+            # at the Journal Server's site), not through the wire client.
+            return
+        if self._correlator is None or self._correlator.journal is not journal:
+            self._correlator = Correlator(journal)
+        self._correlator.correlate()
+
+    # ------------------------------------------------------------------
+    # Startup/history file
+    # ------------------------------------------------------------------
+
+    def save_state(self) -> None:
+        """Write the startup/history file (JSON)."""
+        if self.state_path is None:
+            raise ValueError("no state_path configured")
+        state = {
+            "format": "fremont-manager-1",
+            "modules": {
+                key: {
+                    "min_interval": entry.min_interval,
+                    "max_interval": entry.max_interval,
+                    "current_interval": entry.current_interval,
+                    "last_run_at": entry.last_run_at,
+                    "next_due": entry.next_due,
+                    "history": entry.history,
+                }
+                for key, entry in self.entries.items()
+            },
+        }
+        with open(self.state_path, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, indent=1, sort_keys=True)
+
+    def _load_state(self) -> None:
+        with open(self.state_path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+        if state.get("format") != "fremont-manager-1":
+            raise ValueError(f"unknown manager state format in {self.state_path}")
+        self._persisted: Dict[str, Dict[str, Any]] = state.get("modules", {})

@@ -1,0 +1,304 @@
+"""Presentation programs: viewing the data available in the Journal.
+
+The paper built three viewers:
+
+1. a flat dump of everything in the Journal (early debugging);
+2. a three-level interface browser (network -> subnet -> interface),
+   showing time-since-last-verification "ignoring time of last DNS
+   verification";
+3. a topology exporter feeding SunNet Manager ("the program retrieves
+   the network and gateway entries from the Journal, and dumps the data
+   in the format expected by SunNet Manager").
+
+SunNet Manager is long gone; the exporter emits the same
+element/connection structure as a documented text format, plus a DOT
+rendering for modern graph viewers — both reproduce Figure 2's content.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..netsim.addresses import Ipv4Address, Netmask, Subnet
+from .correlate import Correlator, TopologyGraph
+from .journal import Journal
+from .records import InterfaceRecord
+
+__all__ = [
+    "journal_dump",
+    "interface_report",
+    "subnet_interfaces_report",
+    "interface_detail",
+    "sunnet_export",
+    "dot_export",
+    "svg_export",
+]
+
+
+def _age(journal: Journal, when: Optional[float]) -> str:
+    if when is None:
+        return "never"
+    delta = journal.now - when
+    if delta < 120:
+        return f"{delta:.0f}s"
+    if delta < 7200:
+        return f"{delta / 60:.0f}m"
+    if delta < 172800:
+        return f"{delta / 3600:.1f}h"
+    return f"{delta / 86400:.1f}d"
+
+
+def _last_non_dns_verification(record: InterfaceRecord) -> Optional[float]:
+    times = [
+        attribute.last_verified_live
+        for attribute in record.attributes.values()
+        if attribute.last_verified_live is not None
+    ]
+    return max(times) if times else None
+
+
+# ----------------------------------------------------------------------
+# Program 1: the flat dump
+# ----------------------------------------------------------------------
+
+
+def journal_dump(journal: Journal) -> str:
+    """Everything in the Journal, one line per record."""
+    lines = [f"# journal dump at t={journal.now:.1f}"]
+    lines.append(f"# {journal.counts()}")
+    lines.append("## interfaces (least recently modified first)")
+    for record in journal.all_interfaces():
+        lines.append("  " + record.describe())
+    lines.append("## gateways")
+    for gateway in journal.all_gateways():
+        lines.append("  " + gateway.describe())
+    lines.append("## subnets")
+    for subnet in journal.all_subnets():
+        lines.append("  " + subnet.describe())
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Program 2: the three-level interface browser
+# ----------------------------------------------------------------------
+
+
+def interface_report(journal: Journal, *, network: Optional[str] = None) -> str:
+    """Level 1: all interfaces in a network, with address, DNS name, and
+    time since last (non-DNS) verification."""
+    lines = [f"{'ADDRESS':<16} {'DNS NAME':<30} {'LAST SEEN':>10}"]
+    for record in sorted(
+        journal.all_interfaces(), key=lambda r: _sort_ip(r.ip)
+    ):
+        if record.ip is None:
+            continue
+        if network is not None and not record.ip.startswith(network):
+            continue
+        last = _last_non_dns_verification(record)
+        lines.append(
+            f"{record.ip:<16} {(record.dns_name or '-'):<30} "
+            f"{_age(journal, last):>10}"
+        )
+    return "\n".join(lines)
+
+
+def subnet_interfaces_report(journal: Journal, subnet: str) -> str:
+    """Level 2: one subnet's interfaces with MAC, RIP-source and
+    gateway-membership flags."""
+    try:
+        target = Subnet.parse(subnet)
+    except ValueError:
+        raise ValueError(f"subnet must look like a.b.c.d/len, got {subnet!r}")
+    header = (
+        f"{'ADDRESS':<16} {'ETHERNET':<18} {'RIP':<4} {'GW':<4} "
+        f"{'NAME':<28}"
+    )
+    lines = [f"subnet {target}", header]
+    for record in sorted(journal.all_interfaces(), key=lambda r: _sort_ip(r.ip)):
+        if record.ip is None:
+            continue
+        try:
+            ip = Ipv4Address.parse(record.ip)
+        except ValueError:
+            continue
+        if ip not in target:
+            continue
+        lines.append(
+            f"{record.ip:<16} {(record.mac or '-'):<18} "
+            f"{'yes' if record.get('rip_source') else '-':<4} "
+            f"{'yes' if record.gateway_id is not None else '-':<4} "
+            f"{(record.dns_name or '-'):<28}"
+        )
+    return "\n".join(lines)
+
+
+def interface_detail(journal: Journal, ip: str) -> str:
+    """Level 3: every data item stored for one interface, with its
+    triple timestamps, source, and quality."""
+    records = journal.interfaces_by_ip(ip)
+    if not records:
+        return f"no interface records for {ip}"
+    lines = []
+    for record in records:
+        lines.append(f"interface record #{record.record_id} ({ip})")
+        for name in sorted(record.attributes):
+            attribute = record.attributes[name]
+            lines.append(
+                f"  {name:<14} = {attribute.value!s:<22} "
+                f"[discovered {_age(journal, attribute.first_discovered)} ago, "
+                f"changed {_age(journal, attribute.last_changed)} ago, "
+                f"verified {_age(journal, attribute.last_verified)} ago "
+                f"by {attribute.verified_by}, quality={attribute.quality}]"
+            )
+            for old_value, until in attribute.history:
+                lines.append(
+                    f"      previously {old_value!s} "
+                    f"(until {_age(journal, until)} ago)"
+                )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Program 3: topology exporters (Figure 2)
+# ----------------------------------------------------------------------
+
+
+def sunnet_export(journal: Journal) -> str:
+    """The discovered structure in a SunNet-Manager-style element file.
+
+    One ``component`` record per subnet and gateway, one ``connection``
+    record per gateway-subnet attachment — the relationships SunNet
+    Manager could not discover by itself ("Using SunNet Manager, the
+    user must enter and maintain network relationship information
+    manually.  Fremont supports this function automatically.").
+    """
+    graph = Correlator(journal).topology()
+    lines = ["! Fremont topology export (SunNet Manager element format)"]
+    for subnet_key in sorted(graph.subnets):
+        name = subnet_key.replace("/", "_")
+        lines.append(f'component.subnet "{name}" address={subnet_key}')
+    for gateway_id, (name, subnet_keys) in sorted(graph.gateways.items()):
+        lines.append(
+            f'component.gateway "{name}" id={gateway_id} '
+            f"interfaces={len(journal.gateways[gateway_id].interface_ids)}"
+            if gateway_id in journal.gateways
+            else f'component.gateway "{name}" id={gateway_id}'
+        )
+    for gateway_name, subnet_key in graph.edges():
+        lines.append(
+            f'connection "{gateway_name}" "{subnet_key.replace("/", "_")}"'
+        )
+    return "\n".join(lines)
+
+
+def dot_export(journal: Journal) -> str:
+    """The same graph as Graphviz DOT (the modern Figure 2 rendering)."""
+    graph = Correlator(journal).topology()
+    lines = [
+        "graph fremont {",
+        "  layout=neato;",
+        '  node [fontname="Helvetica"];',
+    ]
+    for subnet_key in sorted(graph.subnets):
+        lines.append(
+            f'  "{subnet_key}" [shape=ellipse, style=filled, '
+            'fillcolor=lightblue];'
+        )
+    for gateway_id, (name, _subnets) in sorted(graph.gateways.items()):
+        lines.append(f'  "gw:{name}#{gateway_id}" [shape=box, label="{name}"];')
+    for gateway_id, (name, subnet_keys) in sorted(graph.gateways.items()):
+        for subnet_key in subnet_keys:
+            lines.append(f'  "gw:{name}#{gateway_id}" -- "{subnet_key}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def svg_export(
+    journal: Journal,
+    *,
+    width: int = 1200,
+    height: int = 900,
+    seed: int = 7,
+) -> str:
+    """The discovered map rendered as a standalone SVG document.
+
+    Layout comes from a networkx spring embedding over the bipartite
+    subnet/gateway incidence graph — the self-contained replacement for
+    the SunNet Manager window of Figure 2.
+    """
+    import networkx as nx
+
+    graph = Correlator(journal).topology()
+    nxg = nx.Graph()
+    for subnet_key in graph.subnets:
+        nxg.add_node(("subnet", subnet_key))
+    for gateway_id, (name, subnet_keys) in graph.gateways.items():
+        nxg.add_node(("gateway", gateway_id))
+        for subnet_key in subnet_keys:
+            nxg.add_edge(("gateway", gateway_id), ("subnet", subnet_key))
+    if not nxg:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}"><text x="20" y="40">empty journal</text></svg>'
+        )
+    positions = nx.spring_layout(nxg, seed=seed)
+
+    margin = 60.0
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    span_x = (max(xs) - min(xs)) or 1.0
+    span_y = (max(ys) - min(ys)) or 1.0
+
+    def place(node):
+        x, y = positions[node]
+        px = margin + (x - min(xs)) / span_x * (width - 2 * margin)
+        py = margin + (y - min(ys)) / span_y * (height - 2 * margin)
+        return px, py
+
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        "<style>text{font-family:sans-serif;font-size:9px}"
+        ".subnet{fill:#cfe8ff;stroke:#336}"
+        ".gateway{fill:#ffe9b3;stroke:#863}"
+        ".link{stroke:#999;stroke-width:1}</style>",
+        f'<text x="{margin}" y="28" style="font-size:15px">'
+        "Fremont: discovered network map</text>",
+    ]
+    for gateway_id, (name, subnet_keys) in sorted(graph.gateways.items()):
+        gx, gy = place(("gateway", gateway_id))
+        for subnet_key in subnet_keys:
+            if ("subnet", subnet_key) not in positions:
+                continue
+            sx, sy = place(("subnet", subnet_key))
+            lines.append(
+                f'<line class="link" x1="{gx:.1f}" y1="{gy:.1f}" '
+                f'x2="{sx:.1f}" y2="{sy:.1f}"/>'
+            )
+    for subnet_key in sorted(graph.subnets):
+        x, y = place(("subnet", subnet_key))
+        lines.append(
+            f'<ellipse class="subnet" cx="{x:.1f}" cy="{y:.1f}" rx="34" ry="12"/>'
+            f'<text x="{x:.1f}" y="{y + 3:.1f}" text-anchor="middle">'
+            f"{subnet_key.split('/')[0]}</text>"
+        )
+    for gateway_id, (name, _subnets) in sorted(graph.gateways.items()):
+        x, y = place(("gateway", gateway_id))
+        label = name.split(".")[0]
+        lines.append(
+            f'<rect class="gateway" x="{x - 26:.1f}" y="{y - 9:.1f}" '
+            f'width="52" height="18" rx="3"/>'
+            f'<text x="{x:.1f}" y="{y + 3:.1f}" text-anchor="middle">{label}</text>'
+        )
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def _sort_ip(ip: Optional[str]):
+    if ip is None:
+        return (1, 0)
+    try:
+        return (0, Ipv4Address.parse(ip).value)
+    except ValueError:
+        return (1, 0)

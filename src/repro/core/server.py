@@ -1,0 +1,254 @@
+"""The Journal Server.
+
+"This Journal is managed by the Journal Server, which serializes
+updates, time-stamps and records the data, and answers queries from
+programs that wish to interrogate the Journal."
+
+A threaded TCP server speaking the newline-delimited JSON protocol of
+:mod:`repro.core.wire`.  All journal mutation happens under one lock —
+the serialisation point.  The server supports the paper's three primary
+requests (Store/Update, Get, Delete) plus gateway/subnet maintenance,
+the negative cache, and a full-journal dump used by analysis programs
+running elsewhere.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import wire
+from .journal import Journal
+from .records import Observation
+
+__all__ = ["JournalServer"]
+
+
+class JournalServer:
+    """Socket front-end serialising access to a :class:`Journal`."""
+
+    def __init__(self, journal: Journal, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.journal = journal
+        self._lock = threading.Lock()
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._accept_thread: Optional[threading.Thread] = None
+        self.requests_served = 0
+        #: persist here on stop() when set
+        self.persist_path: Optional[str] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._listener.getsockname()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "JournalServer":
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="journal-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        self._listener.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        if self.persist_path is not None:
+            with self._lock:
+                self.journal.save(self.persist_path)
+
+    def __enter__(self) -> "JournalServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                connection, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="journal-server-conn",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            reader = connection.makefile("rb")
+            for line in reader:
+                if not line.strip():
+                    continue
+                try:
+                    request = wire.decode_message(line)
+                    response = self._dispatch(request)
+                except wire.WireError as error:
+                    response = {"ok": False, "error": str(error)}
+                except Exception as error:  # defensive: report, keep serving
+                    response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                try:
+                    connection.sendall(wire.encode_message(response))
+                except OSError:
+                    break
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise wire.WireError(f"unknown op: {op!r}")
+        with self._lock:
+            self.requests_served += 1
+            return handler(request)
+
+    def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "counts": self.journal.counts()}
+
+    def _op_observe(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        observation = wire.observation_from_dict(request.get("observation", {}))
+        record, changed = self.journal.observe_interface(observation)
+        return {
+            "ok": True,
+            "changed": changed,
+            "record": wire.interface_to_dict(record),
+        }
+
+    def _op_get_interfaces(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        by = request.get("by", "all")
+        journal = self.journal
+        if by == "ip":
+            records = journal.interfaces_by_ip(request["key"])
+        elif by == "mac":
+            records = journal.interfaces_by_mac(request["key"])
+        elif by == "name":
+            records = journal.interfaces_by_name(request["key"])
+        elif by == "ip_range":
+            records = journal.interfaces_in_ip_range(request["low"], request["high"])
+        elif by == "stale":
+            records = journal.stale_interfaces(older_than=request["older_than"])
+        elif by == "modified_since":
+            records = journal.interfaces_modified_since(request["since"])
+        elif by == "all":
+            records = journal.all_interfaces()
+        else:
+            raise wire.WireError(f"unknown selector: {by!r}")
+        return {"ok": True, "records": [wire.interface_to_dict(r) for r in records]}
+
+    def _op_get_gateways(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if "since" in request:
+            records = self.journal.gateways_modified_since(request["since"])
+        else:
+            records = self.journal.all_gateways()
+        return {"ok": True, "records": [wire.gateway_to_dict(r) for r in records]}
+
+    def _op_get_subnets(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if "since" in request:
+            records = self.journal.subnets_modified_since(request["since"])
+        else:
+            records = self.journal.all_subnets()
+        return {"ok": True, "records": [wire.subnet_to_dict(r) for r in records]}
+
+    # -- replication -----------------------------------------------------
+
+    def _op_absorb_interface(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        foreign = wire.interface_from_dict(request["record"])
+        record, changed = self.journal.absorb_interface(foreign)
+        return {
+            "ok": True,
+            "changed": changed,
+            "record": wire.interface_to_dict(record),
+        }
+
+    def _op_absorb_gateway(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        foreign = wire.gateway_from_dict(request["record"])
+        id_map = {
+            int(key): value
+            for key, value in request.get("interface_id_map", {}).items()
+        }
+        record, changed = self.journal.absorb_gateway(foreign, id_map)
+        return {
+            "ok": True,
+            "changed": changed,
+            "record": wire.gateway_to_dict(record),
+        }
+
+    def _op_absorb_subnet(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        foreign = wire.subnet_from_dict(request["record"])
+        record, changed = self.journal.absorb_subnet(foreign)
+        return {
+            "ok": True,
+            "changed": changed,
+            "record": wire.subnet_to_dict(record),
+        }
+
+    def _op_ensure_gateway(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        record, changed = self.journal.ensure_gateway(
+            source=request.get("source", "remote"),
+            name=request.get("name"),
+            interface_ids=request.get("interface_ids", ()),
+        )
+        return {"ok": True, "changed": changed, "record": wire.gateway_to_dict(record)}
+
+    def _op_link_gateway_subnet(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        changed = self.journal.link_gateway_subnet(
+            request["gateway_id"],
+            request["subnet"],
+            source=request.get("source", "remote"),
+        )
+        return {"ok": True, "changed": changed}
+
+    def _op_ensure_subnet(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        stats = request.get("stats", {})
+        record, changed = self.journal.ensure_subnet(
+            request["subnet"],
+            source=request.get("source", "remote"),
+            quality=request.get("quality", "good"),
+            **stats,
+        )
+        return {"ok": True, "changed": changed, "record": wire.subnet_to_dict(record)}
+
+    def _op_delete_interface(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        deleted = self.journal.delete_interface(request["record_id"])
+        return {"ok": True, "deleted": deleted}
+
+    def _op_counts(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "counts": self.journal.counts()}
+
+    def _op_negative_put(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.journal.negative_put(request["kind"], request["key"], ttl=request["ttl"])
+        return {"ok": True}
+
+    def _op_negative_check(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        cached = self.journal.negative_check(request["kind"], request["key"])
+        return {"ok": True, "cached": cached}
+
+    def _op_dump(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "journal": self.journal.to_dict()}
+
+    def _op_save(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.journal.save(request["path"])
+        return {"ok": True}

@@ -1,0 +1,244 @@
+"""Wire codec for Journal records and the Journal Server protocol.
+
+The paper's components "communicate via BSD sockets"; this module
+defines the serialised form: newline-delimited JSON objects.  The same
+codec handles on-disk persistence (the Journal Server "writes to disk
+periodically and at termination").
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from .records import (
+    Attribute,
+    GatewayRecord,
+    InterfaceRecord,
+    Observation,
+    SubnetRecord,
+)
+
+__all__ = [
+    "attribute_to_dict",
+    "attribute_from_dict",
+    "interface_to_dict",
+    "interface_from_dict",
+    "gateway_to_dict",
+    "gateway_from_dict",
+    "subnet_to_dict",
+    "subnet_from_dict",
+    "observation_to_dict",
+    "observation_from_dict",
+    "journal_to_dict",
+    "journal_from_dict",
+    "encode_message",
+    "decode_message",
+    "WireError",
+]
+
+
+class WireError(ValueError):
+    """Raised for malformed wire data."""
+
+
+# ----------------------------------------------------------------------
+# Attributes
+# ----------------------------------------------------------------------
+
+
+def attribute_to_dict(attribute: Attribute) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "value": attribute.value,
+        "first": attribute.first_discovered,
+        "changed": attribute.last_changed,
+        "verified": attribute.last_verified,
+        "source": attribute.source,
+        "quality": attribute.quality,
+        "verified_by": attribute.verified_by,
+    }
+    if attribute.last_verified_live is not None:
+        data["verified_live"] = attribute.last_verified_live
+    if attribute.history:
+        data["history"] = [[value, when] for value, when in attribute.history]
+    return data
+
+
+def attribute_from_dict(data: Dict[str, Any]) -> Attribute:
+    try:
+        attribute = Attribute(
+            value=data["value"],
+            first_discovered=data["first"],
+            last_changed=data["changed"],
+            last_verified=data["verified"],
+            source=data["source"],
+            quality=data.get("quality", "good"),
+            verified_by=data.get("verified_by", ""),
+            last_verified_live=data.get("verified_live"),
+        )
+    except KeyError as missing:
+        raise WireError(f"attribute missing field {missing}") from None
+    attribute.history = [(value, when) for value, when in data.get("history", [])]
+    return attribute
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+
+
+def _base_to_dict(record) -> Dict[str, Any]:
+    return {
+        "record_id": record.record_id,
+        "created_at": record.created_at,
+        "last_modified": record.last_modified,
+        "attributes": {
+            name: attribute_to_dict(attribute)
+            for name, attribute in record.attributes.items()
+        },
+    }
+
+
+def _base_from_dict(record, data: Dict[str, Any]) -> None:
+    record.record_id = data["record_id"]
+    record.created_at = data.get("created_at")
+    record.last_modified = data.get("last_modified", 0.0)
+    record.attributes = {
+        name: attribute_from_dict(attribute_data)
+        for name, attribute_data in data.get("attributes", {}).items()
+    }
+
+
+def interface_to_dict(record: InterfaceRecord) -> Dict[str, Any]:
+    data = _base_to_dict(record)
+    data["kind"] = "interface"
+    return data
+
+
+def interface_from_dict(data: Dict[str, Any]) -> InterfaceRecord:
+    record = InterfaceRecord()
+    _base_from_dict(record, data)
+    return record
+
+
+def gateway_to_dict(record: GatewayRecord) -> Dict[str, Any]:
+    data = _base_to_dict(record)
+    data["kind"] = "gateway"
+    data["interface_ids"] = list(record.interface_ids)
+    data["connected_subnets"] = {
+        key: attribute_to_dict(attribute)
+        for key, attribute in record.connected_subnets.items()
+    }
+    return data
+
+
+def gateway_from_dict(data: Dict[str, Any]) -> GatewayRecord:
+    record = GatewayRecord()
+    _base_from_dict(record, data)
+    record.interface_ids = list(data.get("interface_ids", []))
+    record.connected_subnets = {
+        key: attribute_from_dict(attribute_data)
+        for key, attribute_data in data.get("connected_subnets", {}).items()
+    }
+    return record
+
+
+def subnet_to_dict(record: SubnetRecord) -> Dict[str, Any]:
+    data = _base_to_dict(record)
+    data["kind"] = "subnet"
+    data["gateway_ids"] = list(record.gateway_ids)
+    return data
+
+
+def subnet_from_dict(data: Dict[str, Any]) -> SubnetRecord:
+    record = SubnetRecord()
+    _base_from_dict(record, data)
+    record.gateway_ids = list(data.get("gateway_ids", []))
+    return record
+
+
+# ----------------------------------------------------------------------
+# Observations
+# ----------------------------------------------------------------------
+
+
+def observation_to_dict(observation: Observation) -> Dict[str, Any]:
+    data = {"source": observation.source, "quality": observation.quality}
+    data.update(observation.fields())
+    return data
+
+
+def observation_from_dict(data: Dict[str, Any]) -> Observation:
+    if "source" not in data:
+        raise WireError("observation missing source")
+    return Observation(
+        source=data["source"],
+        ip=data.get("ip"),
+        mac=data.get("mac"),
+        dns_name=data.get("dns_name"),
+        subnet_mask=data.get("subnet_mask"),
+        vendor=data.get("vendor"),
+        rip_source=data.get("rip_source"),
+        promiscuous_rip=data.get("promiscuous_rip"),
+        quality=data.get("quality", "good"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-journal persistence
+# ----------------------------------------------------------------------
+
+
+def journal_to_dict(journal) -> Dict[str, Any]:
+    return {
+        "format": "fremont-journal-1",
+        "interfaces": [interface_to_dict(r) for r in journal.all_interfaces()],
+        "gateways": [gateway_to_dict(r) for r in journal.all_gateways()],
+        "subnets": [subnet_to_dict(r) for r in journal.all_subnets()],
+    }
+
+
+def journal_from_dict(data: Dict[str, Any], clock: Optional[Callable[[], float]] = None):
+    from .journal import Journal, ip_key
+
+    if data.get("format") != "fremont-journal-1":
+        raise WireError(f"unknown journal format: {data.get('format')!r}")
+    journal = Journal(clock=clock)
+    for interface_data in data.get("interfaces", []):
+        record = interface_from_dict(interface_data)
+        journal.interfaces[record.record_id] = record
+        if record.ip is not None:
+            journal.by_ip.insert(ip_key(record.ip), record.record_id)
+        if record.mac is not None:
+            journal.by_mac.insert(record.mac, record.record_id)
+        if record.dns_name is not None:
+            journal.by_name.insert(record.dns_name, record.record_id)
+    for gateway_data in data.get("gateways", []):
+        record = gateway_from_dict(gateway_data)
+        journal.gateways[record.record_id] = record
+    for subnet_data in data.get("subnets", []):
+        record = subnet_from_dict(subnet_data)
+        journal.subnets[record.record_id] = record
+        if record.subnet is not None:
+            journal.by_subnet.insert(record.subnet, record.record_id)
+    return journal
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One protocol message: compact JSON plus a newline terminator."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"malformed message: {error}") from None
+    if not isinstance(message, dict):
+        raise WireError("message must be a JSON object")
+    return message

@@ -1,0 +1,116 @@
+"""Simulated network substrate for the Fremont reproduction.
+
+The paper's Explorer Modules probed a live campus internet; this
+package provides the synthetic equivalent: a discrete-event simulator
+of shared Ethernet segments, hosts, and gateways speaking ARP, ICMP,
+UDP, RIP, and DNS at packet granularity.
+"""
+
+from .addresses import (
+    Ipv4Address,
+    MacAddress,
+    Netmask,
+    OUI_VENDORS,
+    Subnet,
+    vendor_for_mac,
+)
+from .arp import ArpCache, ArpEntry
+from .campus import Campus, CampusProfile, build_campus
+from .agent import AGENT_PORT, ManagementAgent
+from .capture import CapturedFrame, FrameCapture, address_filter, protocol_filter
+from .dns import DnsServer, ZoneDatabase, reverse_name, reverse_zone_for_network
+from .gateway import Gateway, Route
+from .gdp import GdpAnnouncer, GDP_INTERVAL, GDP_PORT
+from .host import Host
+from .network import Network
+from .nic import Nic
+from .node import LIMITED_BROADCAST, Node, NodeQuirks
+from .packet import (
+    ArpOp,
+    ArpPacket,
+    DnsMessage,
+    DnsOp,
+    DnsQuestion,
+    DnsRecordType,
+    DnsResourceRecord,
+    DNS_PORT,
+    EthernetFrame,
+    EtherType,
+    IcmpPacket,
+    IcmpType,
+    Ipv4Packet,
+    RipEntry,
+    RipPacket,
+    TRACEROUTE_BASE_PORT,
+    UDP_ECHO_PORT,
+    UdpDatagram,
+)
+from .rip import PromiscuousRipHost, RipSpeaker, RIP_ADVERTISEMENT_INTERVAL
+from .segment import Segment, SegmentStats, TapHandle
+from .sim import ScheduledEvent, SimulationError, Simulator
+from .traffic import TrafficGenerator
+from . import faults
+
+__all__ = [
+    "AGENT_PORT",
+    "ArpCache",
+    "ArpEntry",
+    "ArpOp",
+    "ArpPacket",
+    "CapturedFrame",
+    "FrameCapture",
+    "address_filter",
+    "protocol_filter",
+    "GdpAnnouncer",
+    "GDP_INTERVAL",
+    "GDP_PORT",
+    "ManagementAgent",
+    "Campus",
+    "CampusProfile",
+    "DnsMessage",
+    "DnsOp",
+    "DnsQuestion",
+    "DnsRecordType",
+    "DnsResourceRecord",
+    "DnsServer",
+    "DNS_PORT",
+    "EthernetFrame",
+    "EtherType",
+    "Gateway",
+    "Host",
+    "IcmpPacket",
+    "IcmpType",
+    "Ipv4Address",
+    "Ipv4Packet",
+    "LIMITED_BROADCAST",
+    "MacAddress",
+    "Netmask",
+    "Network",
+    "Nic",
+    "Node",
+    "NodeQuirks",
+    "OUI_VENDORS",
+    "PromiscuousRipHost",
+    "RipEntry",
+    "RipPacket",
+    "RipSpeaker",
+    "RIP_ADVERTISEMENT_INTERVAL",
+    "Route",
+    "ScheduledEvent",
+    "Segment",
+    "SegmentStats",
+    "SimulationError",
+    "Simulator",
+    "Subnet",
+    "TapHandle",
+    "TrafficGenerator",
+    "TRACEROUTE_BASE_PORT",
+    "UDP_ECHO_PORT",
+    "UdpDatagram",
+    "ZoneDatabase",
+    "build_campus",
+    "faults",
+    "reverse_name",
+    "reverse_zone_for_network",
+    "vendor_for_mac",
+]

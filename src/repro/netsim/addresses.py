@@ -1,0 +1,279 @@
+"""Address primitives for the simulated network.
+
+The Fremont paper works at two layers: Medium Access Control (Ethernet)
+addresses and network-layer (IPv4) addresses.  This module provides small
+immutable value types for both, plus subnet arithmetic and the vendor
+(OUI) table the paper mentions for "determining the manufacturer of the
+discovered interface".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+__all__ = [
+    "MacAddress",
+    "Ipv4Address",
+    "Netmask",
+    "Subnet",
+    "OUI_VENDORS",
+    "vendor_for_mac",
+]
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+
+# A small table of historically plausible Organizationally Unique
+# Identifiers.  The paper notes that the MAC prefix "can be used in many
+# cases to determine the manufacturer of the discovered interface".
+OUI_VENDORS = {
+    0x080020: "Sun Microsystems",
+    0x00000C: "Cisco Systems",
+    0x08002B: "Digital Equipment",
+    0x02608C: "3Com",
+    0x0000A7: "Network Computing Devices",
+    0x00DD00: "Ungermann-Bass",
+    0x0000C0: "Western Digital",
+    0x08005A: "IBM",
+    0xAA0003: "DEC (DECnet)",
+    0x00A024: "3Com (later)",
+}
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit Ethernet (MAC layer) address."""
+
+    value: int
+
+    BROADCAST_VALUE = 0xFFFFFFFFFFFF
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= self.BROADCAST_VALUE:
+            raise ValueError(f"MAC address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` (or ``-`` separated) notation."""
+        if not _MAC_RE.match(text):
+            raise ValueError(f"not a MAC address: {text!r}")
+        return cls(int(text.replace("-", ":").replace(":", ""), 16))
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        return cls(cls.BROADCAST_VALUE)
+
+    @classmethod
+    def from_oui(cls, oui: int, serial: int) -> "MacAddress":
+        """Build an address from a 24-bit OUI and 24-bit serial number."""
+        if not 0 <= oui <= 0xFFFFFF:
+            raise ValueError(f"OUI out of range: {oui:#x}")
+        if not 0 <= serial <= 0xFFFFFF:
+            raise ValueError(f"serial out of range: {serial:#x}")
+        return cls((oui << 24) | serial)
+
+    @property
+    def oui(self) -> int:
+        """The 24-bit vendor prefix."""
+        return self.value >> 24
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == self.BROADCAST_VALUE
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{octet:02x}" for octet in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+
+def vendor_for_mac(mac: MacAddress) -> Optional[str]:
+    """Return the manufacturer name for a MAC address, if the OUI is known."""
+    return OUI_VENDORS.get(mac.oui)
+
+
+@dataclass(frozen=True, order=True)
+class Ipv4Address:
+    """A 32-bit IPv4 (network layer) address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"IPv4 address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"not an IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise ValueError(f"not an IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def octets(self) -> Tuple[int, int, int, int]:
+        return (
+            (self.value >> 24) & 0xFF,
+            (self.value >> 16) & 0xFF,
+            (self.value >> 8) & 0xFF,
+            self.value & 0xFF,
+        )
+
+    @property
+    def address_class(self) -> str:
+        """Historical class of the address (A, B, C, D, or E)."""
+        first = self.value >> 24
+        if first < 128:
+            return "A"
+        if first < 192:
+            return "B"
+        if first < 224:
+            return "C"
+        if first < 240:
+            return "D"
+        return "E"
+
+    def natural_mask(self) -> "Netmask":
+        """The classful (pre-CIDR) mask implied by the address class."""
+        prefix = {"A": 8, "B": 16, "C": 24}.get(self.address_class)
+        if prefix is None:
+            raise ValueError(f"no natural mask for class {self.address_class}")
+        return Netmask.from_prefix(prefix)
+
+    def __str__(self) -> str:
+        return ".".join(str(octet) for octet in self.octets)
+
+    def __repr__(self) -> str:
+        return f"Ipv4Address({str(self)!r})"
+
+    def __add__(self, offset: int) -> "Ipv4Address":
+        return Ipv4Address(self.value + offset)
+
+
+@dataclass(frozen=True, order=True)
+class Netmask:
+    """A contiguous IPv4 subnet mask."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"netmask out of range: {self.value:#x}")
+        # A valid mask is a run of ones followed by a run of zeros.
+        inverted = ~self.value & 0xFFFFFFFF
+        if inverted & (inverted + 1):
+            raise ValueError(f"non-contiguous netmask: {self.value:#010x}")
+
+    @classmethod
+    def from_prefix(cls, prefix: int) -> "Netmask":
+        if not 0 <= prefix <= 32:
+            raise ValueError(f"prefix length out of range: {prefix}")
+        if prefix == 0:
+            return cls(0)
+        return cls((0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF)
+
+    @classmethod
+    def parse(cls, text: str) -> "Netmask":
+        if text.startswith("/"):
+            return cls.from_prefix(int(text[1:]))
+        return cls(Ipv4Address.parse(text).value)
+
+    @property
+    def prefix_length(self) -> int:
+        return bin(self.value).count("1")
+
+    @property
+    def host_bits(self) -> int:
+        return 32 - self.prefix_length
+
+    def __str__(self) -> str:
+        return str(Ipv4Address(self.value))
+
+    def __repr__(self) -> str:
+        return f"Netmask({str(self)!r})"
+
+
+@dataclass(frozen=True, order=True)
+class Subnet:
+    """An IPv4 subnet: a network address plus a mask.
+
+    Fremont's Journal stores subnets as first-class records; traceroute
+    probes "host zero" on them, and broadcast ping targets the directed
+    broadcast address, so both are provided here.
+    """
+
+    network: Ipv4Address
+    mask: Netmask
+
+    def __post_init__(self) -> None:
+        if self.network.value & ~self.mask.value & 0xFFFFFFFF:
+            raise ValueError(
+                f"{self.network} has host bits set for mask {self.mask}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Subnet":
+        """Parse ``a.b.c.d/len`` notation."""
+        address_text, _, prefix_text = text.partition("/")
+        if not prefix_text:
+            raise ValueError(f"subnet needs a /prefix: {text!r}")
+        return cls(
+            Ipv4Address.parse(address_text),
+            Netmask.from_prefix(int(prefix_text)),
+        )
+
+    @classmethod
+    def containing(cls, address: Ipv4Address, mask: Netmask) -> "Subnet":
+        """The subnet that *address* belongs to under *mask*."""
+        return cls(Ipv4Address(address.value & mask.value), mask)
+
+    def __contains__(self, address: object) -> bool:
+        if not isinstance(address, Ipv4Address):
+            return NotImplemented
+        return (address.value & self.mask.value) == self.network.value
+
+    @property
+    def host_zero(self) -> Ipv4Address:
+        """The all-zeros host address (old-style broadcast / "this net")."""
+        return self.network
+
+    @property
+    def broadcast(self) -> Ipv4Address:
+        """The directed broadcast address (all host bits set)."""
+        return Ipv4Address(self.network.value | (~self.mask.value & 0xFFFFFFFF))
+
+    @property
+    def size(self) -> int:
+        """Total number of addresses in the subnet, including net/broadcast."""
+        return 1 << self.mask.host_bits
+
+    def host(self, index: int) -> Ipv4Address:
+        """The *index*-th address in the subnet (0 is host-zero)."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"host index {index} out of range for {self}")
+        return Ipv4Address(self.network.value + index)
+
+    def hosts(self) -> Iterator[Ipv4Address]:
+        """Iterate assignable host addresses (excludes net and broadcast)."""
+        for index in range(1, self.size - 1):
+            yield self.host(index)
+
+    def address_range(self) -> Tuple[Ipv4Address, Ipv4Address]:
+        """(first, last) assignable addresses."""
+        return self.host(1), self.host(self.size - 2)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.mask.prefix_length}"
+
+    def __repr__(self) -> str:
+        return f"Subnet({str(self)!r})"

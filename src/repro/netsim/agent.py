@@ -1,0 +1,84 @@
+"""Instrumented-device management agents (the SNMP stand-in).
+
+The paper deferred an SNMP Explorer Module ("SNMP was running on only a
+few machines in our local internet ... SNMP requires knowledge of
+community names").  To reproduce that comparison, this module provides
+the substrate: a UDP management agent that, given the correct community
+string, reports the node's interface table and routing table — the same
+data an SNMP agent's MIB-II exposes to tools like netdig.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .node import Node
+from .packet import Ipv4Packet, UdpDatagram
+
+__all__ = ["ManagementAgent", "AGENT_PORT"]
+
+#: the classic SNMP agent port
+AGENT_PORT = 161
+
+
+class ManagementAgent:
+    """A community-string-guarded management agent on one node."""
+
+    def __init__(self, node: Node, *, community: str = "public") -> None:
+        self.node = node
+        self.community = community
+        self.requests_served = 0
+        self.requests_refused = 0
+        node.register_udp_service(AGENT_PORT, self._serve)
+
+    def interface_table(self) -> List[Dict[str, str]]:
+        return [
+            {
+                "ip": str(nic.ip),
+                "mask": str(nic.mask),
+                "mac": str(nic.mac),
+            }
+            for nic in self.node.nics
+        ]
+
+    def route_table(self) -> List[Dict[str, Any]]:
+        routes = getattr(self.node, "routes", [])
+        table: List[Dict[str, Any]] = [
+            {"subnet": str(nic.subnet), "metric": 0, "via": "direct"}
+            for nic in self.node.nics
+        ]
+        table.extend(
+            {
+                "subnet": str(route.subnet),
+                "metric": route.metric,
+                "via": str(route.next_hop),
+            }
+            for route in routes
+        )
+        return table
+
+    def _serve(self, node: Node, nic, packet: Ipv4Packet, udp: UdpDatagram) -> None:
+        request = udp.payload
+        if not isinstance(request, tuple) or len(request) != 3:
+            return
+        tag, community, table = request
+        if tag != "agent-get":
+            return
+        if community != self.community:
+            # Real agents stay silent on a bad community string; probers
+            # cannot distinguish "wrong community" from "no agent".
+            self.requests_refused += 1
+            return
+        self.requests_served += 1
+        if table == "interfaces":
+            body: Any = self.interface_table()
+        elif table == "routes":
+            body = self.route_table()
+        else:
+            return
+        node.send_udp(
+            packet.src,
+            udp.src_port,
+            payload=("agent-response", table, body),
+            src_port=AGENT_PORT,
+        )

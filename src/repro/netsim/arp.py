@@ -1,0 +1,89 @@
+"""ARP cache and resolution state machine.
+
+The paper's duplicate-address detector works because Fremont "remembers
+the IP and Ethernet associations longer than the usual timeout of the
+ARP cache"; this module provides that usual, forgetful cache, together
+with the pending-packet queue a real stack keeps while a resolution is
+outstanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .addresses import Ipv4Address, MacAddress
+
+__all__ = ["ArpCache", "ArpEntry"]
+
+#: Classic BSD-ish ARP entry lifetime, in seconds.
+DEFAULT_ARP_TIMEOUT = 1200.0
+
+
+@dataclass
+class ArpEntry:
+    """One IP-to-MAC binding with its insertion time."""
+
+    ip: Ipv4Address
+    mac: MacAddress
+    learned_at: float
+
+    def age(self, now: float) -> float:
+        return now - self.learned_at
+
+
+class ArpCache:
+    """A per-interface ARP table with entry ageing.
+
+    The cache itself is passive; the owning node drives request
+    generation and calls :meth:`learn` from received ARP traffic.
+    """
+
+    def __init__(self, *, timeout: float = DEFAULT_ARP_TIMEOUT) -> None:
+        self.timeout = timeout
+        self._entries: Dict[Ipv4Address, ArpEntry] = {}
+        self._learn_hooks: List[Callable[[ArpEntry], None]] = []
+
+    def learn(self, ip: Ipv4Address, mac: MacAddress, now: float) -> ArpEntry:
+        """Insert or refresh a binding."""
+        entry = ArpEntry(ip=ip, mac=mac, learned_at=now)
+        self._entries[ip] = entry
+        for hook in self._learn_hooks:
+            hook(entry)
+        return entry
+
+    def lookup(self, ip: Ipv4Address, now: float) -> Optional[MacAddress]:
+        """Return the MAC for *ip* if a live entry exists."""
+        entry = self._entries.get(ip)
+        if entry is None:
+            return None
+        if entry.age(now) > self.timeout:
+            del self._entries[ip]
+            return None
+        return entry.mac
+
+    def entries(self, now: float) -> List[ArpEntry]:
+        """All live entries.  This is what EtherHostProbe reads back."""
+        live = []
+        expired = []
+        for ip, entry in self._entries.items():
+            if entry.age(now) > self.timeout:
+                expired.append(ip)
+            else:
+                live.append(entry)
+        for ip in expired:
+            del self._entries[ip]
+        return sorted(live, key=lambda e: e.ip)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def on_learn(self, hook: Callable[[ArpEntry], None]) -> None:
+        """Register a callback fired on every learned/refreshed binding."""
+        self._learn_hooks.append(hook)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ip: Ipv4Address) -> bool:
+        return ip in self._entries

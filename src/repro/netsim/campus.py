@@ -1,0 +1,352 @@
+"""Campus testbed generator.
+
+Reproduces the population the paper evaluated on — the University of
+Colorado campus network circa 1992 — as a seeded synthetic topology:
+
+* one class-B network (default 128.138.0.0/16),
+* a backbone subnet plus ~110 leaf subnets connected through ~74
+  gateways (114 subnet numbers assigned, 3 unused — "several of those
+  are not in use at this time"),
+* a Computer Science subnet with 56 DNS-registered interfaces of which
+  2 are stale ("we found only two entries for which there were no real
+  machines connected to the network"),
+* a subset of gateways identifiable through DNS naming conventions
+  (multi-A records, ``-gw`` suffixes) — the paper's DNS module found 31
+  gateways connecting 48 subnets,
+* a subset of leaf gateways with "gateway software problems" that make
+  their subnets invisible to traceroute (86/111 discovered),
+* 18 connected subnets whose managers never registered hosts in the
+  DNS (93/111 in DNS).
+
+The absolute counts are parameters of :class:`CampusProfile`; the
+defaults regenerate the paper's denominators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .addresses import Ipv4Address, Netmask, Subnet
+from .faults import break_gateway_icmp, remove_host
+from .gateway import Gateway
+from .host import Host
+from .network import Network
+from .node import NodeQuirks
+
+__all__ = ["CampusProfile", "Campus", "build_campus"]
+
+
+@dataclass
+class CampusProfile:
+    """Parameters of the synthetic campus (defaults match the paper)."""
+
+    seed: int = 1993
+    class_b: str = "128.138.0.0/16"
+    backbone_octet: int = 1
+    #: subnet numbers assigned by the campus hostmaster
+    assigned_subnets: int = 114
+    #: assigned but not connected to any gateway ("not in use")
+    unconnected_subnets: int = 3
+    #: connected subnets with no DNS-registered hosts
+    dnsless_subnets: int = 18
+    #: DNS-identifiable gateways: (leaf count, how many such gateways)
+    dns_gateway_mix: Sequence[Tuple[int, int]] = ((1, 16), (2, 12), (3, 3))
+    #: ordinary gateways without DNS naming conventions
+    plain_gateway_mix: Sequence[Tuple[int, int]] = ((2, 18),)
+    #: leaf gateways with broken ICMP ("gateway software problems")
+    buggy_gateway_mix: Sequence[Tuple[int, int]] = ((1, 25),)
+    #: the Table 5 subnet: its third octet and DNS population.  55
+    #: registered hosts plus the gateway's subnet interface reproduce
+    #: the paper's 56 DNS entries; 2 of them are stale.
+    cs_octet: int = 243
+    cs_registered_hosts: int = 55
+    cs_stale_hosts: int = 2
+    #: host count range for ordinary leaf subnets
+    leaf_hosts_min: int = 2
+    leaf_hosts_max: int = 6
+    #: fraction of hosts that ignore ICMP mask requests
+    mask_silent_fraction: float = 0.3
+    #: fraction of hosts that do not answer broadcast pings
+    broadcast_silent_fraction: float = 0.04
+    #: fraction of hosts with the UDP echo service enabled
+    udp_echo_fraction: float = 0.5
+    #: fraction of gateways that are SunOS workstation-gateways sharing
+    #: one station MAC across all interfaces
+    sun_gateway_fraction: float = 0.4
+    #: CS-subnet activity mix: (fraction, packets-per-hour) rows
+    activity_mix: Sequence[Tuple[float, float]] = (
+        (0.50, 3.0),   # busy workstations: talk every ~20 minutes
+        (0.30, 0.5),   # occasional: every couple of hours
+        (0.20, 0.07),  # quiet: less than twice a day
+    )
+
+
+class Campus:
+    """The generated campus plus ground-truth bookkeeping."""
+
+    def __init__(self, profile: CampusProfile) -> None:
+        self.profile = profile
+        self.network = Network(seed=profile.seed, domain="cs.colorado.edu")
+        self.rng = random.Random(profile.seed * 7919 + 17)
+        self.class_b = Subnet.parse(profile.class_b)
+        self.backbone: Optional[Subnet] = None
+        self.cs_subnet: Optional[Subnet] = None
+        self.connected: List[Subnet] = []
+        self.assigned_only: List[Subnet] = []
+        self.dnsless: List[Subnet] = []
+        self.dns_gateways: List[Gateway] = []
+        self.plain_gateways: List[Gateway] = []
+        self.buggy_gateways: List[Gateway] = []
+        self.cs_hosts: List[Host] = []
+        self.cs_stale: List[Host] = []
+        self.monitor: Optional[Host] = None
+        self.cs_monitor: Optional[Host] = None
+        self.cs_gateway: Optional[Gateway] = None
+        self._cs_uptime_order: List[Host] = []
+
+    # ------------------------------------------------------------------
+    # Ground truth accessors used by benchmarks and EXPERIMENTS.md
+    # ------------------------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def subnet_for_octet(self, octet: int) -> Subnet:
+        base = self.class_b.network.value | (octet << 8)
+        return Subnet(Ipv4Address(base), Netmask.from_prefix(24))
+
+    def cs_real_hosts(self) -> List[Host]:
+        """CS hosts that physically exist (stale DNS entries excluded)."""
+        return [host for host in self.cs_hosts if host not in self.cs_stale]
+
+    def cs_dns_total(self) -> int:
+        """DNS-registered interface count on the CS subnet — the
+        Table 5 denominator (hosts plus the gateway's interface)."""
+        assert self.cs_subnet is not None
+        return len(
+            [ip for ip in self.network.dns.reverse if ip in self.cs_subnet]
+        )
+
+    def routable_subnets(self) -> List[Subnet]:
+        return list(self.connected)
+
+    def dns_registered_subnets(self) -> List[Subnet]:
+        return [subnet for subnet in self.connected if subnet not in self.dnsless]
+
+    def traceroute_visible_subnets(self) -> List[Subnet]:
+        """Subnets not hidden behind a broken gateway (plus the backbone)."""
+        hidden = set()
+        for gateway in self.buggy_gateways:
+            for nic in gateway.nics:
+                if nic.subnet != self.backbone:
+                    hidden.add(nic.subnet)
+        return [subnet for subnet in self.connected if subnet not in hidden]
+
+    # ------------------------------------------------------------------
+    # Uptime phases (Table 5: "not all hosts up when run")
+    # ------------------------------------------------------------------
+
+    def set_cs_uptime(self, fraction: float) -> List[Host]:
+        """Power on the first *fraction* of CS hosts (stable seeded order).
+
+        The order is fixed per campus, so a larger fraction is a strict
+        superset of a smaller one — matching how a real population has a
+        core of always-on machines plus a variable fringe.
+        """
+        real = self._cs_uptime_order
+        up_count = round(len(real) * fraction)
+        powered = []
+        for position, host in enumerate(real):
+            if position < up_count:
+                host.power_on()
+                powered.append(host)
+            else:
+                host.power_off()
+        return powered
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _leaf_octets(self) -> List[int]:
+        profile = self.profile
+        total_leaves = profile.assigned_subnets - profile.unconnected_subnets - 1
+        octets: List[int] = []
+        candidate = 2
+        while len(octets) < total_leaves - 1:
+            if candidate != profile.cs_octet and candidate != profile.backbone_octet:
+                octets.append(candidate)
+            candidate += 1
+        octets.append(profile.cs_octet)
+        return octets
+
+    def _host_quirks(self) -> NodeQuirks:
+        quirks = NodeQuirks()
+        if self.rng.random() < self.profile.mask_silent_fraction:
+            quirks.responds_to_mask_request = False
+        if self.rng.random() < self.profile.broadcast_silent_fraction:
+            quirks.responds_to_broadcast_ping = False
+        quirks.udp_echo_enabled = self.rng.random() < self.profile.udp_echo_fraction
+        return quirks
+
+    def _sample_activity(self) -> float:
+        point = self.rng.random()
+        accumulated = 0.0
+        for fraction, rate in self.profile.activity_mix:
+            accumulated += fraction
+            if point <= accumulated:
+                return rate
+        return 0.0
+
+    def build(self) -> "Campus":
+        profile = self.profile
+        network = self.network
+
+        # -- subnets ----------------------------------------------------
+        self.backbone = self.subnet_for_octet(profile.backbone_octet)
+        network.add_subnet(self.backbone, name="backbone")
+        self.connected.append(self.backbone)
+
+        leaf_octets = self._leaf_octets()
+        leaves = [self.subnet_for_octet(octet) for octet in leaf_octets]
+        for leaf in leaves:
+            network.add_subnet(leaf)
+            self.connected.append(leaf)
+        self.cs_subnet = self.subnet_for_octet(profile.cs_octet)
+
+        # Assigned-but-unused subnet numbers: tracked, never built.
+        top = 250
+        for offset in range(profile.unconnected_subnets):
+            self.assigned_only.append(self.subnet_for_octet(top + offset))
+
+        # -- gateways ---------------------------------------------------
+        # Deal leaves out to gateway groups; the CS subnet must land on a
+        # healthy, DNS-identified gateway (the paper's CS department runs
+        # a well-administered subnet).
+        pool = [leaf for leaf in leaves if leaf != self.cs_subnet]
+        self.rng.shuffle(pool)
+
+        def take(count: int) -> List[Subnet]:
+            taken, pool[:] = pool[:count], pool[count:]
+            return taken
+
+        serial = 0
+        first_dns_gateway = True
+        for leaf_count, gateway_count in profile.dns_gateway_mix:
+            for _ in range(gateway_count):
+                serial += 1
+                members = take(leaf_count - 1) + [self.cs_subnet] if first_dns_gateway else take(leaf_count)
+                first_dns_gateway = False
+                gateway = network.add_gateway(
+                    f"gw{serial}",
+                    [(self.backbone, None)] + [(leaf, 1) for leaf in members],
+                    register_dns=True,
+                    gateway_name_suffix=True,
+                    shared_mac=self.rng.random() < profile.sun_gateway_fraction,
+                )
+                self.dns_gateways.append(gateway)
+                if self.cs_subnet in members:
+                    self.cs_gateway = gateway
+        for leaf_count, gateway_count in profile.plain_gateway_mix:
+            for _ in range(gateway_count):
+                serial += 1
+                members = take(leaf_count)
+                gateway = network.add_gateway(
+                    f"gw{serial}",
+                    [(self.backbone, None)] + [(leaf, 1) for leaf in members],
+                    register_dns=False,
+                    shared_mac=self.rng.random() < profile.sun_gateway_fraction,
+                )
+                self.plain_gateways.append(gateway)
+        for leaf_count, gateway_count in profile.buggy_gateway_mix:
+            for _ in range(gateway_count):
+                serial += 1
+                members = take(leaf_count)
+                gateway = network.add_gateway(
+                    f"gw{serial}",
+                    [(self.backbone, None)] + [(leaf, 254) for leaf in members],
+                    register_dns=False,
+                )
+                break_gateway_icmp(gateway)
+                self.buggy_gateways.append(gateway)
+        if pool:
+            raise RuntimeError(
+                f"gateway mix does not cover all leaves ({len(pool)} left); "
+                "adjust CampusProfile gateway mixes"
+            )
+
+        # -- DNS-less subnets -------------------------------------------
+        plain_leaves = [
+            nic.subnet
+            for gateway in self.plain_gateways + self.buggy_gateways
+            for nic in gateway.nics
+            if nic.subnet != self.backbone
+        ]
+        self.rng.shuffle(plain_leaves)
+        self.dnsless = plain_leaves[: profile.dnsless_subnets]
+
+        # -- hosts --------------------------------------------------------
+        # Host addresses start at .10: low addresses are reserved for
+        # routers by convention (and traceroute's .1/.2 probes must not
+        # accidentally find a workstation on a buggy gateway's subnet).
+        self._populate_cs_subnet()
+        for leaf in leaves:
+            if leaf == self.cs_subnet:
+                continue
+            population = self.rng.randint(profile.leaf_hosts_min, profile.leaf_hosts_max)
+            for offset in range(population):
+                network.add_host(
+                    leaf,
+                    index=10 + offset,
+                    register_dns=leaf not in self.dnsless,
+                    quirks=self._host_quirks(),
+                    activity_rate=self._sample_activity(),
+                )
+
+        # -- services and monitors ----------------------------------------
+        network.add_dns_server(self.backbone, name="ns")
+        self.monitor = network.add_host(
+            self.backbone, name="fremont", register_dns=False, activity_rate=0.0
+        )
+        self.cs_monitor = network.add_host(
+            self.cs_subnet, name="fremont-cs", register_dns=False, activity_rate=0.0
+        )
+
+        network.compute_routes()
+        if self.cs_gateway is not None:
+            network.set_default_gateway(self.cs_subnet, self.cs_gateway)
+        return self
+
+    def _populate_cs_subnet(self) -> None:
+        profile = self.profile
+        assert self.cs_subnet is not None
+        for position in range(profile.cs_registered_hosts):
+            host = self.network.add_host(
+                self.cs_subnet,
+                name=f"cs{position:02d}",
+                index=10 + position,
+                register_dns=True,
+                quirks=self._host_quirks(),
+                activity_rate=self._sample_activity(),
+            )
+            self.cs_hosts.append(host)
+        # Two entries point at machines that no longer exist; the DNS
+        # record stays (nobody reports removals).
+        stale = self.rng.sample(self.cs_hosts, profile.cs_stale_hosts)
+        for host in stale:
+            remove_host(self.network, host, scrub_dns=False)
+            self.cs_stale.append(host)
+        # Stable uptime ordering: chattier machines (servers, shared
+        # workstations) stay up; the fringe cycles.
+        real = self.cs_real_hosts()
+        self._cs_uptime_order = sorted(
+            real, key=lambda h: (-h.activity_rate, h.name)
+        )
+
+
+def build_campus(profile: Optional[CampusProfile] = None) -> Campus:
+    """Build the default paper-scale campus testbed."""
+    return Campus(profile or CampusProfile()).build()

@@ -1,0 +1,144 @@
+"""Frame capture: a tcpdump for the simulated wire.
+
+Built on the same promiscuous tap the passive Explorer Modules use, a
+:class:`FrameCapture` records frames with timestamps, supports simple
+filters (protocol, address), bounded buffers, and renders a
+tcpdump-style text dump — the debugging companion every packet-level
+system needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .addresses import Ipv4Address
+from .packet import ArpPacket, EthernetFrame, IcmpPacket, Ipv4Packet, UdpDatagram
+from .segment import Segment, TapHandle
+
+__all__ = ["CapturedFrame", "FrameCapture", "protocol_filter", "address_filter"]
+
+FrameFilter = Callable[[EthernetFrame], bool]
+
+
+@dataclass
+class CapturedFrame:
+    """One frame with its capture timestamp."""
+
+    time: float
+    frame: EthernetFrame
+
+    def describe(self) -> str:
+        return f"{self.time:11.6f}  {self.frame}"
+
+
+def protocol_filter(protocol: str) -> FrameFilter:
+    """Match by protocol name: arp / icmp / udp / rip / ip."""
+
+    def matches(frame: EthernetFrame) -> bool:
+        payload = frame.payload
+        if protocol == "arp":
+            return isinstance(payload, ArpPacket)
+        if not isinstance(payload, Ipv4Packet):
+            return False
+        if protocol == "ip":
+            return True
+        return payload.protocol == protocol
+
+    return matches
+
+
+def address_filter(address: Ipv4Address) -> FrameFilter:
+    """Match IP frames to or from *address*."""
+
+    def matches(frame: EthernetFrame) -> bool:
+        payload = frame.payload
+        if isinstance(payload, ArpPacket):
+            return address in (payload.sender_ip, payload.target_ip)
+        if isinstance(payload, Ipv4Packet):
+            return address in (payload.src, payload.dst)
+        return False
+
+    return matches
+
+
+class FrameCapture:
+    """Bounded promiscuous capture on one segment."""
+
+    def __init__(
+        self,
+        segment: Segment,
+        *,
+        frame_filter: Optional[FrameFilter] = None,
+        max_frames: int = 10_000,
+    ) -> None:
+        self.segment = segment
+        self.frame_filter = frame_filter
+        self.max_frames = max_frames
+        self.frames: List[CapturedFrame] = []
+        self.dropped = 0
+        self._tap: Optional[TapHandle] = None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "FrameCapture":
+        if self._tap is not None:
+            raise RuntimeError("capture already running")
+        self._tap = self.segment.open_tap(self._on_frame)
+        return self
+
+    def stop(self) -> "FrameCapture":
+        if self._tap is not None:
+            self._tap.close()
+            self._tap = None
+        return self
+
+    def __enter__(self) -> "FrameCapture":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _on_frame(self, frame: EthernetFrame, now: float) -> None:
+        if self.frame_filter is not None and not self.frame_filter(frame):
+            return
+        if len(self.frames) >= self.max_frames:
+            self.dropped += 1
+            return
+        self.frames.append(CapturedFrame(time=now, frame=frame))
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def clear(self) -> None:
+        self.frames.clear()
+        self.dropped = 0
+
+    def between(self, start: float, end: float) -> List[CapturedFrame]:
+        return [c for c in self.frames if start <= c.time <= end]
+
+    def dump(self, *, limit: Optional[int] = None) -> str:
+        """A tcpdump-style text rendering of the buffer."""
+        selected = self.frames if limit is None else self.frames[:limit]
+        lines = [captured.describe() for captured in selected]
+        if self.dropped:
+            lines.append(f"... {self.dropped} frame(s) dropped (buffer full)")
+        remaining = len(self.frames) - len(selected)
+        if remaining > 0:
+            lines.append(f"... {remaining} more frame(s) not shown")
+        return "\n".join(lines)
+
+    def counts_by_protocol(self) -> dict:
+        counts: dict = {}
+        for captured in self.frames:
+            payload = captured.frame.payload
+            if isinstance(payload, ArpPacket):
+                key = "arp"
+            elif isinstance(payload, Ipv4Packet):
+                key = payload.protocol
+            else:  # pragma: no cover - no other payload types exist
+                key = "other"
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,131 @@
+"""Fault injection.
+
+Each function plants one of the network problems Fremont's analysis
+programs are designed to uncover (paper Table 8), or one of the
+protocol misbehaviours its Explorer Modules must tolerate:
+
+* duplicate IP address assignments,
+* hardware changes (same IP, new Ethernet card),
+* inconsistent subnet masks,
+* promiscuous RIP hosts,
+* IP addresses no longer in use (host removed, DNS left stale),
+* proxy-ARP devices answering for local address ranges,
+* gateways with broken ICMP behaviour (TTL-echo bug, silent drops).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .addresses import Ipv4Address, MacAddress, Netmask, Subnet
+from .gateway import Gateway
+from .host import Host
+from .network import Network
+from .node import Node, NodeQuirks
+from .rip import PromiscuousRipHost
+
+__all__ = [
+    "inject_duplicate_ip",
+    "swap_hardware",
+    "misconfigure_mask",
+    "make_promiscuous_rip",
+    "remove_host",
+    "enable_proxy_arp",
+    "break_gateway_icmp",
+    "give_ttl_echo_bug",
+    "disable_mask_replies",
+]
+
+
+def inject_duplicate_ip(network: Network, victim: Host, *, name: Optional[str] = None) -> Host:
+    """Bring up a rogue host configured with *victim*'s IP address.
+
+    "On any large network occasionally two hosts get configured with the
+    same IP address.  This generally makes communications impossible for
+    either host."  Both now answer ARP for the address; which reply a
+    requester caches is a race.
+    """
+    nic = victim.primary_nic()
+    rogue = Host(
+        network.sim,
+        name or f"rogue-{victim.name}",
+        hostname=None,
+        activity_rate=victim.activity_rate,
+    )
+    rogue.configure(
+        nic.segment,
+        nic.ip,
+        nic.mask,
+        network.next_mac(),
+        gateway=victim.default_gateway,
+    )
+    network.hosts.append(rogue)
+    return rogue
+
+
+def swap_hardware(network: Network, host: Host) -> MacAddress:
+    """Replace the host's Ethernet interface (new MAC, same IP).
+
+    Neighbouring ARP caches age the old binding out, but a Journal that
+    remembers longer sees the same IP move to a new Ethernet address.
+    Returns the new MAC.
+    """
+    nic = host.primary_nic()
+    new_mac = network.next_mac()
+    nic.mac = new_mac
+    return new_mac
+
+
+def misconfigure_mask(host: Host, wrong_mask: Netmask) -> None:
+    """Give the host a subnet mask inconsistent with its subnet's."""
+    host.primary_nic().mask = wrong_mask
+
+
+def make_promiscuous_rip(host: Host) -> PromiscuousRipHost:
+    """Turn the host into a promiscuous RIP rebroadcaster (started)."""
+    speaker = PromiscuousRipHost(host)
+    speaker.start()
+    return speaker
+
+
+def remove_host(network: Network, host: Host, *, scrub_dns: bool = False) -> None:
+    """Power the host off permanently.
+
+    Departing users "have no incentive to report that they are removing
+    their host", so by default the DNS entry is left stale — exactly the
+    discrepancy the DNS explorer's "% of Total" column tolerates.
+    """
+    host.power_off()
+    if scrub_dns and host.hostname is not None:
+        network.dns.remove_host(host.hostname)
+
+
+def enable_proxy_arp(gateway: Gateway, covered: Subnet) -> None:
+    """Make the gateway answer ARP requests for *covered* addresses.
+
+    The explorers must "recognise the device type when multiple IP
+    addresses are reported for a single Ethernet address".
+    """
+    gateway.quirks.proxy_arp_for.append(covered)
+
+
+def break_gateway_icmp(gateway: Gateway) -> None:
+    """The paper's "gateway software problems": the router forwards
+    traffic but never sends Time Exceeded or Unreachable messages and
+    drops host-zero packets, making its subnets invisible to traceroute."""
+    gateway.quirks.silent_ttl_drop = True
+    gateway.quirks.generates_icmp_errors = False
+    gateway.quirks.accepts_host_zero = False
+    gateway.quirks.udp_echo_enabled = False
+
+
+def give_ttl_echo_bug(node: Node) -> None:
+    """ICMP errors leave with the *received* TTL instead of a fresh one,
+    so they only survive the return path once the probe TTL covers a
+    full round trip."""
+    node.quirks.ttl_echo_bug = True
+
+
+def disable_mask_replies(host: Host) -> None:
+    """Configure the interface "not to respond to subnet mask requests"."""
+    host.quirks.responds_to_mask_request = False

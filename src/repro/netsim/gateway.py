@@ -1,0 +1,249 @@
+"""Gateways (routers).
+
+A :class:`Gateway` forwards IP packets between its attached subnets,
+decrementing the TTL and emitting ICMP Time Exceeded when it expires —
+the machinery Fremont's Traceroute Explorer Module depends on.  The
+directed-broadcast forwarding policy, host-zero acceptance, and the
+"gateway software problems" of Table 6 (silent TTL drops) are all
+modelled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .addresses import Ipv4Address, MacAddress, Netmask, Subnet
+from .nic import Nic
+from .node import Node, NodeQuirks
+from .packet import IcmpPacket, IcmpType, Ipv4Packet
+from .segment import Segment
+from .sim import Simulator
+
+__all__ = ["Gateway", "Route"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A static route: destination subnet via a next-hop gateway."""
+
+    subnet: Subnet
+    next_hop: Ipv4Address
+    metric: int = 1
+
+
+def _is_icmp_error(packet: Ipv4Packet) -> bool:
+    payload = packet.payload
+    return isinstance(payload, IcmpPacket) and payload.icmp_type in (
+        IcmpType.TIME_EXCEEDED,
+        IcmpType.DEST_UNREACHABLE_PORT,
+        IcmpType.DEST_UNREACHABLE_HOST,
+        IcmpType.DEST_UNREACHABLE_NET,
+        IcmpType.DEST_UNREACHABLE_PROTOCOL,
+    )
+
+
+class Gateway(Node):
+    """A packet-forwarding node with a static routing table."""
+
+    forwards_packets = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        quirks: Optional[NodeQuirks] = None,
+        forwards_directed_broadcast: bool = False,
+    ) -> None:
+        if quirks is None:
+            quirks = NodeQuirks()
+        # Real gateways accept host-zero packets for attached subnets;
+        # traceroute's host-zero probe relies on this.
+        quirks.accepts_host_zero = True
+        super().__init__(sim, name, quirks=quirks)
+        self.routes: List[Route] = []
+        self.forwards_directed_broadcast = forwards_directed_broadcast
+        #: emit ICMP Redirects for doglegged first hops (RFC 792)
+        self.sends_redirects = True
+        self.packets_forwarded = 0
+        self.ttl_drops = 0
+        self.redirects_sent = 0
+
+    # ------------------------------------------------------------------
+    # Routing table
+    # ------------------------------------------------------------------
+
+    def add_route(self, subnet: Subnet, next_hop: Ipv4Address, *, metric: int = 1) -> None:
+        self.routes.append(Route(subnet=subnet, next_hop=next_hop, metric=metric))
+
+    def clear_routes(self) -> None:
+        self.routes.clear()
+
+    def connected_subnets(self) -> List[Subnet]:
+        return [nic.subnet for nic in self.nics]
+
+    def route_lookup(self, dst: Ipv4Address) -> Optional[Tuple[Nic, Optional[Ipv4Address]]]:
+        # Directly connected subnets win (longest prefix, then direct).
+        best: Optional[Tuple[int, Nic, Optional[Ipv4Address]]] = None
+        for nic in self.nics:
+            subnet = nic.subnet
+            if dst in subnet or dst in (subnet.broadcast, subnet.host_zero):
+                prefix = subnet.mask.prefix_length
+                if best is None or prefix > best[0]:
+                    best = (prefix, nic, None)
+        for route in self.routes:
+            if dst in route.subnet or dst in (route.subnet.broadcast, route.subnet.host_zero):
+                prefix = route.subnet.mask.prefix_length
+                if best is None or prefix > best[0]:
+                    via = self.nic_toward(route.next_hop)
+                    if via is not None:
+                        best = (prefix, via, route.next_hop)
+        if best is None:
+            if self.default_gateway is not None:
+                via = self.nic_toward(self.default_gateway)
+                if via is not None:
+                    return via, self.default_gateway
+            return None
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------
+    # Local delivery across attached subnets (host-zero / broadcast)
+    # ------------------------------------------------------------------
+
+    def _attached_subnet_special(self, dst: Ipv4Address) -> Optional[Tuple[Nic, str]]:
+        """If *dst* is host-zero or directed broadcast of an attached
+        subnet, return (nic on that subnet, kind)."""
+        for nic in self.nics:
+            subnet = nic.subnet
+            if dst == subnet.host_zero:
+                return nic, "host-zero"
+            if dst == subnet.broadcast:
+                return nic, "broadcast"
+        return None
+
+    # ------------------------------------------------------------------
+    # Forwarding path
+    # ------------------------------------------------------------------
+
+    def _forward(self, in_nic: Nic, packet: Ipv4Packet) -> None:
+        # TTL handling first: routers decrement, and expire at zero.
+        if packet.ttl <= 1:
+            self.ttl_drops += 1
+            if not self.quirks.silent_ttl_drop and not _is_icmp_error(packet):
+                self._send_icmp(
+                    in_nic,
+                    packet.src,
+                    IcmpPacket(IcmpType.TIME_EXCEEDED, original=packet),
+                    about=packet,
+                )
+            return
+        forwarded = packet.decremented()
+
+        special = self._attached_subnet_special(forwarded.dst)
+        if special is not None:
+            out_nic, kind = special
+            if kind == "host-zero":
+                if not self.quirks.accepts_host_zero:
+                    return  # broken software: host-zero silently dropped
+                # Treat as addressed to our interface on that subnet.
+                self._deliver_local(out_nic, forwarded)
+                return
+            # Directed broadcast: deliver locally (gateways answer
+            # broadcast pings too) and flood only if policy allows.
+            self._deliver_local(out_nic, forwarded)
+            if self.forwards_directed_broadcast:
+                self.packets_forwarded += 1
+                self.send_ip(forwarded, via=out_nic)
+            return
+
+        route = self.route_lookup(forwarded.dst)
+        if route is None:
+            if not _is_icmp_error(packet) and self.quirks.generates_icmp_errors:
+                self._send_icmp(
+                    in_nic,
+                    packet.src,
+                    IcmpPacket(IcmpType.DEST_UNREACHABLE_NET, original=packet),
+                    about=packet,
+                )
+            return
+        out_nic, next_hop = route
+        # ICMP Redirect (RFC 792): forwarding back out the interface the
+        # packet arrived on, with the sender on that same wire, means
+        # the sender has a better first hop — tell it so, then forward.
+        if (
+            self.sends_redirects
+            and out_nic is in_nic
+            and packet.src in in_nic.subnet
+            and next_hop is not None
+            and not _is_icmp_error(packet)
+        ):
+            self.redirects_sent += 1
+            self._send_icmp(
+                in_nic,
+                packet.src,
+                IcmpPacket(IcmpType.REDIRECT, original=packet, gateway=next_hop),
+                about=packet,
+            )
+        self.packets_forwarded += 1
+        if next_hop is None:
+            self._transmit_via_arp(out_nic, forwarded.dst, forwarded)
+        else:
+            self._transmit_via_arp(out_nic, next_hop, forwarded)
+
+    def _forward_source_routed(self, nic: Nic, packet: Ipv4Packet) -> None:
+        """Advance a loose source route: pop this waypoint, decrement
+        the TTL (LSR hops consume TTL like ordinary hops), and route
+        toward the next entry."""
+        if packet.ttl <= 1:
+            self.ttl_drops += 1
+            if not self.quirks.silent_ttl_drop and not _is_icmp_error(packet):
+                self._send_icmp(
+                    nic,
+                    packet.src,
+                    IcmpPacket(IcmpType.TIME_EXCEEDED, original=packet),
+                    about=packet,
+                )
+            return
+        onward = packet.decremented().advanced_source_route()
+        self.packets_forwarded += 1
+        # The advanced destination may be host-zero / broadcast of one
+        # of our own subnets: treat it exactly as the forwarding path
+        # would (accept host-zero, answer broadcasts, flood if policy
+        # allows) instead of re-transmitting our own broadcast.
+        special = self._attached_subnet_special(onward.dst)
+        if special is not None:
+            out_nic, kind = special
+            if kind == "host-zero":
+                if self.quirks.accepts_host_zero:
+                    self._deliver_local(out_nic, onward)
+                return
+            self._deliver_local(out_nic, onward)
+            if self.forwards_directed_broadcast:
+                self.send_ip(onward, via=out_nic)
+            return
+        self.send_ip(onward)
+
+    def _arp_failed(self, nic: Nic, target_ip: Ipv4Address, packets: List[Ipv4Packet]) -> None:
+        """No such host on the destination subnet: report unreachable.
+
+        Per RFC 1812 the error is sourced from the interface it leaves
+        through — the one *facing the prober* — so a remote traceroute
+        learns that this gateway borders the probed subnet without ever
+        learning the far-side interface address (the paper's "without
+        being able to determine the address of the interface on that
+        subnet").
+        """
+        if not self.quirks.generates_icmp_errors:
+            return
+        for packet in packets:
+            if _is_icmp_error(packet) or packet.src in self.local_ips():
+                continue
+            route_back = self.route_lookup(packet.src)
+            reply_nic = route_back[0] if route_back is not None else nic
+            self._send_icmp(
+                reply_nic,
+                packet.src,
+                IcmpPacket(IcmpType.DEST_UNREACHABLE_HOST, original=packet),
+                about=packet,
+            )

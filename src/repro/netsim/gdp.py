@@ -1,0 +1,83 @@
+"""Gateway Discovery Protocol (GDP) announcers.
+
+The paper's future work: "The second is Cisco Systems' Gateway
+Discovery Protocol (GDP).  While not widely deployed, supporting GDP
+would help fill in some of Fremont's discovery gaps."
+
+Cisco's GDP has routers periodically announce themselves on attached
+subnets (address, priority) so hosts can pick gateways without RIP.
+Here a :class:`GdpAnnouncer` broadcasts a small UDP message on each
+interface; "not widely deployed" is modelled by only attaching
+announcers to a subset of gateways.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .node import Node
+from .packet import Ipv4Packet, UdpDatagram
+
+__all__ = ["GdpAnnouncer", "GDP_PORT", "GDP_INTERVAL"]
+
+#: Cisco GDP's UDP port
+GDP_PORT = 1997
+#: default announcement interval, seconds (Cisco default: 60)
+GDP_INTERVAL = 60.0
+
+
+class GdpAnnouncer:
+    """Periodic GDP 'report' broadcasts from a gateway."""
+
+    def __init__(
+        self,
+        gateway: Node,
+        *,
+        interval: float = GDP_INTERVAL,
+        priority: int = 100,
+        jitter: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.gateway = gateway
+        self.interval = interval
+        self.priority = priority
+        self.announcements_sent = 0
+        self._cancel: Optional[Callable[[], None]] = None
+        self._jitter = jitter
+
+    def announce(self) -> None:
+        if not self.gateway.powered_on:
+            return
+        for nic in self.gateway.nics:
+            self.announcements_sent += 1
+            self.gateway.send_ip(
+                Ipv4Packet(
+                    src=nic.ip,
+                    dst=nic.subnet.broadcast,
+                    ttl=1,
+                    payload=UdpDatagram(
+                        src_port=GDP_PORT,
+                        dst_port=GDP_PORT,
+                        payload=("gdp-report", str(nic.ip), self.priority),
+                    ),
+                ),
+                via=nic,
+            )
+
+    def start(self) -> "GdpAnnouncer":
+        if self._cancel is None:
+            # Desynchronise announcers: routers sharing a wire must not
+            # broadcast in lockstep or their reports collide.  The first
+            # report lands at a per-gateway offset within one interval,
+            # and each period gets a little jitter.
+            rng = self.gateway._jitter_rng
+            start_delay = rng.uniform(0.0, min(self.interval, 10.0))
+            jitter = self._jitter or (lambda: rng.uniform(-0.5, 0.5))
+            self._cancel = self.gateway.sim.every(
+                self.interval, self.announce, start_delay=start_delay, jitter=jitter
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None

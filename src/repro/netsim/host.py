@@ -1,0 +1,63 @@
+"""End hosts.
+
+A :class:`Host` is a single-homed (usually) node with the default-route
+behaviour of a workstation.  Hosts carry the attributes the campus
+generator and fault injector manipulate: a DNS hostname, an activity
+level (how chatty the host is, which drives what ARPwatch can see), and
+an availability flag (the paper's Table 5 loses interfaces to "not all
+hosts up when run").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .addresses import Ipv4Address, MacAddress, Netmask
+from .node import Node, NodeQuirks
+from .segment import Segment
+from .sim import Simulator
+
+__all__ = ["Host"]
+
+
+class Host(Node):
+    """A workstation-class node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        hostname: Optional[str] = None,
+        quirks: Optional[NodeQuirks] = None,
+        activity_rate: float = 1.0,
+    ) -> None:
+        super().__init__(sim, name, quirks=quirks)
+        #: fully qualified DNS name, if registered
+        self.hostname = hostname
+        #: mean packets-per-hour this host originates as background
+        #: traffic; zero means the host never talks unprompted
+        self.activity_rate = activity_rate
+
+    def configure(
+        self,
+        segment: Segment,
+        ip: Ipv4Address,
+        mask: Netmask,
+        mac: MacAddress,
+        *,
+        gateway: Optional[Ipv4Address] = None,
+    ) -> "Host":
+        """One-call setup for the common single-interface case."""
+        self.add_nic(segment, ip, mask, mac)
+        if gateway is not None:
+            self.default_gateway = gateway
+        return self
+
+    @property
+    def ip(self) -> Ipv4Address:
+        return self.primary_nic().ip
+
+    @property
+    def mac(self) -> MacAddress:
+        return self.primary_nic().mac

@@ -1,0 +1,314 @@
+"""Network builder: assembles segments, hosts, gateways, routing and DNS.
+
+This is the test-bench factory used by every example, test, and
+benchmark.  It owns the simulator, allocates addresses deterministically
+from a seed, computes static routes from the topology (so gateways
+forward correctly before any RIP convergence), and wires the DNS zone
+database to a server host.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .addresses import Ipv4Address, MacAddress, Netmask, Subnet, OUI_VENDORS
+from .dns import DnsServer, ZoneDatabase
+from .gateway import Gateway
+from .host import Host
+from .node import Node, NodeQuirks
+from .rip import RipSpeaker
+from .segment import Segment
+from .sim import Simulator
+
+__all__ = ["Network"]
+
+SubnetLike = Union[str, Subnet]
+
+
+class Network:
+    """A complete simulated internetwork."""
+
+    def __init__(self, *, seed: int = 0, domain: str = "cs.colorado.edu") -> None:
+        self.sim = Simulator()
+        self.rng = random.Random(seed)
+        self.domain = domain
+        self.segments: Dict[Subnet, Segment] = {}
+        self.hosts: List[Host] = []
+        self.gateways: List[Gateway] = []
+        self.dns = ZoneDatabase(domain=domain)
+        self.dns_server: Optional[DnsServer] = None
+        self.rip_speakers: List[RipSpeaker] = []
+        self._used_ips: Dict[Subnet, Set[int]] = {}
+        self._mac_serial = 0
+        self._default_gateways: Dict[Subnet, Ipv4Address] = {}
+
+    # ------------------------------------------------------------------
+    # Address allocation
+    # ------------------------------------------------------------------
+
+    def _resolve_subnet(self, subnet: SubnetLike) -> Subnet:
+        if isinstance(subnet, str):
+            subnet = Subnet.parse(subnet)
+        return subnet
+
+    def next_mac(self, *, oui: Optional[int] = None) -> MacAddress:
+        """A fresh MAC with a plausible vendor OUI."""
+        self._mac_serial += 1
+        if oui is None:
+            oui = self.rng.choice(list(OUI_VENDORS))
+        return MacAddress.from_oui(oui, self._mac_serial)
+
+    def allocate_ip(self, subnet: SubnetLike, index: Optional[int] = None) -> Ipv4Address:
+        """Reserve a host address on *subnet* (specific index or next free)."""
+        subnet = self._resolve_subnet(subnet)
+        used = self._used_ips.setdefault(subnet, set())
+        if index is None:
+            index = 1
+            while index in used:
+                index += 1
+            if index >= subnet.size - 1:
+                raise RuntimeError(f"subnet {subnet} exhausted")
+        if index in used:
+            raise ValueError(f"address index {index} already used on {subnet}")
+        if not 1 <= index <= subnet.size - 2:
+            raise ValueError(f"host index {index} invalid for {subnet}")
+        used.add(index)
+        return subnet.host(index)
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    def add_subnet(self, subnet: SubnetLike, *, name: Optional[str] = None) -> Segment:
+        subnet = self._resolve_subnet(subnet)
+        if subnet in self.segments:
+            raise ValueError(f"subnet {subnet} already exists")
+        segment = Segment(
+            self.sim,
+            name or str(subnet),
+            rng=random.Random(self.rng.randrange(1 << 30)),
+        )
+        self.segments[subnet] = segment
+        return segment
+
+    def segment_for(self, subnet: SubnetLike) -> Segment:
+        subnet = self._resolve_subnet(subnet)
+        return self.segments[subnet]
+
+    def add_host(
+        self,
+        subnet: SubnetLike,
+        *,
+        name: Optional[str] = None,
+        index: Optional[int] = None,
+        register_dns: bool = True,
+        quirks: Optional[NodeQuirks] = None,
+        activity_rate: float = 1.0,
+        mask: Optional[Netmask] = None,
+        mac: Optional[MacAddress] = None,
+    ) -> Host:
+        """Create and attach a workstation to *subnet*."""
+        subnet = self._resolve_subnet(subnet)
+        ip = self.allocate_ip(subnet, index)
+        if name is None:
+            name = f"host-{ip}".replace(".", "-")
+        hostname = f"{name}.{self.domain}"
+        host = Host(
+            self.sim,
+            name,
+            hostname=hostname,
+            quirks=quirks,
+            activity_rate=activity_rate,
+        )
+        host.configure(
+            self.segments[subnet],
+            ip,
+            mask or subnet.mask,
+            mac or self.next_mac(),
+            gateway=self._default_gateways.get(subnet),
+        )
+        self.hosts.append(host)
+        if register_dns:
+            self.dns.add_host(hostname, ip)
+        return host
+
+    def add_gateway(
+        self,
+        name: str,
+        attachments: Sequence[Tuple[SubnetLike, Optional[int]]],
+        *,
+        quirks: Optional[NodeQuirks] = None,
+        register_dns: bool = True,
+        gateway_name_suffix: bool = True,
+        forwards_directed_broadcast: bool = False,
+        shared_mac: bool = False,
+    ) -> Gateway:
+        """Create a gateway attached to each (subnet, host-index) listed.
+
+        By default the gateway gets one DNS A record per interface under
+        a single name, plus a per-interface ``<name>-gw`` style record —
+        the naming conventions the paper's DNS heuristics look for.
+
+        ``shared_mac`` models SunOS workstation-gateways, which use the
+        machine's single station address on every interface — the very
+        property that lets two ARP monitors on different subnets
+        correlate their sightings into one gateway.
+        """
+        gateway = Gateway(
+            self.sim,
+            name,
+            quirks=quirks,
+            forwards_directed_broadcast=forwards_directed_broadcast,
+        )
+        station_mac = self.next_mac(oui=0x080020) if shared_mac else None
+        for subnet_like, index in attachments:
+            subnet = self._resolve_subnet(subnet_like)
+            ip = self.allocate_ip(subnet, index)
+            mac = station_mac if station_mac is not None else self.next_mac()
+            gateway.add_nic(self.segments[subnet], ip, subnet.mask, mac)
+        self.gateways.append(gateway)
+        if register_dns:
+            hostname = f"{name}.{self.domain}"
+            for position, nic in enumerate(gateway.nics):
+                self.dns.add_host(hostname, nic.ip)
+                if gateway_name_suffix and position > 0:
+                    self.dns.add_host(f"{name}-gw{position}.{self.domain}", nic.ip)
+        return gateway
+
+    def set_default_gateway(self, subnet: SubnetLike, gateway: Gateway) -> None:
+        """Designate the default router hosts on *subnet* point at."""
+        subnet = self._resolve_subnet(subnet)
+        nic = next((n for n in gateway.nics if n.subnet == subnet), None)
+        if nic is None:
+            raise ValueError(f"{gateway.name} has no interface on {subnet}")
+        self._default_gateways[subnet] = nic.ip
+        for host in self.hosts:
+            for host_nic in host.nics:
+                if host_nic.subnet == subnet:
+                    host.default_gateway = nic.ip
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def compute_routes(self) -> None:
+        """Install static routes on every gateway via BFS over the
+        subnet-gateway incidence graph, and default gateways on hosts."""
+        attached: Dict[Subnet, List[Gateway]] = {subnet: [] for subnet in self.segments}
+        for gateway in self.gateways:
+            for nic in gateway.nics:
+                attached.setdefault(nic.subnet, []).append(gateway)
+
+        for gateway in self.gateways:
+            gateway.clear_routes()
+
+        for destination in self.segments:
+            # BFS outward from the destination subnet over gateways.
+            distance: Dict[int, int] = {}
+            via: Dict[int, Tuple[Subnet, Ipv4Address]] = {}
+            queue: deque = deque()
+            for gateway in attached.get(destination, []):
+                distance[id(gateway)] = 0
+                queue.append(gateway)
+            while queue:
+                current = queue.popleft()
+                current_distance = distance[id(current)]
+                for nic in current.nics:
+                    for neighbour in attached.get(nic.subnet, []):
+                        if id(neighbour) in distance:
+                            continue
+                        distance[id(neighbour)] = current_distance + 1
+                        via[id(neighbour)] = (nic.subnet, nic.ip)
+                        queue.append(neighbour)
+            for gateway in self.gateways:
+                if id(gateway) not in distance:
+                    continue
+                if destination in gateway.connected_subnets():
+                    continue
+                shared_subnet, next_hop = via[id(gateway)]
+                gateway.add_route(destination, next_hop, metric=distance[id(gateway)])
+
+        # Hosts: honour explicit designations, else first attached gateway.
+        for subnet, gateways in attached.items():
+            if subnet not in self._default_gateways and gateways:
+                nic = next(n for n in gateways[0].nics if n.subnet == subnet)
+                self._default_gateways[subnet] = nic.ip
+        for host in self.hosts:
+            if host.default_gateway is None:
+                for nic in host.nics:
+                    designated = self._default_gateways.get(nic.subnet)
+                    if designated is not None:
+                        host.default_gateway = designated
+                        break
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+
+    def add_dns_server(
+        self,
+        subnet: SubnetLike,
+        *,
+        name: str = "ns",
+    ) -> Host:
+        """Attach the domain's name server to *subnet*."""
+        host = self.add_host(subnet, name=name, activity_rate=8.0)
+        self.dns.nameserver = host.hostname or name
+        self.dns_server = DnsServer(host, self.dns)
+        return host
+
+    def start_rip(self, *, interval: Optional[float] = None) -> None:
+        """Attach and start a RIP speaker on every gateway."""
+        for gateway in self.gateways:
+            kwargs = {} if interval is None else {"interval": interval}
+            speaker = RipSpeaker(
+                gateway,
+                jitter=lambda: self.rng.uniform(-2.0, 2.0),
+                **kwargs,
+            )
+            speaker.start()
+            self.rip_speakers.append(speaker)
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+
+    def all_nodes(self) -> List[Node]:
+        return list(self.hosts) + list(self.gateways)
+
+    def node_by_ip(self, ip: Ipv4Address) -> Optional[Node]:
+        for node in self.all_nodes():
+            if ip in node.local_ips():
+                return node
+        return None
+
+    def node_by_name(self, name: str) -> Optional[Node]:
+        for node in self.all_nodes():
+            if node.name == name:
+                return node
+        return None
+
+    def hosts_on(self, subnet: SubnetLike) -> List[Host]:
+        subnet = self._resolve_subnet(subnet)
+        return [
+            host
+            for host in self.hosts
+            if any(nic.subnet == subnet for nic in host.nics)
+        ]
+
+    def live_interfaces_on(self, subnet: SubnetLike) -> List[Ipv4Address]:
+        """Addresses of powered-on interfaces on *subnet* (ground truth)."""
+        subnet = self._resolve_subnet(subnet)
+        result = []
+        for node in self.all_nodes():
+            if not node.powered_on:
+                continue
+            for nic in node.nics:
+                if nic.up and nic.subnet == subnet:
+                    result.append(nic.ip)
+        return sorted(result)
+
+    def subnets(self) -> List[Subnet]:
+        return sorted(self.segments)

@@ -1,0 +1,79 @@
+"""Network interfaces.
+
+A :class:`Nic` binds a MAC address, an IP address, and a subnet mask to
+a segment, on behalf of a host or gateway ("node").  The paper uses the
+term *interface* for "a separately addressable network connection to a
+machine"; this class is that object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from .addresses import Ipv4Address, MacAddress, Netmask, Subnet
+from .packet import EthernetFrame, EtherType, FramePayload
+from .segment import Segment, TapHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """One network interface attached to a segment."""
+
+    def __init__(
+        self,
+        owner: "Node",
+        segment: Segment,
+        ip: Ipv4Address,
+        mask: Netmask,
+        mac: MacAddress,
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        self.owner = owner
+        self.segment = segment
+        self.ip = ip
+        self.mask = mask
+        self.mac = mac
+        self.name = name or f"{owner.name}:{ip}"
+        self.up = True
+        self.frames_in = 0
+        self.frames_out = 0
+        segment.attach(self)
+
+    @property
+    def subnet(self) -> Subnet:
+        """The subnet this interface believes it is on (per its own mask)."""
+        return Subnet.containing(self.ip, self.mask)
+
+    def send(self, dst_mac: MacAddress, ethertype: EtherType, payload: FramePayload) -> None:
+        """Transmit a frame onto the attached segment."""
+        if not self.up:
+            return
+        self.frames_out += 1
+        self.segment.transmit(
+            EthernetFrame(src_mac=self.mac, dst_mac=dst_mac, ethertype=ethertype, payload=payload)
+        )
+
+    def receive(self, frame: EthernetFrame) -> None:
+        """Called by the segment for frames addressed to us (or broadcast)."""
+        if not self.up:
+            return
+        self.frames_in += 1
+        self.owner.handle_frame(self, frame)
+
+    def open_tap(self, callback: Callable[[EthernetFrame, float], None]) -> TapHandle:
+        """Open a promiscuous tap (simulated NIT) on the attached segment.
+
+        This is what ARPwatch and RIPwatch use; it generates no traffic.
+        """
+        return self.segment.open_tap(callback)
+
+    def set_up(self, up: bool) -> None:
+        self.up = up
+
+    def __repr__(self) -> str:
+        return f"<Nic {self.name} {self.ip}/{self.mask.prefix_length} {self.mac}>"

@@ -1,0 +1,293 @@
+"""Packet and frame types carried on the simulated network.
+
+These model the protocol data units Fremont's Explorer Modules rely on:
+Ethernet frames, ARP request/reply, IPv4 with a real TTL, ICMP (echo,
+mask request/reply, time exceeded, unreachable), UDP (echo service and
+traceroute probes), RIP advertisements, and DNS messages.
+
+Everything is a frozen dataclass except the IPv4 header (whose TTL a
+gateway must decrement in flight on a copy).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum, IntEnum
+from typing import Dict, List, Optional, Tuple, Union
+
+from .addresses import Ipv4Address, MacAddress, Netmask, Subnet
+
+__all__ = [
+    "EtherType",
+    "ArpOp",
+    "ArpPacket",
+    "IcmpType",
+    "IcmpPacket",
+    "UdpDatagram",
+    "RipEntry",
+    "RipPacket",
+    "DnsOp",
+    "DnsRecordType",
+    "DnsQuestion",
+    "DnsResourceRecord",
+    "DnsMessage",
+    "Ipv4Packet",
+    "EthernetFrame",
+    "UDP_ECHO_PORT",
+    "RIP_PORT",
+    "DNS_PORT",
+    "TRACEROUTE_BASE_PORT",
+    "next_packet_id",
+]
+
+UDP_ECHO_PORT = 7
+DNS_PORT = 53
+RIP_PORT = 520
+# Traceroute sends to "a port unlikely to be used" -- the classic base.
+TRACEROUTE_BASE_PORT = 33434
+
+_packet_ids = itertools.count(1)
+
+
+def next_packet_id() -> int:
+    """A unique id for correlating requests with replies in traces."""
+    return next(_packet_ids)
+
+
+class EtherType(IntEnum):
+    """Ethernet payload types used in the simulation."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+
+
+class ArpOp(IntEnum):
+    REQUEST = 1
+    REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """An ARP request or reply (RFC 826)."""
+
+    op: ArpOp
+    sender_mac: MacAddress
+    sender_ip: Ipv4Address
+    target_mac: Optional[MacAddress]
+    target_ip: Ipv4Address
+
+    def __str__(self) -> str:
+        if self.op is ArpOp.REQUEST:
+            return f"arp who-has {self.target_ip} tell {self.sender_ip}"
+        return f"arp reply {self.sender_ip} is-at {self.sender_mac}"
+
+
+class IcmpType(Enum):
+    """The ICMP message types Fremont's modules generate or consume."""
+
+    ECHO_REQUEST = "echo-request"
+    ECHO_REPLY = "echo-reply"
+    MASK_REQUEST = "mask-request"
+    MASK_REPLY = "mask-reply"
+    TIME_EXCEEDED = "time-exceeded"
+    REDIRECT = "redirect"
+    DEST_UNREACHABLE_PORT = "port-unreachable"
+    DEST_UNREACHABLE_HOST = "host-unreachable"
+    DEST_UNREACHABLE_NET = "net-unreachable"
+    DEST_UNREACHABLE_PROTOCOL = "protocol-unreachable"
+
+    @property
+    def is_unreachable(self) -> bool:
+        return self.value.endswith("unreachable")
+
+
+@dataclass(frozen=True)
+class IcmpPacket:
+    """An ICMP message.
+
+    ``original`` carries the leading bytes of the triggering datagram for
+    error messages (time exceeded / unreachable / redirect), exactly what
+    traceroute needs to match errors to probes.  ``mask`` is used by mask
+    replies; ``gateway`` by redirects (the better next hop).
+    """
+
+    icmp_type: IcmpType
+    ident: int = 0
+    seq: int = 0
+    mask: Optional[Netmask] = None
+    original: Optional["Ipv4Packet"] = None
+    gateway: Optional[Ipv4Address] = None
+
+    def __str__(self) -> str:
+        return f"icmp {self.icmp_type.value} id={self.ident} seq={self.seq}"
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram; the payload is opaque application data."""
+
+    src_port: int
+    dst_port: int
+    payload: object = None
+
+    def __str__(self) -> str:
+        return f"udp {self.src_port} > {self.dst_port}"
+
+
+@dataclass(frozen=True)
+class RipEntry:
+    """One advertised route: a network/subnet/host address plus a metric.
+
+    RIP-1 entries carry no mask; the receiver classifies the entry by
+    comparing against its own interface mask, as the paper describes.
+    """
+
+    address: Ipv4Address
+    metric: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.metric <= 16:
+            raise ValueError(f"RIP metric out of range: {self.metric}")
+
+
+class RipCommand(IntEnum):
+    REQUEST = 1
+    RESPONSE = 2
+    # "RIP Poll" is an undocumented-but-deployed query command the paper's
+    # future-work section proposes using for directed probes.
+    POLL = 5
+
+
+@dataclass(frozen=True)
+class RipPacket:
+    """A RIP-1 message (broadcast advertisement or directed query)."""
+
+    command: RipCommand
+    entries: Tuple[RipEntry, ...] = ()
+
+    def __str__(self) -> str:
+        return f"rip {self.command.name.lower()} ({len(self.entries)} routes)"
+
+
+class DnsOp(Enum):
+    QUERY = "query"
+    RESPONSE = "response"
+
+
+class DnsRecordType(Enum):
+    A = "A"
+    PTR = "PTR"
+    NS = "NS"
+    SOA = "SOA"
+    AXFR = "AXFR"  # zone transfer pseudo-type
+    WKS = "WKS"  # deprecated well-known-services record (paper discusses)
+    HINFO = "HINFO"
+
+
+@dataclass(frozen=True)
+class DnsQuestion:
+    name: str
+    rtype: DnsRecordType
+
+
+@dataclass(frozen=True)
+class DnsResourceRecord:
+    name: str
+    rtype: DnsRecordType
+    rdata: str
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.rtype.value} {self.rdata}"
+
+
+@dataclass(frozen=True)
+class DnsMessage:
+    """A DNS query or response carried over UDP (zone transfers included;
+    we do not model TCP framing, only the request/response exchange)."""
+
+    op: DnsOp
+    question: DnsQuestion
+    answers: Tuple[DnsResourceRecord, ...] = ()
+    authoritative: bool = False
+    rcode: str = "NOERROR"
+
+    def __str__(self) -> str:
+        return (
+            f"dns {self.op.value} {self.question.rtype.value}"
+            f" {self.question.name} ({len(self.answers)} answers)"
+        )
+
+
+IpPayload = Union[IcmpPacket, UdpDatagram, RipPacket]
+
+
+@dataclass(frozen=True)
+class Ipv4Packet:
+    """An IPv4 datagram with the fields the simulation honours.
+
+    ``source_route`` models the loose-source-routing IP option: the
+    remaining addresses the packet must still visit, the true final
+    destination last.  While the tuple is non-empty, ``dst`` is the next
+    routing waypoint; each honouring router pops itself and rewrites
+    ``dst`` to the next entry.
+    """
+
+    src: Ipv4Address
+    dst: Ipv4Address
+    ttl: int
+    payload: IpPayload
+    ident: int = field(default_factory=next_packet_id)
+    source_route: Tuple[Ipv4Address, ...] = ()
+
+    DEFAULT_TTL = 64
+    MAX_TTL = 255
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ttl <= self.MAX_TTL:
+            raise ValueError(f"TTL out of range: {self.ttl}")
+
+    def decremented(self) -> "Ipv4Packet":
+        """A copy with TTL reduced by one (router forwarding path)."""
+        if self.ttl == 0:
+            raise ValueError("cannot decrement TTL below zero")
+        return replace(self, ttl=self.ttl - 1)
+
+    def advanced_source_route(self) -> "Ipv4Packet":
+        """A copy routed to the next loose-source-route waypoint."""
+        if not self.source_route:
+            raise ValueError("no source route to advance")
+        return replace(
+            self, dst=self.source_route[0], source_route=self.source_route[1:]
+        )
+
+    @property
+    def protocol(self) -> str:
+        if isinstance(self.payload, IcmpPacket):
+            return "icmp"
+        if isinstance(self.payload, RipPacket):
+            return "rip"
+        return "udp"
+
+    def __str__(self) -> str:
+        return f"ip {self.src} > {self.dst} ttl={self.ttl} {self.payload}"
+
+
+FramePayload = Union[ArpPacket, Ipv4Packet]
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """A frame on a shared segment."""
+
+    src_mac: MacAddress
+    dst_mac: MacAddress
+    ethertype: EtherType
+    payload: FramePayload
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst_mac.is_broadcast
+
+    def __str__(self) -> str:
+        return f"{self.src_mac} > {self.dst_mac} {self.payload}"

@@ -1,0 +1,174 @@
+"""Routing Information Protocol speakers and listeners.
+
+Gateways periodically broadcast RIP-1 responses listing the networks,
+subnets, and hosts they can reach.  RIP-1 entries carry no mask, so the
+receiver classifies each advertised address against its own interface
+mask — exactly the inference Fremont's RIPwatch module performs.
+
+This module also implements the paper's "promiscuous RIP host"
+misbehaviour: a host that rebroadcasts every route it has learned,
+"without regard to the subnet from which that information was learned",
+giving the false impression of connectivity.  Fremont flags these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .addresses import Ipv4Address, Subnet
+from .nic import Nic
+from .node import Node
+from .packet import Ipv4Packet, RipCommand, RipEntry, RipPacket
+from .sim import Simulator
+
+__all__ = ["RipSpeaker", "PromiscuousRipHost", "RIP_ADVERTISEMENT_INTERVAL"]
+
+#: Standard RIP periodic update interval, seconds.
+RIP_ADVERTISEMENT_INTERVAL = 30.0
+
+#: RIP infinity metric (unreachable).
+RIP_INFINITY = 16
+
+
+class RipSpeaker:
+    """Periodic RIP advertiser bound to a gateway (or misbehaving host).
+
+    Split-horizon is honoured: routes are not advertised back onto the
+    interface whose subnet they belong to.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        *,
+        interval: float = RIP_ADVERTISEMENT_INTERVAL,
+        respond_to_queries: bool = True,
+        jitter: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.node = node
+        self.interval = interval
+        self.respond_to_queries = respond_to_queries
+        self.advertisements_sent = 0
+        self._cancel: Optional[Callable[[], None]] = None
+        self._jitter = jitter or (lambda: 0.0)
+        node.add_rip_listener(self._on_rip)
+
+    # ------------------------------------------------------------------
+
+    def routes_for(self, nic: Nic) -> List[RipEntry]:
+        """Entries to advertise out of *nic* (split horizon applied)."""
+        entries: List[RipEntry] = []
+        out_subnet = nic.subnet
+        for other in self.node.nics:
+            subnet = other.subnet
+            if subnet == out_subnet:
+                continue
+            entries.append(RipEntry(address=subnet.network, metric=1))
+        routes = getattr(self.node, "routes", [])
+        for route in routes:
+            if route.subnet == out_subnet:
+                continue
+            metric = min(route.metric + 1, RIP_INFINITY)
+            entries.append(RipEntry(address=route.subnet.network, metric=metric))
+        return entries
+
+    def advertise(self) -> None:
+        """Broadcast one periodic update on every attached subnet."""
+        if not self.node.powered_on:
+            return
+        for nic in self.node.nics:
+            entries = self.routes_for(nic)
+            if not entries:
+                continue
+            self.advertisements_sent += 1
+            self.node.send_ip(
+                Ipv4Packet(
+                    src=nic.ip,
+                    dst=nic.subnet.broadcast,
+                    ttl=1,
+                    payload=RipPacket(
+                        command=RipCommand.RESPONSE, entries=tuple(entries)
+                    ),
+                ),
+                via=nic,
+            )
+
+    def start(self) -> None:
+        if self._cancel is not None:
+            return
+        self._cancel = self.node.sim.every(
+            self.interval, self.advertise, start_delay=0.0, jitter=self._jitter
+        )
+
+    def stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    # ------------------------------------------------------------------
+
+    def _on_rip(self, node: Node, nic: Nic, packet: Ipv4Packet, rip: RipPacket) -> None:
+        """Answer directed RIP Request / Poll queries (future-work module)."""
+        if not self.respond_to_queries:
+            return
+        if rip.command not in (RipCommand.REQUEST, RipCommand.POLL):
+            return
+        entries = self.routes_for(nic)
+        self.node.send_ip(
+            Ipv4Packet(
+                src=nic.ip,
+                dst=packet.src,
+                ttl=Ipv4Packet.DEFAULT_TTL,
+                payload=RipPacket(command=RipCommand.RESPONSE, entries=tuple(entries)),
+            )
+        )
+
+
+class PromiscuousRipHost:
+    """The paper's badly configured host: it learns routes from every RIP
+    broadcast it hears and rebroadcasts all of them on its own subnet.
+    """
+
+    def __init__(self, host: Node, *, interval: float = RIP_ADVERTISEMENT_INTERVAL) -> None:
+        self.host = host
+        self.interval = interval
+        self.learned: Dict[Ipv4Address, int] = {}
+        self._cancel: Optional[Callable[[], None]] = None
+        host.add_rip_listener(self._on_rip)
+
+    def _on_rip(self, node: Node, nic: Nic, packet: Ipv4Packet, rip: RipPacket) -> None:
+        if rip.command is not RipCommand.RESPONSE:
+            return
+        if packet.src in self.host.local_ips():
+            return
+        for entry in rip.entries:
+            known = self.learned.get(entry.address)
+            if known is None or entry.metric < known:
+                self.learned[entry.address] = entry.metric
+
+    def rebroadcast(self) -> None:
+        if not self.learned or not self.host.powered_on:
+            return
+        entries = tuple(
+            RipEntry(address=address, metric=min(metric + 1, RIP_INFINITY))
+            for address, metric in sorted(self.learned.items())
+        )
+        for nic in self.host.nics:
+            self.host.send_ip(
+                Ipv4Packet(
+                    src=nic.ip,
+                    dst=nic.subnet.broadcast,
+                    ttl=1,
+                    payload=RipPacket(command=RipCommand.RESPONSE, entries=entries),
+                ),
+                via=nic,
+            )
+
+    def start(self) -> None:
+        if self._cancel is None:
+            self._cancel = self.host.sim.every(self.interval, self.rebroadcast)
+
+    def stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None

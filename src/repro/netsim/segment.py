@@ -1,0 +1,195 @@
+"""Shared Ethernet segments.
+
+A :class:`Segment` is a broadcast domain: every attached interface sees
+broadcast frames, and promiscuous taps (the simulated SunOS Network
+Interface Tap that ARPwatch and RIPwatch use) see *every* frame.
+
+The segment also models the failure mode the paper attributes to
+Broadcast Ping — "closely spaced replies can cause many collisions" —
+with a slotted collision model: when more frames are offered within one
+collision window than the segment can carry, the excess are lost with a
+probability that grows with the overload.  Finally the segment keeps
+per-protocol frame counters, which the benchmark harness uses to report
+the "Network Load" column of Table 4.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
+
+from .packet import ArpPacket, EthernetFrame, Ipv4Packet
+from .sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .nic import Nic
+
+__all__ = ["Segment", "SegmentStats", "TapHandle"]
+
+TapCallback = Callable[[EthernetFrame, float], None]
+
+
+@dataclass
+class SegmentStats:
+    """Frame accounting for a segment."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_collided: int = 0
+    broadcasts: int = 0
+    by_protocol: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, frame: EthernetFrame, *, collided: bool) -> None:
+        self.frames_sent += 1
+        if frame.is_broadcast:
+            self.broadcasts += 1
+        key = self._protocol_key(frame)
+        self.by_protocol[key] = self.by_protocol.get(key, 0) + 1
+        if collided:
+            self.frames_collided += 1
+        else:
+            self.frames_delivered += 1
+
+    @staticmethod
+    def _protocol_key(frame: EthernetFrame) -> str:
+        if isinstance(frame.payload, ArpPacket):
+            return "arp"
+        if isinstance(frame.payload, Ipv4Packet):
+            return frame.payload.protocol
+        return "other"
+
+    def snapshot(self) -> "SegmentStats":
+        return SegmentStats(
+            frames_sent=self.frames_sent,
+            frames_delivered=self.frames_delivered,
+            frames_collided=self.frames_collided,
+            broadcasts=self.broadcasts,
+            by_protocol=dict(self.by_protocol),
+        )
+
+
+class TapHandle:
+    """A promiscuous tap on a segment (simulated NIT).
+
+    Requires no traffic generation; closing it detaches the callback.
+    """
+
+    def __init__(self, segment: "Segment", callback: TapCallback) -> None:
+        self._segment = segment
+        self._callback = callback
+        self.closed = False
+
+    def deliver(self, frame: EthernetFrame, time: float) -> None:
+        if not self.closed:
+            self._callback(frame, time)
+
+    def close(self) -> None:
+        self.closed = True
+        self._segment._remove_tap(self)
+
+
+class Segment:
+    """A shared Ethernet segment (one broadcast domain)."""
+
+    #: default propagation + serialisation latency per frame, seconds
+    DEFAULT_LATENCY = 0.0005
+    #: window within which closely spaced frames contend, seconds
+    #: (~8 Ethernet slot times of 51.2 us; frames spaced by the segment
+    #: latency never contend, so ordinary request/reply exchanges are
+    #: loss-free while reply storms are not)
+    DEFAULT_COLLISION_WINDOW = 0.0004
+    #: frames one window can carry before collisions begin
+    DEFAULT_COLLISION_CAPACITY = 2
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        latency: Optional[float] = None,
+        collision_window: Optional[float] = None,
+        collision_capacity: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.latency = latency if latency is not None else self.DEFAULT_LATENCY
+        self.collision_window = (
+            collision_window
+            if collision_window is not None
+            else self.DEFAULT_COLLISION_WINDOW
+        )
+        self.collision_capacity = (
+            collision_capacity
+            if collision_capacity is not None
+            else self.DEFAULT_COLLISION_CAPACITY
+        )
+        self.rng = rng or random.Random(0)
+        self.stats = SegmentStats()
+        self._nics: List["Nic"] = []
+        self._taps: List[TapHandle] = []
+        self._recent_transmissions: Deque[float] = deque()
+
+    def attach(self, nic: "Nic") -> None:
+        if nic in self._nics:
+            raise ValueError(f"{nic} already attached to {self.name}")
+        self._nics.append(nic)
+
+    def detach(self, nic: "Nic") -> None:
+        self._nics.remove(nic)
+
+    @property
+    def nics(self) -> List["Nic"]:
+        return list(self._nics)
+
+    def open_tap(self, callback: TapCallback) -> TapHandle:
+        """Attach a promiscuous monitor; returns a closable handle."""
+        tap = TapHandle(self, callback)
+        self._taps.append(tap)
+        return tap
+
+    def _remove_tap(self, tap: TapHandle) -> None:
+        if tap in self._taps:
+            self._taps.remove(tap)
+
+    def _contention(self, now: float) -> int:
+        """Number of frames offered within the current collision window."""
+        cutoff = now - self.collision_window
+        while self._recent_transmissions and self._recent_transmissions[0] < cutoff:
+            self._recent_transmissions.popleft()
+        return len(self._recent_transmissions)
+
+    def transmit(self, frame: EthernetFrame) -> None:
+        """Offer a frame to the segment.
+
+        Delivery is scheduled after the segment latency.  If the segment
+        is overloaded (more frames in the collision window than the
+        capacity), the frame may be lost; taps still observe offered
+        frames that survive, as a real monitor would.
+        """
+        now = self.sim.now
+        self._recent_transmissions.append(now)
+        contention = self._contention(now)
+        collided = False
+        if contention > self.collision_capacity:
+            loss_probability = 1.0 - (self.collision_capacity / contention)
+            collided = self.rng.random() < loss_probability
+        self.stats.record(frame, collided=collided)
+        if collided:
+            return
+        self.sim.schedule(self.latency, lambda: self._deliver(frame))
+
+    def _deliver(self, frame: EthernetFrame) -> None:
+        now = self.sim.now
+        for tap in list(self._taps):
+            tap.deliver(frame, now)
+        for nic in list(self._nics):
+            if nic.mac == frame.src_mac:
+                continue
+            if frame.is_broadcast or frame.dst_mac == nic.mac:
+                nic.receive(frame)
+
+    def __repr__(self) -> str:
+        return f"<Segment {self.name} nics={len(self._nics)}>"

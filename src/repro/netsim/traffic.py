@@ -1,0 +1,113 @@
+"""Background traffic generation.
+
+ARPwatch "will not discover hosts that are not recipients of traffic
+from other hosts" — so its discovery rate is a function of how much the
+network talks.  This module generates realistic background chatter with
+strong *locality*: each host converses mostly with a small personal set
+of servers (file server, mail host, name server), plus an occasional
+random peer.  That locality is what separates the paper's two ARPwatch
+rows: a 30-minute capture sees the busy cores of those conversation
+stars, while a 24-hour capture eventually hears nearly every machine
+speak at least once.
+
+Inter-send gaps are exponential with each host's own activity rate
+(mean packets per hour), so the process is memoryless and seeded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from .addresses import Ipv4Address
+from .host import Host
+from .network import Network
+
+__all__ = ["TrafficGenerator"]
+
+
+class TrafficGenerator:
+    """Seeded background-traffic process over a set of hosts."""
+
+    #: UDP port exercised by background conversations (an ephemeral
+    #: service port; replies come back from the peer's stack).
+    CHATTER_PORT = 2049
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        seed: int = 0,
+        hosts: Optional[Sequence[Host]] = None,
+        server_count: int = 4,
+        server_affinity: float = 0.8,
+    ) -> None:
+        self.network = network
+        self.rng = random.Random(seed)
+        self.packets_originated = 0
+        self._running = False
+        #: population restricted to these hosts (default: whole network)
+        self._population: List[Host] = list(hosts if hosts is not None else network.hosts)
+        self._server_affinity = server_affinity
+        candidates = sorted(
+            self._population, key=lambda h: (-h.activity_rate, h.name)
+        )
+        #: the popular servers everyone talks to
+        self._servers: List[Host] = candidates[: min(server_count, len(candidates))]
+        #: per-host personal peer set (assigned lazily, seeded)
+        self._personal: dict = {}
+
+    def _talkers(self) -> List[Host]:
+        return [h for h in self._population if h.powered_on and h.activity_rate > 0]
+
+    def start(self) -> None:
+        """Schedule the first send for every talking host."""
+        self._running = True
+        for host in self._talkers():
+            self._schedule_next(host)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self, host: Host) -> None:
+        if not self._running:
+            return
+        # activity_rate is mean packets per hour.
+        mean_gap = 3600.0 / max(host.activity_rate, 1e-9)
+        delay = self.rng.expovariate(1.0 / mean_gap)
+        self.network.sim.schedule(delay, lambda: self._fire(host))
+
+    def _fire(self, host: Host) -> None:
+        if not self._running:
+            return
+        if host.powered_on:
+            peer = self._pick_peer(host)
+            if peer is not None:
+                self.packets_originated += 1
+                host.send_udp(
+                    peer.ip, self.CHATTER_PORT, payload=("chatter", host.name)
+                )
+        self._schedule_next(host)
+
+    def _personal_servers(self, host: Host) -> List[Host]:
+        peers = self._personal.get(id(host))
+        if peers is None:
+            pool = [server for server in self._servers if server is not host]
+            count = min(2, len(pool))
+            peers = self.rng.sample(pool, count) if count else []
+            self._personal[id(host)] = peers
+        return peers
+
+    def _pick_peer(self, host: Host) -> Optional[Host]:
+        # Mostly the host's own servers; occasionally anyone at all.
+        personal = [p for p in self._personal_servers(host) if p.powered_on]
+        if personal and self.rng.random() < self._server_affinity:
+            return self.rng.choice(personal)
+        others = [
+            peer
+            for peer in self._population
+            if peer is not host and peer.powered_on
+        ]
+        if not others:
+            return None
+        return self.rng.choice(others)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the Fremont test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.netsim import Network, Subnet
+
+
+@pytest.fixture
+def small_net():
+    """Two /24 subnets joined by one gateway, two hosts each."""
+    net = Network(seed=11)
+    left = Subnet.parse("10.1.1.0/24")
+    right = Subnet.parse("10.1.2.0/24")
+    net.add_subnet(left)
+    net.add_subnet(right)
+    gateway = net.add_gateway("gw", [(left, 1), (right, 1)])
+    hosts = {
+        "a1": net.add_host(left, name="a1", index=10),
+        "a2": net.add_host(left, name="a2", index=11),
+        "b1": net.add_host(right, name="b1", index=10),
+        "b2": net.add_host(right, name="b2", index=11),
+    }
+    net.compute_routes()
+    return net, left, right, gateway, hosts
+
+
+@pytest.fixture
+def journal_for(small_net):
+    net, *_ = small_net
+    journal = Journal(clock=lambda: net.sim.now)
+    return journal, LocalJournal(journal)
+
+
+@pytest.fixture
+def chain_net():
+    """Three subnets in a chain: left -- gw1 -- middle -- gw2 -- right.
+
+    Multi-hop paths for traceroute and TTL tests.
+    """
+    net = Network(seed=23)
+    left = Subnet.parse("10.2.1.0/24")
+    middle = Subnet.parse("10.2.2.0/24")
+    right = Subnet.parse("10.2.3.0/24")
+    for subnet in (left, middle, right):
+        net.add_subnet(subnet)
+    gw1 = net.add_gateway("gw1", [(left, 1), (middle, 1)])
+    gw2 = net.add_gateway("gw2", [(middle, 2), (right, 1)])
+    src = net.add_host(left, name="src", index=10)
+    dst = net.add_host(right, name="dst", index=10)
+    net.compute_routes()
+    return net, (left, middle, right), (gw1, gw2), (src, dst)

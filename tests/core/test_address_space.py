@@ -1,0 +1,92 @@
+"""Address-space utilisation report tests."""
+
+import pytest
+
+from repro.core import Journal
+from repro.core.analysis import SubnetUtilisation, address_space_report
+from repro.core.records import Observation
+
+
+def _clock():
+    state = {"now": 0.0}
+    return (lambda: state["now"]), state
+
+
+@pytest.fixture
+def journal_with_state():
+    clock, state = _clock()
+    return Journal(clock=clock), state
+
+
+def _observe(journal, **kwargs):
+    source = kwargs.pop("source", "SeqPing")
+    record, _ = journal.observe_interface(Observation(source=source, **kwargs))
+    return record
+
+
+class TestAddressSpaceReport:
+    def test_counts_and_range(self, journal_with_state):
+        journal, state = journal_with_state
+        state["now"] = 100.0
+        for suffix in (10, 11, 40):
+            _observe(journal, ip=f"10.0.1.{suffix}", subnet_mask="255.255.255.0")
+        report = address_space_report(journal, stale_horizon=0.0)
+        assert len(report) == 1
+        row = report[0]
+        assert row.subnet == "10.0.1.0/24"
+        assert row.assigned == 3
+        assert row.capacity == 254
+        assert row.lowest == "10.0.1.10"
+        assert row.highest == "10.0.1.40"
+        assert row.utilisation == pytest.approx(3 / 254)
+
+    def test_reclaimable_counts_silent_interfaces(self, journal_with_state):
+        journal, state = journal_with_state
+        state["now"] = 100.0
+        _observe(journal, ip="10.0.1.10")
+        state["now"] = 10_000.0
+        _observe(journal, ip="10.0.1.11")
+        report = address_space_report(journal, stale_horizon=5_000.0)
+        assert report[0].reclaimable == 1
+
+    def test_dns_only_records_always_reclaim_candidates(self, journal_with_state):
+        journal, state = journal_with_state
+        state["now"] = 9_000.0
+        _observe(journal, ip="10.0.1.10", source="DNS")
+        report = address_space_report(journal, stale_horizon=5_000.0)
+        assert report[0].reclaimable == 1
+
+    def test_mask_drives_grouping(self, journal_with_state):
+        journal, state = journal_with_state
+        state["now"] = 100.0
+        _observe(journal, ip="10.0.1.10", subnet_mask="255.255.255.192")
+        _observe(journal, ip="10.0.1.100", subnet_mask="255.255.255.192")
+        report = address_space_report(journal, stale_horizon=0.0)
+        assert [row.subnet for row in report] == [
+            "10.0.1.0/26",
+            "10.0.1.64/26",
+        ]
+        assert all(row.capacity == 62 for row in report)
+
+    def test_default_prefix_fallback(self, journal_with_state):
+        journal, state = journal_with_state
+        state["now"] = 100.0
+        _observe(journal, ip="10.0.2.10")  # no recorded mask
+        report = address_space_report(journal, stale_horizon=0.0, default_prefix=25)
+        assert report[0].subnet == "10.0.2.0/25"
+
+    def test_duplicate_records_count_one_address(self, journal_with_state):
+        journal, state = journal_with_state
+        state["now"] = 100.0
+        _observe(journal, ip="10.0.1.10", mac="aa:00:03:00:00:01")
+        _observe(journal, ip="10.0.1.10", mac="aa:00:03:00:00:02")
+        report = address_space_report(journal, stale_horizon=0.0)
+        assert report[0].assigned == 1
+
+    def test_describe(self, journal_with_state):
+        journal, state = journal_with_state
+        state["now"] = 100.0
+        _observe(journal, ip="10.0.1.10", subnet_mask="255.255.255.0")
+        text = address_space_report(journal, stale_horizon=0.0)[0].describe()
+        assert "10.0.1.0/24" in text
+        assert "1/254" in text

@@ -1,0 +1,153 @@
+"""AVL tree tests: unit behaviour plus model-based property checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.avl import AvlTree
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        tree = AvlTree()
+        tree.insert("b", 2)
+        tree.insert("a", 1)
+        assert tree.get("a") == [1]
+        assert tree.get("b") == [2]
+        assert tree.get("c") == []
+
+    def test_duplicate_keys_accumulate(self):
+        tree = AvlTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.get("k") == [1, 2]
+        assert len(tree) == 2
+        assert tree.key_count == 1
+
+    def test_contains(self):
+        tree = AvlTree()
+        tree.insert("x", 1)
+        assert "x" in tree
+        assert "y" not in tree
+
+    def test_remove(self):
+        tree = AvlTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.remove("k", 1) is True
+        assert tree.get("k") == [2]
+        assert tree.remove("k", 2) is True
+        assert tree.get("k") == []
+        assert tree.key_count == 0
+
+    def test_remove_missing_returns_false(self):
+        tree = AvlTree()
+        tree.insert("k", 1)
+        assert tree.remove("k", 99) is False
+        assert tree.remove("missing", 1) is False
+
+    def test_items_in_key_order(self):
+        tree = AvlTree()
+        for key in ["d", "a", "c", "b"]:
+            tree.insert(key, key.upper())
+        assert [k for k, _v in tree.items()] == ["a", "b", "c", "d"]
+
+    def test_keys(self):
+        tree = AvlTree()
+        for key in [5, 3, 8, 1]:
+            tree.insert(key, None)
+        assert list(tree.keys()) == [1, 3, 5, 8]
+
+    def test_min_max(self):
+        tree = AvlTree()
+        assert tree.minimum() is None
+        assert tree.maximum() is None
+        for key in [5, 3, 8, 1]:
+            tree.insert(key, None)
+        assert tree.minimum() == 1
+        assert tree.maximum() == 8
+
+    def test_range_scan(self):
+        tree = AvlTree()
+        for key in range(20):
+            tree.insert(key, key * 10)
+        result = [(k, v) for k, v in tree.range(5, 9)]
+        assert result == [(5, 50), (6, 60), (7, 70), (8, 80), (9, 90)]
+
+    def test_range_empty(self):
+        tree = AvlTree()
+        tree.insert(1, "a")
+        assert list(tree.range(5, 9)) == []
+
+
+class TestBalance:
+    def test_sequential_insert_stays_logarithmic(self):
+        tree = AvlTree()
+        for key in range(1024):
+            tree.insert(key, key)
+        # A perfectly balanced tree of 1024 keys has height 11; AVL
+        # guarantees at most ~1.44 * log2(n).
+        assert tree.height <= 15
+        tree.check_invariants()
+
+    def test_reverse_insert_balanced(self):
+        tree = AvlTree()
+        for key in range(512, 0, -1):
+            tree.insert(key, key)
+        assert tree.height <= 14
+        tree.check_invariants()
+
+
+@st.composite
+def operations(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove"]),
+                st.integers(min_value=0, max_value=30),  # key
+                st.integers(min_value=0, max_value=5),   # value
+            ),
+            max_size=120,
+        )
+    )
+    return ops
+
+
+class TestModelBased:
+    @settings(max_examples=60)
+    @given(operations())
+    def test_matches_dict_of_lists_model(self, ops):
+        tree = AvlTree()
+        model = {}
+        for op, key, value in ops:
+            if op == "insert":
+                tree.insert(key, value)
+                model.setdefault(key, []).append(value)
+            else:
+                expected = key in model and value in model[key]
+                assert tree.remove(key, value) == expected
+                if expected:
+                    model[key].remove(value)
+                    if not model[key]:
+                        del model[key]
+        tree.check_invariants()
+        for key in range(31):
+            assert sorted(tree.get(key)) == sorted(model.get(key, []))
+        assert len(tree) == sum(len(v) for v in model.values())
+        assert tree.key_count == len(model)
+        assert list(tree.keys()) == sorted(model)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), max_size=80),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_range_matches_filter(self, keys, low, high):
+        if low > high:
+            low, high = high, low
+        tree = AvlTree()
+        for key in keys:
+            tree.insert(key, key)
+        expected = sorted(k for k in keys if low <= k <= high)
+        assert [k for k, _v in tree.range(low, high)] == expected

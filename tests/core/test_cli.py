@@ -1,0 +1,198 @@
+"""CLI tests: each subcommand end to end (on a tiny campus)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import Journal
+from repro.core.records import Observation
+
+
+@pytest.fixture
+def saved_journal(tmp_path):
+    journal = Journal()
+    journal.observe_interface(
+        Observation(
+            source="ARPwatch",
+            ip="10.0.1.10",
+            mac="08:00:20:00:00:11",
+            dns_name="alpha.test",
+        )
+    )
+    journal.observe_interface(
+        Observation(source="x", ip="10.0.1.10", mac="08:00:20:00:00:99")
+    )
+    record, _ = journal.observe_interface(
+        Observation(source="RIPwatch", ip="10.0.1.1", rip_source=True,
+                    promiscuous_rip=True)
+    )
+    path = tmp_path / "journal.json"
+    journal.save(str(path))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_reports_findings(self, saved_journal, capsys):
+        assert main(["analyze", saved_journal]) == 0
+        out = capsys.readouterr().out
+        assert "promiscuous-rip: 1" in out
+        assert "total findings:" in out
+
+
+class TestReport:
+    def test_level1(self, saved_journal, capsys):
+        assert main(["report", saved_journal]) == 0
+        out = capsys.readouterr().out
+        assert "10.0.1.10" in out
+
+    def test_level2(self, saved_journal, capsys):
+        assert main(["report", saved_journal, "--subnet", "10.0.1.0/24"]) == 0
+        out = capsys.readouterr().out
+        assert "ETHERNET" in out
+
+    def test_level3(self, saved_journal, capsys):
+        assert main(["report", saved_journal, "--ip", "10.0.1.10"]) == 0
+        out = capsys.readouterr().out
+        assert "quality=good" in out
+
+
+class TestDumpAndExport:
+    def test_dump(self, saved_journal, capsys):
+        assert main(["dump", saved_journal]) == 0
+        assert "journal dump" in capsys.readouterr().out
+
+    def test_export_dot_stdout(self, saved_journal, capsys):
+        assert main(["export", saved_journal, "--format", "dot"]) == 0
+        assert "graph fremont" in capsys.readouterr().out
+
+    def test_export_sunnet_to_file(self, saved_journal, tmp_path, capsys):
+        out_file = tmp_path / "topology.snm"
+        assert main(
+            ["export", saved_journal, "--format", "sunnet", "-o", str(out_file)]
+        ) == 0
+        assert out_file.read_text().startswith("!")
+
+
+class TestCampus:
+    def test_small_campaign_writes_journal(self, tmp_path, capsys, monkeypatch):
+        # Shrink the campus so the CLI test stays fast.
+        from repro.netsim import campus as campus_module
+
+        small = campus_module.CampusProfile(
+            seed=3,
+            assigned_subnets=10,
+            unconnected_subnets=1,
+            dnsless_subnets=1,
+            dns_gateway_mix=((1, 2),),
+            plain_gateway_mix=((2, 2),),
+            buggy_gateway_mix=((1, 2),),
+            cs_octet=5,
+            cs_registered_hosts=6,
+            cs_stale_hosts=1,
+        )
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(cli_module, "CampusProfile", lambda seed: small)
+        out = tmp_path / "campus.json"
+        state = tmp_path / "state.json"
+        assert main(
+            [
+                "campus",
+                "--seed", "3",
+                "--duration", "2500",
+                "--output", str(out),
+                "--state", str(state),
+            ]
+        ) == 0
+        assert out.exists()
+        loaded = Journal.load(str(out))
+        assert loaded.counts()["interfaces"] > 0
+        manager_state = json.loads(state.read_text())
+        assert manager_state["format"] == "fremont-manager-1"
+        printed = capsys.readouterr().out
+        assert "journal:" in printed
+
+
+class TestInquiryCommands:
+    @pytest.fixture
+    def routed_journal(self, tmp_path):
+        journal = Journal()
+        a, _ = journal.observe_interface(
+            Observation(source="probe", ip="10.0.0.1",
+                        subnet_mask="255.255.255.0")
+        )
+        b, _ = journal.observe_interface(
+            Observation(source="probe", ip="10.0.1.1",
+                        subnet_mask="255.255.255.0",
+                        dns_name="gw.test")
+        )
+        journal.ensure_gateway(
+            source="probe", name="gw",
+            interface_ids=[a.record_id, b.record_id],
+        )
+        path = tmp_path / "routed.json"
+        journal.save(str(path))
+        return str(path)
+
+    def test_route_command(self, routed_journal, capsys):
+        code = main(["route", routed_journal, "10.0.0.0/24", "10.0.1.0/24"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "designed route" in out
+        assert "gw" in out
+
+    def test_route_unreachable_exit_code(self, routed_journal, capsys):
+        code = main(["route", routed_journal, "10.0.0.0/24", "172.16.0.0/24"])
+        assert code == 1
+        assert "no discovered route" in capsys.readouterr().out
+
+    def test_whereis_command(self, routed_journal, capsys):
+        assert main(["whereis", routed_journal, "gw.test"]) == 0
+        out = capsys.readouterr().out
+        assert "10.0.1.1" in out
+        assert "subnet: 10.0.1.0/24" in out
+
+    def test_whereis_unknown(self, routed_journal, capsys):
+        assert main(["whereis", routed_journal, "10.9.9.9"]) == 1
+
+    def test_utilization_command(self, routed_journal, capsys):
+        assert main(["utilization", routed_journal]) == 0
+        out = capsys.readouterr().out
+        assert "10.0.0.0/24" in out
+        assert "subnet(s) reported" in out
+
+    def test_export_svg(self, routed_journal, capsys):
+        assert main(["export", routed_journal, "--format", "svg"]) == 0
+        assert "<svg" in capsys.readouterr().out
+
+
+class TestReplicateCommand:
+    def test_push_between_two_servers(self, capsys):
+        from repro.core import JournalServer
+        from repro.core.records import Observation as Obs
+
+        source_journal = Journal()
+        source_journal.observe_interface(Obs(source="x", ip="10.0.0.1"))
+        target_journal = Journal()
+        source_server = JournalServer(source_journal).start()
+        target_server = JournalServer(target_journal).start()
+        try:
+            source_endpoint = "%s:%d" % source_server.address
+            target_endpoint = "%s:%d" % target_server.address
+            assert main(["replicate", source_endpoint, target_endpoint]) == 0
+        finally:
+            source_server.stop()
+            target_server.stop()
+        assert target_journal.counts()["interfaces"] == 1
+        assert "pushed" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,76 @@
+"""AgentPoll Explorer Module tests (the planned-SNMP comparison)."""
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.explorers import AgentPoll
+from repro.core.records import Observation
+from repro.netsim.agent import ManagementAgent
+
+
+@pytest.fixture
+def setup(chain_net):
+    net, subnets, gateways, (src, dst) = chain_net
+    journal = Journal(clock=lambda: net.sim.now)
+    client = LocalJournal(journal)
+    return net, subnets, gateways, src, dst, journal, client
+
+
+class TestAgentPoll:
+    def test_full_discovery_with_agent(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client = setup
+        ManagementAgent(gw1, community="public")
+        module = AgentPoll(src, client)
+        result = module.run(targets=[gw1.nics[0].ip])
+        assert result.discovered["agents"] == 1
+        # Every interface, with its true mask, in one query round.
+        for nic in gw1.nics:
+            record = journal.interfaces_by_ip(str(nic.ip))[0]
+            assert record.mac == str(nic.mac)
+            assert record.subnet_mask == str(nic.mask)
+        gateway = journal.all_gateways()[0]
+        assert len(gateway.interface_ids) == 2
+        assert str(left) in gateway.connected_subnets
+
+    def test_wrong_community_is_blind(self, setup):
+        net, subnets, (gw1, gw2), src, dst, journal, client = setup
+        ManagementAgent(gw1, community="s3cret")
+        module = AgentPoll(src, client, default_community="public")
+        result = module.run(targets=[gw1.nics[0].ip])
+        assert result.discovered["agents"] == 0
+        assert result.discovered["silent"] == 1
+        assert journal.counts()["interfaces"] == 0
+
+    def test_per_target_community_map(self, setup):
+        net, subnets, (gw1, gw2), src, dst, journal, client = setup
+        ManagementAgent(gw1, community="s3cret")
+        module = AgentPoll(
+            src, client, communities={str(gw1.nics[0].ip): "s3cret"}
+        )
+        result = module.run(targets=[gw1.nics[0].ip])
+        assert result.discovered["agents"] == 1
+
+    def test_no_agent_installed(self, setup):
+        net, subnets, (gw1, gw2), src, dst, journal, client = setup
+        module = AgentPoll(src, client)
+        result = module.run(targets=[gw1.nics[0].ip])
+        assert result.discovered["agents"] == 0
+        assert any("no agent" in note for note in result.notes)
+
+    def test_routes_recorded_as_subnets(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client = setup
+        ManagementAgent(gw1, community="public")
+        module = AgentPoll(src, client)
+        result = module.run(targets=[gw1.nics[0].ip])
+        keys = {record.subnet for record in journal.all_subnets()}
+        assert {str(left), str(middle), str(right)} <= keys
+
+    def test_targets_default_to_journal_gateways(self, setup):
+        net, subnets, (gw1, gw2), src, dst, journal, client = setup
+        ManagementAgent(gw1, community="public")
+        record, _ = client.observe_interface(
+            Observation(source="seed", ip=str(gw1.nics[0].ip))
+        )
+        client.ensure_gateway(source="seed", interface_ids=[record.record_id])
+        result = AgentPoll(src, client).run()
+        assert result.discovered["agents"] == 1

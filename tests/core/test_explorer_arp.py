@@ -1,0 +1,143 @@
+"""ARP-based Explorer Module tests: ARPwatch and EtherHostProbe."""
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.explorers import ArpWatch, EtherHostProbe
+from repro.netsim import TrafficGenerator
+
+
+@pytest.fixture
+def setup(small_net):
+    net, left, right, gateway, hosts = small_net
+    journal = Journal(clock=lambda: net.sim.now)
+    client = LocalJournal(journal)
+    monitor = net.add_host(left, name="monitor", index=200, activity_rate=0.0)
+    return net, left, right, gateway, hosts, journal, client, monitor
+
+
+class TestArpWatch:
+    def test_passive_discovery_from_conversation(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        watcher = ArpWatch(monitor, client)
+        watcher.start()
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)
+        net.sim.run_for(5.0)
+        result = watcher.stop()
+        ips = {r.ip for r in journal.all_interfaces()}
+        assert str(hosts["a1"].ip) in ips
+        assert str(hosts["a2"].ip) in ips
+        assert result.discovered["interfaces"] >= 2
+
+    def test_generates_no_traffic(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        segment = net.segment_for(left)
+        watcher = ArpWatch(monitor, client)
+        watcher.start()
+        before = segment.stats.frames_sent
+        net.sim.run_for(60.0)
+        watcher.stop()
+        assert segment.stats.frames_sent == before
+
+    def test_records_include_mac_and_vendor(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        watcher = ArpWatch(monitor, client)
+        watcher.start()
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)
+        net.sim.run_for(5.0)
+        watcher.stop()
+        record = journal.interfaces_by_ip(str(hosts["a1"].ip))[0]
+        assert record.mac == str(hosts["a1"].mac)
+        assert record.get("vendor") is not None
+
+    def test_cannot_see_remote_subnet(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        watcher = ArpWatch(monitor, client)
+        watcher.start()
+        hosts["b1"].send_udp(hosts["b2"].ip, 9999)  # remote conversation
+        net.sim.run_for(5.0)
+        watcher.stop()
+        assert journal.interfaces_by_ip(str(hosts["b1"].ip)) == []
+
+    def test_double_start_rejected(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        watcher = ArpWatch(monitor, client)
+        watcher.start()
+        with pytest.raises(RuntimeError):
+            watcher.start()
+        watcher.stop()
+        with pytest.raises(RuntimeError):
+            watcher.stop()
+
+    def test_run_convenience(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        generator = TrafficGenerator(net, seed=1, hosts=list(hosts.values()))
+        generator.start()
+        watcher = ArpWatch(monitor, client)
+        result = watcher.run(duration=3600.0)
+        assert result.duration == 3600.0
+        assert result.packets_sent == 0
+
+    def test_reverify_refreshes_timestamp(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        watcher = ArpWatch(monitor, client)
+        watcher.REVERIFY_INTERVAL = 10.0
+        watcher.start()
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)
+        net.sim.run_for(1500.0)  # past the ARP cache timeout
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)
+        net.sim.run_for(5.0)
+        watcher.stop()
+        record = journal.interfaces_by_ip(str(hosts["a1"].ip))[0]
+        assert record.last_verified > 1400.0
+
+
+class TestEtherHostProbe:
+    def test_discovers_live_hosts_with_macs(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        probe = EtherHostProbe(monitor, client)
+        result = probe.run(addresses=[hosts["a1"].ip, hosts["a2"].ip, left.host(99)])
+        assert result.discovered["interfaces"] == 2
+        record = journal.interfaces_by_ip(str(hosts["a1"].ip))[0]
+        assert record.mac == str(hosts["a1"].mac)
+
+    def test_discovery_works_without_udp_echo(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        hosts["a1"].quirks.udp_echo_enabled = False
+        probe = EtherHostProbe(monitor, client)
+        result = probe.run(addresses=[hosts["a1"].ip])
+        # The ARP reply alone reveals the host (the paper's key trick).
+        assert result.discovered["interfaces"] == 1
+
+    def test_powered_off_hosts_not_found(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        hosts["a2"].power_off()
+        probe = EtherHostProbe(monitor, client)
+        result = probe.run(addresses=[hosts["a1"].ip, hosts["a2"].ip])
+        assert result.discovered["interfaces"] == 1
+
+    def test_off_subnet_addresses_skipped(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        probe = EtherHostProbe(monitor, client)
+        result = probe.run(addresses=[hosts["b1"].ip])
+        assert result.discovered["interfaces"] == 0
+        assert any("off-subnet" in note for note in result.notes)
+
+    def test_rate_limit_respected(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        segment = net.segment_for(left)
+        before = segment.stats.snapshot()
+        probe = EtherHostProbe(monitor, client)
+        result = probe.run(subnet=left)
+        generated = segment.stats.frames_sent - before.frames_sent
+        assert result.duration > 0
+        # Total network load stays under the module's 4 pkt/s budget
+        # (with a little slack for reply traffic from probed hosts).
+        assert generated / result.duration <= 5.0
+
+    def test_defaults_to_attached_subnet(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        probe = EtherHostProbe(monitor, client)
+        result = probe.run()
+        # a1, a2, and the gateway's left interface all answer ARP.
+        assert result.discovered["interfaces"] == 3

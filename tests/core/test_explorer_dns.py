@@ -1,0 +1,137 @@
+"""DNS Explorer Module tests: zone walking and gateway heuristics."""
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.explorers import DnsExplorer
+from repro.core.records import Observation
+from repro.netsim import Ipv4Address, Network, Subnet
+
+
+@pytest.fixture
+def dns_net():
+    """A class-B style network with a name server and a named gateway."""
+    net = Network(seed=41, domain="campus.edu")
+    left = Subnet.parse("128.99.1.0/24")
+    right = Subnet.parse("128.99.2.0/24")
+    net.add_subnet(left)
+    net.add_subnet(right)
+    gateway = net.add_gateway("engr", [(left, 1), (right, 1)])
+    hosts = [
+        net.add_host(left, name=f"w{i}", index=10 + i) for i in range(4)
+    ] + [net.add_host(right, name=f"s{i}", index=10 + i) for i in range(3)]
+    ns_host = net.add_dns_server(left, name="ns")
+    monitor = net.add_host(left, name="monitor", index=200, register_dns=False,
+                           activity_rate=0.0)
+    net.compute_routes()
+    journal = Journal(clock=lambda: net.sim.now)
+    client = LocalJournal(journal)
+    module = DnsExplorer(
+        monitor, client, nameserver=ns_host.ip, domain="campus.edu"
+    )
+    return net, left, right, gateway, hosts, ns_host, journal, client, module
+
+
+class TestCensus:
+    def test_counts_all_registered_interfaces(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        result = module.run()
+        # 7 hosts + ns + gateway's two interfaces.
+        assert result.discovered["interfaces"] == 10
+
+    def test_subnet_census_stats(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        module.run()
+        record = journal.subnet_by_key(str(right))
+        assert record is not None
+        assert record.get("host_count") == 4  # 3 hosts + gateway intf
+        assert record.get("lowest_address") == str(right.host(1))
+        assert record.get("highest_address") == str(right.host(12))
+
+    def test_subnet_count(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        result = module.run()
+        assert result.discovered["subnets"] == 2
+
+
+class TestGatewayHeuristics:
+    def test_multi_a_gateway_identified(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        result = module.run()
+        assert result.discovered["gateways"] == 1
+        gateways = journal.all_gateways()
+        assert len(gateways) == 1
+        assert gateways[0].name == "engr.campus.edu"
+        assert len(gateways[0].interface_ids) == 2
+
+    def test_gateway_linked_to_both_subnets(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        result = module.run()
+        linked = set(journal.all_gateways()[0].connected_subnets)
+        assert linked == {str(left), str(right)}
+        assert result.discovered["gateway_subnets"] == 2
+
+    def test_gw_suffix_names_merged(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        # The builder registers engr-gw1.campus.edu for the second
+        # interface; the suffix heuristic must fold it into "engr".
+        assert net.dns.addresses_for("engr-gw1.campus.edu")
+        module.run()
+        assert len(journal.all_gateways()) == 1
+
+    def test_plain_hosts_not_recorded_when_journal_empty(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        module.run()
+        # Policy: "we do not record a name/address pair if it is the
+        # only information that we have involving an interface".
+        assert journal.interfaces_by_ip(str(hosts[0].ip)) == []
+
+    def test_plain_hosts_enrich_known_interfaces(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        client.observe_interface(Observation(source="SeqPing", ip=str(hosts[0].ip)))
+        module.run()
+        record = journal.interfaces_by_ip(str(hosts[0].ip))[0]
+        assert record.dns_name == hosts[0].hostname
+
+    def test_record_all_overrides_policy(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        module.run(record_all=True)
+        assert journal.interfaces_by_ip(str(hosts[0].ip))
+
+
+class TestMaskDiscovery:
+    def test_nameserver_mask_used(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        module.run()
+        record = journal.interfaces_by_ip(str(ns.ip))[0]
+        assert record.subnet_mask == "255.255.255.0"
+
+    def test_mask_fallback_when_ns_silent(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        ns.quirks.responds_to_mask_request = False
+        result = module.run()
+        assert any("assuming /24" in note for note in result.notes)
+        # Census still happens with the assumed mask.
+        assert result.discovered["subnets"] == 2
+
+
+class TestFailureModes:
+    def test_unreachable_nameserver_reported(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        ns.power_off()
+        result = module.run()
+        assert any("failed" in note for note in result.notes)
+        assert result.discovered.get("interfaces", 0) == 0
+
+    def test_stale_entries_still_counted(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        from repro.netsim import faults
+
+        faults.remove_host(net, hosts[0])  # DNS entry remains
+        result = module.run()
+        assert result.discovered["interfaces"] == 10  # DNS is not current
+
+    def test_explicit_network_argument(self, dns_net):
+        net, left, right, gateway, hosts, ns, journal, client, module = dns_net
+        result = module.run(network=Ipv4Address.parse("128.99.0.0"), prefix=16)
+        assert result.discovered["interfaces"] == 10

@@ -1,0 +1,251 @@
+"""Extension Explorer Modules: GDPwatch, TrafficWatch, multi-vantage
+traceroute, and LSR-based multiple-path discovery."""
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.explorers import (
+    GdpWatch,
+    MultiVantageTraceroute,
+    TracerouteModule,
+    TrafficWatch,
+)
+from repro.netsim import GdpAnnouncer, Network, Subnet, TrafficGenerator
+from repro.netsim.packet import UDP_ECHO_PORT
+
+
+@pytest.fixture
+def setup(small_net):
+    net, left, right, gateway, hosts = small_net
+    journal = Journal(clock=lambda: net.sim.now)
+    client = LocalJournal(journal)
+    monitor = net.add_host(left, name="monitor", index=200, activity_rate=0.0)
+    return net, left, right, gateway, hosts, journal, client, monitor
+
+
+class TestGdpWatch:
+    def test_discovers_announcing_gateway(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        GdpAnnouncer(gateway, interval=60.0).start()
+        watcher = GdpWatch(monitor, client)
+        result = watcher.run(duration=70.0)
+        assert result.discovered["gateways"] == 1
+        record = journal.interfaces_by_ip(str(gateway.nics[0].ip))[0]
+        assert record.mac == str(gateway.nics[0].mac)
+        assert journal.gateway_for_interface(record.record_id) is not None
+
+    def test_silent_without_gdp_deployment(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        result = GdpWatch(monitor, client).run(duration=120.0)
+        assert result.discovered["gateways"] == 0
+        assert result.packets_sent == 0
+
+    def test_sees_only_local_segment(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        remote_gw = net.add_gateway("far", [(right, 100)])
+        GdpAnnouncer(remote_gw, interval=60.0).start()
+        result = GdpWatch(monitor, client).run(duration=70.0)
+        assert result.discovered["gateways"] == 0
+
+    def test_double_start_rejected(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        watcher = GdpWatch(monitor, client)
+        watcher.start()
+        with pytest.raises(RuntimeError):
+            watcher.start()
+        watcher.stop()
+
+
+class TestTrafficWatch:
+    def test_discovers_communicating_machines(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        watcher = TrafficWatch(monitor, client)
+        watcher.start()
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)
+        net.sim.run_for(10.0)
+        result = watcher.stop()
+        found = {r.ip for r in journal.all_interfaces()}
+        assert str(hosts["a1"].ip) in found
+        assert str(hosts["a2"].ip) in found
+        # a2 answered the closed port with ICMP, revealing it too.
+        assert result.discovered["interfaces"] >= 2
+
+    def test_discovers_echo_service(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        hosts["a2"].quirks.udp_echo_enabled = True
+        watcher = TrafficWatch(monitor, client)
+        watcher.start()
+        hosts["a1"].send_udp(hosts["a2"].ip, UDP_ECHO_PORT, payload="x")
+        net.sim.run_for(10.0)
+        result = watcher.stop()
+        assert (hosts["a2"].ip, "echo") in watcher.services
+        assert "echo" in watcher.service_table()
+        assert result.discovered["services"] >= 1
+
+    def test_no_service_claim_without_answer(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        hosts["a2"].quirks.udp_echo_enabled = False
+        watcher = TrafficWatch(monitor, client)
+        watcher.start()
+        hosts["a1"].send_udp(hosts["a2"].ip, UDP_ECHO_PORT, payload="x")
+        net.sim.run_for(10.0)
+        watcher.stop()
+        assert (hosts["a2"].ip, "echo") not in watcher.services
+
+    def test_remote_sources_not_bound_to_gateway_mac(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        watcher = TrafficWatch(monitor, client)
+        watcher.start()
+        hosts["b1"].send_udp(hosts["a1"].ip, 9999)  # crosses the gateway
+        net.sim.run_for(10.0)
+        watcher.stop()
+        records = journal.interfaces_by_ip(str(hosts["b1"].ip))
+        assert records
+        # b1's frames arrive carrying the gateway's MAC; TrafficWatch
+        # must not record that MAC as b1's.
+        assert records[0].mac is None
+
+    def test_sees_conversations_arpwatch_misses(self, setup):
+        """Ongoing flows with warm ARP caches carry no ARP frames;
+        only a promiscuous IP monitor sees the participants."""
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        # Warm the caches before any watcher starts.
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)
+        net.sim.run_for(5.0)
+        from repro.core.explorers import ArpWatch
+
+        arp_journal = Journal(clock=lambda: net.sim.now)
+        arp_watch = ArpWatch(monitor, LocalJournal(arp_journal))
+        traffic_watch = TrafficWatch(monitor, client)
+        arp_watch.start()
+        traffic_watch.start()
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)  # no ARP needed now
+        net.sim.run_for(10.0)
+        arp_result = arp_watch.stop()
+        traffic_result = traffic_watch.stop()
+        assert arp_result.discovered["interfaces"] == 0
+        assert traffic_result.discovered["interfaces"] >= 2
+
+
+class TestMultiVantage:
+    @pytest.fixture
+    def triangle(self):
+        """Monitor vantages on both end subnets of a 2-gateway chain.
+
+        The gateways sit at high addresses and do not accept host-zero
+        (the paper: "Not all routers perform correctly"), so only their
+        prober-facing interfaces answer — each vantage sees half.
+        """
+        net = Network(seed=71)
+        left = Subnet.parse("10.6.1.0/24")
+        middle = Subnet.parse("10.6.2.0/24")
+        right = Subnet.parse("10.6.3.0/24")
+        for subnet in (left, middle, right):
+            net.add_subnet(subnet)
+        gw1 = net.add_gateway("gw1", [(left, 50), (middle, 50)])
+        gw2 = net.add_gateway("gw2", [(middle, 60), (right, 50)])
+        gw1.quirks.accepts_host_zero = False
+        gw2.quirks.accepts_host_zero = False
+        mon_a = net.add_host(left, name="mon-a", index=200, activity_rate=0.0)
+        mon_b = net.add_host(right, name="mon-b", index=200, activity_rate=0.0)
+        net.compute_routes()
+        return net, (left, middle, right), (gw1, gw2), (mon_a, mon_b)
+
+    def test_two_vantages_see_more_interfaces_than_one(self, triangle):
+        net, (left, middle, right), (gw1, gw2), (mon_a, mon_b) = triangle
+        targets = [left, middle, right]
+
+        single_journal = Journal(clock=lambda: net.sim.now)
+        TracerouteModule(mon_a, LocalJournal(single_journal)).run(targets=targets)
+        single_interfaces = {
+            r.ip for r in single_journal.all_interfaces() if r.ip is not None
+        }
+
+        shared_journal = Journal(clock=lambda: net.sim.now)
+        multi = MultiVantageTraceroute(
+            [mon_a, mon_b], LocalJournal(shared_journal)
+        )
+        combined = multi.run(targets=targets)
+        multi_interfaces = {
+            r.ip for r in shared_journal.all_interfaces() if r.ip is not None
+        }
+        # Each vantage hears Time Exceeded only from the near side;
+        # together they cover interfaces a single run cannot.
+        assert len(multi_interfaces) > len(single_interfaces)
+        assert str(gw2.nics[1].ip) in multi_interfaces  # mon_b's near side
+        assert str(gw2.nics[1].ip) not in single_interfaces
+        assert len(combined.per_vantage) == 2
+
+    def test_interfaces_merge_into_shared_gateways(self, triangle):
+        net, (left, middle, right), (gw1, gw2), (mon_a, mon_b) = triangle
+        # This gateway answers host-zero, so the same-device inference
+        # ties its far side to the Time-Exceeded near side.
+        gw1.quirks.accepts_host_zero = True
+        journal = Journal(clock=lambda: net.sim.now)
+        multi = MultiVantageTraceroute([mon_a, mon_b], LocalJournal(journal))
+        multi.run(targets=[left, middle, right])
+        sides = [
+            journal.interfaces_by_ip(str(nic.ip)) for nic in gw1.nics
+        ]
+        assert all(sides)
+        gateways = {
+            journal.gateway_for_interface(records[0].record_id).record_id
+            for records in sides
+        }
+        assert len(gateways) == 1
+
+    def test_requires_a_vantage(self):
+        with pytest.raises(ValueError):
+            MultiVantageTraceroute([], None)
+
+
+class TestTracerouteVia:
+    @pytest.fixture
+    def redundant(self):
+        """Two parallel gateways between two subnets."""
+        net = Network(seed=73)
+        left = Subnet.parse("10.7.1.0/24")
+        right = Subnet.parse("10.7.2.0/24")
+        net.add_subnet(left)
+        net.add_subnet(right)
+        primary = net.add_gateway("primary", [(left, 1), (right, 1)])
+        # The backup sits away from the .1/.2 probe addresses, so only
+        # deliberate routing through it can reveal its interfaces.
+        backup = net.add_gateway("backup", [(left, 50), (right, 50)])
+        monitor = net.add_host(left, name="monitor", index=200, activity_rate=0.0)
+        net.compute_routes()
+        net.set_default_gateway(left, primary)
+        return net, left, right, primary, backup, monitor
+
+    def test_lsr_reveals_the_redundant_path(self, redundant):
+        net, left, right, primary, backup, monitor = redundant
+        journal = Journal(clock=lambda: net.sim.now)
+        client = LocalJournal(journal)
+        # Plain trace: only the primary gateway appears.
+        TracerouteModule(monitor, client).run(targets=[right])
+        assert journal.interfaces_by_ip(str(backup.nics[1].ip)) == []
+        # Source-routed trace through the backup's near interface.
+        module = TracerouteModule(monitor, client)
+        result = module.run(targets=[right], via=backup.nics[0].ip)
+        assert journal.interfaces_by_ip(str(backup.nics[1].ip))
+        assert result.discovered["confirmed_subnets"] >= 1
+
+    def test_redundant_path_discovered_when_primary_down(self, redundant):
+        """"If a lower priority, redundant path exists between two
+        locations, that path will be discovered only when the primary
+        path is down ... the Journal will contain more complete
+        information aggregated from multiple invocations."""
+        net, left, right, primary, backup, monitor = redundant
+        journal = Journal(clock=lambda: net.sim.now)
+        client = LocalJournal(journal)
+        TracerouteModule(monitor, client).run(targets=[right])
+        primary_seen = bool(journal.interfaces_by_ip(str(primary.nics[1].ip)))
+        # The primary fails; hosts fail over to the backup.
+        primary.power_off()
+        net.set_default_gateway(left, backup)
+        TracerouteModule(monitor, client).run(targets=[right])
+        # The Journal now holds BOTH paths' gateways.
+        assert primary_seen
+        assert journal.interfaces_by_ip(str(backup.nics[1].ip))
+        gateways_known = len(journal.all_gateways())
+        assert gateways_known >= 2

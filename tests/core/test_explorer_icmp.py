@@ -1,0 +1,147 @@
+"""ICMP Explorer Module tests: SeqPing, BroadcastPing, SubnetMasks."""
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.explorers import BroadcastPing, SequentialPing, SubnetMaskModule
+from repro.core.records import Observation
+from repro.netsim import Netmask
+
+
+@pytest.fixture
+def setup(small_net):
+    net, left, right, gateway, hosts = small_net
+    journal = Journal(clock=lambda: net.sim.now)
+    client = LocalJournal(journal)
+    monitor = net.add_host(left, name="monitor", index=200, activity_rate=0.0)
+    return net, left, right, gateway, hosts, journal, client, monitor
+
+
+class TestSequentialPing:
+    def test_finds_all_live_hosts(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        ping = SequentialPing(monitor, client)
+        result = ping.run(addresses=[hosts["a1"].ip, hosts["a2"].ip, left.host(99)])
+        assert result.discovered["interfaces"] == 2
+        assert journal.interfaces_by_ip(str(hosts["a1"].ip))
+
+    def test_probe_pacing_two_seconds(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        ping = SequentialPing(monitor, client)
+        result = ping.run(addresses=[hosts["a1"].ip, hosts["a2"].ip])
+        # 2 probes at 2 s each; both respond so no retry pass.
+        assert result.duration == pytest.approx(4.0)
+        assert result.packets_sent == 2
+
+    def test_retry_pass_for_silent_hosts(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        hosts["a2"].quirks.responds_to_ping = False
+        ping = SequentialPing(monitor, client)
+        result = ping.run(addresses=[hosts["a1"].ip, hosts["a2"].ip])
+        # The non-responder is probed again in the second sweep.
+        assert result.packets_sent == 3
+        assert result.discovered["interfaces"] == 1
+
+    def test_works_across_gateway(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        ping = SequentialPing(monitor, client)
+        result = ping.run(addresses=[hosts["b1"].ip])
+        assert result.discovered["interfaces"] == 1
+
+    def test_reaches_remote_subnet_by_default_probe_of_own(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        ping = SequentialPing(monitor, client)
+        result = ping.run(subnet=right)
+        # b1, b2 and the gateway's right interface.
+        assert result.discovered["interfaces"] == 3
+
+
+class TestBroadcastPing:
+    def test_local_broadcast_finds_responders(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        ping = BroadcastPing(monitor, client)
+        result = ping.run(subnet=left)
+        # a1, a2, gateway's left interface (jittered replies, small net:
+        # no collisions).
+        assert result.discovered["interfaces"] == 3
+        assert result.duration == pytest.approx(BroadcastPing.COLLECT_WINDOW)
+
+    def test_completes_fast_compared_to_seqping(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        result = BroadcastPing(monitor, client).run(subnet=left)
+        assert result.duration <= 30.0
+
+    def test_broadcast_quirk_hosts_silent(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        hosts["a2"].quirks.responds_to_broadcast_ping = False
+        result = BroadcastPing(monitor, client).run(subnet=left)
+        found = {r.ip for r in journal.all_interfaces()}
+        assert str(hosts["a2"].ip) not in found
+
+    def test_remote_subnet_blocked_by_gateway_policy(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        result = BroadcastPing(monitor, client).run(subnet=right)
+        # Default policy: gateways do not forward directed broadcasts;
+        # only the gateway itself may answer.
+        assert str(hosts["b1"].ip) not in {r.ip for r in journal.all_interfaces()}
+        assert result.notes or result.discovered["interfaces"] <= 1
+
+    def test_remote_subnet_with_forwarding_gateway(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        gateway.forwards_directed_broadcast = True
+        result = BroadcastPing(monitor, client).run(subnet=right)
+        found = {r.ip for r in journal.all_interfaces()}
+        assert str(hosts["b1"].ip) in found
+        assert str(hosts["b2"].ip) in found
+
+
+class TestSubnetMasks:
+    def test_masks_for_journal_interfaces(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        for host in (hosts["a1"], hosts["a2"]):
+            client.observe_interface(Observation(source="seed", ip=str(host.ip)))
+        module = SubnetMaskModule(monitor, client)
+        result = module.run()
+        assert result.discovered["masks"] == 2
+        record = journal.interfaces_by_ip(str(hosts["a1"].ip))[0]
+        assert record.subnet_mask == "255.255.255.0"
+
+    def test_explicit_addresses(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        result = SubnetMaskModule(monitor, client).run(addresses=[hosts["b1"].ip])
+        assert result.discovered["masks"] == 1
+
+    def test_silent_hosts_negatively_cached(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        hosts["a1"].quirks.responds_to_mask_request = False
+        module = SubnetMaskModule(monitor, client)
+        first = module.run(addresses=[hosts["a1"].ip])
+        assert first.discovered["silent"] == 1
+        second = module.run(addresses=[hosts["a1"].ip])
+        assert second.packets_sent == 0
+        assert any("negatively cached" in note for note in second.notes)
+
+    def test_negative_cache_can_be_bypassed(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        hosts["a1"].quirks.responds_to_mask_request = False
+        module = SubnetMaskModule(monitor, client)
+        module.run(addresses=[hosts["a1"].ip])
+        again = module.run(addresses=[hosts["a1"].ip], use_negative_cache=False)
+        assert again.packets_sent > 0
+
+    def test_skips_interfaces_already_masked(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        client.observe_interface(
+            Observation(
+                source="seed", ip=str(hosts["a1"].ip), subnet_mask="255.255.255.0"
+            )
+        )
+        result = SubnetMaskModule(monitor, client).run()
+        assert result.packets_sent == 0
+
+    def test_wrong_mask_recorded_as_reported(self, setup):
+        net, left, right, gateway, hosts, journal, client, monitor = setup
+        hosts["a1"].primary_nic().mask = Netmask.from_prefix(26)
+        result = SubnetMaskModule(monitor, client).run(addresses=[hosts["a1"].ip])
+        record = journal.interfaces_by_ip(str(hosts["a1"].ip))[0]
+        assert record.subnet_mask == "255.255.255.192"

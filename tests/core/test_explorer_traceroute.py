@@ -1,0 +1,156 @@
+"""Traceroute Explorer Module tests."""
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.explorers import TracerouteModule
+from repro.netsim import Network, Subnet, faults
+
+
+@pytest.fixture
+def setup(chain_net):
+    net, subnets, gateways, (src, dst) = chain_net
+    journal = Journal(clock=lambda: net.sim.now)
+    client = LocalJournal(journal)
+    module = TracerouteModule(src, client)
+    return net, subnets, gateways, src, dst, journal, client, module
+
+
+class TestTracing:
+    def test_two_hop_trace_records_both_gateways(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        result = module.run(targets=[right])
+        trace = next(t for t in module.traces if t.address == str(right.host(1)))
+        # gw1's near interface appears at hop 1; the probe to .1 is gw2's
+        # own right-side interface, which answers port-unreachable.
+        assert trace.hops[0] == str(gw1.nics[0].ip)
+        assert trace.final_type == "port-unreachable"
+
+    def test_host_zero_pins_gateway_subnet_link(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        module.run(targets=[right])
+        gateways = journal.all_gateways()
+        linked = {
+            key for gateway in gateways for key in gateway.connected_subnets
+        }
+        assert str(right) in linked
+
+    def test_subnet_confirmed_and_recorded(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        result = module.run(targets=[right])
+        assert result.discovered["confirmed_subnets"] >= 1
+        assert journal.subnet_by_key(str(right)) is not None
+
+    def test_targets_default_to_journal_subnets(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        client.ensure_subnet(str(right), source="RIPwatch")
+        result = module.run()
+        assert result.discovered["confirmed_subnets"] >= 1
+
+    def test_targets_default_to_attached_when_journal_empty(self, setup):
+        net, subnets, gateways, src, dst, journal, client, module = setup
+        result = module.run()
+        assert result.packets_sent > 0
+
+    def test_rate_limit_respected(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        result = module.run(targets=[left, middle, right])
+        assert result.packets_per_second() <= TracerouteModule.RATE_LIMIT + 0.5
+
+    def test_intermediate_interfaces_reported(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        module.run(targets=[right])
+        assert journal.interfaces_by_ip(str(gw1.nics[0].ip))
+        # gw1's far interface (on middle) is linked via path adjacency:
+        # gw1 connects left and middle.
+        gw1_record = journal.interfaces_by_ip(str(gw1.nics[0].ip))[0]
+        gateway = journal.gateway_for_interface(gw1_record.record_id)
+        assert str(middle) in gateway.connected_subnets
+        assert str(left) in gateway.connected_subnets
+
+
+class TestFailureModes:
+    def test_broken_destination_gateway_hides_subnet(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        faults.break_gateway_icmp(gw2)
+        dst.power_off()  # nothing on the right subnet will answer
+        result = module.run(targets=[right])
+        trace = next(t for t in module.traces if t.address == str(right.host_zero))
+        assert trace.final_responder is None
+        assert str(right) not in {
+            key
+            for gateway in journal.all_gateways()
+            for key in gateway.connected_subnets
+        }
+
+    def test_silent_hop_is_skipped_not_fatal(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        gw1.quirks.silent_ttl_drop = True  # hop 1 never answers
+        result = module.run(targets=[right])
+        trace = next(t for t in module.traces if t.address == str(right.host_zero))
+        # Hop 1 is a timeout (None), but the trace still completes.
+        assert trace.hops[0] is None
+        assert trace.final_type == "port-unreachable"
+
+    def test_ttl_echo_bug_reply_eventually_received(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        faults.give_ttl_echo_bug(gw2)
+        result = module.run(targets=[right])
+        trace = next(t for t in module.traces if t.address == str(right.host_zero))
+        # The buggy unreachable dies on its way back at first, but the
+        # ramp keeps raising the probe TTL until the reply survives.
+        assert trace.final_type == "port-unreachable"
+
+    def test_stop_subnets_halt_trace(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        result = module.run(targets=[right], stop_subnets=[left])
+        # gw1's hop-1 interface is on `left`, the stop network.
+        for trace in module.traces:
+            if trace.note:
+                assert "stop network" in trace.note
+        assert all(t.final_responder is None for t in module.traces)
+
+    def test_unroutable_target_gives_up(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        nowhere = Subnet.parse("172.16.55.0/24")
+        result = module.run(targets=[nowhere])
+        # gw1 answers net-unreachable (terminal), or times out: either
+        # way every destination resolves and the module terminates.
+        assert all(t.final_type != "port-unreachable" for t in module.traces)
+
+
+class TestRoutingLoop:
+    def test_loop_detected_and_stopped(self):
+        net = Network(seed=31)
+        a = Subnet.parse("10.5.1.0/24")
+        b = Subnet.parse("10.5.2.0/24")
+        c = Subnet.parse("10.5.3.0/24")
+        for subnet in (a, b):
+            net.add_subnet(subnet)
+        gw1 = net.add_gateway("gw1", [(a, 1), (b, 1)])
+        gw2 = net.add_gateway("gw2", [(b, 2), (a, 2)])
+        src = net.add_host(a, name="src", index=10)
+        net.compute_routes()
+        # Sabotage: gw1 and gw2 point the unknown subnet at each other.
+        gw1.clear_routes()
+        gw2.clear_routes()
+        gw1.add_route(c, gw2.nics[0].ip)
+        gw2.add_route(c, gw1.nics[1].ip)
+        src.default_gateway = gw1.nics[0].ip
+        journal = Journal(clock=lambda: net.sim.now)
+        module = TracerouteModule(src, LocalJournal(journal))
+        module.run(targets=[c])
+        notes = [t.note for t in module.traces if t.note]
+        assert any("routing loop" in note for note in notes)
+
+
+class TestStartTtlOptimisation:
+    def test_start_ttl_skips_known_prefix(self, setup):
+        net, (left, middle, right), (gw1, gw2), src, dst, journal, client, module = setup
+        full = module.run(targets=[right])
+        full_packets = full.packets_sent
+        module2 = TracerouteModule(src, client)
+        optimised = module2.run(targets=[right], start_ttl=2)
+        assert optimised.packets_sent < full_packets
+        trace = next(t for t in module2.traces if t.address == str(right.host_zero))
+        assert trace.final_type == "port-unreachable"

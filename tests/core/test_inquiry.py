@@ -1,0 +1,166 @@
+"""Inquiry agent tests: the paper's opening scenario, answerable."""
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.correlate import Correlator
+from repro.core.inquiry import NetworkPicture
+from repro.core.records import Observation
+
+
+def _clock():
+    state = {"now": 0.0}
+    return (lambda: state["now"]), state
+
+
+@pytest.fixture
+def picture():
+    """A discovered two-hop campus fragment:
+
+    classics-subnet --[ath-gw]-- backbone --[core-gw]-- office-subnet
+    """
+    clock, state = _clock()
+    journal = Journal(clock=clock)
+    state["now"] = 100.0
+
+    def observe(**kwargs):
+        source = kwargs.pop("source", "probe")
+        record, _ = journal.observe_interface(Observation(source=source, **kwargs))
+        return record
+
+    # The Athletics workstation-gateway: one MAC, two interfaces.
+    ath_backbone = observe(ip="10.50.0.7", mac="08:00:20:00:00:07",
+                           subnet_mask="255.255.255.0")
+    ath_classics = observe(ip="10.50.1.1", mac="08:00:20:00:00:07",
+                           subnet_mask="255.255.255.0")
+    core_backbone = observe(ip="10.50.0.1", mac="00:00:0c:00:00:01",
+                            subnet_mask="255.255.255.0")
+    core_office = observe(ip="10.50.2.1", mac="00:00:0c:00:00:02",
+                          subnet_mask="255.255.255.0")
+    server = observe(ip="10.50.1.10", dns_name="ancient-history.classics.edu",
+                     subnet_mask="255.255.255.0")
+    office_host = observe(ip="10.50.2.10", dns_name="boss.office.edu",
+                          subnet_mask="255.255.255.0")
+    ath, _ = journal.ensure_gateway(
+        source="probe", name="athletics-ws",
+        interface_ids=[ath_backbone.record_id, ath_classics.record_id],
+    )
+    core, _ = journal.ensure_gateway(
+        source="probe", name="core-gw",
+        interface_ids=[core_backbone.record_id, core_office.record_id],
+    )
+    Correlator(journal).correlate()
+    state["now"] = 200.0
+    return NetworkPicture(journal), journal, state, ath
+
+
+class TestWhereIs:
+    def test_by_name(self, picture):
+        net_picture, journal, state, ath = picture
+        records = net_picture.where_is("ancient-history.classics.edu")
+        assert len(records) == 1
+        assert records[0].ip == "10.50.1.10"
+
+    def test_by_address(self, picture):
+        net_picture, journal, state, ath = picture
+        records = net_picture.where_is("10.50.2.10")
+        assert records[0].dns_name == "boss.office.edu"
+
+    def test_unknown(self, picture):
+        net_picture, journal, state, ath = picture
+        assert net_picture.where_is("nobody.nowhere.edu") == []
+
+    def test_subnet_of(self, picture):
+        net_picture, journal, state, ath = picture
+        assert str(net_picture.subnet_of("10.50.1.10")) == "10.50.1.0/24"
+        assert str(net_picture.subnet_of("ancient-history.classics.edu")) == (
+            "10.50.1.0/24"
+        )
+
+    def test_last_seen(self, picture):
+        net_picture, journal, state, ath = picture
+        assert net_picture.last_seen("10.50.1.10") == pytest.approx(100.0)
+
+
+class TestRouteBetween:
+    def test_designed_route_found(self, picture):
+        net_picture, journal, state, ath = picture
+        route = net_picture.route_between("10.50.2.0/24", "10.50.1.0/24")
+        assert route.reachable
+        names = [hop.gateway_name for hop in route.hops]
+        assert names == ["core-gw", "athletics-ws"]
+        assert route.hops[0].from_subnet == "10.50.2.0/24"
+        assert route.hops[-1].to_subnet == "10.50.1.0/24"
+
+    def test_unreachable_pair(self, picture):
+        net_picture, journal, state, ath = picture
+        journal.ensure_subnet("10.99.0.0/24", source="RIPwatch")
+        route = net_picture.route_between("10.50.2.0/24", "10.99.0.0/24")
+        assert not route.reachable
+        assert "no discovered route" in route.describe()
+
+    def test_silent_gateway_is_the_suspect(self, picture):
+        """The paper's scenario: the coach unplugged the workstation."""
+        net_picture, journal, state, ath = picture
+        # Time passes; only the core gateway is re-verified.
+        state["now"] = 5000.0
+        for interface_id in journal.gateways[
+            next(g.record_id for g in journal.all_gateways() if g.name == "core-gw")
+        ].interface_ids:
+            record = journal.interfaces[interface_id]
+            journal.observe_interface(
+                Observation(source="SeqPing", ip=record.ip)
+            )
+        state["now"] = 5100.0
+        route = net_picture.route_between("10.50.2.0/24", "10.50.1.0/24")
+        suspects = route.suspects(silent_threshold=600.0)
+        assert [hop.gateway_name for hop in suspects] == ["athletics-ws"]
+        assert "SILENT" in route.describe()
+
+    def test_describe_lists_every_hop(self, picture):
+        net_picture, journal, state, ath = picture
+        route = net_picture.route_between("10.50.2.0/24", "10.50.1.0/24")
+        text = route.describe()
+        assert "core-gw" in text
+        assert "athletics-ws" in text
+
+
+class TestGatewaysFor:
+    def test_local_gateways(self, picture):
+        net_picture, journal, state, ath = picture
+        gateways = net_picture.gateways_for("10.50.1.0/24")
+        assert [g.name for g in gateways] == ["athletics-ws"]
+
+    def test_unknown_subnet(self, picture):
+        net_picture, journal, state, ath = picture
+        assert net_picture.gateways_for("172.16.0.0/24") == []
+
+
+class TestWhatChanged:
+    def test_new_discoveries_listed(self, picture):
+        net_picture, journal, state, ath = picture
+        state["now"] = 300.0
+        journal.observe_interface(
+            Observation(source="ARPwatch", ip="10.50.1.77",
+                        mac="aa:00:03:00:00:77")
+        )
+        changes = net_picture.what_changed_since(250.0)
+        assert any("10.50.1.77" in change for change in changes)
+
+    def test_value_changes_show_old_and_new(self, picture):
+        net_picture, journal, state, ath = picture
+        state["now"] = 400.0
+        journal.observe_interface(
+            Observation(source="DNS", ip="10.50.1.10",
+                        dns_name="renamed.classics.edu")
+        )
+        changes = net_picture.what_changed_since(350.0)
+        assert any(
+            "ancient-history.classics.edu" in change
+            and "renamed.classics.edu" in change
+            for change in changes
+        )
+
+    def test_quiet_period_is_empty(self, picture):
+        net_picture, journal, state, ath = picture
+        assert net_picture.what_changed_since(state["now"]) == []

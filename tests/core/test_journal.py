@@ -1,0 +1,355 @@
+"""Journal merge semantics, indexing, and persistence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.journal import Journal, ip_key
+from repro.core.records import Observation, Quality
+
+
+def _clock(values):
+    """A controllable clock."""
+    state = {"now": 0.0}
+
+    def clock():
+        return state["now"]
+
+    return clock, state
+
+
+@pytest.fixture
+def journal():
+    clock, state = _clock(None)
+    journal = Journal(clock=clock)
+    journal._clock_state = state  # test hook
+    return journal
+
+
+def _at(journal, when):
+    journal._clock_state["now"] = when
+
+
+class TestIpKey:
+    def test_zero_padding(self):
+        assert ip_key("10.0.0.1") == "010.000.000.001"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_order_matches_numeric(self, a, b):
+        from repro.netsim.addresses import Ipv4Address
+
+        key_a, key_b = ip_key(str(Ipv4Address(a))), ip_key(str(Ipv4Address(b)))
+        assert (key_a < key_b) == (a < b)
+
+
+class TestMerge:
+    def test_new_observation_creates_record(self, journal):
+        record, changed = journal.observe_interface(
+            Observation(source="SeqPing", ip="10.0.0.1")
+        )
+        assert changed is True
+        assert record.ip == "10.0.0.1"
+        assert journal.counts()["interfaces"] == 1
+
+    def test_same_observation_verifies_not_duplicates(self, journal):
+        _at(journal, 1.0)
+        journal.observe_interface(Observation(source="SeqPing", ip="10.0.0.1"))
+        _at(journal, 2.0)
+        record, changed = journal.observe_interface(
+            Observation(source="SeqPing", ip="10.0.0.1")
+        )
+        assert changed is False
+        assert journal.counts()["interfaces"] == 1
+        assert record.last_verified == 2.0
+
+    def test_mac_claims_ip_only_record(self, journal):
+        journal.observe_interface(Observation(source="SeqPing", ip="10.0.0.1"))
+        record, changed = journal.observe_interface(
+            Observation(source="ARPwatch", ip="10.0.0.1", mac="08:00:20:00:00:01")
+        )
+        assert changed is True
+        assert journal.counts()["interfaces"] == 1
+        assert record.mac == "08:00:20:00:00:01"
+
+    def test_ip_claims_mac_only_record(self, journal):
+        journal.observe_interface(
+            Observation(source="ARPwatch", mac="08:00:20:00:00:01")
+        )
+        record, _ = journal.observe_interface(
+            Observation(source="EHP", ip="10.0.0.1", mac="08:00:20:00:00:01")
+        )
+        assert journal.counts()["interfaces"] == 1
+        assert record.ip == "10.0.0.1"
+
+    def test_conflicting_mac_splits_record(self, journal):
+        journal.observe_interface(
+            Observation(source="ARPwatch", ip="10.0.0.1", mac="08:00:20:00:00:01")
+        )
+        record2, changed = journal.observe_interface(
+            Observation(source="ARPwatch", ip="10.0.0.1", mac="08:00:20:00:00:02")
+        )
+        assert changed is True
+        assert journal.counts()["interfaces"] == 2
+        holders = journal.interfaces_by_ip("10.0.0.1")
+        assert len(holders) == 2
+
+    def test_name_enriches_matching_ip(self, journal):
+        journal.observe_interface(Observation(source="SeqPing", ip="10.0.0.1"))
+        record, _ = journal.observe_interface(
+            Observation(source="DNS", ip="10.0.0.1", dns_name="host.test")
+        )
+        assert journal.counts()["interfaces"] == 1
+        assert record.dns_name == "host.test"
+        assert journal.interfaces_by_name("host.test")
+
+    def test_name_only_observation(self, journal):
+        record, changed = journal.observe_interface(
+            Observation(source="DNS", dns_name="host.test")
+        )
+        assert changed
+        assert journal.interfaces_by_name("host.test") == [record]
+
+    def test_freshest_record_wins_ambiguity(self, journal):
+        _at(journal, 1.0)
+        journal.observe_interface(
+            Observation(source="ARPwatch", ip="10.0.0.1", mac="aa:00:00:00:00:01")
+        )
+        _at(journal, 100.0)
+        fresh, _ = journal.observe_interface(
+            Observation(source="ARPwatch", ip="10.0.0.1", mac="aa:00:00:00:00:02")
+        )
+        _at(journal, 200.0)
+        # An ip-only sighting verifies the most recently verified holder.
+        record, _ = journal.observe_interface(
+            Observation(source="SeqPing", ip="10.0.0.1")
+        )
+        assert record is fresh
+
+
+class TestIndexes:
+    def test_lookup_by_all_three_indexes(self, journal):
+        journal.observe_interface(
+            Observation(
+                source="x", ip="10.0.0.1", mac="aa:00:00:00:00:01", dns_name="h.test"
+            )
+        )
+        assert journal.interfaces_by_ip("10.0.0.1")
+        assert journal.interfaces_by_mac("aa:00:00:00:00:01")
+        assert journal.interfaces_by_name("h.test")
+
+    def test_ip_range_scan_numeric(self, journal):
+        for suffix in [1, 5, 9, 20, 100]:
+            journal.observe_interface(
+                Observation(source="x", ip=f"10.0.0.{suffix}")
+            )
+        records = journal.interfaces_in_ip_range("10.0.0.5", "10.0.0.99")
+        assert sorted(r.ip for r in records) == ["10.0.0.20", "10.0.0.5", "10.0.0.9"]
+
+    def test_reindex_on_name_change(self, journal):
+        journal.observe_interface(
+            Observation(source="DNS", ip="10.0.0.1", dns_name="old.test")
+        )
+        journal.observe_interface(
+            Observation(source="DNS", ip="10.0.0.1", dns_name="new.test")
+        )
+        assert journal.interfaces_by_name("old.test") == []
+        assert len(journal.interfaces_by_name("new.test")) == 1
+
+    def test_delete_removes_from_indexes(self, journal):
+        record, _ = journal.observe_interface(
+            Observation(source="x", ip="10.0.0.1", mac="aa:00:00:00:00:01")
+        )
+        assert journal.delete_interface(record.record_id) is True
+        assert journal.interfaces_by_ip("10.0.0.1") == []
+        assert journal.interfaces_by_mac("aa:00:00:00:00:01") == []
+        assert journal.delete_interface(record.record_id) is False
+
+    def test_all_interfaces_ordered_by_modification(self, journal):
+        _at(journal, 1.0)
+        first, _ = journal.observe_interface(Observation(source="x", ip="10.0.0.1"))
+        _at(journal, 2.0)
+        second, _ = journal.observe_interface(Observation(source="x", ip="10.0.0.2"))
+        _at(journal, 3.0)
+        journal.observe_interface(
+            Observation(source="x", ip="10.0.0.1", dns_name="bump.test")
+        )
+        ordered = journal.all_interfaces()
+        assert ordered[-1] is first  # most recently modified last
+
+
+class TestGatewaysAndSubnets:
+    def _two_interfaces(self, journal):
+        r1, _ = journal.observe_interface(Observation(source="x", ip="10.0.1.1"))
+        r2, _ = journal.observe_interface(Observation(source="x", ip="10.0.2.1"))
+        return r1, r2
+
+    def test_ensure_gateway_creates_and_links(self, journal):
+        r1, r2 = self._two_interfaces(journal)
+        gateway, created = journal.ensure_gateway(
+            source="Traceroute", interface_ids=[r1.record_id, r2.record_id]
+        )
+        assert created is True
+        assert set(gateway.interface_ids) == {r1.record_id, r2.record_id}
+        assert r1.gateway_id == gateway.record_id
+
+    def test_ensure_gateway_finds_by_member(self, journal):
+        r1, r2 = self._two_interfaces(journal)
+        first, _ = journal.ensure_gateway(source="x", interface_ids=[r1.record_id])
+        second, changed = journal.ensure_gateway(
+            source="y", interface_ids=[r1.record_id, r2.record_id]
+        )
+        assert changed is True  # a new member joined an existing gateway
+        assert second is first
+        assert journal.counts()["gateways"] == 1
+
+    def test_ensure_gateway_idempotent_when_nothing_new(self, journal):
+        r1, _r2 = self._two_interfaces(journal)
+        journal.ensure_gateway(source="x", interface_ids=[r1.record_id])
+        _gateway, changed = journal.ensure_gateway(
+            source="y", interface_ids=[r1.record_id]
+        )
+        assert changed is False
+
+    def test_ensure_gateway_merges_overlapping(self, journal):
+        r1, r2 = self._two_interfaces(journal)
+        a, _ = journal.ensure_gateway(source="x", interface_ids=[r1.record_id])
+        b, _ = journal.ensure_gateway(source="y", interface_ids=[r2.record_id])
+        merged, _ = journal.ensure_gateway(
+            source="z", interface_ids=[r1.record_id, r2.record_id]
+        )
+        assert journal.counts()["gateways"] == 1
+        assert set(merged.interface_ids) == {r1.record_id, r2.record_id}
+
+    def test_ensure_gateway_by_name(self, journal):
+        first, _ = journal.ensure_gateway(source="DNS", name="engr-gw")
+        second, created = journal.ensure_gateway(source="DNS", name="engr-gw")
+        assert created is False
+        assert second is first
+
+    def test_link_gateway_subnet_bidirectional(self, journal):
+        r1, _ = self._two_interfaces(journal)
+        gateway, _ = journal.ensure_gateway(source="x", interface_ids=[r1.record_id])
+        journal.link_gateway_subnet(gateway.record_id, "10.0.1.0/24", source="x")
+        subnet = journal.subnet_by_key("10.0.1.0/24")
+        assert subnet is not None
+        assert gateway.record_id in subnet.gateway_ids
+        assert "10.0.1.0/24" in gateway.connected_subnets
+
+    def test_ensure_subnet_with_stats(self, journal):
+        record, created = journal.ensure_subnet(
+            "10.0.1.0/24",
+            source="DNS",
+            host_count=42,
+            lowest_address="10.0.1.10",
+            highest_address="10.0.1.99",
+        )
+        assert created
+        assert record.get("host_count") == 42
+        _record, again = journal.ensure_subnet("10.0.1.0/24", source="DNS")
+        assert again is False
+
+    def test_gateway_merge_moves_subnet_attachments(self, journal):
+        r1, r2 = self._two_interfaces(journal)
+        a, _ = journal.ensure_gateway(source="x", interface_ids=[r1.record_id])
+        b, _ = journal.ensure_gateway(source="y", interface_ids=[r2.record_id])
+        journal.link_gateway_subnet(b.record_id, "10.0.2.0/24", source="y")
+        merged, _ = journal.ensure_gateway(
+            source="z", interface_ids=[r1.record_id, r2.record_id]
+        )
+        subnet = journal.subnet_by_key("10.0.2.0/24")
+        assert subnet.gateway_ids == [merged.record_id]
+
+
+class TestStaleAndNegative:
+    def test_stale_interfaces(self, journal):
+        _at(journal, 1.0)
+        old, _ = journal.observe_interface(Observation(source="x", ip="10.0.0.1"))
+        _at(journal, 100.0)
+        journal.observe_interface(Observation(source="x", ip="10.0.0.2"))
+        stale = journal.stale_interfaces(older_than=50.0)
+        assert [r.record_id for r in stale] == [old.record_id]
+
+    def test_negative_cache_expiry(self, journal):
+        _at(journal, 10.0)
+        journal.negative_put("subnet-mask", "10.0.0.1", ttl=100.0)
+        _at(journal, 50.0)
+        assert journal.negative_check("subnet-mask", "10.0.0.1") is True
+        _at(journal, 200.0)
+        assert journal.negative_check("subnet-mask", "10.0.0.1") is False
+
+    def test_negative_cache_kind_scoped(self, journal):
+        _at(journal, 10.0)
+        journal.negative_put("subnet-mask", "10.0.0.1", ttl=100.0)
+        assert journal.negative_check("other", "10.0.0.1") is False
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, journal, tmp_path):
+        _at(journal, 5.0)
+        record, _ = journal.observe_interface(
+            Observation(
+                source="ARPwatch",
+                ip="10.0.0.1",
+                mac="aa:00:00:00:00:01",
+                dns_name="h.test",
+            )
+        )
+        gateway, _ = journal.ensure_gateway(
+            source="x", name="gw", interface_ids=[record.record_id]
+        )
+        journal.link_gateway_subnet(gateway.record_id, "10.0.0.0/24", source="x")
+        path = tmp_path / "journal.json"
+        journal.save(str(path))
+        loaded = Journal.load(str(path))
+        assert loaded.counts() == journal.counts()
+        reloaded = loaded.interfaces_by_ip("10.0.0.1")[0]
+        assert reloaded.mac == "aa:00:00:00:00:01"
+        assert reloaded.attribute("ip").first_discovered == 5.0
+        assert loaded.subnet_by_key("10.0.0.0/24") is not None
+        assert loaded.all_gateways()[0].name == "gw"
+
+    def test_paper_equivalent_bytes(self, journal):
+        journal.observe_interface(Observation(source="x", ip="10.0.0.1"))
+        journal.ensure_subnet("10.0.0.0/24", source="x")
+        assert journal.paper_equivalent_bytes() == 200 + 76
+
+
+class TestMergeProperties:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=6),       # ip suffix
+                st.one_of(st.none(), st.integers(1, 4)),     # mac id
+            ),
+            max_size=30,
+        )
+    )
+    def test_invariants_hold_under_any_observation_stream(self, stream):
+        journal = Journal()
+        for suffix, mac_id in stream:
+            journal.observe_interface(
+                Observation(
+                    source="t",
+                    ip=f"10.0.0.{suffix}",
+                    mac=f"aa:00:00:00:00:{mac_id:02x}" if mac_id else None,
+                )
+            )
+        # Invariant 1: no two records share BOTH ip and mac.
+        seen = set()
+        for record in journal.all_interfaces():
+            key = (record.ip, record.mac)
+            if record.mac is not None:
+                assert key not in seen, f"duplicate identity {key}"
+                seen.add(key)
+        # Invariant 2: at most one mac-less record per IP.
+        for suffix in range(1, 7):
+            holders = journal.interfaces_by_ip(f"10.0.0.{suffix}")
+            assert sum(1 for r in holders if r.mac is None) <= 1
+        # Invariant 3: indexes agree with records.
+        for record in journal.all_interfaces():
+            if record.ip is not None:
+                assert record in journal.interfaces_by_ip(record.ip)
+            if record.mac is not None:
+                assert record in journal.interfaces_by_mac(record.mac)

@@ -1,0 +1,158 @@
+"""Presentation program tests: dump, three-level browser, exporters."""
+
+import pytest
+
+from repro.core import Journal
+from repro.core.correlate import Correlator
+from repro.core.presentation import (
+    dot_export,
+    interface_detail,
+    interface_report,
+    journal_dump,
+    subnet_interfaces_report,
+    sunnet_export,
+)
+from repro.core.records import Observation
+
+
+def _clock():
+    state = {"now": 0.0}
+    return (lambda: state["now"]), state
+
+
+@pytest.fixture
+def populated():
+    clock, state = _clock()
+    journal = Journal(clock=clock)
+    state["now"] = 100.0
+    journal.observe_interface(
+        Observation(
+            source="ARPwatch",
+            ip="10.0.1.10",
+            mac="08:00:20:00:00:11",
+            dns_name="alpha.test",
+        )
+    )
+    state["now"] = 200.0
+    journal.observe_interface(
+        Observation(source="SeqPing", ip="10.0.1.11")
+    )
+    journal.observe_interface(
+        Observation(source="RIPwatch", ip="10.0.1.1", mac="08:00:20:00:00:01",
+                    rip_source=True)
+    )
+    journal.observe_interface(
+        Observation(source="ARPwatch", ip="10.0.2.1", mac="08:00:20:00:00:01")
+    )
+    state["now"] = 300.0
+    Correlator(journal).correlate()
+    return journal, state
+
+
+class TestDump:
+    def test_dump_lists_everything(self, populated):
+        journal, state = populated
+        text = journal_dump(journal)
+        assert "interfaces" in text
+        assert "10.0.1.10" in text
+        assert "gateway" in text
+        assert "subnet" in text
+
+
+class TestInterfaceBrowser:
+    def test_level1_all_interfaces(self, populated):
+        journal, state = populated
+        text = interface_report(journal)
+        assert "10.0.1.10" in text
+        assert "alpha.test" in text
+        assert "ADDRESS" in text
+
+    def test_level1_network_filter(self, populated):
+        journal, state = populated
+        text = interface_report(journal, network="10.0.2.")
+        assert "10.0.2.1" in text
+        assert "10.0.1.10" not in text
+
+    def test_level1_shows_age_not_dns(self, populated):
+        journal, state = populated
+        state["now"] = 100.0 + 3 * 86400.0
+        text = interface_report(journal)
+        line = next(l for l in text.splitlines() if "10.0.1.10" in l)
+        assert line.split()[-1].endswith("d")  # rendered in days
+
+    def test_level2_subnet_view(self, populated):
+        journal, state = populated
+        text = subnet_interfaces_report(journal, "10.0.1.0/24")
+        assert "10.0.1.1" in text
+        assert "10.0.2.1" not in text
+        gateway_line = next(l for l in text.splitlines() if "10.0.1.1 " in l)
+        assert "yes" in gateway_line  # RIP source and gateway member
+
+    def test_level2_bad_subnet_raises(self, populated):
+        journal, state = populated
+        with pytest.raises(ValueError):
+            subnet_interfaces_report(journal, "not-a-subnet")
+
+    def test_level3_detail_shows_attributes_and_provenance(self, populated):
+        journal, state = populated
+        text = interface_detail(journal, "10.0.1.10")
+        assert "mac" in text
+        assert "ARPwatch" in text
+        assert "quality=good" in text
+
+    def test_level3_missing_interface(self, populated):
+        journal, state = populated
+        assert "no interface records" in interface_detail(journal, "10.9.9.9")
+
+    def test_level3_shows_history(self, populated):
+        journal, state = populated
+        record = journal.interfaces_by_ip("10.0.1.10")[0]
+        record.attributes["dns_name"].change("beta.test", 400.0, "DNS")
+        text = interface_detail(journal, "10.0.1.10")
+        assert "previously alpha.test" in text
+
+
+class TestExporters:
+    def test_sunnet_export_structure(self, populated):
+        journal, state = populated
+        text = sunnet_export(journal)
+        assert text.startswith("!")
+        assert 'component.subnet "10.0.1.0_24"' in text
+        assert "component.gateway" in text
+        assert 'connection' in text
+
+    def test_dot_export_is_valid_graph(self, populated):
+        journal, state = populated
+        text = dot_export(journal)
+        assert text.startswith("graph fremont {")
+        assert text.rstrip().endswith("}")
+        assert '"10.0.1.0/24"' in text
+        assert "--" in text
+
+    def test_exports_cover_all_topology_edges(self, populated):
+        journal, state = populated
+        graph = Correlator(journal).topology()
+        text = sunnet_export(journal)
+        assert text.count("connection") == len(graph.edges())
+
+    def test_svg_export_is_wellformed(self, populated):
+        import xml.etree.ElementTree as ElementTree
+
+        from repro.core.presentation import svg_export
+
+        journal, state = populated
+        text = svg_export(journal)
+        root = ElementTree.fromstring(text)
+        assert root.tag.endswith("svg")
+        graph = Correlator(journal).topology()
+        rendered = text.count("<ellipse")
+        assert rendered == len(graph.subnets)
+        assert text.count("<rect") == len(graph.gateways)
+        assert text.count("<line") == len(graph.edges())
+
+    def test_svg_export_empty_journal(self):
+        from repro.core.journal import Journal
+        from repro.core.presentation import svg_export
+
+        text = svg_export(Journal())
+        assert "empty journal" in text

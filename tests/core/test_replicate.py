@@ -1,0 +1,183 @@
+"""Journal replication tests: multi-site sharing (paper + future work)."""
+
+import pytest
+
+from repro.core import Journal, JournalServer, LocalJournal, RemoteJournal
+from repro.core.records import Observation
+from repro.core.replicate import JournalReplicator
+
+
+def _clock():
+    state = {"now": 0.0}
+    return (lambda: state["now"]), state
+
+
+@pytest.fixture
+def two_sites():
+    clock_a, state_a = _clock()
+    clock_b, state_b = _clock()
+    site_a = Journal(clock=clock_a)
+    site_b = Journal(clock=clock_b)
+    return (site_a, state_a), (site_b, state_b)
+
+
+def _observe(journal, **kwargs):
+    source = kwargs.pop("source", "ARPwatch")
+    record, _ = journal.observe_interface(Observation(source=source, **kwargs))
+    return record
+
+
+class TestAbsorbInterface:
+    def test_preserves_foreign_timestamps(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 1234.0
+        foreign = _observe(site_a, ip="10.0.0.1", mac="aa:00:03:00:00:01")
+        state_b["now"] = 9999.0
+        local, changed = site_b.absorb_interface(foreign)
+        assert changed is True
+        assert local.attribute("ip").first_discovered == 1234.0
+        assert local.attribute("ip").last_verified == 1234.0
+
+    def test_merges_with_existing_knowledge(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_b["now"] = 100.0
+        _observe(site_b, ip="10.0.0.1")
+        state_a["now"] = 500.0
+        foreign = _observe(site_a, ip="10.0.0.1", mac="aa:00:03:00:00:01")
+        local, changed = site_b.absorb_interface(foreign)
+        assert changed is True
+        assert site_b.counts()["interfaces"] == 1
+        assert local.mac == "aa:00:03:00:00:01"
+        # First discovery keeps the EARLIEST time across sites.
+        assert local.attribute("ip").first_discovered == 100.0
+        assert local.attribute("ip").last_verified == 500.0
+
+    def test_idempotent(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 5.0
+        foreign = _observe(site_a, ip="10.0.0.1", mac="aa:00:03:00:00:01")
+        site_b.absorb_interface(foreign)
+        _local, changed = site_b.absorb_interface(foreign)
+        assert changed is False
+        assert site_b.counts()["interfaces"] == 1
+
+    def test_newer_remote_value_wins(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_b["now"] = 100.0
+        _observe(site_b, ip="10.0.0.1", dns_name="old.test")
+        state_a["now"] = 900.0
+        foreign = _observe(site_a, ip="10.0.0.1", dns_name="new.test")
+        local, changed = site_b.absorb_interface(foreign)
+        assert changed is True
+        assert local.dns_name == "new.test"
+        assert site_b.interfaces_by_name("new.test")
+        assert site_b.interfaces_by_name("old.test") == []
+
+    def test_older_remote_value_loses(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 100.0
+        foreign = _observe(site_a, ip="10.0.0.1", dns_name="old.test")
+        state_b["now"] = 900.0
+        _observe(site_b, ip="10.0.0.1", dns_name="new.test")
+        local, _changed = site_b.absorb_interface(foreign)
+        assert local.dns_name == "new.test"
+
+    def test_conflicting_identities_stay_separate(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_b["now"] = 100.0
+        _observe(site_b, ip="10.0.0.1", mac="aa:00:03:00:00:01")
+        state_a["now"] = 100.0
+        foreign = _observe(site_a, ip="10.0.0.1", mac="aa:00:03:00:00:99")
+        site_b.absorb_interface(foreign)
+        # A cross-site duplicate-address conflict is itself a finding.
+        assert len(site_b.interfaces_by_ip("10.0.0.1")) == 2
+
+
+class TestReplicatorLocal:
+    def test_full_sync_copies_everything(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        r1 = _observe(site_a, ip="10.0.1.1", mac="08:00:20:00:00:01")
+        r2 = _observe(site_a, ip="10.0.2.1", mac="08:00:20:00:00:01")
+        gateway, _ = site_a.ensure_gateway(
+            source="x", name="gw", interface_ids=[r1.record_id, r2.record_id]
+        )
+        site_a.link_gateway_subnet(gateway.record_id, "10.0.1.0/24", source="x")
+        replicator = JournalReplicator(LocalJournal(site_a), LocalJournal(site_b))
+        stats = replicator.sync()
+        assert stats.interfaces_sent == 2
+        assert stats.gateways_sent == 1
+        assert site_b.counts()["interfaces"] == 2
+        assert site_b.counts()["gateways"] == 1
+        remote_gateway = site_b.all_gateways()[0]
+        assert remote_gateway.name == "gw"
+        assert len(remote_gateway.interface_ids) == 2
+        assert "10.0.1.0/24" in remote_gateway.connected_subnets
+        assert site_b.subnet_by_key("10.0.1.0/24") is not None
+
+    def test_incremental_sync_moves_only_new_records(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        _observe(site_a, ip="10.0.1.1")
+        replicator = JournalReplicator(LocalJournal(site_a), LocalJournal(site_b))
+        first = replicator.sync()
+        assert first.interfaces_sent == 1
+        second = replicator.sync()
+        assert second.interfaces_sent == 0  # nothing new
+        state_a["now"] = 20.0
+        _observe(site_a, ip="10.0.1.2")
+        third = replicator.sync()
+        assert third.interfaces_sent == 1
+        assert site_b.counts()["interfaces"] == 2
+
+    def test_bidirectional_exchange(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        _observe(site_a, ip="10.0.1.1")
+        state_b["now"] = 10.0
+        _observe(site_b, ip="10.0.2.1")
+        a_to_b = JournalReplicator(LocalJournal(site_a), LocalJournal(site_b))
+        b_to_a = JournalReplicator(LocalJournal(site_b), LocalJournal(site_a))
+        a_to_b.sync()
+        b_to_a.sync()
+        assert site_a.counts()["interfaces"] == 2
+        assert site_b.counts()["interfaces"] == 2
+
+    def test_repeated_bidirectional_sync_converges(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        _observe(site_a, ip="10.0.1.1", mac="aa:00:03:00:00:01")
+        a_to_b = JournalReplicator(LocalJournal(site_a), LocalJournal(site_b))
+        b_to_a = JournalReplicator(LocalJournal(site_b), LocalJournal(site_a))
+        for _round in range(3):
+            a_to_b.sync()
+            b_to_a.sync()
+        assert site_a.counts()["interfaces"] == 1
+        assert site_b.counts()["interfaces"] == 1
+
+
+class TestReplicatorOverSockets:
+    def test_two_journal_servers_share_findings(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 42.0
+        record = _observe(site_a, ip="10.0.1.1", mac="08:00:20:00:00:01")
+        site_a.ensure_gateway(source="x", name="gw", interface_ids=[record.record_id])
+        server_a = JournalServer(site_a)
+        server_b = JournalServer(site_b)
+        server_a.start()
+        server_b.start()
+        try:
+            with RemoteJournal(*server_a.address) as client_a, RemoteJournal(
+                *server_b.address
+            ) as client_b:
+                replicator = JournalReplicator(client_a, client_b)
+                stats = replicator.sync()
+                assert stats.interfaces_sent == 1
+                assert stats.gateways_sent == 1
+        finally:
+            server_a.stop()
+            server_b.stop()
+        assert site_b.counts() == {"interfaces": 1, "gateways": 1, "subnets": 0}
+        absorbed = site_b.interfaces_by_ip("10.0.1.1")[0]
+        assert absorbed.attribute("ip").first_discovered == 42.0
+        assert site_b.all_gateways()[0].name == "gw"

@@ -1,0 +1,170 @@
+"""Journal Server socket integration: local and remote client parity."""
+
+import threading
+
+import pytest
+
+from repro.core import Journal, JournalServer, LocalJournal, RemoteJournal
+from repro.core.records import Observation
+
+
+@pytest.fixture
+def served_journal():
+    journal = Journal()
+    server = JournalServer(journal)
+    server.start()
+    host, port = server.address
+    client = RemoteJournal(host, port)
+    yield journal, server, client
+    client.close()
+    server.stop()
+
+
+class TestRemoteBasics:
+    def test_observe_roundtrip(self, served_journal):
+        journal, server, client = served_journal
+        record, changed = client.observe_interface(
+            Observation(source="remote", ip="10.0.0.1", mac="aa:00:00:00:00:01")
+        )
+        assert changed is True
+        assert record.ip == "10.0.0.1"
+        assert journal.counts()["interfaces"] == 1
+
+    def test_query_by_every_index(self, served_journal):
+        journal, server, client = served_journal
+        client.observe_interface(
+            Observation(
+                source="remote", ip="10.0.0.1", mac="aa:00:00:00:00:01",
+                dns_name="h.test",
+            )
+        )
+        assert client.interfaces_by_ip("10.0.0.1")[0].dns_name == "h.test"
+        assert client.interfaces_by_mac("aa:00:00:00:00:01")
+        assert client.interfaces_by_name("h.test")
+        assert len(client.all_interfaces()) == 1
+
+    def test_ip_range_query(self, served_journal):
+        journal, server, client = served_journal
+        for suffix in (1, 50, 200):
+            client.observe_interface(Observation(source="r", ip=f"10.0.0.{suffix}"))
+        records = client.interfaces_in_ip_range("10.0.0.2", "10.0.0.199")
+        assert [r.ip for r in records] == ["10.0.0.50"]
+
+    def test_gateway_and_subnet_operations(self, served_journal):
+        journal, server, client = served_journal
+        record, _ = client.observe_interface(Observation(source="r", ip="10.0.1.1"))
+        gateway, _changed = client.ensure_gateway(
+            source="r", name="gw", interface_ids=[record.record_id]
+        )
+        assert client.link_gateway_subnet(
+            gateway.record_id, "10.0.1.0/24", source="r"
+        ) is True
+        subnet, _ = client.ensure_subnet("10.0.2.0/24", source="r", host_count=9)
+        assert subnet.get("host_count") == 9
+        assert len(client.all_gateways()) == 1
+        assert len(client.all_subnets()) == 2
+
+    def test_delete(self, served_journal):
+        journal, server, client = served_journal
+        record, _ = client.observe_interface(Observation(source="r", ip="10.0.0.1"))
+        assert client.delete_interface(record.record_id) is True
+        assert client.all_interfaces() == []
+
+    def test_negative_cache_over_wire(self, served_journal):
+        journal, server, client = served_journal
+        client.negative_put("subnet-mask", "10.0.0.9", ttl=1e9)
+        assert client.negative_check("subnet-mask", "10.0.0.9") is True
+        assert client.negative_check("subnet-mask", "10.0.0.8") is False
+
+    def test_counts_and_stale(self, served_journal):
+        journal, server, client = served_journal
+        client.observe_interface(Observation(source="r", ip="10.0.0.1"))
+        assert client.counts()["interfaces"] == 1
+        assert client.stale_interfaces(older_than=1e12)
+
+    def test_snapshot_rebuilds_full_journal(self, served_journal):
+        journal, server, client = served_journal
+        client.observe_interface(
+            Observation(source="r", ip="10.0.0.1", dns_name="h.test")
+        )
+        snapshot = client.snapshot()
+        assert snapshot.counts() == journal.counts()
+        assert snapshot.interfaces_by_name("h.test")
+
+    def test_server_error_reported_not_fatal(self, served_journal):
+        journal, server, client = served_journal
+        with pytest.raises(RuntimeError):
+            client._call({"op": "no-such-op"})
+        # The connection survives a bad request.
+        assert client.counts()["interfaces"] == 0
+
+
+class TestConcurrency:
+    def test_parallel_writers_serialised(self, served_journal):
+        journal, server, client = served_journal
+        host, port = server.address
+        errors = []
+
+        def writer(start):
+            try:
+                with RemoteJournal(host, port) as mine:
+                    for index in range(25):
+                        mine.observe_interface(
+                            Observation(
+                                source=f"w{start}",
+                                ip=f"10.0.{start}.{index + 1}",
+                            )
+                        )
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert journal.counts()["interfaces"] == 100
+
+    def test_interleaved_observe_is_idempotent_across_clients(self, served_journal):
+        journal, server, client = served_journal
+        host, port = server.address
+        with RemoteJournal(host, port) as other:
+            for _ in range(10):
+                client.observe_interface(Observation(source="a", ip="10.0.0.1"))
+                other.observe_interface(Observation(source="b", ip="10.0.0.1"))
+        assert journal.counts()["interfaces"] == 1
+
+
+class TestLocalParity:
+    def test_local_and_remote_agree(self, served_journal):
+        journal, server, client = served_journal
+        local = LocalJournal(journal)
+        local.observe_interface(Observation(source="local", ip="10.0.0.1"))
+        remote_view = client.interfaces_by_ip("10.0.0.1")
+        assert len(remote_view) == 1
+        client.observe_interface(Observation(source="remote", ip="10.0.0.2"))
+        assert len(local.all_interfaces()) == 2
+
+    def test_local_snapshot_detached(self):
+        journal = Journal()
+        local = LocalJournal(journal)
+        local.observe_interface(Observation(source="x", ip="10.0.0.1"))
+        snapshot = local.snapshot()
+        local.observe_interface(Observation(source="x", ip="10.0.0.2"))
+        assert snapshot.counts()["interfaces"] == 1
+        assert journal.counts()["interfaces"] == 2
+
+
+class TestPersistenceOnStop:
+    def test_persist_path_written_on_stop(self, tmp_path):
+        journal = Journal()
+        server = JournalServer(journal)
+        server.persist_path = str(tmp_path / "saved.json")
+        server.start()
+        host, port = server.address
+        with RemoteJournal(host, port) as client:
+            client.observe_interface(Observation(source="x", ip="10.0.0.1"))
+        server.stop()
+        loaded = Journal.load(str(tmp_path / "saved.json"))
+        assert loaded.counts()["interfaces"] == 1

@@ -1,0 +1,109 @@
+"""Wire codec round-trip tests (unit + property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import wire
+from repro.core.records import (
+    Attribute,
+    GatewayRecord,
+    InterfaceRecord,
+    Observation,
+    SubnetRecord,
+)
+
+
+class TestAttributeCodec:
+    def test_roundtrip_basic(self):
+        attribute = Attribute.new("10.0.0.1", 5.0, "ARPwatch")
+        data = wire.attribute_to_dict(attribute)
+        back = wire.attribute_from_dict(data)
+        assert back.value == "10.0.0.1"
+        assert back.first_discovered == 5.0
+        assert back.source == "ARPwatch"
+
+    def test_roundtrip_history(self):
+        attribute = Attribute.new("old", 1.0, "a")
+        attribute.change("new", 2.0, "b")
+        back = wire.attribute_from_dict(wire.attribute_to_dict(attribute))
+        assert back.history == [("old", 1.0)]
+
+    def test_missing_field_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.attribute_from_dict({"value": 1})
+
+
+class TestRecordCodecs:
+    def test_interface_roundtrip(self):
+        record = InterfaceRecord()
+        record.set("ip", "10.0.0.1", 1.0, "x")
+        record.set("mac", "aa:00:00:00:00:01", 2.0, "y")
+        back = wire.interface_from_dict(wire.interface_to_dict(record))
+        assert back.record_id == record.record_id
+        assert back.ip == "10.0.0.1"
+        assert back.mac == "aa:00:00:00:00:01"
+        assert back.last_modified == record.last_modified
+
+    def test_gateway_roundtrip(self):
+        record = GatewayRecord()
+        record.set("name", "gw", 1.0, "DNS")
+        record.add_interface(7, 1.0)
+        record.attach_subnet("10.0.0.0/24", 2.0, "Traceroute")
+        back = wire.gateway_from_dict(wire.gateway_to_dict(record))
+        assert back.name == "gw"
+        assert back.interface_ids == [7]
+        assert "10.0.0.0/24" in back.connected_subnets
+
+    def test_subnet_roundtrip(self):
+        record = SubnetRecord()
+        record.set("subnet", "10.0.0.0/24", 1.0, "RIPwatch")
+        record.attach_gateway(3, 1.0)
+        back = wire.subnet_from_dict(wire.subnet_to_dict(record))
+        assert back.subnet == "10.0.0.0/24"
+        assert back.gateway_ids == [3]
+
+
+class TestObservationCodec:
+    @given(
+        st.builds(
+            Observation,
+            source=st.sampled_from(["ARPwatch", "DNS", "SeqPing"]),
+            ip=st.one_of(st.none(), st.just("10.0.0.1")),
+            mac=st.one_of(st.none(), st.just("aa:00:00:00:00:01")),
+            dns_name=st.one_of(st.none(), st.just("h.test")),
+            subnet_mask=st.one_of(st.none(), st.just("255.255.255.0")),
+            rip_source=st.one_of(st.none(), st.booleans()),
+            promiscuous_rip=st.one_of(st.none(), st.booleans()),
+        )
+    )
+    def test_roundtrip_property(self, observation):
+        back = wire.observation_from_dict(wire.observation_to_dict(observation))
+        assert back == observation
+
+    def test_missing_source_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.observation_from_dict({"ip": "10.0.0.1"})
+
+
+class TestFraming:
+    def test_encode_decode(self):
+        message = {"op": "ping", "n": 3}
+        assert wire.decode_message(wire.encode_message(message)) == message
+
+    def test_encode_ends_with_newline(self):
+        assert wire.encode_message({}).endswith(b"\n")
+
+    def test_decode_garbage_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_message(b"{not json\n")
+
+    def test_decode_non_object_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_message(b"[1,2,3]\n")
+
+
+class TestJournalFormat:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.journal_from_dict({"format": "something-else"})

@@ -1,0 +1,203 @@
+"""Address primitive tests (unit + property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.addresses import (
+    Ipv4Address,
+    MacAddress,
+    Netmask,
+    OUI_VENDORS,
+    Subnet,
+    vendor_for_mac,
+)
+
+
+class TestMacAddress:
+    def test_parse_and_format_roundtrip(self):
+        mac = MacAddress.parse("08:00:20:01:02:03")
+        assert str(mac) == "08:00:20:01:02:03"
+
+    def test_parse_dash_separated(self):
+        assert MacAddress.parse("08-00-20-01-02-03").value == 0x080020010203
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            MacAddress.parse("not-a-mac")
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            MacAddress.parse("08:00:20:01:02")
+
+    def test_broadcast(self):
+        assert MacAddress.broadcast().is_broadcast
+        assert not MacAddress.parse("08:00:20:01:02:03").is_broadcast
+
+    def test_from_oui(self):
+        mac = MacAddress.from_oui(0x080020, 7)
+        assert mac.oui == 0x080020
+        assert str(mac) == "08:00:20:00:00:07"
+
+    def test_from_oui_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MacAddress.from_oui(0x1000000, 0)
+        with pytest.raises(ValueError):
+            MacAddress.from_oui(0, 0x1000000)
+
+    def test_vendor_lookup(self):
+        sun = MacAddress.from_oui(0x080020, 1)
+        assert vendor_for_mac(sun) == "Sun Microsystems"
+        unknown = MacAddress.from_oui(0x123456, 1)
+        assert vendor_for_mac(unknown) is None
+
+    def test_value_range_check(self):
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_roundtrip_property(self, value):
+        assert MacAddress.parse(str(MacAddress(value))).value == value
+
+    def test_ordering(self):
+        assert MacAddress(1) < MacAddress(2)
+
+
+class TestIpv4Address:
+    def test_parse_and_format(self):
+        ip = Ipv4Address.parse("128.138.243.10")
+        assert str(ip) == "128.138.243.10"
+        assert ip.octets == (128, 138, 243, 10)
+
+    @pytest.mark.parametrize(
+        "text", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.-4", ""]
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            Ipv4Address.parse(text)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10.0.0.1", "A"),
+            ("128.138.0.1", "B"),
+            ("192.168.1.1", "C"),
+            ("224.0.0.1", "D"),
+            ("250.0.0.1", "E"),
+        ],
+    )
+    def test_address_class(self, text, expected):
+        assert Ipv4Address.parse(text).address_class == expected
+
+    def test_natural_mask(self):
+        assert Ipv4Address.parse("128.138.1.1").natural_mask().prefix_length == 16
+        assert Ipv4Address.parse("10.1.1.1").natural_mask().prefix_length == 8
+        assert Ipv4Address.parse("192.168.1.1").natural_mask().prefix_length == 24
+
+    def test_natural_mask_class_d_raises(self):
+        with pytest.raises(ValueError):
+            Ipv4Address.parse("224.0.0.1").natural_mask()
+
+    def test_addition(self):
+        assert str(Ipv4Address.parse("10.0.0.1") + 5) == "10.0.0.6"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip_property(self, value):
+        assert Ipv4Address.parse(str(Ipv4Address(value))).value == value
+
+
+class TestNetmask:
+    def test_from_prefix(self):
+        assert str(Netmask.from_prefix(24)) == "255.255.255.0"
+        assert str(Netmask.from_prefix(0)) == "0.0.0.0"
+        assert str(Netmask.from_prefix(32)) == "255.255.255.255"
+
+    def test_parse_both_forms(self):
+        assert Netmask.parse("/26").prefix_length == 26
+        assert Netmask.parse("255.255.255.192").prefix_length == 26
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValueError):
+            Netmask(0xFF00FF00)
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ValueError):
+            Netmask.from_prefix(33)
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_prefix_roundtrip(self, prefix):
+        assert Netmask.from_prefix(prefix).prefix_length == prefix
+
+    def test_host_bits(self):
+        assert Netmask.from_prefix(24).host_bits == 8
+
+
+class TestSubnet:
+    def test_parse_and_contains(self):
+        subnet = Subnet.parse("128.138.243.0/24")
+        assert Ipv4Address.parse("128.138.243.77") in subnet
+        assert Ipv4Address.parse("128.138.244.1") not in subnet
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Subnet.parse("128.138.243.5/24")
+
+    def test_rejects_missing_prefix(self):
+        with pytest.raises(ValueError):
+            Subnet.parse("128.138.243.0")
+
+    def test_broadcast_and_host_zero(self):
+        subnet = Subnet.parse("128.138.243.0/24")
+        assert str(subnet.broadcast) == "128.138.243.255"
+        assert str(subnet.host_zero) == "128.138.243.0"
+
+    def test_host_indexing(self):
+        subnet = Subnet.parse("10.0.0.0/30")
+        assert [str(subnet.host(i)) for i in range(4)] == [
+            "10.0.0.0",
+            "10.0.0.1",
+            "10.0.0.2",
+            "10.0.0.3",
+        ]
+        with pytest.raises(ValueError):
+            subnet.host(4)
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        subnet = Subnet.parse("10.0.0.0/29")
+        hosts = list(subnet.hosts())
+        assert len(hosts) == 6
+        assert subnet.host_zero not in hosts
+        assert subnet.broadcast not in hosts
+
+    def test_containing(self):
+        ip = Ipv4Address.parse("128.138.243.77")
+        subnet = Subnet.containing(ip, Netmask.from_prefix(24))
+        assert str(subnet) == "128.138.243.0/24"
+
+    def test_address_range(self):
+        subnet = Subnet.parse("10.0.0.0/24")
+        low, high = subnet.address_range()
+        assert str(low) == "10.0.0.1"
+        assert str(high) == "10.0.0.254"
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=1, max_value=30),
+    )
+    def test_containing_property(self, value, prefix):
+        ip = Ipv4Address(value)
+        mask = Netmask.from_prefix(prefix)
+        subnet = Subnet.containing(ip, mask)
+        assert ip in subnet
+        assert subnet.network.value & ~mask.value == 0
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=2, max_value=30),
+    )
+    def test_broadcast_is_member_and_maximal(self, value, prefix):
+        subnet = Subnet.containing(Ipv4Address(value), Netmask.from_prefix(prefix))
+        assert subnet.broadcast in subnet
+        assert subnet.broadcast.value - subnet.network.value == subnet.size - 1

@@ -1,0 +1,70 @@
+"""Management agent (SNMP stand-in) tests."""
+
+from repro.netsim.agent import AGENT_PORT, ManagementAgent
+from repro.netsim.packet import UdpDatagram
+
+
+def _ask(net, client, target_ip, request, wait=3.0, src_port=40001):
+    got = []
+
+    def listener(packet, nic):
+        if isinstance(packet.payload, UdpDatagram) and packet.payload.dst_port == src_port:
+            got.append(packet.payload.payload)
+
+    remove = client.add_ip_listener(listener)
+    client.send_udp(target_ip, AGENT_PORT, payload=request, src_port=src_port)
+    net.sim.run_for(wait)
+    remove()
+    return got
+
+
+class TestManagementAgent:
+    def test_interface_table_with_correct_community(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        agent = ManagementAgent(gateway, community="secret")
+        responses = _ask(
+            net, hosts["a1"], gateway.nics[0].ip, ("agent-get", "secret", "interfaces")
+        )
+        assert len(responses) == 1
+        _tag, table, body = responses[0]
+        assert table == "interfaces"
+        assert {row["ip"] for row in body} == {str(n.ip) for n in gateway.nics}
+        assert all("mask" in row and "mac" in row for row in body)
+        assert agent.requests_served == 1
+
+    def test_wrong_community_is_silent(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        agent = ManagementAgent(gateway, community="secret")
+        responses = _ask(
+            net, hosts["a1"], gateway.nics[0].ip, ("agent-get", "guess", "interfaces")
+        )
+        assert responses == []
+        assert agent.requests_refused == 1
+
+    def test_route_table_includes_direct_and_static(self, chain_net):
+        net, (left, middle, right), (gw1, gw2), (src, dst) = chain_net
+        ManagementAgent(gw1, community="public")
+        responses = _ask(
+            net, src, gw1.nics[0].ip, ("agent-get", "public", "routes")
+        )
+        assert len(responses) == 1
+        _tag, _table, body = responses[0]
+        subnets = {row["subnet"]: row for row in body}
+        assert subnets[str(left)]["via"] == "direct"
+        assert subnets[str(right)]["via"] != "direct"
+        assert subnets[str(right)]["metric"] >= 1
+
+    def test_unknown_table_ignored(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        ManagementAgent(gateway, community="public")
+        responses = _ask(
+            net, hosts["a1"], gateway.nics[0].ip, ("agent-get", "public", "nonsense")
+        )
+        assert responses == []
+
+    def test_malformed_request_ignored(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        agent = ManagementAgent(gateway, community="public")
+        responses = _ask(net, hosts["a1"], gateway.nics[0].ip, "just-a-string")
+        assert responses == []
+        assert agent.requests_served == 0

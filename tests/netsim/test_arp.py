@@ -1,0 +1,106 @@
+"""ARP cache unit and property tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.addresses import Ipv4Address, MacAddress
+from repro.netsim.arp import ArpCache
+
+
+IP1 = Ipv4Address.parse("10.0.0.1")
+IP2 = Ipv4Address.parse("10.0.0.2")
+MAC1 = MacAddress(0x080020000001)
+MAC2 = MacAddress(0x080020000002)
+
+
+class TestArpCache:
+    def test_learn_and_lookup(self):
+        cache = ArpCache()
+        cache.learn(IP1, MAC1, now=0.0)
+        assert cache.lookup(IP1, now=10.0) == MAC1
+
+    def test_miss_returns_none(self):
+        assert ArpCache().lookup(IP1, now=0.0) is None
+
+    def test_entry_expires_after_timeout(self):
+        cache = ArpCache(timeout=100.0)
+        cache.learn(IP1, MAC1, now=0.0)
+        assert cache.lookup(IP1, now=99.0) == MAC1
+        assert cache.lookup(IP1, now=101.0) is None
+
+    def test_relearn_refreshes_timestamp(self):
+        cache = ArpCache(timeout=100.0)
+        cache.learn(IP1, MAC1, now=0.0)
+        cache.learn(IP1, MAC1, now=90.0)
+        assert cache.lookup(IP1, now=150.0) == MAC1
+
+    def test_relearn_replaces_mac(self):
+        cache = ArpCache()
+        cache.learn(IP1, MAC1, now=0.0)
+        cache.learn(IP1, MAC2, now=1.0)
+        assert cache.lookup(IP1, now=2.0) == MAC2
+
+    def test_entries_drops_expired(self):
+        cache = ArpCache(timeout=100.0)
+        cache.learn(IP1, MAC1, now=0.0)
+        cache.learn(IP2, MAC2, now=80.0)
+        live = cache.entries(now=120.0)
+        assert [entry.ip for entry in live] == [IP2]
+        assert len(cache) == 1  # expired entry was purged
+
+    def test_entries_sorted_by_ip(self):
+        cache = ArpCache()
+        cache.learn(IP2, MAC2, now=0.0)
+        cache.learn(IP1, MAC1, now=0.0)
+        assert [e.ip for e in cache.entries(now=1.0)] == [IP1, IP2]
+
+    def test_flush(self):
+        cache = ArpCache()
+        cache.learn(IP1, MAC1, now=0.0)
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_contains(self):
+        cache = ArpCache()
+        cache.learn(IP1, MAC1, now=0.0)
+        assert IP1 in cache
+        assert IP2 not in cache
+
+    def test_learn_hook_fires(self):
+        cache = ArpCache()
+        seen = []
+        cache.on_learn(lambda entry: seen.append((entry.ip, entry.mac)))
+        cache.learn(IP1, MAC1, now=0.0)
+        assert seen == [(IP1, MAC1)]
+
+    def test_entry_age(self):
+        cache = ArpCache()
+        entry = cache.learn(IP1, MAC1, now=10.0)
+        assert entry.age(25.0) == 15.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),   # ip suffix
+                st.integers(min_value=1, max_value=50),   # mac value
+                st.floats(min_value=0, max_value=1000),   # time
+            ),
+            max_size=40,
+        )
+    )
+    def test_lookup_matches_model(self, operations):
+        """Cache behaviour equals a simple dict model with expiry."""
+        timeout = 100.0
+        cache = ArpCache(timeout=timeout)
+        model = {}
+        now = 0.0
+        for suffix, mac_value, delta in operations:
+            now += delta
+            ip = Ipv4Address(0x0A000000 + suffix)
+            mac = MacAddress(mac_value)
+            cache.learn(ip, mac, now=now)
+            model[ip] = (mac, now)
+        probe_time = now + 50.0
+        for ip, (mac, learned) in model.items():
+            expected = mac if probe_time - learned <= timeout else None
+            assert cache.lookup(ip, now=probe_time) == expected

@@ -1,0 +1,150 @@
+"""Campus generator ground-truth invariants (the Table 5/6 denominators)."""
+
+import pytest
+
+from repro.netsim.campus import Campus, CampusProfile, build_campus
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return build_campus()
+
+
+class TestPopulation:
+    def test_assigned_subnet_count(self, campus):
+        assigned = len(campus.connected) + len(campus.assigned_only)
+        assert assigned == 114
+
+    def test_connected_subnet_count(self, campus):
+        assert len(campus.connected) == 111
+
+    def test_dns_registered_subnets(self, campus):
+        assert len(campus.dns_registered_subnets()) == 93
+
+    def test_traceroute_visible_subnets(self, campus):
+        assert len(campus.traceroute_visible_subnets()) == 86
+
+    def test_dns_gateway_count(self, campus):
+        assert len(campus.dns_gateways) == 31
+
+    def test_cs_subnet_dns_population(self, campus):
+        # 55 registered hosts + the gateway's CS interface = 56 entries.
+        assert campus.cs_dns_total() == 56
+        assert len(campus.cs_hosts) == 55
+        assert len(campus.cs_real_hosts()) == 53
+
+    def test_stale_hosts_remain_in_dns(self, campus):
+        for host in campus.cs_stale:
+            assert not host.powered_on
+            assert campus.network.dns.addresses_for(host.hostname)
+
+    def test_every_leaf_has_exactly_one_gateway_path(self, campus):
+        attached = {}
+        for gateway in campus.network.gateways:
+            for nic in gateway.nics:
+                if nic.subnet != campus.backbone:
+                    attached.setdefault(nic.subnet, []).append(gateway)
+        for subnet, gateways in attached.items():
+            assert len(gateways) == 1, f"{subnet} multihomed"
+
+    def test_buggy_gateways_have_broken_icmp(self, campus):
+        for gateway in campus.buggy_gateways:
+            assert gateway.quirks.silent_ttl_drop
+            assert not gateway.quirks.generates_icmp_errors
+            assert not gateway.quirks.accepts_host_zero
+
+    def test_cs_gateway_is_healthy_and_dns_identified(self, campus):
+        assert campus.cs_gateway in campus.dns_gateways
+        assert campus.cs_gateway not in campus.buggy_gateways
+
+    def test_monitors_exist_and_are_quiet(self, campus):
+        assert campus.monitor.activity_rate == 0
+        assert campus.cs_monitor.activity_rate == 0
+        assert campus.monitor.nics[0].subnet == campus.backbone
+        assert campus.cs_monitor.nics[0].subnet == campus.cs_subnet
+
+
+class TestUptimePhases:
+    def test_uptime_fraction_applied(self, campus):
+        up = campus.set_cs_uptime(0.5)
+        assert len(up) == round(53 * 0.5)
+        powered = [h for h in campus.cs_real_hosts() if h.powered_on]
+        assert len(powered) == len(up)
+
+    def test_larger_fraction_is_superset(self, campus):
+        small = set(id(h) for h in campus.set_cs_uptime(0.5))
+        large = set(id(h) for h in campus.set_cs_uptime(0.9))
+        assert small <= large
+
+    def test_full_uptime(self, campus):
+        up = campus.set_cs_uptime(1.0)
+        assert len(up) == 53
+
+
+class TestDeterminism:
+    def test_same_seed_same_campus(self):
+        a = build_campus(CampusProfile(seed=7))
+        b = build_campus(CampusProfile(seed=7))
+        assert [h.name for h in a.network.hosts] == [h.name for h in b.network.hosts]
+        assert [str(h.ip) for h in a.cs_hosts] == [str(h.ip) for h in b.cs_hosts]
+        assert [str(n.mac) for h in a.network.hosts for n in h.nics] == [
+            str(n.mac) for h in b.network.hosts for n in h.nics
+        ]
+
+    def test_different_seed_differs(self):
+        a = build_campus(CampusProfile(seed=7))
+        b = build_campus(CampusProfile(seed=8))
+        macs_a = [str(n.mac) for h in a.network.hosts for n in h.nics]
+        macs_b = [str(n.mac) for h in b.network.hosts for n in h.nics]
+        assert macs_a != macs_b
+
+
+class TestCustomProfiles:
+    def test_small_campus(self):
+        profile = CampusProfile(
+            assigned_subnets=12,
+            unconnected_subnets=1,
+            dnsless_subnets=2,
+            dns_gateway_mix=((1, 3),),
+            plain_gateway_mix=((2, 2),),
+            buggy_gateway_mix=((1, 3),),
+            cs_registered_hosts=10,
+            cs_stale_hosts=1,
+        )
+        campus = build_campus(profile)
+        assert len(campus.connected) == 11  # backbone + 10 leaves
+        assert len(campus.network.gateways) == 8
+        assert campus.cs_dns_total() == 11  # 10 hosts + gateway interface
+
+    def test_mismatched_mix_raises(self):
+        profile = CampusProfile(
+            assigned_subnets=20,
+            unconnected_subnets=1,
+            dns_gateway_mix=((1, 2),),
+            plain_gateway_mix=(),
+            buggy_gateway_mix=(),
+        )
+        with pytest.raises(RuntimeError):
+            build_campus(profile)
+
+    def test_routing_works_end_to_end(self, campus):
+        # A CS host can reach a host on a buggy gateway's subnet: broken
+        # ICMP does not mean broken forwarding.
+        campus.set_cs_uptime(1.0)
+        buggy_leaf_host = None
+        for gateway in campus.buggy_gateways:
+            for nic in gateway.nics:
+                if nic.subnet != campus.backbone:
+                    hosts = campus.network.hosts_on(nic.subnet)
+                    if hosts:
+                        buggy_leaf_host = hosts[0]
+                        break
+            if buggy_leaf_host:
+                break
+        assert buggy_leaf_host is not None
+        src = campus.cs_real_hosts()[0]
+        got = []
+        buggy_leaf_host.add_ip_listener(lambda p, n: got.append(p))
+        src.send_udp(buggy_leaf_host.ip, 9999)
+        campus.sim.run_for(5.0)
+        assert got, "forwarding through a buggy gateway must still work"

@@ -1,0 +1,111 @@
+"""Frame capture (simulated tcpdump) tests."""
+
+import pytest
+
+from repro.netsim import FrameCapture, address_filter, protocol_filter
+from repro.netsim.packet import UDP_ECHO_PORT
+
+
+class TestCapture:
+    def test_captures_frames_with_timestamps(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        capture = FrameCapture(net.segment_for(left)).start()
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)
+        net.sim.run_for(3.0)
+        capture.stop()
+        assert len(capture) >= 3  # arp req, arp reply, datagram, error
+        assert capture.frames[0].time <= capture.frames[-1].time
+        assert "arp" in capture.dump()
+
+    def test_stop_halts_capture(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        capture = FrameCapture(net.segment_for(left)).start()
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)
+        net.sim.run_for(3.0)
+        capture.stop()
+        count = len(capture)
+        hosts["a1"].send_udp(hosts["a2"].ip, 9999)
+        net.sim.run_for(3.0)
+        assert len(capture) == count
+
+    def test_context_manager(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        with FrameCapture(net.segment_for(left)) as capture:
+            hosts["a1"].send_icmp_echo(hosts["a2"].ip)
+            net.sim.run_for(3.0)
+        assert len(capture) > 0
+
+    def test_protocol_filter(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        capture = FrameCapture(
+            net.segment_for(left), frame_filter=protocol_filter("icmp")
+        ).start()
+        hosts["a1"].send_icmp_echo(hosts["a2"].ip)
+        net.sim.run_for(3.0)
+        capture.stop()
+        assert len(capture) == 2  # request + reply; ARP filtered out
+        assert capture.counts_by_protocol() == {"icmp": 2}
+
+    def test_address_filter(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        capture = FrameCapture(
+            net.segment_for(left), frame_filter=address_filter(hosts["a2"].ip)
+        ).start()
+        hosts["a1"].send_icmp_echo(hosts["a2"].ip)
+        hosts["a1"].send_icmp_echo(gateway.nics[0].ip)
+        net.sim.run_for(3.0)
+        capture.stop()
+        for captured in capture.frames:
+            assert "10.1.1.11" in str(captured.frame) or "arp" in str(captured.frame)
+
+    def test_bounded_buffer_drops_and_reports(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        capture = FrameCapture(net.segment_for(left), max_frames=2).start()
+        for _ in range(3):
+            hosts["a1"].send_icmp_echo(hosts["a2"].ip)
+            net.sim.run_for(2.0)
+        capture.stop()
+        assert len(capture) == 2
+        assert capture.dropped > 0
+        assert "dropped" in capture.dump()
+
+    def test_between_window(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        capture = FrameCapture(net.segment_for(left)).start()
+        hosts["a1"].send_icmp_echo(hosts["a2"].ip)
+        net.sim.run_for(10.0)
+        hosts["a1"].send_icmp_echo(hosts["a2"].ip)
+        net.sim.run_for(10.0)
+        capture.stop()
+        early = capture.between(0.0, 5.0)
+        late = capture.between(10.0, 20.0)
+        assert early and late
+        assert len(early) + len(late) == len(capture)
+
+    def test_dump_limit(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        capture = FrameCapture(net.segment_for(left)).start()
+        for _ in range(4):
+            hosts["a1"].send_icmp_echo(hosts["a2"].ip)
+            net.sim.run_for(2.0)
+        capture.stop()
+        text = capture.dump(limit=2)
+        assert "more frame(s) not shown" in text
+
+    def test_double_start_rejected(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        capture = FrameCapture(net.segment_for(left)).start()
+        with pytest.raises(RuntimeError):
+            capture.start()
+        capture.stop()
+
+    def test_udp_echo_exchange_fully_visible(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        hosts["a2"].quirks.udp_echo_enabled = True
+        capture = FrameCapture(
+            net.segment_for(left), frame_filter=protocol_filter("udp")
+        ).start()
+        hosts["a1"].send_udp(hosts["a2"].ip, UDP_ECHO_PORT, payload="ping")
+        net.sim.run_for(3.0)
+        capture.stop()
+        assert len(capture) == 2  # request and echo back

@@ -1,0 +1,195 @@
+"""DNS zone database and server tests."""
+
+import pytest
+
+from repro.netsim.addresses import Ipv4Address
+from repro.netsim.dns import (
+    AXFR_CHUNK_SIZE,
+    DnsServer,
+    ZoneDatabase,
+    reverse_name,
+    reverse_zone_for_network,
+)
+from repro.netsim.packet import (
+    DnsMessage,
+    DnsOp,
+    DnsQuestion,
+    DnsRecordType,
+    DNS_PORT,
+    UdpDatagram,
+)
+
+
+IP = Ipv4Address.parse
+
+
+class TestReverseNaming:
+    def test_reverse_name(self):
+        assert reverse_name(IP("128.138.243.10")) == "10.243.138.128.in-addr.arpa"
+
+    def test_reverse_zone_16(self):
+        assert (
+            reverse_zone_for_network(IP("128.138.0.0"), 16)
+            == "138.128.in-addr.arpa"
+        )
+
+    def test_reverse_zone_24(self):
+        assert (
+            reverse_zone_for_network(IP("128.138.243.0"), 24)
+            == "243.138.128.in-addr.arpa"
+        )
+
+    def test_non_byte_aligned_rejected(self):
+        with pytest.raises(ValueError):
+            reverse_zone_for_network(IP("128.138.0.0"), 20)
+
+
+class TestZoneDatabase:
+    def _db(self):
+        db = ZoneDatabase(domain="example.edu", nameserver="ns.example.edu")
+        db.add_host("alpha.example.edu", IP("128.138.243.10"))
+        db.add_host("beta.example.edu", IP("128.138.243.11"))
+        db.add_host("gw.example.edu", IP("128.138.243.1"))
+        db.add_host("gw.example.edu", IP("128.138.1.5"))
+        return db
+
+    def test_forward_and_reverse_registered(self):
+        db = self._db()
+        assert db.addresses_for("gw.example.edu") == [
+            IP("128.138.243.1"),
+            IP("128.138.1.5"),
+        ]
+        assert db.names_for(IP("128.138.243.10")) == ["alpha.example.edu"]
+
+    def test_remove_host_scrubs_both_trees(self):
+        db = self._db()
+        db.remove_host("alpha.example.edu")
+        assert db.addresses_for("alpha.example.edu") == []
+        assert db.names_for(IP("128.138.243.10")) == []
+
+    def test_apex_zone_lists_child_delegations(self):
+        db = self._db()
+        records = db.zone_records("138.128.in-addr.arpa")
+        names = {r.name for r in records}
+        assert names == {
+            "1.138.128.in-addr.arpa",
+            "243.138.128.in-addr.arpa",
+        }
+        assert all(r.rtype is DnsRecordType.NS for r in records)
+
+    def test_leaf_zone_lists_ptrs(self):
+        db = self._db()
+        records = db.zone_records("243.138.128.in-addr.arpa")
+        mapping = {r.name: r.rdata for r in records}
+        assert mapping["10.243.138.128.in-addr.arpa"] == "alpha.example.edu"
+        assert mapping["1.243.138.128.in-addr.arpa"] == "gw.example.edu"
+
+    def test_forward_zone_lists_a_records(self):
+        db = self._db()
+        records = db.zone_records("example.edu")
+        gw_records = [r for r in records if r.name == "gw.example.edu"]
+        assert {r.rdata for r in gw_records} == {"128.138.243.1", "128.138.1.5"}
+
+    def test_unknown_zone_returns_none(self):
+        assert self._db().zone_records("other.edu") is None
+
+    def test_answer_a_query(self):
+        db = self._db()
+        answers, rcode = db.answer(DnsQuestion("alpha.example.edu", DnsRecordType.A))
+        assert rcode == "NOERROR"
+        assert [a.rdata for a in answers] == ["128.138.243.10"]
+
+    def test_answer_ptr_query(self):
+        db = self._db()
+        answers, rcode = db.answer(
+            DnsQuestion(reverse_name(IP("128.138.243.11")), DnsRecordType.PTR)
+        )
+        assert rcode == "NOERROR"
+        assert [a.rdata for a in answers] == ["beta.example.edu"]
+
+    def test_nxdomain(self):
+        db = self._db()
+        answers, rcode = db.answer(DnsQuestion("nope.example.edu", DnsRecordType.A))
+        assert rcode == "NXDOMAIN"
+        assert answers == []
+
+    def test_hinfo_wks_in_forward_zone(self):
+        db = self._db()
+        db.hinfo["alpha.example.edu"] = "SUN-4/SUNOS-4.1"
+        db.wks["alpha.example.edu"] = "tcp: telnet smtp"
+        records = db.zone_records("example.edu")
+        types = {r.rtype for r in records if r.name == "alpha.example.edu"}
+        assert DnsRecordType.HINFO in types
+        assert DnsRecordType.WKS in types
+
+
+class TestDnsServer:
+    def _query(self, net, client, server_ip, question, wait=10.0):
+        got = []
+
+        def listener(packet, nic):
+            payload = packet.payload
+            if isinstance(payload, UdpDatagram) and isinstance(
+                payload.payload, DnsMessage
+            ):
+                got.append(payload.payload)
+
+        remove = client.add_ip_listener(listener)
+        client.send_udp(
+            server_ip,
+            DNS_PORT,
+            payload=DnsMessage(op=DnsOp.QUERY, question=question),
+            src_port=5454,
+        )
+        net.sim.run_for(wait)
+        remove()
+        return got
+
+    def test_query_over_network(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        server_host = hosts["b1"]
+        net.dns.add_host("a1.test", hosts["a1"].ip)
+        DnsServer(server_host, net.dns)
+        responses = self._query(
+            net, hosts["a1"], server_host.ip, DnsQuestion("a1.test", DnsRecordType.A)
+        )
+        assert len(responses) == 1
+        assert responses[0].answers[0].rdata == str(hosts["a1"].ip)
+
+    def test_axfr_streams_chunks_ending_with_soa(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        server_host = hosts["b1"]
+        for index in range(AXFR_CHUNK_SIZE + 5):
+            net.dns.add_host(f"h{index:03d}.test", left.host(50 + index))
+        DnsServer(server_host, net.dns)
+        responses = self._query(
+            net,
+            hosts["a1"],
+            server_host.ip,
+            DnsQuestion(net.dns.domain, DnsRecordType.AXFR),
+        )
+        assert len(responses) >= 2  # chunked
+        all_answers = [a for message in responses for a in message.answers]
+        assert all_answers[-1].rtype is DnsRecordType.SOA
+
+    def test_axfr_refused_for_foreign_zone(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        server_host = hosts["b1"]
+        DnsServer(server_host, net.dns)
+        responses = self._query(
+            net,
+            hosts["a1"],
+            server_host.ip,
+            DnsQuestion("elsewhere.org", DnsRecordType.AXFR),
+        )
+        assert len(responses) == 1
+        assert responses[0].rcode == "REFUSED"
+
+    def test_server_counts_queries(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        server_host = hosts["b1"]
+        server = DnsServer(server_host, net.dns)
+        self._query(
+            net, hosts["a1"], server_host.ip, DnsQuestion("x.test", DnsRecordType.A)
+        )
+        assert server.queries_answered == 1

@@ -1,0 +1,147 @@
+"""Fault injection: each fault must have its observable symptom."""
+
+import pytest
+
+from repro.netsim import Netmask, Subnet, faults
+from repro.netsim.packet import ArpOp, ArpPacket, IcmpPacket, IcmpType
+
+
+class TestDuplicateIp:
+    def test_both_hosts_answer_arp(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        victim = hosts["a2"]
+        rogue = faults.inject_duplicate_ip(net, victim)
+        assert rogue.ip == victim.ip
+        assert rogue.mac != victim.mac
+        # Observe ARP replies on the wire for the contested address.
+        replies = []
+
+        def tap(frame, now):
+            if isinstance(frame.payload, ArpPacket) and frame.payload.op is ArpOp.REPLY:
+                if frame.payload.sender_ip == victim.ip:
+                    replies.append(frame.payload.sender_mac)
+
+        net.segment_for(left).open_tap(tap)
+        hosts["a1"].send_udp(victim.ip, 9999)
+        net.sim.run_for(5.0)
+        assert len(set(replies)) == 2
+
+
+class TestHardwareSwap:
+    def test_mac_changes_ip_stays(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        victim = hosts["a2"]
+        old_mac = victim.mac
+        new_mac = faults.swap_hardware(net, victim)
+        assert victim.mac == new_mac
+        assert new_mac != old_mac
+        # The host still answers under its IP with the new hardware.
+        replies = []
+        hosts["a1"].add_ip_listener(lambda p, n: replies.append(p))
+        hosts["a1"].send_icmp_echo(victim.ip)
+        net.sim.run_for(3.0)
+        assert replies
+        entry = next(e for e in hosts["a1"].arp_table() if e.ip == victim.ip)
+        assert entry.mac == new_mac
+
+
+class TestMaskMisconfiguration:
+    def test_mask_reply_reports_wrong_mask(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        victim = hosts["a2"]
+        faults.misconfigure_mask(victim, Netmask.from_prefix(26))
+        replies = []
+        hosts["a1"].add_ip_listener(lambda p, n: replies.append(p))
+        hosts["a1"].send_mask_request(victim.ip)
+        net.sim.run_for(3.0)
+        masks = [
+            p.payload.mask for p in replies if isinstance(p.payload, IcmpPacket)
+        ]
+        assert masks == [Netmask.from_prefix(26)]
+
+
+class TestRemoveHost:
+    def test_host_goes_dark_dns_stays(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        victim = hosts["a2"]
+        faults.remove_host(net, victim)
+        assert not victim.powered_on
+        assert net.dns.addresses_for(victim.hostname)  # stale entry remains
+
+    def test_scrub_dns_option(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        victim = hosts["a2"]
+        faults.remove_host(net, victim, scrub_dns=True)
+        assert net.dns.addresses_for(victim.hostname) == []
+
+
+class TestProxyArp:
+    def test_gateway_answers_for_covered_range(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        covered = Subnet.parse("10.1.1.64/26")
+        faults.enable_proxy_arp(gateway, covered)
+        a1 = hosts["a1"]
+        replies = []
+
+        def tap(frame, now):
+            if isinstance(frame.payload, ArpPacket) and frame.payload.op is ArpOp.REPLY:
+                replies.append((frame.payload.sender_ip, frame.payload.sender_mac))
+
+        net.segment_for(left).open_tap(tap)
+        a1.send_udp(left.host(70), 9999)  # inside covered range, no host
+        net.sim.run_for(5.0)
+        assert (left.host(70), gateway.nics[0].mac) in replies
+
+    def test_uncovered_addresses_not_answered(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        faults.enable_proxy_arp(gateway, Subnet.parse("10.1.1.64/26"))
+        a1 = hosts["a1"]
+        replies = []
+
+        def tap(frame, now):
+            if isinstance(frame.payload, ArpPacket) and frame.payload.op is ArpOp.REPLY:
+                replies.append(frame.payload.sender_ip)
+
+        net.segment_for(left).open_tap(tap)
+        a1.send_udp(left.host(200), 9999)
+        net.sim.run_for(5.0)
+        assert left.host(200) not in replies
+
+
+class TestBrokenGateways:
+    def test_break_gateway_icmp_sets_all_quirks(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        faults.break_gateway_icmp(gateway)
+        assert gateway.quirks.silent_ttl_drop
+        assert not gateway.quirks.generates_icmp_errors
+        assert not gateway.quirks.accepts_host_zero
+
+    def test_ttl_echo_bug_fault(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        faults.give_ttl_echo_bug(hosts["a2"])
+        assert hosts["a2"].quirks.ttl_echo_bug
+
+    def test_disable_mask_replies(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        faults.disable_mask_replies(hosts["a2"])
+        replies = []
+        hosts["a1"].add_ip_listener(lambda p, n: replies.append(p))
+        hosts["a1"].send_mask_request(hosts["a2"].ip)
+        net.sim.run_for(3.0)
+        assert replies == []
+
+
+class TestPromiscuousRip:
+    def test_started_and_learning(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        from repro.netsim.rip import RipSpeaker
+
+        speaker = RipSpeaker(gateway, interval=30.0)
+        speaker.start()
+        rogue = faults.make_promiscuous_rip(hosts["a2"])
+        heard = []
+        hosts["a1"].add_rip_listener(
+            lambda n, nic, p, rip: heard.append(p.src)
+        )
+        net.sim.run_for(95.0)
+        assert hosts["a2"].ip in heard

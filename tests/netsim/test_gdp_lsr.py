@@ -1,0 +1,162 @@
+"""GDP announcer and loose-source-routing substrate tests."""
+
+import pytest
+
+from repro.netsim import GdpAnnouncer, GDP_PORT
+from repro.netsim.packet import IcmpPacket, IcmpType, Ipv4Packet, UdpDatagram
+
+
+def _collect(node):
+    received = []
+    node.add_ip_listener(lambda packet, nic: received.append(packet))
+    return received
+
+
+class TestGdpAnnouncer:
+    def test_periodic_broadcasts_on_every_interface(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        announcer = GdpAnnouncer(gateway, interval=60.0)
+        announcer.start()
+        heard_left = []
+        heard_right = []
+
+        def listen(bucket):
+            def on_packet(packet, nic):
+                udp = packet.payload
+                if isinstance(udp, UdpDatagram) and udp.dst_port == GDP_PORT:
+                    bucket.append(udp.payload)
+            return on_packet
+
+        hosts["a1"].add_ip_listener(listen(heard_left))
+        hosts["b1"].add_ip_listener(listen(heard_right))
+        net.sim.run_for(130.0)
+        assert len(heard_left) >= 2
+        assert len(heard_right) >= 2
+        tag, address, priority = heard_left[0]
+        assert tag == "gdp-report"
+        assert address == str(gateway.nics[0].ip)
+        assert priority == 100
+
+    def test_stop_and_power_off(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        announcer = GdpAnnouncer(gateway, interval=60.0)
+        announcer.start()
+        net.sim.run_for(61.0)
+        count = announcer.announcements_sent
+        announcer.stop()
+        net.sim.run_for(120.0)
+        assert announcer.announcements_sent == count
+        announcer2 = GdpAnnouncer(gateway, interval=60.0)
+        gateway.power_off()
+        announcer2.start()
+        net.sim.run_for(61.0)
+        assert announcer2.announcements_sent == 0
+
+
+class TestLooseSourceRouting:
+    def test_waypoint_gateway_relays(self, chain_net):
+        net, (left, middle, right), (gw1, gw2), (src, dst) = chain_net
+        got = _collect(dst)
+        # Steer through gw2's middle interface explicitly.
+        src.send_ip(
+            Ipv4Packet(
+                src=src.ip,
+                dst=gw2.nics[0].ip,
+                ttl=16,
+                payload=UdpDatagram(40000, 9999),
+                source_route=(dst.ip,),
+            )
+        )
+        net.sim.run_for(5.0)
+        datagrams = [p for p in got if isinstance(p.payload, UdpDatagram)]
+        assert len(datagrams) == 1
+        assert datagrams[0].source_route == ()
+
+    def test_lsr_hop_consumes_ttl(self, chain_net):
+        net, (left, middle, right), (gw1, gw2), (src, dst) = chain_net
+        got = _collect(dst)
+        src.send_ip(
+            Ipv4Packet(
+                src=src.ip,
+                dst=gw2.nics[0].ip,
+                ttl=10,
+                payload=UdpDatagram(40001, 9999),
+                source_route=(dst.ip,),
+            )
+        )
+        net.sim.run_for(5.0)
+        # gw1 forwards (-1), gw2 processes the LSR hop (-1): ttl 8.
+        assert got[0].ttl == 8
+
+    def test_lsr_detour_takes_longer_path(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        # A second gateway joins the two subnets: a redundant path.
+        detour = net.add_gateway("detour", [(left, 100), (right, 100)])
+        net.compute_routes()
+        a1, b1 = hosts["a1"], hosts["b1"]
+        got = _collect(b1)
+        a1.send_ip(
+            Ipv4Packet(
+                src=a1.ip,
+                dst=detour.nics[0].ip,
+                ttl=16,
+                payload=UdpDatagram(40002, 9999),
+                source_route=(b1.ip,),
+            )
+        )
+        net.sim.run_for(5.0)
+        assert len(got) == 1
+        assert detour.packets_forwarded >= 1
+        # One LSR hop consumed exactly one TTL on the forward path.
+        assert got[0].ttl == 15
+
+    def test_ttl_expiry_at_waypoint_reports_time_exceeded(self, chain_net):
+        net, (left, middle, right), (gw1, gw2), (src, dst) = chain_net
+        got = _collect(src)
+        src.send_ip(
+            Ipv4Packet(
+                src=src.ip,
+                dst=gw2.nics[0].ip,
+                ttl=2,  # dies exactly at the waypoint's LSR processing
+                payload=UdpDatagram(40003, 9999),
+                source_route=(dst.ip,),
+            )
+        )
+        net.sim.run_for(5.0)
+        exceeded = [
+            p for p in got
+            if isinstance(p.payload, IcmpPacket)
+            and p.payload.icmp_type is IcmpType.TIME_EXCEEDED
+        ]
+        assert len(exceeded) == 1
+        assert exceeded[0].src in gw2.local_ips()
+
+    def test_host_waypoint_drops_silently(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2, b1 = hosts["a1"], hosts["a2"], hosts["b1"]
+        got_b1 = _collect(b1)
+        got_a2 = _collect(a2)
+        a1.send_ip(
+            Ipv4Packet(
+                src=a1.ip,
+                dst=a2.ip,  # a host, not a router
+                ttl=16,
+                payload=UdpDatagram(40004, 9999),
+                source_route=(b1.ip,),
+            )
+        )
+        net.sim.run_for(5.0)
+        assert got_b1 == []  # never relayed
+        assert got_a2 == []  # not delivered locally either
+
+    def test_advanced_source_route_requires_entries(self):
+        from repro.netsim import Ipv4Address
+
+        packet = Ipv4Packet(
+            src=Ipv4Address.parse("10.0.0.1"),
+            dst=Ipv4Address.parse("10.0.0.2"),
+            ttl=4,
+            payload=UdpDatagram(1, 2),
+        )
+        with pytest.raises(ValueError):
+            packet.advanced_source_route()

@@ -1,0 +1,163 @@
+"""Network builder tests: allocation, routing computation, lookups."""
+
+import pytest
+
+from repro.netsim import Network, Subnet
+from repro.netsim.packet import UdpDatagram
+
+
+class TestAllocation:
+    def test_sequential_ip_allocation(self):
+        net = Network(seed=1)
+        subnet = Subnet.parse("10.0.0.0/24")
+        net.add_subnet(subnet)
+        first = net.allocate_ip(subnet)
+        second = net.allocate_ip(subnet)
+        assert str(first) == "10.0.0.1"
+        assert str(second) == "10.0.0.2"
+
+    def test_explicit_index(self):
+        net = Network(seed=1)
+        subnet = Subnet.parse("10.0.0.0/24")
+        net.add_subnet(subnet)
+        assert str(net.allocate_ip(subnet, 77)) == "10.0.0.77"
+
+    def test_duplicate_index_rejected(self):
+        net = Network(seed=1)
+        subnet = Subnet.parse("10.0.0.0/24")
+        net.add_subnet(subnet)
+        net.allocate_ip(subnet, 5)
+        with pytest.raises(ValueError):
+            net.allocate_ip(subnet, 5)
+
+    def test_invalid_index_rejected(self):
+        net = Network(seed=1)
+        subnet = Subnet.parse("10.0.0.0/24")
+        net.add_subnet(subnet)
+        with pytest.raises(ValueError):
+            net.allocate_ip(subnet, 0)
+        with pytest.raises(ValueError):
+            net.allocate_ip(subnet, 255)
+
+    def test_exhaustion(self):
+        net = Network(seed=1)
+        subnet = Subnet.parse("10.0.0.0/29")
+        net.add_subnet(subnet)
+        for _ in range(6):
+            net.allocate_ip(subnet)
+        with pytest.raises(RuntimeError):
+            net.allocate_ip(subnet)
+
+    def test_macs_are_unique(self):
+        net = Network(seed=1)
+        macs = {net.next_mac() for _ in range(200)}
+        assert len(macs) == 200
+
+    def test_duplicate_subnet_rejected(self):
+        net = Network(seed=1)
+        net.add_subnet("10.0.0.0/24")
+        with pytest.raises(ValueError):
+            net.add_subnet("10.0.0.0/24")
+
+
+class TestRouting:
+    def test_hosts_get_default_gateway(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        assert hosts["a1"].default_gateway == gateway.nics[0].ip
+        assert hosts["b1"].default_gateway == gateway.nics[1].ip
+
+    def test_gateways_get_routes_to_remote_subnets(self, chain_net):
+        net, (left, middle, right), (gw1, gw2), _hosts = chain_net
+        destinations = {str(route.subnet) for route in gw1.routes}
+        assert str(right) in destinations
+        destinations = {str(route.subnet) for route in gw2.routes}
+        assert str(left) in destinations
+
+    def test_route_metrics_reflect_distance(self, chain_net):
+        net, (left, middle, right), (gw1, gw2), _hosts = chain_net
+        route = next(r for r in gw1.routes if r.subnet == right)
+        assert route.metric == 1
+        assert route.next_hop == gw2.nics[0].ip
+
+    def test_set_default_gateway_overrides(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        second = net.add_gateway("gw2", [(left, 100), (right, 100)])
+        net.set_default_gateway(left, second)
+        assert hosts["a1"].default_gateway == second.nics[0].ip
+
+    def test_set_default_gateway_requires_attachment(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        other = net.add_gateway("gw3", [(right, 101)])
+        with pytest.raises(ValueError):
+            net.set_default_gateway(left, other)
+
+    def test_recompute_is_idempotent(self, chain_net):
+        net, subnets, (gw1, gw2), _hosts = chain_net
+        before = {(str(r.subnet), str(r.next_hop)) for r in gw1.routes}
+        net.compute_routes()
+        after = {(str(r.subnet), str(r.next_hop)) for r in gw1.routes}
+        assert before == after
+
+
+class TestLookups:
+    def test_node_by_ip(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        assert net.node_by_ip(hosts["a1"].ip) is hosts["a1"]
+        assert net.node_by_ip(gateway.nics[0].ip) is gateway
+        assert net.node_by_ip(left.host(250)) is None
+
+    def test_node_by_name(self, small_net):
+        net, *_rest, hosts = net_rest_unpack(small_net)
+        assert net.node_by_name("a1") is hosts["a1"]
+        assert net.node_by_name("nope") is None
+
+    def test_hosts_on_subnet(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        names = {h.name for h in net.hosts_on(left)}
+        assert names == {"a1", "a2"}
+
+    def test_live_interfaces_excludes_powered_off(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        before = net.live_interfaces_on(left)
+        hosts["a2"].power_off()
+        after = net.live_interfaces_on(left)
+        assert len(before) - len(after) == 1
+
+    def test_subnets_sorted(self, small_net):
+        net, left, right, *_ = small_net
+        assert net.subnets() == sorted([left, right])
+
+
+class TestDnsWiring:
+    def test_hosts_registered_in_dns(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        assert net.dns.addresses_for(hosts["a1"].hostname) == [hosts["a1"].ip]
+
+    def test_gateway_gets_multi_a_and_suffix_names(self):
+        net = Network(seed=2)
+        left, right = Subnet.parse("10.3.1.0/24"), Subnet.parse("10.3.2.0/24")
+        net.add_subnet(left)
+        net.add_subnet(right)
+        gw = net.add_gateway("router", [(left, 1), (right, 1)])
+        addresses = net.dns.addresses_for(f"router.{net.domain}")
+        assert len(addresses) == 2
+        assert net.dns.addresses_for(f"router-gw1.{net.domain}")
+
+    def test_shared_mac_gateway(self):
+        net = Network(seed=2)
+        left, right = Subnet.parse("10.3.1.0/24"), Subnet.parse("10.3.2.0/24")
+        net.add_subnet(left)
+        net.add_subnet(right)
+        gw = net.add_gateway("sun", [(left, 1), (right, 1)], shared_mac=True)
+        assert gw.nics[0].mac == gw.nics[1].mac
+
+    def test_dns_server_end_to_end(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        server_host = net.add_dns_server(left)
+        assert net.dns_server is not None
+        assert net.dns.nameserver == server_host.hostname
+
+
+def net_rest_unpack(small_net):
+    net, left, right, gateway, hosts = small_net
+    return net, left, right, gateway, hosts

@@ -1,0 +1,237 @@
+"""Host protocol stack tests: ARP resolution, ICMP responder, UDP."""
+
+import pytest
+
+from repro.netsim.addresses import Ipv4Address, Netmask, Subnet
+from repro.netsim.node import LIMITED_BROADCAST
+from repro.netsim.packet import (
+    IcmpPacket,
+    IcmpType,
+    Ipv4Packet,
+    UdpDatagram,
+    UDP_ECHO_PORT,
+)
+
+
+def _collect(node):
+    received = []
+    node.add_ip_listener(lambda packet, nic: received.append(packet))
+    return received
+
+
+class TestArpResolution:
+    def test_first_send_triggers_arp_then_delivery(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        got = _collect(a2)
+        a1.send_udp(a2.ip, 9999)
+        net.sim.run_for(2.0)
+        # a2 got the datagram (after ARP), a1 got a port unreachable back.
+        assert any(isinstance(p.payload, UdpDatagram) for p in got)
+        assert a2.ip in [e.ip for e in a1.arp_table()]
+
+    def test_cached_entry_skips_arp(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        a1.send_udp(a2.ip, 9999)
+        net.sim.run_for(2.0)
+        segment = net.segment_for(left)
+        arp_before = segment.stats.by_protocol.get("arp", 0)
+        a1.send_udp(a2.ip, 9999)
+        net.sim.run_for(2.0)
+        assert segment.stats.by_protocol.get("arp", 0) == arp_before
+
+    def test_arp_failure_drops_packet_silently_on_host(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1 = hosts["a1"]
+        got = _collect(a1)
+        missing = left.host(200)
+        a1.send_udp(missing, 9999)
+        net.sim.run_for(10.0)
+        assert got == []  # hosts do not report unreachable for themselves
+
+    def test_pending_packets_queue_until_resolution(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        got = _collect(a2)
+        for _ in range(3):
+            a1.send_udp(a2.ip, 9999)
+        net.sim.run_for(3.0)
+        datagrams = [p for p in got if isinstance(p.payload, UdpDatagram)]
+        assert len(datagrams) == 3
+
+
+class TestIcmpResponder:
+    def test_echo_reply(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        got = _collect(a1)
+        a1.send_icmp_echo(a2.ip, ident=5, seq=9)
+        net.sim.run_for(2.0)
+        replies = [
+            p for p in got
+            if isinstance(p.payload, IcmpPacket)
+            and p.payload.icmp_type is IcmpType.ECHO_REPLY
+        ]
+        assert len(replies) == 1
+        assert replies[0].payload.ident == 5
+        assert replies[0].payload.seq == 9
+        assert replies[0].src == a2.ip
+
+    def test_ping_quirk_disables_reply(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        a2.quirks.responds_to_ping = False
+        got = _collect(a1)
+        a1.send_icmp_echo(a2.ip)
+        net.sim.run_for(2.0)
+        assert got == []
+
+    def test_mask_reply_carries_configured_mask(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        got = _collect(a1)
+        a1.send_mask_request(a2.ip)
+        net.sim.run_for(2.0)
+        replies = [
+            p for p in got
+            if isinstance(p.payload, IcmpPacket)
+            and p.payload.icmp_type is IcmpType.MASK_REPLY
+        ]
+        assert len(replies) == 1
+        assert replies[0].payload.mask == Netmask.from_prefix(24)
+
+    def test_mask_request_quirk_silences(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        a2.quirks.responds_to_mask_request = False
+        got = _collect(a1)
+        a1.send_mask_request(a2.ip)
+        net.sim.run_for(2.0)
+        assert got == []
+
+    def test_broadcast_ping_answered_with_jitter(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1 = hosts["a1"]
+        got = _collect(a1)
+        a1.send_icmp_echo(left.broadcast, ident=3, ttl=1)
+        net.sim.run_for(2.0)
+        repliers = {
+            p.src
+            for p in got
+            if isinstance(p.payload, IcmpPacket)
+            and p.payload.icmp_type is IcmpType.ECHO_REPLY
+        }
+        # a2 and the gateway's left interface both answer; sources are
+        # their own addresses, not the broadcast.
+        assert hosts["a2"].ip in repliers
+        assert left.broadcast not in repliers
+
+    def test_broadcast_ping_quirk(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        a2.quirks.responds_to_broadcast_ping = False
+        got = _collect(a1)
+        a1.send_icmp_echo(left.broadcast, ttl=1)
+        net.sim.run_for(2.0)
+        repliers = {p.src for p in got if isinstance(p.payload, IcmpPacket)}
+        assert a2.ip not in repliers
+
+
+class TestUdp:
+    def test_echo_service_replies(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        a2.quirks.udp_echo_enabled = True
+        got = _collect(a1)
+        a1.send_udp(a2.ip, UDP_ECHO_PORT, payload="ping!", src_port=5555)
+        net.sim.run_for(2.0)
+        echoes = [p for p in got if isinstance(p.payload, UdpDatagram)]
+        assert len(echoes) == 1
+        assert echoes[0].payload.payload == "ping!"
+        assert echoes[0].payload.dst_port == 5555
+
+    def test_echo_disabled_gives_port_unreachable(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        a2.quirks.udp_echo_enabled = False
+        got = _collect(a1)
+        a1.send_udp(a2.ip, UDP_ECHO_PORT, src_port=5555)
+        net.sim.run_for(2.0)
+        kinds = [
+            p.payload.icmp_type for p in got if isinstance(p.payload, IcmpPacket)
+        ]
+        assert kinds == [IcmpType.DEST_UNREACHABLE_PORT]
+
+    def test_closed_port_unreachable_includes_original(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        got = _collect(a1)
+        a1.send_udp(a2.ip, 33434, src_port=5555)
+        net.sim.run_for(2.0)
+        error = next(p for p in got if isinstance(p.payload, IcmpPacket))
+        assert error.payload.original is not None
+        assert error.payload.original.dst == a2.ip
+
+    def test_registered_service_takes_precedence(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        served = []
+        a2.register_udp_service(
+            7777, lambda node, nic, packet, udp: served.append(udp.payload)
+        )
+        a1.send_udp(a2.ip, 7777, payload="hello")
+        net.sim.run_for(2.0)
+        assert served == ["hello"]
+
+    def test_duplicate_service_registration_rejected(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a2 = hosts["a2"]
+        a2.register_udp_service(7777, lambda *a: None)
+        with pytest.raises(ValueError):
+            a2.register_udp_service(7777, lambda *a: None)
+
+    def test_broadcast_udp_generates_no_errors(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1 = hosts["a1"]
+        got = _collect(a1)
+        a1.send_udp(left.broadcast, 33434)
+        net.sim.run_for(2.0)
+        assert not any(isinstance(p.payload, IcmpPacket) for p in got)
+
+
+class TestPower:
+    def test_powered_off_host_is_silent(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        a2.power_off()
+        got = _collect(a1)
+        a1.send_icmp_echo(a2.ip)
+        net.sim.run_for(5.0)
+        assert got == []
+
+    def test_power_cycle_restores_service(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        a2.power_off()
+        a2.power_on()
+        got = _collect(a1)
+        a1.send_icmp_echo(a2.ip)
+        net.sim.run_for(5.0)
+        assert len(got) == 1
+
+
+class TestTtlEchoBug:
+    def test_error_uses_received_ttl(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1, a2 = hosts["a1"], hosts["a2"]
+        a2.quirks.ttl_echo_bug = True
+        got = _collect(a1)
+        a1.send_ip(
+            Ipv4Packet(src=a1.ip, dst=a2.ip, ttl=7, payload=UdpDatagram(1, 33434))
+        )
+        net.sim.run_for(2.0)
+        error = next(p for p in got if isinstance(p.payload, IcmpPacket))
+        # Same-segment delivery does not decrement: the error leaves with
+        # TTL 7 instead of the default 64.
+        assert error.ttl == 7

@@ -1,0 +1,126 @@
+"""ICMP Redirect tests: gateways correct doglegged first hops."""
+
+import pytest
+
+from repro.netsim import Network, Subnet
+from repro.netsim.packet import IcmpPacket, IcmpType, UdpDatagram
+
+
+@pytest.fixture
+def two_gateway_wire():
+    """One shared wire, two gateways, each owning a different leaf.
+
+    Hosts point at gw_a by default, so packets for gw_b's leaf take a
+    dogleg until the redirect lands.
+    """
+    net = Network(seed=83)
+    shared = Subnet.parse("10.30.0.0/24")
+    leaf_a = Subnet.parse("10.30.1.0/24")
+    leaf_b = Subnet.parse("10.30.2.0/24")
+    for subnet in (shared, leaf_a, leaf_b):
+        net.add_subnet(subnet)
+    gw_a = net.add_gateway("gw-a", [(shared, 1), (leaf_a, 1)])
+    gw_b = net.add_gateway("gw-b", [(shared, 2), (leaf_b, 1)])
+    sender = net.add_host(shared, name="sender", index=10)
+    target = net.add_host(leaf_b, name="target", index=10)
+    net.compute_routes()
+    net.set_default_gateway(shared, gw_a)
+    return net, shared, gw_a, gw_b, sender, target
+
+
+class TestRedirectGeneration:
+    def test_dogleg_draws_redirect_and_still_delivers(self, two_gateway_wire):
+        net, shared, gw_a, gw_b, sender, target = two_gateway_wire
+        redirects = []
+        sender.add_ip_listener(
+            lambda p, nic: redirects.append(p.payload)
+            if isinstance(p.payload, IcmpPacket)
+            and p.payload.icmp_type is IcmpType.REDIRECT
+            else None
+        )
+        delivered = []
+        target.add_ip_listener(
+            lambda p, nic: delivered.append(p)
+            if isinstance(p.payload, UdpDatagram) else None
+        )
+        sender.send_udp(target.ip, 9999)
+        net.sim.run_for(5.0)
+        assert len(delivered) == 1  # the doglegged packet still arrives
+        assert len(redirects) == 1
+        assert redirects[0].gateway == gw_b.nics[0].ip
+        assert gw_a.redirects_sent == 1
+
+    def test_host_installs_route_and_second_packet_goes_direct(
+        self, two_gateway_wire
+    ):
+        net, shared, gw_a, gw_b, sender, target = two_gateway_wire
+        sender.send_udp(target.ip, 9999)
+        net.sim.run_for(5.0)
+        assert sender.redirect_routes.get(target.ip) == gw_b.nics[0].ip
+        forwarded_before = gw_a.packets_forwarded
+        sender.send_udp(target.ip, 9999)
+        net.sim.run_for(5.0)
+        assert gw_a.packets_forwarded == forwarded_before  # bypassed now
+
+    def test_second_packet_keeps_full_ttl_budget(self, two_gateway_wire):
+        net, shared, gw_a, gw_b, sender, target = two_gateway_wire
+        got = []
+        target.add_ip_listener(
+            lambda p, nic: got.append(p)
+            if isinstance(p.payload, UdpDatagram) else None
+        )
+        sender.send_udp(target.ip, 9999, ttl=20)
+        net.sim.run_for(5.0)
+        sender.send_udp(target.ip, 9999, ttl=20)
+        net.sim.run_for(5.0)
+        assert got[0].ttl == 18  # dogleg: two hops
+        assert got[1].ttl == 19  # direct: one hop
+
+    def test_no_redirect_for_straight_paths(self, two_gateway_wire):
+        net, shared, gw_a, gw_b, sender, target = two_gateway_wire
+        host_a = net.add_host(Subnet.parse("10.30.1.0/24"), name="inside", index=10)
+        sender.send_udp(host_a.ip, 9999)  # via gw_a, its own leaf: no dogleg
+        net.sim.run_for(5.0)
+        assert gw_a.redirects_sent == 0
+
+    def test_redirects_can_be_disabled(self, two_gateway_wire):
+        net, shared, gw_a, gw_b, sender, target = two_gateway_wire
+        gw_a.sends_redirects = False
+        sender.send_udp(target.ip, 9999)
+        net.sim.run_for(5.0)
+        assert gw_a.redirects_sent == 0
+        assert sender.redirect_routes == {}
+
+    def test_host_quirk_ignores_redirects(self, two_gateway_wire):
+        net, shared, gw_a, gw_b, sender, target = two_gateway_wire
+        sender.quirks.honors_redirects = False
+        sender.send_udp(target.ip, 9999)
+        net.sim.run_for(5.0)
+        assert sender.redirect_routes == {}
+        forwarded_before = gw_a.packets_forwarded
+        sender.send_udp(target.ip, 9999)
+        net.sim.run_for(5.0)
+        assert gw_a.packets_forwarded > forwarded_before  # still doglegs
+
+    def test_redirect_to_offwire_gateway_rejected(self, two_gateway_wire):
+        """A malicious/garbled redirect naming an unreachable gateway
+        must not be installed."""
+        net, shared, gw_a, gw_b, sender, target = two_gateway_wire
+        from repro.netsim.packet import Ipv4Packet
+
+        bogus = Ipv4Packet(
+            src=gw_a.nics[0].ip,
+            dst=sender.ip,
+            ttl=64,
+            payload=IcmpPacket(
+                IcmpType.REDIRECT,
+                original=Ipv4Packet(
+                    src=sender.ip, dst=target.ip, ttl=64,
+                    payload=UdpDatagram(1, 2),
+                ),
+                gateway=Subnet.parse("10.99.0.0/24").host(1),  # off-wire
+            ),
+        )
+        gw_a.send_ip(bogus)
+        net.sim.run_for(5.0)
+        assert sender.redirect_routes == {}

@@ -1,0 +1,139 @@
+"""RIP speaker / promiscuous-host tests."""
+
+import pytest
+
+from repro.netsim.packet import Ipv4Packet, RipCommand, RipEntry, RipPacket
+from repro.netsim.rip import PromiscuousRipHost, RipSpeaker
+
+
+def _rip_listener(node):
+    heard = []
+    node.add_rip_listener(
+        lambda n, nic, packet, rip: heard.append((packet.src, rip))
+    )
+    return heard
+
+
+class TestRipSpeaker:
+    def test_periodic_advertisements(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        heard = _rip_listener(hosts["a1"])
+        speaker = RipSpeaker(gateway, interval=30.0)
+        speaker.start()
+        net.sim.run_for(95.0)
+        assert len(heard) >= 3
+
+    def test_split_horizon(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        heard = _rip_listener(hosts["a1"])
+        speaker = RipSpeaker(gateway, interval=30.0)
+        speaker.start()
+        net.sim.run_for(31.0)
+        _source, rip = heard[0]
+        advertised = {entry.address for entry in rip.entries}
+        # The left subnet is where we heard it: not advertised there.
+        assert left.network not in advertised
+        assert right.network in advertised
+
+    def test_static_routes_advertised_with_bumped_metric(self, chain_net):
+        net, (left, middle, right), (gw1, gw2), (src, dst) = chain_net
+        heard = _rip_listener(src)
+        speaker = RipSpeaker(gw1, interval=30.0)
+        speaker.start()
+        net.sim.run_for(31.0)
+        _source, rip = heard[0]
+        metrics = {str(e.address): e.metric for e in rip.entries}
+        assert metrics[str(middle.network)] == 1   # direct
+        assert metrics[str(right.network)] == 2    # via gw2
+
+    def test_stop_halts_advertisements(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        heard = _rip_listener(hosts["a1"])
+        speaker = RipSpeaker(gateway, interval=30.0)
+        speaker.start()
+        net.sim.run_for(31.0)
+        speaker.stop()
+        count = len(heard)
+        net.sim.run_for(120.0)
+        assert len(heard) == count
+
+    def test_powered_off_gateway_stays_quiet(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        heard = _rip_listener(hosts["a1"])
+        speaker = RipSpeaker(gateway, interval=30.0)
+        speaker.start()
+        gateway.power_off()
+        net.sim.run_for(95.0)
+        assert heard == []
+
+    def test_answers_directed_request(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1 = hosts["a1"]
+        speaker = RipSpeaker(gateway)
+        heard = _rip_listener(a1)
+        a1.send_ip(
+            Ipv4Packet(
+                src=a1.ip,
+                dst=gateway.nics[0].ip,
+                ttl=64,
+                payload=RipPacket(command=RipCommand.REQUEST),
+            )
+        )
+        net.sim.run_for(3.0)
+        responses = [rip for _src, rip in heard if rip.command is RipCommand.RESPONSE]
+        assert len(responses) == 1
+        assert {e.address for e in responses[0].entries} == {right.network}
+
+    def test_query_response_can_be_disabled(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        a1 = hosts["a1"]
+        RipSpeaker(gateway, respond_to_queries=False)
+        heard = _rip_listener(a1)
+        a1.send_ip(
+            Ipv4Packet(
+                src=a1.ip,
+                dst=gateway.nics[0].ip,
+                ttl=64,
+                payload=RipPacket(command=RipCommand.POLL),
+            )
+        )
+        net.sim.run_for(3.0)
+        assert heard == []
+
+
+class TestPromiscuousHost:
+    def test_rebroadcasts_learned_routes(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        speaker = RipSpeaker(gateway, interval=30.0)
+        speaker.start()
+        rogue = PromiscuousRipHost(hosts["a2"], interval=30.0)
+        rogue.start()
+        heard = _rip_listener(hosts["a1"])
+        net.sim.run_for(95.0)
+        sources = {src for src, _rip in heard}
+        assert hosts["a2"].ip in sources
+        # Its routes are metric-bumped copies of the gateway's.
+        rogue_ads = [rip for src, rip in heard if src == hosts["a2"].ip]
+        gateway_ads = [rip for src, rip in heard if src == gateway.nics[0].ip]
+        rogue_metrics = {e.address: e.metric for a in rogue_ads for e in a.entries}
+        true_metrics = {e.address: e.metric for a in gateway_ads for e in a.entries}
+        for address, metric in rogue_metrics.items():
+            assert metric > true_metrics[address]
+
+    def test_quiet_until_it_learns_something(self, small_net):
+        net, left, right, gateway, hosts = small_net
+        rogue = PromiscuousRipHost(hosts["a2"], interval=30.0)
+        rogue.start()
+        heard = _rip_listener(hosts["a1"])
+        net.sim.run_for(95.0)
+        assert heard == []
+
+
+class TestRipEntryValidation:
+    def test_metric_range(self):
+        from repro.netsim.addresses import Ipv4Address
+
+        with pytest.raises(ValueError):
+            RipEntry(address=Ipv4Address.parse("10.0.0.0"), metric=0)
+        with pytest.raises(ValueError):
+            RipEntry(address=Ipv4Address.parse("10.0.0.0"), metric=17)

@@ -1,0 +1,205 @@
+"""Shared-segment tests: delivery, taps, collisions, accounting."""
+
+import random
+
+import pytest
+
+from repro.netsim.addresses import Ipv4Address, MacAddress, Netmask
+from repro.netsim.host import Host
+from repro.netsim.packet import (
+    ArpOp,
+    ArpPacket,
+    EthernetFrame,
+    EtherType,
+    IcmpPacket,
+    IcmpType,
+    Ipv4Packet,
+)
+from repro.netsim.segment import Segment
+from repro.netsim.sim import Simulator
+
+
+def _frame(src=1, dst=2, broadcast=False):
+    # The ARP target is an address nobody owns, so no host replies and
+    # frame counts stay deterministic.
+    return EthernetFrame(
+        src_mac=MacAddress(src),
+        dst_mac=MacAddress.broadcast() if broadcast else MacAddress(dst),
+        ethertype=EtherType.ARP,
+        payload=ArpPacket(
+            op=ArpOp.REQUEST,
+            sender_mac=MacAddress(src),
+            sender_ip=Ipv4Address.parse("10.0.0.1"),
+            target_mac=None,
+            target_ip=Ipv4Address.parse("10.0.0.99"),
+        ),
+    )
+
+
+def _make_host(sim, segment, name, ip_text, mac_value):
+    host = Host(sim, name)
+    host.add_nic(
+        segment, Ipv4Address.parse(ip_text), Netmask.from_prefix(24), MacAddress(mac_value)
+    )
+    return host
+
+
+class TestDelivery:
+    def test_unicast_reaches_only_addressee(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        a = _make_host(sim, segment, "a", "10.0.0.1", 1)
+        b = _make_host(sim, segment, "b", "10.0.0.2", 2)
+        c = _make_host(sim, segment, "c", "10.0.0.3", 3)
+        segment.transmit(_frame(src=1, dst=2))
+        sim.run_for(1.0)
+        assert b.nics[0].frames_in == 1
+        assert c.nics[0].frames_in == 0
+
+    def test_broadcast_reaches_everyone_but_sender(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        hosts = [
+            _make_host(sim, segment, f"h{i}", f"10.0.0.{i}", i) for i in range(1, 5)
+        ]
+        segment.transmit(_frame(src=1, broadcast=True))
+        sim.run_for(1.0)
+        assert hosts[0].nics[0].frames_in == 0  # sender
+        assert all(h.nics[0].frames_in == 1 for h in hosts[1:])
+
+    def test_delivery_is_delayed_by_latency(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg", latency=0.25)
+        received_at = []
+        segment.open_tap(lambda frame, now: received_at.append(now))
+        segment.transmit(_frame())
+        sim.run_for(1.0)
+        assert received_at == [0.25]
+
+    def test_down_nic_does_not_receive(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        _make_host(sim, segment, "a", "10.0.0.1", 1)
+        b = _make_host(sim, segment, "b", "10.0.0.2", 2)
+        b.nics[0].set_up(False)
+        segment.transmit(_frame(src=1, dst=2))
+        sim.run_for(1.0)
+        assert b.packets_processed == 0
+
+
+class TestTaps:
+    def test_tap_sees_unicast_frames(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        seen = []
+        segment.open_tap(lambda frame, now: seen.append(frame))
+        segment.transmit(_frame(src=1, dst=2))
+        sim.run_for(1.0)
+        assert len(seen) == 1
+
+    def test_closed_tap_sees_nothing(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        seen = []
+        tap = segment.open_tap(lambda frame, now: seen.append(frame))
+        tap.close()
+        segment.transmit(_frame())
+        sim.run_for(1.0)
+        assert seen == []
+
+    def test_multiple_taps_independent(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        seen1, seen2 = [], []
+        segment.open_tap(lambda f, t: seen1.append(f))
+        tap2 = segment.open_tap(lambda f, t: seen2.append(f))
+        segment.transmit(_frame())
+        sim.run_for(1.0)
+        tap2.close()
+        segment.transmit(_frame())
+        sim.run_for(1.0)
+        assert len(seen1) == 2
+        assert len(seen2) == 1
+
+
+class TestCollisions:
+    def test_no_collisions_when_spaced_out(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg", rng=random.Random(1))
+        for i in range(20):
+            sim.schedule(i * 1.0, lambda: segment.transmit(_frame()))
+        sim.run_until(25.0)
+        assert segment.stats.frames_collided == 0
+
+    def test_burst_beyond_capacity_collides(self):
+        sim = Simulator()
+        segment = Segment(
+            sim, "seg", collision_window=0.01, collision_capacity=3,
+            rng=random.Random(1),
+        )
+        for _ in range(60):
+            segment.transmit(_frame())
+        sim.run_for(1.0)
+        assert segment.stats.frames_collided > 0
+        assert (
+            segment.stats.frames_collided + segment.stats.frames_delivered
+            == segment.stats.frames_sent
+        )
+
+    def test_collided_frame_not_delivered(self):
+        sim = Simulator()
+        segment = Segment(
+            sim, "seg", collision_window=0.01, collision_capacity=1,
+            rng=random.Random(3),
+        )
+        seen = []
+        segment.open_tap(lambda f, t: seen.append(f))
+        for _ in range(50):
+            segment.transmit(_frame())
+        sim.run_for(1.0)
+        assert len(seen) == segment.stats.frames_delivered
+        assert len(seen) < 50
+
+
+class TestStats:
+    def test_per_protocol_accounting(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        segment.transmit(_frame())  # arp
+        ip_frame = EthernetFrame(
+            src_mac=MacAddress(1),
+            dst_mac=MacAddress(2),
+            ethertype=EtherType.IPV4,
+            payload=Ipv4Packet(
+                src=Ipv4Address.parse("10.0.0.1"),
+                dst=Ipv4Address.parse("10.0.0.2"),
+                ttl=64,
+                payload=IcmpPacket(IcmpType.ECHO_REQUEST),
+            ),
+        )
+        segment.transmit(ip_frame)
+        sim.run_for(1.0)
+        assert segment.stats.by_protocol == {"arp": 1, "icmp": 1}
+
+    def test_broadcast_counter(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        segment.transmit(_frame(broadcast=True))
+        segment.transmit(_frame())
+        assert segment.stats.broadcasts == 1
+
+    def test_snapshot_is_independent(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        segment.transmit(_frame())
+        snap = segment.stats.snapshot()
+        segment.transmit(_frame())
+        assert snap.frames_sent == 1
+        assert segment.stats.frames_sent == 2
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        segment = Segment(sim, "seg")
+        host = _make_host(sim, segment, "a", "10.0.0.1", 1)
+        with pytest.raises(ValueError):
+            segment.attach(host.nics[0])

@@ -1,0 +1,173 @@
+"""Discrete-event simulator tests."""
+
+import pytest
+
+from repro.netsim.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run_until(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abc":
+            sim.schedule(1.0, lambda l=label: fired.append(l))
+        sim.run_until(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_run_until_target(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_run_for_is_relative(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        sim.run_for(5.0)
+        assert sim.now == 15.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.5, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [7.5]
+
+    def test_events_beyond_horizon_not_fired(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("late"))
+        sim.run_until(5.0)
+        assert fired == []
+        sim.run_until(10.0)
+        assert fired == ["late"]
+
+    def test_event_scheduled_during_event_runs(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run_until(3.0)
+        assert fired == ["inner"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(1.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_events == 1
+        assert keep.time == 1.0
+
+
+class TestStep:
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_runs_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.now == 1.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.events_processed == 5
+
+
+class TestQuiescence:
+    def test_run_until_quiescent_drains_everything(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run_until_quiescent()
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+    def test_run_until_quiescent_respects_max_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(100.0, lambda: fired.append("late"))
+        sim.run_until_quiescent(max_time=10.0)
+        assert fired == ["early"]
+        assert sim.now == 10.0
+
+
+class TestPeriodic:
+    def test_every_repeats(self):
+        sim = Simulator()
+        fired = []
+        sim.every(10.0, lambda: fired.append(sim.now))
+        sim.run_until(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_every_start_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.every(10.0, lambda: fired.append(sim.now), start_delay=0.0)
+        sim.run_until(25.0)
+        assert fired == [0.0, 10.0, 20.0]
+
+    def test_every_cancel_stops_repeats(self):
+        sim = Simulator()
+        fired = []
+        cancel = sim.every(10.0, lambda: fired.append(sim.now))
+        sim.run_until(15.0)
+        cancel()
+        sim.run_until(50.0)
+        assert fired == [10.0]
+
+    def test_every_rejects_nonpositive_interval(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)
+
+    def test_every_negative_jitter_clamped(self):
+        sim = Simulator()
+        fired = []
+        sim.every(10.0, lambda: fired.append(sim.now), start_delay=0.0,
+                  jitter=lambda: -100.0)
+        sim.run_until(0.0)
+        assert fired == [0.0]

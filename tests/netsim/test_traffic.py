@@ -1,0 +1,131 @@
+"""Background-traffic generator tests."""
+
+from repro.netsim import Network, Subnet, TrafficGenerator
+from repro.netsim.packet import ArpPacket
+
+
+def _build(seed=5, hosts=8):
+    net = Network(seed=seed)
+    subnet = Subnet.parse("10.9.1.0/24")
+    net.add_subnet(subnet)
+    gw = net.add_gateway("gw", [(subnet, 1)])
+    members = [
+        net.add_host(subnet, name=f"h{i}", index=10 + i, activity_rate=30.0)
+        for i in range(hosts)
+    ]
+    net.compute_routes()
+    return net, subnet, members
+
+
+class TestGeneration:
+    def test_generates_traffic(self):
+        net, subnet, members = _build()
+        generator = TrafficGenerator(net, seed=1)
+        generator.start()
+        net.sim.run_for(3600.0)
+        assert generator.packets_originated > 50
+
+    def test_stop_halts(self):
+        net, subnet, members = _build()
+        generator = TrafficGenerator(net, seed=1)
+        generator.start()
+        net.sim.run_for(600.0)
+        generator.stop()
+        count = generator.packets_originated
+        net.sim.run_for(3600.0)
+        assert generator.packets_originated == count
+
+    def test_zero_activity_hosts_never_originate(self):
+        net, subnet, members = _build()
+        quiet = net.add_host(subnet, name="quiet", index=99, activity_rate=0.0)
+        sent_by_quiet = []
+        net.segment_for(subnet).open_tap(
+            lambda frame, now: sent_by_quiet.append(frame)
+            if frame.src_mac == quiet.mac
+            else None
+        )
+        generator = TrafficGenerator(net, seed=1)
+        generator.start()
+        net.sim.run_for(3600.0)
+        # The quiet host may ARP-reply, and its stack answers traffic
+        # sent *to* it — but it never originates chatter of its own.
+        from repro.netsim.packet import Ipv4Packet, UdpDatagram
+
+        chatter = [
+            f
+            for f in sent_by_quiet
+            if isinstance(f.payload, Ipv4Packet)
+            and isinstance(f.payload.payload, UdpDatagram)
+            and f.payload.payload.dst_port == TrafficGenerator.CHATTER_PORT
+        ]
+        assert chatter == []
+
+    def test_powered_off_hosts_skip(self):
+        net, subnet, members = _build()
+        members[0].power_off()
+        generator = TrafficGenerator(net, seed=1)
+        generator.start()
+        net.sim.run_for(1800.0)
+        assert generator.packets_originated > 0  # others still talk
+
+    def test_deterministic_with_seed(self):
+        counts = []
+        for _ in range(2):
+            net, subnet, members = _build(seed=5)
+            generator = TrafficGenerator(net, seed=9)
+            generator.start()
+            net.sim.run_for(1800.0)
+            counts.append(generator.packets_originated)
+        assert counts[0] == counts[1]
+
+    def test_population_restriction(self):
+        net, subnet, members = _build()
+        outsider = net.add_host(subnet, name="outsider", index=98, activity_rate=50.0)
+        generator = TrafficGenerator(net, seed=1, hosts=members)
+        generator.start()
+        outsider_frames = []
+        net.segment_for(subnet).open_tap(
+            lambda frame, now: outsider_frames.append(frame)
+            if frame.src_mac == outsider.mac
+            else None
+        )
+        net.sim.run_for(1800.0)
+        from repro.netsim.packet import Ipv4Packet
+
+        originated = [
+            f for f in outsider_frames if isinstance(f.payload, Ipv4Packet)
+            and isinstance(f.payload.payload, type(f.payload.payload))
+        ]
+        # The outsider is not in the population: it never *originates*
+        # chatter (it may still reply to chatter sent to it).
+        chatter = [
+            f
+            for f in outsider_frames
+            if isinstance(f.payload, Ipv4Packet)
+            and getattr(f.payload.payload, "payload", None)
+            and isinstance(f.payload.payload.payload, tuple)
+            and f.payload.payload.payload[:1] == ("chatter",)
+        ]
+        assert chatter == []
+
+    def test_server_affinity_concentrates_traffic(self):
+        net, subnet, members = _build(hosts=12)
+        generator = TrafficGenerator(net, seed=3, server_affinity=1.0, server_count=2)
+        generator.start()
+        recipients = {}
+
+        def tap(frame, now):
+            from repro.netsim.packet import Ipv4Packet, UdpDatagram
+
+            if isinstance(frame.payload, Ipv4Packet) and isinstance(
+                frame.payload.payload, UdpDatagram
+            ):
+                if frame.payload.payload.dst_port == TrafficGenerator.CHATTER_PORT:
+                    recipients[frame.payload.dst] = (
+                        recipients.get(frame.payload.dst, 0) + 1
+                    )
+
+        net.segment_for(subnet).open_tap(tap)
+        net.sim.run_for(3600.0)
+        # With full affinity, only the 2 servers receive chatter.
+        assert len(recipients) <= 2

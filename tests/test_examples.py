@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(name, timeout=240):
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = _run_example("quickstart.py")
+        assert "EtherHostProbe:" in output
+        assert "Traceroute:" in output
+        assert "interfaces discovered" in output
+
+    def test_campus_discovery(self):
+        output = _run_example("campus_discovery.py")
+        assert "journal:" in output
+        assert "topology:" in output
+        assert "Figure 2 map written" in output
+        dot_path = os.path.join(EXAMPLES_DIR, "campus_topology.dot")
+        assert os.path.exists(dot_path)
+        os.remove(dot_path)
+
+    def test_problem_hunt(self):
+        output = _run_example("problem_hunt.py")
+        assert "[duplicate-address]" in output
+        assert "[inconsistent-netmask]" in output
+        assert "[promiscuous-rip]" in output
+        assert "[hardware-change]" in output
+        assert "[ip-no-longer-in-use]" in output
+
+    def test_journal_server_demo(self):
+        output = _run_example("journal_server_demo.py")
+        assert "journal server listening" in output
+        assert "backbone vantage:" in output
+        assert "reloaded from disk" in output
+
+    def test_troubleshoot(self):
+        output = _run_example("troubleshoot.py")
+        assert "designed route" in output
+        assert "SUSPECT: gateway 'coach-sun" in output
+
+    def test_multi_site(self):
+        output = _run_example("multi_site.py")
+        assert "boulder -> denver:" in output
+        assert "Denver subnets without ever probing them" in output
