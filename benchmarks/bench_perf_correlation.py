@@ -1,0 +1,283 @@
+"""Perf benchmark: incremental vs full-rescan correlation.
+
+The Discovery Manager correlates after every Explorer Module run.  A
+full rescan makes each of those passes O(Journal), so a campaign that
+grows the Journal degrades quadratically; the incremental engine
+consumes only the dirty set, keeping per-run cost proportional to what
+the module actually changed.
+
+This harness grows a simulated campus (default 100 -> 2 000 interface
+records) through repeated "module runs" — batches of observations mixed
+with re-verifications, new multi-homed gateway MACs, and mask
+discoveries.  Two Journals receive the identical operation stream:
+
+* the *incremental* Journal is correlated by one persistent
+  :class:`Correlator` (delta-driven, the new default);
+* the *full* Journal is correlated by a fresh Correlator per run with
+  ``full=True`` — the pre-incremental status quo, cold caches and all.
+
+Per-run wall time is measured for both, the final Journal states are
+checked for canonical equivalence, and the trajectory is written to
+``BENCH_correlation.json`` so future PRs can track regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_correlation.py
+    PYTHONPATH=src python benchmarks/bench_perf_correlation.py --quick
+    PYTHONPATH=src python benchmarks/bench_perf_correlation.py --check
+
+(Not a pytest module: run it directly.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core import Journal
+from repro.core.correlate import Correlator
+from repro.core.records import Observation
+
+SOURCE = "bench"
+
+
+class Campaign:
+    """A deterministic growing-campus observation stream.
+
+    Every generated "module run" is applied identically to any number
+    of journals, so incremental and full correlation can be compared on
+    byte-for-byte identical inputs.  All observations carry both IP and
+    MAC (explorer pairs), so record matching is unambiguous and the two
+    histories stay structurally comparable.
+    """
+
+    def __init__(self, seed: int, journals: List[Journal], clock: List[float]) -> None:
+        self.rng = random.Random(seed)
+        self.journals = journals
+        self.clock = clock
+        self.hosts: List[Dict[str, Optional[str]]] = []
+        self.subnets_used = 0
+        self._mac_serial = 0
+
+    # -- address fabric -------------------------------------------------
+
+    def _new_subnet_index(self) -> int:
+        self.subnets_used += 1
+        return self.subnets_used
+
+    def _new_mac(self) -> str:
+        self._mac_serial += 1
+        return "08:00:20:{:02x}:{:02x}:{:02x}".format(
+            (self._mac_serial >> 16) & 0xFF,
+            (self._mac_serial >> 8) & 0xFF,
+            self._mac_serial & 0xFF,
+        )
+
+    def _new_host(self, subnet_index: int) -> Dict[str, Optional[str]]:
+        host_index = sum(
+            1 for h in self.hosts if h["subnet_index"] == subnet_index
+        )
+        ip = f"10.{subnet_index // 250}.{subnet_index % 250}.{10 + host_index}"
+        host = {
+            "subnet_index": subnet_index,
+            "ip": ip,
+            "mac": self._new_mac(),
+            "mask": "255.255.255.0" if self.rng.random() < 0.5 else None,
+            "dns_name": (
+                f"h{len(self.hosts)}.campus.test"
+                if self.rng.random() < 0.4
+                else None
+            ),
+        }
+        self.hosts.append(host)
+        return host
+
+    # -- applying operations to every journal ---------------------------
+
+    def _observe(self, **fields) -> None:
+        for journal in self.journals:
+            journal.observe_interface(Observation(source=SOURCE, **fields))
+
+    def _observe_host(self, host: Dict[str, Optional[str]]) -> None:
+        self._observe(
+            ip=host["ip"],
+            mac=host["mac"],
+            subnet_mask=host["mask"],
+            dns_name=host["dns_name"],
+        )
+
+    # -- one module run --------------------------------------------------
+
+    def run_module(self, *, new_hosts: int, reverify: int) -> None:
+        """One simulated Explorer Module invocation."""
+        self.clock[0] += 60.0
+        if self.subnets_used == 0 or self.rng.random() < 0.25:
+            self._new_subnet_index()
+        subnet_choices = list(range(1, self.subnets_used + 1))
+        for _ in range(new_hosts):
+            self._observe_host(self._new_host(self.rng.choice(subnet_choices)))
+        # Re-verifications: same values again.  These must be (nearly)
+        # free for the incremental engine — nothing changed.
+        if self.hosts and reverify:
+            for host in self.rng.sample(
+                self.hosts, min(reverify, len(self.hosts))
+            ):
+                self._observe_host(host)
+        # Occasionally a workstation-gateway: one MAC on two subnets.
+        if self.subnets_used >= 2 and self.rng.random() < 0.5:
+            mac = self._new_mac()
+            a, b = self.rng.sample(subnet_choices, 2)
+            for subnet_index in (a, b):
+                self._observe(
+                    ip=f"10.{subnet_index // 250}.{subnet_index % 250}.1",
+                    mac=mac,
+                    subnet_mask="255.255.255.0",
+                )
+        # Occasionally a host learns its mask late (dirty update).
+        maskless = [h for h in self.hosts if h["mask"] is None]
+        if maskless and self.rng.random() < 0.5:
+            host = self.rng.choice(maskless)
+            host["mask"] = "255.255.255.0"
+            self._observe_host(host)
+
+
+def run_benchmark(
+    *,
+    max_interfaces: int,
+    batch: int,
+    reverify: int,
+    seed: int,
+    speedup_floor: Optional[float],
+) -> Dict[str, object]:
+    clock = [0.0]
+    journal_inc = Journal(clock=lambda: clock[0])
+    journal_full = Journal(clock=lambda: clock[0])
+    campaign = Campaign(seed, [journal_inc, journal_full], clock)
+    incremental = Correlator(journal_inc)
+
+    trajectory: List[Dict[str, float]] = []
+    round_index = 0
+    while len(journal_inc.interfaces) < max_interfaces:
+        round_index += 1
+        campaign.run_module(new_hosts=batch, reverify=reverify)
+
+        started = time.perf_counter()
+        inc_report = incremental.correlate()
+        inc_seconds = time.perf_counter() - started
+
+        # The status quo: a cold correlator, full rescan, every run.
+        started = time.perf_counter()
+        Correlator(journal_full).correlate(full=True)
+        full_seconds = time.perf_counter() - started
+
+        trajectory.append(
+            {
+                "round": round_index,
+                "interfaces": len(journal_inc.interfaces),
+                "gateways": len(journal_inc.gateways),
+                "full_ms": round(full_seconds * 1e3, 4),
+                "incremental_ms": round(inc_seconds * 1e3, 4),
+                "incremental_mode": inc_report.mode,
+            }
+        )
+
+    # Steady-state measurement at final size: small deltas against the
+    # full-grown Journal, where the rescan hurts most.
+    steady_full: List[float] = []
+    steady_inc: List[float] = []
+    for _ in range(7):
+        campaign.run_module(new_hosts=1, reverify=reverify)
+        started = time.perf_counter()
+        incremental.correlate()
+        steady_inc.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        Correlator(journal_full).correlate(full=True)
+        steady_full.append(time.perf_counter() - started)
+
+    equivalent = journal_inc.canonical_state() == journal_full.canonical_state()
+    full_ms = statistics.median(steady_full) * 1e3
+    inc_ms = statistics.median(steady_inc) * 1e3
+    speedup = full_ms / inc_ms if inc_ms > 0 else float("inf")
+
+    result = {
+        "benchmark": "incremental vs full-rescan correlation",
+        "seed": seed,
+        "max_interfaces": len(journal_inc.interfaces),
+        "rounds": round_index,
+        "journal_counts": journal_inc.counts(),
+        "steady_state": {
+            "full_rescan_ms": round(full_ms, 4),
+            "incremental_ms": round(inc_ms, 4),
+            "speedup": round(speedup, 2),
+        },
+        "equivalent_final_state": equivalent,
+        "trajectory": trajectory,
+    }
+
+    print(
+        f"interfaces={result['max_interfaces']} rounds={round_index} "
+        f"full={full_ms:.3f}ms incremental={inc_ms:.3f}ms "
+        f"speedup={speedup:.1f}x equivalent={equivalent}"
+    )
+    if not equivalent:
+        raise SystemExit(
+            "FAIL: incremental and full-rescan journals diverged"
+        )
+    if speedup_floor is not None and speedup < speedup_floor:
+        raise SystemExit(
+            f"FAIL: speedup {speedup:.1f}x below required {speedup_floor}x"
+        )
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small run (300 interfaces) for CI smoke testing",
+    )
+    parser.add_argument("--max-interfaces", type=int, default=2000)
+    parser.add_argument("--batch", type=int, default=100, help="new hosts per module run")
+    parser.add_argument(
+        "--reverify", type=int, default=50, help="re-observations per module run"
+    )
+    parser.add_argument("--seed", type=int, default=1993)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless incremental is >= 5x faster at full size",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_correlation.json",
+        help="trajectory file path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.max_interfaces = min(args.max_interfaces, 300)
+        args.batch = min(args.batch, 50)
+
+    result = run_benchmark(
+        max_interfaces=args.max_interfaces,
+        batch=args.batch,
+        reverify=args.reverify,
+        seed=args.seed,
+        speedup_floor=5.0 if args.check else None,
+    )
+    result["quick"] = args.quick
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,7 +104,8 @@ class TestTable2:
             ],
         )
         assert equivalent < paper.TABLE2_LIMIT_BYTES
-        assert journal.counts() == {
+        counts = journal.counts()
+        assert {k: counts[k] for k in ("interfaces", "subnets", "gateways")} == {
             "interfaces": scenario["interfaces"],
             "subnets": scenario["subnets"],
             "gateways": scenario["gateways"],

@@ -5,7 +5,7 @@ from .avl import AvlTree
 from .client import LocalJournal, RemoteJournal
 from .correlate import Correlator
 from .inquiry import NetworkPicture
-from .journal import Journal
+from .journal import Journal, JournalChanges
 from .manager import DiscoveryManager
 from .records import (
     Attribute,
@@ -26,6 +26,7 @@ __all__ = [
     "GatewayRecord",
     "InterfaceRecord",
     "Journal",
+    "JournalChanges",
     "JournalReplicator",
     "JournalServer",
     "LocalJournal",

@@ -92,6 +92,10 @@ class LocalJournal:
     def counts(self) -> Dict[str, int]:
         return self.journal.counts()
 
+    def revision(self) -> int:
+        """The journal's current change-tracking revision."""
+        return self.journal.revision
+
     # -- negative cache ---------------------------------------------------
 
     def negative_put(self, kind: str, key: str, *, ttl: float) -> None:
@@ -259,6 +263,11 @@ class RemoteJournal:
 
     def counts(self) -> Dict[str, int]:
         return self._call({"op": "counts"})["counts"]
+
+    def revision(self) -> int:
+        """The server journal's change-tracking revision (cheap poll:
+        a replica or dashboard can skip a sync when it hasn't moved)."""
+        return self._call({"op": "counts"})["counts"]["revision"]
 
     # -- replication -----------------------------------------------------------
 

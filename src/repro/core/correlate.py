@@ -19,16 +19,27 @@ The :class:`Correlator` performs the Discovery-Manager-side inference:
 * gateway-to-subnet linking from recorded interface masks;
 * assembly of the overall topology graph used by the presentation
   programs and by Figure 2.
+
+Incremental operation: the Discovery Manager correlates after every
+Explorer Module run, so a naive implementation rescans the whole
+Journal each time and a long campaign degrades quadratically with
+Journal size.  The Correlator therefore consumes the Journal's dirty
+sets (:meth:`~repro.core.journal.Journal.changes_since`): each pass
+examines only records touched since the last correlation, using
+persistent ``by_mac`` / ``by_ip`` reverse maps that are updated from
+the same delta.  ``correlate(full=True)`` forces the classic full
+rescan; by construction both paths converge to the same Journal state
+(property-tested in ``tests/core/test_correlate_incremental.py``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..netsim.addresses import Ipv4Address, Netmask, Subnet
-from .journal import Journal
+from .journal import Journal, JournalChanges
 from .records import GatewayRecord, InterfaceRecord
 
 __all__ = ["Correlator", "CorrelationReport", "TopologyGraph"]
@@ -46,6 +57,10 @@ class CorrelationReport:
     subnet_links_added: int = 0
     interfaces_assigned: int = 0
     notes: List[str] = field(default_factory=list)
+    #: "full" or "incremental" — which engine produced this report
+    mode: str = "full"
+    #: how many interface records the pass actually examined
+    interfaces_examined: int = 0
 
 
 @dataclass
@@ -90,11 +105,32 @@ class TopologyGraph:
 
 
 class Correlator:
-    """Cross-correlates Journal records into a coherent network picture."""
+    """Cross-correlates Journal records into a coherent network picture.
+
+    One Correlator instance is meant to live as long as its Journal (the
+    Discovery Manager keeps one): it carries the incremental state — the
+    last-correlated revision, the interface reverse maps, and the memoised
+    per-record subnet cache.  A fresh instance simply performs a full
+    rescan on its first :meth:`correlate` call.
+    """
 
     def __init__(self, journal: Journal, *, default_prefix: int = 24) -> None:
         self.journal = journal
         self.default_prefix = default_prefix
+        #: Journal revision covered by the last correlate(); None = never
+        self.last_revision: Optional[int] = None
+        self.full_passes = 0
+        self.incremental_passes = 0
+        #: mac -> record ids holding that MAC *and* an IP (pass 1's input)
+        self._by_mac: Dict[str, Set[int]] = {}
+        #: ip -> record ids holding that IP (pass 2's input)
+        self._by_ip: Dict[str, Set[int]] = {}
+        #: record id -> (mac-or-None, ip-or-None) as currently indexed
+        self._indexed: Dict[int, Tuple[Optional[str], Optional[str]]] = {}
+        #: record id -> (record revision, computed subnet); the record
+        #: revision is the invalidation key — the subnet table itself
+        #: never feeds the computation, so its revision does not appear
+        self._subnet_memo: Dict[int, Tuple[int, Optional[Subnet]]] = {}
 
     # ------------------------------------------------------------------
     # Helpers
@@ -102,7 +138,16 @@ class Correlator:
 
     def subnet_of_record(self, record: InterfaceRecord) -> Optional[Subnet]:
         """The subnet an interface record belongs to, by its own mask
-        (falling back to the campus default prefix)."""
+        (falling back to the campus default prefix).  Memoised per
+        record, keyed on the record's Journal revision."""
+        cached = self._subnet_memo.get(record.record_id)
+        if cached is not None and cached[0] == record.revision:
+            return cached[1]
+        subnet = self._compute_subnet(record)
+        self._subnet_memo[record.record_id] = (record.revision, subnet)
+        return subnet
+
+    def _compute_subnet(self, record: InterfaceRecord) -> Optional[Subnet]:
         if record.ip is None:
             return None
         try:
@@ -118,22 +163,100 @@ class Correlator:
         return Subnet.containing(ip, Netmask.from_prefix(self.default_prefix))
 
     # ------------------------------------------------------------------
-    # Passes
+    # Reverse-map maintenance
     # ------------------------------------------------------------------
 
-    def infer_gateways_from_shared_macs(self, report: CorrelationReport) -> None:
+    def _index_interface(self, record: InterfaceRecord) -> None:
+        rid = record.record_id
+        mac, ip = record.mac, record.ip
+        entry = (mac if (mac is not None and ip is not None) else None, ip)
+        old = self._indexed.get(rid)
+        if old == entry:
+            return
+        if old is not None:
+            self._drop_entry(rid, old)
+        if entry == (None, None):
+            self._indexed.pop(rid, None)
+            return
+        self._indexed[rid] = entry
+        if entry[0] is not None:
+            self._by_mac.setdefault(entry[0], set()).add(rid)
+        if entry[1] is not None:
+            self._by_ip.setdefault(entry[1], set()).add(rid)
+
+    def _deindex_interface(self, rid: int) -> None:
+        old = self._indexed.pop(rid, None)
+        if old is not None:
+            self._drop_entry(rid, old)
+        self._subnet_memo.pop(rid, None)
+
+    def _drop_entry(self, rid: int, entry: Tuple[Optional[str], Optional[str]]) -> None:
+        mac, ip = entry
+        if mac is not None:
+            holders = self._by_mac.get(mac)
+            if holders is not None:
+                holders.discard(rid)
+                if not holders:
+                    del self._by_mac[mac]
+        if ip is not None:
+            holders = self._by_ip.get(ip)
+            if holders is not None:
+                holders.discard(rid)
+                if not holders:
+                    del self._by_ip[ip]
+
+    def _rebuild_indexes(self) -> None:
+        self._by_mac.clear()
+        self._by_ip.clear()
+        self._indexed.clear()
+        for record in self.journal.interfaces.values():
+            self._index_interface(record)
+
+    def _apply_interface_delta(self, changes: JournalChanges) -> None:
+        for rid in changes.deleted_interfaces:
+            self._deindex_interface(rid)
+        for rid in changes.interfaces:
+            record = self.journal.interfaces.get(rid)
+            if record is None:
+                self._deindex_interface(rid)
+            else:
+                self._index_interface(record)
+
+    # ------------------------------------------------------------------
+    # Passes
+    #
+    # Every pass iterates in record-id (creation) order, never in
+    # timestamp order: verification timestamps diverge between a
+    # full-rescan and an incremental history, and iteration order must
+    # not — it decides merge keepers and subnet creation order.
+    # ------------------------------------------------------------------
+
+    def infer_gateways_from_shared_macs(
+        self,
+        report: CorrelationReport,
+        *,
+        macs: Optional[Iterable[str]] = None,
+    ) -> None:
         """One MAC + several IPs: a gateway if the IPs span subnets, a
-        proxy-ARP device (or reconfiguration) if they share one."""
-        by_mac: Dict[str, List[InterfaceRecord]] = defaultdict(list)
-        for record in self.journal.all_interfaces():
-            if record.mac is not None and record.ip is not None:
-                by_mac[record.mac].append(record)
-        for mac, records in sorted(by_mac.items()):
+        proxy-ARP device (or reconfiguration) if they share one.  With
+        *macs* given, only those groups are (re-)examined."""
+        journal = self.journal
+        scope = self._by_mac.keys() if macs is None else macs
+        for mac in sorted(scope):
+            holders = self._by_mac.get(mac)
+            if holders is None or len(holders) < 2:
+                continue
+            records = [
+                journal.interfaces[rid]
+                for rid in sorted(holders)
+                if rid in journal.interfaces
+            ]
             if len(records) < 2:
                 continue
+            report.interfaces_examined += len(records)
             subnets = {str(self.subnet_of_record(r)) for r in records}
             if len(subnets) >= 2:
-                gateway, created = self.journal.ensure_gateway(
+                gateway, created = journal.ensure_gateway(
                     source=SOURCE,
                     interface_ids=[r.record_id for r in records],
                 )
@@ -152,74 +275,181 @@ class Correlator:
                     f"{sorted(subnets)[0]}: proxy ARP or reconfiguration"
                 )
 
-    def merge_gateways_by_shared_interface(self, report: CorrelationReport) -> None:
+    def merge_gateways_by_shared_interface(
+        self,
+        report: CorrelationReport,
+        *,
+        ips: Optional[Iterable[str]] = None,
+    ) -> None:
         """Different modules may each have created a partial gateway
         holding the same interface; the Journal merge already handles
         that on insert, so here we merge gateways that hold *different*
-        records for the same interface address."""
-        by_ip: Dict[str, List[GatewayRecord]] = defaultdict(list)
-        for gateway in self.journal.all_gateways():
-            for interface_id in gateway.interface_ids:
-                record = self.journal.interfaces.get(interface_id)
-                if record is not None and record.ip is not None:
-                    by_ip[record.ip].append(gateway)
-        for ip, gateways in sorted(by_ip.items()):
-            unique = {g.record_id: g for g in gateways}
+        records for the same interface address.  With *ips* given, only
+        those addresses are (re-)examined."""
+        journal = self.journal
+        scope = self._by_ip.keys() if ips is None else ips
+        for ip in sorted(scope):
+            holders = self._by_ip.get(ip)
+            if not holders:
+                continue
+            unique: Dict[int, GatewayRecord] = {}
+            for rid in sorted(holders):
+                gateway = journal.gateway_for_interface(rid)
+                if gateway is not None:
+                    unique[gateway.record_id] = gateway
             if len(unique) < 2:
                 continue
             keeper, *others = sorted(unique.values(), key=lambda g: g.record_id)
             for other in others:
-                if other.record_id not in self.journal.gateways:
+                if other.record_id not in journal.gateways:
                     continue  # already merged away
-                if keeper.record_id not in self.journal.gateways:
+                if keeper.record_id not in journal.gateways:
                     break
-                self.journal._merge_gateways(keeper, other, self.journal.now)
+                journal._merge_gateways(keeper, other, journal.now)
                 report.gateways_merged += 1
                 report.notes.append(
                     f"gateways sharing interface {ip} merged into "
                     f"#{keeper.record_id}"
                 )
 
-    def link_gateways_to_subnets(self, report: CorrelationReport) -> None:
-        """Attach every gateway to the subnet of each member interface."""
-        for gateway in list(self.journal.all_gateways()):
+    def link_gateways_to_subnets(
+        self,
+        report: CorrelationReport,
+        *,
+        gateways: Optional[List[GatewayRecord]] = None,
+    ) -> None:
+        """Attach every (scoped) gateway to the subnet of each member."""
+        journal = self.journal
+        if gateways is None:
+            gateways = [journal.gateways[gid] for gid in sorted(journal.gateways)]
+        for gateway in gateways:
+            if gateway.record_id not in journal.gateways:
+                continue  # merged away mid-pass
             for interface_id in list(gateway.interface_ids):
-                record = self.journal.interfaces.get(interface_id)
+                record = journal.interfaces.get(interface_id)
                 if record is None:
                     continue
                 subnet = self.subnet_of_record(record)
                 if subnet is None:
                     continue
-                if self.journal.link_gateway_subnet(
+                if journal.link_gateway_subnet(
                     gateway.record_id, str(subnet), source=SOURCE
                 ):
                     report.subnet_links_added += 1
 
-    def assign_interfaces_to_gateways(self, report: CorrelationReport) -> None:
+    def assign_interfaces_to_gateways(
+        self,
+        report: CorrelationReport,
+        *,
+        gateways: Optional[List[GatewayRecord]] = None,
+    ) -> None:
         """Back-fill the Table 1 'gateway to which this interface
         belongs' field on member interface records."""
-        for gateway in self.journal.all_gateways():
+        journal = self.journal
+        if gateways is None:
+            gateways = [journal.gateways[gid] for gid in sorted(journal.gateways)]
+        for gateway in gateways:
+            if gateway.record_id not in journal.gateways:
+                continue
             for interface_id in gateway.interface_ids:
-                record = self.journal.interfaces.get(interface_id)
+                record = journal.interfaces.get(interface_id)
                 if record is None:
                     continue
                 if record.gateway_id != gateway.record_id:
                     record.set(
-                        "gateway_id", gateway.record_id, self.journal.now, SOURCE
+                        "gateway_id", gateway.record_id, journal.now, SOURCE
                     )
                     report.interfaces_assigned += 1
+
+    # ------------------------------------------------------------------
+    # Incremental scoping
+    # ------------------------------------------------------------------
+
+    def _scope_ips(self, changes: JournalChanges) -> Set[str]:
+        """IPs whose gateway-collision status may have changed: the IPs
+        of dirty interfaces plus every member IP of dirty gateways."""
+        journal = self.journal
+        ips: Set[str] = set()
+        for rid in changes.interfaces:
+            record = journal.interfaces.get(rid)
+            if record is not None and record.ip is not None:
+                ips.add(record.ip)
+        for gid in changes.gateways:
+            gateway = journal.gateways.get(gid)
+            if gateway is None:
+                continue
+            for rid in gateway.interface_ids:
+                record = journal.interfaces.get(rid)
+                if record is not None and record.ip is not None:
+                    ips.add(record.ip)
+        return ips
+
+    def _scope_gateways(self, changes: JournalChanges) -> List[GatewayRecord]:
+        """Gateways needing re-link/re-assign: dirty ones plus the
+        owners of dirty interfaces, in record-id order."""
+        journal = self.journal
+        gids = {gid for gid in changes.gateways if gid in journal.gateways}
+        for rid in changes.interfaces:
+            gateway = journal.gateway_for_interface(rid)
+            if gateway is not None:
+                gids.add(gateway.record_id)
+        return [journal.gateways[gid] for gid in sorted(gids)]
 
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
 
-    def correlate(self) -> CorrelationReport:
-        """Run all correlation passes once."""
+    def correlate(self, *, full: bool = False) -> CorrelationReport:
+        """Run all correlation passes once.
+
+        The first call (or ``full=True``, or a delta that was pruned
+        away) performs the classic whole-Journal rescan.  Subsequent
+        calls consume only the records touched since the last call.
+        """
+        journal = self.journal
         report = CorrelationReport()
-        self.infer_gateways_from_shared_macs(report)
-        self.merge_gateways_by_shared_interface(report)
-        self.link_gateways_to_subnets(report)
-        self.assign_interfaces_to_gateways(report)
+        since = self.last_revision
+        changes: Optional[JournalChanges] = None
+        if not full and since is not None:
+            changes = journal.changes_since(since)
+            if not changes.complete:
+                changes = None
+                full = True
+        if since is None or full:
+            report.mode = "full"
+            self.full_passes += 1
+            self._rebuild_indexes()
+            self.infer_gateways_from_shared_macs(report)
+            self.merge_gateways_by_shared_interface(report)
+            self.link_gateways_to_subnets(report)
+            self.assign_interfaces_to_gateways(report)
+        else:
+            report.mode = "incremental"
+            self.incremental_passes += 1
+            assert changes is not None
+            self._apply_interface_delta(changes)
+            dirty_macs = {
+                record.mac
+                for rid in changes.interfaces
+                if (record := journal.interfaces.get(rid)) is not None
+                and record.mac is not None
+                and record.ip is not None
+            }
+            self.infer_gateways_from_shared_macs(report, macs=dirty_macs)
+            # Pass 1 may have created or merged gateways: refresh the
+            # delta so later passes see the correlator's own effects.
+            changes = journal.changes_since(since)
+            self.merge_gateways_by_shared_interface(
+                report, ips=self._scope_ips(changes)
+            )
+            changes = journal.changes_since(since)
+            scope = self._scope_gateways(changes)
+            self.link_gateways_to_subnets(report, gateways=scope)
+            self.assign_interfaces_to_gateways(
+                report, gateways=self._scope_gateways(journal.changes_since(since))
+            )
+        self.last_revision = journal.revision
+        journal.prune_changes(self.last_revision)
         return report
 
     def topology(self) -> TopologyGraph:

@@ -15,12 +15,21 @@ observation pairing a known IP with a *different* Ethernet address does
 not overwrite — it creates a second record, because "multiple interface
 records [with] the same network layer address for different media
 access addresses" is precisely what the analysis programs look for.
+
+Change tracking: the Journal keeps a monotonically increasing
+``revision`` counter, bumped on every mutation, plus per-kind dirty
+sets (record ids touched since a given revision).  Consumers such as
+the incremental :class:`~repro.core.correlate.Correlator` call
+:meth:`Journal.changes_since` to see only the delta and
+:meth:`Journal.prune_changes` once a delta is consumed, so correlation
+cost tracks the rate of change rather than the size of the Journal.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .avl import AvlTree
 from .records import (
@@ -32,7 +41,40 @@ from .records import (
     SubnetRecord,
 )
 
-__all__ = ["Journal"]
+__all__ = ["Journal", "JournalChanges"]
+
+#: record kinds used by the dirty-set bookkeeping
+_KINDS = ("interface", "gateway", "subnet")
+
+
+@dataclass
+class JournalChanges:
+    """The delta between two Journal revisions.
+
+    ``complete`` is False when the requested base revision predates the
+    retained change history (it was pruned away); consumers must then
+    fall back to a full scan.
+    """
+
+    since: int
+    revision: int
+    complete: bool = True
+    interfaces: Set[int] = field(default_factory=set)
+    gateways: Set[int] = field(default_factory=set)
+    subnets: Set[int] = field(default_factory=set)
+    deleted_interfaces: Set[int] = field(default_factory=set)
+    deleted_gateways: Set[int] = field(default_factory=set)
+    deleted_subnets: Set[int] = field(default_factory=set)
+
+    def empty(self) -> bool:
+        return not (
+            self.interfaces
+            or self.gateways
+            or self.subnets
+            or self.deleted_interfaces
+            or self.deleted_gateways
+            or self.deleted_subnets
+        )
 
 #: identity fields: conflicting values here split records instead of
 #: overwriting (the conflict itself is a finding)
@@ -69,8 +111,22 @@ class Journal:
         self.by_subnet: AvlTree[str, int] = AvlTree()
         self.observations_applied = 0
         self.changes_recorded = 0
+        #: monotonically increasing mutation counter
+        self.revision: int = 0
+        #: per-kind dirty sets: record id -> revision of the last touch,
+        #: retained until a consumer prunes them
+        self._dirty: Dict[str, Dict[int, int]] = {kind: {} for kind in _KINDS}
+        #: per-kind deletions: record id -> revision of the delete
+        self._deleted: Dict[str, Dict[int, int]] = {kind: {} for kind in _KINDS}
+        #: oldest revision for which changes_since() is still complete
+        self._pruned_through: int = 0
+        #: interface record id -> record id of its owning gateway
+        self._gateway_of: Dict[int, int] = {}
         #: negative cache (future-work feature): key -> expiry time
         self._negative: Dict[Tuple[str, str], float] = {}
+        #: sweep the negative cache when it grows past this
+        self._negative_sweep_at: int = 128
+        self.negative_evictions = 0
 
     # ------------------------------------------------------------------
     # Time
@@ -79,6 +135,68 @@ class Journal:
     @property
     def now(self) -> float:
         return self._clock()
+
+    # ------------------------------------------------------------------
+    # Change tracking
+    # ------------------------------------------------------------------
+
+    def _touch(self, kind: str, record) -> None:
+        """Mark *record* dirty at a fresh revision."""
+        self.revision += 1
+        record.revision = self.revision
+        self._dirty[kind][record.record_id] = self.revision
+
+    def _mark_deleted(self, kind: str, record_id: int) -> None:
+        self.revision += 1
+        self._dirty[kind].pop(record_id, None)
+        self._deleted[kind][record_id] = self.revision
+
+    def changes_since(self, rev: int) -> JournalChanges:
+        """Record ids touched or deleted after revision *rev*.
+
+        The snapshot is cheap — proportional to the retained dirty sets,
+        not to the Journal.  Call :meth:`prune_changes` after consuming
+        a delta to keep the retained sets proportional to the churn
+        since the last consumption.
+        """
+        changes = JournalChanges(
+            since=rev,
+            revision=self.revision,
+            complete=rev >= self._pruned_through,
+        )
+        for kind, out in (
+            ("interface", changes.interfaces),
+            ("gateway", changes.gateways),
+            ("subnet", changes.subnets),
+        ):
+            out.update(
+                rid for rid, touched in self._dirty[kind].items() if touched > rev
+            )
+        for kind, out in (
+            ("interface", changes.deleted_interfaces),
+            ("gateway", changes.deleted_gateways),
+            ("subnet", changes.deleted_subnets),
+        ):
+            out.update(
+                rid for rid, deleted in self._deleted[kind].items() if deleted > rev
+            )
+        return changes
+
+    def prune_changes(self, rev: int) -> None:
+        """Forget dirty/deleted entries at or below revision *rev*.
+
+        After pruning, ``changes_since(r)`` for any ``r < rev`` reports
+        ``complete=False`` and the caller must fall back to a full scan.
+        """
+        if rev <= self._pruned_through:
+            return
+        for table in (self._dirty, self._deleted):
+            for kind in _KINDS:
+                entries = table[kind]
+                stale = [rid for rid, touched in entries.items() if touched <= rev]
+                for rid in stale:
+                    del entries[rid]
+        self._pruned_through = rev
 
     # ------------------------------------------------------------------
     # Interface observations
@@ -101,6 +219,7 @@ class Journal:
                 self._reindex(record, name, old_value, record.get(name))
         if changed:
             self.changes_recorded += 1
+            self._touch("interface", record)
         return record, changed
 
     def _match_record(self, observation: Observation) -> Optional[InterfaceRecord]:
@@ -195,17 +314,20 @@ class Journal:
         record = self.interfaces.pop(record_id, None)
         if record is None:
             return False
-        for field, index in (
+        for field_name, index in (
             ("ip", self.by_ip),
             ("mac", self.by_mac),
             ("dns_name", self.by_name),
         ):
-            value = record.get(field)
+            value = record.get(field_name)
             if value is not None:
-                index.remove(_KEY_FUNCS[field](value), record_id)
+                index.remove(_KEY_FUNCS[field_name](value), record_id)
         for gateway in self.gateways.values():
             if record_id in gateway.interface_ids:
                 gateway.interface_ids.remove(record_id)
+                self._touch("gateway", gateway)
+        self._gateway_of.pop(record_id, None)
+        self._mark_deleted("interface", record_id)
         return True
 
     # ------------------------------------------------------------------
@@ -213,10 +335,32 @@ class Journal:
     # ------------------------------------------------------------------
 
     def gateway_for_interface(self, interface_id: int) -> Optional[GatewayRecord]:
+        """The gateway holding *interface_id*, O(1) via the reverse map.
+
+        A stale map entry (possible only after external surgery on
+        ``gateway.interface_ids``) self-heals with a scan; an absent
+        entry means "no gateway" — membership only changes through
+        Journal methods, which keep the map current."""
+        gateway_id = self._gateway_of.get(interface_id)
+        if gateway_id is None:
+            return None
+        gateway = self.gateways.get(gateway_id)
+        if gateway is not None and interface_id in gateway.interface_ids:
+            return gateway
         for gateway in self.gateways.values():
             if interface_id in gateway.interface_ids:
+                self._gateway_of[interface_id] = gateway.record_id
                 return gateway
+        self._gateway_of.pop(interface_id, None)
         return None
+
+    def _rebuild_gateway_index(self) -> None:
+        """Recompute the interface -> gateway reverse map (bulk loads)."""
+        self._gateway_of = {
+            interface_id: gateway.record_id
+            for gateway in self.gateways.values()
+            for interface_id in gateway.interface_ids
+        }
 
     def ensure_gateway(
         self,
@@ -250,12 +394,15 @@ class Journal:
             if other is not None and other is not gateway:
                 changed = self._merge_gateways(gateway, other, now) or changed
             elif gateway.add_interface(interface_id, now):
+                self._gateway_of[interface_id] = gateway.record_id
                 changed = True
-            self.interfaces[interface_id].set(
+            if self.interfaces[interface_id].set(
                 "gateway_id", gateway.record_id, now, source
-            )
+            ):
+                self._touch("interface", self.interfaces[interface_id])
         if changed:
             self.changes_recorded += 1
+            self._touch("gateway", gateway)
         return gateway, changed
 
     def _merge_gateways(self, keeper: GatewayRecord, other: GatewayRecord, now: float) -> bool:
@@ -264,9 +411,11 @@ class Journal:
         for interface_id in other.interface_ids:
             if keeper.add_interface(interface_id, now):
                 changed = True
+            self._gateway_of[interface_id] = keeper.record_id
             record = self.interfaces.get(interface_id)
             if record is not None:
-                record.set("gateway_id", keeper.record_id, now, "journal-merge")
+                if record.set("gateway_id", keeper.record_id, now, "journal-merge"):
+                    self._touch("interface", record)
         for subnet_key, attribute in other.connected_subnets.items():
             if subnet_key not in keeper.connected_subnets:
                 keeper.connected_subnets[subnet_key] = attribute
@@ -278,7 +427,10 @@ class Journal:
             if other.record_id in subnet.gateway_ids:
                 subnet.gateway_ids.remove(other.record_id)
                 subnet.attach_gateway(keeper.record_id, now)
+                self._touch("subnet", subnet)
         del self.gateways[other.record_id]
+        self._mark_deleted("gateway", other.record_id)
+        self._touch("gateway", keeper)
         return changed
 
     def link_gateway_subnet(self, gateway_id: int, subnet_key: str, *, source: str) -> bool:
@@ -286,8 +438,13 @@ class Journal:
         now = self.now
         gateway = self.gateways[gateway_id]
         changed = gateway.attach_subnet(subnet_key, now, source)
+        if changed:
+            self._touch("gateway", gateway)
         subnet, subnet_changed = self.ensure_subnet(subnet_key, source=source)
-        changed = subnet.attach_gateway(gateway_id, now) or changed or subnet_changed
+        if subnet.attach_gateway(gateway_id, now):
+            self._touch("subnet", subnet)
+            changed = True
+        changed = changed or subnet_changed
         if changed:
             self.changes_recorded += 1
         return changed
@@ -325,6 +482,7 @@ class Journal:
                 changed = True
         if changed:
             self.changes_recorded += 1
+            self._touch("subnet", record)
         return record, changed
 
     def subnet_by_key(self, subnet_key: str) -> Optional[SubnetRecord]:
@@ -409,6 +567,7 @@ class Journal:
         record.last_modified = max(record.last_modified, foreign.last_modified)
         if changed:
             self.changes_recorded += 1
+            self._touch("interface", record)
         return record, changed
 
     def absorb_gateway(
@@ -446,7 +605,10 @@ class Journal:
                 )
                 ours.last_verified = max(ours.last_verified, theirs.last_verified)
             subnet_record, _ = self.ensure_subnet(subnet_key, source="replica")
-            subnet_record.attach_gateway(gateway.record_id, self.now)
+            if subnet_record.attach_gateway(gateway.record_id, self.now):
+                self._touch("subnet", subnet_record)
+        if changed:
+            self._touch("gateway", gateway)
         return gateway, changed
 
     def absorb_subnet(self, foreign: SubnetRecord) -> Tuple[SubnetRecord, bool]:
@@ -474,6 +636,8 @@ class Journal:
                 )
                 changed = True
         record.last_modified = max(record.last_modified, foreign.last_modified)
+        if changed:
+            self._touch("subnet", record)
         return record, changed
 
     # ------------------------------------------------------------------
@@ -482,7 +646,20 @@ class Journal:
 
     def negative_put(self, kind: str, key: str, *, ttl: float) -> None:
         """Remember that *key* of *kind* is known unavailable until now+ttl."""
-        self._negative[(kind, key)] = self.now + ttl
+        now = self.now
+        self._negative[(kind, key)] = now + ttl
+        if len(self._negative) >= self._negative_sweep_at:
+            self._prune_negative(now)
+
+    def _prune_negative(self, now: float) -> None:
+        """Drop expired entries; amortised so puts stay O(1).  The next
+        sweep threshold doubles the surviving population, bounding the
+        cache at ~2x its live size."""
+        expired = [key for key, expiry in self._negative.items() if expiry < now]
+        for key in expired:
+            del self._negative[key]
+        self.negative_evictions += len(expired)
+        self._negative_sweep_at = max(128, 2 * len(self._negative))
 
     def negative_check(self, kind: str, key: str) -> bool:
         """True if the datum is negatively cached (skip re-discovery)."""
@@ -503,6 +680,57 @@ class Journal:
             "interfaces": len(self.interfaces),
             "gateways": len(self.gateways),
             "subnets": len(self.subnets),
+            "revision": self.revision,
+            "negative_cache_size": len(self._negative),
+        }
+
+    def canonical_state(self) -> Dict[str, object]:
+        """A structural snapshot for equivalence checks: record ids are
+        replaced by creation-order ranks, and verification timestamps
+        are omitted (a full correlation rescan re-verifies attributes a
+        delta-driven pass rightly leaves untouched).  Two Journals that
+        went through equivalent operation sequences — e.g. incremental
+        vs full-rescan correlation — produce equal canonical states."""
+        gateway_rank = {rid: i for i, rid in enumerate(sorted(self.gateways))}
+        interface_rank = {rid: i for i, rid in enumerate(sorted(self.interfaces))}
+
+        def values_of(record, *, translate_gateway: bool = False):
+            out = {}
+            for name, attribute in sorted(record.attributes.items()):
+                value = attribute.value
+                if translate_gateway and name == "gateway_id":
+                    value = gateway_rank.get(value, "<dangling>")
+                out[name] = value
+            return out
+
+        return {
+            "interfaces": [
+                values_of(self.interfaces[rid], translate_gateway=True)
+                for rid in sorted(self.interfaces)
+            ],
+            "gateways": [
+                {
+                    "attributes": values_of(self.gateways[rid]),
+                    "members": sorted(
+                        interface_rank[i]
+                        for i in self.gateways[rid].interface_ids
+                        if i in interface_rank
+                    ),
+                    "subnets": sorted(self.gateways[rid].connected_subnets),
+                }
+                for rid in sorted(self.gateways)
+            ],
+            "subnets": [
+                {
+                    "attributes": values_of(self.subnets[rid]),
+                    "gateways": sorted(
+                        gateway_rank[g]
+                        for g in self.subnets[rid].gateway_ids
+                        if g in gateway_rank
+                    ),
+                }
+                for rid in sorted(self.subnets)
+            ],
         }
 
     def paper_equivalent_bytes(self) -> int:

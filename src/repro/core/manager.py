@@ -100,6 +100,10 @@ class DiscoveryManager:
         self.entries: Dict[str, ModuleEntry] = {}
         self.runs_completed = 0
         self._correlator: Optional[Correlator] = None
+        #: Journal revision covered by the most recent correlation pass
+        self.last_correlated_revision = 0
+        #: what that pass concluded (None until the first one runs)
+        self.last_correlation_report = None
         if state_path is not None and os.path.exists(state_path):
             self._load_state()
 
@@ -218,7 +222,11 @@ class DiscoveryManager:
             return
         if self._correlator is None or self._correlator.journal is not journal:
             self._correlator = Correlator(journal)
-        self._correlator.correlate()
+        # The persistent Correlator carries the last-correlated revision,
+        # so after its first full scan every per-run correlation consumes
+        # only the delta the module run just produced.
+        self.last_correlation_report = self._correlator.correlate()
+        self.last_correlated_revision = self._correlator.last_revision
 
     # ------------------------------------------------------------------
     # Startup/history file

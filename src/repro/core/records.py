@@ -140,6 +140,10 @@ class _Record:
         self.attributes: Dict[str, Attribute] = {}
         self.created_at: Optional[float] = None
         self.last_modified: float = 0.0
+        #: Journal revision at which this record was last touched.  The
+        #: Journal stamps it; consumers (the incremental Correlator) use
+        #: it as a cache-invalidation key for derived per-record state.
+        self.revision: int = 0
 
     def get(self, name: str) -> Optional[Any]:
         attribute = self.attributes.get(name)

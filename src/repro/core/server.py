@@ -126,7 +126,11 @@ class JournalServer:
             return handler(request)
 
     def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        return {"ok": True, "counts": self.journal.counts()}
+        return {
+            "ok": True,
+            "counts": self.journal.counts(),
+            "revision": self.journal.revision,
+        }
 
     def _op_observe(self, request: Dict[str, Any]) -> Dict[str, Any]:
         observation = wire.observation_from_dict(request.get("observation", {}))
@@ -236,6 +240,8 @@ class JournalServer:
         return {"ok": True, "deleted": deleted}
 
     def _op_counts(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        # counts() carries the journal revision, so remote clients can
+        # cheaply poll "did anything change since revision N?"
         return {"ok": True, "counts": self.journal.counts()}
 
     def _op_negative_put(self, request: Dict[str, Any]) -> Dict[str, Any]:

@@ -192,9 +192,16 @@ def observation_from_dict(data: Dict[str, Any]) -> Observation:
 def journal_to_dict(journal) -> Dict[str, Any]:
     return {
         "format": "fremont-journal-1",
+        "revision": journal.revision,
         "interfaces": [interface_to_dict(r) for r in journal.all_interfaces()],
         "gateways": [gateway_to_dict(r) for r in journal.all_gateways()],
         "subnets": [subnet_to_dict(r) for r in journal.all_subnets()],
+        # Negative-cache entries survive restarts: re-probing a key the
+        # journal already knows is unavailable wastes discovery effort.
+        "negative": [
+            [kind, key, expiry]
+            for (kind, key), expiry in sorted(journal._negative.items())
+        ],
     }
 
 
@@ -221,6 +228,11 @@ def journal_from_dict(data: Dict[str, Any], clock: Optional[Callable[[], float]]
         journal.subnets[record.record_id] = record
         if record.subnet is not None:
             journal.by_subnet.insert(record.subnet, record.record_id)
+    journal.revision = int(data.get("revision", 0))
+    journal._negative = {
+        (kind, key): expiry for kind, key, expiry in data.get("negative", [])
+    }
+    journal._rebuild_gateway_index()
     return journal
 
 

@@ -32,10 +32,21 @@ class ScheduledEvent:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: owning simulator, so cancellation can be accounted for; compare
+    #: and repr are off — it is bookkeeping, not identity
+    sim: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    #: True once the event has left the heap (fired or discarded)
+    done: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Prevent the event from firing (it stays on the heap, inert)."""
+        """Prevent the event from firing.  The entry stays on the heap,
+        inert, until the owning simulator either discards it on pop or
+        lazily compacts the heap once cancelled entries dominate."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None and not self.done:
+            self.sim._note_cancelled()
 
 
 class Simulator:
@@ -49,11 +60,18 @@ class Simulator:
     [5.0]
     """
 
+    #: compaction only kicks in past this many cancelled entries, so
+    #: small simulations never pay the rebuild
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[ScheduledEvent] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: cancelled events still sitting on the heap
+        self._cancelled_pending = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -68,13 +86,50 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still on the heap."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was rebuilt to shed cancelled events."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        self._maybe_compact()
+
+    def _discard(self, event: ScheduledEvent) -> None:
+        """Account for a cancelled event leaving the heap."""
+        event.done = True
+        self._cancelled_pending -= 1
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once cancelled entries outnumber live ones.
+
+        Long campaigns cancel timers constantly (retransmit timers that
+        got answered, periodic schedules torn down); without compaction
+        those entries stay on the heap forever and every push/pop pays
+        log(dead + live) instead of log(live)."""
+        if (
+            self._cancelled_pending < self.COMPACT_MIN_CANCELLED
+            or self._cancelled_pending * 2 <= len(self._heap)
+        ):
+            return
+        survivors = []
+        for event in self._heap:
+            if event.cancelled:
+                event.done = True
+            else:
+                survivors.append(event)
+        self._heap = survivors
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        self._compactions += 1
 
     def schedule(self, delay: float, action: Callable[[], None]) -> ScheduledEvent:
         """Schedule *action* to run *delay* seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = ScheduledEvent(self._now + delay, next(self._seq), action)
+        event = ScheduledEvent(self._now + delay, next(self._seq), action, sim=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -86,7 +141,9 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event.done = True
                 return event
+            self._discard(event)
         return None
 
     def step(self) -> bool:
@@ -106,7 +163,7 @@ class Simulator:
         while self._heap:
             head = self._heap[0]
             if head.cancelled:
-                heapq.heappop(self._heap)
+                self._discard(heapq.heappop(self._heap))
                 continue
             if head.time > time:
                 break
@@ -125,7 +182,7 @@ class Simulator:
         while self._heap:
             head = self._heap[0]
             if head.cancelled:
-                heapq.heappop(self._heap)
+                self._discard(heapq.heappop(self._heap))
                 continue
             if max_time is not None and head.time > max_time:
                 break

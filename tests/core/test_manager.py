@@ -252,3 +252,138 @@ class TestRealModuleIntegration:
         assert key == "SeqPing"
         assert result.discovered["interfaces"] == 2
         assert journal.counts()["interfaces"] == 2
+
+
+class TestAdaptationEdgeCases:
+    def test_fruitful_at_min_stays_clamped(self, sim, manager):
+        module = FakeModule(sim, fruitful_plan=[True, True])
+        entry = manager.register(module, min_interval=100.0, max_interval=1600.0)
+        assert entry.current_interval == 100.0
+        manager.run_next()
+        assert entry.current_interval == 100.0
+        manager.run_next()
+        assert entry.current_interval == 100.0
+
+    def test_fruitless_at_max_stays_clamped(self, sim, manager):
+        module = FakeModule(sim, fruitful_plan=[False, False])
+        entry = manager.register(module, min_interval=100.0, max_interval=1600.0)
+        entry.current_interval = 1600.0
+        manager.run_next()
+        assert entry.current_interval == 1600.0
+        manager.run_next()
+        assert entry.current_interval == 1600.0
+        assert entry.next_due == sim.now + 1600.0
+
+    def test_pinned_interval_never_moves(self, sim, manager):
+        """min == max pins the schedule regardless of fruitfulness."""
+        module = FakeModule(sim, fruitful_plan=[True, False, True, False])
+        entry = manager.register(module, min_interval=500.0, max_interval=500.0)
+        for _ in range(4):
+            manager.run_next()
+            assert entry.current_interval == 500.0
+
+    def test_restored_interval_clamped_up_to_new_min(self, sim, tmp_path):
+        path = str(tmp_path / "history.json")
+        journal = Journal(clock=lambda: sim.now)
+        manager = DiscoveryManager(
+            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+        )
+        # Fruitful runs drive the persisted interval down to 100.
+        manager.register(
+            FakeModule(sim, fruitful_plan=[True] * 3),
+            min_interval=100.0,
+            max_interval=1600.0,
+        )
+        for _ in range(3):
+            manager.run_next()
+
+        sim2 = Simulator()
+        manager2 = DiscoveryManager(
+            sim2,
+            LocalJournal(Journal(clock=lambda: sim2.now)),
+            state_path=path,
+            correlate_after_each=False,
+        )
+        entry = manager2.register(
+            FakeModule(sim2), min_interval=300.0, max_interval=1600.0
+        )
+        assert entry.current_interval == 300.0
+
+    def test_persisted_schedule_round_trips(self, sim, tmp_path):
+        path = str(tmp_path / "history.json")
+        journal = Journal(clock=lambda: sim.now)
+        manager = DiscoveryManager(
+            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+        )
+        manager.register(
+            FakeModule(sim, fruitful_plan=[True, False, False]),
+            min_interval=100.0,
+            max_interval=1600.0,
+        )
+        for _ in range(3):
+            manager.run_next()
+        with open(path) as handle:
+            saved = json.load(handle)["modules"]["SeqPing"]
+
+        # A restart with the same bounds restores the adapted schedule
+        # exactly; saving again reproduces it unchanged.
+        sim2 = Simulator()
+        manager2 = DiscoveryManager(
+            sim2,
+            LocalJournal(Journal(clock=lambda: sim2.now)),
+            state_path=path,
+            correlate_after_each=False,
+        )
+        entry = manager2.register(
+            FakeModule(sim2), min_interval=100.0, max_interval=1600.0
+        )
+        assert entry.current_interval == saved["current_interval"]
+        assert entry.history == saved["history"]
+        manager2.save_state()
+        with open(path) as handle:
+            resaved = json.load(handle)["modules"]["SeqPing"]
+        assert resaved["current_interval"] == saved["current_interval"]
+        assert resaved["history"] == saved["history"]
+
+
+class ObservingModule(FakeModule):
+    """A module that actually writes to the journal, so the manager's
+    per-run correlation has a delta to consume."""
+
+    def __init__(self, sim, client, **kwargs):
+        super().__init__(sim, **kwargs)
+        self.client = client
+        self.serial = 0
+
+    def run(self, **directive):
+        from repro.core.records import Observation
+
+        self.serial += 1
+        self.client.observe_interface(
+            Observation(
+                source="TEST",
+                ip=f"10.7.{self.serial}.1",
+                mac=f"08:00:20:07:00:{self.serial:02x}",
+            )
+        )
+        return super().run(**directive)
+
+
+class TestCorrelationWiring:
+    def test_manager_correlates_incrementally(self, sim):
+        journal = Journal(clock=lambda: sim.now)
+        client = LocalJournal(journal)
+        manager = DiscoveryManager(sim, client)
+        manager.register(
+            ObservingModule(sim, client, fruitful_plan=[True] * 3),
+            min_interval=100.0,
+            max_interval=1600.0,
+        )
+        manager.run_next()
+        assert manager.last_correlation_report.mode == "full"
+        assert manager.last_correlated_revision == journal.revision
+        manager.run_next()
+        assert manager.last_correlation_report.mode == "incremental"
+        assert manager.last_correlated_revision == journal.revision
+        # The watermark advanced with the journal.
+        assert manager.last_correlated_revision > 0

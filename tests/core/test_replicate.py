@@ -177,7 +177,8 @@ class TestReplicatorOverSockets:
         finally:
             server_a.stop()
             server_b.stop()
-        assert site_b.counts() == {"interfaces": 1, "gateways": 1, "subnets": 0}
+        counts = site_b.counts()
+        assert (counts["interfaces"], counts["gateways"], counts["subnets"]) == (1, 1, 0)
         absorbed = site_b.interfaces_by_ip("10.0.1.1")[0]
         assert absorbed.attribute("ip").first_discovered == 42.0
         assert site_b.all_gateways()[0].name == "gw"

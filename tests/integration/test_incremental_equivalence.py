@@ -1,0 +1,87 @@
+"""Regression: incremental correlation under real Explorer Modules.
+
+Campus construction is seed-deterministic, so two independently built
+campuses produce identical observation streams.  One journal is
+correlated incrementally after each module run (as the Discovery
+Manager does); the other gets the classic full rescan from a cold
+Correlator each time.  Both must converge to the same canonical
+Journal state.
+"""
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.correlate import Correlator
+from repro.core.explorers import (
+    EtherHostProbe,
+    RipWatch,
+    SubnetMaskModule,
+    TracerouteModule,
+)
+from repro.netsim.campus import CampusProfile, build_campus
+
+PROFILE = CampusProfile(
+    seed=99,
+    assigned_subnets=14,
+    unconnected_subnets=1,
+    dnsless_subnets=2,
+    dns_gateway_mix=((1, 2), (2, 1)),
+    plain_gateway_mix=((2, 2),),
+    buggy_gateway_mix=((1, 4),),
+    cs_octet=5,
+    cs_registered_hosts=12,
+    cs_stale_hosts=1,
+)
+
+
+def _run_campaign(*, incremental):
+    campus = build_campus(PROFILE)
+    journal = Journal(clock=lambda: campus.sim.now)
+    client = LocalJournal(journal)
+    campus.network.start_rip()
+    campus.set_cs_uptime(1.0)
+    correlator = Correlator(journal)
+    reports = []
+    modules = [
+        (RipWatch(campus.monitor, client), {"duration": 65.0}),
+        (EtherHostProbe(campus.cs_monitor, client), {}),
+        (SubnetMaskModule(campus.cs_monitor, client), {}),
+        (TracerouteModule(campus.monitor, client), {}),
+    ]
+    for module, directive in modules:
+        module.run(**directive)
+        if incremental:
+            reports.append(correlator.correlate())
+        else:
+            reports.append(Correlator(journal).correlate(full=True))
+    return journal, reports
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    inc_journal, inc_reports = _run_campaign(incremental=True)
+    full_journal, full_reports = _run_campaign(incremental=False)
+    return inc_journal, inc_reports, full_journal, full_reports
+
+
+class TestExplorerDrivenEquivalence:
+    def test_final_states_identical(self, campaigns):
+        inc_journal, _inc_reports, full_journal, _full_reports = campaigns
+        assert inc_journal.canonical_state() == full_journal.canonical_state()
+
+    def test_incremental_engine_actually_ran(self, campaigns):
+        _inc_journal, inc_reports, _full_journal, _full_reports = campaigns
+        modes = [report.mode for report in inc_reports]
+        assert modes[0] == "full"
+        assert modes[1:] == ["incremental"] * (len(modes) - 1)
+
+    def test_incremental_examines_fewer_interfaces(self, campaigns):
+        inc_journal, inc_reports, full_journal, _full_reports = campaigns
+        # The final module discovered little: the delta-driven pass must
+        # not have walked the whole grown Journal again.
+        assert inc_reports[-1].interfaces_examined < len(inc_journal.interfaces)
+        # ...while finding every gateway the full rescan found.
+        assert (
+            inc_journal.counts()["gateways"]
+            == full_journal.counts()["gateways"]
+        )

@@ -171,3 +171,80 @@ class TestPeriodic:
                   jitter=lambda: -100.0)
         sim.run_until(0.0)
         assert fired == [0.0]
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(1000.0 + i, lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        assert sim.compactions >= 1
+        # The rebuild shed the cancelled majority.
+        assert len(sim._heap) < 200
+        assert len(sim._heap) - sim._cancelled_pending == 50
+        assert sim.pending_events == 50
+
+    def test_few_cancellations_do_not_compact(self):
+        sim = Simulator()
+        events = [sim.schedule(1000.0 + i, lambda: None) for i in range(100)]
+        for event in events[:10]:
+            event.cancel()
+        assert sim.compactions == 0
+        assert sim.pending_events == 90
+
+    def test_small_heap_never_compacts(self):
+        # Below COMPACT_MIN_CANCELLED the rebuild is never worth it,
+        # even when cancelled entries dominate.
+        sim = Simulator()
+        events = [sim.schedule(1000.0 + i, lambda: None) for i in range(40)]
+        for event in events:
+            event.cancel()
+        assert sim.compactions == 0
+        assert sim.pending_events == 0
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        drop.cancel()
+        assert sim.pending_events == 1
+        assert keep.time == 1.0
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        event.cancel()
+        assert sim.pending_events == 0
+
+    def test_events_fire_in_order_after_compaction(self):
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(500.0 + i, lambda: fired.append("dead"))
+                  for i in range(150)]
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions >= 1
+        sim.run_until(1000.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_accounting_survives_pop_and_compact_mix(self):
+        sim = Simulator()
+        fired = []
+        survivors = []
+        for i in range(300):
+            event = sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+            if i % 3 == 0:
+                survivors.append(event)
+        for event in list(sim._heap):
+            if event not in survivors:
+                event.cancel()
+        sim.run_until_quiescent()
+        assert len(fired) == len(survivors)
+        assert sim.pending_events == 0
+        assert sim._cancelled_pending == 0
