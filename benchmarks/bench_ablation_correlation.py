@@ -11,7 +11,6 @@ carrying *both* a name and a MAC.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Journal, LocalJournal
 from repro.core.correlate import Correlator

@@ -15,7 +15,6 @@ vantage points recover them into the shared Journal.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Journal, LocalJournal
 from repro.core.explorers import MultiVantageTraceroute, TracerouteModule

@@ -11,7 +11,6 @@ the destination count.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Journal, LocalJournal
 from repro.core.explorers import EtherHostProbe, TracerouteModule

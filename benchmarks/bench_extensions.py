@@ -19,7 +19,7 @@ import pytest
 
 from repro.core import Journal, LocalJournal
 from repro.core.explorers import GdpWatch, TrafficWatch
-from repro.netsim import GdpAnnouncer, Network, Subnet, TrafficGenerator
+from repro.netsim import GdpAnnouncer, Network, Subnet
 from repro.netsim.packet import UDP_ECHO_PORT
 
 from . import paper

@@ -11,9 +11,8 @@ timed as one pipeline.
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core import Journal, JournalServer, LocalJournal, RemoteJournal
+from repro.core import Journal, JournalServer, RemoteJournal
 from repro.core.analysis import run_all_analyses
 from repro.core.correlate import Correlator
 from repro.core.explorers import (

@@ -12,7 +12,6 @@ exchanges a handful of records instead of the whole journal.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Journal, JournalServer, LocalJournal, RemoteJournal
 from repro.core.records import Observation

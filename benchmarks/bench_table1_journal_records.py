@@ -12,10 +12,9 @@ Server.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Journal
-from repro.core.records import InterfaceRecord, Observation
+from repro.core.records import Observation
 
 from . import paper
 

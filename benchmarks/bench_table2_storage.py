@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import sys
 
-import pytest
 
 from repro.core import Journal
 from repro.core.records import Observation

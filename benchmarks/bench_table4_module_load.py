@@ -15,9 +15,7 @@ tens of seconds; traceroute stays under 8 pkts/s.
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core import Journal, LocalJournal
 from repro.core.explorers import (
     ArpWatch,
     BroadcastPing,
@@ -28,7 +26,6 @@ from repro.core.explorers import (
     SubnetMaskModule,
     TracerouteModule,
 )
-from repro.netsim import TrafficGenerator, build_campus
 
 from . import paper
 

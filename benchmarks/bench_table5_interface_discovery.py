@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Journal, LocalJournal
 from repro.core.explorers import (
     ArpWatch,
     BroadcastPing,

@@ -10,7 +10,7 @@ what factor, and where the crossovers fall.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 # ---------------------------------------------------------------------
 # Table 2: Journal storage requirements (bytes per record)

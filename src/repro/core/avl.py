@@ -11,7 +11,7 @@ iteration and range scans.
 
 from __future__ import annotations
 
-from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
 
 __all__ = ["AvlTree"]
 

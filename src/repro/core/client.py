@@ -19,6 +19,7 @@ they hold.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from . import wire
@@ -136,21 +137,102 @@ class LocalJournal:
         """Nothing to release for the in-process client."""
 
 
+def _provisional_record(observation: Observation) -> InterfaceRecord:
+    """A detached stand-in for an observation accepted while the Journal
+    Server is unreachable.  It carries the observation's fields but no
+    server-canonical id (``record_id`` is -1): good enough for callers
+    that only count observations, useless for id-based follow-ups."""
+    record = InterfaceRecord()
+    record.record_id = -1
+    for name, value in observation.fields().items():
+        record.set(name, value, 0.0, observation.source, observation.quality)
+    return record
+
+
 class RemoteJournal:
     """Socket client for a running :class:`JournalServer`.
 
     Query methods return record objects reconstructed from the wire
     form; their ``record_id`` values are the server's canonical ids and
     may be passed back into gateway/subnet operations.
+
+    The client tolerates a dead or restarting Journal Server.  A failed
+    round trip triggers a bounded reconnect loop with exponential
+    backoff; once reconnected, the in-flight request is retried.  If the
+    server stays unreachable, interface observations (and negative-cache
+    entries) are parked in a small replay buffer and flushed — as one
+    batched request — on the next successful reconnect, so fieldwork
+    done during an outage is delayed rather than lost.  Queries and
+    id-returning operations cannot be faked locally, so they raise
+    :class:`ConnectionError` instead; the Discovery Manager's crash
+    isolation absorbs those.
+
+    Replay uses the Journal's merge semantics, which are idempotent for
+    observations — a request that was applied just before the server
+    died is safe to send again.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        reconnect_attempts: int = 5,
+        reconnect_backoff: float = 0.1,
+        reconnect_backoff_cap: float = 2.0,
+        buffer_limit: int = 256,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_backoff = reconnect_backoff
+        self._reconnect_backoff_cap = reconnect_backoff_cap
+        self._buffer_limit = buffer_limit
+        #: requests parked while the server was unreachable
+        self._pending: List[Dict[str, Any]] = []
+        #: successful reconnects (the Discovery Manager ledgers these)
+        self.reconnects = 0
+        #: buffered requests replayed so far
+        self.replayed = 0
+        self._connect()
 
     # -- plumbing ----------------------------------------------------------
 
-    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._reader = self._socket.makefile("rb")
+
+    def _disconnect(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def _reconnect(self) -> bool:
+        """Bounded reconnect with exponential backoff.  True on success."""
+        self._disconnect()
+        delay = self._reconnect_backoff
+        for attempt in range(self._reconnect_attempts):
+            if attempt:
+                time.sleep(min(delay, self._reconnect_backoff_cap))
+                delay *= 2.0
+            try:
+                self._connect()
+            except OSError:
+                continue
+            self.reconnects += 1
+            return True
+        return False
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self._socket.sendall(wire.encode_message(request))
         line = self._reader.readline()
         if not line:
@@ -160,11 +242,67 @@ class RemoteJournal:
             raise RuntimeError(f"journal server error: {response.get('error')}")
         return response
 
-    def close(self) -> None:
+    def _flush_pending(self) -> None:
+        """Replay buffered requests in one batch.  Raises on failure,
+        leaving the buffer intact for the next attempt."""
+        if not self._pending:
+            return
+        batch = list(self._pending)
+        self._roundtrip(wire.batch_request(batch))
+        self.replayed += len(batch)
+        # Only drop what was sent: a concurrent buffering caller may
+        # have appended while the batch was in flight.
+        del self._pending[: len(batch)]
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response, reconnecting (once per call) on a dead
+        connection.  Any parked requests are flushed first, preserving
+        observation order."""
+        for attempt in (0, 1):
+            try:
+                self._flush_pending()
+                return self._roundtrip(request)
+            except (ConnectionError, OSError):
+                if attempt or not self._reconnect():
+                    raise ConnectionError(
+                        f"journal server at {self._host}:{self._port} unreachable "
+                        f"after {self._reconnect_attempts} reconnect attempt(s)"
+                    ) from None
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call_or_buffer(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Like :meth:`_call`, but on an unreachable server park the
+        request for replay and return None instead of raising."""
         try:
-            self._reader.close()
-        finally:
-            self._socket.close()
+            return self._call(request)
+        except ConnectionError:
+            if len(self._pending) >= self._buffer_limit:
+                raise
+            self._pending.append(request)
+            return None
+
+    @property
+    def pending_replay(self) -> int:
+        """Requests currently parked for replay."""
+        return len(self._pending)
+
+    def flush(self) -> int:
+        """Force-flush the replay buffer (reconnecting if necessary).
+        Returns the number of requests replayed."""
+        before = self.replayed
+        if self._pending:
+            self._call(wire.batch_request([]))  # rides the _call flush path
+        return self.replayed - before
+
+    def close(self) -> None:
+        if self._pending:
+            # Best effort: reconnect if needed to hand over buffered
+            # observations before going away.
+            try:
+                self._call(wire.batch_request([]))
+            except (ConnectionError, RuntimeError):
+                pass
+        self._disconnect()
 
     def __enter__(self) -> "RemoteJournal":
         return self
@@ -175,9 +313,13 @@ class RemoteJournal:
     # -- updates ------------------------------------------------------------
 
     def observe_interface(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
-        response = self._call(
-            {"op": "observe", "observation": wire.observation_to_dict(observation)}
-        )
+        request = {"op": "observe", "observation": wire.observation_to_dict(observation)}
+        response = self._call_or_buffer(request)
+        if response is None:
+            # Server unreachable: the observation is parked for replay.
+            # Stand in with a provisional record (record_id -1 marks it
+            # as never having been assigned a server-canonical id).
+            return _provisional_record(observation), True
         return wire.interface_from_dict(response["record"]), response["changed"]
 
     def ensure_gateway(
@@ -313,7 +455,8 @@ class RemoteJournal:
     # -- negative cache ----------------------------------------------------------
 
     def negative_put(self, kind: str, key: str, *, ttl: float) -> None:
-        self._call({"op": "negative_put", "kind": kind, "key": key, "ttl": ttl})
+        # Fire-and-forget: buffered for replay when the server is down.
+        self._call_or_buffer({"op": "negative_put", "kind": kind, "key": key, "ttl": ttl})
 
     def negative_check(self, kind: str, key: str) -> bool:
         return self._call({"op": "negative_check", "kind": kind, "key": key})["cached"]

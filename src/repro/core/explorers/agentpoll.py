@@ -16,9 +16,9 @@ instrumented-device protocol.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
-from ...netsim.addresses import Ipv4Address, Netmask, Subnet
+from ...netsim.addresses import Ipv4Address
 from ...netsim.agent import AGENT_PORT
 from ...netsim.nic import Nic
 from ...netsim.packet import Ipv4Packet, UdpDatagram

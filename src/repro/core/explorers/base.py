@@ -15,14 +15,20 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
-from ...netsim.host import Host
 from ...netsim.node import Node
 from ...netsim.sim import Simulator
 from ..records import InterfaceRecord, Observation
 
-__all__ = ["ExplorerModule", "PassiveExplorerModule", "RunResult"]
+__all__ = ["ExplorerModule", "PassiveExplorerModule", "RunResult", "RUN_OUTCOMES"]
+
+
+#: run-ledger outcome classifications (see the Discovery Manager's
+#: fault-tolerance layer): "ok" is a run that returned normally,
+#: "error"/"timeout" are isolated crashes, "quarantined" marks the run
+#: whose failure tripped the quarantine threshold.
+RUN_OUTCOMES = ("ok", "error", "timeout", "quarantined")
 
 
 @dataclass
@@ -39,6 +45,25 @@ class RunResult:
     #: module-specific result counters (e.g. {"interfaces": 48})
     discovered: Dict[str, int] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: ledger outcome — one of :data:`RUN_OUTCOMES`
+    outcome: str = "ok"
+    #: ``"ExcType: message"`` when the run crashed, else None
+    error: Optional[str] = None
+
+    @classmethod
+    def failure(
+        cls, module: str, at: float, error: BaseException, *, outcome: str = "error"
+    ) -> "RunResult":
+        """A synthetic fruitless result standing in for a crashed run."""
+        message = f"{type(error).__name__}: {error}"
+        return cls(
+            module=module,
+            started_at=at,
+            finished_at=at,
+            outcome=outcome,
+            error=message,
+            notes=[message],
+        )
 
     @property
     def duration(self) -> float:
@@ -123,13 +148,16 @@ class ExplorerModule(abc.ABC):
         simulated seconds elapse.  Returns the final predicate value.
 
         A sentinel event bounds the wait, so a sparse event heap (e.g. a
-        RIP timer 30 s away) cannot overshoot the deadline.
+        RIP timer 30 s away) cannot overshoot the deadline.  The sentinel
+        is cancelled when the predicate turns true early — otherwise a
+        long campaign leaks one inert heap entry per early exit.
         """
         deadline = self.sim.now + timeout
-        self.sim.schedule(timeout, lambda: None)
+        sentinel = self.sim.schedule(timeout, lambda: None)
         while not predicate() and self.sim.now < deadline:
             if not self.sim.step():
                 break
+        sentinel.cancel()
         return bool(predicate())
 
     @abc.abstractmethod

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import re
 from collections import defaultdict
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ...netsim.addresses import Ipv4Address, Netmask, Subnet
 from ...netsim.dns import reverse_zone_for_network

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Set
 
-from ...netsim.addresses import Ipv4Address, MacAddress, Subnet, vendor_for_mac
+from ...netsim.addresses import Ipv4Address, Subnet, vendor_for_mac
 from ...netsim.packet import UDP_ECHO_PORT
 from ..records import Observation
 from .base import ExplorerModule, RunResult

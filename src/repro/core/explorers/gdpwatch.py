@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ...netsim.addresses import Ipv4Address, MacAddress, vendor_for_mac
+from ...netsim.addresses import Ipv4Address, vendor_for_mac
 from ...netsim.gdp import GDP_PORT
 from ...netsim.nic import Nic
 from ...netsim.packet import EthernetFrame, Ipv4Packet, UdpDatagram

@@ -17,7 +17,7 @@ interfaces each single run could not see.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ...netsim.addresses import Subnet
 from ...netsim.node import Node

@@ -14,7 +14,7 @@ addresses and records the advertised routes from whoever answers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, Optional, Set
 
 from ...netsim.addresses import Ipv4Address, Netmask, Subnet
 from ...netsim.nic import Nic

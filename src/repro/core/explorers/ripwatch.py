@@ -16,7 +16,7 @@ metric has nothing of its own to offer and is flagged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ...netsim.addresses import Ipv4Address, MacAddress, Subnet, vendor_for_mac
 from ...netsim.nic import Nic

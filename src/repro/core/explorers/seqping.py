@@ -12,7 +12,7 @@ destination that did not respond."
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Set
 
 from ...netsim.addresses import Ipv4Address, Subnet
 from ...netsim.nic import Nic

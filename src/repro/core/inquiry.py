@@ -17,10 +17,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..netsim.addresses import Ipv4Address, Netmask, Subnet
-from .correlate import Correlator, TopologyGraph
+from ..netsim.addresses import Ipv4Address, Subnet
+from .correlate import Correlator
 from .journal import Journal
 from .records import GatewayRecord, InterfaceRecord
 

@@ -16,17 +16,29 @@ current interval toward the minimum; a fruitless one doubles it toward
 the maximum — exactly the ensure-effort-is-fruitful behaviour quoted
 above.  The startup/history file is a JSON document that survives
 restarts.
+
+Fault tolerance: the manager is built to run unattended for weeks, so a
+single misbehaving module must never abort a campaign.  Every
+``module.run()`` is crash-isolated — an exception becomes a synthetic
+fruitless :class:`RunResult` carrying the error, retried with
+exponential backoff (capped at the module's ``max_interval``).  After
+``quarantine_threshold`` consecutive failures the module is
+*quarantined*: it is skipped by the ordinary schedule and only re-probed
+once per ``max_interval``; one clean re-probe run rehabilitates it.
+Every run (clean or crashed) appends a structured ledger entry —
+outcome ∈ {ok, error, timeout, quarantined}, retries, backoff, journal
+reconnects — to the module's history in the startup/history file.
 """
 
 from __future__ import annotations
 
 import json
-import math
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..netsim.sim import Simulator
+from . import wire
 from .correlate import Correlator
 from .explorers.base import ExplorerModule, RunResult
 
@@ -67,23 +79,32 @@ class ModuleEntry:
     last_run_at: Optional[float] = None
     next_due: float = 0.0
     history: List[Dict[str, Any]] = field(default_factory=list)
+    #: crashes since the last clean run
+    consecutive_failures: int = 0
+    #: True once the failure threshold tripped; cleared by a clean run
+    quarantined: bool = False
+    #: backoff imposed after the most recent failure (0.0 when healthy)
+    retry_backoff: float = 0.0
 
-    def record_run(self, result: RunResult) -> None:
+    def record_run(self, result: RunResult, *, reconnects: int = 0) -> None:
         self.history.append(
-            {
-                "at": result.started_at,
-                "duration": result.duration,
-                "packets": result.packets_sent,
-                "observations": result.observations,
-                "changes": result.changes,
-                "fruitful": result.fruitful,
-            }
+            wire.run_ledger_to_dict(
+                result,
+                retries=self.consecutive_failures,
+                backoff=self.retry_backoff,
+                reconnects=reconnects,
+            )
         )
         del self.history[:-HISTORY_KEEP]
 
 
 class DiscoveryManager:
     """Adaptive scheduler over a set of registered Explorer Modules."""
+
+    #: consecutive crashes before a module is quarantined
+    DEFAULT_QUARANTINE_THRESHOLD = 3
+    #: first-retry delay after a crash; doubles per consecutive failure
+    DEFAULT_RETRY_BASE = 60.0
 
     def __init__(
         self,
@@ -92,13 +113,29 @@ class DiscoveryManager:
         *,
         state_path: Optional[str] = None,
         correlate_after_each: bool = True,
+        quarantine_threshold: Optional[int] = None,
+        retry_base: Optional[float] = None,
     ) -> None:
         self.sim = sim
         self.journal = journal
         self.state_path = state_path
         self.correlate_after_each = correlate_after_each
+        self.quarantine_threshold = (
+            quarantine_threshold
+            if quarantine_threshold is not None
+            else self.DEFAULT_QUARANTINE_THRESHOLD
+        )
+        if self.quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be at least 1")
+        self.retry_base = (
+            retry_base if retry_base is not None else self.DEFAULT_RETRY_BASE
+        )
+        if self.retry_base <= 0:
+            raise ValueError("retry_base must be positive")
         self.entries: Dict[str, ModuleEntry] = {}
         self.runs_completed = 0
+        #: crashed runs absorbed by the isolation layer
+        self.failures_isolated = 0
         self._correlator: Optional[Correlator] = None
         #: Journal revision covered by the most recent correlation pass
         self.last_correlated_revision = 0
@@ -147,6 +184,23 @@ class DiscoveryManager:
                 maximum, max(minimum, persisted.get("current_interval", minimum))
             )
             entry.history = persisted.get("history", [])
+            entry.last_run_at = persisted.get("last_run_at")
+            # The persisted due time keeps the fleet staggered across a
+            # restart (without it every module fires at once at sim.now).
+            # Clamp against the current clock: an overdue module runs
+            # now, and a due time corrupted far into the future cannot
+            # stall the module past one max_interval.
+            persisted_due = persisted.get("next_due")
+            if persisted_due is not None:
+                entry.next_due = min(
+                    max(float(persisted_due), self.sim.now),
+                    self.sim.now + maximum,
+                )
+            entry.consecutive_failures = int(
+                persisted.get("consecutive_failures", 0)
+            )
+            entry.quarantined = bool(persisted.get("quarantined", False))
+            entry.retry_backoff = float(persisted.get("retry_backoff", 0.0))
         self.entries[key] = entry
         return entry
 
@@ -155,13 +209,38 @@ class DiscoveryManager:
     # ------------------------------------------------------------------
 
     def next_entry(self) -> Optional[ModuleEntry]:
-        """The registered module that is due soonest."""
+        """The registered module that is due soonest.
+
+        Quarantined modules are skipped until their ``max_interval``
+        re-probe time arrives — they only surface when no healthy module
+        is due sooner, so a broken module cannot crowd out the fleet.
+        """
         if not self.entries:
             return None
-        return min(self.entries.values(), key=lambda e: (e.next_due, e.key))
+        healthy = [e for e in self.entries.values() if not e.quarantined]
+        quarantined = [e for e in self.entries.values() if e.quarantined]
+
+        def order(e: ModuleEntry) -> Tuple[float, str]:
+            return (e.next_due, e.key)
+
+        best_healthy = min(healthy, key=order) if healthy else None
+        best_quarantined = min(quarantined, key=order) if quarantined else None
+        if best_healthy is None:
+            return best_quarantined
+        if best_quarantined is None:
+            return best_healthy
+        # Ties go to the healthy module: quarantine means "step aside".
+        if best_quarantined.next_due < best_healthy.next_due:
+            return best_quarantined
+        return best_healthy
 
     def run_next(self) -> Tuple[str, RunResult]:
-        """Advance the simulation to the next due module and run it."""
+        """Advance the simulation to the next due module and run it.
+
+        The run is crash-isolated: an exception from the module is
+        captured as a synthetic fruitless result and scheduled for retry
+        rather than aborting the campaign.
+        """
         entry = self.next_entry()
         if entry is None:
             raise RuntimeError("no modules registered")
@@ -170,15 +249,29 @@ class DiscoveryManager:
         # Directive values may be callables evaluated at invocation time
         # ("the Discovery Manager interrogates the Journal ... to direct
         # further discovery") — e.g. traceroute targets computed from
-        # the subnets RIPwatch has recorded by now.
-        directive = {
-            key: (value() if callable(value) else value)
-            for key, value in entry.directive.items()
-        }
-        result = entry.module.run(**directive)
+        # the subnets RIPwatch has recorded by now.  A directive factory
+        # is part of the run, so it crash-isolates with it.
+        reconnects_before = self._client_reconnects()
+        try:
+            directive = {
+                key: (value() if callable(value) else value)
+                for key, value in entry.directive.items()
+            }
+            result = entry.module.run(**directive)
+        except Exception as error:
+            result = RunResult.failure(
+                entry.key,
+                self.sim.now,
+                error,
+                outcome="timeout" if isinstance(error, TimeoutError) else "error",
+            )
+            self._on_failure(entry, result)
+        else:
+            self._on_success(entry, result)
         entry.last_run_at = result.started_at
-        entry.record_run(result)
-        self._adapt(entry, result)
+        entry.record_run(
+            result, reconnects=self._client_reconnects() - reconnects_before
+        )
         self.runs_completed += 1
         if self.correlate_after_each:
             self._correlate()
@@ -212,6 +305,46 @@ class DiscoveryManager:
             )
         entry.next_due = self.sim.now + entry.current_interval
 
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+
+    def _client_reconnects(self) -> int:
+        """How many times the journal client has reconnected so far
+        (0 for clients without a reconnect layer, e.g. LocalJournal)."""
+        return int(getattr(self.journal, "reconnects", 0))
+
+    def _on_success(self, entry: ModuleEntry, result: RunResult) -> None:
+        """A run that returned normally: rehabilitate and adapt."""
+        if entry.quarantined:
+            result.notes.append(
+                f"rehabilitated after {entry.consecutive_failures} "
+                f"consecutive failure(s)"
+            )
+        entry.quarantined = False
+        entry.consecutive_failures = 0
+        entry.retry_backoff = 0.0
+        self._adapt(entry, result)
+
+    def _on_failure(self, entry: ModuleEntry, result: RunResult) -> None:
+        """A crashed run: back off exponentially, quarantine past the
+        threshold.  The campaign itself keeps running either way."""
+        self.failures_isolated += 1
+        entry.consecutive_failures += 1
+        if entry.consecutive_failures >= self.quarantine_threshold:
+            # Quarantined: step out of the ordinary schedule, re-probe
+            # once per max_interval in case the module recovered.
+            entry.quarantined = True
+            result.outcome = "quarantined"
+            backoff = entry.max_interval
+        else:
+            backoff = min(
+                entry.max_interval,
+                self.retry_base * 2.0 ** (entry.consecutive_failures - 1),
+            )
+        entry.retry_backoff = backoff
+        entry.next_due = self.sim.now + backoff
+
     def _correlate(self) -> None:
         from .journal import Journal
 
@@ -237,7 +370,7 @@ class DiscoveryManager:
         if self.state_path is None:
             raise ValueError("no state_path configured")
         state = {
-            "format": "fremont-manager-1",
+            "format": "fremont-manager-2",
             "modules": {
                 key: {
                     "min_interval": entry.min_interval,
@@ -246,6 +379,9 @@ class DiscoveryManager:
                     "last_run_at": entry.last_run_at,
                     "next_due": entry.next_due,
                     "history": entry.history,
+                    "consecutive_failures": entry.consecutive_failures,
+                    "quarantined": entry.quarantined,
+                    "retry_backoff": entry.retry_backoff,
                 }
                 for key, entry in self.entries.items()
             },
@@ -256,6 +392,8 @@ class DiscoveryManager:
     def _load_state(self) -> None:
         with open(self.state_path, "r", encoding="utf-8") as handle:
             state = json.load(handle)
-        if state.get("format") != "fremont-manager-1":
+        # -2 added the fault-tolerance ledger; -1 files (no quarantine
+        # fields) still restore, with healthy defaults.
+        if state.get("format") not in ("fremont-manager-1", "fremont-manager-2"):
             raise ValueError(f"unknown manager state format in {self.state_path}")
         self._persisted: Dict[str, Dict[str, Any]] = state.get("modules", {})

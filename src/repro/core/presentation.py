@@ -17,11 +17,10 @@ rendering for modern graph viewers — both reproduce Figure 2's content.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Optional
 
-from ..netsim.addresses import Ipv4Address, Netmask, Subnet
-from .correlate import Correlator, TopologyGraph
+from ..netsim.addresses import Ipv4Address, Subnet
+from .correlate import Correlator
 from .journal import Journal
 from .records import InterfaceRecord
 

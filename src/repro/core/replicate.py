@@ -17,7 +17,7 @@ different machines can exchange their findings over the wire.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 __all__ = ["JournalReplicator", "SyncStats"]

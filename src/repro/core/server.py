@@ -20,7 +20,6 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from . import wire
 from .journal import Journal
-from .records import Observation
 
 __all__ = ["JournalServer"]
 
@@ -34,6 +33,8 @@ class JournalServer:
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.2)
         self._threads: List[threading.Thread] = []
+        #: open connection sockets, pruned alongside their threads
+        self._connections: List[socket.socket] = []
         self._running = False
         self._accept_thread: Optional[threading.Thread] = None
         self.requests_served = 0
@@ -43,6 +44,11 @@ class JournalServer:
     @property
     def address(self) -> Tuple[str, int]:
         return self._listener.getsockname()
+
+    @property
+    def live_connections(self) -> int:
+        """Connection-handler threads still running."""
+        return sum(1 for t in self._threads if t.is_alive())
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -61,6 +67,18 @@ class JournalServer:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
         self._listener.close()
+        # Sever live connections, or their handler threads would keep
+        # serving a "stopped" server indefinitely (and the joins below
+        # would time out waiting on blocked reads).
+        for connection in self._connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
         for thread in self._threads:
             thread.join(timeout=2.0)
         if self.persist_path is not None:
@@ -85,6 +103,16 @@ class JournalServer:
                 continue
             except OSError:
                 break
+            # Reap finished connection threads; without this a week-long
+            # server leaks one Thread object (and socket) per connection
+            # ever made.
+            live = [
+                (t, c)
+                for t, c in zip(self._threads, self._connections)
+                if t.is_alive()
+            ]
+            self._threads = [t for t, _ in live]
+            self._connections = [c for _, c in live]
             thread = threading.Thread(
                 target=self._serve_connection,
                 args=(connection,),
@@ -93,6 +121,7 @@ class JournalServer:
             )
             thread.start()
             self._threads.append(thread)
+            self._connections.append(connection)
 
     def _serve_connection(self, connection: socket.socket) -> None:
         with connection:
@@ -124,6 +153,29 @@ class JournalServer:
         with self._lock:
             self.requests_served += 1
             return handler(request)
+
+    def _op_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply several requests in one round trip — the replay path a
+        reconnecting client uses to flush observations buffered during
+        an outage.  Per-item failures are reported in place; the batch
+        itself still succeeds, so one malformed entry cannot wedge the
+        client's replay buffer forever."""
+        responses: List[Dict[str, Any]] = []
+        for sub_request in request.get("requests", []):
+            op = sub_request.get("op") if isinstance(sub_request, dict) else None
+            handler = None if op in (None, "batch") else getattr(self, f"_op_{op}", None)
+            if handler is None:
+                responses.append({"ok": False, "error": f"unknown op: {op!r}"})
+                continue
+            try:
+                responses.append(handler(sub_request))
+            except wire.WireError as error:
+                responses.append({"ok": False, "error": str(error)})
+            except Exception as error:  # defensive: isolate the item
+                responses.append(
+                    {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                )
+        return {"ok": True, "responses": responses}
 
     def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {

@@ -20,8 +20,11 @@ from .records import (
 )
 
 __all__ = [
+    "RUN_OUTCOMES",
     "attribute_to_dict",
     "attribute_from_dict",
+    "batch_request",
+    "run_ledger_to_dict",
     "interface_to_dict",
     "interface_from_dict",
     "gateway_to_dict",
@@ -182,6 +185,54 @@ def observation_from_dict(data: Dict[str, Any]) -> Observation:
         promiscuous_rip=data.get("promiscuous_rip"),
         quality=data.get("quality", "good"),
     )
+
+
+# ----------------------------------------------------------------------
+# Run ledger
+# ----------------------------------------------------------------------
+
+#: outcome vocabulary of the Discovery Manager's per-run ledger
+RUN_OUTCOMES = frozenset({"ok", "error", "timeout", "quarantined"})
+
+
+def run_ledger_to_dict(
+    result,
+    *,
+    retries: int = 0,
+    backoff: float = 0.0,
+    reconnects: int = 0,
+) -> Dict[str, Any]:
+    """One startup/history-file ledger entry for a module run.
+
+    *retries* is the module's consecutive-failure count after this run,
+    *backoff* the delay the scheduler imposed before the next attempt,
+    and *reconnects* how many journal-client reconnects the run incurred.
+    """
+    if result.outcome not in RUN_OUTCOMES:
+        raise WireError(f"unknown run outcome: {result.outcome!r}")
+    return {
+        "at": result.started_at,
+        "duration": result.duration,
+        "packets": result.packets_sent,
+        "observations": result.observations,
+        "changes": result.changes,
+        "fruitful": result.fruitful,
+        "outcome": result.outcome,
+        "error": result.error,
+        "retries": retries,
+        "backoff": backoff,
+        "reconnects": reconnects,
+    }
+
+
+# ----------------------------------------------------------------------
+# Batched requests
+# ----------------------------------------------------------------------
+
+
+def batch_request(requests: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Envelope replaying several buffered requests in one round trip."""
+    return {"op": "batch", "requests": list(requests)}
 
 
 # ----------------------------------------------------------------------

@@ -10,7 +10,7 @@ data an SNMP agent's MIB-II exposes to tools like netdig.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List
 
 from .node import Node
 from .packet import Ipv4Packet, UdpDatagram

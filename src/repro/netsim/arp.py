@@ -9,8 +9,8 @@ outstanding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from .addresses import Ipv4Address, MacAddress
 

@@ -25,8 +25,8 @@ defaults regenerate the paper's denominators.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from .addresses import Ipv4Address, Netmask, Subnet
 from .faults import break_gateway_icmp, remove_host

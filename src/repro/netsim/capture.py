@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from .addresses import Ipv4Address
-from .packet import ArpPacket, EthernetFrame, IcmpPacket, Ipv4Packet, UdpDatagram
+from .packet import ArpPacket, EthernetFrame, Ipv4Packet
 from .segment import Segment, TapHandle
 
 __all__ = ["CapturedFrame", "FrameCapture", "protocol_filter", "address_filter"]

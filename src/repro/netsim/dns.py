@@ -19,9 +19,9 @@ as the paper observes of real deployments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from .addresses import Ipv4Address, Subnet
+from .addresses import Ipv4Address
 from .node import Node
 from .packet import (
     DnsMessage,

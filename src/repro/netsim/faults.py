@@ -15,13 +15,13 @@ protocol misbehaviours its Explorer Modules must tolerate:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from .addresses import Ipv4Address, MacAddress, Netmask, Subnet
+from .addresses import MacAddress, Netmask, Subnet
 from .gateway import Gateway
 from .host import Host
 from .network import Network
-from .node import Node, NodeQuirks
+from .node import Node
 from .rip import PromiscuousRipHost
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "break_gateway_icmp",
     "give_ttl_echo_bug",
     "disable_mask_replies",
+    "crash_explorer",
 ]
 
 
@@ -129,3 +130,37 @@ def give_ttl_echo_bug(node: Node) -> None:
 def disable_mask_replies(host: Host) -> None:
     """Configure the interface "not to respond to subnet mask requests"."""
     host.quirks.responds_to_mask_request = False
+
+
+def crash_explorer(
+    module,
+    *,
+    failures: Optional[int] = None,
+    exc_type: type = RuntimeError,
+    message: str = "injected explorer crash",
+):
+    """Sabotage an Explorer Module: its next *failures* invocations raise
+    *exc_type* (every invocation when ``failures`` is None).
+
+    Exercises the Discovery Manager's crash-isolation layer — the
+    orchestration analogue of the protocol misbehaviours above.  Duck
+    typed over anything with a ``run()`` method (``netsim`` must not
+    import ``core``).  Returns a zero-argument function that restores
+    the original ``run``.
+    """
+    original = module.run
+    state = {"remaining": failures}
+
+    def failing_run(**directive):
+        if state["remaining"] is None or state["remaining"] > 0:
+            if state["remaining"] is not None:
+                state["remaining"] -= 1
+            raise exc_type(message)
+        return original(**directive)
+
+    module.run = failing_run
+
+    def restore() -> None:
+        module.run = original
+
+    return restore

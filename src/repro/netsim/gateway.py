@@ -13,11 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .addresses import Ipv4Address, MacAddress, Netmask, Subnet
+from .addresses import Ipv4Address, Subnet
 from .nic import Nic
 from .node import Node, NodeQuirks
 from .packet import IcmpPacket, IcmpType, Ipv4Packet
-from .segment import Segment
 from .sim import Simulator
 
 __all__ = ["Gateway", "Route"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from .addresses import Ipv4Address, MacAddress, Netmask, Subnet, OUI_VENDORS
 from .dns import DnsServer, ZoneDatabase

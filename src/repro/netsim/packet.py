@@ -14,9 +14,9 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field, replace
 from enum import Enum, IntEnum
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
-from .addresses import Ipv4Address, MacAddress, Netmask, Subnet
+from .addresses import Ipv4Address, MacAddress, Netmask
 
 __all__ = [
     "EtherType",

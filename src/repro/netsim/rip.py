@@ -13,13 +13,12 @@ giving the false impression of connectivity.  Fremont flags these.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional
 
-from .addresses import Ipv4Address, Subnet
+from .addresses import Ipv4Address
 from .nic import Nic
 from .node import Node
 from .packet import Ipv4Packet, RipCommand, RipEntry, RipPacket
-from .sim import Simulator
 
 __all__ = ["RipSpeaker", "PromiscuousRipHost", "RIP_ADVERTISEMENT_INTERVAL"]
 

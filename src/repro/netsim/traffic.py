@@ -17,9 +17,8 @@ Inter-send gaps are exponential with each host's own activity rate
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from .addresses import Ipv4Address
 from .host import Host
 from .network import Network
 

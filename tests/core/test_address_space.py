@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Journal
-from repro.core.analysis import SubnetUtilisation, address_space_report
+from repro.core.analysis import address_space_report
 from repro.core.records import Observation
 
 

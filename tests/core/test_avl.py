@@ -1,6 +1,5 @@
 """AVL tree tests: unit behaviour plus model-based property checks."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -109,7 +109,7 @@ class TestCampus:
         loaded = Journal.load(str(out))
         assert loaded.counts()["interfaces"] > 0
         manager_state = json.loads(state.read_text())
-        assert manager_state["format"] == "fremont-manager-1"
+        assert manager_state["format"] == "fremont-manager-2"
         printed = capsys.readouterr().out
         assert "journal:" in printed
 

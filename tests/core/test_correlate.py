@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal
 from repro.core.correlate import Correlator
 from repro.core.records import Observation
 

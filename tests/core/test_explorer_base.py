@@ -1,0 +1,65 @@
+"""ExplorerModule base-class behaviour: wait_until sentinel hygiene and
+RunResult ledger fields."""
+
+from repro.core.explorers.base import RUN_OUTCOMES, ExplorerModule, RunResult
+from repro.netsim.sim import Simulator
+
+
+class _StubNode:
+    def __init__(self, sim):
+        self.sim = sim
+
+
+class _Waiter(ExplorerModule):
+    name = "Waiter"
+
+    def run(self, **directive):  # pragma: no cover - not used here
+        raise NotImplementedError
+
+
+def make_waiter(sim):
+    return _Waiter(_StubNode(sim), journal=None)
+
+
+class TestWaitUntilSentinel:
+    def test_sentinel_cancelled_on_early_predicate(self):
+        sim = Simulator()
+        module = make_waiter(sim)
+        fired = {"done": False}
+        sim.schedule(5.0, lambda: fired.update(done=True))
+        assert module.wait_until(lambda: fired["done"], timeout=1000.0) is True
+        # The 1000 s sentinel was cancelled, not left on the heap: a
+        # long campaign would otherwise leak one entry per early exit.
+        assert sim.pending_events == 0
+
+    def test_sentinel_still_bounds_timeout(self):
+        sim = Simulator()
+        module = make_waiter(sim)
+        assert module.wait_until(lambda: False, timeout=30.0) is False
+        assert sim.now == 30.0
+        assert sim.pending_events == 0
+
+    def test_many_early_exits_do_not_accumulate_heap_entries(self):
+        sim = Simulator()
+        module = make_waiter(sim)
+        for _ in range(200):
+            sim.schedule(1.0, lambda: None)
+            module.wait_until(lambda: True, timeout=3600.0)
+        # Only the 200 one-second helper events remain live.
+        assert sim.pending_events == 200
+
+
+class TestRunResultLedger:
+    def test_default_outcome_is_ok(self):
+        result = RunResult(module="X", started_at=0.0)
+        assert result.outcome == "ok"
+        assert result.error is None
+        assert result.outcome in RUN_OUTCOMES
+
+    def test_failure_constructor(self):
+        result = RunResult.failure("X", 7.0, TimeoutError("late"), outcome="timeout")
+        assert result.started_at == result.finished_at == 7.0
+        assert result.outcome == "timeout"
+        assert result.error == "TimeoutError: late"
+        assert result.fruitful is False
+        assert result.notes == ["TimeoutError: late"]

@@ -10,7 +10,7 @@ from repro.core.explorers import (
     TracerouteModule,
     TrafficWatch,
 )
-from repro.netsim import GdpAnnouncer, Network, Subnet, TrafficGenerator
+from repro.netsim import GdpAnnouncer, Network, Subnet
 from repro.netsim.packet import UDP_ECHO_PORT
 
 

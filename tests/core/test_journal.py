@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.journal import Journal, ip_key
-from repro.core.records import Observation, Quality
+from repro.core.records import Observation
 
 
 def _clock(values):

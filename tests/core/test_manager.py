@@ -158,7 +158,7 @@ class TestHistoryFile:
 
         with open(path) as handle:
             state = json.load(handle)
-        assert state["format"] == "fremont-manager-1"
+        assert state["format"] == "fremont-manager-2"
         assert state["modules"]["SeqPing"]["current_interval"] == 400.0
         assert len(state["modules"]["SeqPing"]["history"]) == 2
 

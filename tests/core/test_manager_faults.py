@@ -1,0 +1,384 @@
+"""Discovery Manager fault-tolerance layer: crash isolation, retry with
+exponential backoff, quarantine/rehabilitation, the structured run
+ledger, and the persisted-schedule restart regression."""
+
+import json
+
+import pytest
+
+from repro.core import Journal, LocalJournal
+from repro.core.explorers.base import RunResult
+from repro.core.manager import DiscoveryManager
+from repro.netsim import faults
+from repro.netsim.sim import Simulator
+
+from .test_manager import FakeModule
+
+
+class CrashingModule(FakeModule):
+    """Raises for the first *failures* runs (forever when None), then
+    behaves like FakeModule."""
+
+    def __init__(self, sim, *, failures=None, exc_type=RuntimeError, **kwargs):
+        super().__init__(sim, **kwargs)
+        self.attempts = 0
+        self.failures = failures
+        self.exc_type = exc_type
+
+    def run(self, **directive):
+        self.attempts += 1
+        if self.failures is None or self.attempts <= self.failures:
+            raise self.exc_type(f"boom #{self.attempts}")
+        return super().run(**directive)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_manager(sim, **kwargs):
+    journal = Journal(clock=lambda: sim.now)
+    kwargs.setdefault("correlate_after_each", False)
+    return DiscoveryManager(sim, LocalJournal(journal), **kwargs)
+
+
+class TestCrashIsolation:
+    def test_exception_becomes_synthetic_fruitless_result(self, sim):
+        manager = make_manager(sim, retry_base=50.0)
+        manager.register(
+            CrashingModule(sim), min_interval=100.0, max_interval=1600.0
+        )
+        key, result = manager.run_next()
+        assert key == "SeqPing"
+        assert result.outcome == "error"
+        assert result.fruitful is False
+        assert "RuntimeError: boom #1" in result.error
+        assert result.error in result.notes[0]
+        assert manager.failures_isolated == 1
+
+    def test_campaign_survives_always_crashing_module(self, sim):
+        manager = make_manager(sim, retry_base=50.0)
+        healthy = FakeModule(sim, fruitful_plan=[False] * 20)
+        manager.register(healthy, key="healthy", min_interval=100.0, max_interval=100.0)
+        manager.register(
+            CrashingModule(sim), key="crasher", min_interval=100.0, max_interval=1600.0
+        )
+        completed = manager.run_until(1000.0)
+        assert healthy.runs >= 9  # every 100s+10s run, unimpeded
+        assert sim.now == 1000.0
+        outcomes = {key for key, _ in completed}
+        assert outcomes == {"healthy", "crasher"}
+
+    def test_timeout_error_classified_as_timeout(self, sim):
+        manager = make_manager(sim)
+        manager.register(
+            CrashingModule(sim, exc_type=TimeoutError),
+            min_interval=100.0,
+            max_interval=1600.0,
+        )
+        _, result = manager.run_next()
+        assert result.outcome == "timeout"
+
+    def test_crashing_directive_factory_is_isolated_too(self, sim):
+        manager = make_manager(sim)
+
+        def bad_factory():
+            raise KeyError("no targets yet")
+
+        manager.register(
+            FakeModule(sim),
+            min_interval=100.0,
+            max_interval=1600.0,
+            directive={"targets": bad_factory},
+        )
+        _, result = manager.run_next()
+        assert result.outcome == "error"
+        assert "KeyError" in result.error
+
+
+class TestRetryBackoff:
+    def test_backoff_doubles_and_caps_at_max_interval(self, sim):
+        manager = make_manager(
+            sim, retry_base=50.0, quarantine_threshold=10
+        )
+        entry = manager.register(
+            CrashingModule(sim), min_interval=100.0, max_interval=300.0
+        )
+        dues = []
+        for _ in range(4):
+            manager.run_next()
+            # The crash is instantaneous, so sim.now is the run time.
+            dues.append(entry.next_due - sim.now)
+        # 50, 100, 200, then capped at max_interval=300.
+        assert dues == [50.0, 100.0, 200.0, 300.0]
+
+    def test_clean_run_resets_backoff(self, sim):
+        manager = make_manager(sim, retry_base=50.0, quarantine_threshold=10)
+        module = CrashingModule(sim, failures=2, fruitful_plan=[False])
+        entry = manager.register(module, min_interval=100.0, max_interval=1600.0)
+        manager.run_next()
+        manager.run_next()
+        assert entry.consecutive_failures == 2
+        _, result = manager.run_next()  # recovers
+        assert result.outcome == "ok"
+        assert entry.consecutive_failures == 0
+        assert entry.retry_backoff == 0.0
+
+
+class TestQuarantine:
+    def test_module_quarantined_after_threshold_and_rehabilitated(self, sim):
+        """A module that raises K times then recovers: doubling retry
+        intervals, quarantine at the threshold, rehabilitation after a
+        clean re-probe run."""
+        manager = make_manager(sim, retry_base=50.0, quarantine_threshold=3)
+        module = CrashingModule(sim, failures=3, fruitful_plan=[True])
+        entry = manager.register(module, min_interval=100.0, max_interval=400.0)
+
+        _, first = manager.run_next()
+        assert first.outcome == "error"
+        assert entry.next_due - sim.now == 50.0  # retry_base
+
+        _, second = manager.run_next()
+        assert second.outcome == "error"
+        assert entry.next_due - sim.now == 100.0  # doubled
+
+        _, third = manager.run_next()
+        assert third.outcome == "quarantined"
+        assert entry.quarantined is True
+        # Re-probe only at max_interval, not the doubled backoff.
+        assert entry.next_due - sim.now == 400.0
+
+        _, fourth = manager.run_next()  # the re-probe succeeds
+        assert fourth.outcome == "ok"
+        assert entry.quarantined is False
+        assert entry.consecutive_failures == 0
+        assert any("rehabilitated" in note for note in fourth.notes)
+        # Normal adaptive scheduling resumes (fruitful clamps at min).
+        assert entry.current_interval == 100.0
+        assert entry.next_due == sim.now + 100.0
+
+    def test_quarantined_module_skipped_by_next_entry(self, sim):
+        manager = make_manager(sim, retry_base=50.0, quarantine_threshold=1)
+        healthy = manager.register(
+            FakeModule(sim), key="healthy", min_interval=100.0, max_interval=800.0
+        )
+        manager.register(
+            CrashingModule(sim), key="crasher", min_interval=100.0, max_interval=800.0
+        )
+        manager.run_next()  # crasher (key order on tie? healthy wins ties)
+        manager.run_next()
+        # One of each ran; crasher is now quarantined.
+        crasher = manager.entries["crasher"]
+        assert crasher.quarantined is True
+        # Even if the quarantined module's re-probe ties with a healthy
+        # module, the healthy module is chosen.
+        healthy.next_due = crasher.next_due
+        assert manager.next_entry() is healthy
+
+    def test_all_quarantined_still_reprobes(self, sim):
+        manager = make_manager(sim, retry_base=50.0, quarantine_threshold=1)
+        module = CrashingModule(sim, failures=1, fruitful_plan=[False])
+        entry = manager.register(module, min_interval=100.0, max_interval=400.0)
+        manager.run_next()
+        assert entry.quarantined is True
+        _, result = manager.run_next()  # the lone re-probe still happens
+        assert result.outcome == "ok"
+        assert sim.now >= 400.0
+
+    def test_faults_crash_explorer_helper_drives_quarantine(self, sim):
+        manager = make_manager(sim, retry_base=50.0, quarantine_threshold=2)
+        module = FakeModule(sim, fruitful_plan=[False] * 5)
+        restore = faults.crash_explorer(module, failures=2, message="sabotage")
+        entry = manager.register(module, min_interval=100.0, max_interval=400.0)
+        manager.run_next()
+        _, second = manager.run_next()
+        assert second.outcome == "quarantined"
+        assert "sabotage" in second.error
+        restore()
+        _, third = manager.run_next()
+        assert third.outcome == "ok"
+        assert entry.quarantined is False
+
+
+class TestRunLedger:
+    def test_history_entries_carry_ledger_fields(self, sim):
+        manager = make_manager(sim, retry_base=50.0, quarantine_threshold=2)
+        module = CrashingModule(sim, failures=2, fruitful_plan=[False])
+        entry = manager.register(module, min_interval=100.0, max_interval=400.0)
+        for _ in range(3):
+            manager.run_next()
+        outcomes = [h["outcome"] for h in entry.history]
+        assert outcomes == ["error", "quarantined", "ok"]
+        assert [h["retries"] for h in entry.history] == [1, 2, 0]
+        assert entry.history[0]["backoff"] == 50.0
+        assert entry.history[1]["backoff"] == 400.0  # quarantine re-probe
+        assert entry.history[2]["backoff"] == 0.0
+        assert all(h["reconnects"] == 0 for h in entry.history)
+        assert "boom #1" in entry.history[0]["error"]
+        assert entry.history[2]["error"] is None
+
+    def test_ledger_persisted_in_history_file(self, sim, tmp_path):
+        path = str(tmp_path / "history.json")
+        manager = make_manager(sim, state_path=path, retry_base=50.0)
+        manager.register(
+            CrashingModule(sim, failures=1, fruitful_plan=[False]),
+            min_interval=100.0,
+            max_interval=400.0,
+        )
+        manager.run_next()
+        with open(path) as handle:
+            saved = json.load(handle)["modules"]["SeqPing"]
+        assert saved["history"][0]["outcome"] == "error"
+        assert saved["consecutive_failures"] == 1
+        assert saved["quarantined"] is False
+        assert saved["retry_backoff"] == 50.0
+
+    def test_synthetic_result_is_valid_rerun_accounting(self, sim):
+        result = RunResult.failure("X", 5.0, ValueError("nope"))
+        assert result.duration == 0.0
+        assert result.packets_sent == 0
+        assert result.outcome == "error"
+
+
+class TestRestartRegression:
+    """The headline bugfix: ``save_state`` persists ``next_due`` and
+    ``last_run_at`` but ``register()`` used to discard them — after a
+    restart the whole fleet fired at once at sim.now."""
+
+    def _run_and_save(self, tmp_path):
+        sim = Simulator()
+        path = str(tmp_path / "history.json")
+        manager = make_manager(sim, state_path=path)
+        manager.register(
+            FakeModule(sim, fruitful_plan=[False, False]),
+            key="a",
+            min_interval=100.0,
+            max_interval=1600.0,
+        )
+        manager.register(
+            FakeModule(sim, fruitful_plan=[True]),
+            key="b",
+            min_interval=300.0,
+            max_interval=1600.0,
+            first_due=40.0,
+        )
+        manager.run_until(250.0)
+        return path, json.load(open(path))
+
+    def test_save_restart_resume_round_trip_byte_for_byte(self, tmp_path):
+        path, saved = self._run_and_save(tmp_path)
+
+        sim2 = Simulator()
+        manager2 = make_manager(sim2, state_path=path)
+        manager2.register(
+            FakeModule(sim2), key="a", min_interval=100.0, max_interval=1600.0
+        )
+        manager2.register(
+            FakeModule(sim2), key="b", min_interval=300.0, max_interval=1600.0
+        )
+        for key in ("a", "b"):
+            entry = manager2.entries[key]
+            assert entry.next_due == saved["modules"][key]["next_due"]
+            assert entry.last_run_at == saved["modules"][key]["last_run_at"]
+            assert entry.current_interval == saved["modules"][key]["current_interval"]
+
+        # Saving again reproduces the schedule byte-for-byte.
+        manager2.save_state()
+        resaved = json.load(open(path))
+        assert resaved == saved
+
+    def test_fleet_does_not_fire_all_at_once_after_restart(self, tmp_path):
+        path, saved = self._run_and_save(tmp_path)
+        dues = sorted(m["next_due"] for m in saved["modules"].values())
+        assert dues[0] != dues[1]  # the persisted schedule is staggered
+
+        sim2 = Simulator()
+        manager2 = make_manager(sim2, state_path=path)
+        a = FakeModule(sim2, fruitful_plan=[False])
+        b = FakeModule(sim2, fruitful_plan=[False])
+        manager2.register(a, key="a", min_interval=100.0, max_interval=1600.0)
+        manager2.register(b, key="b", min_interval=300.0, max_interval=1600.0)
+        # Nothing is due at sim.now: the restored schedule governs.
+        assert manager2.next_entry().next_due == dues[0]
+        manager2.run_next()
+        assert a.runs + b.runs == 1  # only the module actually due ran
+
+    def test_overdue_module_clamped_to_now_not_past(self, tmp_path):
+        sim = Simulator()
+        path = str(tmp_path / "history.json")
+        manager = make_manager(sim, state_path=path)
+        manager.register(
+            FakeModule(sim, fruitful_plan=[False]),
+            min_interval=100.0,
+            max_interval=1600.0,
+        )
+        manager.run_next()
+        manager.save_state()
+
+        sim2 = Simulator()
+        sim2.run_until(1e6)  # the manager was down for a long time
+        manager2 = make_manager(sim2, state_path=path)
+        entry = manager2.register(
+            FakeModule(sim2), min_interval=100.0, max_interval=1600.0
+        )
+        assert entry.next_due == sim2.now  # overdue → due now, not in the past
+
+    def test_future_corrupt_due_time_clamped_to_max_interval(self, tmp_path):
+        sim = Simulator()
+        path = str(tmp_path / "history.json")
+        manager = make_manager(sim, state_path=path)
+        manager.register(
+            FakeModule(sim, fruitful_plan=[False]),
+            min_interval=100.0,
+            max_interval=1600.0,
+        )
+        manager.run_next()
+        manager.save_state()
+        state = json.load(open(path))
+        state["modules"]["SeqPing"]["next_due"] = 1e12
+        json.dump(state, open(path, "w"))
+
+        sim2 = Simulator()
+        manager2 = make_manager(sim2, state_path=path)
+        entry = manager2.register(
+            FakeModule(sim2), min_interval=100.0, max_interval=1600.0
+        )
+        assert entry.next_due == sim2.now + 1600.0
+
+    def test_quarantine_state_survives_restart(self, tmp_path):
+        sim = Simulator()
+        path = str(tmp_path / "history.json")
+        manager = make_manager(
+            sim, state_path=path, retry_base=50.0, quarantine_threshold=1
+        )
+        manager.register(
+            CrashingModule(sim), min_interval=100.0, max_interval=400.0
+        )
+        manager.run_next()
+
+        sim2 = Simulator()
+        manager2 = make_manager(sim2, state_path=path)
+        entry = manager2.register(
+            CrashingModule(sim2), min_interval=100.0, max_interval=400.0
+        )
+        assert entry.quarantined is True
+        assert entry.consecutive_failures == 1
+        assert entry.retry_backoff == 400.0
+
+    def test_v1_format_still_loads(self, tmp_path):
+        path = str(tmp_path / "history.json")
+        state = {
+            "format": "fremont-manager-1",
+            "modules": {
+                "SeqPing": {"current_interval": 200.0, "history": []}
+            },
+        }
+        json.dump(state, open(path, "w"))
+        sim = Simulator()
+        manager = make_manager(sim, state_path=path)
+        entry = manager.register(
+            FakeModule(sim), min_interval=100.0, max_interval=1600.0
+        )
+        assert entry.current_interval == 200.0
+        assert entry.quarantined is False

@@ -1,6 +1,5 @@
 """Record and attribute semantics: the triple timestamps of the paper."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

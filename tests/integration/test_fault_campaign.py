@@ -1,0 +1,226 @@
+"""Fault-injection campaign: netsim problems + a crashing explorer + a
+mid-campaign Journal Server outage, end to end.
+
+The acceptance bar for the Discovery Manager's fault-tolerance layer:
+with one explorer raising on every run and the Journal Server stopped
+mid-campaign, ``run_until`` completes the full horizon, healthy modules'
+run counts match the no-fault baseline, the failing module ends
+quarantined with its errors in the ledger, and observations buffered
+during the outage are present in the Journal after reconnect.
+"""
+
+from repro.core import Journal, JournalServer, RemoteJournal
+from repro.core.explorers import SequentialPing
+from repro.core.explorers.base import RunResult
+from repro.core.manager import DiscoveryManager
+from repro.core.records import Observation
+from repro.netsim import Netmask, Network, Subnet, faults
+
+
+HORIZON = 10800.0  # three simulated hours
+OUTAGE_START = 2000.0
+OUTAGE_END = 4000.0
+
+FAST_RECONNECT = dict(
+    reconnect_attempts=2, reconnect_backoff=0.01, reconnect_backoff_cap=0.05
+)
+
+
+class BeaconModule:
+    """A minimal healthy explorer: each run reports one fresh interface
+    observation (the unit of work that must survive a server outage)."""
+
+    name = "Beacon"
+
+    def __init__(self, sim, client):
+        self.sim = sim
+        self.client = client
+        self.serial = 0
+        self.runs = 0
+        self.observed = []  # (ip, at) for every observation made
+
+    def run(self, **directive):
+        started = self.sim.now
+        self.sim.run_for(10.0)
+        self.serial += 1
+        self.runs += 1
+        ip = f"10.9.{self.serial}.1"
+        self.observed.append((ip, started))
+        _record, changed = self.client.observe_interface(
+            Observation(source=self.name, ip=ip, mac=f"08:00:2b:09:00:{self.serial:02x}")
+        )
+        return RunResult(
+            module=self.name,
+            started_at=started,
+            finished_at=self.sim.now,
+            observations=1,
+            changes=1 if changed else 0,
+        )
+
+
+def build_network():
+    """Two subnets, one gateway — with Table 8 problems planted."""
+    net = Network(seed=11)
+    left = Subnet.parse("10.1.1.0/24")
+    right = Subnet.parse("10.1.2.0/24")
+    net.add_subnet(left)
+    net.add_subnet(right)
+    net.add_gateway("gw", [(left, 1), (right, 1)])
+    hosts = {
+        "a1": net.add_host(left, name="a1", index=10),
+        "a2": net.add_host(left, name="a2", index=11),
+        "b1": net.add_host(right, name="b1", index=10),
+        "b2": net.add_host(right, name="b2", index=11),
+    }
+    monitor = net.add_host(left, name="monitor", index=200, activity_rate=0.0)
+    net.compute_routes()
+    # The same netsim problems in every campaign variant: a silently
+    # removed host and an inconsistent netmask.
+    faults.remove_host(net, hosts["a2"])
+    faults.misconfigure_mask(hosts["b2"], Netmask.from_prefix(26))
+    return net, hosts, monitor
+
+
+def build_campaign(*, with_faults):
+    """A manager-driven campaign over the wire client.  Returns the
+    pieces the test needs to orchestrate outages and inspect results."""
+    net, hosts, monitor = build_network()
+    journal = Journal(clock=lambda: net.sim.now)
+    server = JournalServer(journal).start()
+    host, port = server.address
+    client = RemoteJournal(host, port, **FAST_RECONNECT)
+    manager = DiscoveryManager(
+        net.sim,
+        client,
+        quarantine_threshold=3,
+        retry_base=60.0,
+    )
+    beacon = BeaconModule(net.sim, client)
+    # Pinned intervals (min == max) keep healthy schedules independent
+    # of fruitfulness, so run counts are directly comparable.
+    manager.register(beacon, key="beacon", min_interval=600.0, max_interval=600.0)
+    probe = SequentialPing(monitor, client)
+    manager.register(
+        probe,
+        key="probe",
+        min_interval=1800.0,
+        max_interval=1800.0,
+        directive={"addresses": [hosts["a1"].ip, hosts["b1"].ip]},
+    )
+    if with_faults:
+        crasher = SequentialPing(monitor, client)
+        faults.crash_explorer(crasher, message="explorer wedged")
+        manager.register(
+            crasher, key="crasher", min_interval=300.0, max_interval=2400.0
+        )
+    return net, journal, server, client, manager, beacon
+
+
+def run_counts(completed):
+    counts = {}
+    for key, _result in completed:
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class TestFaultCampaign:
+    def test_campaign_completes_despite_crashes_and_outage(self):
+        # -- no-fault baseline ------------------------------------------
+        _, _, base_server, base_client, base_manager, base_beacon = build_campaign(
+            with_faults=False
+        )
+        try:
+            baseline = run_counts(base_manager.run_until(HORIZON))
+        finally:
+            base_client.close()
+            base_server.stop()
+        assert baseline["beacon"] > 10
+        assert baseline["probe"] >= 5
+
+        # -- fault campaign ---------------------------------------------
+        net, journal, server, client, manager, beacon = build_campaign(
+            with_faults=True
+        )
+        completed = []
+        try:
+            completed += manager.run_until(OUTAGE_START)
+
+            # Mid-campaign Journal Server outage.
+            port = server.address[1]
+            server.stop()
+            before_outage = len(beacon.observed)
+            completed += manager.run_until(OUTAGE_END)
+            outage_ips = [ip for ip, _ in beacon.observed[before_outage:]]
+            assert outage_ips, "no observations made during the outage window"
+            assert client.pending_replay > 0
+            assert journal.counts()["interfaces"] < len(beacon.observed)
+
+            # The server comes back on the same port; the client's next
+            # call reconnects and replays the buffer.
+            server = JournalServer(journal, port=port).start()
+            completed += manager.run_until(HORIZON)
+
+            # The campaign covered the full horizon.
+            assert net.sim.now == HORIZON
+            counts = run_counts(completed)
+
+            # Healthy modules were unimpeded: run counts match baseline.
+            assert counts["beacon"] == baseline["beacon"]
+            assert counts["probe"] == baseline["probe"]
+            assert beacon.runs == baseline["beacon"]
+
+            # The failing module ended quarantined, errors in the ledger.
+            entry = manager.entries["crasher"]
+            assert entry.quarantined is True
+            outcomes = [h["outcome"] for h in entry.history]
+            assert "quarantined" in outcomes
+            assert all(
+                h["outcome"] in ("error", "quarantined") for h in entry.history
+            )
+            assert all("explorer wedged" in h["error"] for h in entry.history)
+            assert counts["crasher"] == len(
+                [k for k, _ in completed if k == "crasher"]
+            )
+
+            # Buffered observations reached the Journal after reconnect.
+            assert client.reconnects >= 1
+            assert client.replayed >= len(outage_ips)
+            assert client.pending_replay == 0
+            for ip in outage_ips:
+                assert journal.interfaces_by_ip(ip), f"lost observation {ip}"
+            # Every observation the beacon ever made is in the Journal.
+            assert journal.counts()["interfaces"] >= len(beacon.observed)
+
+            # The reconnect was ledgered against the run that paid it.
+            reconnect_entries = [
+                h
+                for e in manager.entries.values()
+                for h in e.history
+                if h["reconnects"] > 0
+            ]
+            assert reconnect_entries
+        finally:
+            client.close()
+            server.stop()
+
+    def test_outage_only_campaign_loses_nothing(self):
+        """Without any crashing module, an outage alone is absorbed."""
+        net, journal, server, client, manager, beacon = build_campaign(
+            with_faults=False
+        )
+        try:
+            manager.run_until(OUTAGE_START)
+            port = server.address[1]
+            server.stop()
+            manager.run_until(OUTAGE_END)
+            server = JournalServer(journal, port=port).start()
+            manager.run_until(HORIZON)
+            client.flush()
+            assert net.sim.now == HORIZON
+            assert journal.counts()["interfaces"] >= len(beacon.observed)
+            # Nothing was quarantined along the way.
+            assert not any(e.quarantined for e in manager.entries.values())
+            assert manager.failures_isolated == 0
+        finally:
+            client.close()
+            server.stop()

@@ -14,7 +14,6 @@ from repro.core.explorers import (
     DnsExplorer,
     EtherHostProbe,
     RipWatch,
-    SequentialPing,
     SubnetMaskModule,
     TracerouteModule,
 )

@@ -8,7 +8,6 @@ from repro.netsim.addresses import (
     Ipv4Address,
     MacAddress,
     Netmask,
-    OUI_VENDORS,
     Subnet,
     vendor_for_mac,
 )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim.campus import Campus, CampusProfile, build_campus
+from repro.netsim.campus import CampusProfile, build_campus
 
 
 @pytest.fixture(scope="module")

@@ -1,9 +1,8 @@
 """Fault injection: each fault must have its observable symptom."""
 
-import pytest
 
 from repro.netsim import Netmask, Subnet, faults
-from repro.netsim.packet import ArpOp, ArpPacket, IcmpPacket, IcmpType
+from repro.netsim.packet import ArpOp, ArpPacket, IcmpPacket
 
 
 class TestDuplicateIp:

@@ -1,10 +1,9 @@
 """Gateway forwarding tests: TTL, ICMP errors, host-zero, broadcasts."""
 
-import pytest
 
 from repro.netsim.addresses import Ipv4Address, Subnet
 from repro.netsim.faults import break_gateway_icmp
-from repro.netsim.packet import IcmpPacket, IcmpType, Ipv4Packet, UdpDatagram
+from repro.netsim.packet import IcmpPacket, IcmpType, UdpDatagram
 
 
 def _collect(node):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.netsim import Network, Subnet
-from repro.netsim.packet import UdpDatagram
 
 
 class TestAllocation:

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.netsim.addresses import Ipv4Address, Netmask, Subnet
-from repro.netsim.node import LIMITED_BROADCAST
+from repro.netsim.addresses import Netmask
 from repro.netsim.packet import (
     IcmpPacket,
     IcmpType,

@@ -18,7 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.netsim import Network, Subnet
-from repro.netsim.packet import IcmpPacket, IcmpType, Ipv4Packet, UdpDatagram
+from repro.netsim.packet import IcmpPacket, IcmpType, UdpDatagram
 
 
 @st.composite

@@ -1,7 +1,6 @@
 """Background-traffic generator tests."""
 
 from repro.netsim import Network, Subnet, TrafficGenerator
-from repro.netsim.packet import ArpPacket
 
 
 def _build(seed=5, hosts=8):
