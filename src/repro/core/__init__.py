@@ -2,10 +2,11 @@
 Manager, cross-correlation, analysis, and presentation."""
 
 from .avl import AvlTree
-from .client import LocalJournal, RemoteJournal
+from .client import LocalJournal, RemoteChangeFeed, RemoteJournal
 from .correlate import Correlator
 from .inquiry import NetworkPicture
-from .journal import Journal, JournalChanges
+from .journal import FeedSubscription, Journal, JournalChanges
+from .locks import ReadWriteLock
 from .manager import DiscoveryManager
 from .records import (
     Attribute,
@@ -17,12 +18,16 @@ from .records import (
 )
 from .replicate import JournalReplicator
 from .server import JournalServer
+from .sink import BatchingSink, FlushStats, ObservationSink
 
 __all__ = [
     "Attribute",
     "AvlTree",
+    "BatchingSink",
     "Correlator",
     "DiscoveryManager",
+    "FeedSubscription",
+    "FlushStats",
     "GatewayRecord",
     "InterfaceRecord",
     "Journal",
@@ -32,7 +37,10 @@ __all__ = [
     "LocalJournal",
     "NetworkPicture",
     "Observation",
+    "ObservationSink",
     "Quality",
+    "ReadWriteLock",
+    "RemoteChangeFeed",
     "RemoteJournal",
     "SubnetRecord",
 ]

@@ -28,6 +28,7 @@ from .journal import Journal
 from .records import InterfaceRecord
 
 __all__ = [
+    "AnalysisMonitor",
     "Finding",
     "SubnetUtilisation",
     "address_space_report",
@@ -285,6 +286,67 @@ def run_all_analyses(
         KIND_PROMISCUOUS: find_promiscuous_rip(journal),
         KIND_ADDRESS_CONFLICT: find_address_conflicts(journal),
     }
+
+
+class AnalysisMonitor:
+    """A standing analysis program driven by the Journal change feed.
+
+    The Table 8 finders are whole-Journal scans; a dashboard that reruns
+    them after every poll wastes most of its work on an unchanged
+    Journal.  The monitor subscribes to the change feed instead: pushed
+    deltas merely mark it dirty, and :meth:`refresh` reruns the finders
+    only when something actually moved since the last refresh.
+    """
+
+    def __init__(
+        self,
+        journal: Journal,
+        *,
+        stale_horizon: Optional[float] = None,
+        default_prefix: int = 24,
+    ) -> None:
+        self.journal = journal
+        self.stale_horizon = stale_horizon
+        self.default_prefix = default_prefix
+        self._dirty = True  # never computed yet
+        self.findings: Dict[str, List[Finding]] = {}
+        self.recomputes = 0
+        self.skips = 0
+        self.subscription = journal.subscribe(self._on_changes)
+
+    def _on_changes(self, changes) -> None:
+        if not changes.empty() or not changes.complete:
+            self._dirty = True
+
+    @property
+    def dirty(self) -> bool:
+        """Must the next refresh recompute?  (Publishes first, so writes
+        not yet pushed through the feed are taken into account.)"""
+        self.journal.publish()
+        return self._dirty
+
+    def refresh(self) -> Dict[str, List[Finding]]:
+        """Current findings, recomputed only if the Journal changed."""
+        if not self.dirty:
+            self.skips += 1
+            return self.findings
+        self.findings = run_all_analyses(
+            self.journal,
+            stale_horizon=self.stale_horizon,
+            default_prefix=self.default_prefix,
+        )
+        self.recomputes += 1
+        self._dirty = False
+        return self.findings
+
+    def close(self) -> None:
+        self.subscription.close()
+
+    def __enter__(self) -> "AnalysisMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _records_by_ip(journal: Journal) -> Dict[str, List[InterfaceRecord]]:

@@ -18,18 +18,20 @@ they hold.
 
 from __future__ import annotations
 
+import select
 import socket
 import time
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from . import wire
-from .journal import Journal
+from .journal import Journal, JournalChanges
 from .records import GatewayRecord, InterfaceRecord, Observation, SubnetRecord
+from .sink import DirectSinkMixin
 
-__all__ = ["LocalJournal", "RemoteJournal"]
+__all__ = ["LocalJournal", "RemoteJournal", "RemoteChangeFeed"]
 
 
-class LocalJournal:
+class LocalJournal(DirectSinkMixin):
     """In-process client: delegates straight to a :class:`Journal`."""
 
     def __init__(self, journal: Journal) -> None:
@@ -39,6 +41,44 @@ class LocalJournal:
 
     def observe_interface(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
         return self.journal.observe_interface(observation)
+
+    # -- sink protocol ---------------------------------------------------
+
+    def submit(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
+        return self.journal.submit(observation)
+
+    def resolve(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
+        return self.journal.resolve(observation)
+
+    def flush(self):
+        return self.journal.flush()
+
+    def observe_batch(
+        self, observations: Sequence[Observation], *, coalesced: int = 0
+    ) -> List[bool]:
+        """Apply a pre-coalesced batch — the local mirror of the server's
+        ``batch`` op, so batched-local and batched-remote ingest keep
+        identical pipeline accounting."""
+        flags = [self.journal.submit(observation)[1] for observation in observations]
+        self.journal.note_ingest(
+            submitted=coalesced, coalesced=coalesced, batches=1 if observations else 0
+        )
+        self.journal.publish()
+        return flags
+
+    def note_ingest(self, **counters: int) -> None:
+        self.journal.note_ingest(**counters)
+
+    def publish(self) -> int:
+        return self.journal.publish()
+
+    # -- change feed -----------------------------------------------------
+
+    def changes_since(self, since: int) -> JournalChanges:
+        return self.journal.changes_since(since)
+
+    def subscribe(self, callback: Optional[Callable] = None, *, since: int = 0):
+        return self.journal.subscribe(callback, since=since)
 
     def ensure_gateway(
         self,
@@ -192,6 +232,9 @@ class RemoteJournal:
         self._buffer_limit = buffer_limit
         #: requests parked while the server was unreachable
         self._pending: List[Dict[str, Any]] = []
+        #: coalesced-sighting counts owed to the server from batches that
+        #: had to be parked as individual observes (reported on replay)
+        self._coalesced_owed = 0
         #: successful reconnects (the Discovery Manager ledgers these)
         self.reconnects = 0
         #: buffered requests replayed so far
@@ -248,11 +291,13 @@ class RemoteJournal:
         if not self._pending:
             return
         batch = list(self._pending)
-        self._roundtrip(wire.batch_request(batch))
+        owed = self._coalesced_owed
+        self._roundtrip(wire.batch_request(batch, coalesced=owed))
         self.replayed += len(batch)
         # Only drop what was sent: a concurrent buffering caller may
         # have appended while the batch was in flight.
         del self._pending[: len(batch)]
+        self._coalesced_owed -= owed
 
     def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """One request/response, reconnecting (once per call) on a dead
@@ -321,6 +366,52 @@ class RemoteJournal:
             # as never having been assigned a server-canonical id).
             return _provisional_record(observation), True
         return wire.interface_from_dict(response["record"]), response["changed"]
+
+    # -- sink protocol ---------------------------------------------------
+
+    def submit(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
+        return self.observe_interface(observation)
+
+    def resolve(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
+        return self.observe_interface(observation)
+
+    def observe_batch(
+        self, observations: Sequence[Observation], *, coalesced: int = 0
+    ) -> List[bool]:
+        """Apply a batch of observations in one round trip (the server
+        ``batch`` op) — the :class:`~repro.core.sink.BatchingSink` flush
+        path.  Returns per-observation changed flags.  If the server is
+        unreachable the individual observe requests are parked for replay
+        (batches must not nest, so the envelope is rebuilt at flush time)
+        and every flag reports True provisionally."""
+        sub_requests = [
+            {"op": "observe", "observation": wire.observation_to_dict(observation)}
+            for observation in observations
+        ]
+        try:
+            response = self._call(wire.batch_request(sub_requests, coalesced=coalesced))
+        except ConnectionError:
+            if len(self._pending) + len(sub_requests) > self._buffer_limit:
+                raise
+            self._pending.extend(sub_requests)
+            self._coalesced_owed += coalesced
+            return [True] * len(sub_requests)
+        return [bool(item.get("changed")) for item in response["responses"]]
+
+    # -- change feed -----------------------------------------------------
+
+    def changes_since(self, since: int) -> JournalChanges:
+        """Polling fallback for remote consumers that cannot hold a
+        subscribe stream open."""
+        response = self._call({"op": "changes_since", "since": int(since)})
+        return wire.changes_from_dict(response["changes"])
+
+    def subscribe(self, *, since: int = 0) -> "RemoteChangeFeed":
+        """Open a dedicated streaming connection that receives a pushed
+        delta frame whenever a write lands on the server."""
+        return RemoteChangeFeed(
+            self._host, self._port, since=since, timeout=self._timeout
+        )
 
     def ensure_gateway(
         self,
@@ -467,3 +558,99 @@ class RemoteJournal:
         """Fetch the full journal for offline analysis/presentation."""
         response = self._call({"op": "dump"})
         return Journal.from_dict(response["journal"])
+
+
+class RemoteChangeFeed:
+    """Client side of the streaming ``subscribe`` op.
+
+    Holds its own socket: after the subscribe handshake the server pushes
+    a ``{"event": "changes"}`` frame per completed write, so the
+    connection cannot be shared with request/response traffic.  Frames
+    are drained with :meth:`poll`; each one is a
+    :class:`~repro.core.journal.JournalChanges` delta whose ``since``
+    matches the previous frame's ``revision`` (the server keeps a
+    per-subscriber cursor).
+    """
+
+    def __init__(
+        self, host: str, port: int, *, since: int = 0, timeout: float = 10.0
+    ) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        # poll() manages its own deadlines via select(); the socket
+        # itself must block so a frame is never torn mid-read.
+        self._socket.settimeout(None)
+        self._buffer = bytearray()
+        self._closed = False
+        self.frames_received = 0
+        self._socket.sendall(
+            wire.encode_message({"op": "subscribe", "since": int(since)})
+        )
+        ack = self._read_frame(timeout)
+        if ack is None:
+            self.close()
+            raise ConnectionError("subscribe handshake timed out")
+        if not ack.get("ok"):
+            self.close()
+            raise ConnectionError(f"subscribe rejected: {ack.get('error')}")
+        #: server revision as of the last frame (handshake to start)
+        self.revision = int(ack.get("revision", 0))
+
+    def _read_frame(self, timeout: Optional[float]) -> Optional[Dict[str, Any]]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                if line.strip():
+                    return wire.decode_message(line)
+                continue
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                ready, _, _ = select.select([self._socket], [], [], remaining)
+                if not ready:
+                    return None
+            chunk = self._socket.recv(65536)
+            if not chunk:
+                raise ConnectionError("subscribe stream closed by server")
+            self._buffer.extend(chunk)
+
+    def poll(self, timeout: Optional[float] = 0.5) -> Optional[JournalChanges]:
+        """The next pushed delta, or None if nothing arrives within
+        *timeout* seconds (None blocks indefinitely)."""
+        frame = self._read_frame(timeout)
+        if frame is None or frame.get("event") != "changes":
+            return None
+        changes = wire.changes_from_dict(frame["changes"])
+        self.revision = changes.revision
+        self.frames_received += 1
+        return changes
+
+    def drain(self, timeout: Optional[float] = 0.5) -> Optional[JournalChanges]:
+        """Collapse every frame currently pending (waiting up to
+        *timeout* for the first) into one merged delta, or None."""
+        merged = self.poll(timeout)
+        if merged is None:
+            return None
+        while True:
+            extra = self.poll(0.0)
+            if extra is None:
+                return merged
+            merged.merge(extra)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteChangeFeed":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -59,6 +59,8 @@ class CorrelationReport:
     notes: List[str] = field(default_factory=list)
     #: "full" or "incremental" — which engine produced this report
     mode: str = "full"
+    #: "poll" (changes_since) or "feed" (pushed subscription deltas)
+    driven_by: str = "poll"
     #: how many interface records the pass actually examined
     interfaces_examined: int = 0
 
@@ -112,15 +114,34 @@ class Correlator:
     last-correlated revision, the interface reverse maps, and the memoised
     per-record subnet cache.  A fresh instance simply performs a full
     rescan on its first :meth:`correlate` call.
+
+    With ``use_feed=True`` the Correlator registers as a Journal
+    change-feed subscriber: every :meth:`~repro.core.journal.Journal.publish`
+    pushes the pending delta here, and :meth:`correlate` consumes the
+    accumulated deltas instead of calling ``changes_since``.  Both paths
+    produce identical Journal state; the feed simply moves delta
+    assembly to the write side and lets the subscription cursor protect
+    the change history from being pruned out from under the Correlator.
     """
 
-    def __init__(self, journal: Journal, *, default_prefix: int = 24) -> None:
+    def __init__(
+        self,
+        journal: Journal,
+        *,
+        default_prefix: int = 24,
+        use_feed: bool = False,
+    ) -> None:
         self.journal = journal
         self.default_prefix = default_prefix
         #: Journal revision covered by the last correlate(); None = never
         self.last_revision: Optional[int] = None
         self.full_passes = 0
         self.incremental_passes = 0
+        #: deltas pushed by the feed, merged, awaiting the next pass
+        self._pending: Optional[JournalChanges] = None
+        #: feed deltas absorbed so far
+        self.feed_deliveries = 0
+        self.subscription = journal.subscribe(self._absorb_changes) if use_feed else None
         #: mac -> record ids holding that MAC *and* an IP (pass 1's input)
         self._by_mac: Dict[str, Set[int]] = {}
         #: ip -> record ids holding that IP (pass 2's input)
@@ -131,6 +152,24 @@ class Correlator:
         #: revision is the invalidation key — the subnet table itself
         #: never feeds the computation, so its revision does not appear
         self._subnet_memo: Dict[int, Tuple[int, Optional[Subnet]]] = {}
+
+    # ------------------------------------------------------------------
+    # Change-feed consumption
+    # ------------------------------------------------------------------
+
+    def _absorb_changes(self, changes: JournalChanges) -> None:
+        """Feed callback: fold the pushed delta into the pending set."""
+        self.feed_deliveries += 1
+        if self._pending is None:
+            self._pending = changes
+        else:
+            self._pending.merge(changes)
+
+    def close(self) -> None:
+        """Detach from the change feed (no-op when polling)."""
+        if self.subscription is not None:
+            self.subscription.close()
+            self.subscription = None
 
     # ------------------------------------------------------------------
     # Helpers
@@ -410,11 +449,25 @@ class Correlator:
         report = CorrelationReport()
         since = self.last_revision
         changes: Optional[JournalChanges] = None
+        if self.subscription is not None:
+            report.driven_by = "feed"
+            # Pull through anything written since the last publish, so
+            # the pending delta covers everything up to this instant.
+            journal.publish()
         if not full and since is not None:
-            changes = journal.changes_since(since)
+            if self.subscription is not None:
+                # The subscription cursor tracked last_revision, so the
+                # merged pushed deltas equal changes_since(since); an
+                # empty pending set means nothing moved.
+                changes = self._pending
+                if changes is None:
+                    changes = JournalChanges(since=since, revision=journal.revision)
+            else:
+                changes = journal.changes_since(since)
             if not changes.complete:
                 changes = None
                 full = True
+        self._pending = None
         if since is None or full:
             report.mode = "full"
             self.full_passes += 1
@@ -449,6 +502,10 @@ class Correlator:
                 report, gateways=self._scope_gateways(journal.changes_since(since))
             )
         self.last_revision = journal.revision
+        if self.subscription is not None:
+            # Skip the echo: the pass's own writes are already reflected
+            # in the indexes, so the feed must not replay them to us.
+            self.subscription.last_revision = journal.revision
         journal.prune_changes(self.last_revision)
         return report
 

@@ -117,7 +117,7 @@ class AgentPoll(ExplorerModule):
             agents_found += 1
             member_ids = []
             for row in interfaces:
-                record = self.report(
+                record = self.report_resolved(
                     result,
                     Observation(
                         source=self.name,

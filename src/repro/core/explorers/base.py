@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional
 from ...netsim.node import Node
 from ...netsim.sim import Simulator
 from ..records import InterfaceRecord, Observation
+from ..sink import BatchingSink
 
 __all__ = ["ExplorerModule", "PassiveExplorerModule", "RunResult", "RUN_OUTCOMES"]
 
@@ -112,7 +113,13 @@ class ExplorerModule(abc.ABC):
 
     def __init__(self, node: Node, journal) -> None:
         self.node = node
-        self.journal = journal
+        # *journal* is any ObservationSink: a Journal, a Local/Remote
+        # client, or a BatchingSink wrapping one.  Observations go
+        # through the sink; queries and gateway/subnet maintenance go to
+        # the underlying client (``self.journal``), which is the sink's
+        # target when the sink buffers.
+        self.sink = journal
+        self.journal = journal.target if isinstance(journal, BatchingSink) else journal
         self.last_result: Optional[RunResult] = None
 
     @property
@@ -127,13 +134,35 @@ class ExplorerModule(abc.ABC):
         return RunResult(module=self.name, started_at=self.sim.now)
 
     def _finish(self, result: RunResult) -> RunResult:
+        take = getattr(self.sink, "take_changes", None)
+        if take is not None:
+            # Buffering sink: drain it so the run's sightings land
+            # before the Discovery Manager correlates, and claim the
+            # changes its flushes produced on this run's behalf.
+            self.sink.flush()
+            result.changes += take()
         result.finished_at = self.sim.now
         self.last_result = result
         return result
 
-    def report(self, result: RunResult, observation: Observation) -> InterfaceRecord:
-        """Send one interface observation to the Journal."""
-        record, changed = self.journal.observe_interface(observation)
+    def report(self, result: RunResult, observation: Observation) -> Optional[InterfaceRecord]:
+        """Send one interface observation through the sink.  A buffering
+        sink settles the outcome at flush time and returns None here;
+        :meth:`_finish` folds those deferred changes into the result."""
+        outcome = self.sink.submit(observation)
+        result.observations += 1
+        if outcome is None:
+            return None
+        record, changed = outcome
+        if changed:
+            result.changes += 1
+        return record
+
+    def report_resolved(self, result: RunResult, observation: Observation) -> InterfaceRecord:
+        """Like :meth:`report`, but synchronous even through a buffering
+        sink (queued observations flush first, preserving order) — for
+        explorers that need the merged record's id."""
+        record, changed = self.sink.resolve(observation)
         result.observations += 1
         if changed:
             result.changes += 1

@@ -303,7 +303,7 @@ class DnsExplorer(ExplorerModule):
             if not is_member and not record_all:
                 if not self.journal.interfaces_by_ip(str(ip)):
                     continue
-            record = self.report(
+            record = self.report_resolved(
                 result,
                 Observation(source=self.name, ip=str(ip), dns_name=names[0]),
             )

@@ -52,7 +52,7 @@ class GdpWatch(PassiveExplorerModule):
         result = self._result
         self._result = None
         for ip, (mac, _priority) in sorted(self._gateways.items()):
-            record = self.report(
+            record = self.report_resolved(
                 result,
                 Observation(
                     source=self.name,

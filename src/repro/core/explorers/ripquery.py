@@ -90,7 +90,7 @@ class RipQuery(ExplorerModule):
         subnets: Set[Subnet] = set()
         mask = Netmask.from_prefix(self.ASSUMED_PREFIX)
         for source, table in sorted(responses.items()):
-            record = self.report(
+            record = self.report_resolved(
                 result,
                 Observation(source=self.name, ip=str(source), rip_source=True),
             )

@@ -421,7 +421,9 @@ class TracerouteModule(ExplorerModule):
             self.report(result, Observation(source=self.name, ip=str(address)))
         interface_records: Dict[Ipv4Address, int] = {}
         for address in sorted(gateway_interfaces):
-            record = self.report(result, Observation(source=self.name, ip=str(address)))
+            record = self.report_resolved(
+                result, Observation(source=self.name, ip=str(address))
+            )
             interface_records[address] = record.record_id
 
         gateways_before = len(self.journal.all_gateways())

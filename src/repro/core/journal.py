@@ -23,6 +23,18 @@ the incremental :class:`~repro.core.correlate.Correlator` call
 :meth:`Journal.changes_since` to see only the delta and
 :meth:`Journal.prune_changes` once a delta is consumed, so correlation
 cost tracks the rate of change rather than the size of the Journal.
+
+Change feed: on top of the pull-style ``changes_since``, consumers can
+:meth:`Journal.subscribe` and have :class:`JournalChanges` deltas
+*pushed* to them whenever :meth:`Journal.publish` runs (the Journal
+Server publishes after every write op; the Discovery Manager before
+every correlation).  Each subscription keeps its own cursor, and
+:meth:`prune_changes` never prunes past the slowest subscriber, so a
+delta is retained until every registered consumer has seen it.
+
+The Journal is also the terminal :class:`~repro.core.sink.ObservationSink`
+of the ingest pipeline: ``submit``/``resolve`` apply an observation
+immediately and ``flush`` publishes the change feed.
 """
 
 from __future__ import annotations
@@ -40,8 +52,9 @@ from .records import (
     Quality,
     SubnetRecord,
 )
+from .sink import DirectSinkMixin, FlushStats
 
-__all__ = ["Journal", "JournalChanges"]
+__all__ = ["Journal", "JournalChanges", "FeedSubscription"]
 
 #: record kinds used by the dirty-set bookkeeping
 _KINDS = ("interface", "gateway", "subnet")
@@ -76,6 +89,75 @@ class JournalChanges:
             or self.deleted_subnets
         )
 
+    def merge(self, other: "JournalChanges") -> "JournalChanges":
+        """Fold a later delta into this one, in place, mirroring what
+        ``changes_since`` would have produced over the combined span: a
+        deletion supersedes any pending touch of the same record (ids
+        are never reused, so the other direction cannot occur)."""
+        self.since = min(self.since, other.since)
+        self.revision = max(self.revision, other.revision)
+        self.complete = self.complete and other.complete
+        for name in ("interfaces", "gateways", "subnets"):
+            getattr(self, name).update(getattr(other, name))
+            getattr(self, "deleted_" + name).update(getattr(other, "deleted_" + name))
+        for name in ("interfaces", "gateways", "subnets"):
+            getattr(self, name).difference_update(getattr(self, "deleted_" + name))
+        return self
+
+class FeedSubscription:
+    """One consumer's cursor into the Journal change feed.
+
+    Push style: pass a callback to :meth:`Journal.subscribe` and it is
+    invoked with a :class:`JournalChanges` delta on every
+    :meth:`Journal.publish` that finds news.  Pull style: omit the
+    callback and call :meth:`poll` whenever convenient.  Either way the
+    subscription's ``last_revision`` cursor is what
+    :meth:`Journal.prune_changes` respects, so an attached consumer can
+    never be handed an incomplete delta.
+    """
+
+    def __init__(
+        self,
+        journal: "Journal",
+        callback: Optional[Callable[[JournalChanges], None]],
+        since: int,
+    ) -> None:
+        self.journal = journal
+        self.callback = callback
+        self.last_revision = since
+        self.deliveries = 0
+        self.closed = False
+
+    @property
+    def pending(self) -> bool:
+        """Has the Journal moved past this subscription's cursor?"""
+        return self.journal.revision > self.last_revision
+
+    def poll(self) -> JournalChanges:
+        """The delta since the cursor; advances the cursor."""
+        changes = self.journal.changes_since(self.last_revision)
+        self.last_revision = changes.revision
+        if not changes.empty():
+            self.deliveries += 1
+            self.journal.feed_deliveries += 1
+        return changes
+
+    def deliver(self) -> bool:
+        """Push the pending delta through the callback, if there is any
+        of either.  Returns True when the callback was invoked."""
+        if self.callback is None or not self.pending:
+            return False
+        changes = self.poll()
+        if changes.empty() and changes.complete:
+            return False
+        self.callback(changes)
+        return True
+
+    def close(self) -> None:
+        self.closed = True
+        self.journal._subscriptions.discard(self)
+
+
 #: identity fields: conflicting values here split records instead of
 #: overwriting (the conflict itself is a finding)
 _IDENTITY_FIELDS = ("ip", "mac")
@@ -95,8 +177,16 @@ def _identity(value: str) -> str:
 _KEY_FUNCS = {"ip": ip_key, "mac": _identity, "dns_name": _identity}
 
 
-class Journal:
-    """In-memory journal with AVL indexes and timestamped records."""
+class Journal(DirectSinkMixin):
+    """In-memory journal with AVL indexes and timestamped records.
+
+    Thread discipline: mutation entry points (``observe_interface``,
+    ``ensure_*``, ``absorb_*``, ``delete_*``, ``publish``) assume the
+    caller holds an exclusive lock when the Journal is shared between
+    threads — the Journal Server's write lock provides it.  Query
+    methods never mutate Journal state, so any number may run
+    concurrently under that server's read lock.
+    """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         #: time source; defaults to a counter so the Journal is usable
@@ -111,6 +201,14 @@ class Journal:
         self.by_subnet: AvlTree[str, int] = AvlTree()
         self.observations_applied = 0
         self.changes_recorded = 0
+        #: ingest-pipeline accounting (see counts())
+        self.observations_submitted = 0
+        self.observations_coalesced = 0
+        self.batches_flushed = 0
+        #: non-empty deltas handed to feed subscribers
+        self.feed_deliveries = 0
+        #: registered change-feed consumers
+        self._subscriptions: Set[FeedSubscription] = set()
         #: monotonically increasing mutation counter
         self.revision: int = 0
         #: per-kind dirty sets: record id -> revision of the last touch,
@@ -187,7 +285,12 @@ class Journal:
 
         After pruning, ``changes_since(r)`` for any ``r < rev`` reports
         ``complete=False`` and the caller must fall back to a full scan.
+        The requested revision is clamped to the slowest open feed
+        subscription, so one consumer draining its delta can never force
+        another into a full resync.
         """
+        for subscription in self._subscriptions:
+            rev = min(rev, subscription.last_revision)
         if rev <= self._pruned_through:
             return
         for table in (self._dirty, self._deleted):
@@ -197,6 +300,69 @@ class Journal:
                 for rid in stale:
                     del entries[rid]
         self._pruned_through = rev
+
+    # ------------------------------------------------------------------
+    # Change feed
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        callback: Optional[Callable[[JournalChanges], None]] = None,
+        *,
+        since: int = 0,
+    ) -> FeedSubscription:
+        """Register a change-feed consumer.
+
+        With a *callback*, :meth:`publish` pushes each pending delta to
+        it; without one, the caller pulls via ``subscription.poll()``.
+        *since* positions the cursor: 0 (the default) replays the whole
+        Journal as the first delta, ``journal.revision`` starts with
+        only future changes.
+        """
+        subscription = FeedSubscription(self, callback, since)
+        self._subscriptions.add(subscription)
+        return subscription
+
+    def publish(self) -> int:
+        """Push pending deltas to every callback subscription.  Returns
+        the number of subscribers that received one.  Called at pipeline
+        delivery points — a sink flush, a server write op, a Discovery
+        Manager correlation — never mid-mutation."""
+        delivered = 0
+        for subscription in list(self._subscriptions):
+            if subscription.deliver():
+                delivered += 1
+        return delivered
+
+    @property
+    def feed_subscribers(self) -> int:
+        return len(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # Ingest sink protocol (terminal ObservationSink of the pipeline)
+    # ------------------------------------------------------------------
+
+    def submit(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
+        self.observations_submitted += 1
+        return self.observe_interface(observation)
+
+    def resolve(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
+        return self.submit(observation)
+
+    def flush(self) -> FlushStats:
+        """Nothing is buffered at the terminal sink; flushing here means
+        making accumulated changes visible to feed subscribers."""
+        self.publish()
+        return FlushStats()
+
+    def note_ingest(
+        self, *, submitted: int = 0, coalesced: int = 0, batches: int = 0
+    ) -> None:
+        """Account for upstream ingest work (a BatchingSink reporting
+        sightings it merged away, a server batch op landing)."""
+        self.observations_submitted += submitted
+        self.observations_coalesced += coalesced
+        self.batches_flushed += batches
 
     # ------------------------------------------------------------------
     # Interface observations
@@ -662,12 +828,17 @@ class Journal:
         self._negative_sweep_at = max(128, 2 * len(self._negative))
 
     def negative_check(self, kind: str, key: str) -> bool:
-        """True if the datum is negatively cached (skip re-discovery)."""
+        """True if the datum is negatively cached (skip re-discovery).
+
+        The lazy eviction uses ``pop(..., None)`` so concurrent checks
+        under the server's *read* lock cannot race each other into a
+        KeyError — this is the one query allowed to drop state, and the
+        drop is idempotent."""
         expiry = self._negative.get((kind, key))
         if expiry is None:
             return False
         if expiry < self.now:
-            del self._negative[(kind, key)]
+            self._negative.pop((kind, key), None)
             return False
         return True
 
@@ -682,6 +853,15 @@ class Journal:
             "subnets": len(self.subnets),
             "revision": self.revision,
             "negative_cache_size": len(self._negative),
+            # Ingest-pipeline counters: benchmarks and tests assert the
+            # batching/coalescing/feed behaviour from these instead of
+            # guessing at it.
+            "observations_submitted": self.observations_submitted,
+            "observations_applied": self.observations_applied,
+            "observations_coalesced": self.observations_coalesced,
+            "batches_flushed": self.batches_flushed,
+            "feed_deliveries": self.feed_deliveries,
+            "feed_subscribers": self.feed_subscribers,
         }
 
     def canonical_state(self) -> Dict[str, object]:

@@ -1,0 +1,82 @@
+"""Locking primitives for the Journal Server.
+
+The paper's Journal Server "serializes updates" — but nothing in the
+design requires serialising *reads* behind them.  The original
+reproduction guarded every request with one mutex, so a dump requested
+by an analysis program stalled every explorer flush (and every other
+dump) behind it.  :class:`ReadWriteLock` lets any number of read-only
+requests proceed concurrently while keeping mutations exclusive.
+
+The lock is write-preferring: once a writer is waiting, new readers
+queue behind it.  Explorer fleets write continuously, so a
+read-preferring lock would starve them whenever dashboards poll.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A classic write-preferring readers/writer lock.
+
+    Not reentrant: a thread holding the write lock must not re-acquire
+    either side (the Journal Server's dispatch acquires exactly once per
+    request, so this never arises there).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- core protocol ---------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers ------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

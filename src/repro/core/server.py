@@ -5,11 +5,21 @@ updates, time-stamps and records the data, and answers queries from
 programs that wish to interrogate the Journal."
 
 A threaded TCP server speaking the newline-delimited JSON protocol of
-:mod:`repro.core.wire`.  All journal mutation happens under one lock —
-the serialisation point.  The server supports the paper's three primary
-requests (Store/Update, Get, Delete) plus gateway/subnet maintenance,
-the negative cache, and a full-journal dump used by analysis programs
-running elsewhere.
+:mod:`repro.core.wire`.  Journal *mutations* are serialised behind the
+write side of a :class:`~repro.core.locks.ReadWriteLock`; read-only
+requests (queries, counts, dumps, ``changes_since``) share the read
+side, so any number of them proceed concurrently instead of queueing
+behind writes and each other.  ``lock_mode="exclusive"`` restores the
+old single-mutex behaviour (the ingest benchmark uses it as the
+baseline).
+
+The server supports the paper's three primary requests (Store/Update,
+Get, Delete) plus gateway/subnet maintenance, the negative cache, a
+full-journal dump, the ``batch`` ingest op the
+:class:`~repro.core.sink.BatchingSink` flushes through, and a streaming
+``subscribe`` op: after the acknowledgement, the connection receives a
+pushed :class:`~repro.core.journal.JournalChanges` frame whenever a
+write op lands — the remote half of the Journal change feed.
 """
 
 from __future__ import annotations
@@ -20,16 +30,48 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from . import wire
 from .journal import Journal
+from .locks import ReadWriteLock
 
 __all__ = ["JournalServer"]
 
+#: ops that never mutate the Journal and therefore share the read lock.
+#: (negative_check may lazily evict an expired entry, but that eviction
+#: is idempotent and race-free — see Journal.negative_check.)
+_READ_OPS = frozenset(
+    {
+        "ping",
+        "counts",
+        "get_interfaces",
+        "get_gateways",
+        "get_subnets",
+        "negative_check",
+        "changes_since",
+        "dump",
+        "save",
+    }
+)
+
 
 class JournalServer:
-    """Socket front-end serialising access to a :class:`Journal`."""
+    """Socket front-end guarding concurrent access to a :class:`Journal`."""
 
-    def __init__(self, journal: Journal, *, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        journal: Journal,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lock_mode: str = "rw",
+    ) -> None:
+        if lock_mode not in ("rw", "exclusive"):
+            raise ValueError(f"unknown lock_mode: {lock_mode!r}")
         self.journal = journal
-        self._lock = threading.Lock()
+        self.lock_mode = lock_mode
+        self._rwlock = ReadWriteLock()
+        #: guards the connection/thread bookkeeping lists
+        self._conn_lock = threading.Lock()
+        #: guards shared counters touched under the read lock
+        self._stats_lock = threading.Lock()
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.2)
         self._threads: List[threading.Thread] = []
@@ -48,7 +90,22 @@ class JournalServer:
     @property
     def live_connections(self) -> int:
         """Connection-handler threads still running."""
-        return sum(1 for t in self._threads if t.is_alive())
+        with self._conn_lock:
+            return sum(1 for t in self._threads if t.is_alive())
+
+    def _reap_connections(self) -> None:
+        """Drop bookkeeping for finished connection threads.  Runs in
+        the accept loop, on stop(), and before status ops — an idle
+        server must not retain its last batch of dead threads/sockets
+        until the *next* client happens to connect."""
+        with self._conn_lock:
+            live = [
+                (t, c)
+                for t, c in zip(self._threads, self._connections)
+                if t.is_alive()
+            ]
+            self._threads = [t for t, _ in live]
+            self._connections = [c for _, c in live]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -70,7 +127,10 @@ class JournalServer:
         # Sever live connections, or their handler threads would keep
         # serving a "stopped" server indefinitely (and the joins below
         # would time out waiting on blocked reads).
-        for connection in self._connections:
+        with self._conn_lock:
+            connections = list(self._connections)
+            threads = list(self._threads)
+        for connection in connections:
             try:
                 connection.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -79,10 +139,11 @@ class JournalServer:
                 connection.close()
             except OSError:
                 pass
-        for thread in self._threads:
+        for thread in threads:
             thread.join(timeout=2.0)
+        self._reap_connections()
         if self.persist_path is not None:
-            with self._lock:
+            with self._rwlock.write_locked():
                 self.journal.save(self.persist_path)
 
     def __enter__(self) -> "JournalServer":
@@ -106,40 +167,59 @@ class JournalServer:
             # Reap finished connection threads; without this a week-long
             # server leaks one Thread object (and socket) per connection
             # ever made.
-            live = [
-                (t, c)
-                for t, c in zip(self._threads, self._connections)
-                if t.is_alive()
-            ]
-            self._threads = [t for t, _ in live]
-            self._connections = [c for _, c in live]
+            self._reap_connections()
             thread = threading.Thread(
                 target=self._serve_connection,
                 args=(connection,),
                 name="journal-server-conn",
                 daemon=True,
             )
+            with self._conn_lock:
+                self._threads.append(thread)
+                self._connections.append(connection)
             thread.start()
-            self._threads.append(thread)
-            self._connections.append(connection)
 
     def _serve_connection(self, connection: socket.socket) -> None:
-        with connection:
-            reader = connection.makefile("rb")
-            for line in reader:
-                if not line.strip():
-                    continue
-                try:
-                    request = wire.decode_message(line)
-                    response = self._dispatch(request)
-                except wire.WireError as error:
-                    response = {"ok": False, "error": str(error)}
-                except Exception as error:  # defensive: report, keep serving
-                    response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
-                try:
-                    connection.sendall(wire.encode_message(response))
-                except OSError:
-                    break
+        # Feed pushes arrive from *other* connections' writer threads,
+        # so every send on this socket shares one lock with them.
+        send_lock = threading.Lock()
+        subscription = None
+        try:
+            with connection:
+                reader = connection.makefile("rb")
+                for line in reader:
+                    if not line.strip():
+                        continue
+                    try:
+                        request = wire.decode_message(line)
+                        if request.get("op") == "subscribe":
+                            response, subscription = self._handle_subscribe(
+                                request, connection, send_lock, subscription
+                            )
+                        else:
+                            response = self._dispatch(request)
+                    except wire.WireError as error:
+                        response = {"ok": False, "error": str(error)}
+                    except Exception as error:  # defensive: report, keep serving
+                        response = {
+                            "ok": False,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                    try:
+                        with send_lock:
+                            connection.sendall(wire.encode_message(response))
+                    except OSError:
+                        break
+                    if subscription is not None:
+                        # Ack sent; deliver the backlog before any new
+                        # write publishes, so the subscriber starts from
+                        # a delta it can actually apply.
+                        with self._rwlock.write_locked():
+                            subscription.deliver()
+        finally:
+            if subscription is not None:
+                with self._rwlock.write_locked():
+                    subscription.close()
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -150,18 +230,64 @@ class JournalServer:
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise wire.WireError(f"unknown op: {op!r}")
-        with self._lock:
+        if self.lock_mode == "rw" and op in _READ_OPS:
+            with self._rwlock.read_locked():
+                with self._stats_lock:
+                    self.requests_served += 1
+                return handler(request)
+        with self._rwlock.write_locked():
             self.requests_served += 1
-            return handler(request)
+            response = handler(request)
+            # Delivery point: a completed write op publishes the change
+            # feed to streaming subscribers while state is consistent.
+            if op not in _READ_OPS:
+                self.journal.publish()
+            return response
+
+    def _handle_subscribe(
+        self,
+        request: Dict[str, Any],
+        connection: socket.socket,
+        send_lock: threading.Lock,
+        existing,
+    ) -> Tuple[Dict[str, Any], Any]:
+        """Turn this connection into a change-feed stream.  The reply
+        acknowledges with the current revision; every subsequent write
+        op pushes a ``{"event": "changes", ...}`` frame."""
+        if existing is not None:
+            return {"ok": False, "error": "already subscribed"}, existing
+
+        def push(changes) -> None:
+            frame = {
+                "ok": True,
+                "event": "changes",
+                "changes": wire.changes_to_dict(changes),
+            }
+            try:
+                with send_lock:
+                    connection.sendall(wire.encode_message(frame))
+            except OSError:
+                # Dead subscriber: unhook so one lost connection cannot
+                # wedge every future publish.
+                subscription.close()
+
+        with self._rwlock.write_locked():
+            self.requests_served += 1
+            subscription = self.journal.subscribe(
+                push, since=int(request.get("since", 0))
+            )
+            revision = self.journal.revision
+        return {"ok": True, "revision": revision}, subscription
 
     def _op_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Apply several requests in one round trip — the replay path a
-        reconnecting client uses to flush observations buffered during
-        an outage.  Per-item failures are reported in place; the batch
-        itself still succeeds, so one malformed entry cannot wedge the
-        client's replay buffer forever."""
+        """Apply several requests in one round trip — the BatchingSink's
+        flush path, and the replay path a reconnecting client uses to
+        drain observations buffered during an outage.  Per-item failures
+        are reported in place; the batch itself still succeeds, so one
+        malformed entry cannot wedge the client's buffer forever."""
         responses: List[Dict[str, Any]] = []
-        for sub_request in request.get("requests", []):
+        requests = request.get("requests", [])
+        for sub_request in requests:
             op = sub_request.get("op") if isinstance(sub_request, dict) else None
             handler = None if op in (None, "batch") else getattr(self, f"_op_{op}", None)
             if handler is None:
@@ -175,9 +301,16 @@ class JournalServer:
                 responses.append(
                     {"ok": False, "error": f"{type(error).__name__}: {error}"}
                 )
+        coalesced = int(request.get("coalesced", 0))
+        # Coalesced sightings were submitted client-side but never sent;
+        # count them so the pipeline counters reflect true ingest volume.
+        self.journal.note_ingest(
+            submitted=coalesced, coalesced=coalesced, batches=1 if requests else 0
+        )
         return {"ok": True, "responses": responses}
 
     def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._reap_connections()
         return {
             "ok": True,
             "counts": self.journal.counts(),
@@ -186,7 +319,7 @@ class JournalServer:
 
     def _op_observe(self, request: Dict[str, Any]) -> Dict[str, Any]:
         observation = wire.observation_from_dict(request.get("observation", {}))
-        record, changed = self.journal.observe_interface(observation)
+        record, changed = self.journal.submit(observation)
         return {
             "ok": True,
             "changed": changed,
@@ -294,7 +427,17 @@ class JournalServer:
     def _op_counts(self, request: Dict[str, Any]) -> Dict[str, Any]:
         # counts() carries the journal revision, so remote clients can
         # cheaply poll "did anything change since revision N?"
+        self._reap_connections()
         return {"ok": True, "counts": self.journal.counts()}
+
+    def _op_changes_since(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Polling fallback for the change feed: the delta between a
+        client-held revision and now (complete=False means the window
+        was pruned and the client must rescan)."""
+        if "since" not in request:
+            raise wire.WireError("changes_since requires 'since'")
+        changes = self.journal.changes_since(int(request["since"]))
+        return {"ok": True, "changes": wire.changes_to_dict(changes)}
 
     def _op_negative_put(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self.journal.negative_put(request["kind"], request["key"], ttl=request["ttl"])

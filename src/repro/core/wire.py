@@ -24,6 +24,8 @@ __all__ = [
     "attribute_to_dict",
     "attribute_from_dict",
     "batch_request",
+    "changes_to_dict",
+    "changes_from_dict",
     "run_ledger_to_dict",
     "interface_to_dict",
     "interface_from_dict",
@@ -230,9 +232,60 @@ def run_ledger_to_dict(
 # ----------------------------------------------------------------------
 
 
-def batch_request(requests: List[Dict[str, Any]]) -> Dict[str, Any]:
-    """Envelope replaying several buffered requests in one round trip."""
-    return {"op": "batch", "requests": list(requests)}
+def batch_request(
+    requests: List[Dict[str, Any]], *, coalesced: int = 0
+) -> Dict[str, Any]:
+    """Envelope applying several requests in one round trip — the
+    BatchingSink's flush path and the outage-replay path both use it.
+    *coalesced* reports sightings the client merged away before sending,
+    so the server-side pipeline counters stay truthful."""
+    request: Dict[str, Any] = {"op": "batch", "requests": list(requests)}
+    if coalesced:
+        request["coalesced"] = coalesced
+    return request
+
+
+# ----------------------------------------------------------------------
+# Change-feed deltas
+# ----------------------------------------------------------------------
+
+_CHANGE_SETS = (
+    "interfaces",
+    "gateways",
+    "subnets",
+    "deleted_interfaces",
+    "deleted_gateways",
+    "deleted_subnets",
+)
+
+
+def changes_to_dict(changes) -> Dict[str, Any]:
+    """Wire form of a JournalChanges delta (subscribe stream frames and
+    the changes_since op both carry it)."""
+    data: Dict[str, Any] = {
+        "since": changes.since,
+        "revision": changes.revision,
+        "complete": changes.complete,
+    }
+    for name in _CHANGE_SETS:
+        data[name] = sorted(getattr(changes, name))
+    return data
+
+
+def changes_from_dict(data: Dict[str, Any]):
+    from .journal import JournalChanges
+
+    try:
+        changes = JournalChanges(
+            since=data["since"],
+            revision=data["revision"],
+            complete=bool(data.get("complete", True)),
+        )
+    except KeyError as missing:
+        raise WireError(f"changes delta missing field {missing}") from None
+    for name in _CHANGE_SETS:
+        getattr(changes, name).update(data.get(name, []))
+    return changes
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +297,15 @@ def journal_to_dict(journal) -> Dict[str, Any]:
     return {
         "format": "fremont-journal-1",
         "revision": journal.revision,
+        # Pipeline counters survive restarts (and ride along in dumps,
+        # so a snapshot's counts() matches the server's).
+        "ingest": {
+            "submitted": journal.observations_submitted,
+            "applied": journal.observations_applied,
+            "coalesced": journal.observations_coalesced,
+            "batches": journal.batches_flushed,
+            "feed_deliveries": journal.feed_deliveries,
+        },
         "interfaces": [interface_to_dict(r) for r in journal.all_interfaces()],
         "gateways": [gateway_to_dict(r) for r in journal.all_gateways()],
         "subnets": [subnet_to_dict(r) for r in journal.all_subnets()],
@@ -280,6 +342,12 @@ def journal_from_dict(data: Dict[str, Any], clock: Optional[Callable[[], float]]
         if record.subnet is not None:
             journal.by_subnet.insert(record.subnet, record.record_id)
     journal.revision = int(data.get("revision", 0))
+    ingest = data.get("ingest", {})
+    journal.observations_submitted = int(ingest.get("submitted", 0))
+    journal.observations_applied = int(ingest.get("applied", 0))
+    journal.observations_coalesced = int(ingest.get("coalesced", 0))
+    journal.batches_flushed = int(ingest.get("batches", 0))
+    journal.feed_deliveries = int(ingest.get("feed_deliveries", 0))
     journal._negative = {
         (kind, key): expiry for kind, key, expiry in data.get("negative", [])
     }

@@ -1,0 +1,123 @@
+"""Property: batched/coalesced ingest is invisible to Journal state.
+
+A randomized observation stream applied one-by-one must produce exactly
+the same canonical Journal state as the same stream pushed through a
+BatchingSink (any batch size), because the sink only merges *adjacent*
+same-key sightings and never reorders.  The Journal's record matching
+is stateful, so this is the property that licenses batching at all.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BatchingSink, Journal, JournalServer, LocalJournal, RemoteJournal
+from repro.core.records import Observation
+
+_SOURCES = ("ARPwatch", "EHP", "DNS")
+_IPS = tuple(f"10.0.{subnet}.{host}" for subnet in (0, 1) for host in (1, 2, 3))
+_MACS = tuple(f"aa:00:00:00:00:{index:02x}" for index in range(4))
+_NAMES = ("ada.test", "lovelace.test")
+_MASKS = ("255.255.255.0", "255.255.255.192")
+
+
+observations = st.builds(
+    Observation,
+    source=st.sampled_from(_SOURCES),
+    ip=st.none() | st.sampled_from(_IPS),
+    mac=st.none() | st.sampled_from(_MACS),
+    dns_name=st.none() | st.sampled_from(_NAMES),
+    subnet_mask=st.none() | st.sampled_from(_MASKS),
+    quality=st.sampled_from(("good", "poor")),
+)
+
+streams = st.lists(observations, min_size=0, max_size=60)
+
+
+def _ingest_direct(stream):
+    journal = Journal()
+    for observation in stream:
+        journal.submit(observation)
+    return journal
+
+
+def _ingest_batched(stream, max_batch):
+    journal = Journal()
+    sink = BatchingSink(LocalJournal(journal), max_batch=max_batch)
+    for observation in stream:
+        sink.submit(observation)
+    sink.close()
+    return journal, sink
+
+
+class TestBatchedEqualsUnbatched:
+    @settings(max_examples=60, deadline=None)
+    @given(stream=streams, max_batch=st.sampled_from((1, 3, 7, 64)))
+    def test_canonical_state_identical(self, stream, max_batch):
+        direct = _ingest_direct(stream)
+        batched, _sink = _ingest_batched(stream, max_batch)
+        assert direct.canonical_state() == batched.canonical_state()
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=streams, max_batch=st.sampled_from((2, 16)))
+    def test_counter_identity_holds(self, stream, max_batch):
+        batched, sink = _ingest_batched(stream, max_batch)
+        counts = batched.counts()
+        assert counts["observations_submitted"] == len(stream)
+        assert (
+            counts["observations_submitted"]
+            == counts["observations_applied"] + counts["observations_coalesced"]
+        )
+        assert sink.submitted == len(stream)
+        assert sink.coalesced == counts["observations_coalesced"]
+
+
+class TestRemoteBatchedEquivalence:
+    def test_batched_remote_matches_direct_local(self):
+        # A fixed adversarial stream: repeated keys, interleaved
+        # identities, dns-only sightings, and field refreshes.
+        stream = [
+            Observation(source="EHP", ip="10.0.0.1", mac=_MACS[0]),
+            Observation(source="EHP", ip="10.0.0.1", mac=_MACS[0], vendor="Sun"),
+            Observation(source="DNS", dns_name="ada.test"),
+            Observation(source="DNS", dns_name="ada.test"),
+            Observation(source="ARPwatch", ip="10.0.0.2", mac=_MACS[1]),
+            Observation(source="EHP", ip="10.0.0.1", mac=_MACS[0]),
+            Observation(source="DNS", ip="10.0.0.2", dns_name="ada.test"),
+            Observation(source="EHP", ip="10.0.1.1", mac=_MACS[0],
+                        subnet_mask="255.255.255.0"),
+        ]
+        direct = _ingest_direct(stream)
+
+        remote_journal = Journal()
+        server = JournalServer(remote_journal)
+        server.start()
+        try:
+            host, port = server.address
+            with RemoteJournal(host, port) as client:
+                sink = BatchingSink(client, max_batch=3)
+                for observation in stream:
+                    sink.submit(observation)
+                sink.close()
+        finally:
+            server.stop()
+
+        assert direct.canonical_state() == remote_journal.canonical_state()
+        counts = remote_journal.counts()
+        assert counts["observations_submitted"] == len(stream)
+        assert (
+            counts["observations_submitted"]
+            == counts["observations_applied"] + counts["observations_coalesced"]
+        )
+        assert counts["batches_flushed"] >= 2  # max_batch forced splits
+
+    @pytest.mark.parametrize("max_batch", [1, 5])
+    def test_batch_size_does_not_leak_into_state(self, max_batch):
+        stream = [
+            Observation(source="EHP", ip=_IPS[i % len(_IPS)],
+                        mac=_MACS[i % len(_MACS)])
+            for i in range(20)
+        ]
+        a, _ = _ingest_batched(stream, max_batch)
+        b, _ = _ingest_batched(stream, 64)
+        assert a.canonical_state() == b.canonical_state()

@@ -6,7 +6,13 @@ Explorer Modules -> Journal (local and via the socket Journal Server)
 
 import pytest
 
-from repro.core import Journal, JournalServer, LocalJournal, RemoteJournal
+from repro.core import (
+    BatchingSink,
+    Journal,
+    JournalServer,
+    LocalJournal,
+    RemoteJournal,
+)
 from repro.core.analysis import run_all_analyses
 from repro.core.correlate import Correlator
 from repro.core.explorers import (
@@ -156,6 +162,50 @@ class TestManagerDrivenCampaign:
         ]
         assert members
         assert (tmp_path / "history.json").exists()
+
+
+class TestFeedDrivenPipeline:
+    def _campaign(self, *, use_feed, batch=False):
+        campus = build_campus(SMALL_PROFILE)
+        journal = Journal(clock=lambda: campus.sim.now)
+        client = LocalJournal(journal)
+        sink = BatchingSink(client, max_batch=32) if batch else client
+        campus.network.start_rip()
+        campus.set_cs_uptime(1.0)
+        correlator = Correlator(journal, use_feed=use_feed)
+        reports = []
+        for module, directive in (
+            (RipWatch(campus.monitor, sink), {"duration": 65.0}),
+            (EtherHostProbe(campus.cs_monitor, sink), {}),
+            (SubnetMaskModule(campus.cs_monitor, sink), {}),
+            (TracerouteModule(campus.monitor, sink), {}),
+        ):
+            module.run(**directive)
+            reports.append(correlator.correlate())
+        correlator.close()
+        return journal, reports
+
+    def test_feed_driven_correlation_matches_polling(self):
+        polled_journal, polled_reports = self._campaign(use_feed=False)
+        fed_journal, fed_reports = self._campaign(use_feed=True)
+        assert polled_journal.canonical_state() == fed_journal.canonical_state()
+        assert {r.driven_by for r in polled_reports} == {"poll"}
+        assert {r.driven_by for r in fed_reports} == {"feed"}
+        # Both engines degrade to full only on the cold start.
+        assert [r.mode for r in fed_reports] == [r.mode for r in polled_reports]
+
+    def test_batched_ingest_through_full_campaign(self):
+        direct_journal, _ = self._campaign(use_feed=False)
+        batched_journal, _ = self._campaign(use_feed=True, batch=True)
+        assert (
+            direct_journal.canonical_state() == batched_journal.canonical_state()
+        )
+        counts = batched_journal.counts()
+        assert counts["batches_flushed"] > 0
+        assert (
+            counts["observations_submitted"]
+            == counts["observations_applied"] + counts["observations_coalesced"]
+        )
 
 
 class TestProblemDetectionEndToEnd:
