@@ -1,0 +1,245 @@
+"""Perf benchmark: the Journal durability layer.
+
+Durability is bought with I/O, and the bill depends on the fsync
+policy.  This harness measures both sides of the ledger:
+
+* **Ingest overhead per fsync policy** — an identical observation
+  stream is ingested into a bare in-memory Journal (baseline) and into
+  WAL-attached Journals under ``never``, ``interval``, and ``always``
+  fsync.  Observations/sec and the overhead ratio vs baseline are
+  reported for each; ``always`` is expected to be much slower — that is
+  the price of losing nothing — while ``never``/``interval`` should
+  stay within a small factor of baseline.
+
+* **Recovery time vs journal size** — WAL-only recovery (replay every
+  record) and checkpoint+tail recovery (load snapshot, replay a short
+  tail) are timed at increasing journal sizes.  Checkpoints exist
+  precisely to keep restart time bounded as a campaign grows, and the
+  numbers show it.
+
+Every recovered Journal is checked for canonical equivalence against
+the in-memory reference — a benchmark that recovered the wrong state
+measures nothing.  Results land in ``BENCH_durability.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_durability.py
+    PYTHONPATH=src python benchmarks/bench_perf_durability.py --quick
+    PYTHONPATH=src python benchmarks/bench_perf_durability.py --check
+
+(Not a pytest module: run it directly.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro.core import Journal, JournalStore
+from repro.core.records import Observation
+
+SOURCE = "bench"
+
+
+def build_stream(hosts: int, repeats: int) -> List[Observation]:
+    """Deterministic stream with the redundancy of real watchers."""
+    stream: List[Observation] = []
+    for index in range(hosts):
+        ip = f"10.{index // 2500}.{(index // 10) % 250}.{index % 250 + 1}"
+        mac = "08:00:20:{:02x}:{:02x}:{:02x}".format(
+            (index >> 16) & 0xFF, (index >> 8) & 0xFF, index & 0xFF
+        )
+        for repeat in range(repeats):
+            stream.append(
+                Observation(
+                    source=SOURCE,
+                    ip=ip,
+                    mac=mac,
+                    subnet_mask="255.255.255.0" if repeat else None,
+                )
+            )
+    return stream
+
+
+def _ingest(journal: Journal, stream: List[Observation]) -> float:
+    started = time.perf_counter()
+    for observation in stream:
+        journal.submit(observation)
+    return time.perf_counter() - started
+
+
+def bench_ingest_policies(
+    stream: List[Observation], *, trials: int
+) -> Dict[str, object]:
+    print(f"ingest throughput per fsync policy ({len(stream)} observations, "
+          f"best of {trials} trials):")
+    results: Dict[str, object] = {}
+    reference = None
+    for policy in ("baseline", "never", "interval", "always"):
+        best = None
+        for _ in range(trials):
+            workdir = tempfile.mkdtemp(prefix="bench-durability-")
+            try:
+                if policy == "baseline":
+                    journal = Journal()
+                    store = None
+                else:
+                    # Thresholds off: this measures pure WAL overhead,
+                    # not checkpoint scheduling.
+                    store = JournalStore(
+                        workdir, fsync=policy, checkpoint_ops=None,
+                        checkpoint_bytes=None, checkpoint_age=None,
+                    )
+                    journal = store.recover()
+                elapsed = _ingest(journal, stream)
+                if store is not None:
+                    store.close(checkpoint=False)
+            finally:
+                shutil.rmtree(workdir, ignore_errors=True)
+            best = elapsed if best is None else min(best, elapsed)
+        if policy == "baseline":
+            reference = journal.canonical_state()
+        rate = len(stream) / best if best > 0 else float("inf")
+        results[policy] = {
+            "seconds": round(best, 6),
+            "obs_per_sec": round(rate, 1),
+            "equivalent_state": journal.canonical_state() == reference,
+        }
+        print(f"  {policy:<10} {len(stream):>6} obs in {best * 1e3:8.1f} ms "
+              f"= {rate:9.0f} obs/s")
+    base_rate = results["baseline"]["obs_per_sec"]
+    for policy in ("never", "interval", "always"):
+        rate = results[policy]["obs_per_sec"]
+        results[policy]["overhead_vs_baseline"] = (
+            round(base_rate / rate, 2) if rate else None
+        )
+    print("  overhead vs baseline: " + ", ".join(
+        f"{p}={results[p]['overhead_vs_baseline']}x"
+        for p in ("never", "interval", "always")
+    ))
+    return results
+
+
+def bench_recovery(sizes: List[int], *, repeats: int) -> List[Dict[str, object]]:
+    print(f"recovery time vs journal size (sizes {sizes}):")
+    rows: List[Dict[str, object]] = []
+    for hosts in sizes:
+        stream = build_stream(hosts, repeats)
+        row: Dict[str, object] = {"hosts": hosts, "observations": len(stream)}
+        for variant in ("wal_only", "checkpoint_tail"):
+            workdir = tempfile.mkdtemp(prefix="bench-recovery-")
+            try:
+                store = JournalStore(
+                    workdir, fsync="never", checkpoint_ops=None,
+                    checkpoint_bytes=None, checkpoint_age=None,
+                )
+                journal = store.recover()
+                if variant == "checkpoint_tail":
+                    # Bulk of the stream in the snapshot, short tail in
+                    # the WAL — the steady state a policy-driven server
+                    # converges to.
+                    split = max(1, len(stream) - len(stream) // 20)
+                    _ingest(journal, stream[:split])
+                    store.checkpoint()
+                    _ingest(journal, stream[split:])
+                else:
+                    _ingest(journal, stream)
+                reference = journal.canonical_state()
+                store.close(checkpoint=False)
+
+                recovery_store = JournalStore(workdir)
+                started = time.perf_counter()
+                recovered = recovery_store.recover()
+                elapsed = time.perf_counter() - started
+                equivalent = recovered.canonical_state() == reference
+                recovery_store.close(checkpoint=False)
+            finally:
+                shutil.rmtree(workdir, ignore_errors=True)
+            row[variant] = {
+                "seconds": round(elapsed, 6),
+                "equivalent_state": equivalent,
+            }
+            print(f"  {hosts:>6} hosts  {variant:<16} "
+                  f"{elapsed * 1e3:8.1f} ms (equivalent={equivalent})")
+        rows.append(row)
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small run for CI smoke testing",
+    )
+    parser.add_argument("--hosts", type=int, default=500)
+    parser.add_argument("--repeats", type=int, default=4,
+                        help="consecutive sightings per host")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="ingest repetitions; the best rate is kept")
+    parser.add_argument(
+        "--recovery-sizes", type=int, nargs="+", default=[200, 1000, 3000],
+        help="journal sizes (hosts) for the recovery timing",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless every recovered/WAL-attached journal is "
+        "canonically equivalent and recovery stays under 60s",
+    )
+    parser.add_argument("--output", default="BENCH_durability.json",
+                        help="result file path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.hosts = min(args.hosts, 120)
+        args.trials = min(args.trials, 2)
+        args.recovery_sizes = [min(size, 400) for size in args.recovery_sizes[:2]]
+
+    result: Dict[str, object] = {
+        "benchmark": "journal durability layer",
+        "stream": {"hosts": args.hosts, "repeats": args.repeats},
+        "quick": args.quick,
+    }
+    stream = build_stream(args.hosts, args.repeats)
+    result["ingest"] = bench_ingest_policies(stream, trials=args.trials)
+    result["recovery"] = bench_recovery(args.recovery_sizes, repeats=args.repeats)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    equivalent = all(
+        result["ingest"][policy]["equivalent_state"]
+        for policy in ("baseline", "never", "interval", "always")
+    ) and all(
+        row[variant]["equivalent_state"]
+        for row in result["recovery"]
+        for variant in ("wal_only", "checkpoint_tail")
+    )
+    if not equivalent:
+        raise SystemExit("FAIL: a durable/recovered journal diverged")
+    if args.check:
+        # Loose floors: catch pathologies, not machine-speed variance.
+        never_overhead = result["ingest"]["never"]["overhead_vs_baseline"]
+        if never_overhead is None or never_overhead > 25.0:
+            raise SystemExit(
+                f"FAIL: fsync=never WAL overhead {never_overhead}x vs "
+                "baseline — logging itself is pathologically slow"
+            )
+        slowest = max(
+            row[variant]["seconds"]
+            for row in result["recovery"]
+            for variant in ("wal_only", "checkpoint_tail")
+        )
+        if slowest > 60.0:
+            raise SystemExit(f"FAIL: recovery took {slowest:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -200,7 +200,24 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    journal = Journal.load(args.journal) if args.journal else Journal(clock=time.time)
+    store = None
+    if args.durable:
+        from repro.core import JournalStore
+
+        store = JournalStore(args.durable, fsync=args.fsync)
+        journal = store.recover(clock=time.time)
+        report = store.last_recovery
+        print(
+            f"recovered {report.recovered_records} WAL record(s)"
+            + (" from checkpoint" if report.checkpoint_loaded else "")
+            + (f"; quarantined {report.quarantined}" if report.quarantined else "")
+        )
+    elif args.journal:
+        # A corrupt file is a logged warning + empty journal, not a
+        # refusal to start.
+        journal = Journal.load_or_empty(args.journal, clock=time.time)
+    else:
+        journal = Journal(clock=time.time)
     server = JournalServer(journal, host=args.host, port=args.port)
     server.persist_path = args.persist
     server.start()
@@ -213,6 +230,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -291,6 +310,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=3856)
     serve.add_argument("--journal", default=None, help="load this journal at start")
     serve.add_argument("--persist", default=None, help="save here on shutdown")
+    serve.add_argument(
+        "--durable", default=None, metavar="DIR",
+        help="durability directory: recover from (and WAL+checkpoint into) "
+        "this directory; takes precedence over --journal",
+    )
+    serve.add_argument(
+        "--fsync", default="interval", choices=["always", "interval", "never"],
+        help="WAL fsync policy for --durable (default: %(default)s)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     return parser

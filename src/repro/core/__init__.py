@@ -4,8 +4,14 @@ Manager, cross-correlation, analysis, and presentation."""
 from .avl import AvlTree
 from .client import LocalJournal, RemoteChangeFeed, RemoteJournal
 from .correlate import Correlator
+from .durability import JournalStore, RecoveryReport
 from .inquiry import NetworkPicture
-from .journal import FeedSubscription, Journal, JournalChanges
+from .journal import (
+    FeedSubscription,
+    Journal,
+    JournalChanges,
+    JournalCorruptError,
+)
 from .locks import ReadWriteLock
 from .manager import DiscoveryManager
 from .records import (
@@ -32,14 +38,17 @@ __all__ = [
     "InterfaceRecord",
     "Journal",
     "JournalChanges",
+    "JournalCorruptError",
     "JournalReplicator",
     "JournalServer",
+    "JournalStore",
     "LocalJournal",
     "NetworkPicture",
     "Observation",
     "ObservationSink",
     "Quality",
     "ReadWriteLock",
+    "RecoveryReport",
     "RemoteChangeFeed",
     "RemoteJournal",
     "SubnetRecord",

@@ -35,11 +35,18 @@ delta is retained until every registered consumer has seen it.
 The Journal is also the terminal :class:`~repro.core.sink.ObservationSink`
 of the ingest pipeline: ``submit``/``resolve`` apply an observation
 immediately and ``flush`` publishes the change feed.
+
+Durability: attaching a :class:`~repro.core.durability.JournalStore`
+(``journal.durability``) makes every applied observation and
+negative-cache put append to a write-ahead log as part of the mutation,
+and ``flush`` becomes a WAL sync point.  The Journal itself stays
+storage-agnostic — the hooks are two one-line calls.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
@@ -54,7 +61,32 @@ from .records import (
 )
 from .sink import DirectSinkMixin, FlushStats
 
-__all__ = ["Journal", "JournalChanges", "FeedSubscription"]
+__all__ = [
+    "Journal",
+    "JournalChanges",
+    "JournalCorruptError",
+    "FeedSubscription",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class JournalCorruptError(Exception):
+    """A persisted journal file failed to parse or validate.
+
+    Carries the offending ``path`` and, when the damage is a JSON
+    syntax error (the signature of a torn write), the byte ``position``
+    at which parsing stopped.
+    """
+
+    def __init__(
+        self, path: str, reason: str, position: Optional[int] = None
+    ) -> None:
+        self.path = path
+        self.reason = reason
+        self.position = position
+        where = f" at byte {position}" if position is not None else ""
+        super().__init__(f"corrupt journal file {path!r}{where}: {reason}")
 
 #: record kinds used by the dirty-set bookkeeping
 _KINDS = ("interface", "gateway", "subnet")
@@ -225,6 +257,16 @@ class Journal(DirectSinkMixin):
         #: sweep the negative cache when it grows past this
         self._negative_sweep_at: int = 128
         self.negative_evictions = 0
+        #: attached durability layer (a JournalStore), or None for a
+        #: purely in-memory Journal
+        self.durability = None
+        #: durability accounting (see counts()); incremented by the
+        #: attached store and restored from snapshots by the wire codec
+        self.wal_appends = 0
+        self.wal_bytes = 0
+        self.checkpoints_written = 0
+        self.recovered_records = 0
+        self.torn_tail_dropped = 0
 
     # ------------------------------------------------------------------
     # Time
@@ -351,8 +393,12 @@ class Journal(DirectSinkMixin):
 
     def flush(self) -> FlushStats:
         """Nothing is buffered at the terminal sink; flushing here means
-        making accumulated changes visible to feed subscribers."""
+        making accumulated changes visible to feed subscribers — and,
+        with a durability layer attached, forcing the WAL to disk (a
+        batch boundary is a natural durability point)."""
         self.publish()
+        if self.durability is not None:
+            self.durability.sync()
         return FlushStats()
 
     def note_ingest(
@@ -368,10 +414,18 @@ class Journal(DirectSinkMixin):
     # Interface observations
     # ------------------------------------------------------------------
 
-    def observe_interface(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
-        """Merge one sighting.  Returns (record, anything_changed)."""
-        now = self.now
+    def observe_interface(
+        self, observation: Observation, *, at: Optional[float] = None
+    ) -> Tuple[InterfaceRecord, bool]:
+        """Merge one sighting.  Returns (record, anything_changed).
+
+        *at* overrides the timestamp the sighting is applied with; WAL
+        replay uses it to reproduce the original ingest times instead of
+        stamping the recovery clock's."""
+        now = self.now if at is None else at
         self.observations_applied += 1
+        if self.durability is not None:
+            self.durability.log_observation(observation, at=now)
         record = self._match_record(observation)
         created = record is None
         if record is None:
@@ -814,6 +868,10 @@ class Journal(DirectSinkMixin):
         """Remember that *key* of *kind* is known unavailable until now+ttl."""
         now = self.now
         self._negative[(kind, key)] = now + ttl
+        if self.durability is not None:
+            # Log the absolute expiry, not the TTL, so replay does not
+            # restart the clock on stale negatives.
+            self.durability.log_negative(kind, key, expiry=now + ttl)
         if len(self._negative) >= self._negative_sweep_at:
             self._prune_negative(now)
 
@@ -862,6 +920,13 @@ class Journal(DirectSinkMixin):
             "batches_flushed": self.batches_flushed,
             "feed_deliveries": self.feed_deliveries,
             "feed_subscribers": self.feed_subscribers,
+            # Durability counters: zero unless a JournalStore is (or
+            # was, for recovered_records) attached.
+            "wal_appends": self.wal_appends,
+            "wal_bytes": self.wal_bytes,
+            "checkpoints_written": self.checkpoints_written,
+            "recovered_records": self.recovered_records,
+            "torn_tail_dropped": self.torn_tail_dropped,
         }
 
     def canonical_state(self) -> Dict[str, object]:
@@ -935,14 +1000,44 @@ class Journal(DirectSinkMixin):
 
     def save(self, path: str) -> None:
         """Write the journal to disk (the Journal Server does this
-        "periodically and at termination")."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+        "periodically and at termination").  The write is atomic — temp
+        file + ``os.replace`` — so a crash mid-save leaves the previous
+        file intact instead of a torn one."""
+        from .durability import atomic_write_json
+
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: str, clock: Optional[Callable[[], float]] = None) -> "Journal":
+        """Load a saved journal.  Raises :class:`JournalCorruptError`
+        (with the path and, for syntax damage, the parse position) when
+        the file is truncated or corrupt."""
+        from . import wire
+
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(json.load(handle), clock=clock)
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise JournalCorruptError(path, error.msg, error.pos) from error
+        try:
+            return cls.from_dict(data, clock=clock)
+        except (wire.WireError, KeyError, TypeError, ValueError) as error:
+            raise JournalCorruptError(path, str(error)) from error
+
+    @classmethod
+    def load_or_empty(
+        cls, path: str, clock: Optional[Callable[[], float]] = None
+    ) -> "Journal":
+        """Load *path* if it exists and is valid; otherwise start empty.
+        A corrupt file is a logged warning, not a startup failure — a
+        server with an empty journal beats no server at all."""
+        try:
+            return cls.load(path, clock=clock)
+        except FileNotFoundError:
+            return cls(clock=clock)
+        except JournalCorruptError as error:
+            logger.warning("starting with an empty journal: %s", error)
+            return cls(clock=clock)
 
 
 class _StepClock:

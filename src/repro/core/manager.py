@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..netsim.sim import Simulator
 from . import wire
 from .correlate import Correlator
+from .durability import atomic_write_json
 from .explorers.base import ExplorerModule, RunResult
 
 __all__ = ["DiscoveryManager", "ModuleEntry", "DEFAULT_INTERVALS"]
@@ -62,7 +63,9 @@ DEFAULT_INTERVALS: Dict[str, Tuple[float, float]] = {
     "AgentPoll": (_DAY, 2 * _WEEK),
 }
 
-#: how much run history the startup/history file retains per module
+#: default run-history retention per module (override per manager with
+#: ``history_keep``); the cap is enforced on every append *and* on
+#: restore, so a ledger bloated by an older build shrinks on load
 HISTORY_KEEP = 20
 
 
@@ -79,6 +82,8 @@ class ModuleEntry:
     last_run_at: Optional[float] = None
     next_due: float = 0.0
     history: List[Dict[str, Any]] = field(default_factory=list)
+    #: run-ledger entries retained (last N)
+    history_keep: int = HISTORY_KEEP
     #: crashes since the last clean run
     consecutive_failures: int = 0
     #: True once the failure threshold tripped; cleared by a clean run
@@ -95,7 +100,7 @@ class ModuleEntry:
                 reconnects=reconnects,
             )
         )
-        del self.history[:-HISTORY_KEEP]
+        del self.history[: -self.history_keep]
 
 
 class DiscoveryManager:
@@ -115,11 +120,17 @@ class DiscoveryManager:
         correlate_after_each: bool = True,
         quarantine_threshold: Optional[int] = None,
         retry_base: Optional[float] = None,
+        history_keep: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.journal = journal
         self.state_path = state_path
         self.correlate_after_each = correlate_after_each
+        self.history_keep = (
+            history_keep if history_keep is not None else HISTORY_KEEP
+        )
+        if self.history_keep < 1:
+            raise ValueError("history_keep must be at least 1")
         self.quarantine_threshold = (
             quarantine_threshold
             if quarantine_threshold is not None
@@ -176,6 +187,7 @@ class DiscoveryManager:
             current_interval=minimum,
             directive=dict(directive or {}),
             next_due=self.sim.now if first_due is None else first_due,
+            history_keep=self.history_keep,
         )
         # Restore persisted schedule state if the history file had it.
         persisted = getattr(self, "_persisted", {}).get(key)
@@ -183,7 +195,10 @@ class DiscoveryManager:
             entry.current_interval = min(
                 maximum, max(minimum, persisted.get("current_interval", minimum))
             )
-            entry.history = persisted.get("history", [])
+            # Cap on restore too: the ledger must not grow without bound
+            # across fremont-manager-2 round-trips (and a smaller
+            # history_keep takes effect immediately on old files).
+            entry.history = persisted.get("history", [])[-entry.history_keep :]
             entry.last_run_at = persisted.get("last_run_at")
             # The persisted due time keeps the fleet staggered across a
             # restart (without it every module fires at once at sim.now).
@@ -277,6 +292,7 @@ class DiscoveryManager:
             self._correlate()
         if self.state_path is not None:
             self.save_state()
+        self._checkpoint_if_due()
         return entry.key, result
 
     def run_until(self, until: float) -> List[Tuple[str, RunResult]]:
@@ -366,6 +382,16 @@ class DiscoveryManager:
         self.last_correlation_report = self._correlator.correlate()
         self.last_correlated_revision = self._correlator.last_revision
 
+    def _checkpoint_if_due(self) -> None:
+        """Module-run boundary = checkpoint opportunity for an embedded
+        (in-process) durable Journal; remote journals checkpoint at the
+        server.  The correlation products this run derived land in the
+        snapshot instead of waiting for the next server-side threshold."""
+        journal = getattr(self.journal, "journal", self.journal)
+        store = getattr(journal, "durability", None)
+        if store is not None and store.due():
+            store.checkpoint()
+
     # ------------------------------------------------------------------
     # Startup/history file
     # ------------------------------------------------------------------
@@ -391,8 +417,9 @@ class DiscoveryManager:
                 for key, entry in self.entries.items()
             },
         }
-        with open(self.state_path, "w", encoding="utf-8") as handle:
-            json.dump(state, handle, indent=1, sort_keys=True)
+        # Atomic: a crash mid-save must leave the previous history file
+        # readable, or the next startup loses the whole schedule.
+        atomic_write_json(self.state_path, state)
 
     def _load_state(self) -> None:
         with open(self.state_path, "r", encoding="utf-8") as handle:

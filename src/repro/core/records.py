@@ -27,6 +27,7 @@ __all__ = [
     "GatewayRecord",
     "SubnetRecord",
     "Observation",
+    "ensure_record_ids_above",
     "next_record_id",
 ]
 
@@ -35,6 +36,17 @@ _record_ids = itertools.count(1)
 
 def next_record_id() -> int:
     return next(_record_ids)
+
+
+def ensure_record_ids_above(minimum: int) -> None:
+    """Advance the process-global id allocator past *minimum*.
+
+    A journal loaded from disk keeps the record ids it was saved with;
+    in a fresh process the counter restarts at 1, so without this bump
+    newly created records could collide with loaded ones."""
+    global _record_ids
+    probe = next(_record_ids)
+    _record_ids = itertools.count(max(probe, minimum + 1))
 
 
 class Quality:

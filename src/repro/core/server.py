@@ -20,6 +20,15 @@ full-journal dump, the ``batch`` ingest op the
 ``subscribe`` op: after the acknowledgement, the connection receives a
 pushed :class:`~repro.core.journal.JournalChanges` frame whenever a
 write op lands — the remote half of the Journal change feed.
+
+Durability: when the Journal arrives with a
+:class:`~repro.core.durability.JournalStore` attached (``recover()``
+did the attaching), the server runs the store's checkpoint *policy* —
+no longer stop-only.  Every completed write op checks the ops/bytes
+thresholds while still holding the write lock; a background thread
+wakes periodically for the age threshold, so a quiet server still
+bounds its WAL replay window; ``stop()`` takes a final checkpoint
+("periodically and at termination").
 """
 
 from __future__ import annotations
@@ -62,11 +71,16 @@ class JournalServer:
         host: str = "127.0.0.1",
         port: int = 0,
         lock_mode: str = "rw",
+        checkpoint_poll: float = 1.0,
     ) -> None:
         if lock_mode not in ("rw", "exclusive"):
             raise ValueError(f"unknown lock_mode: {lock_mode!r}")
+        if checkpoint_poll <= 0:
+            raise ValueError("checkpoint_poll must be positive")
         self.journal = journal
         self.lock_mode = lock_mode
+        #: how often the background thread re-evaluates the age threshold
+        self.checkpoint_poll = checkpoint_poll
         self._rwlock = ReadWriteLock()
         #: guards the connection/thread bookkeeping lists
         self._conn_lock = threading.Lock()
@@ -79,6 +93,8 @@ class JournalServer:
         self._connections: List[socket.socket] = []
         self._running = False
         self._accept_thread: Optional[threading.Thread] = None
+        self._checkpoint_thread: Optional[threading.Thread] = None
+        self._checkpoint_stop = threading.Event()
         self.requests_served = 0
         #: persist here on stop() when set
         self.persist_path: Optional[str] = None
@@ -117,10 +133,22 @@ class JournalServer:
             target=self._accept_loop, name="journal-server-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.journal.durability is not None:
+            self._checkpoint_stop.clear()
+            self._checkpoint_thread = threading.Thread(
+                target=self._checkpoint_loop,
+                name="journal-server-checkpoint",
+                daemon=True,
+            )
+            self._checkpoint_thread.start()
         return self
 
     def stop(self) -> None:
         self._running = False
+        self._checkpoint_stop.set()
+        if self._checkpoint_thread is not None:
+            self._checkpoint_thread.join(timeout=5.0)
+            self._checkpoint_thread = None
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
         self._listener.close()
@@ -142,9 +170,26 @@ class JournalServer:
         for thread in threads:
             thread.join(timeout=2.0)
         self._reap_connections()
-        if self.persist_path is not None:
-            with self._rwlock.write_locked():
+        with self._rwlock.write_locked():
+            if self.journal.durability is not None:
+                # Termination checkpoint: everything the WAL holds is
+                # folded into a snapshot before the process exits.
+                self.journal.durability.checkpoint()
+            if self.persist_path is not None:
                 self.journal.save(self.persist_path)
+
+    def _checkpoint_loop(self) -> None:
+        """Age-threshold watchdog: a server receiving no writes would
+        otherwise never trip the per-op ops/bytes checks, leaving an
+        unbounded WAL replay window."""
+        while not self._checkpoint_stop.wait(self.checkpoint_poll):
+            store = self.journal.durability
+            if store is None:
+                break
+            if store.due():
+                with self._rwlock.write_locked():
+                    if self.journal.durability is store and store.due():
+                        store.checkpoint()
 
     def __enter__(self) -> "JournalServer":
         return self.start()
@@ -242,6 +287,12 @@ class JournalServer:
             # feed to streaming subscribers while state is consistent.
             if op not in _READ_OPS:
                 self.journal.publish()
+                store = self.journal.durability
+                if store is not None and store.due():
+                    # Ops/bytes thresholds are checked here, with the
+                    # write lock already held; the background thread
+                    # only needs to cover the age threshold.
+                    store.checkpoint()
             return response
 
     def _handle_subscribe(

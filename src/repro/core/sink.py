@@ -16,6 +16,14 @@ observation pipeline (ingest -> storage -> change feed):
   flushing on size/age thresholds.  Against a ``RemoteJournal`` a flush
   becomes a single server ``batch`` round trip.
 
+Flush is also the pipeline's *durability point*: the terminal
+``Journal.flush`` publishes the change feed and, when a
+:class:`~repro.core.durability.JournalStore` is attached, fsyncs the
+write-ahead log — so once a BatchingSink flush returns, that batch is
+as durable as the configured fsync policy guarantees.  Intermediate
+sinks only need to propagate ``flush`` downstream (they already do, via
+``target.flush()``) to inherit the contract.
+
 Coalescing deliberately merges only **adjacent** duplicates, never
 reordering the stream.  The Journal's record matching is stateful (an
 observation can claim, split, or refresh different records depending on
@@ -243,9 +251,15 @@ class BatchingSink(ObservationSink):
             note = getattr(journal, "note_ingest", None)
             if note is not None:
                 note(submitted=coalesced, coalesced=coalesced, batches=1)
-            publish = getattr(journal, "publish", None)
-            if publish is not None:
-                publish()
+        # Flushing downstream is what makes a batch boundary a real
+        # durability point: the terminal Journal.flush publishes the
+        # change feed and fsyncs an attached WAL.  An unreachable
+        # RemoteJournal keeps its replay buffer parked (same contract as
+        # the empty-buffer path above).
+        try:
+            self.target.flush()
+        except ConnectionError:
+            pass
         self.flushes += 1
         self.applied += len(batch)
         self._unclaimed_changes += changed

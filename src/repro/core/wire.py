@@ -17,6 +17,7 @@ from .records import (
     InterfaceRecord,
     Observation,
     SubnetRecord,
+    ensure_record_ids_above,
 )
 
 __all__ = [
@@ -306,6 +307,16 @@ def journal_to_dict(journal) -> Dict[str, Any]:
             "batches": journal.batches_flushed,
             "feed_deliveries": journal.feed_deliveries,
         },
+        # Durability counters ride along so a recovered journal's
+        # lifetime accounting (WAL traffic, checkpoints taken) is not
+        # reset by the very checkpoint that preserved it.
+        "durability": {
+            "wal_appends": journal.wal_appends,
+            "wal_bytes": journal.wal_bytes,
+            "checkpoints": journal.checkpoints_written,
+            "recovered": journal.recovered_records,
+            "torn_dropped": journal.torn_tail_dropped,
+        },
         "interfaces": [interface_to_dict(r) for r in journal.all_interfaces()],
         "gateways": [gateway_to_dict(r) for r in journal.all_gateways()],
         "subnets": [subnet_to_dict(r) for r in journal.all_subnets()],
@@ -348,10 +359,41 @@ def journal_from_dict(data: Dict[str, Any], clock: Optional[Callable[[], float]]
     journal.observations_coalesced = int(ingest.get("coalesced", 0))
     journal.batches_flushed = int(ingest.get("batches", 0))
     journal.feed_deliveries = int(ingest.get("feed_deliveries", 0))
+    durability = data.get("durability", {})
+    journal.wal_appends = int(durability.get("wal_appends", 0))
+    journal.wal_bytes = int(durability.get("wal_bytes", 0))
+    journal.checkpoints_written = int(durability.get("checkpoints", 0))
+    journal.recovered_records = int(durability.get("recovered", 0))
+    journal.torn_tail_dropped = int(durability.get("torn_dropped", 0))
     journal._negative = {
         (kind, key): expiry for kind, key, expiry in data.get("negative", [])
     }
     journal._rebuild_gateway_index()
+    # Loaded records keep their ids; push the process-global allocator
+    # past them so records created after the load cannot collide (a
+    # fresh process restarts the counter at 1).
+    highest = max(
+        (
+            record.record_id
+            for table in (journal.interfaces, journal.gateways, journal.subnets)
+            for record in table.values()
+        ),
+        default=0,
+    )
+    ensure_record_ids_above(highest)
+    # With the default step clock the recovered journal would restart
+    # time at zero and stamp new sightings *before* everything it just
+    # loaded; resume from the newest loaded timestamp instead.
+    if clock is None:
+        newest = max(
+            (
+                record.last_modified
+                for table in (journal.interfaces, journal.gateways, journal.subnets)
+                for record in table.values()
+            ),
+            default=0.0,
+        )
+        journal._clock._tick = max(journal._clock._tick, newest)
     return journal
 
 

@@ -11,10 +11,15 @@ protocol misbehaviours its Explorer Modules must tolerate:
 * IP addresses no longer in use (host removed, DNS left stale),
 * proxy-ARP devices answering for local address ranges,
 * gateways with broken ICMP behaviour (TTL-echo bug, silent drops).
+
+Beyond the network, the suite also injects *storage* faults —
+truncating or corrupting persisted journal state at arbitrary byte
+offsets — for exercising the durability layer's crash recovery.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from .addresses import MacAddress, Netmask, Subnet
@@ -35,6 +40,8 @@ __all__ = [
     "give_ttl_echo_bug",
     "disable_mask_replies",
     "crash_explorer",
+    "truncate_file",
+    "corrupt_file",
 ]
 
 
@@ -164,3 +171,35 @@ def crash_explorer(
         module.run = original
 
     return restore
+
+
+def truncate_file(path: str, size: int) -> int:
+    """Chop *path* down to *size* bytes — the on-disk signature of a
+    crash (or full disk) mid-write.  Returns the number of bytes cut.
+    Duck typed over plain paths so it works on WAL segments,
+    checkpoints, and manager state files alike."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    original = os.path.getsize(path)
+    with open(path, "rb+") as handle:
+        handle.truncate(min(size, original))
+    return max(0, original - size)
+
+
+def corrupt_file(path: str, offset: int, *, length: int = 1, flip: int = 0xFF) -> bytes:
+    """XOR *length* bytes of *path* at *offset* with *flip* — bit rot,
+    a misdirected write, or a bad sector.  Returns the original bytes so
+    a test can assert the damage (or undo it)."""
+    if not 0 <= flip <= 0xFF:
+        raise ValueError("flip must be a byte value")
+    with open(path, "rb+") as handle:
+        handle.seek(0, os.SEEK_END)
+        end = handle.tell()
+        if not 0 <= offset < end:
+            raise ValueError(f"offset {offset} outside file of {end} bytes")
+        span = min(length, end - offset)
+        handle.seek(offset)
+        original = handle.read(span)
+        handle.seek(offset)
+        handle.write(bytes(b ^ flip for b in original))
+    return original

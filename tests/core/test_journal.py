@@ -314,6 +314,39 @@ class TestPersistence:
         journal.ensure_subnet("10.0.0.0/24", source="x")
         assert journal.paper_equivalent_bytes() == 200 + 76
 
+    def test_load_truncated_file_raises_corrupt_error(self, journal, tmp_path):
+        from repro.core.journal import JournalCorruptError
+
+        journal.observe_interface(Observation(source="x", ip="10.0.0.1"))
+        path = tmp_path / "journal.json"
+        journal.save(str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) * 2 // 3])  # torn write
+        with pytest.raises(JournalCorruptError) as caught:
+            Journal.load(str(path))
+        assert caught.value.path == str(path)
+        assert caught.value.position is not None  # parse position reported
+        assert str(path) in str(caught.value)
+
+    def test_load_wrong_format_raises_corrupt_error(self, tmp_path):
+        from repro.core.journal import JournalCorruptError
+
+        path = tmp_path / "journal.json"
+        path.write_text('{"format": "not-a-journal"}')
+        with pytest.raises(JournalCorruptError):
+            Journal.load(str(path))
+
+    def test_load_or_empty_on_missing_and_corrupt(self, tmp_path, caplog):
+        missing = Journal.load_or_empty(str(tmp_path / "nope.json"))
+        assert missing.counts()["interfaces"] == 0
+
+        path = tmp_path / "bad.json"
+        path.write_text("{ definitely not json")
+        with caplog.at_level("WARNING", logger="repro.core.journal"):
+            fallback = Journal.load_or_empty(str(path))
+        assert fallback.counts()["interfaces"] == 0
+        assert any("empty journal" in r.message for r in caplog.records)
+
 
 class TestMergeProperties:
     @settings(max_examples=40)

@@ -207,6 +207,100 @@ class TestHistoryFile:
             manager.run_next()
         assert len(entry.history) == 20
 
+    def test_history_keep_configurable(self, sim):
+        journal = Journal(clock=lambda: sim.now)
+        manager = DiscoveryManager(
+            sim, LocalJournal(journal), correlate_after_each=False, history_keep=5
+        )
+        entry = manager.register(FakeModule(sim), min_interval=1.0, max_interval=2.0)
+        for _ in range(12):
+            manager.run_next()
+        assert len(entry.history) == 5
+
+    def test_history_keep_validated(self, sim):
+        journal = Journal(clock=lambda: sim.now)
+        with pytest.raises(ValueError):
+            DiscoveryManager(sim, LocalJournal(journal), history_keep=0)
+
+    def test_history_cap_survives_state_round_trips(self, sim, tmp_path):
+        """The ledger must not grow without bound across repeated
+        save/restore cycles of the fremont-manager-2 file."""
+        path = str(tmp_path / "history.json")
+        for generation in range(4):
+            sim_n = Simulator()
+            journal = Journal(clock=lambda: sim_n.now)
+            manager = DiscoveryManager(
+                sim_n,
+                LocalJournal(journal),
+                state_path=path,
+                correlate_after_each=False,
+                history_keep=6,
+            )
+            entry = manager.register(
+                FakeModule(sim_n), min_interval=1.0, max_interval=2.0
+            )
+            for _ in range(10):
+                manager.run_next()
+            assert len(entry.history) == 6
+        with open(path) as handle:
+            state = json.load(handle)
+        assert len(state["modules"]["SeqPing"]["history"]) == 6
+
+    def test_restore_trims_oversized_ledger(self, sim, tmp_path):
+        """A file written by a build with a larger (or absent) cap
+        shrinks to the configured cap on load."""
+        path = str(tmp_path / "history.json")
+        journal = Journal(clock=lambda: sim.now)
+        manager = DiscoveryManager(
+            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+        )
+        manager.register(FakeModule(sim), min_interval=1.0, max_interval=2.0)
+        for _ in range(15):
+            manager.run_next()
+        with open(path) as handle:
+            assert len(json.load(handle)["modules"]["SeqPing"]["history"]) == 15
+
+        sim2 = Simulator()
+        manager2 = DiscoveryManager(
+            sim2,
+            LocalJournal(Journal(clock=lambda: sim2.now)),
+            state_path=path,
+            correlate_after_each=False,
+            history_keep=4,
+        )
+        entry = manager2.register(FakeModule(sim2))
+        assert len(entry.history) == 4
+        # ... and it kept the *newest* entries, not the oldest.
+        with open(path) as handle:
+            persisted = json.load(handle)["modules"]["SeqPing"]["history"]
+        assert entry.history == persisted[-4:]
+
+    def test_save_state_is_atomic(self, sim, tmp_path, monkeypatch):
+        path = str(tmp_path / "history.json")
+        journal = Journal(clock=lambda: sim.now)
+        manager = DiscoveryManager(
+            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+        )
+        manager.register(FakeModule(sim), min_interval=1.0, max_interval=2.0)
+        manager.run_next()
+        with open(path, "rb") as handle:
+            before = handle.read()
+
+        import os
+
+        def boom(src, dst):
+            raise OSError("injected crash during rename")
+
+        # Fail at the last step of the temp-file protocol: the data was
+        # fully written but never atomically moved into place.
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            manager.save_state()
+        with open(path, "rb") as handle:
+            assert handle.read() == before  # previous file untouched
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "history.json"]
+        assert leftovers == []
+
 
 class TestDirectiveFactories:
     def test_callable_directives_evaluated_at_run_time(self, sim, manager):
