@@ -12,7 +12,7 @@ carrying *both* a name and a MAC.
 from __future__ import annotations
 
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.correlate import Correlator
 from repro.core.explorers import (
     ArpWatch,
@@ -84,7 +84,7 @@ class TestCorrelationAblation:
                 campus.network.start_rip()
                 campus.set_cs_uptime(0.95)
                 journal = Journal(clock=lambda: campus.sim.now)
-                _run_suite(campus, LocalJournal(journal), which={which})
+                _run_suite(campus, LocalClient(journal), which={which})
                 Correlator(journal).correlate()
                 singles[which] = _completeness(journal)
 
@@ -92,7 +92,7 @@ class TestCorrelationAblation:
             campus.network.start_rip()
             campus.set_cs_uptime(0.95)
             combined_journal = Journal(clock=lambda: campus.sim.now)
-            _run_suite(campus, LocalJournal(combined_journal), which=set(ALL))
+            _run_suite(campus, LocalClient(combined_journal), which=set(ALL))
             Correlator(combined_journal).correlate()
             combined = _completeness(combined_journal)
             return singles, combined
@@ -135,9 +135,9 @@ class TestCorrelationAblation:
             ) if campus.cs_gateway in sun_gateways else sun_gateways[0]
             # Probe the two subnets the gateway joins, from two vantages.
             journal_cs = shared_journal or Journal(clock=lambda: campus.sim.now)
-            EtherHostProbe(campus.cs_monitor, LocalJournal(journal_cs)).run()
+            EtherHostProbe(campus.cs_monitor, LocalClient(journal_cs)).run()
             journal_bb = shared_journal or Journal(clock=lambda: campus.sim.now)
-            EtherHostProbe(campus.monitor, LocalJournal(journal_bb)).run()
+            EtherHostProbe(campus.monitor, LocalClient(journal_bb)).run()
             inferred = 0
             for journal in {id(journal_cs): journal_cs, id(journal_bb): journal_bb}.values():
                 report = Correlator(journal).correlate()

@@ -16,7 +16,7 @@ vantage points recover them into the shared Journal.
 from __future__ import annotations
 
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import MultiVantageTraceroute, TracerouteModule
 from repro.netsim import Network, Subnet
 
@@ -74,7 +74,7 @@ class TestMultiVantageAblation:
         def run_ablation():
             net, gateways, monitor, extra, targets = _build_star()
             single_journal = Journal(clock=lambda: net.sim.now)
-            TracerouteModule(monitor, LocalJournal(single_journal)).run(
+            TracerouteModule(monitor, LocalClient(single_journal)).run(
                 targets=targets
             )
             single = _coverage(net, gateways, single_journal)
@@ -82,7 +82,7 @@ class TestMultiVantageAblation:
             net, gateways, monitor, extra, targets = _build_star()
             shared_journal = Journal(clock=lambda: net.sim.now)
             multi = MultiVantageTraceroute(
-                [monitor] + extra, LocalJournal(shared_journal)
+                [monitor] + extra, LocalClient(shared_journal)
             )
             multi.run(targets=targets)
             merged = _coverage(net, gateways, shared_journal)

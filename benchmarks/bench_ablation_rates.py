@@ -12,7 +12,7 @@ the destination count.
 from __future__ import annotations
 
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import EtherHostProbe, TracerouteModule
 from repro.netsim import Network, Subnet, build_campus
 from repro.netsim.campus import CampusProfile
@@ -30,7 +30,7 @@ def _fresh_class_c(population=40, seed=5):
     monitor = net.add_host(subnet, index=250, name="monitor", activity_rate=0.0)
     net.compute_routes()
     journal = Journal(clock=lambda: net.sim.now)
-    return net, subnet, monitor, LocalJournal(journal)
+    return net, subnet, monitor, LocalClient(journal)
 
 
 class TestEtherHostProbeRateSweep:
@@ -71,7 +71,7 @@ class TestTracerouteRateSweep:
                 campus = build_campus(CampusProfile(seed=17))
                 campus.network.start_rip()
                 journal = Journal(clock=lambda: campus.sim.now)
-                client = LocalJournal(journal)
+                client = LocalClient(journal)
                 from repro.core.explorers import RipWatch
 
                 RipWatch(campus.monitor, client).run(duration=65.0)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import GdpWatch, TrafficWatch
 from repro.netsim import GdpAnnouncer, Network, Subnet
 from repro.netsim.packet import UDP_ECHO_PORT
@@ -58,7 +58,7 @@ class TestServiceDiscovery:
         journal = Journal(clock=lambda: net.sim.now)
 
         def observe():
-            watcher = TrafficWatch(monitor, LocalJournal(journal))
+            watcher = TrafficWatch(monitor, LocalClient(journal))
             watcher.start()
             # A client exercises the echo port on every host (the
             # "attempting to connect to a service" probe the paper
@@ -104,7 +104,7 @@ class TestGdpGapFilling:
         for gateway in deployed:
             GdpAnnouncer(gateway, interval=60.0).start()
         journal = Journal(clock=lambda: campus.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
 
         result = benchmark.pedantic(
             lambda: GdpWatch(campus.monitor, client).run(duration=130.0),

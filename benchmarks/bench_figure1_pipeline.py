@@ -12,7 +12,7 @@ timed as one pipeline.
 from __future__ import annotations
 
 
-from repro.core import Journal, JournalServer, RemoteJournal
+from repro.core import Journal, JournalServer, RemoteClient
 from repro.core.analysis import run_all_analyses
 from repro.core.correlate import Correlator
 from repro.core.explorers import (
@@ -49,7 +49,7 @@ class TestFigure1:
             nameserver = campus.network.dns.addresses_for(
                 campus.network.dns.nameserver
             )[0]
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 manager = DiscoveryManager(campus.sim, client)
                 manager.register(
                     RipWatch(campus.monitor, client), directive={"duration": 65.0}

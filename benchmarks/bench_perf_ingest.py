@@ -45,8 +45,8 @@ from repro.core import (
     BatchingSink,
     Journal,
     JournalServer,
-    LocalJournal,
-    RemoteJournal,
+    LocalClient,
+    RemoteClient,
 )
 from repro.core.records import Observation
 
@@ -85,7 +85,7 @@ def _ingest_local(journal: Journal, stream: List[Observation]) -> float:
 def _ingest_batched_local(
     journal: Journal, stream: List[Observation], max_batch: int
 ) -> float:
-    sink = BatchingSink(LocalJournal(journal), max_batch=max_batch)
+    sink = BatchingSink(LocalClient(journal), max_batch=max_batch)
     started = time.perf_counter()
     for observation in stream:
         sink.submit(observation)
@@ -102,7 +102,7 @@ def _ingest_remote(
     server.start()
     try:
         host, port = server.address
-        with RemoteJournal(host, port) as client:
+        with RemoteClient(host, port) as client:
             if max_batch is None:
                 started = time.perf_counter()
                 for observation in stream:
@@ -190,13 +190,13 @@ def bench_read_latency(
         host, port = server.address
 
         def dump_loop():
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 while not stop.is_set():
                     client._call({"op": "save", "path": os.devnull})
                     dumps_done[0] += 1
 
         def write_loop():
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 serial = 0
                 while not stop.is_set():
                     serial += 1
@@ -219,7 +219,7 @@ def bench_read_latency(
                 thread.start()
             time.sleep(0.1)  # let the load settle
             latencies: List[float] = []
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 for _ in range(samples):
                     started = time.perf_counter()
                     client.counts()

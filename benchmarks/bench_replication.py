@@ -13,7 +13,7 @@ exchanges a handful of records instead of the whole journal.
 from __future__ import annotations
 
 
-from repro.core import Journal, JournalServer, LocalJournal, RemoteJournal
+from repro.core import Journal, JournalServer, LocalClient, RemoteClient
 from repro.core.records import Observation
 from repro.core.replicate import JournalReplicator
 
@@ -45,7 +45,7 @@ class TestReplicationBench:
         source_server = JournalServer(source).start()
         target_server = JournalServer(target).start()
         try:
-            with RemoteJournal(*source_server.address) as src, RemoteJournal(
+            with RemoteClient(*source_server.address) as src, RemoteClient(
                 *target_server.address
             ) as dst:
                 replicator = JournalReplicator(src, dst)
@@ -67,7 +67,7 @@ class TestReplicationBench:
     def test_incremental_predicate_limits_exchange(self, benchmark):
         source = _seeded_journal()
         target = Journal()
-        replicator = JournalReplicator(LocalJournal(source), LocalJournal(target))
+        replicator = JournalReplicator(LocalClient(source), LocalClient(target))
         replicator.sync(full=True)
 
         # A quiet day: twelve new sightings.
@@ -92,8 +92,8 @@ class TestReplicationBench:
         def round_trip():
             site_a = _seeded_journal(400)
             site_b = Journal()
-            a_to_b = JournalReplicator(LocalJournal(site_a), LocalJournal(site_b))
-            b_to_a = JournalReplicator(LocalJournal(site_b), LocalJournal(site_a))
+            a_to_b = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
+            b_to_a = JournalReplicator(LocalClient(site_b), LocalClient(site_a))
             a_to_b.sync()
             b_to_a.sync()
             return site_a.counts(), site_b.counts()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import (
     ArpWatch,
     BroadcastPing,
@@ -69,7 +69,7 @@ class TestTable3:
         net, subnets, gateways, monitor, server_host = chain_like_net
         left = subnets[0]
         journal = Journal(clock=lambda: net.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         for gateway in gateways:
             RipSpeaker(gateway, interval=30.0).start()
 

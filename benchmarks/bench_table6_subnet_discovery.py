@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import DnsExplorer, RipWatch, TracerouteModule
 from repro.netsim.addresses import Subnet
 
@@ -104,7 +104,7 @@ class TestTable6:
             Subnet.parse(f"128.138.{octet}.0/24") for octet in range(1, 255)
         ]
         journal2 = Journal(clock=lambda: campus.sim.now)
-        blind = TracerouteModule(campus.monitor, LocalJournal(journal2)).run(
+        blind = TracerouteModule(campus.monitor, LocalClient(journal2)).run(
             targets=blind_targets
         )
         paper.report(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.netsim import Network, Subnet, build_campus
 
 
@@ -17,7 +17,7 @@ def campus():
 @pytest.fixture
 def campus_journal(campus):
     journal = Journal(clock=lambda: campus.sim.now)
-    return journal, LocalJournal(journal)
+    return journal, LocalClient(journal)
 
 
 @pytest.fixture
@@ -34,4 +34,4 @@ def class_c_net():
     monitor = net.add_host(subnet, name="monitor", index=250, activity_rate=0.0)
     net.compute_routes()
     journal = Journal(clock=lambda: net.sim.now)
-    return net, subnet, gateway, hosts, monitor, LocalJournal(journal)
+    return net, subnet, gateway, hosts, monitor, LocalClient(journal)

@@ -13,7 +13,7 @@ Run:  python examples/campus_discovery.py
 
 import os
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.correlate import Correlator
 from repro.core.explorers import (
     ArpWatch,
@@ -33,7 +33,7 @@ def main() -> None:
     print("building the campus testbed (114 subnets assigned)...")
     campus = build_campus()
     journal = Journal(clock=lambda: campus.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
 
     campus.network.start_rip()
     campus.set_cs_uptime(0.9)

@@ -4,7 +4,7 @@ Server, exactly as Figure 1 draws it.
 
 "Because all modules communicate via BSD sockets, there are no
 restrictions about the physical location of individual modules."  This
-demo starts a real TCP Journal Server, connects two RemoteJournal
+demo starts a real TCP Journal Server, connects two RemoteClient
 clients (one per monitoring vantage point), runs modules through them,
 and finally interrogates the server from a third client — the inquiry
 agent — to print the network picture and persist it to disk.
@@ -15,7 +15,7 @@ Run:  python examples/journal_server_demo.py
 import os
 import tempfile
 
-from repro.core import Journal, JournalServer, RemoteJournal
+from repro.core import Journal, JournalServer, RemoteClient
 from repro.core.analysis import run_all_analyses
 from repro.core.correlate import Correlator
 from repro.core.explorers import EtherHostProbe, RipWatch, TracerouteModule
@@ -39,19 +39,19 @@ def main() -> None:
     print(f"journal server listening on {host}:{port}")
 
     # Vantage point 1: the backbone monitor watches RIP and traces.
-    with RemoteJournal(host, port) as backbone_client:
+    with RemoteClient(host, port) as backbone_client:
         rip = RipWatch(campus.monitor, backbone_client).run(duration=65.0)
         print(f"backbone vantage: {rip.summary()}")
         trace = TracerouteModule(campus.monitor, backbone_client).run()
         print(f"backbone vantage: {trace.summary()}")
 
     # Vantage point 2: the CS-subnet monitor probes its own wire.
-    with RemoteJournal(host, port) as cs_client:
+    with RemoteClient(host, port) as cs_client:
         probe = EtherHostProbe(campus.cs_monitor, cs_client).run()
         print(f"CS vantage: {probe.summary()}")
 
     # The inquiry agent: snapshot, correlate, analyse, report.
-    with RemoteJournal(host, port) as inquiry:
+    with RemoteClient(host, port) as inquiry:
         counts = inquiry.counts()
         print(f"\nserver now holds: {counts}")
         snapshot = inquiry.snapshot()

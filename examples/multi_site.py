@@ -13,7 +13,7 @@ other's network.
 Run:  python examples/multi_site.py
 """
 
-from repro.core import Journal, JournalServer, RemoteJournal
+from repro.core import Journal, JournalServer, RemoteClient
 from repro.core.replicate import JournalReplicator
 from repro.core.explorers import EtherHostProbe, RipWatch, TracerouteModule
 from repro.netsim.campus import CampusProfile, build_campus
@@ -56,7 +56,7 @@ def discover_site(name, profile):
     journal = Journal(clock=lambda: campus.sim.now)
     server = JournalServer(journal)
     server.start()
-    with RemoteJournal(*server.address) as client:
+    with RemoteClient(*server.address) as client:
         RipWatch(campus.monitor, client).run(duration=65.0)
         TracerouteModule(campus.monitor, client).run()
         EtherHostProbe(campus.cs_monitor, client).run()
@@ -73,7 +73,7 @@ def main() -> None:
     print("\nreplicating boulder -> denver and denver -> boulder...")
     (b_campus, b_journal, b_server) = sites["boulder"]
     (d_campus, d_journal, d_server) = sites["denver"]
-    with RemoteJournal(*b_server.address) as boulder, RemoteJournal(
+    with RemoteClient(*b_server.address) as boulder, RemoteClient(
         *d_server.address
     ) as denver:
         to_denver = JournalReplicator(boulder, denver)

@@ -10,7 +10,7 @@ programs name every culprit.
 Run:  python examples/problem_hunt.py
 """
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.analysis import run_all_analyses
 from repro.core.explorers import ArpWatch, EtherHostProbe, RipWatch, SubnetMaskModule
 from repro.netsim import Netmask, TrafficGenerator, build_campus, faults
@@ -19,7 +19,7 @@ from repro.netsim import Netmask, TrafficGenerator, build_campus, faults
 def main() -> None:
     campus = build_campus()
     journal = Journal(clock=lambda: campus.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
     campus.set_cs_uptime(1.0)
     campus.network.start_rip()
 

@@ -9,7 +9,7 @@ prints what the Journal learned.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.correlate import Correlator
 from repro.core.explorers import ArpWatch, EtherHostProbe, TracerouteModule
 from repro.core.presentation import interface_report, journal_dump
@@ -41,7 +41,7 @@ def main() -> None:
 
     # The Journal is timestamped by the simulated clock.
     journal = Journal(clock=lambda: net.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
 
     # 1. Passive ARP monitoring while two office machines chat.
     watcher = ArpWatch(monitor, client)

@@ -14,7 +14,7 @@ the coach's workstation, and asks the Journal who the culprit is.
 Run:  python examples/troubleshoot.py
 """
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.correlate import Correlator
 from repro.core.explorers import (
     DnsExplorer,
@@ -54,7 +54,7 @@ def main() -> None:
         build_campus_fragment()
     )
     journal = Journal(clock=lambda: net.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
 
     print("discovering the network (before anything breaks)...")
     TracerouteModule(monitor, client).run(targets=[office, classics,

@@ -10,7 +10,10 @@ Subcommands mirror the paper's programs:
 * ``dump``     — the flat Journal dump (presentation program 1);
 * ``export``   — the topology exporters (presentation program 3 /
   Figure 2), in SunNet-Manager-style or DOT format;
-* ``serve``    — run a standalone Journal Server on a TCP port.
+* ``serve``    — run a standalone Journal Server on a TCP port
+  (optionally exposing Prometheus metrics on ``--metrics-port``);
+* ``stats``    — live telemetry from a running Journal Server (the
+  ``metrics`` wire op rendered as a terminal dashboard).
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import Journal, JournalServer, LocalJournal
+from .core import Journal, JournalServer, connect
 from .core.analysis import address_space_report, run_all_analyses
 from .core.correlate import Correlator
 from .core.inquiry import NetworkPicture
@@ -51,7 +54,7 @@ __all__ = ["main"]
 def _cmd_campus(args: argparse.Namespace) -> int:
     campus = build_campus(CampusProfile(seed=args.seed))
     journal = Journal(clock=lambda: campus.sim.now)
-    client = LocalJournal(journal)
+    client = connect(journal)
     campus.network.start_rip()
     campus.set_cs_uptime(0.9)
     traffic = TrafficGenerator(
@@ -176,18 +179,9 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
 
 def _cmd_replicate(args: argparse.Namespace) -> int:
     """One replication pass between two running Journal Servers."""
-    from .core import RemoteJournal
     from .core.replicate import JournalReplicator
 
-    def parse_endpoint(text: str):
-        host, _, port = text.rpartition(":")
-        return host or "127.0.0.1", int(port)
-
-    source_host, source_port = parse_endpoint(args.source)
-    target_host, target_port = parse_endpoint(args.target)
-    with RemoteJournal(source_host, source_port) as source, RemoteJournal(
-        target_host, target_port
-    ) as target:
+    with connect(args.source) as source, connect(args.target) as target:
         replicator = JournalReplicator(source, target)
         stats = replicator.sync(full=True)
     print(
@@ -223,16 +217,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server.start()
     host, port = server.address
     print(f"journal server listening on {host}:{port} (ctrl-c to stop)")
+    exporter = None
+    if args.metrics_port is not None:
+        from repro.core import MetricsExporter
+
+        exporter = MetricsExporter(
+            journal.telemetry, host=args.host, port=args.metrics_port
+        )
+        exporter.start()
+        metrics_host, metrics_port = exporter.address
+        print(f"prometheus metrics on http://{metrics_host}:{metrics_port}/metrics")
     try:
         while True:
             time.sleep(1.0)
     except KeyboardInterrupt:
         pass
     finally:
+        if exporter is not None:
+            exporter.stop()
         server.stop()
         if store is not None:
             store.close()
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Telemetry dashboard for a running Journal Server."""
+    import time
+
+    from .core.telemetry import render_stats
+
+    with connect(args.address) as client:
+        try:
+            while True:
+                snapshot = client.metrics(spans=args.spans)
+                text = render_stats(snapshot, spans=args.spans)
+                if not args.watch:
+                    print(text)
+                    return 0
+                # Clear and repaint, terminal-dashboard style.
+                print("\x1b[2J\x1b[H" + text, flush=True)
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -319,7 +346,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync", default="interval", choices=["always", "interval", "never"],
         help="WAL fsync policy for --durable (default: %(default)s)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve Prometheus text metrics on this port (0 = ephemeral)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    stats = commands.add_parser(
+        "stats", help="live telemetry from a running Journal Server"
+    )
+    stats.add_argument(
+        "address", nargs="?", default="127.0.0.1:3856",
+        help="host:port of the server (default: %(default)s)",
+    )
+    stats.add_argument("--watch", action="store_true",
+                       help="repaint continuously until interrupted")
+    stats.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period for --watch (default: %(default)ss)")
+    stats.add_argument("--spans", type=int, default=12,
+                       help="recent spans to show (default: %(default)s)")
+    stats.set_defaults(func=_cmd_stats)
 
     return parser
 

@@ -2,7 +2,14 @@
 Manager, cross-correlation, analysis, and presentation."""
 
 from .avl import AvlTree
-from .client import LocalJournal, RemoteChangeFeed, RemoteJournal
+from .client import (
+    LocalClient,
+    LocalJournal,
+    RemoteChangeFeed,
+    RemoteClient,
+    RemoteJournal,
+    connect,
+)
 from .correlate import Correlator
 from .durability import JournalStore, RecoveryReport
 from .inquiry import NetworkPicture
@@ -25,6 +32,14 @@ from .records import (
 from .replicate import JournalReplicator
 from .server import JournalServer
 from .sink import BatchingSink, FlushStats, ObservationSink
+from .telemetry import (
+    MetricsExporter,
+    MetricsRegistry,
+    Span,
+    parse_prometheus,
+    render_stats,
+    telemetry_of,
+)
 
 __all__ = [
     "Attribute",
@@ -42,7 +57,10 @@ __all__ = [
     "JournalReplicator",
     "JournalServer",
     "JournalStore",
+    "LocalClient",
     "LocalJournal",
+    "MetricsExporter",
+    "MetricsRegistry",
     "NetworkPicture",
     "Observation",
     "ObservationSink",
@@ -50,6 +68,12 @@ __all__ = [
     "ReadWriteLock",
     "RecoveryReport",
     "RemoteChangeFeed",
+    "RemoteClient",
     "RemoteJournal",
+    "Span",
     "SubnetRecord",
+    "connect",
+    "parse_prometheus",
+    "render_stats",
+    "telemetry_of",
 ]

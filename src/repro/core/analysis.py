@@ -278,14 +278,32 @@ def run_all_analyses(
     of simulated time before now."""
     if stale_horizon is None:
         stale_horizon = journal.now - 7 * 24 * 3600.0
-    return {
-        KIND_STALE: find_stale_addresses(journal, horizon=stale_horizon),
-        KIND_HARDWARE: find_hardware_changes(journal),
-        KIND_MASK: find_mask_conflicts(journal, default_prefix=default_prefix),
-        KIND_DUPLICATE: find_duplicate_addresses(journal),
-        KIND_PROMISCUOUS: find_promiscuous_rip(journal),
-        KIND_ADDRESS_CONFLICT: find_address_conflicts(journal),
-    }
+    registry = journal.telemetry
+    with registry.trace("analysis") as span:
+        with registry.histogram(
+            "fremont_analysis_seconds", "Duration of one full Table 8 analysis run"
+        ).time():
+            findings = {
+                KIND_STALE: find_stale_addresses(journal, horizon=stale_horizon),
+                KIND_HARDWARE: find_hardware_changes(journal),
+                KIND_MASK: find_mask_conflicts(
+                    journal, default_prefix=default_prefix
+                ),
+                KIND_DUPLICATE: find_duplicate_addresses(journal),
+                KIND_PROMISCUOUS: find_promiscuous_rip(journal),
+                KIND_ADDRESS_CONFLICT: find_address_conflicts(journal),
+            }
+        total = sum(len(items) for items in findings.values())
+        span.set_tag("findings", total)
+    counter = registry.counter(
+        "fremont_analysis_findings_total",
+        "Findings produced by the Table 8 analysis programs",
+        labels=("kind",),
+    )
+    for kind, items in findings.items():
+        if items:
+            counter.labels(kind=kind).inc(len(items))
+    return findings
 
 
 class AnalysisMonitor:

@@ -5,15 +5,18 @@ library the paper describes ("supported through a common library of
 access and data transfer routines that the Explorer Modules, Discovery
 Manager, and data analysis and presentation programs use"):
 
-* :class:`LocalJournal` — a thin in-process pass-through (the common
+* :class:`LocalClient` — a thin in-process pass-through (the common
   case for a single-site deployment and for the benchmark harness);
-* :class:`RemoteJournal` — a socket client for a
+* :class:`RemoteClient` — a socket client for a
   :class:`~repro.core.server.JournalServer`, enabling the paper's
   distributed placement ("there are no restrictions about the physical
   location of individual modules").
 
 Both expose the same duck-typed surface, so explorers never know which
-they hold.
+they hold.  Callers normally obtain one through :func:`connect`, which
+picks the client class from the target and optionally stacks a
+:class:`~repro.core.sink.BatchingSink` on top.  The historical names
+``LocalJournal`` and ``RemoteJournal`` remain as deprecated aliases.
 """
 
 from __future__ import annotations
@@ -21,21 +24,45 @@ from __future__ import annotations
 import select
 import socket
 import time
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from . import wire
 from .journal import Journal, JournalChanges
 from .records import GatewayRecord, InterfaceRecord, Observation, SubnetRecord
-from .sink import DirectSinkMixin
+from .sink import BatchingSink, DirectSinkMixin, ObservationSink
+from .telemetry import MetricsRegistry
 
-__all__ = ["LocalJournal", "RemoteJournal", "RemoteChangeFeed"]
+__all__ = [
+    "LocalClient",
+    "RemoteClient",
+    "LocalJournal",
+    "RemoteJournal",
+    "RemoteChangeFeed",
+    "connect",
+]
 
 
-class LocalJournal(DirectSinkMixin):
+class LocalClient(DirectSinkMixin):
     """In-process client: delegates straight to a :class:`Journal`."""
 
     def __init__(self, journal: Journal) -> None:
         self.journal = journal
+
+    @property
+    def telemetry(self) -> MetricsRegistry:
+        """The journal's registry — local clients add no layer of their own."""
+        return self.journal.telemetry
+
+    def metrics(self, *, spans: int = 50) -> Dict[str, Any]:
+        """Registry snapshot, mirroring the server ``metrics`` op."""
+        return self.journal.telemetry.snapshot(spans=spans)
+
+    def __enter__(self) -> "LocalClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- updates ---------------------------------------------------------
 
@@ -189,7 +216,7 @@ def _provisional_record(observation: Observation) -> InterfaceRecord:
     return record
 
 
-class RemoteJournal:
+class RemoteClient:
     """Socket client for a running :class:`JournalServer`.
 
     Query methods return record objects reconstructed from the wire
@@ -235,11 +262,39 @@ class RemoteJournal:
         #: coalesced-sighting counts owed to the server from batches that
         #: had to be parked as individual observes (reported on replay)
         self._coalesced_owed = 0
-        #: successful reconnects (the Discovery Manager ledgers these)
-        self.reconnects = 0
-        #: buffered requests replayed so far
-        self.replayed = 0
+        #: client-side registry: round-trip latency and reconnect churn
+        #: happen on this side of the socket, invisible to the server
+        self.telemetry = MetricsRegistry()
+        self._h_roundtrip = self.telemetry.histogram(
+            "fremont_client_roundtrip_seconds",
+            "Request/response round-trip latency as seen by the client",
+        )
+        self._c_reconnects = self.telemetry.counter(
+            "fremont_client_reconnects_total", "Successful reconnects to the server"
+        )
+        self._c_replayed = self.telemetry.counter(
+            "fremont_client_replayed_total", "Buffered requests replayed after an outage"
+        )
         self._connect()
+
+    # successful reconnects (the Discovery Manager ledgers these) and
+    # buffered requests replayed so far — compatibility views over the
+    # client registry's counters
+    @property
+    def reconnects(self) -> int:
+        return int(self._c_reconnects.value)
+
+    @reconnects.setter
+    def reconnects(self, value: float) -> None:
+        self._c_reconnects.reset_to(value)
+
+    @property
+    def replayed(self) -> int:
+        return int(self._c_replayed.value)
+
+    @replayed.setter
+    def replayed(self, value: float) -> None:
+        self._c_replayed.reset_to(value)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -271,15 +326,16 @@ class RemoteJournal:
                 self._connect()
             except OSError:
                 continue
-            self.reconnects += 1
+            self._c_reconnects.inc()
             return True
         return False
 
     def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        self._socket.sendall(wire.encode_message(request))
-        line = self._reader.readline()
-        if not line:
-            raise ConnectionError("journal server closed the connection")
+        with self._h_roundtrip.time():
+            self._socket.sendall(wire.encode_message(request))
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError("journal server closed the connection")
         response = wire.decode_message(line)
         if not response.get("ok"):
             raise RuntimeError(f"journal server error: {response.get('error')}")
@@ -293,7 +349,7 @@ class RemoteJournal:
         batch = list(self._pending)
         owed = self._coalesced_owed
         self._roundtrip(wire.batch_request(batch, coalesced=owed))
-        self.replayed += len(batch)
+        self._c_replayed.inc(len(batch))
         # Only drop what was sent: a concurrent buffering caller may
         # have appended while the batch was in flight.
         del self._pending[: len(batch)]
@@ -349,7 +405,7 @@ class RemoteJournal:
                 pass
         self._disconnect()
 
-    def __enter__(self) -> "RemoteJournal":
+    def __enter__(self) -> "RemoteClient":
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -497,6 +553,13 @@ class RemoteJournal:
     def counts(self) -> Dict[str, int]:
         return self._call({"op": "counts"})["counts"]
 
+    def metrics(self, *, spans: int = 50) -> Dict[str, Any]:
+        """The server registry's snapshot (the ``metrics`` wire op):
+        metric families with values/buckets plus recent spans.  This is
+        the server-side view; the client's own round-trip latency and
+        reconnect counters live in :attr:`telemetry`."""
+        return self._call({"op": "metrics", "spans": int(spans)})["metrics"]
+
     def revision(self) -> int:
         """The server journal's change-tracking revision (cheap poll:
         a replica or dashboard can skip a sync when it hasn't moved)."""
@@ -558,6 +621,12 @@ class RemoteJournal:
         """Fetch the full journal for offline analysis/presentation."""
         response = self._call({"op": "dump"})
         return Journal.from_dict(response["journal"])
+
+
+# RemoteClient speaks the sink protocol by duck typing (its flush
+# drains the replay buffer, not a local queue); registering it lets
+# isinstance-based plumbing (connect, tooling) treat it uniformly.
+ObservationSink.register(RemoteClient)
 
 
 class RemoteChangeFeed:
@@ -654,3 +723,107 @@ class RemoteChangeFeed:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------------
+# deprecated aliases (one release of grace, then gone)
+# ---------------------------------------------------------------------------
+
+
+class LocalJournal(LocalClient):
+    """Deprecated alias of :class:`LocalClient`."""
+
+    def __init__(self, journal: Journal) -> None:
+        warnings.warn(
+            "LocalJournal is deprecated; use repro.core.connect(journal) "
+            "or LocalClient",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(journal)
+
+
+class RemoteJournal(RemoteClient):
+    """Deprecated alias of :class:`RemoteClient`."""
+
+    def __init__(self, host: str, port: int, **options) -> None:
+        warnings.warn(
+            "RemoteJournal is deprecated; use repro.core.connect('host:port') "
+            "or RemoteClient",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(host, port, **options)
+
+
+# ---------------------------------------------------------------------------
+# the front door
+# ---------------------------------------------------------------------------
+
+
+def _parse_address(target: str) -> Tuple[str, int]:
+    host, separator, port = target.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ValueError(f"expected 'host:port', got {target!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def connect(
+    target: Union[Journal, ObservationSink, str, Tuple[str, int], None] = None,
+    *,
+    batching: Union[bool, int, Dict[str, Any], None] = None,
+    retry: Optional[Dict[str, Any]] = None,
+    telemetry: Optional[MetricsRegistry] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> ObservationSink:
+    """Build a journal client stack in one call.
+
+    *target* selects the base client:
+
+    * ``None`` — a fresh in-process :class:`Journal` wrapped in a
+      :class:`LocalClient` (*telemetry*/*clock* seed the new journal);
+    * a :class:`Journal` — wrapped in a :class:`LocalClient`;
+    * ``"host:port"`` or ``(host, port)`` — a :class:`RemoteClient`;
+      *retry* keywords (``timeout``, ``reconnect_attempts``,
+      ``reconnect_backoff``, ``reconnect_backoff_cap``,
+      ``buffer_limit``) pass through to its constructor;
+    * any existing :class:`ObservationSink` — used as-is.
+
+    *batching* optionally stacks a :class:`~repro.core.sink.BatchingSink`
+    on top: ``True`` for the defaults, an int for ``max_batch``, or a
+    dict of BatchingSink keywords (``max_batch``, ``max_age``,
+    ``clock`` — *clock* fills in the sink clock when the dict omits it).
+
+    Replaces the hand-assembled ``BatchingSink(RemoteJournal(...))``
+    stacks: every layer still exists, ``connect`` just wires it.
+    """
+    if isinstance(target, str):
+        host, port = _parse_address(target)
+        client: ObservationSink = RemoteClient(host, port, **(retry or {}))
+    elif isinstance(target, tuple):
+        host, port = target
+        client = RemoteClient(host, int(port), **(retry or {}))
+    else:
+        if retry:
+            raise ValueError("retry options only apply to remote targets")
+        if target is None:
+            client = LocalClient(Journal(clock=clock, telemetry=telemetry))
+        elif isinstance(target, Journal):
+            client = LocalClient(target)
+        elif isinstance(target, ObservationSink):
+            client = target
+        else:
+            raise TypeError(f"cannot connect to {type(target).__name__!r}")
+    if batching is None or batching is False:
+        return client
+    if batching is True:
+        options: Dict[str, Any] = {}
+    elif isinstance(batching, int):
+        options = {"max_batch": batching}
+    elif isinstance(batching, dict):
+        options = dict(batching)
+    else:
+        raise TypeError("batching must be True, an int, or a dict of options")
+    if clock is not None:
+        options.setdefault("clock", clock)
+    return BatchingSink(client, **options)

@@ -34,6 +34,7 @@ rescan; by construction both paths converge to the same Journal state
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -133,6 +134,16 @@ class Correlator:
     ) -> None:
         self.journal = journal
         self.default_prefix = default_prefix
+        self._h_pass = journal.telemetry.histogram(
+            "fremont_correlation_seconds",
+            "Duration of one correlation pass",
+            labels=("mode",),
+        )
+        self._c_passes = journal.telemetry.counter(
+            "fremont_correlation_passes_total",
+            "Correlation passes by mode",
+            labels=("mode",),
+        )
         #: Journal revision covered by the last correlate(); None = never
         self.last_revision: Optional[int] = None
         self.full_passes = 0
@@ -445,6 +456,17 @@ class Correlator:
         away) performs the classic whole-Journal rescan.  Subsequent
         calls consume only the records touched since the last call.
         """
+        journal = self.journal
+        started = time.perf_counter()
+        with journal.telemetry.trace("correlate") as span:
+            report = self._correlate_inner(full=full)
+            span.set_tag("mode", report.mode)
+            span.set_tag("examined", report.interfaces_examined)
+        self._h_pass.labels(mode=report.mode).observe(time.perf_counter() - started)
+        self._c_passes.labels(mode=report.mode).inc()
+        return report
+
+    def _correlate_inner(self, *, full: bool) -> CorrelationReport:
         journal = self.journal
         report = CorrelationReport()
         since = self.last_revision

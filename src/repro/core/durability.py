@@ -326,6 +326,10 @@ class JournalStore:
         self._ops_since_checkpoint = 0
         self._bytes_since_checkpoint = 0
         self._last_checkpoint_at = time.monotonic()
+        #: telemetry bound at recover() time (the registry belongs to
+        #: the recovered Journal); None until then
+        self._h_fsync = None
+        self._h_checkpoint = None
 
     # -- paths -----------------------------------------------------------
 
@@ -400,8 +404,15 @@ class JournalStore:
         self._open_segment(self._segment_seq)
         self.journal = journal
         journal.durability = self
-        journal.recovered_records += report.recovered_records
-        journal.torn_tail_dropped += report.torn_tail_dropped
+        journal.note_durability(
+            recovered=report.recovered_records, torn=report.torn_tail_dropped
+        )
+        self._h_fsync = journal.telemetry.histogram(
+            "fremont_wal_fsync_seconds", "WAL fsync latency"
+        )
+        self._h_checkpoint = journal.telemetry.histogram(
+            "fremont_checkpoint_seconds", "Atomic checkpoint duration"
+        )
         self._ops_since_checkpoint = report.recovered_records
         self._bytes_since_checkpoint = 0
         self._last_checkpoint_at = time.monotonic()
@@ -511,6 +522,17 @@ class JournalStore:
                 os.fsync(handle.fileno())
         self._handle = handle
 
+    def _fsync_wal(self) -> None:
+        """fsync the open segment, timing it into the telemetry
+        histogram (fsync is the durability layer's dominant cost; its
+        latency distribution is the first thing to look at when ingest
+        throughput drops)."""
+        started = time.perf_counter()
+        os.fsync(self._handle.fileno())
+        if self._h_fsync is not None:
+            self._h_fsync.observe(time.perf_counter() - started)
+        self._last_sync = time.monotonic()
+
     def _append(self, entry: Dict[str, Any]) -> None:
         if self._handle is None:
             raise RuntimeError("JournalStore is closed (or recover() never ran)")
@@ -523,18 +545,14 @@ class JournalStore:
         # policy-controlled part.
         self._handle.flush()
         if self.fsync == "always":
-            os.fsync(self._handle.fileno())
-            self._last_sync = time.monotonic()
+            self._fsync_wal()
         elif self.fsync == "interval":
-            now = time.monotonic()
-            if now - self._last_sync >= self.fsync_interval:
-                os.fsync(self._handle.fileno())
-                self._last_sync = now
+            if time.monotonic() - self._last_sync >= self.fsync_interval:
+                self._fsync_wal()
         self._ops_since_checkpoint += 1
         self._bytes_since_checkpoint += len(frame)
         if self.journal is not None:
-            self.journal.wal_appends += 1
-            self.journal.wal_bytes += len(frame)
+            self.journal.note_durability(appends=1, wal_bytes=len(frame))
 
     def log_observation(self, observation, *, at: float) -> None:
         """WAL one applied observation (called by the Journal's ingest
@@ -559,8 +577,7 @@ class JournalStore:
         callers chose precisely to skip fsyncs)."""
         if self._handle is not None and self.fsync != "never":
             self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self._last_sync = time.monotonic()
+            self._fsync_wal()
 
     # -- checkpoints -----------------------------------------------------
 
@@ -592,40 +609,45 @@ class JournalStore:
         if self.journal is None:
             raise RuntimeError("no journal attached; call recover() first")
         journal = self.journal
-        # Count the checkpoint before serialising so the snapshot's own
-        # counters include it.
-        journal.checkpoints_written += 1
-        body = json.dumps(
-            journal.to_dict(), separators=(",", ":"), sort_keys=True
-        ).encode("utf-8")
-        next_segment = self._segment_seq + 1
-        header = {
-            "format": _CHECKPOINT_FORMAT,
-            "crc32": zlib.crc32(body),
-            "revision": journal.revision,
-            "wal_seg": next_segment,
-            "next_seq": self._next_seq,
-        }
-        header_line = json.dumps(header, separators=(",", ":"), sort_keys=True)
-        atomic_write_bytes(
-            self.checkpoint_path,
-            header_line.encode("utf-8") + b"\n" + body,
-            fsync=True,
-        )
-        # The snapshot is durable; rotate, then prune superseded segments.
-        retired = self._segment_seq
-        self._handle.close()
-        self._segment_seq = next_segment
-        self._open_segment(next_segment)
-        for seq, path in self._list_segments():
-            if seq <= retired:
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
+        started = time.perf_counter()
+        with journal.telemetry.trace("checkpoint", revision=journal.revision):
+            # Count the checkpoint before serialising so the snapshot's
+            # own counters include it.
+            journal.note_durability(checkpoints=1)
+            body = json.dumps(
+                journal.to_dict(), separators=(",", ":"), sort_keys=True
+            ).encode("utf-8")
+            next_segment = self._segment_seq + 1
+            header = {
+                "format": _CHECKPOINT_FORMAT,
+                "crc32": zlib.crc32(body),
+                "revision": journal.revision,
+                "wal_seg": next_segment,
+                "next_seq": self._next_seq,
+            }
+            header_line = json.dumps(header, separators=(",", ":"), sort_keys=True)
+            atomic_write_bytes(
+                self.checkpoint_path,
+                header_line.encode("utf-8") + b"\n" + body,
+                fsync=True,
+            )
+            # The snapshot is durable; rotate, then prune superseded
+            # segments.
+            retired = self._segment_seq
+            self._handle.close()
+            self._segment_seq = next_segment
+            self._open_segment(next_segment)
+            for seq, path in self._list_segments():
+                if seq <= retired:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
         self._ops_since_checkpoint = 0
         self._bytes_since_checkpoint = 0
         self._last_checkpoint_at = time.monotonic()
+        if self._h_checkpoint is not None:
+            self._h_checkpoint.observe(time.perf_counter() - started)
         return self.checkpoint_path
 
     # -- lifecycle -------------------------------------------------------

@@ -60,6 +60,7 @@ from .records import (
     SubnetRecord,
 )
 from .sink import DirectSinkMixin, FlushStats
+from .telemetry import MetricsRegistry
 
 __all__ = [
     "Journal",
@@ -171,7 +172,7 @@ class FeedSubscription:
         self.last_revision = changes.revision
         if not changes.empty():
             self.deliveries += 1
-            self.journal.feed_deliveries += 1
+            self.journal._c_feed_deliveries.inc()
         return changes
 
     def deliver(self) -> bool:
@@ -209,6 +210,20 @@ def _identity(value: str) -> str:
 _KEY_FUNCS = {"ip": ip_key, "mac": _identity, "dns_name": _identity}
 
 
+def _counter_alias(attr: str, metric_name: str) -> property:
+    """A read/write attribute view over a registry counter, keeping the
+    pre-registry accounting API (``journal.wal_appends``) alive while
+    the value itself lives in ``journal.telemetry``."""
+
+    def fget(self) -> int:
+        return int(getattr(self, attr).value)
+
+    def fset(self, value: float) -> None:
+        getattr(self, attr).reset_to(value)
+
+    return property(fget, fset, doc=f"compatibility view of {metric_name}")
+
+
 class Journal(DirectSinkMixin):
     """In-memory journal with AVL indexes and timestamped records.
 
@@ -220,7 +235,11 @@ class Journal(DirectSinkMixin):
     concurrently under that server's read lock.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+    ) -> None:
         #: time source; defaults to a counter so the Journal is usable
         #: standalone, but normally wired to the simulator clock
         self._clock = clock or _StepClock()
@@ -231,14 +250,6 @@ class Journal(DirectSinkMixin):
         self.by_mac: AvlTree[str, int] = AvlTree()
         self.by_name: AvlTree[str, int] = AvlTree()
         self.by_subnet: AvlTree[str, int] = AvlTree()
-        self.observations_applied = 0
-        self.changes_recorded = 0
-        #: ingest-pipeline accounting (see counts())
-        self.observations_submitted = 0
-        self.observations_coalesced = 0
-        self.batches_flushed = 0
-        #: non-empty deltas handed to feed subscribers
-        self.feed_deliveries = 0
         #: registered change-feed consumers
         self._subscriptions: Set[FeedSubscription] = set()
         #: monotonically increasing mutation counter
@@ -256,17 +267,91 @@ class Journal(DirectSinkMixin):
         self._negative: Dict[Tuple[str, str], float] = {}
         #: sweep the negative cache when it grows past this
         self._negative_sweep_at: int = 128
-        self.negative_evictions = 0
         #: attached durability layer (a JournalStore), or None for a
         #: purely in-memory Journal
         self.durability = None
-        #: durability accounting (see counts()); incremented by the
-        #: attached store and restored from snapshots by the wire codec
-        self.wal_appends = 0
-        self.wal_bytes = 0
-        self.checkpoints_written = 0
-        self.recovered_records = 0
-        self.torn_tail_dropped = 0
+        #: the deployment-wide metrics registry.  All Journal accounting
+        #: lives here; the historical attribute names (observations_applied,
+        #: wal_appends, ...) are compatibility properties over it.
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self._register_metrics(self.telemetry)
+
+    def _register_metrics(self, registry: MetricsRegistry) -> None:
+        """Register (or adopt) this Journal's metric families.  Counters
+        are atomic — they may be bumped from the server's write path,
+        its checkpoint poll thread, and sink flushes concurrently —
+        and the structural gauges read live Journal state via callback."""
+        counter = registry.counter
+        self._c_submitted = counter(
+            "fremont_observations_submitted_total",
+            "Observations entering the ingest pipeline (including coalesced)",
+        )
+        self._c_applied = counter(
+            "fremont_observations_applied_total",
+            "Observations individually applied to the Journal",
+        )
+        self._c_coalesced = counter(
+            "fremont_observations_coalesced_total",
+            "Submissions merged away by batching sinks, never individually applied",
+        )
+        self._c_batches = counter(
+            "fremont_batches_flushed_total",
+            "Batch applications performed (one per BatchingSink flush)",
+        )
+        self._c_changes = counter(
+            "fremont_changes_recorded_total",
+            "Mutations that changed a Journal record",
+        )
+        self._c_feed_deliveries = counter(
+            "fremont_feed_deliveries_total",
+            "Non-empty deltas handed to change-feed subscribers",
+        )
+        self._c_negative_evictions = counter(
+            "fremont_negative_evictions_total",
+            "Expired negative-cache entries swept",
+        )
+        self._c_wal_appends = counter(
+            "fremont_wal_appends_total", "Frames appended to the write-ahead log"
+        )
+        self._c_wal_bytes = counter(
+            "fremont_wal_bytes_total", "Bytes appended to the write-ahead log"
+        )
+        self._c_checkpoints = counter(
+            "fremont_wal_checkpoints_total", "Atomic checkpoints written"
+        )
+        self._c_recovered = counter(
+            "fremont_wal_recovered_records_total",
+            "WAL records replayed during recovery",
+        )
+        self._c_torn = counter(
+            "fremont_wal_torn_tails_total",
+            "Torn/corrupt WAL tail frames dropped during recovery",
+        )
+        gauge = registry.gauge
+        gauge(
+            "fremont_interface_records", "Interface records in the Journal",
+            callback=lambda: len(self.interfaces),
+        )
+        gauge(
+            "fremont_gateway_records", "Gateway records in the Journal",
+            callback=lambda: len(self.gateways),
+        )
+        gauge(
+            "fremont_subnet_records", "Subnet records in the Journal",
+            callback=lambda: len(self.subnets),
+        )
+        gauge(
+            "fremont_journal_revision", "Journal mutation counter",
+            callback=lambda: self.revision,
+        )
+        gauge(
+            "fremont_negative_cache_size", "Live negative-cache entries",
+            callback=lambda: len(self._negative),
+        )
+        gauge(
+            "fremont_feed_subscribers", "Registered change-feed consumers",
+            callback=lambda: len(self._subscriptions),
+        )
 
     # ------------------------------------------------------------------
     # Time
@@ -275,6 +360,39 @@ class Journal(DirectSinkMixin):
     @property
     def now(self) -> float:
         return self._clock()
+
+    # ------------------------------------------------------------------
+    # Counter compatibility properties
+    # ------------------------------------------------------------------
+    # The pre-registry attribute names stay readable and assignable
+    # (the wire codec restores lifetime accounting by assignment), but
+    # the values live in the registry.  Use the registry counters for
+    # concurrent increments; `journal.x += 1` is a read-modify-write.
+
+    observations_submitted = _counter_alias(
+        "_c_submitted", "fremont_observations_submitted_total")
+    observations_applied = _counter_alias(
+        "_c_applied", "fremont_observations_applied_total")
+    observations_coalesced = _counter_alias(
+        "_c_coalesced", "fremont_observations_coalesced_total")
+    batches_flushed = _counter_alias(
+        "_c_batches", "fremont_batches_flushed_total")
+    changes_recorded = _counter_alias(
+        "_c_changes", "fremont_changes_recorded_total")
+    feed_deliveries = _counter_alias(
+        "_c_feed_deliveries", "fremont_feed_deliveries_total")
+    negative_evictions = _counter_alias(
+        "_c_negative_evictions", "fremont_negative_evictions_total")
+    wal_appends = _counter_alias(
+        "_c_wal_appends", "fremont_wal_appends_total")
+    wal_bytes = _counter_alias(
+        "_c_wal_bytes", "fremont_wal_bytes_total")
+    checkpoints_written = _counter_alias(
+        "_c_checkpoints", "fremont_wal_checkpoints_total")
+    recovered_records = _counter_alias(
+        "_c_recovered", "fremont_wal_recovered_records_total")
+    torn_tail_dropped = _counter_alias(
+        "_c_torn", "fremont_wal_torn_tails_total")
 
     # ------------------------------------------------------------------
     # Change tracking
@@ -385,7 +503,7 @@ class Journal(DirectSinkMixin):
     # ------------------------------------------------------------------
 
     def submit(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
-        self.observations_submitted += 1
+        self._c_submitted.inc()
         return self.observe_interface(observation)
 
     def resolve(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
@@ -406,9 +524,36 @@ class Journal(DirectSinkMixin):
     ) -> None:
         """Account for upstream ingest work (a BatchingSink reporting
         sightings it merged away, a server batch op landing)."""
-        self.observations_submitted += submitted
-        self.observations_coalesced += coalesced
-        self.batches_flushed += batches
+        if submitted:
+            self._c_submitted.inc(submitted)
+        if coalesced:
+            self._c_coalesced.inc(coalesced)
+        if batches:
+            self._c_batches.inc(batches)
+
+    def note_durability(
+        self,
+        *,
+        appends: int = 0,
+        wal_bytes: int = 0,
+        checkpoints: int = 0,
+        recovered: int = 0,
+        torn: int = 0,
+    ) -> None:
+        """Account for durability work, atomically.  The attached
+        JournalStore calls this instead of read-modify-writing the
+        compatibility attributes, so the checkpoint poll thread can
+        never race a server read op into a lost update."""
+        if appends:
+            self._c_wal_appends.inc(appends)
+        if wal_bytes:
+            self._c_wal_bytes.inc(wal_bytes)
+        if checkpoints:
+            self._c_checkpoints.inc(checkpoints)
+        if recovered:
+            self._c_recovered.inc(recovered)
+        if torn:
+            self._c_torn.inc(torn)
 
     # ------------------------------------------------------------------
     # Interface observations
@@ -423,7 +568,7 @@ class Journal(DirectSinkMixin):
         replay uses it to reproduce the original ingest times instead of
         stamping the recovery clock's."""
         now = self.now if at is None else at
-        self.observations_applied += 1
+        self._c_applied.inc()
         if self.durability is not None:
             self.durability.log_observation(observation, at=now)
         record = self._match_record(observation)
@@ -438,7 +583,7 @@ class Journal(DirectSinkMixin):
                 changed = True
                 self._reindex(record, name, old_value, record.get(name))
         if changed:
-            self.changes_recorded += 1
+            self._c_changes.inc()
             self._touch("interface", record)
         return record, changed
 
@@ -621,7 +766,7 @@ class Journal(DirectSinkMixin):
             ):
                 self._touch("interface", self.interfaces[interface_id])
         if changed:
-            self.changes_recorded += 1
+            self._c_changes.inc()
             self._touch("gateway", gateway)
         return gateway, changed
 
@@ -666,7 +811,7 @@ class Journal(DirectSinkMixin):
             changed = True
         changed = changed or subnet_changed
         if changed:
-            self.changes_recorded += 1
+            self._c_changes.inc()
         return changed
 
     # ------------------------------------------------------------------
@@ -701,7 +846,7 @@ class Journal(DirectSinkMixin):
             if record.set(name, value, now, source, quality):
                 changed = True
         if changed:
-            self.changes_recorded += 1
+            self._c_changes.inc()
             self._touch("subnet", record)
         return record, changed
 
@@ -786,7 +931,7 @@ class Journal(DirectSinkMixin):
                 changed = True
         record.last_modified = max(record.last_modified, foreign.last_modified)
         if changed:
-            self.changes_recorded += 1
+            self._c_changes.inc()
             self._touch("interface", record)
         return record, changed
 
@@ -882,7 +1027,8 @@ class Journal(DirectSinkMixin):
         expired = [key for key, expiry in self._negative.items() if expiry < now]
         for key in expired:
             del self._negative[key]
-        self.negative_evictions += len(expired)
+        if expired:
+            self._c_negative_evictions.inc(len(expired))
         self._negative_sweep_at = max(128, 2 * len(self._negative))
 
     def negative_check(self, kind: str, key: str) -> bool:
@@ -905,7 +1051,17 @@ class Journal(DirectSinkMixin):
     # ------------------------------------------------------------------
 
     def counts(self) -> Dict[str, int]:
-        return {
+        """Compatibility shim over the metrics registry.
+
+        Every value here is a view of a ``journal.telemetry`` metric
+        (see ``wire.COUNTER_SCHEMA`` for the key -> metric mapping);
+        new consumers should read ``telemetry.snapshot()`` or the
+        Prometheus exposition instead.  The durability keys appear
+        under both their canonical names (``wal_checkpoints``, ...)
+        and the historical ones (``checkpoints_written``, ...), the
+        latter kept for one release — see ``wire.COUNTER_ALIASES``.
+        """
+        counts = {
             "interfaces": len(self.interfaces),
             "gateways": len(self.gateways),
             "subnets": len(self.subnets),
@@ -920,14 +1076,20 @@ class Journal(DirectSinkMixin):
             "batches_flushed": self.batches_flushed,
             "feed_deliveries": self.feed_deliveries,
             "feed_subscribers": self.feed_subscribers,
+            "negative_evictions": self.negative_evictions,
             # Durability counters: zero unless a JournalStore is (or
-            # was, for recovered_records) attached.
+            # was, for wal_recovered_records) attached.
             "wal_appends": self.wal_appends,
             "wal_bytes": self.wal_bytes,
-            "checkpoints_written": self.checkpoints_written,
-            "recovered_records": self.recovered_records,
-            "torn_tail_dropped": self.torn_tail_dropped,
+            "wal_checkpoints": self.checkpoints_written,
+            "wal_recovered_records": self.recovered_records,
+            "wal_torn_tails": self.torn_tail_dropped,
         }
+        from .wire import COUNTER_ALIASES
+
+        for old_name, canonical in COUNTER_ALIASES.items():
+            counts[old_name] = counts[canonical]
+        return counts
 
     def canonical_state(self) -> Dict[str, object]:
         """A structural snapshot for equivalence checks: record ids are

@@ -42,6 +42,7 @@ from . import wire
 from .correlate import Correlator
 from .durability import atomic_write_json
 from .explorers.base import ExplorerModule, RunResult
+from .telemetry import telemetry_of
 
 __all__ = ["DiscoveryManager", "ModuleEntry", "DEFAULT_INTERVALS"]
 
@@ -147,6 +148,31 @@ class DiscoveryManager:
         self.runs_completed = 0
         #: crashed runs absorbed by the isolation layer
         self.failures_isolated = 0
+        #: record campaign telemetry into the journal's registry (a
+        #: remote client grows its own; see telemetry_of)
+        self.telemetry = telemetry_of(journal)
+        self._h_module_run = self.telemetry.histogram(
+            "fremont_module_run_seconds",
+            "Wall-clock duration of one Explorer Module run",
+            labels=("module",),
+        )
+        self._c_module_runs = self.telemetry.counter(
+            "fremont_module_runs_total",
+            "Explorer Module runs by outcome (ok/error/timeout/quarantined)",
+            labels=("module", "outcome"),
+        )
+        self._g_backoff = self.telemetry.gauge(
+            "fremont_module_backoff_seconds",
+            "Current retry backoff imposed on a module (0 when healthy)",
+            labels=("module",),
+        )
+        self.telemetry.gauge(
+            "fremont_modules_quarantined",
+            "Modules currently quarantined by the fault-isolation layer",
+            callback=lambda: sum(
+                1 for e in self.entries.values() if e.quarantined
+            ),
+        )
         self._correlator: Optional[Correlator] = None
         #: Journal revision covered by the most recent correlation pass
         self.last_correlated_revision = 0
@@ -267,22 +293,30 @@ class DiscoveryManager:
         # the subnets RIPwatch has recorded by now.  A directive factory
         # is part of the run, so it crash-isolates with it.
         reconnects_before = self._client_reconnects()
-        try:
-            directive = {
-                key: (value() if callable(value) else value)
-                for key, value in entry.directive.items()
-            }
-            result = entry.module.run(**directive)
-        except Exception as error:
-            result = RunResult.failure(
-                entry.key,
-                self.sim.now,
-                error,
-                outcome="timeout" if isinstance(error, TimeoutError) else "error",
-            )
-            self._on_failure(entry, result)
-        else:
-            self._on_success(entry, result)
+        with self._h_module_run.labels(module=entry.key).time():
+            with self.telemetry.trace("module_run", module=entry.key) as span:
+                try:
+                    directive = {
+                        key: (value() if callable(value) else value)
+                        for key, value in entry.directive.items()
+                    }
+                    result = entry.module.run(**directive)
+                except Exception as error:
+                    result = RunResult.failure(
+                        entry.key,
+                        self.sim.now,
+                        error,
+                        outcome="timeout"
+                        if isinstance(error, TimeoutError)
+                        else "error",
+                    )
+                    self._on_failure(entry, result)
+                else:
+                    self._on_success(entry, result)
+                span.set_tag("outcome", result.outcome)
+                span.set_tag("fruitful", result.fruitful)
+        self._c_module_runs.labels(module=entry.key, outcome=result.outcome).inc()
+        self._g_backoff.labels(module=entry.key).set(entry.retry_backoff)
         entry.last_run_at = result.started_at
         entry.record_run(
             result, reconnects=self._client_reconnects() - reconnects_before
@@ -298,11 +332,13 @@ class DiscoveryManager:
     def run_until(self, until: float) -> List[Tuple[str, RunResult]]:
         """Run every module invocation due before *until* (sim time)."""
         completed: List[Tuple[str, RunResult]] = []
-        while True:
-            entry = self.next_entry()
-            if entry is None or entry.next_due > until:
-                break
-            completed.append(self.run_next())
+        with self.telemetry.trace("campaign", until=until) as span:
+            while True:
+                entry = self.next_entry()
+                if entry is None or entry.next_due > until:
+                    break
+                completed.append(self.run_next())
+            span.set_tag("runs", len(completed))
         if until > self.sim.now:
             self.sim.run_until(until)
         return completed
@@ -327,7 +363,7 @@ class DiscoveryManager:
 
     def _client_reconnects(self) -> int:
         """How many times the journal client has reconnected so far
-        (0 for clients without a reconnect layer, e.g. LocalJournal)."""
+        (0 for clients without a reconnect layer, e.g. LocalClient)."""
         return int(getattr(self.journal, "reconnects", 0))
 
     def _on_success(self, entry: ModuleEntry, result: RunResult) -> None:

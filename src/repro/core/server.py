@@ -15,8 +15,10 @@ baseline).
 
 The server supports the paper's three primary requests (Store/Update,
 Get, Delete) plus gateway/subnet maintenance, the negative cache, a
-full-journal dump, the ``batch`` ingest op the
-:class:`~repro.core.sink.BatchingSink` flushes through, and a streaming
+full-journal dump, the ``observe_batch`` ingest op the
+:class:`~repro.core.sink.BatchingSink` flushes through (the pre-schema
+name ``batch`` still resolves via :data:`~repro.core.wire.OP_ALIASES`),
+a ``metrics`` op exposing the telemetry registry, and a streaming
 ``subscribe`` op: after the acknowledgement, the connection receives a
 pushed :class:`~repro.core.journal.JournalChanges` frame whenever a
 write op lands — the remote half of the Journal change feed.
@@ -35,11 +37,13 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from . import wire
 from .journal import Journal
 from .locks import ReadWriteLock
+from .telemetry import SIZE_BUCKETS
 
 __all__ = ["JournalServer"]
 
@@ -50,6 +54,7 @@ _READ_OPS = frozenset(
     {
         "ping",
         "counts",
+        "metrics",
         "get_interfaces",
         "get_gateways",
         "get_subnets",
@@ -84,8 +89,30 @@ class JournalServer:
         self._rwlock = ReadWriteLock()
         #: guards the connection/thread bookkeeping lists
         self._conn_lock = threading.Lock()
-        #: guards shared counters touched under the read lock
-        self._stats_lock = threading.Lock()
+        #: server metrics live in the Journal's registry, so one
+        #: snapshot covers storage and front-end alike.  The request
+        #: counter is a registry counter (atomic), which is what lets
+        #: read-locked status ops and the checkpoint poll thread bump
+        #: shared accounting without a dedicated stats mutex.
+        self.telemetry = journal.telemetry
+        self._c_requests = self.telemetry.counter(
+            "fremont_server_requests_total", "Requests dispatched by the Journal Server"
+        )
+        self._h_op = self.telemetry.histogram(
+            "fremont_server_op_seconds",
+            "Journal Server op latency (lock wait + handler)",
+            labels=("op",),
+        )
+        self._h_lock_wait = self.telemetry.histogram(
+            "fremont_server_lock_wait_seconds",
+            "Time spent waiting for the Journal RW lock",
+            labels=("mode",),
+        )
+        self._h_batch_size = self.telemetry.histogram(
+            "fremont_server_batch_requests",
+            "Sub-requests per observe_batch op",
+            buckets=SIZE_BUCKETS,
+        )
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.2)
         self._threads: List[threading.Thread] = []
@@ -95,9 +122,17 @@ class JournalServer:
         self._accept_thread: Optional[threading.Thread] = None
         self._checkpoint_thread: Optional[threading.Thread] = None
         self._checkpoint_stop = threading.Event()
-        self.requests_served = 0
         #: persist here on stop() when set
         self.persist_path: Optional[str] = None
+
+    @property
+    def requests_served(self) -> int:
+        """Compatibility view of ``fremont_server_requests_total``."""
+        return int(self._c_requests.value)
+
+    @requests_served.setter
+    def requests_served(self, value: int) -> None:
+        self._c_requests.reset_to(value)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -271,17 +306,29 @@ class JournalServer:
     # ------------------------------------------------------------------
 
     def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        op = request.get("op")
-        handler = getattr(self, f"_op_{op}", None)
+        op = wire.canonical_op(request.get("op"))
+        handler = getattr(self, f"_op_{op}", None) if op in wire.WIRE_OPS else None
         if handler is None:
-            raise wire.WireError(f"unknown op: {op!r}")
+            raise wire.WireError(f"unknown op: {request.get('op')!r}")
+        with self.telemetry.trace("server_op", op=op):
+            with self._h_op.labels(op=op).time():
+                return self._dispatch_locked(op, handler, request)
+
+    def _dispatch_locked(self, op, handler, request: Dict[str, Any]) -> Dict[str, Any]:
         if self.lock_mode == "rw" and op in _READ_OPS:
+            waited_from = time.perf_counter()
             with self._rwlock.read_locked():
-                with self._stats_lock:
-                    self.requests_served += 1
+                self._h_lock_wait.labels(mode="read").observe(
+                    time.perf_counter() - waited_from
+                )
+                self._c_requests.inc()
                 return handler(request)
+        waited_from = time.perf_counter()
         with self._rwlock.write_locked():
-            self.requests_served += 1
+            self._h_lock_wait.labels(mode="write").observe(
+                time.perf_counter() - waited_from
+            )
+            self._c_requests.inc()
             response = handler(request)
             # Delivery point: a completed write op publishes the change
             # feed to streaming subscribers while state is consistent.
@@ -323,24 +370,33 @@ class JournalServer:
                 subscription.close()
 
         with self._rwlock.write_locked():
-            self.requests_served += 1
+            self._c_requests.inc()
             subscription = self.journal.subscribe(
                 push, since=int(request.get("since", 0))
             )
             revision = self.journal.revision
         return {"ok": True, "revision": revision}, subscription
 
-    def _op_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_observe_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Apply several requests in one round trip — the BatchingSink's
         flush path, and the replay path a reconnecting client uses to
         drain observations buffered during an outage.  Per-item failures
         are reported in place; the batch itself still succeeds, so one
-        malformed entry cannot wedge the client's buffer forever."""
+        malformed entry cannot wedge the client's buffer forever.
+
+        ``observe_batch`` is the canonical op name; the pre-schema name
+        ``batch`` still resolves through :data:`wire.OP_ALIASES`."""
         responses: List[Dict[str, Any]] = []
         requests = request.get("requests", [])
+        self._h_batch_size.observe(len(requests))
         for sub_request in requests:
             op = sub_request.get("op") if isinstance(sub_request, dict) else None
-            handler = None if op in (None, "batch") else getattr(self, f"_op_{op}", None)
+            op = wire.canonical_op(op) if op is not None else None
+            handler = (
+                None
+                if op in (None, "observe_batch")
+                else getattr(self, f"_op_{op}", None)
+            )
             if handler is None:
                 responses.append({"ok": False, "error": f"unknown op: {op!r}"})
                 continue
@@ -474,6 +530,14 @@ class JournalServer:
     def _op_delete_interface(self, request: Dict[str, Any]) -> Dict[str, Any]:
         deleted = self.journal.delete_interface(request["record_id"])
         return {"ok": True, "deleted": deleted}
+
+    def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Structured registry snapshot: every metric family plus the
+        tail of the span ring.  Runs under the read lock; the registry's
+        atomic counters make that safe against the checkpoint poll
+        thread (and any write op) bumping them concurrently."""
+        spans = int(request.get("spans", 50))
+        return {"ok": True, "metrics": self.telemetry.snapshot(spans=spans)}
 
     def _op_counts(self, request: Dict[str, Any]) -> Dict[str, Any]:
         # counts() carries the journal revision, so remote clients can

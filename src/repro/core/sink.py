@@ -8,13 +8,13 @@ observation pipeline (ingest -> storage -> change feed):
 * :class:`ObservationSink` — the protocol every journal client speaks:
   ``submit`` (fire-and-forget), ``resolve`` (synchronous, returns the
   merged record), ``flush``, and ``close``.  ``Journal``,
-  ``LocalJournal`` and ``RemoteJournal`` all implement it directly
+  ``LocalClient`` and ``RemoteClient`` all implement it directly
   (via :class:`DirectSinkMixin`), so a sink can be dropped anywhere a
   journal client was expected.
 * :class:`BatchingSink` — wraps any sink and buffers submissions,
   coalescing *consecutive* duplicate (mac, ip, source) sightings and
-  flushing on size/age thresholds.  Against a ``RemoteJournal`` a flush
-  becomes a single server ``batch`` round trip.
+  flushing on size/age thresholds.  Against a remote client a flush
+  becomes a single server ``observe_batch`` round trip.
 
 Flush is also the pipeline's *durability point*: the terminal
 ``Journal.flush`` publishes the change feed and, when a
@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from .records import InterfaceRecord, Observation
+from .telemetry import SIZE_BUCKETS, telemetry_of
 
 __all__ = ["ObservationSink", "DirectSinkMixin", "BatchingSink", "FlushStats"]
 
@@ -96,8 +97,8 @@ class ObservationSink(abc.ABC):
 
 class DirectSinkMixin(ObservationSink):
     """Sink protocol for clients that already expose
-    ``observe_interface`` synchronously (Journal, LocalJournal,
-    RemoteJournal).  ``submit`` is unbuffered, so ``flush`` has nothing
+    ``observe_interface`` synchronously (Journal, LocalClient,
+    RemoteClient).  ``submit`` is unbuffered, so ``flush`` has nothing
     to drain."""
 
     def submit(self, observation: Observation) -> Tuple[InterfaceRecord, bool]:
@@ -152,6 +153,20 @@ class BatchingSink(ObservationSink):
         self.max_batch = max_batch
         self.max_age = max_age
         self._clock = clock
+        #: shared with the target journal's registry when reachable
+        self.telemetry = telemetry_of(target)
+        self._h_batch_size = self.telemetry.histogram(
+            "fremont_sink_batch_size",
+            "Observations in a BatchingSink buffer at flush",
+            buckets=SIZE_BUCKETS,
+        )
+        self._h_batch_age = self.telemetry.histogram(
+            "fremont_sink_batch_age_seconds",
+            "Age of the oldest buffered observation at flush (clock units)",
+        )
+        self._c_flushes = self.telemetry.counter(
+            "fremont_sink_flushes_total", "Non-empty BatchingSink flushes"
+        )
         self._entries: List[Observation] = []
         self._oldest_at: Optional[float] = None
         # cumulative accounting
@@ -223,7 +238,7 @@ class BatchingSink(ObservationSink):
     def flush(self) -> FlushStats:
         if not self._entries:
             # Propagate so stacked sinks / feed publication still happen.
-            # An unreachable RemoteJournal raises here while trying to
+            # An unreachable RemoteClient raises here while trying to
             # drain its replay buffer; its observations stay parked for
             # the next attempt, so swallow and move on.
             try:
@@ -233,33 +248,42 @@ class BatchingSink(ObservationSink):
             return FlushStats(coalesced=0)
         batch = self._entries
         self._entries = []
+        oldest_at = self._oldest_at
         self._oldest_at = None
         coalesced = self._coalesced_pending
         self._coalesced_pending = 0
-        observe_batch = getattr(self.target, "observe_batch", None)
-        if observe_batch is not None:
-            # One round trip for the whole buffer (server `batch` op).
-            changed_flags = observe_batch(batch, coalesced=coalesced)
-            changed = sum(1 for flag in changed_flags if flag)
-        else:
-            changed = 0
-            for observation in batch:
-                _record, item_changed = self.target.submit(observation)
-                if item_changed:
-                    changed += 1
-            journal = getattr(self.target, "journal", self.target)
-            note = getattr(journal, "note_ingest", None)
-            if note is not None:
-                note(submitted=coalesced, coalesced=coalesced, batches=1)
-        # Flushing downstream is what makes a batch boundary a real
-        # durability point: the terminal Journal.flush publishes the
-        # change feed and fsyncs an attached WAL.  An unreachable
-        # RemoteJournal keeps its replay buffer parked (same contract as
-        # the empty-buffer path above).
-        try:
-            self.target.flush()
-        except ConnectionError:
-            pass
+        self._h_batch_size.observe(len(batch))
+        if oldest_at is not None and self._clock is not None:
+            self._h_batch_age.observe(max(0.0, self._clock() - oldest_at))
+        with self.telemetry.trace(
+            "sink_flush", size=len(batch), coalesced=coalesced
+        ):
+            observe_batch = getattr(self.target, "observe_batch", None)
+            if observe_batch is not None:
+                # One round trip for the whole buffer (server
+                # `observe_batch` op).
+                changed_flags = observe_batch(batch, coalesced=coalesced)
+                changed = sum(1 for flag in changed_flags if flag)
+            else:
+                changed = 0
+                for observation in batch:
+                    _record, item_changed = self.target.submit(observation)
+                    if item_changed:
+                        changed += 1
+                journal = getattr(self.target, "journal", self.target)
+                note = getattr(journal, "note_ingest", None)
+                if note is not None:
+                    note(submitted=coalesced, coalesced=coalesced, batches=1)
+            # Flushing downstream is what makes a batch boundary a real
+            # durability point: the terminal Journal.flush publishes the
+            # change feed and fsyncs an attached WAL.  An unreachable
+            # RemoteClient keeps its replay buffer parked (same
+            # contract as the empty-buffer path above).
+            try:
+                self.target.flush()
+            except ConnectionError:
+                pass
+        self._c_flushes.inc()
         self.flushes += 1
         self.applied += len(batch)
         self._unclaimed_changes += changed

@@ -21,7 +21,12 @@ from .records import (
 )
 
 __all__ = [
+    "COUNTER_ALIASES",
+    "COUNTER_SCHEMA",
+    "OP_ALIASES",
     "RUN_OUTCOMES",
+    "WIRE_OPS",
+    "canonical_op",
     "attribute_to_dict",
     "attribute_from_dict",
     "batch_request",
@@ -46,6 +51,74 @@ __all__ = [
 
 class WireError(ValueError):
     """Raised for malformed wire data."""
+
+
+# ----------------------------------------------------------------------
+# Protocol schema: ops and counters
+# ----------------------------------------------------------------------
+
+#: The canonical Journal Server op vocabulary.  Verb_object naming:
+#: ``observe`` ops mutate via the ingest pipeline, ``get_*`` ops read,
+#: the rest are control-plane.  Grown-organically names from earlier
+#: releases live in :data:`OP_ALIASES`.
+WIRE_OPS = frozenset(
+    {
+        # ingest & maintenance (write)
+        "observe", "observe_batch",
+        "absorb_interface", "absorb_gateway", "absorb_subnet",
+        "ensure_gateway", "ensure_subnet", "link_gateway_subnet",
+        "delete_interface", "negative_put",
+        # queries (read)
+        "ping", "counts", "metrics",
+        "get_interfaces", "get_gateways", "get_subnets",
+        "negative_check", "changes_since", "dump", "save",
+        # streaming
+        "subscribe",
+    }
+)
+
+#: old wire-op name -> canonical name.  The server accepts both for one
+#: release; clients emit canonical names only.
+OP_ALIASES: Dict[str, str] = {
+    "batch": "observe_batch",
+}
+
+
+def canonical_op(op: str) -> str:
+    """Resolve a wire op name through :data:`OP_ALIASES`."""
+    return OP_ALIASES.get(op, op)
+
+
+#: ``Journal.counts()`` key -> registry metric name.  This is the one
+#: documented mapping between the legacy dashboard-shaped dict and the
+#: telemetry registry; every key is readable from either side.
+COUNTER_SCHEMA: Dict[str, str] = {
+    "interfaces": "fremont_interface_records",
+    "gateways": "fremont_gateway_records",
+    "subnets": "fremont_subnet_records",
+    "revision": "fremont_journal_revision",
+    "negative_cache_size": "fremont_negative_cache_size",
+    "feed_subscribers": "fremont_feed_subscribers",
+    "observations_submitted": "fremont_observations_submitted_total",
+    "observations_applied": "fremont_observations_applied_total",
+    "observations_coalesced": "fremont_observations_coalesced_total",
+    "batches_flushed": "fremont_batches_flushed_total",
+    "feed_deliveries": "fremont_feed_deliveries_total",
+    "negative_evictions": "fremont_negative_evictions_total",
+    "wal_appends": "fremont_wal_appends_total",
+    "wal_bytes": "fremont_wal_bytes_total",
+    "wal_checkpoints": "fremont_wal_checkpoints_total",
+    "wal_recovered_records": "fremont_wal_recovered_records_total",
+    "wal_torn_tails": "fremont_wal_torn_tails_total",
+}
+
+#: old counts() key -> canonical key.  Both appear in ``counts()`` for
+#: one release; new consumers should use the canonical names.
+COUNTER_ALIASES: Dict[str, str] = {
+    "checkpoints_written": "wal_checkpoints",
+    "recovered_records": "wal_recovered_records",
+    "torn_tail_dropped": "wal_torn_tails",
+}
 
 
 # ----------------------------------------------------------------------
@@ -240,7 +313,7 @@ def batch_request(
     BatchingSink's flush path and the outage-replay path both use it.
     *coalesced* reports sightings the client merged away before sending,
     so the server-side pipeline counters stay truthful."""
-    request: Dict[str, Any] = {"op": "batch", "requests": list(requests)}
+    request: Dict[str, Any] = {"op": "observe_batch", "requests": list(requests)}
     if coalesced:
         request["coalesced"] = coalesced
     return request
@@ -306,6 +379,7 @@ def journal_to_dict(journal) -> Dict[str, Any]:
             "coalesced": journal.observations_coalesced,
             "batches": journal.batches_flushed,
             "feed_deliveries": journal.feed_deliveries,
+            "negative_evictions": journal.negative_evictions,
         },
         # Durability counters ride along so a recovered journal's
         # lifetime accounting (WAL traffic, checkpoints taken) is not
@@ -359,6 +433,7 @@ def journal_from_dict(data: Dict[str, Any], clock: Optional[Callable[[], float]]
     journal.observations_coalesced = int(ingest.get("coalesced", 0))
     journal.batches_flushed = int(ingest.get("batches", 0))
     journal.feed_deliveries = int(ingest.get("feed_deliveries", 0))
+    journal.negative_evictions = int(ingest.get("negative_evictions", 0))
     durability = data.get("durability", {})
     journal.wal_appends = int(durability.get("wal_appends", 0))
     journal.wal_bytes = int(durability.get("wal_bytes", 0))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.netsim import Network, Subnet
 
 
@@ -31,7 +31,7 @@ def small_net():
 def journal_for(small_net):
     net, *_ = small_net
     journal = Journal(clock=lambda: net.sim.now)
-    return journal, LocalJournal(journal)
+    return journal, LocalClient(journal)
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.core import Journal, JournalServer, RemoteJournal
+from repro.core import Journal, JournalServer, RemoteClient
 from repro.core.records import Observation
 
 
@@ -23,7 +23,7 @@ class TestReconnect:
         journal = Journal()
         server = make_server(journal)
         host, port = server.address
-        client = RemoteJournal(host, port, **FAST)
+        client = RemoteClient(host, port, **FAST)
         try:
             client.observe_interface(Observation(source="t", ip="10.0.0.1"))
             server.stop()
@@ -44,7 +44,7 @@ class TestReconnect:
         journal = Journal()
         server = make_server(journal)
         host, port = server.address
-        client = RemoteJournal(host, port, **FAST)
+        client = RemoteClient(host, port, **FAST)
         try:
             server.stop()
             started = time.monotonic()
@@ -59,7 +59,7 @@ class TestReconnect:
         journal = Journal()
         server = make_server(journal)
         host, port = server.address
-        client = RemoteJournal(host, port, **FAST)
+        client = RemoteClient(host, port, **FAST)
         try:
             client.observe_interface(Observation(source="t", ip="10.0.0.1"))
             server.stop()
@@ -77,7 +77,7 @@ class TestBufferedReplay:
         journal = Journal()
         server = make_server(journal)
         host, port = server.address
-        client = RemoteJournal(host, port, **FAST)
+        client = RemoteClient(host, port, **FAST)
         try:
             server.stop()
             # Observations made while disconnected are parked, not lost.
@@ -110,7 +110,7 @@ class TestBufferedReplay:
         journal = Journal()
         server = make_server(journal)
         host, port = server.address
-        client = RemoteJournal(host, port, **FAST)
+        client = RemoteClient(host, port, **FAST)
         try:
             server.stop()
             client.observe_interface(Observation(source="t", ip="10.0.0.7"))
@@ -128,7 +128,7 @@ class TestBufferedReplay:
         journal = Journal()
         server = make_server(journal)
         host, port = server.address
-        client = RemoteJournal(host, port, buffer_limit=2, **FAST)
+        client = RemoteClient(host, port, buffer_limit=2, **FAST)
         try:
             server.stop()
             client.observe_interface(Observation(source="t", ip="10.0.0.1"))
@@ -143,7 +143,7 @@ class TestBufferedReplay:
         journal = Journal()
         server = make_server(journal)
         host, port = server.address
-        client = RemoteJournal(host, port, **FAST)
+        client = RemoteClient(host, port, **FAST)
         server.stop()
         client.observe_interface(Observation(source="t", ip="10.0.0.1"))
         server = make_server(journal, port=port)
@@ -160,7 +160,7 @@ class TestBatchOp:
         server = make_server(journal)
         host, port = server.address
         try:
-            with RemoteJournal(host, port, **FAST) as client:
+            with RemoteClient(host, port, **FAST) as client:
                 response = client._call(
                     {
                         "op": "batch",
@@ -189,14 +189,14 @@ class TestThreadReaping:
         host, port = server.address
         try:
             for index in range(8):
-                with RemoteJournal(host, port, **FAST) as client:
+                with RemoteClient(host, port, **FAST) as client:
                     client.observe_interface(
                         Observation(source="t", ip=f"10.0.1.{index + 1}")
                     )
             # Give handler threads a beat to wind down, then trigger one
             # more accept so the loop reaps.
             time.sleep(0.1)
-            with RemoteJournal(host, port, **FAST) as client:
+            with RemoteClient(host, port, **FAST) as client:
                 client.counts()
             time.sleep(0.1)
             assert len(server._threads) <= 2  # not one per historical connection

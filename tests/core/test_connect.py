@@ -1,0 +1,180 @@
+"""The ``connect`` factory and the deprecated client aliases."""
+
+import pytest
+
+from repro.core import (
+    BatchingSink,
+    Journal,
+    JournalServer,
+    LocalClient,
+    LocalJournal,
+    RemoteClient,
+    RemoteJournal,
+    connect,
+)
+from repro.core.records import Observation
+
+
+@pytest.fixture
+def served_journal():
+    journal = Journal()
+    server = JournalServer(journal)
+    server.start()
+    host, port = server.address
+    yield journal, server, f"{host}:{port}"
+    server.stop()
+
+
+class TestConnectLocal:
+    def test_none_builds_fresh_local_stack(self):
+        client = connect()
+        assert isinstance(client, LocalClient)
+        _record, changed = client.resolve(Observation(source="t", ip="10.0.0.1"))
+        assert changed is True
+        assert client.journal.counts()["interfaces"] == 1
+
+    def test_existing_journal_is_wrapped(self):
+        journal = Journal()
+        client = connect(journal)
+        assert isinstance(client, LocalClient)
+        assert client.journal is journal
+
+    def test_clock_and_telemetry_seed_the_new_journal(self):
+        from repro.core import MetricsRegistry
+
+        registry = MetricsRegistry()
+        client = connect(clock=lambda: 42.0, telemetry=registry)
+        assert client.journal.telemetry is registry
+        record, _ = client.resolve(Observation(source="t", ip="10.0.0.1"))
+        assert record.created_at == 42.0
+
+    def test_existing_sink_passes_through(self):
+        sink = connect(Journal(), batching=True)
+        assert connect(sink) is sink
+
+    def test_local_client_is_a_context_manager(self):
+        with connect(Journal()) as client:
+            client.submit(Observation(source="t", ip="10.0.0.1"))
+        assert client.journal.counts()["interfaces"] == 1
+
+
+class TestConnectBatching:
+    def test_true_stacks_default_batching(self):
+        sink = connect(Journal(), batching=True)
+        assert isinstance(sink, BatchingSink)
+        assert isinstance(sink.target, LocalClient)
+
+    def test_int_sets_max_batch(self):
+        sink = connect(Journal(), batching=16)
+        assert sink.max_batch == 16
+
+    def test_dict_passes_options_and_inherits_clock(self):
+        clock = lambda: 7.0  # noqa: E731
+        sink = connect(Journal(), batching={"max_batch": 4, "max_age": 2.0}, clock=clock)
+        assert sink.max_batch == 4
+        assert sink.max_age == 2.0
+        assert sink._clock is clock
+
+    def test_bad_batching_type_rejected(self):
+        with pytest.raises(TypeError):
+            connect(Journal(), batching="lots")
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(TypeError):
+            connect(42)
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(ValueError):
+            connect("not-an-address")
+
+    def test_retry_on_local_target_rejected(self):
+        with pytest.raises(ValueError):
+            connect(Journal(), retry={"timeout": 1.0})
+
+
+class TestConnectRemote:
+    def test_address_string_builds_remote_client(self, served_journal):
+        journal, _server, address = served_journal
+        with connect(address) as client:
+            assert isinstance(client, RemoteClient)
+            client.observe_interface(Observation(source="r", ip="10.0.0.1"))
+        assert journal.counts()["interfaces"] == 1
+
+    def test_host_port_tuple(self, served_journal):
+        _journal, server, _address = served_journal
+        with connect(server.address) as client:
+            assert isinstance(client, RemoteClient)
+            assert client.counts()["interfaces"] == 0
+
+    def test_retry_options_reach_the_client(self, served_journal):
+        _journal, _server, address = served_journal
+        with connect(address, retry={"reconnect_attempts": 2}) as client:
+            assert client._reconnect_attempts == 2
+
+    def test_batched_remote_stack(self, served_journal):
+        journal, _server, address = served_journal
+        sink = connect(address, batching=4)
+        assert isinstance(sink, BatchingSink)
+        assert isinstance(sink.target, RemoteClient)
+        for index in range(4):
+            sink.submit(Observation(source="r", ip=f"10.0.0.{index + 1}"))
+        sink.target.close()
+        assert journal.counts()["interfaces"] == 4
+
+
+class TestMetricsOp:
+    def test_remote_metrics_snapshot(self, served_journal):
+        journal, _server, address = served_journal
+        with connect(address) as client:
+            client.observe_interface(Observation(source="r", ip="10.0.0.1"))
+            snapshot = client.metrics(spans=5)
+        names = {metric["name"] for metric in snapshot["metrics"]}
+        assert "fremont_server_requests_total" in names
+        assert "fremont_observations_applied_total" in names
+        assert snapshot["spans"]["capacity"] == journal.telemetry.span_capacity
+
+    def test_local_metrics_snapshot_matches_registry(self):
+        client = connect()
+        client.resolve(Observation(source="t", ip="10.0.0.1"))
+        snapshot = client.metrics()
+        by_name = {metric["name"]: metric for metric in snapshot["metrics"]}
+        applied = by_name["fremont_observations_applied_total"]["samples"][0]["value"]
+        assert applied == 1
+
+    def test_client_side_registry_sees_roundtrips(self, served_journal):
+        _journal, _server, address = served_journal
+        with connect(address) as client:
+            client.counts()
+            client.counts()
+            assert client.telemetry.get("fremont_client_roundtrip_seconds").count >= 2
+
+
+class TestDeprecatedAliases:
+    def test_local_journal_warns_and_still_works(self):
+        journal = Journal()
+        with pytest.warns(DeprecationWarning, match="LocalJournal is deprecated"):
+            client = LocalJournal(journal)
+        assert isinstance(client, LocalClient)
+        _record, changed = client.resolve(Observation(source="t", ip="10.0.0.1"))
+        assert changed is True
+
+    def test_remote_journal_warns_and_still_works(self, served_journal):
+        journal, server, _address = served_journal
+        host, port = server.address
+        with pytest.warns(DeprecationWarning, match="RemoteJournal is deprecated"):
+            client = RemoteJournal(host, port)
+        try:
+            client.observe_interface(Observation(source="r", ip="10.0.0.9"))
+        finally:
+            client.close()
+        assert journal.counts()["interfaces"] == 1
+
+    def test_canonical_classes_do_not_warn(self, served_journal):
+        import warnings
+
+        _journal, server, _address = served_journal
+        host, port = server.address
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            LocalClient(Journal())
+            RemoteClient(host, port).close()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import AgentPoll
 from repro.core.records import Observation
 from repro.netsim.agent import ManagementAgent
@@ -12,7 +12,7 @@ from repro.netsim.agent import ManagementAgent
 def setup(chain_net):
     net, subnets, gateways, (src, dst) = chain_net
     journal = Journal(clock=lambda: net.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
     return net, subnets, gateways, src, dst, journal, client
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import ArpWatch, EtherHostProbe
 from repro.netsim import TrafficGenerator
 
@@ -11,7 +11,7 @@ from repro.netsim import TrafficGenerator
 def setup(small_net):
     net, left, right, gateway, hosts = small_net
     journal = Journal(clock=lambda: net.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
     monitor = net.add_host(left, name="monitor", index=200, activity_rate=0.0)
     return net, left, right, gateway, hosts, journal, client, monitor
 

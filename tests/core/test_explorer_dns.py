@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import DnsExplorer
 from repro.core.records import Observation
 from repro.netsim import Ipv4Address, Network, Subnet
@@ -25,7 +25,7 @@ def dns_net():
                            activity_rate=0.0)
     net.compute_routes()
     journal = Journal(clock=lambda: net.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
     module = DnsExplorer(
         monitor, client, nameserver=ns_host.ip, domain="campus.edu"
     )

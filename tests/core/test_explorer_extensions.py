@@ -3,7 +3,7 @@ traceroute, and LSR-based multiple-path discovery."""
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import (
     GdpWatch,
     MultiVantageTraceroute,
@@ -18,7 +18,7 @@ from repro.netsim.packet import UDP_ECHO_PORT
 def setup(small_net):
     net, left, right, gateway, hosts = small_net
     journal = Journal(clock=lambda: net.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
     monitor = net.add_host(left, name="monitor", index=200, activity_rate=0.0)
     return net, left, right, gateway, hosts, journal, client, monitor
 
@@ -115,7 +115,7 @@ class TestTrafficWatch:
         from repro.core.explorers import ArpWatch
 
         arp_journal = Journal(clock=lambda: net.sim.now)
-        arp_watch = ArpWatch(monitor, LocalJournal(arp_journal))
+        arp_watch = ArpWatch(monitor, LocalClient(arp_journal))
         traffic_watch = TrafficWatch(monitor, client)
         arp_watch.start()
         traffic_watch.start()
@@ -156,14 +156,14 @@ class TestMultiVantage:
         targets = [left, middle, right]
 
         single_journal = Journal(clock=lambda: net.sim.now)
-        TracerouteModule(mon_a, LocalJournal(single_journal)).run(targets=targets)
+        TracerouteModule(mon_a, LocalClient(single_journal)).run(targets=targets)
         single_interfaces = {
             r.ip for r in single_journal.all_interfaces() if r.ip is not None
         }
 
         shared_journal = Journal(clock=lambda: net.sim.now)
         multi = MultiVantageTraceroute(
-            [mon_a, mon_b], LocalJournal(shared_journal)
+            [mon_a, mon_b], LocalClient(shared_journal)
         )
         combined = multi.run(targets=targets)
         multi_interfaces = {
@@ -182,7 +182,7 @@ class TestMultiVantage:
         # ties its far side to the Time-Exceeded near side.
         gw1.quirks.accepts_host_zero = True
         journal = Journal(clock=lambda: net.sim.now)
-        multi = MultiVantageTraceroute([mon_a, mon_b], LocalJournal(journal))
+        multi = MultiVantageTraceroute([mon_a, mon_b], LocalClient(journal))
         multi.run(targets=[left, middle, right])
         sides = [
             journal.interfaces_by_ip(str(nic.ip)) for nic in gw1.nics
@@ -220,7 +220,7 @@ class TestTracerouteVia:
     def test_lsr_reveals_the_redundant_path(self, redundant):
         net, left, right, primary, backup, monitor = redundant
         journal = Journal(clock=lambda: net.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         # Plain trace: only the primary gateway appears.
         TracerouteModule(monitor, client).run(targets=[right])
         assert journal.interfaces_by_ip(str(backup.nics[1].ip)) == []
@@ -237,7 +237,7 @@ class TestTracerouteVia:
         information aggregated from multiple invocations."""
         net, left, right, primary, backup, monitor = redundant
         journal = Journal(clock=lambda: net.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         TracerouteModule(monitor, client).run(targets=[right])
         primary_seen = bool(journal.interfaces_by_ip(str(primary.nics[1].ip)))
         # The primary fails; hosts fail over to the backup.

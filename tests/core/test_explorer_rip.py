@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import RipQuery, RipWatch
 from repro.core.records import Observation
 from repro.netsim import faults
@@ -13,7 +13,7 @@ from repro.netsim.rip import RipSpeaker
 def setup(chain_net):
     net, subnets, gateways, (src, dst) = chain_net
     journal = Journal(clock=lambda: net.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
     for gateway in gateways:
         RipSpeaker(gateway, interval=30.0).start()
     return net, subnets, gateways, src, dst, journal, client

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import TracerouteModule
 from repro.netsim import Network, Subnet, faults
 
@@ -11,7 +11,7 @@ from repro.netsim import Network, Subnet, faults
 def setup(chain_net):
     net, subnets, gateways, (src, dst) = chain_net
     journal = Journal(clock=lambda: net.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
     module = TracerouteModule(src, client)
     return net, subnets, gateways, src, dst, journal, client, module
 
@@ -138,7 +138,7 @@ class TestRoutingLoop:
         gw2.add_route(c, gw1.nics[1].ip)
         src.default_gateway = gw1.nics[0].ip
         journal = Journal(clock=lambda: net.sim.now)
-        module = TracerouteModule(src, LocalJournal(journal))
+        module = TracerouteModule(src, LocalClient(journal))
         module.run(targets=[c])
         notes = [t.note for t in module.traces if t.note]
         assert any("routing loop" in note for note in notes)

@@ -11,7 +11,7 @@ from repro.core import (
     Journal,
     JournalServer,
     ReadWriteLock,
-    RemoteJournal,
+    RemoteClient,
 )
 from repro.core.records import Observation
 
@@ -36,7 +36,7 @@ def served():
     server = JournalServer(journal)
     server.start()
     host, port = server.address
-    client = RemoteJournal(host, port)
+    client = RemoteClient(host, port)
     yield journal, server, client
     client.close()
     server.stop()
@@ -106,7 +106,7 @@ class TestServerLockModes:
         server.start()
         try:
             host, port = server.address
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 client.submit(_obs(ip="10.0.0.1"))
                 assert client.counts()["interfaces"] == 1
         finally:
@@ -121,7 +121,7 @@ class TestServerLockModes:
 
         def dumper():
             try:
-                with RemoteJournal(host, port) as mine:
+                with RemoteClient(host, port) as mine:
                     for _ in range(5):
                         assert len(mine.all_interfaces()) == 20
             except Exception as error:  # pragma: no cover
@@ -241,7 +241,7 @@ class TestConnectionReaping:
         journal, server, client = served
         host, port = server.address
         for _ in range(3):
-            extra = RemoteJournal(host, port)
+            extra = RemoteClient(host, port)
             extra.counts()
             extra.close()
         assert _wait_for(
@@ -256,7 +256,7 @@ class TestConnectionReaping:
         server = JournalServer(journal)
         server.start()
         host, port = server.address
-        with RemoteJournal(host, port) as client:
+        with RemoteClient(host, port) as client:
             client.submit(_obs(ip="10.0.0.1"))
         server.stop()
         assert server.live_connections == 0

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers import SequentialPing
 from repro.core.explorers.base import ExplorerModule, RunResult
 from repro.core.manager import DEFAULT_INTERVALS, DiscoveryManager
@@ -52,7 +52,7 @@ def sim():
 @pytest.fixture
 def manager(sim):
     journal = Journal(clock=lambda: sim.now)
-    return DiscoveryManager(sim, LocalJournal(journal), correlate_after_each=False)
+    return DiscoveryManager(sim, LocalClient(journal), correlate_after_each=False)
 
 
 class TestRegistration:
@@ -149,7 +149,7 @@ class TestHistoryFile:
         path = str(tmp_path / "history.json")
         journal = Journal(clock=lambda: sim.now)
         manager = DiscoveryManager(
-            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+            sim, LocalClient(journal), state_path=path, correlate_after_each=False
         )
         module = FakeModule(sim, fruitful_plan=[False, False])
         manager.register(module, min_interval=100.0, max_interval=1600.0)
@@ -166,7 +166,7 @@ class TestHistoryFile:
         sim2 = Simulator()
         journal2 = Journal(clock=lambda: sim2.now)
         manager2 = DiscoveryManager(
-            sim2, LocalJournal(journal2), state_path=path, correlate_after_each=False
+            sim2, LocalClient(journal2), state_path=path, correlate_after_each=False
         )
         entry = manager2.register(
             FakeModule(sim2), min_interval=100.0, max_interval=1600.0
@@ -178,7 +178,7 @@ class TestHistoryFile:
         path = str(tmp_path / "history.json")
         journal = Journal(clock=lambda: sim.now)
         manager = DiscoveryManager(
-            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+            sim, LocalClient(journal), state_path=path, correlate_after_each=False
         )
         manager.register(
             FakeModule(sim, fruitful_plan=[False] * 4),
@@ -191,7 +191,7 @@ class TestHistoryFile:
         sim2 = Simulator()
         manager2 = DiscoveryManager(
             sim2,
-            LocalJournal(Journal(clock=lambda: sim2.now)),
+            LocalClient(Journal(clock=lambda: sim2.now)),
             state_path=path,
             correlate_after_each=False,
         )
@@ -210,7 +210,7 @@ class TestHistoryFile:
     def test_history_keep_configurable(self, sim):
         journal = Journal(clock=lambda: sim.now)
         manager = DiscoveryManager(
-            sim, LocalJournal(journal), correlate_after_each=False, history_keep=5
+            sim, LocalClient(journal), correlate_after_each=False, history_keep=5
         )
         entry = manager.register(FakeModule(sim), min_interval=1.0, max_interval=2.0)
         for _ in range(12):
@@ -220,7 +220,7 @@ class TestHistoryFile:
     def test_history_keep_validated(self, sim):
         journal = Journal(clock=lambda: sim.now)
         with pytest.raises(ValueError):
-            DiscoveryManager(sim, LocalJournal(journal), history_keep=0)
+            DiscoveryManager(sim, LocalClient(journal), history_keep=0)
 
     def test_history_cap_survives_state_round_trips(self, sim, tmp_path):
         """The ledger must not grow without bound across repeated
@@ -231,7 +231,7 @@ class TestHistoryFile:
             journal = Journal(clock=lambda: sim_n.now)
             manager = DiscoveryManager(
                 sim_n,
-                LocalJournal(journal),
+                LocalClient(journal),
                 state_path=path,
                 correlate_after_each=False,
                 history_keep=6,
@@ -252,7 +252,7 @@ class TestHistoryFile:
         path = str(tmp_path / "history.json")
         journal = Journal(clock=lambda: sim.now)
         manager = DiscoveryManager(
-            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+            sim, LocalClient(journal), state_path=path, correlate_after_each=False
         )
         manager.register(FakeModule(sim), min_interval=1.0, max_interval=2.0)
         for _ in range(15):
@@ -263,7 +263,7 @@ class TestHistoryFile:
         sim2 = Simulator()
         manager2 = DiscoveryManager(
             sim2,
-            LocalJournal(Journal(clock=lambda: sim2.now)),
+            LocalClient(Journal(clock=lambda: sim2.now)),
             state_path=path,
             correlate_after_each=False,
             history_keep=4,
@@ -279,7 +279,7 @@ class TestHistoryFile:
         path = str(tmp_path / "history.json")
         journal = Journal(clock=lambda: sim.now)
         manager = DiscoveryManager(
-            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+            sim, LocalClient(journal), state_path=path, correlate_after_each=False
         )
         manager.register(FakeModule(sim), min_interval=1.0, max_interval=2.0)
         manager.run_next()
@@ -335,7 +335,7 @@ class TestRealModuleIntegration:
     def test_seqping_through_manager(self, small_net):
         net, left, right, gateway, hosts = small_net
         journal = Journal(clock=lambda: net.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         monitor = net.add_host(left, name="monitor", index=200, activity_rate=0.0)
         manager = DiscoveryManager(net.sim, client)
         manager.register(
@@ -380,7 +380,7 @@ class TestAdaptationEdgeCases:
         path = str(tmp_path / "history.json")
         journal = Journal(clock=lambda: sim.now)
         manager = DiscoveryManager(
-            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+            sim, LocalClient(journal), state_path=path, correlate_after_each=False
         )
         # Fruitful runs drive the persisted interval down to 100.
         manager.register(
@@ -394,7 +394,7 @@ class TestAdaptationEdgeCases:
         sim2 = Simulator()
         manager2 = DiscoveryManager(
             sim2,
-            LocalJournal(Journal(clock=lambda: sim2.now)),
+            LocalClient(Journal(clock=lambda: sim2.now)),
             state_path=path,
             correlate_after_each=False,
         )
@@ -407,7 +407,7 @@ class TestAdaptationEdgeCases:
         path = str(tmp_path / "history.json")
         journal = Journal(clock=lambda: sim.now)
         manager = DiscoveryManager(
-            sim, LocalJournal(journal), state_path=path, correlate_after_each=False
+            sim, LocalClient(journal), state_path=path, correlate_after_each=False
         )
         manager.register(
             FakeModule(sim, fruitful_plan=[True, False, False]),
@@ -424,7 +424,7 @@ class TestAdaptationEdgeCases:
         sim2 = Simulator()
         manager2 = DiscoveryManager(
             sim2,
-            LocalJournal(Journal(clock=lambda: sim2.now)),
+            LocalClient(Journal(clock=lambda: sim2.now)),
             state_path=path,
             correlate_after_each=False,
         )
@@ -466,7 +466,7 @@ class ObservingModule(FakeModule):
 class TestCorrelationWiring:
     def test_manager_correlates_incrementally(self, sim):
         journal = Journal(clock=lambda: sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         manager = DiscoveryManager(sim, client)
         manager.register(
             ObservingModule(sim, client, fruitful_plan=[True] * 3),

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.explorers.base import RunResult
 from repro.core.manager import DiscoveryManager
 from repro.netsim import faults
@@ -40,7 +40,7 @@ def sim():
 def make_manager(sim, **kwargs):
     journal = Journal(clock=lambda: sim.now)
     kwargs.setdefault("correlate_after_each", False)
-    return DiscoveryManager(sim, LocalJournal(journal), **kwargs)
+    return DiscoveryManager(sim, LocalClient(journal), **kwargs)
 
 
 class TestCrashIsolation:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Journal, JournalServer, LocalJournal, RemoteJournal
+from repro.core import Journal, JournalServer, LocalClient, RemoteClient
 from repro.core.records import Observation
 from repro.core.replicate import JournalReplicator
 
@@ -103,7 +103,7 @@ class TestReplicatorLocal:
             source="x", name="gw", interface_ids=[r1.record_id, r2.record_id]
         )
         site_a.link_gateway_subnet(gateway.record_id, "10.0.1.0/24", source="x")
-        replicator = JournalReplicator(LocalJournal(site_a), LocalJournal(site_b))
+        replicator = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
         stats = replicator.sync()
         assert stats.interfaces_sent == 2
         assert stats.gateways_sent == 1
@@ -119,7 +119,7 @@ class TestReplicatorLocal:
         (site_a, state_a), (site_b, state_b) = two_sites
         state_a["now"] = 10.0
         _observe(site_a, ip="10.0.1.1")
-        replicator = JournalReplicator(LocalJournal(site_a), LocalJournal(site_b))
+        replicator = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
         first = replicator.sync()
         assert first.interfaces_sent == 1
         second = replicator.sync()
@@ -136,8 +136,8 @@ class TestReplicatorLocal:
         _observe(site_a, ip="10.0.1.1")
         state_b["now"] = 10.0
         _observe(site_b, ip="10.0.2.1")
-        a_to_b = JournalReplicator(LocalJournal(site_a), LocalJournal(site_b))
-        b_to_a = JournalReplicator(LocalJournal(site_b), LocalJournal(site_a))
+        a_to_b = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
+        b_to_a = JournalReplicator(LocalClient(site_b), LocalClient(site_a))
         a_to_b.sync()
         b_to_a.sync()
         assert site_a.counts()["interfaces"] == 2
@@ -147,8 +147,8 @@ class TestReplicatorLocal:
         (site_a, state_a), (site_b, state_b) = two_sites
         state_a["now"] = 10.0
         _observe(site_a, ip="10.0.1.1", mac="aa:00:03:00:00:01")
-        a_to_b = JournalReplicator(LocalJournal(site_a), LocalJournal(site_b))
-        b_to_a = JournalReplicator(LocalJournal(site_b), LocalJournal(site_a))
+        a_to_b = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
+        b_to_a = JournalReplicator(LocalClient(site_b), LocalClient(site_a))
         for _round in range(3):
             a_to_b.sync()
             b_to_a.sync()
@@ -167,7 +167,7 @@ class TestReplicatorOverSockets:
         server_a.start()
         server_b.start()
         try:
-            with RemoteJournal(*server_a.address) as client_a, RemoteJournal(
+            with RemoteClient(*server_a.address) as client_a, RemoteClient(
                 *server_b.address
             ) as client_b:
                 replicator = JournalReplicator(client_a, client_b)

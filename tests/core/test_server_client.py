@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.core import Journal, JournalServer, LocalJournal, RemoteJournal
+from repro.core import Journal, JournalServer, LocalClient, RemoteClient
 from repro.core.records import Observation
 
 
@@ -14,7 +14,7 @@ def served_journal():
     server = JournalServer(journal)
     server.start()
     host, port = server.address
-    client = RemoteJournal(host, port)
+    client = RemoteClient(host, port)
     yield journal, server, client
     client.close()
     server.stop()
@@ -107,7 +107,7 @@ class TestConcurrency:
 
         def writer(start):
             try:
-                with RemoteJournal(host, port) as mine:
+                with RemoteClient(host, port) as mine:
                     for index in range(25):
                         mine.observe_interface(
                             Observation(
@@ -129,7 +129,7 @@ class TestConcurrency:
     def test_interleaved_observe_is_idempotent_across_clients(self, served_journal):
         journal, server, client = served_journal
         host, port = server.address
-        with RemoteJournal(host, port) as other:
+        with RemoteClient(host, port) as other:
             for _ in range(10):
                 client.observe_interface(Observation(source="a", ip="10.0.0.1"))
                 other.observe_interface(Observation(source="b", ip="10.0.0.1"))
@@ -139,7 +139,7 @@ class TestConcurrency:
 class TestLocalParity:
     def test_local_and_remote_agree(self, served_journal):
         journal, server, client = served_journal
-        local = LocalJournal(journal)
+        local = LocalClient(journal)
         local.observe_interface(Observation(source="local", ip="10.0.0.1"))
         remote_view = client.interfaces_by_ip("10.0.0.1")
         assert len(remote_view) == 1
@@ -148,7 +148,7 @@ class TestLocalParity:
 
     def test_local_snapshot_detached(self):
         journal = Journal()
-        local = LocalJournal(journal)
+        local = LocalClient(journal)
         local.observe_interface(Observation(source="x", ip="10.0.0.1"))
         snapshot = local.snapshot()
         local.observe_interface(Observation(source="x", ip="10.0.0.2"))
@@ -163,7 +163,7 @@ class TestPersistenceOnStop:
         server.persist_path = str(tmp_path / "saved.json")
         server.start()
         host, port = server.address
-        with RemoteJournal(host, port) as client:
+        with RemoteClient(host, port) as client:
             client.observe_interface(Observation(source="x", ip="10.0.0.1"))
         server.stop()
         loaded = Journal.load(str(tmp_path / "saved.json"))

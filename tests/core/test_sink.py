@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import BatchingSink, Journal, LocalJournal
+from repro.core import BatchingSink, Journal, LocalClient
 from repro.core.records import Observation
 from repro.core.sink import FlushStats
 
@@ -106,10 +106,10 @@ class TestFlushAccounting:
         assert bool(stats) is True
         assert bool(FlushStats()) is False
 
-    @pytest.mark.parametrize("wrap", [lambda j: j, LocalJournal])
+    @pytest.mark.parametrize("wrap", [lambda j: j, LocalClient])
     def test_journal_counters_tally_submitted_applied_coalesced(self, wrap):
         # Both targets — a bare Journal (per-item path) and a
-        # LocalJournal (observe_batch path) — must account identically.
+        # LocalClient (observe_batch path) — must account identically.
         journal = Journal()
         sink = BatchingSink(wrap(journal), max_batch=100)
         for _ in range(4):

@@ -1,0 +1,105 @@
+"""The wire op/counter naming schema and its one-release compatibility."""
+
+import pytest
+
+from repro.core import Journal, JournalServer, connect
+from repro.core import wire
+from repro.core.records import Observation
+
+
+@pytest.fixture
+def served_journal():
+    journal = Journal()
+    server = JournalServer(journal)
+    server.start()
+    host, port = server.address
+    yield journal, server, f"{host}:{port}"
+    server.stop()
+
+
+class TestOpSchema:
+    def test_every_wire_op_has_a_server_handler(self):
+        # subscribe is dispatched on its own streaming path, not _op_*
+        for op in sorted(wire.WIRE_OPS - {"subscribe"}):
+            assert hasattr(JournalServer, f"_op_{op}"), op
+
+    def test_aliases_resolve_to_canonical_ops(self):
+        for old, new in wire.OP_ALIASES.items():
+            assert old not in wire.WIRE_OPS
+            assert new in wire.WIRE_OPS
+            assert wire.canonical_op(old) == new
+
+    def test_canonical_op_passes_unknown_names_through(self):
+        assert wire.canonical_op("observe") == "observe"
+        assert wire.canonical_op("bogus") == "bogus"
+
+    def test_batch_request_emits_canonical_name(self):
+        request = wire.batch_request([])
+        assert request["op"] == "observe_batch"
+
+
+class TestOpCompatibility:
+    def test_server_accepts_legacy_batch_op(self, served_journal):
+        journal, server, _address = served_journal
+        request = {
+            "op": "batch",  # pre-rename spelling
+            "requests": [
+                {
+                    "op": "observe",
+                    "observation": wire.observation_to_dict(
+                        Observation(source="old", ip="10.0.0.1")
+                    ),
+                }
+            ],
+            "coalesced": 0,
+        }
+        response = server._dispatch(request)
+        assert response["ok"] is True
+        assert journal.counts()["interfaces"] == 1
+
+    def test_unknown_op_is_still_rejected(self, served_journal):
+        _journal, server, _address = served_journal
+        with pytest.raises(wire.WireError, match="unknown op"):
+            server._dispatch({"op": "explode"})
+
+    def test_op_metrics_is_a_read_op(self, served_journal):
+        _journal, server, _address = served_journal
+        from repro.core.server import _READ_OPS
+
+        assert "metrics" in _READ_OPS
+        response = server._dispatch({"op": "metrics", "spans": 3})
+        assert response["ok"] is True
+        assert "metrics" in response["metrics"]
+
+
+class TestCounterSchema:
+    def test_schema_covers_every_counts_key(self):
+        counts = Journal().counts()
+        canonical = set(wire.COUNTER_SCHEMA) | set(wire.COUNTER_ALIASES)
+        assert set(counts) == canonical
+
+    def test_alias_keys_track_canonical_values(self, served_journal):
+        journal, _server, address = served_journal
+        with connect(address) as client:
+            client.observe_interface(Observation(source="r", ip="10.0.0.1"))
+            counts = client.counts()
+        for alias, canonical in wire.COUNTER_ALIASES.items():
+            assert counts[alias] == counts[canonical]
+
+    def test_metric_names_follow_prometheus_conventions(self):
+        for key, metric_name in wire.COUNTER_SCHEMA.items():
+            assert metric_name.startswith("fremont_"), key
+            # monotonic counters end in _total; point-in-time gauges don't
+            monotone = key not in (
+                "interfaces", "gateways", "subnets", "revision",
+                "negative_cache_size", "feed_subscribers",
+            )
+            assert metric_name.endswith("_total") == monotone, key
+
+    def test_counts_survive_wire_round_trip(self):
+        journal = Journal()
+        journal.observe_interface(Observation(source="t", ip="10.0.0.1"))
+        journal.negative_put("ip", "10.9.9.9", ttl=5.0)
+        journal.flush()
+        restored = Journal.from_dict(journal.to_dict())
+        assert restored.counts() == journal.counts()

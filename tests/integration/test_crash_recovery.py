@@ -30,7 +30,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Journal, JournalServer, JournalStore, RemoteJournal
+from repro.core import Journal, JournalServer, JournalStore, RemoteClient
 from repro.core.durability import scan_segment
 from repro.core.records import Observation
 from repro.netsim.faults import corrupt_file, truncate_file
@@ -214,7 +214,7 @@ class TestServerIntegration:
         stream = build_stream(40)
         with JournalServer(journal) as server:
             host, port = server.address
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 for observation in stream:
                     client.observe_interface(observation)
         store.close(checkpoint=False)
@@ -235,7 +235,7 @@ class TestServerIntegration:
         journal = store.recover()
         with JournalServer(journal, checkpoint_poll=0.05) as server:
             host, port = server.address
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 for observation in build_stream(25):
                     client.observe_interface(observation)
                 counts = client.counts()
@@ -250,7 +250,7 @@ class TestServerIntegration:
         journal = store.recover()
         with JournalServer(journal, checkpoint_poll=0.05) as server:
             host, port = server.address
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 client.observe_interface(build_stream(1)[0])
                 deadline = time.time() + 5.0
                 while time.time() < deadline:
@@ -277,7 +277,7 @@ class TestServerIntegration:
         assert any("corrupt journal" in r.message for r in caplog.records)
         with JournalServer(fallback) as server:  # and it serves fine
             host, port = server.address
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 assert client.counts()["interfaces"] == 0
 
 

@@ -9,7 +9,7 @@ quarantined with its errors in the ledger, and observations buffered
 during the outage are present in the Journal after reconnect.
 """
 
-from repro.core import Journal, JournalServer, RemoteJournal
+from repro.core import Journal, JournalServer, RemoteClient
 from repro.core.explorers import SequentialPing
 from repro.core.explorers.base import RunResult
 from repro.core.manager import DiscoveryManager
@@ -88,7 +88,7 @@ def build_campaign(*, with_faults):
     journal = Journal(clock=lambda: net.sim.now)
     server = JournalServer(journal).start()
     host, port = server.address
-    client = RemoteJournal(host, port, **FAST_RECONNECT)
+    client = RemoteClient(host, port, **FAST_RECONNECT)
     manager = DiscoveryManager(
         net.sim,
         client,

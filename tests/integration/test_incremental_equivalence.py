@@ -10,7 +10,7 @@ Journal state.
 
 import pytest
 
-from repro.core import Journal, LocalJournal
+from repro.core import Journal, LocalClient
 from repro.core.correlate import Correlator
 from repro.core.explorers import (
     EtherHostProbe,
@@ -37,7 +37,7 @@ PROFILE = CampusProfile(
 def _run_campaign(*, incremental):
     campus = build_campus(PROFILE)
     journal = Journal(clock=lambda: campus.sim.now)
-    client = LocalJournal(journal)
+    client = LocalClient(journal)
     campus.network.start_rip()
     campus.set_cs_uptime(1.0)
     correlator = Correlator(journal)

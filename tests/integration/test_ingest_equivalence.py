@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import BatchingSink, Journal, JournalServer, LocalJournal, RemoteJournal
+from repro.core import BatchingSink, Journal, JournalServer, LocalClient, RemoteClient
 from repro.core.records import Observation
 
 _SOURCES = ("ARPwatch", "EHP", "DNS")
@@ -43,7 +43,7 @@ def _ingest_direct(stream):
 
 def _ingest_batched(stream, max_batch):
     journal = Journal()
-    sink = BatchingSink(LocalJournal(journal), max_batch=max_batch)
+    sink = BatchingSink(LocalClient(journal), max_batch=max_batch)
     for observation in stream:
         sink.submit(observation)
     sink.close()
@@ -94,7 +94,7 @@ class TestRemoteBatchedEquivalence:
         server.start()
         try:
             host, port = server.address
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 sink = BatchingSink(client, max_batch=3)
                 for observation in stream:
                     sink.submit(observation)

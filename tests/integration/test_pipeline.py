@@ -10,8 +10,8 @@ from repro.core import (
     BatchingSink,
     Journal,
     JournalServer,
-    LocalJournal,
-    RemoteJournal,
+    LocalClient,
+    RemoteClient,
 )
 from repro.core.analysis import run_all_analyses
 from repro.core.correlate import Correlator
@@ -75,7 +75,7 @@ class TestLocalPipeline:
     def test_full_campaign_builds_complete_picture(self, small_campus):
         campus = small_campus
         journal = Journal(clock=lambda: campus.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         results = _run_campaign(campus, client)
 
         # Every module contributed.
@@ -102,7 +102,7 @@ class TestLocalPipeline:
     def test_journal_grows_monotonically_across_modules(self, small_campus):
         campus = small_campus
         journal = Journal(clock=lambda: campus.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         campus.network.start_rip()
         counts = []
         RipWatch(campus.monitor, client).run(duration=65.0)
@@ -121,7 +121,7 @@ class TestRemotePipeline:
         server.start()
         try:
             host, port = server.address
-            with RemoteJournal(host, port) as client:
+            with RemoteClient(host, port) as client:
                 campus.network.start_rip()
                 campus.set_cs_uptime(1.0)
                 RipWatch(campus.monitor, client).run(duration=65.0)
@@ -141,7 +141,7 @@ class TestManagerDrivenCampaign:
     def test_manager_schedules_and_correlates(self, small_campus, tmp_path):
         campus = small_campus
         journal = Journal(clock=lambda: campus.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         campus.network.start_rip()
         campus.set_cs_uptime(0.9)
         manager = DiscoveryManager(
@@ -168,7 +168,7 @@ class TestFeedDrivenPipeline:
     def _campaign(self, *, use_feed, batch=False):
         campus = build_campus(SMALL_PROFILE)
         journal = Journal(clock=lambda: campus.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         sink = BatchingSink(client, max_batch=32) if batch else client
         campus.network.start_rip()
         campus.set_cs_uptime(1.0)
@@ -213,7 +213,7 @@ class TestProblemDetectionEndToEnd:
         campus = small_campus
         network = campus.network
         journal = Journal(clock=lambda: campus.sim.now)
-        client = LocalJournal(journal)
+        client = LocalClient(journal)
         campus.set_cs_uptime(1.0)
 
         victims = campus.cs_real_hosts()
