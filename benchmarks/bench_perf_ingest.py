@@ -35,8 +35,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import statistics
 import sys
+import tempfile
 import threading
 import time
 from typing import Dict, List, Optional
@@ -189,10 +191,14 @@ def bench_read_latency(
         threads: List[threading.Thread] = []
         host, port = server.address
 
-        def dump_loop():
+        def dump_loop(dump_path: str):
+            # Each reader saves to its own file: the save op's atomic
+            # temp-file + rename must never race another reader (and
+            # must never target a device node like /dev/null, which the
+            # rename would replace with a regular file).
             with RemoteClient(host, port) as client:
                 while not stop.is_set():
-                    client._call({"op": "save", "path": os.devnull})
+                    client._call({"op": "save", "path": dump_path})
                     dumps_done[0] += 1
 
         def write_loop():
@@ -210,9 +216,16 @@ def bench_read_latency(
                     # at a far gentler cadence.
                     time.sleep(0.01)
 
+        dump_dir = tempfile.mkdtemp(prefix="fremont-bench-dump-")
         try:
-            for _ in range(dump_readers):
-                threads.append(threading.Thread(target=dump_loop, daemon=True))
+            for index in range(dump_readers):
+                threads.append(
+                    threading.Thread(
+                        target=dump_loop,
+                        args=(os.path.join(dump_dir, f"dump-{index}.json"),),
+                        daemon=True,
+                    )
+                )
             for _ in range(writers):
                 threads.append(threading.Thread(target=write_loop, daemon=True))
             for thread in threads:
@@ -230,6 +243,7 @@ def bench_read_latency(
             for thread in threads:
                 thread.join(timeout=5.0)
             server.stop()
+            shutil.rmtree(dump_dir, ignore_errors=True)
         median_ms = statistics.median(latencies) * 1e3
         p95_ms = sorted(latencies)[int(len(latencies) * 0.95)] * 1e3
         out[lock_mode] = {

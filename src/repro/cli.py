@@ -212,11 +212,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal = Journal.load_or_empty(args.journal, clock=time.time)
     else:
         journal = Journal(clock=time.time)
-    server = JournalServer(journal, host=args.host, port=args.port)
+    if args.transport == "threaded":
+        from repro.core import ThreadedJournalServer
+
+        server = ThreadedJournalServer(journal, host=args.host, port=args.port)
+    else:
+        server = JournalServer(
+            journal, host=args.host, port=args.port, max_workers=args.workers
+        )
     server.persist_path = args.persist
     server.start()
     host, port = server.address
-    print(f"journal server listening on {host}:{port} (ctrl-c to stop)")
+    print(
+        f"journal server ({args.transport}) listening on {host}:{port} "
+        "(ctrl-c to stop)"
+    )
     exporter = None
     if args.metrics_port is not None:
         from repro.core import MetricsExporter
@@ -349,6 +359,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
         help="also serve Prometheus text metrics on this port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--transport", default="async", choices=["async", "threaded"],
+        help="async: one event loop multiplexing all connections (default); "
+        "threaded: one thread per connection (the pre-pipelining baseline)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker threads for Journal ops on the async transport "
+        "(default: %(default)s)",
     )
     serve.set_defaults(func=_cmd_serve)
 

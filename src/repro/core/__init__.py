@@ -4,10 +4,9 @@ Manager, cross-correlation, analysis, and presentation."""
 from .avl import AvlTree
 from .client import (
     LocalClient,
-    LocalJournal,
+    PendingReply,
     RemoteChangeFeed,
     RemoteClient,
-    RemoteJournal,
     connect,
 )
 from .correlate import Correlator
@@ -30,7 +29,7 @@ from .records import (
     SubnetRecord,
 )
 from .replicate import JournalReplicator
-from .server import JournalServer
+from .server import JournalDispatcher, JournalServer, ThreadedJournalServer
 from .sink import BatchingSink, FlushStats, ObservationSink
 from .telemetry import (
     MetricsExporter,
@@ -54,24 +53,25 @@ __all__ = [
     "Journal",
     "JournalChanges",
     "JournalCorruptError",
+    "JournalDispatcher",
     "JournalReplicator",
     "JournalServer",
     "JournalStore",
     "LocalClient",
-    "LocalJournal",
     "MetricsExporter",
     "MetricsRegistry",
     "NetworkPicture",
     "Observation",
     "ObservationSink",
+    "PendingReply",
     "Quality",
     "ReadWriteLock",
     "RecoveryReport",
     "RemoteChangeFeed",
     "RemoteClient",
-    "RemoteJournal",
     "Span",
     "SubnetRecord",
+    "ThreadedJournalServer",
     "connect",
     "parse_prometheus",
     "render_stats",

@@ -15,30 +15,36 @@ Manager, and data analysis and presentation programs use"):
 Both expose the same duck-typed surface, so explorers never know which
 they hold.  Callers normally obtain one through :func:`connect`, which
 picks the client class from the target and optionally stacks a
-:class:`~repro.core.sink.BatchingSink` on top.  The historical names
-``LocalJournal`` and ``RemoteJournal`` remain as deprecated aliases.
+:class:`~repro.core.sink.BatchingSink` on top.
+
+The remote client speaks the pipelined wire protocol (DESIGN.md §10):
+every request carries an ``"id"`` and :meth:`RemoteClient.begin` sends
+one without waiting, returning a :class:`PendingReply`.  Several
+requests can thus share one connection's round-trip budget; responses
+are matched by id, so they may return out of order.  The synchronous
+methods (``counts()``, ``observe_interface()``, …) are a facade over
+the same machinery — existing callers see no difference beyond the
+per-request read timeout.
 """
 
 from __future__ import annotations
 
-import select
 import socket
 import time
-import warnings
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from . import wire
 from .journal import Journal, JournalChanges
 from .records import GatewayRecord, InterfaceRecord, Observation, SubnetRecord
 from .sink import BatchingSink, DirectSinkMixin, ObservationSink
-from .telemetry import MetricsRegistry
+from .telemetry import DEPTH_BUCKETS, MetricsRegistry
 
 __all__ = [
     "LocalClient",
     "RemoteClient",
-    "LocalJournal",
-    "RemoteJournal",
     "RemoteChangeFeed",
+    "PendingReply",
     "connect",
 ]
 
@@ -216,6 +222,58 @@ def _provisional_record(observation: Observation) -> InterfaceRecord:
     return record
 
 
+class PendingReply:
+    """Handle for a pipelined request sent with
+    :meth:`RemoteClient.begin`.  :meth:`wait` blocks for the matching
+    response (by id); :attr:`done` peeks without blocking.  A reply may
+    be waited on exactly once."""
+
+    __slots__ = ("_client", "_rid", "_timeout")
+
+    def __init__(self, client: "RemoteClient", rid: int, timeout: Optional[float]) -> None:
+        self._client = client
+        self._rid = rid
+        self._timeout = timeout
+
+    @property
+    def request_id(self) -> int:
+        return self._rid
+
+    @property
+    def done(self) -> bool:
+        """The response has arrived (buffered, not yet consumed)."""
+        self._client._absorb_buffered_frames()
+        return self._rid in self._client._results
+
+    def wait(self, timeout: Optional[float] = -1.0) -> Dict[str, Any]:
+        """The response body.  Raises :class:`TimeoutError` if it does
+        not arrive within the deadline, :class:`ConnectionError` if the
+        server is unreachable, and :class:`RuntimeError` if the server
+        answered with an error."""
+        effective = self._timeout if timeout == -1.0 else timeout
+        response = self._client._wait(self._rid, effective)
+        if not response.get("ok"):
+            raise RuntimeError(f"journal server error: {response.get('error')}")
+        return response
+
+
+class _SettledReply:
+    """A :class:`PendingReply` stand-in for work absorbed locally (the
+    server was unreachable and the batch was parked for replay)."""
+
+    __slots__ = ("_response",)
+
+    def __init__(self, response: Dict[str, Any]) -> None:
+        self._response = response
+
+    @property
+    def done(self) -> bool:
+        return True
+
+    def wait(self, timeout: Optional[float] = -1.0) -> Dict[str, Any]:
+        return self._response
+
+
 class RemoteClient:
     """Socket client for a running :class:`JournalServer`.
 
@@ -223,20 +281,29 @@ class RemoteClient:
     form; their ``record_id`` values are the server's canonical ids and
     may be passed back into gateway/subnet operations.
 
-    The client tolerates a dead or restarting Journal Server.  A failed
-    round trip triggers a bounded reconnect loop with exponential
-    backoff; once reconnected, the in-flight request is retried.  If the
-    server stays unreachable, interface observations (and negative-cache
-    entries) are parked in a small replay buffer and flushed — as one
-    batched request — on the next successful reconnect, so fieldwork
-    done during an outage is delayed rather than lost.  Queries and
-    id-returning operations cannot be faked locally, so they raise
-    :class:`ConnectionError` instead; the Discovery Manager's crash
-    isolation absorbs those.
+    Every request is tagged with a client-chosen ``id`` and matched to
+    its response by that id, so requests may be *pipelined*:
+    :meth:`begin` sends without waiting and returns a
+    :class:`PendingReply`; the synchronous methods are ``begin`` +
+    ``wait`` in one step.  Reads block no longer than
+    ``request_timeout`` seconds per reply (default: the connect
+    *timeout*); a deadline miss raises :class:`TimeoutError` and drops
+    the connection, since a late reply can no longer be trusted to
+    match.
 
-    Replay uses the Journal's merge semantics, which are idempotent for
-    observations — a request that was applied just before the server
-    died is safe to send again.
+    The client tolerates a dead or restarting Journal Server.  A failed
+    send or wait triggers a bounded reconnect loop with exponential
+    backoff; once reconnected, buffered requests flush first and every
+    still-unanswered in-flight request is resent with its original id
+    (the Journal's merge semantics are idempotent for observations, so
+    a request applied just before the server died is safe to send
+    again).  If the server stays unreachable, interface observations
+    (and negative-cache entries) are parked in a small replay buffer
+    and flushed — as one batched request — on the next successful
+    reconnect, so fieldwork done during an outage is delayed rather
+    than lost.  Queries and id-returning operations cannot be faked
+    locally, so they raise :class:`ConnectionError` instead; the
+    Discovery Manager's crash isolation absorbs those.
     """
 
     def __init__(
@@ -245,6 +312,7 @@ class RemoteClient:
         port: int,
         *,
         timeout: float = 10.0,
+        request_timeout: Optional[float] = None,
         reconnect_attempts: int = 5,
         reconnect_backoff: float = 0.1,
         reconnect_backoff_cap: float = 2.0,
@@ -253,6 +321,8 @@ class RemoteClient:
         self._host = host
         self._port = port
         self._timeout = timeout
+        #: per-reply read deadline (seconds; None disables)
+        self._request_timeout = timeout if request_timeout is None else request_timeout
         self._reconnect_attempts = reconnect_attempts
         self._reconnect_backoff = reconnect_backoff
         self._reconnect_backoff_cap = reconnect_backoff_cap
@@ -262,6 +332,15 @@ class RemoteClient:
         #: coalesced-sighting counts owed to the server from batches that
         #: had to be parked as individual observes (reported on replay)
         self._coalesced_owed = 0
+        #: monotonically increasing request id (per connection object)
+        self._next_id = 1
+        #: id -> tagged request, in send order, awaiting a response;
+        #: this doubles as the replay set after a reconnect
+        self._inflight: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
+        #: id -> response that arrived before its waiter asked
+        self._results: Dict[int, Dict[str, Any]] = {}
+        #: id -> send timestamp, for round-trip latency accounting
+        self._sent_at: Dict[int, float] = {}
         #: client-side registry: round-trip latency and reconnect churn
         #: happen on this side of the socket, invisible to the server
         self.telemetry = MetricsRegistry()
@@ -269,11 +348,20 @@ class RemoteClient:
             "fremont_client_roundtrip_seconds",
             "Request/response round-trip latency as seen by the client",
         )
+        self._h_pipeline = self.telemetry.histogram(
+            "fremont_client_pipeline_depth",
+            "Requests in flight on this connection at send time",
+            buckets=DEPTH_BUCKETS,
+        )
         self._c_reconnects = self.telemetry.counter(
             "fremont_client_reconnects_total", "Successful reconnects to the server"
         )
         self._c_replayed = self.telemetry.counter(
             "fremont_client_replayed_total", "Buffered requests replayed after an outage"
+        )
+        self._c_timeouts = self.telemetry.counter(
+            "fremont_client_timeouts_total",
+            "Requests abandoned after missing the per-request read deadline",
         )
         self._connect()
 
@@ -302,13 +390,16 @@ class RemoteClient:
         self._socket = socket.create_connection(
             (self._host, self._port), timeout=self._timeout
         )
-        self._reader = self._socket.makefile("rb")
+        # Nagle would hold every pipelined request after the first until
+        # the previous one is ACKed — the exact round-trip serialisation
+        # pipelining exists to avoid.
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # FrameReader enforces deadlines with select(); the socket
+        # itself must block so a frame is never torn mid-read.
+        self._socket.settimeout(None)
+        self._frames = wire.FrameReader(self._socket)
 
     def _disconnect(self) -> None:
-        try:
-            self._reader.close()
-        except OSError:
-            pass
         try:
             self._socket.close()
         except OSError:
@@ -330,16 +421,163 @@ class RemoteClient:
             return True
         return False
 
-    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        with self._h_roundtrip.time():
-            self._socket.sendall(wire.encode_message(request))
-            line = self._reader.readline()
-            if not line:
-                raise ConnectionError("journal server closed the connection")
-        response = wire.decode_message(line)
-        if not response.get("ok"):
-            raise RuntimeError(f"journal server error: {response.get('error')}")
-        return response
+    def _unreachable(self) -> ConnectionError:
+        return ConnectionError(
+            f"journal server at {self._host}:{self._port} unreachable "
+            f"after {self._reconnect_attempts} reconnect attempt(s)"
+        )
+
+    def _recover(self) -> bool:
+        """Reconnect and resend every still-unanswered request with its
+        original id.  The new connection has no memory of the old one,
+        so the whole in-flight window replays; responses land by id as
+        usual.  True on success."""
+        if not self._reconnect():
+            return False
+        try:
+            self._replay_inflight()
+        except OSError:
+            return False
+        return True
+
+    def _replay_inflight(self) -> None:
+        now = time.monotonic()
+        for rid, tagged in self._inflight.items():
+            self._socket.sendall(wire.encode_message(tagged))
+            self._sent_at[rid] = now
+
+    def _send_tagged(self, request: Dict[str, Any]) -> int:
+        """Tag *request* with a fresh id and put it on the wire.  No
+        recovery — callers own the retry policy."""
+        return self._send_tagged_many([request])[0]
+
+    def _send_tagged_many(self, requests: List[Dict[str, Any]]) -> List[int]:
+        """Tag each request and put the whole burst on the wire in a
+        single write.  No recovery — callers own the retry policy."""
+        rids: List[int] = []
+        tagged_requests: List[Dict[str, Any]] = []
+        parts: List[bytes] = []
+        for request in requests:
+            rid = self._next_id
+            self._next_id += 1
+            tagged = dict(request)
+            tagged["id"] = rid
+            rids.append(rid)
+            tagged_requests.append(tagged)
+            parts.append(wire.encode_message(tagged))
+        self._socket.sendall(b"".join(parts))
+        now = time.monotonic()
+        for rid, tagged in zip(rids, tagged_requests):
+            self._inflight[rid] = tagged
+            self._sent_at[rid] = now
+        self._h_pipeline.observe(len(self._inflight))
+        return rids
+
+    def _absorb_frame(self, frame: Dict[str, Any]) -> None:
+        """File one incoming frame by request id."""
+        if "event" in frame:
+            return  # push frames never arrive on a request socket
+        rid = frame.get("id")
+        if rid is None or (rid not in self._inflight and rid not in self._results):
+            return  # stale reply from before a timeout-triggered drop
+        self._inflight.pop(rid, None)
+        sent = self._sent_at.pop(rid, None)
+        if sent is not None:
+            self._h_roundtrip.observe(time.monotonic() - sent)
+        self._results[rid] = frame
+
+    def _absorb_buffered_frames(self) -> None:
+        """Drain already-buffered frames without blocking."""
+        while self._frames.pending():
+            frame = self._frames.read(0)
+            if frame is None:
+                break
+            self._absorb_frame(frame)
+
+    def _forget(self, rid: int) -> None:
+        self._inflight.pop(rid, None)
+        self._results.pop(rid, None)
+        self._sent_at.pop(rid, None)
+
+    def _wait(self, rid: int, timeout: Optional[float]) -> Dict[str, Any]:
+        """Block until the response for *rid* arrives, reconnecting
+        (once per wait) on a dead connection.  A deadline miss raises
+        :class:`TimeoutError` after dropping the connection — a reply
+        that late may belong to a request we have given up on."""
+        for attempt in (0, 1):
+            deadline = None if timeout is None else time.monotonic() + timeout
+            try:
+                while rid not in self._results:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        frame = None
+                    else:
+                        frame = self._frames.read(remaining)
+                    if frame is None:
+                        op = self._inflight.get(rid, {}).get("op")
+                        self._c_timeouts.inc()
+                        self._forget(rid)
+                        self._disconnect()
+                        raise TimeoutError(
+                            f"no reply from journal server within {timeout}s"
+                            f" (op {op!r})"
+                        )
+                    self._absorb_frame(frame)
+                return self._results.pop(rid)
+            except TimeoutError:
+                # A deadline miss is not a dead connection (TimeoutError
+                # subclasses OSError): no reconnect, no resend.
+                raise
+            except (ConnectionError, OSError):
+                # rid stays in _inflight, so _recover() resends it.
+                if attempt or not self._recover():
+                    self._forget(rid)
+                    raise self._unreachable() from None
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def begin(
+        self, request: Dict[str, Any], *, timeout: float = -1.0
+    ) -> PendingReply:
+        """Send *request* without waiting for its response.  Parked
+        requests flush first (preserving observation order); a dead
+        connection triggers one recovery cycle.  The returned
+        :class:`PendingReply` resolves the response later — possibly
+        after responses to requests sent more recently."""
+        for attempt in (0, 1):
+            try:
+                self._flush_pending()
+                rid = self._send_tagged(request)
+                break
+            except (ConnectionError, OSError):
+                if attempt or not self._recover():
+                    raise self._unreachable() from None
+        effective = self._request_timeout if timeout == -1.0 else timeout
+        return PendingReply(self, rid, effective)
+
+    def begin_many(
+        self, requests: List[Dict[str, Any]], *, timeout: float = -1.0
+    ) -> List[PendingReply]:
+        """Pipeline a burst of requests in one socket write.
+
+        Semantically ``[begin(r) for r in requests]``, but the whole
+        burst is framed and sent with a single ``sendall`` — at depth
+        *n* that is one syscall (and, with ``TCP_NODELAY``, one packet)
+        instead of *n*, which is where most of a pipelined burst's
+        round trip goes."""
+        if not requests:
+            return []
+        for attempt in (0, 1):
+            try:
+                self._flush_pending()
+                rids = self._send_tagged_many(requests)
+                break
+            except (ConnectionError, OSError):
+                if attempt or not self._recover():
+                    raise self._unreachable() from None
+        effective = self._request_timeout if timeout == -1.0 else timeout
+        return [PendingReply(self, rid, effective) for rid in rids]
 
     def _flush_pending(self) -> None:
         """Replay buffered requests in one batch.  Raises on failure,
@@ -348,7 +586,16 @@ class RemoteClient:
             return
         batch = list(self._pending)
         owed = self._coalesced_owed
-        self._roundtrip(wire.batch_request(batch, coalesced=owed))
+        rid = self._send_tagged(wire.batch_request(batch, coalesced=owed))
+        try:
+            response = self._wait(rid, self._request_timeout)
+        except BaseException:
+            # Do not leave the batch in the replay window: the buffer
+            # still holds it, and replaying both would double-send.
+            self._forget(rid)
+            raise
+        if not response.get("ok"):
+            raise RuntimeError(f"journal server error: {response.get('error')}")
         self._c_replayed.inc(len(batch))
         # Only drop what was sent: a concurrent buffering caller may
         # have appended while the batch was in flight.
@@ -356,20 +603,9 @@ class RemoteClient:
         self._coalesced_owed -= owed
 
     def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """One request/response, reconnecting (once per call) on a dead
-        connection.  Any parked requests are flushed first, preserving
-        observation order."""
-        for attempt in (0, 1):
-            try:
-                self._flush_pending()
-                return self._roundtrip(request)
-            except (ConnectionError, OSError):
-                if attempt or not self._reconnect():
-                    raise ConnectionError(
-                        f"journal server at {self._host}:{self._port} unreachable "
-                        f"after {self._reconnect_attempts} reconnect attempt(s)"
-                    ) from None
-        raise AssertionError("unreachable")  # pragma: no cover
+        """One request/response: ``begin`` + ``wait``.  Responses to
+        other in-flight requests arriving first are filed, not lost."""
+        return self.begin(request).wait()
 
     def _call_or_buffer(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         """Like :meth:`_call`, but on an unreachable server park the
@@ -387,6 +623,11 @@ class RemoteClient:
         """Requests currently parked for replay."""
         return len(self._pending)
 
+    @property
+    def inflight(self) -> int:
+        """Pipelined requests awaiting a response."""
+        return len(self._inflight)
+
     def flush(self) -> int:
         """Force-flush the replay buffer (reconnecting if necessary).
         Returns the number of requests replayed."""
@@ -395,13 +636,39 @@ class RemoteClient:
             self._call(wire.batch_request([]))  # rides the _call flush path
         return self.replayed - before
 
+    def settle(self, timeout: Optional[float] = -1.0) -> int:
+        """Wait for every pipelined request still in flight (responses
+        are filed for their :class:`PendingReply` waiters).  Returns the
+        number of requests settled."""
+        effective = self._request_timeout if timeout == -1.0 else timeout
+        deadline = None if effective is None else time.monotonic() + effective
+        settled = 0
+        while self._inflight:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                break
+            frame = self._frames.read(remaining)
+            if frame is None:
+                break
+            before = len(self._inflight)
+            self._absorb_frame(frame)
+            settled += before - len(self._inflight)
+        return settled
+
     def close(self) -> None:
         if self._pending:
             # Best effort: reconnect if needed to hand over buffered
             # observations before going away.
             try:
                 self._call(wire.batch_request([]))
-            except (ConnectionError, RuntimeError):
+            except (ConnectionError, RuntimeError, TimeoutError):
+                pass
+        if self._inflight:
+            # Pipelined writes are already on the wire; wait briefly so
+            # their responses (and thus server application) are seen.
+            try:
+                self.settle()
+            except (ConnectionError, OSError, wire.WireError):
                 pass
         self._disconnect()
 
@@ -435,11 +702,11 @@ class RemoteClient:
         self, observations: Sequence[Observation], *, coalesced: int = 0
     ) -> List[bool]:
         """Apply a batch of observations in one round trip (the server
-        ``batch`` op) — the :class:`~repro.core.sink.BatchingSink` flush
-        path.  Returns per-observation changed flags.  If the server is
-        unreachable the individual observe requests are parked for replay
-        (batches must not nest, so the envelope is rebuilt at flush time)
-        and every flag reports True provisionally."""
+        ``observe_batch`` op) — the :class:`~repro.core.sink.BatchingSink`
+        flush path.  Returns per-observation changed flags.  If the server
+        is unreachable the individual observe requests are parked for
+        replay (batches must not nest, so the envelope is rebuilt at flush
+        time) and every flag reports True provisionally."""
         sub_requests = [
             {"op": "observe", "observation": wire.observation_to_dict(observation)}
             for observation in observations
@@ -453,6 +720,35 @@ class RemoteClient:
             self._coalesced_owed += coalesced
             return [True] * len(sub_requests)
         return [bool(item.get("changed")) for item in response["responses"]]
+
+    def observe_batch_nowait(
+        self, observations: Sequence[Observation], *, coalesced: int = 0
+    ):
+        """Pipelined :meth:`observe_batch`: put the batch on the wire and
+        return a :class:`PendingReply` instead of blocking — the sink's
+        pipelined flush path, which keeps several batches in flight to
+        hide the round trip.  An unreachable server parks the requests
+        exactly as :meth:`observe_batch` does and the reply settles
+        immediately with provisional flags."""
+        sub_requests = [
+            {"op": "observe", "observation": wire.observation_to_dict(observation)}
+            for observation in observations
+        ]
+        try:
+            return self.begin(wire.batch_request(sub_requests, coalesced=coalesced))
+        except ConnectionError:
+            if len(self._pending) + len(sub_requests) > self._buffer_limit:
+                raise
+            self._pending.extend(sub_requests)
+            self._coalesced_owed += coalesced
+            return _SettledReply(
+                {
+                    "ok": True,
+                    "responses": [
+                        {"ok": True, "changed": True} for _ in sub_requests
+                    ],
+                }
+            )
 
     # -- change feed -----------------------------------------------------
 
@@ -639,18 +935,30 @@ class RemoteChangeFeed:
     :class:`~repro.core.journal.JournalChanges` delta whose ``since``
     matches the previous frame's ``revision`` (the server keeps a
     per-subscriber cursor).
+
+    A consumer that falls too far behind is demoted by the server: a
+    ``{"event": "feed_lagged"}`` frame marks the cutover, after which no
+    more pushes arrive and the feed transparently switches
+    :attr:`mode` from ``"push"`` to ``"polling"`` — each subsequent
+    :meth:`poll` issues a ``changes_since`` request on the same socket.
+    Deltas stay correct either way (revision bookkeeping is identical);
+    only the latency model changes.
     """
 
     def __init__(
         self, host: str, port: int, *, since: int = 0, timeout: float = 10.0
     ) -> None:
         self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # poll() manages its own deadlines via select(); the socket
         # itself must block so a frame is never torn mid-read.
         self._socket.settimeout(None)
-        self._buffer = bytearray()
+        self._frames = wire.FrameReader(self._socket)
+        self._timeout = timeout
         self._closed = False
         self.frames_received = 0
+        #: "push" until the server demotes us, then "polling"
+        self.mode = "push"
         self._socket.sendall(
             wire.encode_message({"op": "subscribe", "since": int(since)})
         )
@@ -665,37 +973,60 @@ class RemoteChangeFeed:
         self.revision = int(ack.get("revision", 0))
 
     def _read_frame(self, timeout: Optional[float]) -> Optional[Dict[str, Any]]:
-        deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            newline = self._buffer.find(b"\n")
-            if newline >= 0:
-                line = bytes(self._buffer[: newline + 1])
-                del self._buffer[: newline + 1]
-                if line.strip():
-                    return wire.decode_message(line)
-                continue
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return None
-                ready, _, _ = select.select([self._socket], [], [], remaining)
-                if not ready:
-                    return None
-            chunk = self._socket.recv(65536)
-            if not chunk:
-                raise ConnectionError("subscribe stream closed by server")
-            self._buffer.extend(chunk)
+        try:
+            return self._frames.read(timeout)
+        except ConnectionError:
+            raise ConnectionError("subscribe stream closed by server") from None
 
     def poll(self, timeout: Optional[float] = 0.5) -> Optional[JournalChanges]:
-        """The next pushed delta, or None if nothing arrives within
-        *timeout* seconds (None blocks indefinitely)."""
+        """The next delta, or None if nothing arrives within *timeout*
+        seconds (None blocks indefinitely).  In polling mode this is a
+        ``changes_since`` round trip instead of a passive read."""
+        if self.mode == "polling":
+            return self._poll_changes()
         frame = self._read_frame(timeout)
-        if frame is None or frame.get("event") != "changes":
+        if frame is None:
+            return None
+        event = frame.get("event")
+        if event == "feed_lagged":
+            # The server dropped our subscription — we were not keeping
+            # up.  Its revision marker tells us where pushes stopped;
+            # poll forward from there on the same connection.
+            self.revision = max(self.revision, int(frame.get("revision", 0)))
+            self.mode = "polling"
+            return self._poll_changes()
+        if event != "changes":
             return None
         changes = wire.changes_from_dict(frame["changes"])
         self.revision = changes.revision
         self.frames_received += 1
         return changes
+
+    def _poll_changes(self) -> Optional[JournalChanges]:
+        """One ``changes_since`` round trip from the current revision.
+        Straggler push frames (queued server-side before the demotion
+        landed) are skipped — their changes are covered by the poll
+        response's wider delta."""
+        self._socket.sendall(
+            wire.encode_message({"op": "changes_since", "since": int(self.revision)})
+        )
+        deadline = time.monotonic() + self._timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            frame = self._read_frame(remaining)
+            if frame is None:
+                return None
+            if "event" in frame:
+                continue
+            if not frame.get("ok"):
+                raise ConnectionError(
+                    f"changes_since failed: {frame.get('error')}"
+                )
+            changes = wire.changes_from_dict(frame["changes"])
+            self.revision = max(self.revision, changes.revision)
+            return None if changes.empty() else changes
 
     def drain(self, timeout: Optional[float] = 0.5) -> Optional[JournalChanges]:
         """Collapse every frame currently pending (waiting up to
@@ -726,37 +1057,6 @@ class RemoteChangeFeed:
 
 
 # ---------------------------------------------------------------------------
-# deprecated aliases (one release of grace, then gone)
-# ---------------------------------------------------------------------------
-
-
-class LocalJournal(LocalClient):
-    """Deprecated alias of :class:`LocalClient`."""
-
-    def __init__(self, journal: Journal) -> None:
-        warnings.warn(
-            "LocalJournal is deprecated; use repro.core.connect(journal) "
-            "or LocalClient",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(journal)
-
-
-class RemoteJournal(RemoteClient):
-    """Deprecated alias of :class:`RemoteClient`."""
-
-    def __init__(self, host: str, port: int, **options) -> None:
-        warnings.warn(
-            "RemoteJournal is deprecated; use repro.core.connect('host:port') "
-            "or RemoteClient",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(host, port, **options)
-
-
-# ---------------------------------------------------------------------------
 # the front door
 # ---------------------------------------------------------------------------
 
@@ -784,17 +1084,19 @@ def connect(
       :class:`LocalClient` (*telemetry*/*clock* seed the new journal);
     * a :class:`Journal` — wrapped in a :class:`LocalClient`;
     * ``"host:port"`` or ``(host, port)`` — a :class:`RemoteClient`;
-      *retry* keywords (``timeout``, ``reconnect_attempts``,
-      ``reconnect_backoff``, ``reconnect_backoff_cap``,
-      ``buffer_limit``) pass through to its constructor;
+      *retry* keywords (``timeout``, ``request_timeout``,
+      ``reconnect_attempts``, ``reconnect_backoff``,
+      ``reconnect_backoff_cap``, ``buffer_limit``) pass through to its
+      constructor;
     * any existing :class:`ObservationSink` — used as-is.
 
     *batching* optionally stacks a :class:`~repro.core.sink.BatchingSink`
     on top: ``True`` for the defaults, an int for ``max_batch``, or a
     dict of BatchingSink keywords (``max_batch``, ``max_age``,
-    ``clock`` — *clock* fills in the sink clock when the dict omits it).
+    ``pipeline_depth``, ``clock`` — *clock* fills in the sink clock when
+    the dict omits it).
 
-    Replaces the hand-assembled ``BatchingSink(RemoteJournal(...))``
+    Replaces the hand-assembled ``BatchingSink(RemoteClient(...))``
     stacks: every layer still exists, ``connect`` just wires it.
     """
     if isinstance(target, str):

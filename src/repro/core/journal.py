@@ -45,6 +45,7 @@ storage-agnostic — the hooks are two one-line calls.
 
 from __future__ import annotations
 
+import bisect
 import json
 import logging
 from dataclasses import dataclass, field
@@ -259,6 +260,11 @@ class Journal(DirectSinkMixin):
         self._dirty: Dict[str, Dict[int, int]] = {kind: {} for kind in _KINDS}
         #: per-kind deletions: record id -> revision of the delete
         self._deleted: Dict[str, Dict[int, int]] = {kind: {} for kind in _KINDS}
+        #: revision-ordered mutation log: (revision, kind, record id,
+        #: is_delete).  Lets changes_since() cost O(log n + delta)
+        #: instead of scanning every retained dirty entry; pruned in
+        #: lockstep with the dirty sets.
+        self._change_log: List[Tuple[int, str, int, bool]] = []
         #: oldest revision for which changes_since() is still complete
         self._pruned_through: int = 0
         #: interface record id -> record id of its owning gateway
@@ -403,41 +409,61 @@ class Journal(DirectSinkMixin):
         self.revision += 1
         record.revision = self.revision
         self._dirty[kind][record.record_id] = self.revision
+        self._log_change(kind, record.record_id, False)
 
     def _mark_deleted(self, kind: str, record_id: int) -> None:
         self.revision += 1
         self._dirty[kind].pop(record_id, None)
         self._deleted[kind][record_id] = self.revision
+        self._log_change(kind, record_id, True)
+
+    def _log_change(self, kind: str, record_id: int, is_delete: bool) -> None:
+        log = self._change_log
+        if log:
+            tail = log[-1]
+            if tail[1] == kind and tail[2] == record_id and tail[3] == is_delete:
+                # Back-to-back touches of one record (ARP refresh churn)
+                # coalesce to the newest revision, exactly as the dirty
+                # dict keeps only the latest touch.
+                log[-1] = (self.revision, kind, record_id, is_delete)
+                return
+        log.append((self.revision, kind, record_id, is_delete))
 
     def changes_since(self, rev: int) -> JournalChanges:
         """Record ids touched or deleted after revision *rev*.
 
-        The snapshot is cheap — proportional to the retained dirty sets,
-        not to the Journal.  Call :meth:`prune_changes` after consuming
-        a delta to keep the retained sets proportional to the churn
-        since the last consumption.
+        Costs O(log n) to find *rev* in the mutation log plus O(delta)
+        to replay the entries after it — independent of how much older
+        history other (slower) consumers are still retaining.  Call
+        :meth:`prune_changes` after consuming a delta to keep the
+        retained log proportional to the churn since the last
+        consumption.
         """
         changes = JournalChanges(
             since=rev,
             revision=self.revision,
             complete=rev >= self._pruned_through,
         )
-        for kind, out in (
-            ("interface", changes.interfaces),
-            ("gateway", changes.gateways),
-            ("subnet", changes.subnets),
-        ):
-            out.update(
-                rid for rid, touched in self._dirty[kind].items() if touched > rev
-            )
-        for kind, out in (
-            ("interface", changes.deleted_interfaces),
-            ("gateway", changes.deleted_gateways),
-            ("subnet", changes.deleted_subnets),
-        ):
-            out.update(
-                rid for rid, deleted in self._deleted[kind].items() if deleted > rev
-            )
+        touched = {
+            "interface": changes.interfaces,
+            "gateway": changes.gateways,
+            "subnet": changes.subnets,
+        }
+        deleted = {
+            "interface": changes.deleted_interfaces,
+            "gateway": changes.deleted_gateways,
+            "subnet": changes.deleted_subnets,
+        }
+        log = self._change_log
+        start = bisect.bisect_right(log, rev, key=lambda entry: entry[0])
+        for _revision, kind, record_id, is_delete in log[start:]:
+            if is_delete:
+                # Mirrors _mark_deleted popping the dirty entry: a
+                # record deleted after its touch reports as deleted only.
+                touched[kind].discard(record_id)
+                deleted[kind].add(record_id)
+            else:
+                touched[kind].add(record_id)
         return changes
 
     def prune_changes(self, rev: int) -> None:
@@ -459,6 +485,8 @@ class Journal(DirectSinkMixin):
                 stale = [rid for rid, touched in entries.items() if touched <= rev]
                 for rid in stale:
                     del entries[rid]
+        log = self._change_log
+        del log[: bisect.bisect_right(log, rev, key=lambda entry: entry[0])]
         self._pruned_through = rev
 
     # ------------------------------------------------------------------
@@ -1056,12 +1084,11 @@ class Journal(DirectSinkMixin):
         Every value here is a view of a ``journal.telemetry`` metric
         (see ``wire.COUNTER_SCHEMA`` for the key -> metric mapping);
         new consumers should read ``telemetry.snapshot()`` or the
-        Prometheus exposition instead.  The durability keys appear
-        under both their canonical names (``wal_checkpoints``, ...)
-        and the historical ones (``checkpoints_written``, ...), the
-        latter kept for one release — see ``wire.COUNTER_ALIASES``.
+        Prometheus exposition instead.  (The pre-schema durability
+        spellings — ``checkpoints_written`` and friends — were removed
+        when their one-release deprecation window closed.)
         """
-        counts = {
+        return {
             "interfaces": len(self.interfaces),
             "gateways": len(self.gateways),
             "subnets": len(self.subnets),
@@ -1085,11 +1112,6 @@ class Journal(DirectSinkMixin):
             "wal_recovered_records": self.recovered_records,
             "wal_torn_tails": self.torn_tail_dropped,
         }
-        from .wire import COUNTER_ALIASES
-
-        for old_name, canonical in COUNTER_ALIASES.items():
-            counts[old_name] = counts[canonical]
-        return counts
 
     def canonical_state(self) -> Dict[str, object]:
         """A structural snapshot for equivalence checks: record ids are

@@ -63,6 +63,29 @@ class ReadWriteLock:
             self._writer = False
             self._cond.notify_all()
 
+    # -- non-blocking variants --------------------------------------------
+
+    def try_acquire_read(self) -> bool:
+        """Acquire the read side only if it is free right now.  The
+        async Journal Server's inline fast path uses this from the event
+        loop thread, where blocking on the condition would stall every
+        connection."""
+        with self._cond:
+            if self._writer or self._writers_waiting:
+                return False
+            self._readers += 1
+            return True
+
+    def try_acquire_write(self) -> bool:
+        """Acquire the write side only if no one holds or awaits the
+        lock.  Deliberately yields to queued writers so the inline path
+        cannot starve a worker already parked on acquire_write."""
+        with self._cond:
+            if self._writer or self._readers or self._writers_waiting:
+                return False
+            self._writer = True
+            return True
+
     # -- context managers ------------------------------------------------
 
     @contextmanager

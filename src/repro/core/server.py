@@ -4,48 +4,51 @@
 updates, time-stamps and records the data, and answers queries from
 programs that wish to interrogate the Journal."
 
-A threaded TCP server speaking the newline-delimited JSON protocol of
-:mod:`repro.core.wire`.  Journal *mutations* are serialised behind the
-write side of a :class:`~repro.core.locks.ReadWriteLock`; read-only
-requests (queries, counts, dumps, ``changes_since``) share the read
-side, so any number of them proceed concurrently instead of queueing
-behind writes and each other.  ``lock_mode="exclusive"`` restores the
-old single-mutex behaviour (the ingest benchmark uses it as the
-baseline).
+Two transports share one op layer:
 
-The server supports the paper's three primary requests (Store/Update,
-Get, Delete) plus gateway/subnet maintenance, the negative cache, a
-full-journal dump, the ``observe_batch`` ingest op the
-:class:`~repro.core.sink.BatchingSink` flushes through (the pre-schema
-name ``batch`` still resolves via :data:`~repro.core.wire.OP_ALIASES`),
-a ``metrics`` op exposing the telemetry registry, and a streaming
-``subscribe`` op: after the acknowledgement, the connection receives a
-pushed :class:`~repro.core.journal.JournalChanges` frame whenever a
-write op lands — the remote half of the Journal change feed.
+* :class:`JournalServer` — the default: a single ``asyncio`` event loop
+  multiplexing thousands of sockets.  Requests carrying an ``"id"``
+  are *pipelined*: several may be in flight per connection, handlers
+  run concurrently (reads share the RW lock), and responses return as
+  they complete — out of order, but never torn, because one sender
+  task per connection owns the socket.  Write ops still execute in
+  per-connection submission order, so a pipelined BatchingSink cannot
+  reorder the observation stream.  Journal work that can block (lock
+  waits, fsync, big dumps) runs on a small bounded worker pool;
+  cheap ops take a non-blocking inline fast path on the loop thread
+  when the lock is free.  The streaming ``subscribe`` feed is a native
+  async push — no thread per feed — and a subscriber that cannot keep
+  up is cut over to the ``changes_since`` polling fallback (a
+  ``feed_lagged`` frame) instead of stalling the loop.
 
-Durability: when the Journal arrives with a
-:class:`~repro.core.durability.JournalStore` attached (``recover()``
-did the attaching), the server runs the store's checkpoint *policy* —
-no longer stop-only.  Every completed write op checks the ops/bytes
+* :class:`ThreadedJournalServer` — the pre-async thread-per-connection
+  transport, kept as the measured baseline for
+  ``benchmarks/bench_perf_fanin.py``.
+
+Both dispatch through :class:`JournalDispatcher`, which owns the op
+vocabulary, the write-preferring RW lock (``lock_mode="exclusive"``
+restores the old single-mutex behaviour), per-op telemetry, and the
+checkpoint policy hooks: every completed write op checks the ops/bytes
 thresholds while still holding the write lock; a background thread
-wakes periodically for the age threshold, so a quiet server still
-bounds its WAL replay window; ``stop()`` takes a final checkpoint
+covers the age threshold; ``stop()`` takes a final checkpoint
 ("periodically and at termination").
 """
 
 from __future__ import annotations
 
+import asyncio
 import socket
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from . import wire
 from .journal import Journal
 from .locks import ReadWriteLock
-from .telemetry import SIZE_BUCKETS
+from .telemetry import DEPTH_BUCKETS, SIZE_BUCKETS
 
-__all__ = ["JournalServer"]
+__all__ = ["JournalDispatcher", "JournalServer", "ThreadedJournalServer"]
 
 #: ops that never mutate the Journal and therefore share the read lock.
 #: (negative_check may lazily evict an expired entry, but that eviction
@@ -65,35 +68,63 @@ _READ_OPS = frozenset(
     }
 )
 
+#: ops cheap enough to run on the event loop thread when the lock is
+#: free: O(1)-ish handlers that never serialise the whole journal and
+#: never touch the durability layer's fsync path.  Everything else —
+#: dumps, saves, whole-table queries, batches — goes to the worker
+#: pool, as do all writes when a WAL is attached.
+_INLINE_OPS = frozenset(
+    {
+        "ping",
+        "counts",
+        "metrics",
+        "negative_check",
+        "changes_since",
+        "observe",
+        "negative_put",
+        "ensure_gateway",
+        "ensure_subnet",
+        "link_gateway_subnet",
+        "delete_interface",
+        "absorb_interface",
+        "absorb_gateway",
+        "absorb_subnet",
+    }
+)
 
-class JournalServer:
-    """Socket front-end guarding concurrent access to a :class:`Journal`."""
+#: close sentinel for per-connection outbound queues
+_CLOSE = object()
 
-    def __init__(
-        self,
-        journal: Journal,
-        *,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        lock_mode: str = "rw",
-        checkpoint_poll: float = 1.0,
-    ) -> None:
+#: transport write-buffer level above which responses go through the
+#: bounded outbox (and its drain-based backpressure) instead of being
+#: written directly
+_DIRECT_WRITE_LIMIT = 64 * 1024
+
+
+class JournalDispatcher:
+    """The transport-independent op layer of the Journal Server.
+
+    Owns the RW lock discipline, the ``_op_*`` handler table, per-op
+    telemetry, and the write-path checkpoint check.  Both server
+    transports call :meth:`dispatch` (blocking, from a worker or
+    connection thread); the async server additionally tries
+    :meth:`dispatch_inline` first for cheap ops.
+    """
+
+    def __init__(self, journal: Journal, *, lock_mode: str = "rw") -> None:
         if lock_mode not in ("rw", "exclusive"):
             raise ValueError(f"unknown lock_mode: {lock_mode!r}")
-        if checkpoint_poll <= 0:
-            raise ValueError("checkpoint_poll must be positive")
         self.journal = journal
         self.lock_mode = lock_mode
-        #: how often the background thread re-evaluates the age threshold
-        self.checkpoint_poll = checkpoint_poll
-        self._rwlock = ReadWriteLock()
-        #: guards the connection/thread bookkeeping lists
-        self._conn_lock = threading.Lock()
-        #: server metrics live in the Journal's registry, so one
-        #: snapshot covers storage and front-end alike.  The request
-        #: counter is a registry counter (atomic), which is what lets
-        #: read-locked status ops and the checkpoint poll thread bump
-        #: shared accounting without a dedicated stats mutex.
+        self.rwlock = ReadWriteLock()
+        #: transport hook invoked by status ops (ping/counts) — the
+        #: threaded server reaps finished connection threads here.
+        self.on_status: Optional[Callable[[], None]] = None
+        #: transport hook: when set, completed write ops call this
+        #: (write lock held) instead of journal.publish() — the async
+        #: server coalesces a burst of pipelined writes into one feed
+        #: flush per loop tick instead of one delivery per write.
+        self.publish_soon: Optional[Callable[[], None]] = None
         self.telemetry = journal.telemetry
         self._c_requests = self.telemetry.counter(
             "fremont_server_requests_total", "Requests dispatched by the Journal Server"
@@ -113,203 +144,44 @@ class JournalServer:
             "Sub-requests per observe_batch op",
             buckets=SIZE_BUCKETS,
         )
-        self._listener = socket.create_server((host, port))
-        self._listener.settimeout(0.2)
-        self._threads: List[threading.Thread] = []
-        #: open connection sockets, pruned alongside their threads
-        self._connections: List[socket.socket] = []
-        self._running = False
-        self._accept_thread: Optional[threading.Thread] = None
-        self._checkpoint_thread: Optional[threading.Thread] = None
-        self._checkpoint_stop = threading.Event()
-        #: persist here on stop() when set
-        self.persist_path: Optional[str] = None
+        #: single-slot memo for feed push frames: (since, revision, frame)
+        self._changes_frame_cache: Tuple[int, int, bytes] = (-1, -1, b"")
+        #: per-op latency samples resolved once (label lookup is ~10%
+        #: of a cheap op's cost on the inline path)
+        self._op_samples: Dict[str, Any] = {}
+        #: resolved op -> bound handler, filled on first use
+        self._handlers: Dict[str, Callable] = {}
 
     @property
     def requests_served(self) -> int:
-        """Compatibility view of ``fremont_server_requests_total``."""
         return int(self._c_requests.value)
 
-    @requests_served.setter
-    def requests_served(self, value: int) -> None:
-        self._c_requests.reset_to(value)
-
-    @property
-    def address(self) -> Tuple[str, int]:
-        return self._listener.getsockname()
-
-    @property
-    def live_connections(self) -> int:
-        """Connection-handler threads still running."""
-        with self._conn_lock:
-            return sum(1 for t in self._threads if t.is_alive())
-
-    def _reap_connections(self) -> None:
-        """Drop bookkeeping for finished connection threads.  Runs in
-        the accept loop, on stop(), and before status ops — an idle
-        server must not retain its last batch of dead threads/sockets
-        until the *next* client happens to connect."""
-        with self._conn_lock:
-            live = [
-                (t, c)
-                for t, c in zip(self._threads, self._connections)
-                if t.is_alive()
-            ]
-            self._threads = [t for t, _ in live]
-            self._connections = [c for _, c in live]
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-
-    def start(self) -> "JournalServer":
-        self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="journal-server-accept", daemon=True
-        )
-        self._accept_thread.start()
-        if self.journal.durability is not None:
-            self._checkpoint_stop.clear()
-            self._checkpoint_thread = threading.Thread(
-                target=self._checkpoint_loop,
-                name="journal-server-checkpoint",
-                daemon=True,
-            )
-            self._checkpoint_thread.start()
-        return self
-
-    def stop(self) -> None:
-        self._running = False
-        self._checkpoint_stop.set()
-        if self._checkpoint_thread is not None:
-            self._checkpoint_thread.join(timeout=5.0)
-            self._checkpoint_thread = None
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-        self._listener.close()
-        # Sever live connections, or their handler threads would keep
-        # serving a "stopped" server indefinitely (and the joins below
-        # would time out waiting on blocked reads).
-        with self._conn_lock:
-            connections = list(self._connections)
-            threads = list(self._threads)
-        for connection in connections:
-            try:
-                connection.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                connection.close()
-            except OSError:
-                pass
-        for thread in threads:
-            thread.join(timeout=2.0)
-        self._reap_connections()
-        with self._rwlock.write_locked():
-            if self.journal.durability is not None:
-                # Termination checkpoint: everything the WAL holds is
-                # folded into a snapshot before the process exits.
-                self.journal.durability.checkpoint()
-            if self.persist_path is not None:
-                self.journal.save(self.persist_path)
-
-    def _checkpoint_loop(self) -> None:
-        """Age-threshold watchdog: a server receiving no writes would
-        otherwise never trip the per-op ops/bytes checks, leaving an
-        unbounded WAL replay window."""
-        while not self._checkpoint_stop.wait(self.checkpoint_poll):
-            store = self.journal.durability
-            if store is None:
-                break
-            if store.due():
-                with self._rwlock.write_locked():
-                    if self.journal.durability is store and store.due():
-                        store.checkpoint()
-
-    def __enter__(self) -> "JournalServer":
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    # ------------------------------------------------------------------
-    # Connection handling
-    # ------------------------------------------------------------------
-
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                connection, _peer = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break
-            # Reap finished connection threads; without this a week-long
-            # server leaks one Thread object (and socket) per connection
-            # ever made.
-            self._reap_connections()
-            thread = threading.Thread(
-                target=self._serve_connection,
-                args=(connection,),
-                name="journal-server-conn",
-                daemon=True,
-            )
-            with self._conn_lock:
-                self._threads.append(thread)
-                self._connections.append(connection)
-            thread.start()
-
-    def _serve_connection(self, connection: socket.socket) -> None:
-        # Feed pushes arrive from *other* connections' writer threads,
-        # so every send on this socket shares one lock with them.
-        send_lock = threading.Lock()
-        subscription = None
+    def handler_for(self, op: Any) -> Optional[Callable]:
         try:
-            with connection:
-                reader = connection.makefile("rb")
-                for line in reader:
-                    if not line.strip():
-                        continue
-                    try:
-                        request = wire.decode_message(line)
-                        if request.get("op") == "subscribe":
-                            response, subscription = self._handle_subscribe(
-                                request, connection, send_lock, subscription
-                            )
-                        else:
-                            response = self._dispatch(request)
-                    except wire.WireError as error:
-                        response = {"ok": False, "error": str(error)}
-                    except Exception as error:  # defensive: report, keep serving
-                        response = {
-                            "ok": False,
-                            "error": f"{type(error).__name__}: {error}",
-                        }
-                    try:
-                        with send_lock:
-                            connection.sendall(wire.encode_message(response))
-                    except OSError:
-                        break
-                    if subscription is not None:
-                        # Ack sent; deliver the backlog before any new
-                        # write publishes, so the subscriber starts from
-                        # a delta it can actually apply.
-                        with self._rwlock.write_locked():
-                            subscription.deliver()
-        finally:
-            if subscription is not None:
-                with self._rwlock.write_locked():
-                    subscription.close()
+            return self._handlers[op]
+        except (KeyError, TypeError):
+            pass
+        if op in wire.WIRE_OPS:
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is not None:
+                self._handlers[op] = handler
+            return handler
+        return None
+
+    def is_write(self, op: Any) -> bool:
+        return op not in _READ_OPS
 
     # ------------------------------------------------------------------
-    # Request dispatch
+    # Dispatch
     # ------------------------------------------------------------------
 
-    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        op = wire.canonical_op(request.get("op"))
-        handler = getattr(self, f"_op_{op}", None) if op in wire.WIRE_OPS else None
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Resolve, lock, and run one request.  Blocks on the RW lock;
+        call from a worker/connection thread, never the event loop."""
+        op = request.get("op")
+        handler = self.handler_for(op)
         if handler is None:
-            raise wire.WireError(f"unknown op: {request.get('op')!r}")
+            raise wire.WireError(f"unknown op: {op!r}")
         with self.telemetry.trace("server_op", op=op):
             with self._h_op.labels(op=op).time():
                 return self._dispatch_locked(op, handler, request)
@@ -317,85 +189,156 @@ class JournalServer:
     def _dispatch_locked(self, op, handler, request: Dict[str, Any]) -> Dict[str, Any]:
         if self.lock_mode == "rw" and op in _READ_OPS:
             waited_from = time.perf_counter()
-            with self._rwlock.read_locked():
+            with self.rwlock.read_locked():
                 self._h_lock_wait.labels(mode="read").observe(
                     time.perf_counter() - waited_from
                 )
                 self._c_requests.inc()
                 return handler(request)
         waited_from = time.perf_counter()
-        with self._rwlock.write_locked():
+        with self.rwlock.write_locked():
             self._h_lock_wait.labels(mode="write").observe(
                 time.perf_counter() - waited_from
             )
             self._c_requests.inc()
             response = handler(request)
-            # Delivery point: a completed write op publishes the change
-            # feed to streaming subscribers while state is consistent.
-            if op not in _READ_OPS:
-                self.journal.publish()
-                store = self.journal.durability
-                if store is not None and store.due():
-                    # Ops/bytes thresholds are checked here, with the
-                    # write lock already held; the background thread
-                    # only needs to cover the age threshold.
-                    store.checkpoint()
+            self._after_write(op)
             return response
 
-    def _handle_subscribe(
-        self,
-        request: Dict[str, Any],
-        connection: socket.socket,
-        send_lock: threading.Lock,
-        existing,
-    ) -> Tuple[Dict[str, Any], Any]:
-        """Turn this connection into a change-feed stream.  The reply
-        acknowledges with the current revision; every subsequent write
-        op pushes a ``{"event": "changes", ...}`` frame."""
-        if existing is not None:
-            return {"ok": False, "error": "already subscribed"}, existing
+    def _after_write(self, op) -> None:
+        """Runs with the write lock held, after a completed write op:
+        the change feed publishes while state is consistent, and the
+        ops/bytes checkpoint thresholds are checked — the background
+        thread only needs to cover the age threshold."""
+        if op not in _READ_OPS:
+            if self.publish_soon is not None:
+                self.publish_soon()
+            else:
+                self.journal.publish()
+            store = self.journal.durability
+            if store is not None and store.due():
+                store.checkpoint()
 
-        def push(changes) -> None:
-            frame = {
+    def dispatch_inline(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Non-blocking fast path for the event loop thread: run the
+        request only if it is cheap (:data:`_INLINE_OPS`), does not hit
+        the WAL, and the lock is free *right now*.  Returns None when
+        the request must go to the worker pool instead.
+
+        Telemetry is deliberately lean here: the op-latency histogram
+        and request counters are recorded, but no trace span is opened
+        and no lock-wait sample is taken — the lock was acquired
+        without waiting (that is the fast path's precondition), and a
+        span per sub-100µs op would cost more than the op.  Worker-pool
+        dispatch keeps full tracing."""
+        op = request.get("op")
+        if op not in _INLINE_OPS:
+            return None
+        read = self.lock_mode == "rw" and op in _READ_OPS
+        if not read and self.journal.durability is not None:
+            # Write with a WAL attached: the append (and possibly an
+            # fsync) must not run on the loop thread.
+            return None
+        handler = self.handler_for(op)
+        if handler is None:
+            return None
+        if read:
+            if not self.rwlock.try_acquire_read():
+                return None
+        elif not self.rwlock.try_acquire_write():
+            return None
+        try:
+            sample = self._op_samples.get(op)
+            if sample is None:
+                sample = self._op_samples[op] = self._h_op.labels(op=op)
+            started = time.perf_counter()
+            self._c_requests.inc()
+            response = handler(request)
+            if not read:
+                self._after_write(op)
+            sample.observe(time.perf_counter() - started)
+            return response
+        finally:
+            if read:
+                self.rwlock.release_read()
+            else:
+                self.rwlock.release_write()
+
+    # ------------------------------------------------------------------
+    # Feed subscriptions (lock-holding helpers for the transports)
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        push: Callable,
+        *,
+        since: int,
+        on_registered: Optional[Callable[[int], None]] = None,
+    ):
+        """Register a streaming feed subscriber under the write lock.
+        *on_registered* (if given) runs with the lock still held, after
+        registration but before the backlog delivers — the async server
+        enqueues the acknowledgement frame there so no concurrent write
+        can push a delta ahead of it."""
+        with self.rwlock.write_locked():
+            self._c_requests.inc()
+            subscription = self.journal.subscribe(push, since=since)
+            if on_registered is not None:
+                on_registered(self.journal.revision)
+            # Deliver the backlog before any new write publishes, so
+            # the subscriber starts from a delta it can actually apply.
+            subscription.deliver()
+        return subscription
+
+    def unsubscribe(self, subscription) -> None:
+        with self.rwlock.write_locked():
+            subscription.close()
+
+    def encoded_changes_frame(self, changes) -> bytes:
+        """Wire frame for a change-feed push, memoized per delta.
+
+        Feed pushes run under the write lock, so when every caught-up
+        subscriber shares the same ``(since, revision)`` cursor the
+        delta is serialized and encoded once, not once per subscriber.
+        """
+        since, revision, frame = self._changes_frame_cache
+        if since == changes.since and revision == changes.revision:
+            return frame
+        frame = wire.encode_message(
+            {
                 "ok": True,
                 "event": "changes",
                 "changes": wire.changes_to_dict(changes),
             }
-            try:
-                with send_lock:
-                    connection.sendall(wire.encode_message(frame))
-            except OSError:
-                # Dead subscriber: unhook so one lost connection cannot
-                # wedge every future publish.
-                subscription.close()
+        )
+        self._changes_frame_cache = (changes.since, changes.revision, frame)
+        return frame
 
-        with self._rwlock.write_locked():
-            self._c_requests.inc()
-            subscription = self.journal.subscribe(
-                push, since=int(request.get("since", 0))
-            )
-            revision = self.journal.revision
-        return {"ok": True, "revision": revision}, subscription
+    def checkpoint_if_due(self) -> None:
+        """Age-threshold path, called by the background watchdog."""
+        store = self.journal.durability
+        if store is not None and store.due():
+            with self.rwlock.write_locked():
+                if self.journal.durability is store and store.due():
+                    store.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Op handlers
+    # ------------------------------------------------------------------
 
     def _op_observe_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Apply several requests in one round trip — the BatchingSink's
         flush path, and the replay path a reconnecting client uses to
         drain observations buffered during an outage.  Per-item failures
         are reported in place; the batch itself still succeeds, so one
-        malformed entry cannot wedge the client's buffer forever.
-
-        ``observe_batch`` is the canonical op name; the pre-schema name
-        ``batch`` still resolves through :data:`wire.OP_ALIASES`."""
+        malformed entry cannot wedge the client's buffer forever."""
         responses: List[Dict[str, Any]] = []
         requests = request.get("requests", [])
         self._h_batch_size.observe(len(requests))
         for sub_request in requests:
             op = sub_request.get("op") if isinstance(sub_request, dict) else None
-            op = wire.canonical_op(op) if op is not None else None
             handler = (
-                None
-                if op in (None, "observe_batch")
-                else getattr(self, f"_op_{op}", None)
+                None if op == "observe_batch" else self.handler_for(op)
             )
             if handler is None:
                 responses.append({"ok": False, "error": f"unknown op: {op!r}"})
@@ -417,7 +360,8 @@ class JournalServer:
         return {"ok": True, "responses": responses}
 
     def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        self._reap_connections()
+        if self.on_status is not None:
+            self.on_status()
         return {
             "ok": True,
             "counts": self.journal.counts(),
@@ -542,7 +486,8 @@ class JournalServer:
     def _op_counts(self, request: Dict[str, Any]) -> Dict[str, Any]:
         # counts() carries the journal revision, so remote clients can
         # cheaply poll "did anything change since revision N?"
-        self._reap_connections()
+        if self.on_status is not None:
+            self.on_status()
         return {"ok": True, "counts": self.journal.counts()}
 
     def _op_changes_since(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -568,3 +513,893 @@ class JournalServer:
     def _op_save(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self.journal.save(request["path"])
         return {"ok": True}
+
+
+class _JournalServerBase:
+    """Lifecycle plumbing shared by both transports: the listening
+    socket, the checkpoint watchdog thread, and final persistence."""
+
+    def __init__(
+        self,
+        journal: Journal,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lock_mode: str = "rw",
+        checkpoint_poll: float = 1.0,
+    ) -> None:
+        if checkpoint_poll <= 0:
+            raise ValueError("checkpoint_poll must be positive")
+        self.journal = journal
+        self.lock_mode = lock_mode
+        self.dispatcher = JournalDispatcher(journal, lock_mode=lock_mode)
+        #: how often the background thread re-evaluates the age threshold
+        self.checkpoint_poll = checkpoint_poll
+        #: server metrics live in the Journal's registry, so one
+        #: snapshot covers storage and front-end alike.
+        self.telemetry = journal.telemetry
+        self._listener = socket.create_server((host, port))
+        self._checkpoint_thread: Optional[threading.Thread] = None
+        self._checkpoint_stop = threading.Event()
+        #: persist here on stop() when set
+        self.persist_path: Optional[str] = None
+
+    @property
+    def requests_served(self) -> int:
+        """Compatibility view of ``fremont_server_requests_total``."""
+        return self.dispatcher.requests_served
+
+    @requests_served.setter
+    def requests_served(self, value: int) -> None:
+        self.dispatcher._c_requests.reset_to(value)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._listener.getsockname()
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Direct (in-process) dispatch — test and tooling hook."""
+        return self.dispatcher.dispatch(request)
+
+    # -- checkpoint watchdog ---------------------------------------------
+
+    def _start_checkpoint_thread(self) -> None:
+        if self.journal.durability is None:
+            return
+        self._checkpoint_stop.clear()
+        self._checkpoint_thread = threading.Thread(
+            target=self._checkpoint_loop,
+            name="journal-server-checkpoint",
+            daemon=True,
+        )
+        self._checkpoint_thread.start()
+
+    def _stop_checkpoint_thread(self) -> None:
+        self._checkpoint_stop.set()
+        if self._checkpoint_thread is not None:
+            self._checkpoint_thread.join(timeout=5.0)
+            self._checkpoint_thread = None
+
+    def _checkpoint_loop(self) -> None:
+        """Age-threshold watchdog: a server receiving no writes would
+        otherwise never trip the per-op ops/bytes checks, leaving an
+        unbounded WAL replay window."""
+        while not self._checkpoint_stop.wait(self.checkpoint_poll):
+            if self.journal.durability is None:
+                break
+            self.dispatcher.checkpoint_if_due()
+
+    def _finalize_stop(self) -> None:
+        with self.dispatcher.rwlock.write_locked():
+            if self.journal.durability is not None:
+                # Termination checkpoint: everything the WAL holds is
+                # folded into a snapshot before the process exits.
+                self.journal.durability.checkpoint()
+            if self.persist_path is not None:
+                self.journal.save(self.persist_path)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def stop(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class _AsyncConnection:
+    """One multiplexed client connection on the async server.
+
+    The reader coroutine parses frames and spawns request tasks;
+    responses funnel through a bounded outbound queue drained by a
+    single sender task (per-connection write ordering, backpressure).
+    Write ops chain on ``_write_tail`` so they execute in submission
+    order even when pipelined; reads may overtake.
+    """
+
+    def __init__(self, server: "JournalServer", writer: asyncio.StreamWriter) -> None:
+        self._server = server
+        self._writer = writer
+        self._outbox: asyncio.Queue = asyncio.Queue(maxsize=server.queue_limit)
+        self._sender_task: Optional[asyncio.Task] = None
+        self._inflight: set = set()
+        self._write_tail: Optional[asyncio.Task] = None
+        self._subscription = None
+        self._detach_pending = False
+        self._lagged_revision: Optional[int] = None
+        self._draining = False
+        self._closing = False
+
+    # -- outbound --------------------------------------------------------
+
+    async def send(self, response: Dict[str, Any]) -> None:
+        if self._closing:
+            return
+        frame = wire.encode_message(response)
+        if not self._send_direct(frame):
+            await self._outbox.put(frame)
+
+    def _send_direct(self, frame: bytes) -> bool:
+        """Write *frame* straight to the transport when the sender is
+        idle and the kernel is keeping up — skips a queue put plus a
+        sender task wakeup.  Same loop thread as the sender's writes,
+        and the empty outbox means none are pending, so ordering holds;
+        a backed-up transport returns False and the caller falls back
+        to the bounded queue, which is where backpressure lives."""
+        transport = self._writer.transport
+        if (
+            self._outbox.empty()
+            and not transport.is_closing()
+            and transport.get_write_buffer_size() < _DIRECT_WRITE_LIMIT
+        ):
+            self._writer.write(frame)
+            return True
+        return False
+
+    def _feed_frame(self, frame: bytes, revision: int) -> None:
+        """Loop-thread delivery point for pushed change-feed frames.
+        A full queue means this subscriber cannot keep up: rather than
+        stall the loop (or the publishing writer), cut it over to the
+        polling fallback."""
+        if self._closing:
+            return
+        try:
+            self._outbox.put_nowait(frame)
+        except asyncio.QueueFull:
+            self._server._c_feed_fallbacks.inc()
+            self._lagged_revision = revision
+            self._detach_subscription()
+
+    def _detach_subscription(self) -> None:
+        subscription = self._subscription
+        self._subscription = None
+        if subscription is None:
+            # subscribe handshake still in flight; detach once it lands
+            self._detach_pending = True
+            return
+        self._server._run_blocking_detached(
+            self._server.dispatcher.unsubscribe, subscription
+        )
+
+    async def _sender(self) -> None:
+        writer = self._writer
+        outbox = self._outbox
+        broken = False
+        closing = False
+        while not closing:
+            frame = await outbox.get()
+            if frame is _CLOSE:
+                break
+            # Coalesce everything already queued into a single
+            # write+drain — one syscall for a whole pipelined burst.
+            parts = [frame]
+            while True:
+                try:
+                    extra = outbox.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is _CLOSE:
+                    closing = True
+                    break
+                parts.append(extra)
+            if broken:
+                continue  # drain without writing: unblock producers
+            try:
+                writer.write(b"".join(parts) if len(parts) > 1 else frame)
+                await writer.drain()
+                if self._lagged_revision is not None and self._outbox.empty():
+                    revision = self._lagged_revision
+                    self._lagged_revision = None
+                    writer.write(
+                        wire.encode_message(
+                            {
+                                "ok": True,
+                                "event": "feed_lagged",
+                                "revision": revision,
+                                "reason": "slow consumer; poll changes_since",
+                            }
+                        )
+                    )
+                    await writer.drain()
+            except (ConnectionError, OSError):
+                broken = True
+
+    # -- inbound ---------------------------------------------------------
+
+    async def run(self, reader: asyncio.StreamReader) -> None:
+        self._sender_task = asyncio.ensure_future(self._sender())
+        try:
+            await self._read_loop(reader)
+        except asyncio.CancelledError:
+            if not self._draining:
+                raise
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionError, OSError, ValueError):
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                request = wire.decode_message(line)
+            except wire.WireError as error:
+                await self.send({"ok": False, "error": str(error)})
+                continue
+            rid = request.get("id")
+            op = request.get("op")
+            dispatcher = self._server.dispatcher
+            is_write = op != "subscribe" and dispatcher.is_write(op)
+            if op != "subscribe" and (
+                not is_write
+                or self._write_tail is None
+                or self._write_tail.done()
+            ):
+                # Fast path: cheap ops answered right here on the loop
+                # thread — no task, no executor hop.  Writes only take it
+                # when no earlier write is still in flight (per-connection
+                # write ordering); reads may overtake regardless.
+                try:
+                    response = dispatcher.dispatch_inline(request)
+                except Exception as error:
+                    response = {
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                if response is not None:
+                    if rid is not None:
+                        response = dict(response)
+                        response["id"] = rid
+                    if not self._closing:
+                        frame = wire.encode_message(response)
+                        if not self._send_direct(frame):
+                            await self._outbox.put(frame)
+                    continue
+            after = None
+            if op == "subscribe" or is_write:
+                after = self._write_tail
+            task = loop.create_task(self._run_request(rid, request, after))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+            if is_write or op == "subscribe":
+                # Writes chain in submission order; a subscribe also joins
+                # the chain so later writes cannot publish before the
+                # subscription is registered.
+                self._write_tail = task
+            if rid is None:
+                # Legacy strict request/response lane: answer before
+                # reading the next frame.  Shielded so a graceful drain
+                # can cancel *reading* without killing the op.
+                try:
+                    await asyncio.shield(task)
+                except asyncio.CancelledError:
+                    if not self._draining:
+                        task.cancel()
+                        raise
+                    break
+                except Exception:
+                    break
+            else:
+                self._server._h_pipeline_depth.observe(len(self._inflight))
+
+    async def _run_request(
+        self, rid, request: Dict[str, Any], after: Optional[asyncio.Task]
+    ) -> None:
+        if after is not None:
+            # Per-connection write ordering: wait out the previous
+            # write op (ignoring its outcome) before dispatching.
+            await asyncio.wait({after})
+        if request.get("op") == "subscribe":
+            await self._handle_subscribe(rid, request)
+            return
+        response = await self._server._dispatch_async(request)
+        if rid is not None:
+            response = dict(response)
+            response["id"] = rid
+        await self.send(response)
+
+    async def _handle_subscribe(self, rid, request: Dict[str, Any]) -> None:
+        if self._subscription is not None:
+            response: Dict[str, Any] = {"ok": False, "error": "already subscribed"}
+            if rid is not None:
+                response["id"] = rid
+            await self.send(response)
+            return
+        loop = asyncio.get_event_loop()
+        since = int(request.get("since", 0))
+
+        def push(changes) -> None:
+            frame = self._server.dispatcher.encoded_changes_frame(changes)
+            try:
+                asyncio.get_running_loop()
+            except RuntimeError:
+                pass  # publishing from a worker thread: hop to the loop
+            else:
+                # Already on the loop thread (the coalesced publish
+                # flush) — deliver directly, no self-pipe wakeup.
+                self._feed_frame(frame, changes.revision)
+                return
+            try:
+                loop.call_soon_threadsafe(self._feed_frame, frame, changes.revision)
+            except RuntimeError:
+                pass  # loop shutting down; connection is going away too
+
+        def acknowledge(revision: int) -> None:
+            # Runs with the write lock held: the ack frame is queued
+            # before the backlog (and before any concurrent write can
+            # publish), so the client always sees ack first.
+            ack: Dict[str, Any] = {"ok": True, "revision": revision}
+            if rid is not None:
+                ack["id"] = rid
+            frame = wire.encode_message(ack)
+            loop.call_soon_threadsafe(self._feed_frame, frame, revision)
+
+        subscription = await self._server._run_blocking(
+            lambda: self._server.dispatcher.subscribe(
+                push, since=since, on_registered=acknowledge
+            )
+        )
+        self._subscription = subscription
+        if self._detach_pending:
+            self._detach_pending = False
+            self._detach_subscription()
+
+    # -- teardown --------------------------------------------------------
+
+    def begin_drain(self, handler_task: asyncio.Task) -> None:
+        """Stop reading new requests but keep in-flight ones running —
+        the graceful half of stop()."""
+        self._draining = True
+        handler_task.cancel()
+
+    async def aclose(self) -> None:
+        drain = self._server.drain_timeout
+        try:
+            if self._inflight:
+                await asyncio.wait(set(self._inflight), timeout=drain)
+            if self._subscription is not None:
+                subscription = self._subscription
+                self._subscription = None
+                try:
+                    await self._server._run_blocking(
+                        lambda: self._server.dispatcher.unsubscribe(subscription)
+                    )
+                except RuntimeError:
+                    pass  # executor already shut down
+            self._closing = True
+            if self._sender_task is not None:
+                try:
+                    self._outbox.put_nowait(_CLOSE)
+                except asyncio.QueueFull:
+                    self._sender_task.cancel()
+                try:
+                    await asyncio.wait_for(self._sender_task, timeout=drain)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    pass
+        except asyncio.CancelledError:
+            # stop() gave up on the graceful path; fall through to the
+            # unconditional transport close below.
+            self._closing = True
+            if self._sender_task is not None:
+                self._sender_task.cancel()
+        finally:
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError):
+                pass
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+
+class JournalServer(_JournalServerBase):
+    """Asyncio front-end guarding concurrent access to a
+    :class:`Journal` — one event loop, thousands of sockets, pipelined
+    requests.  The loop runs on a dedicated thread so the public
+    ``start()``/``stop()`` surface stays synchronous."""
+
+    def __init__(
+        self,
+        journal: Journal,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lock_mode: str = "rw",
+        checkpoint_poll: float = 1.0,
+        max_workers: int = 4,
+        queue_limit: int = 256,
+        drain_timeout: float = 5.0,
+    ) -> None:
+        super().__init__(
+            journal,
+            host=host,
+            port=port,
+            lock_mode=lock_mode,
+            checkpoint_poll=checkpoint_poll,
+        )
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if queue_limit < 2:
+            raise ValueError("queue_limit must be at least 2")
+        #: bounded pool for lock-waiting/fsyncing/serialising work
+        self.max_workers = max_workers
+        #: per-connection outbound queue bound (frames)
+        self.queue_limit = queue_limit
+        #: grace period for in-flight requests at stop()
+        self.drain_timeout = drain_timeout
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        #: open connections; loop-thread mutated, len() read anywhere
+        self._connections: Dict[_AsyncConnection, asyncio.Task] = {}
+        self._running = False
+        self._g_connections = self.telemetry.gauge(
+            "fremont_server_connections", "Open Journal Server connections"
+        )
+        self._h_pipeline_depth = self.telemetry.histogram(
+            "fremont_server_pipeline_depth",
+            "Pipelined requests in flight per connection at arrival",
+            buckets=DEPTH_BUCKETS,
+        )
+        self._c_feed_fallbacks = self.telemetry.counter(
+            "fremont_server_feed_fallbacks_total",
+            "Slow feed subscribers demoted to changes_since polling",
+        )
+        #: a feed flush is already queued on the loop (guarded by the
+        #: write lock, which every mutator of this flag holds)
+        self._publish_pending = False
+        self.dispatcher.publish_soon = self._schedule_publish
+
+    @property
+    def live_connections(self) -> int:
+        """Currently open client connections."""
+        return len(self._connections)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "JournalServer":
+        self._running = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="journal-worker"
+        )
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop_main, args=(started,),
+            name="journal-server-loop", daemon=True,
+        )
+        self._thread.start()
+        started.wait(timeout=5.0)
+        self._start_checkpoint_thread()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        self._stop_checkpoint_thread()
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            try:
+                loop.call_soon_threadsafe(self._request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+            thread.join(timeout=self.drain_timeout + 10.0)
+        self._thread = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._finalize_stop()
+
+    def _request_stop(self) -> None:
+        if self._stop_requested is not None:
+            self._stop_requested.set()
+
+    # -- coalesced feed publish ----------------------------------------
+
+    def _schedule_publish(self) -> None:
+        """Dispatcher hook, called with the write lock held after each
+        completed write op.  Queues one feed flush on the event loop —
+        a pipelined burst of writes lands as a single combined delta
+        per subscriber instead of one delivery per write."""
+        if self._publish_pending:
+            return
+        if not self.journal.feed_subscribers:
+            return  # nobody listening: skip the loop wakeup entirely
+        loop = self._loop
+        if loop is None:
+            self.journal.publish()
+            return
+        self._publish_pending = True
+        try:
+            loop.call_soon_threadsafe(self._publish_flush)
+        except RuntimeError:
+            # Loop shutting down: deliver synchronously rather than
+            # dropping the delta on the floor.
+            self._publish_pending = False
+            self.journal.publish()
+
+    def _publish_flush(self) -> None:
+        # Loop thread.  Publishing needs the write lock; never block
+        # the loop waiting for a worker-thread writer — retry next tick.
+        if not self.dispatcher.rwlock.try_acquire_write():
+            loop = self._loop
+            if loop is not None:
+                loop.call_later(0.0005, self._publish_flush)
+            return
+        try:
+            self._publish_pending = False
+            self.journal.publish()
+        finally:
+            self.dispatcher.rwlock.release_write()
+
+    def _loop_main(self, started: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve_forever(started))
+        finally:
+            started.set()  # never leave start() hanging on a crash
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            asyncio.set_event_loop(None)
+            loop.close()
+            self._loop = None
+
+    async def _serve_forever(self, started: threading.Event) -> None:
+        loop = asyncio.get_event_loop()
+        self._stop_requested = asyncio.Event()
+        self._listener.setblocking(False)
+        accept_task = loop.create_task(self._accept_loop(loop))
+        started.set()
+        try:
+            await self._stop_requested.wait()
+        finally:
+            accept_task.cancel()
+            try:
+                await accept_task
+            except (asyncio.CancelledError, OSError):
+                pass
+            # Flush the kernel accept queue: a connection that finished
+            # its handshake but was never accepted would otherwise hang
+            # half-open until the client's request timeout.
+            while True:
+                try:
+                    straggler, _peer = self._listener.accept()
+                except (BlockingIOError, OSError):
+                    break
+                straggler.close()
+            # Let connections accepted just before the stop signal reach
+            # their handler's first line and register themselves — a
+            # transport whose handler task is cancelled before it ever
+            # runs would otherwise never be closed.
+            for _ in range(2):
+                await asyncio.sleep(0)
+            await self._drain_connections()
+
+    async def _accept_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Accept sockets and wrap each in a stream pair feeding
+        :meth:`_on_connection`.  Hand-rolled (rather than
+        ``asyncio.start_server``) so stop() keeps control of the
+        listening socket and can flush its backlog."""
+        while True:
+            try:
+                conn, _peer = await loop.sock_accept(self._listener)
+            except OSError:
+                break
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # e.g. AF_UNIX in tests
+            reader = asyncio.StreamReader(limit=1 << 24, loop=loop)
+            protocol = asyncio.StreamReaderProtocol(
+                reader, self._on_connection, loop=loop
+            )
+            try:
+                await loop.connect_accepted_socket(lambda: protocol, conn)
+            except OSError:
+                conn.close()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _AsyncConnection(self, writer)
+        self._connections[connection] = asyncio.current_task()
+        self._g_connections.set(len(self._connections))
+        try:
+            await connection.run(reader)
+        finally:
+            try:
+                await connection.aclose()
+            finally:
+                self._connections.pop(connection, None)
+                self._g_connections.set(len(self._connections))
+
+    async def _drain_connections(self) -> None:
+        """Graceful half of stop(): stop reading, let in-flight requests
+        complete and their responses flush, then close the sockets."""
+        handlers = []
+        for connection, handler in list(self._connections.items()):
+            connection.begin_drain(handler)
+            handlers.append(handler)
+        if handlers:
+            await asyncio.wait(handlers, timeout=self.drain_timeout + 1.0)
+
+    # ------------------------------------------------------------------
+    # Dispatch plumbing
+    # ------------------------------------------------------------------
+
+    async def _dispatch_async(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            response = self.dispatcher.dispatch_inline(request)
+            if response is not None:
+                return response
+            executor = self._executor
+            if executor is None:
+                return {"ok": False, "error": "server is stopping"}
+            return await asyncio.get_event_loop().run_in_executor(
+                executor, self.dispatcher.dispatch, request
+            )
+        except wire.WireError as error:
+            return {"ok": False, "error": str(error)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # defensive: report, keep serving
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+    async def _run_blocking(self, func: Callable):
+        executor = self._executor
+        if executor is None:
+            raise RuntimeError("server is stopping")
+        return await asyncio.get_event_loop().run_in_executor(executor, func)
+
+    def _run_blocking_detached(self, func: Callable, *args) -> None:
+        """Fire-and-forget lock-holding work from the loop thread (e.g.
+        detaching a lagging subscriber)."""
+        executor = self._executor
+        if executor is None:
+            return
+        try:
+            executor.submit(func, *args)
+        except RuntimeError:  # pragma: no cover - shutdown race
+            pass
+
+
+class ThreadedJournalServer(_JournalServerBase):
+    """The pre-async transport: one thread per connection, strict
+    request/response (ids are echoed but nothing runs concurrently on a
+    connection).  Kept as the measured baseline for the fan-in
+    benchmark and as a fallback for environments where an extra event
+    loop thread is unwelcome."""
+
+    def __init__(
+        self,
+        journal: Journal,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lock_mode: str = "rw",
+        checkpoint_poll: float = 1.0,
+    ) -> None:
+        super().__init__(
+            journal,
+            host=host,
+            port=port,
+            lock_mode=lock_mode,
+            checkpoint_poll=checkpoint_poll,
+        )
+        self.dispatcher.on_status = self._reap_connections
+        self._listener.settimeout(0.2)
+        self._threads: List[threading.Thread] = []
+        #: open connection sockets, pruned alongside their threads
+        self._connections: List[socket.socket] = []
+        #: guards the connection/thread bookkeeping lists
+        self._conn_lock = threading.Lock()
+        self._running = False
+        self._accept_thread: Optional[threading.Thread] = None
+
+    @property
+    def live_connections(self) -> int:
+        """Connection-handler threads still running."""
+        with self._conn_lock:
+            return sum(1 for t in self._threads if t.is_alive())
+
+    def _reap_connections(self) -> None:
+        """Drop bookkeeping for finished connection threads.  Runs in
+        the accept loop, on stop(), and before status ops — an idle
+        server must not retain its last batch of dead threads/sockets
+        until the *next* client happens to connect."""
+        with self._conn_lock:
+            live = [
+                (t, c)
+                for t, c in zip(self._threads, self._connections)
+                if t.is_alive()
+            ]
+            self._threads = [t for t, _ in live]
+            self._connections = [c for _, c in live]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ThreadedJournalServer":
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="journal-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._start_checkpoint_thread()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        self._stop_checkpoint_thread()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        self._listener.close()
+        # Sever live connections, or their handler threads would keep
+        # serving a "stopped" server indefinitely.
+        with self._conn_lock:
+            connections = list(self._connections)
+            threads = list(self._threads)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=2.0)
+        self._reap_connections()
+        self._finalize_stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                connection, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            # Reap finished connection threads; without this a week-long
+            # server leaks one Thread object (and socket) per connection
+            # ever made.
+            self._reap_connections()
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="journal-server-conn",
+                daemon=True,
+            )
+            with self._conn_lock:
+                self._threads.append(thread)
+                self._connections.append(connection)
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        # Feed pushes arrive from *other* connections' writer threads,
+        # so every send on this socket shares one lock with them.
+        send_lock = threading.Lock()
+        subscription = None
+        try:
+            with connection:
+                reader = connection.makefile("rb")
+                for line in reader:
+                    if not line.strip():
+                        continue
+                    rid = None
+                    try:
+                        request = wire.decode_message(line)
+                        rid = request.get("id")
+                        if request.get("op") == "subscribe":
+                            response, subscription = self._handle_subscribe(
+                                request, connection, send_lock, subscription
+                            )
+                        else:
+                            response = self.dispatcher.dispatch(request)
+                    except wire.WireError as error:
+                        response = {"ok": False, "error": str(error)}
+                    except Exception as error:  # defensive: keep serving
+                        response = {
+                            "ok": False,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                    if rid is not None:
+                        response["id"] = rid
+                    try:
+                        with send_lock:
+                            connection.sendall(wire.encode_message(response))
+                    except OSError:
+                        break
+                    if subscription is not None:
+                        # Ack sent; deliver the backlog before any new
+                        # write publishes, so the subscriber starts from
+                        # a delta it can actually apply.
+                        with self.dispatcher.rwlock.write_locked():
+                            subscription.deliver()
+        except (ConnectionError, OSError):
+            pass  # client hung up mid-request; nothing left to answer
+        finally:
+            if subscription is not None:
+                self.dispatcher.unsubscribe(subscription)
+
+    def _handle_subscribe(
+        self,
+        request: Dict[str, Any],
+        connection: socket.socket,
+        send_lock: threading.Lock,
+        existing,
+    ) -> Tuple[Dict[str, Any], Any]:
+        """Turn this connection into a change-feed stream.  The reply
+        acknowledges with the current revision; every subsequent write
+        op pushes a ``{"event": "changes", ...}`` frame."""
+        if existing is not None:
+            return {"ok": False, "error": "already subscribed"}, existing
+
+        def push(changes) -> None:
+            frame = self.dispatcher.encoded_changes_frame(changes)
+            try:
+                with send_lock:
+                    connection.sendall(frame)
+            except OSError:
+                # Dead subscriber: unhook so one lost connection cannot
+                # wedge every future publish.
+                subscription.close()
+
+        with self.dispatcher.rwlock.write_locked():
+            self.dispatcher._c_requests.inc()
+            subscription = self.journal.subscribe(
+                push, since=int(request.get("since", 0))
+            )
+            revision = self.journal.revision
+        return {"ok": True, "revision": revision}, subscription

@@ -135,8 +135,18 @@ class BatchingSink(ObservationSink):
     all are never coalesced (each one creates its own Journal record,
     so dropping one would change the outcome).
 
-    The sink does not own its target: ``close`` flushes but leaves the
-    underlying client open.
+    ``pipeline_depth`` > 1 enables the pipelined flush path against a
+    target that supports ``observe_batch_nowait`` (a
+    :class:`~repro.core.client.RemoteClient`): up to that many flushed
+    batches ride the wire concurrently, hiding the round trip, and
+    their changed-flag accounting settles when the responses return —
+    :meth:`take_changes` and :meth:`FlushStats.changed` therefore lag
+    by up to ``pipeline_depth`` batches until :meth:`settle` (or
+    ``close``) drains them.  Batches still *apply* in submission order;
+    the server guarantees per-connection write ordering.
+
+    The sink does not own its target: ``close`` flushes (and settles)
+    but leaves the underlying client open.
     """
 
     def __init__(
@@ -145,13 +155,17 @@ class BatchingSink(ObservationSink):
         *,
         max_batch: int = 64,
         max_age: Optional[float] = None,
+        pipeline_depth: int = 1,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be at least 1")
         self.target = target
         self.max_batch = max_batch
         self.max_age = max_age
+        self.pipeline_depth = pipeline_depth
         self._clock = clock
         #: shared with the target journal's registry when reachable
         self.telemetry = telemetry_of(target)
@@ -178,6 +192,8 @@ class BatchingSink(ObservationSink):
         self._coalesced_pending = 0
         #: journal changes observed by flushes since the last take_changes()
         self._unclaimed_changes = 0
+        #: pipelined flush replies not yet settled: (reply, batch size)
+        self._inflight_flushes: List[Tuple[object, int]] = []
 
     # -- buffering -------------------------------------------------------
 
@@ -259,7 +275,21 @@ class BatchingSink(ObservationSink):
             "sink_flush", size=len(batch), coalesced=coalesced
         ):
             observe_batch = getattr(self.target, "observe_batch", None)
-            if observe_batch is not None:
+            nowait = (
+                getattr(self.target, "observe_batch_nowait", None)
+                if self.pipeline_depth > 1
+                else None
+            )
+            if nowait is not None:
+                # Pipelined path: put the batch on the wire and keep
+                # going; settle the oldest reply only once the window
+                # is full, so up to pipeline_depth round trips overlap.
+                reply = nowait(batch, coalesced=coalesced)
+                self._inflight_flushes.append((reply, len(batch)))
+                changed = 0
+                while len(self._inflight_flushes) > self.pipeline_depth:
+                    changed += self._settle_one()
+            elif observe_batch is not None:
                 # One round trip for the whole buffer (server
                 # `observe_batch` op).
                 changed_flags = observe_batch(batch, coalesced=coalesced)
@@ -291,6 +321,30 @@ class BatchingSink(ObservationSink):
             applied=len(batch), coalesced=coalesced, changed=changed, batches=1
         )
 
+    def _settle_one(self) -> int:
+        """Wait for the oldest pipelined flush reply; returns how many
+        of its observations changed the Journal."""
+        reply, _size = self._inflight_flushes.pop(0)
+        response = reply.wait()
+        return sum(
+            1 for item in response.get("responses", []) if item.get("changed")
+        )
+
+    def settle(self) -> int:
+        """Drain every pipelined flush still in flight, folding the
+        changed counts into :meth:`take_changes` accounting.  Returns
+        the number of changes settled."""
+        changed = 0
+        while self._inflight_flushes:
+            changed += self._settle_one()
+        self._unclaimed_changes += changed
+        return changed
+
+    @property
+    def pending_settle(self) -> int:
+        """Pipelined flushes awaiting their server response."""
+        return len(self._inflight_flushes)
+
     def take_changes(self) -> int:
         """Journal changes produced by flushes since the last call —
         how a module's RunResult claims the fruitfulness of sightings it
@@ -301,3 +355,4 @@ class BatchingSink(ObservationSink):
 
     def close(self) -> None:
         self.flush()
+        self.settle()

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
+    "DEPTH_BUCKETS",
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
     "Counter",
@@ -69,6 +70,14 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 #: default buckets for size-ish histograms (batch sizes, counts)
 SIZE_BUCKETS: Tuple[float, ...] = (
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, float("inf"),
+)
+
+#: buckets for concurrency-depth histograms (requests in flight on a
+#: connection, pipelined batches).  Finer than SIZE_BUCKETS at the low
+#: end — the difference between depth 0 (strict request/response) and
+#: depth 2-3 (mild pipelining) is exactly what the fan-in work tunes.
+DEPTH_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, float("inf"),
 )
 
 _VALID_KINDS = ("counter", "gauge", "histogram")

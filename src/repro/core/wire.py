@@ -4,11 +4,25 @@ The paper's components "communicate via BSD sockets"; this module
 defines the serialised form: newline-delimited JSON objects.  The same
 codec handles on-disk persistence (the Journal Server "writes to disk
 periodically and at termination").
+
+Framing and pipelining (DESIGN.md §10): every message is one JSON
+object terminated by ``\\n``.  A request may carry an ``"id"`` — any
+JSON-safe integer chosen by the client — and its response echoes the
+same ``id``.  Requests carrying ids may be *pipelined*: several can be
+in flight on one connection, and their responses may return in any
+order (write ops still execute in submission order per connection).
+Requests without an id are answered strictly in order, one at a time —
+the pre-pipelining contract, kept for dumb clients.  Server-initiated
+frames (the ``subscribe`` stream) carry an ``"event"`` key instead of
+an ``id``.
 """
 
 from __future__ import annotations
 
 import json
+import select
+import socket
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from .records import (
@@ -21,12 +35,10 @@ from .records import (
 )
 
 __all__ = [
-    "COUNTER_ALIASES",
     "COUNTER_SCHEMA",
-    "OP_ALIASES",
     "RUN_OUTCOMES",
     "WIRE_OPS",
-    "canonical_op",
+    "FrameReader",
     "attribute_to_dict",
     "attribute_from_dict",
     "batch_request",
@@ -59,8 +71,9 @@ class WireError(ValueError):
 
 #: The canonical Journal Server op vocabulary.  Verb_object naming:
 #: ``observe`` ops mutate via the ingest pipeline, ``get_*`` ops read,
-#: the rest are control-plane.  Grown-organically names from earlier
-#: releases live in :data:`OP_ALIASES`.
+#: the rest are control-plane.  (The pre-schema alias ``batch`` and the
+#: legacy counter spellings were dropped after their one-release
+#: deprecation window.)
 WIRE_OPS = frozenset(
     {
         # ingest & maintenance (write)
@@ -76,18 +89,6 @@ WIRE_OPS = frozenset(
         "subscribe",
     }
 )
-
-#: old wire-op name -> canonical name.  The server accepts both for one
-#: release; clients emit canonical names only.
-OP_ALIASES: Dict[str, str] = {
-    "batch": "observe_batch",
-}
-
-
-def canonical_op(op: str) -> str:
-    """Resolve a wire op name through :data:`OP_ALIASES`."""
-    return OP_ALIASES.get(op, op)
-
 
 #: ``Journal.counts()`` key -> registry metric name.  This is the one
 #: documented mapping between the legacy dashboard-shaped dict and the
@@ -110,14 +111,6 @@ COUNTER_SCHEMA: Dict[str, str] = {
     "wal_checkpoints": "fremont_wal_checkpoints_total",
     "wal_recovered_records": "fremont_wal_recovered_records_total",
     "wal_torn_tails": "fremont_wal_torn_tails_total",
-}
-
-#: old counts() key -> canonical key.  Both appear in ``counts()`` for
-#: one release; new consumers should use the canonical names.
-COUNTER_ALIASES: Dict[str, str] = {
-    "checkpoints_written": "wal_checkpoints",
-    "recovered_records": "wal_recovered_records",
-    "torn_tail_dropped": "wal_torn_tails",
 }
 
 
@@ -490,3 +483,53 @@ def decode_message(line: bytes) -> Dict[str, Any]:
     if not isinstance(message, dict):
         raise WireError("message must be a JSON object")
     return message
+
+
+class FrameReader:
+    """Deadline-aware frame reader over a blocking socket.
+
+    Both sync client halves (:class:`~repro.core.client.RemoteClient`
+    and :class:`~repro.core.client.RemoteChangeFeed`) need the same
+    loop: buffer bytes, split on newlines, honour a per-read deadline
+    without ever tearing a frame mid-read.  The socket itself must stay
+    in blocking mode; deadlines are enforced with ``poll`` before each
+    ``recv`` (``select`` would cap the process at FD_SETSIZE=1024
+    descriptors — far below the fan-in this transport serves), so a
+    half-received frame is always completed by the next call.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._socket = sock
+        self._buffer = bytearray()
+        self._poller = select.poll()
+        self._poller.register(sock.fileno(), select.POLLIN)
+
+    def pending(self) -> bool:
+        """A complete frame is already buffered (no recv needed)."""
+        return self._buffer.find(b"\n") >= 0
+
+    def read(self, timeout: Optional[float]) -> Optional[Dict[str, Any]]:
+        """The next decoded frame, or None once *timeout* seconds pass
+        without one (None blocks indefinitely).  Raises
+        :class:`ConnectionError` on EOF and :class:`WireError` on a
+        malformed frame."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                if line.strip():
+                    return decode_message(line)
+                continue
+            if deadline is not None:
+                # A zero/expired deadline still polls once with no
+                # wait: a non-blocking read drains frames the kernel
+                # already buffered instead of reporting "nothing yet".
+                remaining = max(deadline - time.monotonic(), 0.0)
+                if not self._poller.poll(remaining * 1000.0):
+                    return None
+            chunk = self._socket.recv(65536)
+            if not chunk:
+                raise ConnectionError("connection closed by peer")
+            self._buffer.extend(chunk)

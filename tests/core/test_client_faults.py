@@ -163,14 +163,14 @@ class TestBatchOp:
             with RemoteClient(host, port, **FAST) as client:
                 response = client._call(
                     {
-                        "op": "batch",
+                        "op": "observe_batch",
                         "requests": [
                             {
                                 "op": "observe",
                                 "observation": {"source": "t", "ip": "10.0.0.1"},
                             },
                             {"op": "no-such-op"},
-                            {"op": "batch", "requests": []},  # no recursion
+                            {"op": "observe_batch", "requests": []},  # no recursion
                             {"op": "counts"},
                         ],
                     }
@@ -184,8 +184,11 @@ class TestBatchOp:
 
 class TestThreadReaping:
     def test_finished_connection_threads_are_reaped(self):
+        from repro.core import ThreadedJournalServer
+
         journal = Journal()
-        server = make_server(journal)
+        server = ThreadedJournalServer(journal)
+        server.start()
         host, port = server.address
         try:
             for index in range(8):

@@ -1,4 +1,4 @@
-"""The ``connect`` factory and the deprecated client aliases."""
+"""The ``connect`` factory."""
 
 import pytest
 
@@ -7,9 +7,7 @@ from repro.core import (
     Journal,
     JournalServer,
     LocalClient,
-    LocalJournal,
     RemoteClient,
-    RemoteJournal,
     connect,
 )
 from repro.core.records import Observation
@@ -149,25 +147,18 @@ class TestMetricsOp:
             assert client.telemetry.get("fremont_client_roundtrip_seconds").count >= 2
 
 
-class TestDeprecatedAliases:
-    def test_local_journal_warns_and_still_works(self):
-        journal = Journal()
-        with pytest.warns(DeprecationWarning, match="LocalJournal is deprecated"):
-            client = LocalJournal(journal)
-        assert isinstance(client, LocalClient)
-        _record, changed = client.resolve(Observation(source="t", ip="10.0.0.1"))
-        assert changed is True
+class TestCompatShimsGone:
+    """The one-release deprecation window closed: the PR 5 aliases are
+    no longer importable (callers migrate to connect()/the canonical
+    class names)."""
 
-    def test_remote_journal_warns_and_still_works(self, served_journal):
-        journal, server, _address = served_journal
-        host, port = server.address
-        with pytest.warns(DeprecationWarning, match="RemoteJournal is deprecated"):
-            client = RemoteJournal(host, port)
-        try:
-            client.observe_interface(Observation(source="r", ip="10.0.0.9"))
-        finally:
-            client.close()
-        assert journal.counts()["interfaces"] == 1
+    def test_client_aliases_removed(self):
+        import repro.core
+        import repro.core.client
+
+        for module in (repro.core, repro.core.client):
+            assert not hasattr(module, "LocalJournal")
+            assert not hasattr(module, "RemoteJournal")
 
     def test_canonical_classes_do_not_warn(self, served_journal):
         import warnings

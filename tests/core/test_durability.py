@@ -358,12 +358,12 @@ class TestPoliciesAndCounters:
         counts = journal.counts()
         assert counts["wal_appends"] == 5
         assert counts["wal_bytes"] > 0
-        assert counts["checkpoints_written"] == 1
+        assert counts["wal_checkpoints"] == 1
         store.close(checkpoint=False)
         recovered = make_store(tmp_path).recover()
         counts = recovered.counts()
         # Lifetime counters came back from the snapshot.
-        assert counts["checkpoints_written"] == 1
+        assert counts["wal_checkpoints"] == 1
         assert counts["wal_appends"] == 5
 
     def test_ops_threshold_makes_due(self, tmp_path):
@@ -402,7 +402,7 @@ class TestPoliciesAndCounters:
         recovered = recovered_store.recover()
         assert recovered.recovered_records == 3
         clone = Journal.from_dict(recovered.to_dict())
-        assert clone.counts()["recovered_records"] == 3
+        assert clone.counts()["wal_recovered_records"] == 3
         recovered_store.close(checkpoint=False)
 
     def test_stale_tmp_files_cleaned_at_init(self, tmp_path):

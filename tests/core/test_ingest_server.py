@@ -237,23 +237,39 @@ class TestSubscribeStream:
 
 
 class TestConnectionReaping:
-    def test_status_op_reaps_dead_connections(self, served):
-        journal, server, client = served
-        host, port = server.address
-        for _ in range(3):
-            extra = RemoteClient(host, port)
-            extra.counts()
-            extra.close()
-        assert _wait_for(
-            lambda: client.counts() is not None and server.live_connections == 1
-        )
-        with server._conn_lock:
-            bookkept = len(server._threads)
-        assert bookkept == 1  # only this test's live client remains
+    def test_status_op_reaps_dead_connections(self):
+        from repro.core import ThreadedJournalServer
 
-    def test_stop_reaps_everything(self):
         journal = Journal()
-        server = JournalServer(journal)
+        server = ThreadedJournalServer(journal)
+        server.start()
+        host, port = server.address
+        client = RemoteClient(host, port)
+        try:
+            for _ in range(3):
+                extra = RemoteClient(host, port)
+                extra.counts()
+                extra.close()
+            def reaped_down_to_one() -> bool:
+                # Each counts() runs the status-op reap; the dead
+                # connection's thread may only finish dying after an
+                # earlier reap already ran, so poll until a later reap
+                # collects it.
+                if client.counts() is None or server.live_connections != 1:
+                    return False
+                with server._conn_lock:
+                    return len(server._threads) == 1
+
+            assert _wait_for(reaped_down_to_one)
+        finally:
+            client.close()
+            server.stop()
+
+    def test_stop_reaps_everything_threaded(self):
+        from repro.core import ThreadedJournalServer
+
+        journal = Journal()
+        server = ThreadedJournalServer(journal)
         server.start()
         host, port = server.address
         with RemoteClient(host, port) as client:
@@ -263,3 +279,13 @@ class TestConnectionReaping:
         with server._conn_lock:
             assert server._threads == []
             assert server._connections == []
+
+    def test_stop_reaps_everything_async(self):
+        journal = Journal()
+        server = JournalServer(journal)
+        server.start()
+        host, port = server.address
+        with RemoteClient(host, port) as client:
+            client.submit(_obs(ip="10.0.0.1"))
+        server.stop()
+        assert server.live_connections == 0

@@ -1,0 +1,302 @@
+"""The pipelined async transport: out-of-order completion, per-request
+deadlines, the slow-feed polling fallback, and graceful stop() drain."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import Journal, JournalServer, RemoteClient
+from repro.core import wire
+from repro.core.records import Observation
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+@pytest.fixture
+def served():
+    journal = Journal()
+    server = JournalServer(journal)
+    server.start()
+    yield journal, server
+    server.stop()
+
+
+def _raw_connection(server):
+    sock = socket.create_connection(server.address, timeout=5.0)
+    return sock, wire.FrameReader(sock)
+
+
+class TestOutOfOrderCompletion:
+    def test_inline_read_overtakes_bulk_dump(self, served):
+        journal, server = served
+        for index in range(500):
+            journal.observe_interface(
+                Observation(source="seed", ip=f"10.{index // 200}.{index % 200}.9")
+            )
+        sock, frames = _raw_connection(server)
+        try:
+            # dump serialises the whole journal on the worker pool; ping is
+            # answered inline on the loop thread, so its response must land
+            # first even though it was submitted second.  One segment so
+            # both frames reach the reader in the same wakeup.
+            sock.sendall(
+                wire.encode_message({"op": "dump", "id": 1})
+                + wire.encode_message({"op": "ping", "id": 2})
+            )
+            first = frames.read(10.0)
+            second = frames.read(10.0)
+            assert first["id"] == 2
+            assert second["id"] == 1
+            assert first["ok"] and second["ok"]
+            assert "journal" in second
+        finally:
+            sock.close()
+
+    def test_replies_resolve_by_id_not_arrival_order(self, served):
+        journal, server = served
+        host, port = server.address
+        with RemoteClient(host, port) as client:
+            replies = [
+                client.begin(
+                    {
+                        "op": "observe",
+                        "observation": {"source": "t", "ip": f"10.0.0.{i + 1}"},
+                    }
+                )
+                for i in range(10)
+            ]
+            counts_reply = client.begin({"op": "counts"})
+            # Settle newest-first: each PendingReply finds its own frame no
+            # matter the order the caller collects them in.
+            for reply in reversed(replies):
+                assert reply.wait()["ok"] is True
+            # The read may legally overtake the pipelined writes; it just
+            # has to resolve against its own id.
+            assert counts_reply.wait()["ok"] is True
+        assert journal.counts()["interfaces"] == 10
+
+    def test_pipelined_writes_apply_in_submission_order(self, served):
+        journal, server = served
+        host, port = server.address
+        with RemoteClient(host, port) as client:
+            replies = [
+                client.begin(
+                    {
+                        "op": "observe",
+                        "observation": {
+                            "source": "t",
+                            "ip": "10.0.0.1",
+                            "vendor": f"vendor-{i}",
+                        },
+                    }
+                )
+                for i in range(8)
+            ]
+            for reply in replies:
+                assert reply.wait()["ok"] is True
+        (record,) = journal.interfaces_by_ip("10.0.0.1")
+        # Writes chain per connection: the last submitted observation is
+        # the last applied, so its vendor wins the merge.
+        assert record.get("vendor") == "vendor-7"
+
+
+class TestPerRequestTimeout:
+    @pytest.fixture
+    def black_hole(self):
+        """A listener that accepts connections and never answers."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        accepted = []
+
+        def accept_loop():
+            try:
+                while True:
+                    conn, _addr = listener.accept()
+                    accepted.append(conn)
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=accept_loop, daemon=True)
+        thread.start()
+        yield listener.getsockname()
+        listener.close()
+        for conn in accepted:
+            conn.close()
+        thread.join(timeout=2.0)
+
+    def test_request_timeout_bounds_every_call(self, black_hole):
+        host, port = black_hole
+        client = RemoteClient(host, port, request_timeout=0.2, reconnect_attempts=1)
+        try:
+            started = time.monotonic()
+            with pytest.raises(TimeoutError):
+                client.counts()
+            assert time.monotonic() - started < 2.0
+            assert client.telemetry.get("fremont_client_timeouts_total").value == 1
+        finally:
+            client.close()
+
+    def test_per_reply_deadline_overrides_default(self, black_hole):
+        host, port = black_hole
+        client = RemoteClient(host, port, request_timeout=30.0, reconnect_attempts=1)
+        try:
+            reply = client.begin({"op": "ping"}, timeout=0.2)
+            started = time.monotonic()
+            with pytest.raises(TimeoutError):
+                reply.wait()
+            assert time.monotonic() - started < 2.0
+        finally:
+            client.close()
+
+    def test_timeout_disconnects_but_client_recovers(self):
+        # A real server that answers: after a black-hole timeout the client
+        # reconnects on the next call and keeps working.
+        journal = Journal()
+        server = JournalServer(journal)
+        server.start()
+        host, port = server.address
+        client = RemoteClient(
+            host, port, request_timeout=5.0, reconnect_attempts=2,
+            reconnect_backoff=0.01, reconnect_backoff_cap=0.05,
+        )
+        try:
+            with pytest.raises(TimeoutError):
+                # an impossible deadline: even a ping cannot answer in 0s
+                client.begin({"op": "ping"}, timeout=0.0).wait()
+            assert client.counts()["interfaces"] == 0  # reconnected fine
+        finally:
+            client.close()
+            server.stop()
+
+
+class TestSlowFeedFallback:
+    def test_lagging_subscriber_demoted_to_polling(self):
+        journal = Journal()
+        server = JournalServer(journal, queue_limit=4)
+        server.start()
+        host, port = server.address
+        writer = RemoteClient(host, port)
+        fallbacks = journal.telemetry.get("fremont_server_feed_fallbacks_total")
+        try:
+            feed = writer.subscribe(since=0)
+            try:
+                # Kernel socket buffers absorb megabytes on loopback, which
+                # would hide the server-side backpressure this test is
+                # about; clamp both ends so the 4-frame outbox is the
+                # bottleneck.
+                feed._socket.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_RCVBUF, 4096
+                )
+                assert _wait_for(
+                    lambda: any(
+                        conn._subscription is not None
+                        for conn in server._connections
+                    )
+                )
+                (feed_conn,) = [
+                    conn
+                    for conn in server._connections
+                    if conn._subscription is not None
+                ]
+                feed_conn._writer.get_extra_info("socket").setsockopt(
+                    socket.SOL_SOCKET, socket.SO_SNDBUF, 4096
+                )
+
+                # Flood without the feed reading: pushed deltas blow past
+                # the outbox and the server cuts the subscriber over
+                # instead of stalling the loop or the writers.
+                batches = 0
+                for batch in range(400):
+                    writer.observe_batch(
+                        [
+                            Observation(
+                                source="flood",
+                                ip=f"10.{batch % 250}.{batch // 250}.{index + 1}",
+                            )
+                            for index in range(200)
+                        ]
+                    )
+                    batches += 1
+                    if fallbacks.value >= 1:
+                        break
+                assert _wait_for(lambda: fallbacks.value >= 1)
+                # The flood was unhindered by the lagging feed.
+                assert journal.counts()["interfaces"] == batches * 200
+
+                # Drain the backlog: buffered push frames, then the
+                # feed_lagged marker flips the feed to polling mode.
+                for _ in range(5000):
+                    if feed.mode == "polling":
+                        break
+                    feed.poll(5.0)
+                assert feed.mode == "polling"
+
+                # Polling mode still converges on the journal's revision.
+                target = journal.revision
+                for _ in range(20):
+                    if feed.revision >= target:
+                        break
+                    feed.poll(5.0)
+                assert feed.revision >= target
+            finally:
+                feed.close()
+
+            # Request/response traffic on other connections never noticed.
+            assert writer.counts()["interfaces"] == batches * 200
+        finally:
+            writer.close()
+            server.stop()
+
+
+class TestGracefulStop:
+    def test_stop_drains_inflight_pipelined_requests(self):
+        journal = Journal()
+        server = JournalServer(journal)
+        server.start()
+        sock, frames = _raw_connection(server)
+        try:
+            for index in range(5):
+                sock.sendall(
+                    wire.encode_message(
+                        {
+                            "op": "observe",
+                            "id": index,
+                            "observation": {"source": "t", "ip": f"10.0.0.{index + 1}"},
+                        }
+                    )
+                )
+            sock.sendall(wire.encode_message({"op": "dump", "id": 99}))
+
+            # Let the requests reach dispatch before stopping, so stop()
+            # races the in-flight work (not the TCP delivery): the drain
+            # must flush every computed response before closing.
+            assert _wait_for(lambda: server.requests_served >= 6)
+            stopper = threading.Thread(target=server.stop)
+            stopper.start()
+            seen = set()
+            try:
+                while True:
+                    frame = frames.read(10.0)
+                    if frame is None:
+                        break
+                    if "id" in frame:
+                        assert frame["ok"] is True
+                        seen.add(frame["id"])
+            except ConnectionError:
+                pass  # server closed the socket after the drain
+            stopper.join(timeout=10.0)
+            assert not stopper.is_alive()
+            # Every in-flight request got its response before close.
+            assert seen == {0, 1, 2, 3, 4, 99}
+            assert journal.counts()["interfaces"] == 5
+            assert server.live_connections == 0
+        finally:
+            sock.close()

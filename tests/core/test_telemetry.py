@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro.core import Journal, MetricsRegistry, parse_prometheus
 from repro.core.records import Observation
 from repro.core.telemetry import SIZE_BUCKETS
-from repro.core.wire import COUNTER_ALIASES, COUNTER_SCHEMA
+from repro.core.wire import COUNTER_SCHEMA
 
 
 class TestCounters:
@@ -281,10 +281,15 @@ class TestJournalCountsEquivalence:
             assert family is not None, metric_name
             assert counts[key] == int(family.value), key
 
-    def test_alias_keys_mirror_canonical_keys(self):
+    def test_legacy_alias_keys_are_gone(self):
+        # The one-release compat spellings were dropped with the alias
+        # table itself; only canonical COUNTER_SCHEMA keys remain.
+        from repro.core import wire
+
         counts = self._busy_journal().counts()
-        for alias, canonical in COUNTER_ALIASES.items():
-            assert counts[alias] == counts[canonical]
+        for legacy in ("checkpoints_written", "recovered_records", "torn_tail_dropped"):
+            assert legacy not in counts
+        assert not hasattr(wire, "COUNTER_ALIASES")
 
     def test_prometheus_covers_every_counts_metric(self):
         journal = self._busy_journal()

@@ -1,10 +1,11 @@
-"""The wire op/counter naming schema and its one-release compatibility."""
+"""The wire op/counter naming schema."""
 
 import pytest
 
-from repro.core import Journal, JournalServer, connect
+from repro.core import Journal, JournalServer
 from repro.core import wire
 from repro.core.records import Observation
+from repro.core.server import JournalDispatcher
 
 
 @pytest.fixture
@@ -18,31 +19,26 @@ def served_journal():
 
 
 class TestOpSchema:
-    def test_every_wire_op_has_a_server_handler(self):
+    def test_every_wire_op_has_a_dispatcher_handler(self):
         # subscribe is dispatched on its own streaming path, not _op_*
         for op in sorted(wire.WIRE_OPS - {"subscribe"}):
-            assert hasattr(JournalServer, f"_op_{op}"), op
-
-    def test_aliases_resolve_to_canonical_ops(self):
-        for old, new in wire.OP_ALIASES.items():
-            assert old not in wire.WIRE_OPS
-            assert new in wire.WIRE_OPS
-            assert wire.canonical_op(old) == new
-
-    def test_canonical_op_passes_unknown_names_through(self):
-        assert wire.canonical_op("observe") == "observe"
-        assert wire.canonical_op("bogus") == "bogus"
+            assert hasattr(JournalDispatcher, f"_op_{op}"), op
 
     def test_batch_request_emits_canonical_name(self):
         request = wire.batch_request([])
         assert request["op"] == "observe_batch"
 
+    def test_op_alias_table_is_gone(self):
+        # The one-release "batch" -> "observe_batch" shim was dropped.
+        assert not hasattr(wire, "OP_ALIASES")
+        assert not hasattr(wire, "canonical_op")
+
 
 class TestOpCompatibility:
-    def test_server_accepts_legacy_batch_op(self, served_journal):
+    def test_legacy_batch_op_is_rejected(self, served_journal):
         journal, server, _address = served_journal
         request = {
-            "op": "batch",  # pre-rename spelling
+            "op": "batch",  # pre-rename spelling, no longer accepted
             "requests": [
                 {
                     "op": "observe",
@@ -53,9 +49,9 @@ class TestOpCompatibility:
             ],
             "coalesced": 0,
         }
-        response = server._dispatch(request)
-        assert response["ok"] is True
-        assert journal.counts()["interfaces"] == 1
+        with pytest.raises(wire.WireError, match="unknown op"):
+            server._dispatch(request)
+        assert journal.counts()["interfaces"] == 0
 
     def test_unknown_op_is_still_rejected(self, served_journal):
         _journal, server, _address = served_journal
@@ -75,16 +71,7 @@ class TestOpCompatibility:
 class TestCounterSchema:
     def test_schema_covers_every_counts_key(self):
         counts = Journal().counts()
-        canonical = set(wire.COUNTER_SCHEMA) | set(wire.COUNTER_ALIASES)
-        assert set(counts) == canonical
-
-    def test_alias_keys_track_canonical_values(self, served_journal):
-        journal, _server, address = served_journal
-        with connect(address) as client:
-            client.observe_interface(Observation(source="r", ip="10.0.0.1"))
-            counts = client.counts()
-        for alias, canonical in wire.COUNTER_ALIASES.items():
-            assert counts[alias] == counts[canonical]
+        assert set(counts) == set(wire.COUNTER_SCHEMA)
 
     def test_metric_names_follow_prometheus_conventions(self):
         for key, metric_name in wire.COUNTER_SCHEMA.items():

@@ -239,7 +239,7 @@ class TestServerIntegration:
                 for observation in build_stream(25):
                     client.observe_interface(observation)
                 counts = client.counts()
-        assert counts["checkpoints_written"] >= 2
+        assert counts["wal_checkpoints"] >= 2
         store.close(checkpoint=False)
 
     def test_age_threshold_checkpoints_quiet_server(self, tmp_path):
@@ -254,7 +254,7 @@ class TestServerIntegration:
                 client.observe_interface(build_stream(1)[0])
                 deadline = time.time() + 5.0
                 while time.time() < deadline:
-                    if client.counts()["checkpoints_written"] >= 1:
+                    if client.counts()["wal_checkpoints"] >= 1:
                         break
                     time.sleep(0.05)
                 else:

@@ -1,0 +1,97 @@
+"""Fan-in soak: hundreds of concurrent clients against one async server.
+
+Opt-in (slow, load-generating): run with ``FREMONT_SOAK=1``.  CI runs it
+on the smoke matrix; locally it is skipped by default.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core import Journal, JournalServer, RemoteClient
+from repro.core.records import Observation
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("FREMONT_SOAK"),
+    reason="soak test: set FREMONT_SOAK=1 to enable",
+)
+
+CLIENTS = int(os.environ.get("FREMONT_SOAK_CLIENTS", "200"))
+DURATION = float(os.environ.get("FREMONT_SOAK_SECONDS", "10"))
+
+
+def test_fanin_soak_many_pipelined_clients():
+    journal = Journal()
+    server = JournalServer(journal)
+    server.start()
+    host, port = server.address
+    deadline = time.monotonic() + DURATION
+    errors = []
+    ops_done = [0] * CLIENTS
+    started = threading.Barrier(CLIENTS + 1)
+
+    def worker(worker_id: int) -> None:
+        try:
+            client = RemoteClient(host, port, request_timeout=30.0)
+        except Exception as error:  # pragma: no cover - setup failure
+            errors.append((worker_id, repr(error)))
+            started.wait()
+            return
+        started.wait()
+        sequence = 0
+        try:
+            while time.monotonic() < deadline:
+                # Pipeline a small burst of writes, then one read.
+                replies = [
+                    client.begin(
+                        {
+                            "op": "observe",
+                            "observation": {
+                                "source": f"soak-{worker_id}",
+                                "ip": f"10.{worker_id % 250}.{sequence % 250}.{index + 1}",
+                            },
+                        }
+                    )
+                    for index in range(4)
+                ]
+                for reply in replies:
+                    if not reply.wait()["ok"]:
+                        raise RuntimeError("observe rejected")
+                if not client.begin({"op": "counts"}).wait()["ok"]:
+                    raise RuntimeError("counts rejected")
+                ops_done[worker_id] += 5
+                sequence += 1
+        except Exception as error:
+            errors.append((worker_id, repr(error)))
+        finally:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(CLIENTS)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        started.wait()  # every client is connected before load begins
+        for thread in threads:
+            thread.join(timeout=DURATION + 60.0)
+        alive = [thread for thread in threads if thread.is_alive()]
+        assert not alive, f"{len(alive)} workers hung"
+        assert not errors, errors[:5]
+        total = sum(ops_done)
+        assert total > 0
+        assert server.requests_served >= total
+        # Server-side teardown of closed sockets is asynchronous.
+        teardown_deadline = time.monotonic() + 10.0
+        while server.live_connections and time.monotonic() < teardown_deadline:
+            time.sleep(0.05)
+        assert server.live_connections == 0
+    finally:
+        server.stop()
+    assert journal.counts()["interfaces"] > 0
