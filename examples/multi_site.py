@@ -88,7 +88,13 @@ def main() -> None:
             f"  denver -> boulder: {stats_two.records_sent} records "
             f"({stats_two.records_changed} new there)"
         )
-        # Incremental: a second pass has nothing to say.
+        # Incremental, via the revision cursor: the reverse sync wrote
+        # Denver's records into Boulder (new revisions there), so the
+        # next pass re-offers exactly those — and Denver recognises
+        # every one (changed == 0).  The pass after that is empty:
+        # convergence in one echo round.
+        echo = to_denver.sync()
+        assert echo.records_changed == 0
         assert to_denver.sync().records_sent == 0
 
     print(f"\nafter replication:")

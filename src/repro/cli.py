@@ -13,7 +13,10 @@ Subcommands mirror the paper's programs:
 * ``serve``    — run a standalone Journal Server on a TCP port
   (optionally exposing Prometheus metrics on ``--metrics-port``);
 * ``stats``    — live telemetry from a running Journal Server (the
-  ``metrics`` wire op rendered as a terminal dashboard).
+  ``metrics`` wire op rendered as a terminal dashboard);
+* ``query``    — predicate queries against a saved Journal *or* a live
+  server (the ``query`` wire op): filter by subnet, MAC vendor,
+  staleness, confidence, or exact field values, combinable with AND.
 """
 
 from __future__ import annotations
@@ -188,6 +191,52 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         f"pushed {stats.records_sent} record(s); "
         f"{stats.records_changed} changed on the target"
     )
+    return 0
+
+
+def _journal_source(spec: str):
+    """``host:port`` means a live server; anything else is a saved file."""
+    import os
+
+    _host, sep, port = spec.rpartition(":")
+    if sep and port.isdigit() and not os.path.exists(spec):
+        return spec
+    return Journal.load(spec)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Predicate query over a saved Journal or a running server."""
+    from .core import query as q
+
+    terms = []
+    if args.subnet:
+        terms.append(q.InSubnet(args.subnet))
+    if args.mac_prefix:
+        terms.append(q.MacPrefix(args.mac_prefix))
+    if args.vendor:
+        terms.append(q.MacPrefix.vendor(args.vendor))
+    if args.modified_since is not None:
+        terms.append(q.ModifiedSince(args.modified_since))
+    if args.stale is not None:
+        terms.append(q.Stale(args.stale))
+    if args.confidence:
+        terms.append(q.Confidence(args.confidence))
+    if args.since_revision is not None:
+        terms.append(q.SinceRevision(args.since_revision))
+    for spec in args.field or ():
+        name, sep, value = spec.partition("=")
+        if not sep:
+            print(f"--field wants name=value, got {spec!r}", file=sys.stderr)
+            return 2
+        terms.append(q.FieldEquals(name, value))
+    where = None
+    for term in terms:
+        where = term if where is None else (where & term)
+    with connect(_journal_source(args.journal)) as client:
+        records = client.query(args.kind, where)
+    for record in records:
+        print(record.describe())
+    print(f"{len(records)} record(s)")
     return 0
 
 
@@ -386,6 +435,35 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--spans", type=int, default=12,
                        help="recent spans to show (default: %(default)s)")
     stats.set_defaults(func=_cmd_stats)
+
+    query = commands.add_parser(
+        "query", help="predicate query over a journal file or live server"
+    )
+    query.add_argument(
+        "journal", help="saved journal path, or host:port of a running server"
+    )
+    query.add_argument(
+        "--kind", default="interfaces",
+        choices=("interfaces", "gateways", "subnets"),
+    )
+    query.add_argument("--subnet", default=None, metavar="CIDR",
+                       help="IP inside this subnet, e.g. 128.138.2.0/24")
+    query.add_argument("--mac-prefix", default=None, metavar="PREFIX",
+                       help="Ethernet address prefix, e.g. 08:00:20")
+    query.add_argument("--vendor", default=None,
+                       help="Ethernet vendor name, e.g. Sun")
+    query.add_argument("--modified-since", type=float, default=None,
+                       metavar="T", help="modified after this timestamp")
+    query.add_argument("--stale", type=float, default=None, metavar="T",
+                       help="no live verification since this timestamp")
+    query.add_argument("--confidence", default=None,
+                       choices=("good", "questionable"),
+                       help="worst attribute quality at least this")
+    query.add_argument("--since-revision", type=int, default=None,
+                       metavar="REV", help="journal revision cursor")
+    query.add_argument("--field", action="append", metavar="NAME=VALUE",
+                       help="exact field match (repeatable)")
+    query.set_defaults(func=_cmd_query)
 
     return parser
 

@@ -5,6 +5,7 @@ from .avl import AvlTree
 from .client import (
     LocalClient,
     PendingReply,
+    QueryCache,
     RemoteChangeFeed,
     RemoteClient,
     connect,
@@ -65,6 +66,7 @@ __all__ = [
     "ObservationSink",
     "PendingReply",
     "Quality",
+    "QueryCache",
     "ReadWriteLock",
     "RecoveryReport",
     "RemoteChangeFeed",

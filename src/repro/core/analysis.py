@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 from ..netsim.addresses import Ipv4Address, Netmask, Subnet
 from .journal import Journal
+from .query import Stale
 from .records import InterfaceRecord
 
 __all__ = [
@@ -88,22 +89,23 @@ def find_stale_addresses(journal: Journal, *, horizon: float) -> List[Finding]:
     verify that the network address can be reused."
     """
     findings = []
-    for record in journal.all_interfaces():
+    # The staleness test itself lives in the Stale predicate, so the
+    # same horizon can also be queried over the wire.
+    for record in journal.query("interfaces", Stale(horizon)):
         if record.ip is None:
             continue
         last = _non_dns_last_verified(record)
-        if last is None or last < horizon:
-            age = journal.now - (last if last is not None else record.first_discovered)
-            source = "never verified off-DNS" if last is None else f"silent for {age:.0f}s"
-            findings.append(
-                Finding(
-                    kind=KIND_STALE,
-                    subject=record.ip,
-                    details=f"{source}; address may be reusable "
-                    f"(dns_name={record.dns_name})",
-                    record_ids=[record.record_id],
-                )
+        age = journal.now - (last if last is not None else record.first_discovered)
+        source = "never verified off-DNS" if last is None else f"silent for {age:.0f}s"
+        findings.append(
+            Finding(
+                kind=KIND_STALE,
+                subject=record.ip,
+                details=f"{source}; address may be reusable "
+                f"(dns_name={record.dns_name})",
+                record_ids=[record.record_id],
             )
+        )
     return findings
 
 

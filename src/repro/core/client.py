@@ -34,6 +34,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from . import query as query_module
 from . import wire
 from .journal import Journal, JournalChanges
 from .records import GatewayRecord, InterfaceRecord, Observation, SubnetRecord
@@ -44,6 +45,7 @@ __all__ = [
     "LocalClient",
     "RemoteClient",
     "RemoteChangeFeed",
+    "QueryCache",
     "PendingReply",
     "connect",
 ]
@@ -162,6 +164,12 @@ class LocalClient(DirectSinkMixin):
 
     def all_subnets(self) -> List[SubnetRecord]:
         return self.journal.all_subnets()
+
+    def query(self, kind: str, where=None) -> List:
+        """Predicate query (see :mod:`repro.core.query`): records of
+        *kind* matching *where*, in ``(last_modified, record_id)``
+        order, served from the journal's secondary indexes."""
+        return self.journal.query(kind, where)
 
     def counts(self) -> Dict[str, int]:
         return self.journal.counts()
@@ -846,6 +854,25 @@ class RemoteClient:
         response = self._call({"op": "get_subnets"})
         return [wire.subnet_from_dict(data) for data in response["records"]]
 
+    # plain dict values are not descriptors, so these stay unbound
+    _QUERY_DECODERS = {
+        "interfaces": wire.interface_from_dict,
+        "gateways": wire.gateway_from_dict,
+        "subnets": wire.subnet_from_dict,
+    }
+
+    def query(self, kind: str, where=None) -> List:
+        """Server-side predicate query (the ``query`` wire op): only
+        matching records cross the wire, evaluated against the server
+        journal's secondary indexes."""
+        kind = query_module.normalize_kind(kind)
+        request: Dict[str, Any] = {"op": "query", "kind": kind}
+        if where is not None:
+            request["where"] = wire.predicate_to_dict(where)
+        response = self._call(request)
+        decoder = self._QUERY_DECODERS[kind]
+        return [decoder(data) for data in response["records"]]
+
     def counts(self) -> Dict[str, int]:
         return self._call({"op": "counts"})["counts"]
 
@@ -1050,6 +1077,200 @@ class RemoteChangeFeed:
             pass
 
     def __enter__(self) -> "RemoteChangeFeed":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _CacheEntry:
+    """One cached query result and the feed watch that guards it."""
+
+    __slots__ = ("kind", "records", "watch")
+
+    def __init__(self, kind: str, records: List, watch) -> None:
+        self.kind = kind
+        self.records = records
+        self.watch = watch
+
+
+class QueryCache:
+    """Client-side query result cache, invalidated by the change feed.
+
+    Wraps any journal client (:class:`LocalClient` or
+    :class:`RemoteClient`).  Repeated queries for the same ``(kind,
+    predicate)`` are served from memory — for a remote client that is a
+    cache hit with **zero wire round trips**, because invalidation rides
+    the server's existing push feed: the cache holds a
+    :class:`RemoteChangeFeed` (push mode) and, before every lookup,
+    drains only the frames the kernel has already buffered.  Each
+    feed delta carries the index keys it touched
+    (:attr:`~repro.core.journal.JournalChanges.keys`); an entry is
+    evicted when a delta touches its kind *and* its predicate's key
+    watch matches — a subnet-scoped query survives unrelated writes.
+
+    Coherence contract: over revision-changing mutations, the cache
+    never serves a result an uncached query would not also have
+    produced at some point since the previous access (drain-then-serve:
+    any write whose feed frame has reached this host is applied before
+    a hit).  Verify-only refreshes (re-observing a known value) advance
+    ``last_modified`` without a feed delta, which is why predicates
+    over freshness — ``ModifiedSince``, ``VerifiedBefore``, ``Stale``,
+    ``Confidence`` — are *uncacheable*: they pass straight through to
+    the client on every call (counted as misses, never stored).  For
+    cacheable predicates the same mechanism bounds what a hit promises:
+    *membership* is always current, but the ``(last_modified,
+    record_id)`` ordering of a cached result can lag a verify-only
+    refresh, since last_modified is exactly the freshness the feed
+    does not report.
+
+    After writing through the same underlying client, call
+    :meth:`sync` for read-your-writes: it blocks until the feed cursor
+    reaches the server revision, applying every eviction in between.
+
+    Counters (on ``client.telemetry``): ``fremont_query_cache_hits/``
+    ``misses/evictions_total``.
+    """
+
+    def __init__(self, client, *, max_entries: int = 128) -> None:
+        self.client = client
+        self.max_entries = max_entries
+        #: (kind, canonical predicate key) -> _CacheEntry, LRU-ordered
+        self._entries: "OrderedDict[Tuple[str, str], _CacheEntry]" = OrderedDict()
+        journal = getattr(client, "journal", None)
+        self._feed: Optional[RemoteChangeFeed] = None
+        self._subscription = None
+        if journal is not None:
+            # In-process: a pull subscription drained synchronously
+            # before each lookup — coherent without any publish step.
+            self._subscription = journal.subscribe(since=journal.revision)
+        else:
+            # Remote: subscribing *from the current server revision*
+            # means the backlog delta (pushed under the same write lock
+            # as registration) covers any write racing the handshake.
+            self._feed = client.subscribe(since=client.revision())
+        registry = client.telemetry
+        self._c_hits = registry.counter(
+            "fremont_query_cache_hits_total",
+            "Queries served from the client cache (no wire round trip)",
+        )
+        self._c_misses = registry.counter(
+            "fremont_query_cache_misses_total",
+            "Queries forwarded to the journal (uncached or uncacheable)",
+        )
+        self._c_evictions = registry.counter(
+            "fremont_query_cache_evictions_total",
+            "Cache entries dropped by feed invalidation or capacity",
+        )
+
+    # convenience views for tests and dashboards
+    @property
+    def hits(self) -> int:
+        return int(self._c_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._c_misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._c_evictions.value)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def query(self, kind: str, where=None) -> List:
+        """Like ``client.query``, but hits are served locally."""
+        kind = query_module.normalize_kind(kind)
+        self._drain()
+        if not query_module.cacheable(where):
+            self._c_misses.inc()
+            return self.client.query(kind, where)
+        key = (kind, query_module.cache_key(where))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self._c_hits.inc()
+            return list(entry.records)
+        self._c_misses.inc()
+        records = self.client.query(kind, where)
+        self._entries[key] = _CacheEntry(
+            kind, list(records), query_module.watch_for(where, kind)
+        )
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._c_evictions.inc()
+        return records
+
+    def invalidate(self) -> None:
+        """Drop everything (manual escape hatch)."""
+        if self._entries:
+            self._c_evictions.inc(len(self._entries))
+            self._entries.clear()
+
+    def sync(self, timeout: float = 5.0) -> None:
+        """Read-your-writes barrier: block until every write the server
+        has committed so far is reflected in the cache's eviction state.
+        Costs one ``counts`` round trip (plus feed reads); local caches
+        are synchronously coherent, so it only drains."""
+        if self._feed is None:
+            self._drain()
+            return
+        target = self.client.revision()
+        deadline = time.monotonic() + timeout
+        while self._feed.revision < target:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"change feed did not reach revision {target} "
+                    f"within {timeout}s (at {self._feed.revision})"
+                )
+            self._apply(self._feed.poll(remaining))
+        self._drain()
+
+    def _drain(self) -> None:
+        """Apply every pending feed delta without blocking (and, for
+        the remote feed in push mode, without any wire round trip)."""
+        if self._subscription is not None:
+            if self._subscription.pending:
+                self._apply(self._subscription.poll())
+        elif self._feed is not None:
+            self._apply(self._feed.drain(0.0))
+
+    def _apply(self, changes: Optional[JournalChanges]) -> None:
+        if changes is None or not self._entries:
+            return
+        if not changes.complete:
+            # The window was pruned out from under us (polling-mode
+            # fallback after a lag demotion): trust nothing.
+            self.invalidate()
+            return
+        touched = {
+            "interfaces": bool(changes.interfaces or changes.deleted_interfaces),
+            "gateways": bool(changes.gateways or changes.deleted_gateways),
+            "subnets": bool(changes.subnets or changes.deleted_subnets),
+        }
+        if not any(touched.values()):
+            return
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if touched[entry.kind] and entry.watch.triggered(changes.keys)
+        ]
+        for key in doomed:
+            del self._entries[key]
+        if doomed:
+            self._c_evictions.inc(len(doomed))
+
+    def close(self) -> None:
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
+        if self._feed is not None:
+            self._feed.close()
+            self._feed = None
+
+    def __enter__(self) -> "QueryCache":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -112,6 +112,12 @@ class JournalChanges:
     deleted_interfaces: Set[int] = field(default_factory=set)
     deleted_gateways: Set[int] = field(default_factory=set)
     deleted_subnets: Set[int] = field(default_factory=set)
+    #: index keys touched over the span ("ip:<key>", "mac:<addr>",
+    #: "name:<dns>", "subnet:<key>") — both each record's current keys
+    #: at touch time and any keys it vacated.  The client QueryCache
+    #: matches these against cached predicates' key watches to decide
+    #: which entries a delta can have invalidated.
+    keys: Set[str] = field(default_factory=set)
 
     def empty(self) -> bool:
         return not (
@@ -136,6 +142,7 @@ class JournalChanges:
             getattr(self, "deleted_" + name).update(getattr(other, "deleted_" + name))
         for name in ("interfaces", "gateways", "subnets"):
             getattr(self, name).difference_update(getattr(self, "deleted_" + name))
+        self.keys.update(other.keys)
         return self
 
 class FeedSubscription:
@@ -210,6 +217,19 @@ def _identity(value: str) -> str:
 #: per-field index key normalisers
 _KEY_FUNCS = {"ip": ip_key, "mac": _identity, "dns_name": _identity}
 
+#: change-feed key prefixes per indexed field (see JournalChanges.keys)
+_KEY_PREFIXES = {"ip": "ip:", "mac": "mac:", "dns_name": "name:"}
+
+#: plural/singular aliases accepted by Journal.query
+_QUERY_KINDS = {
+    "interface": "interfaces",
+    "gateway": "gateways",
+    "subnet": "subnets",
+    "interfaces": "interfaces",
+    "gateways": "gateways",
+    "subnets": "subnets",
+}
+
 
 def _counter_alias(attr: str, metric_name: str) -> property:
     """A read/write attribute view over a registry counter, keeping the
@@ -265,6 +285,23 @@ class Journal(DirectSinkMixin):
         #: instead of scanning every retained dirty entry; pruned in
         #: lockstep with the dirty sets.
         self._change_log: List[Tuple[int, str, int, bool]] = []
+        #: revision-ordered log of touched index keys, pruned with the
+        #: change log; feeds JournalChanges.keys for cache invalidation
+        self._key_log: List[Tuple[int, str]] = []
+        #: index keys vacated mid-mutation (reindex removals, deletes),
+        #: drained into the key log at the next revision bump
+        self._pending_keys: List[str] = []
+        #: per-kind secondary index ordered by (last_modified, record_id)
+        #: — backs ModifiedSince queries in O(log n + result).  Kept
+        #: separate from the change log because verify-only refreshes
+        #: advance last_modified *without* bumping the revision counter.
+        self._modified_index: Dict[str, AvlTree[Tuple[float, int], int]] = {
+            kind: AvlTree() for kind in _KINDS
+        }
+        #: record id -> its current key in the modified index
+        self._modified_key: Dict[str, Dict[int, Tuple[float, int]]] = {
+            kind: {} for kind in _KINDS
+        }
         #: oldest revision for which changes_since() is still complete
         self._pruned_through: int = 0
         #: interface record id -> record id of its owning gateway
@@ -311,6 +348,10 @@ class Journal(DirectSinkMixin):
         self._c_feed_deliveries = counter(
             "fremont_feed_deliveries_total",
             "Non-empty deltas handed to change-feed subscribers",
+        )
+        self._c_queries = counter(
+            "fremont_queries_served_total",
+            "Predicate queries evaluated (locally or via the query op)",
         )
         self._c_negative_evictions = counter(
             "fremont_negative_evictions_total",
@@ -387,6 +428,8 @@ class Journal(DirectSinkMixin):
         "_c_changes", "fremont_changes_recorded_total")
     feed_deliveries = _counter_alias(
         "_c_feed_deliveries", "fremont_feed_deliveries_total")
+    queries_served = _counter_alias(
+        "_c_queries", "fremont_queries_served_total")
     negative_evictions = _counter_alias(
         "_c_negative_evictions", "fremont_negative_evictions_total")
     wal_appends = _counter_alias(
@@ -410,12 +453,16 @@ class Journal(DirectSinkMixin):
         record.revision = self.revision
         self._dirty[kind][record.record_id] = self.revision
         self._log_change(kind, record.record_id, False)
+        self._log_keys(kind, record)
+        self._note_modified(kind, record)
 
     def _mark_deleted(self, kind: str, record_id: int) -> None:
         self.revision += 1
         self._dirty[kind].pop(record_id, None)
         self._deleted[kind][record_id] = self.revision
         self._log_change(kind, record_id, True)
+        self._log_keys(kind, None)
+        self._drop_modified(kind, record_id)
 
     def _log_change(self, kind: str, record_id: int, is_delete: bool) -> None:
         log = self._change_log
@@ -428,6 +475,83 @@ class Journal(DirectSinkMixin):
                 log[-1] = (self.revision, kind, record_id, is_delete)
                 return
         log.append((self.revision, kind, record_id, is_delete))
+
+    @staticmethod
+    def _identity_keys(kind: str, record) -> List[str]:
+        """The record's current index keys, in feed-key form."""
+        keys: List[str] = []
+        if kind == "interface":
+            for field_name, prefix in _KEY_PREFIXES.items():
+                value = record.get(field_name)
+                if value is not None:
+                    keys.append(prefix + _KEY_FUNCS[field_name](str(value)))
+        elif kind == "subnet":
+            value = record.get("subnet")
+            if value is not None:
+                keys.append("subnet:" + str(value))
+        return keys
+
+    def _log_keys(self, kind: str, record) -> None:
+        """Append the mutation's index keys to the key log at the
+        current revision: any keys vacated mid-mutation (buffered in
+        ``_pending_keys`` by reindex removals and deletes) plus the
+        record's current identity keys.  Logging both sides is what
+        makes cache-watch eviction sound — a record entering, leaving,
+        or moving within a watched key range always lands a key the
+        watch can see."""
+        keys = self._pending_keys
+        self._pending_keys = []
+        if record is not None:
+            keys.extend(self._identity_keys(kind, record))
+        rev = self.revision
+        self._key_log.extend((rev, key) for key in keys)
+
+    def _note_modified(self, kind: str, record) -> None:
+        """Keep the by-last-modified index current.  Called from
+        ``_touch`` and — crucially — from the verify-only exits of every
+        mutation entry point, because ``record.set`` advances
+        ``last_modified`` even when nothing changed."""
+        current = (record.last_modified, record.record_id)
+        prior = self._modified_key[kind].get(record.record_id)
+        if prior == current:
+            return
+        if prior is not None:
+            self._modified_index[kind].remove(prior, record.record_id)
+        self._modified_index[kind].insert(current, record.record_id)
+        self._modified_key[kind][record.record_id] = current
+
+    def _drop_modified(self, kind: str, record_id: int) -> None:
+        prior = self._modified_key[kind].pop(record_id, None)
+        if prior is not None:
+            self._modified_index[kind].remove(prior, record_id)
+
+    def _rebuild_modified_index(self) -> None:
+        """Recompute the by-last-modified indexes (bulk loads)."""
+        self._modified_index = {kind: AvlTree() for kind in _KINDS}
+        self._modified_key = {kind: {} for kind in _KINDS}
+        for kind, table in (
+            ("interface", self.interfaces),
+            ("gateway", self.gateways),
+            ("subnet", self.subnets),
+        ):
+            for record in table.values():
+                self._note_modified(kind, record)
+
+    def _modified_after(self, kind: str, when: float) -> List:
+        """Records of *kind* with ``last_modified`` strictly after
+        *when*, via the modified index — O(log n + result), and already
+        in ``(last_modified, record_id)`` order."""
+        table = {
+            "interface": self.interfaces,
+            "gateway": self.gateways,
+            "subnet": self.subnets,
+        }[kind]
+        inf = float("inf")
+        return [
+            table[rid]
+            for _key, rid in self._modified_index[kind].range((when, inf), (inf, inf))
+            if rid in table
+        ]
 
     def changes_since(self, rev: int) -> JournalChanges:
         """Record ids touched or deleted after revision *rev*.
@@ -464,6 +588,9 @@ class Journal(DirectSinkMixin):
                 deleted[kind].add(record_id)
             else:
                 touched[kind].add(record_id)
+        klog = self._key_log
+        kstart = bisect.bisect_right(klog, rev, key=lambda entry: entry[0])
+        changes.keys.update(key for _revision, key in klog[kstart:])
         return changes
 
     def prune_changes(self, rev: int) -> None:
@@ -487,6 +614,8 @@ class Journal(DirectSinkMixin):
                     del entries[rid]
         log = self._change_log
         del log[: bisect.bisect_right(log, rev, key=lambda entry: entry[0])]
+        klog = self._key_log
+        del klog[: bisect.bisect_right(klog, rev, key=lambda entry: entry[0])]
         self._pruned_through = rev
 
     # ------------------------------------------------------------------
@@ -613,6 +742,11 @@ class Journal(DirectSinkMixin):
         if changed:
             self._c_changes.inc()
             self._touch("interface", record)
+        else:
+            # Verify-only sighting: record.set still advanced
+            # last_modified, so the modified index must follow even
+            # though no revision was spent.
+            self._note_modified("interface", record)
         return record, changed
 
     def _match_record(self, observation: Observation) -> Optional[InterfaceRecord]:
@@ -666,6 +800,9 @@ class Journal(DirectSinkMixin):
         normalise = _KEY_FUNCS[field]
         if old_value is not None and old_value != new_value:
             index.remove(normalise(old_value), record.record_id)
+            # The vacated key still matters to cached queries watching
+            # it; buffer it for the key log at the next revision bump.
+            self._pending_keys.append(_KEY_PREFIXES[field] + normalise(old_value))
         if new_value is not None and old_value != new_value:
             index.insert(normalise(new_value), record.record_id)
 
@@ -715,6 +852,9 @@ class Journal(DirectSinkMixin):
             value = record.get(field_name)
             if value is not None:
                 index.remove(_KEY_FUNCS[field_name](value), record_id)
+                self._pending_keys.append(
+                    _KEY_PREFIXES[field_name] + _KEY_FUNCS[field_name](value)
+                )
         for gateway in self.gateways.values():
             if record_id in gateway.interface_ids:
                 gateway.interface_ids.remove(record_id)
@@ -793,9 +933,13 @@ class Journal(DirectSinkMixin):
                 "gateway_id", gateway.record_id, now, source
             ):
                 self._touch("interface", self.interfaces[interface_id])
+            else:
+                self._note_modified("interface", self.interfaces[interface_id])
         if changed:
             self._c_changes.inc()
             self._touch("gateway", gateway)
+        else:
+            self._note_modified("gateway", gateway)
         return gateway, changed
 
     def _merge_gateways(self, keeper: GatewayRecord, other: GatewayRecord, now: float) -> bool:
@@ -833,6 +977,9 @@ class Journal(DirectSinkMixin):
         changed = gateway.attach_subnet(subnet_key, now, source)
         if changed:
             self._touch("gateway", gateway)
+        else:
+            # attach_subnet's verify path refreshes last_modified.
+            self._note_modified("gateway", gateway)
         subnet, subnet_changed = self.ensure_subnet(subnet_key, source=source)
         if subnet.attach_gateway(gateway_id, now):
             self._touch("subnet", subnet)
@@ -876,6 +1023,8 @@ class Journal(DirectSinkMixin):
         if changed:
             self._c_changes.inc()
             self._touch("subnet", record)
+        else:
+            self._note_modified("subnet", record)
         return record, changed
 
     def subnet_by_key(self, subnet_key: str) -> Optional[SubnetRecord]:
@@ -894,14 +1043,35 @@ class Journal(DirectSinkMixin):
 
     def interfaces_modified_since(self, when: float) -> List[InterfaceRecord]:
         """Interface records touched after *when* (predicate query:
-        "limit exchanged data to the parts that are needed")."""
-        return [r for r in self.all_interfaces() if r.last_modified > when]
+        "limit exchanged data to the parts that are needed").  Served
+        from the by-last-modified index: O(log n + result), not a table
+        scan, and in the same (last_modified, record_id) order."""
+        return self._modified_after("interface", when)
 
     def gateways_modified_since(self, when: float) -> List[GatewayRecord]:
-        return [r for r in self.all_gateways() if r.last_modified > when]
+        return self._modified_after("gateway", when)
 
     def subnets_modified_since(self, when: float) -> List[SubnetRecord]:
-        return [r for r in self.all_subnets() if r.last_modified > when]
+        return self._modified_after("subnet", when)
+
+    # ------------------------------------------------------------------
+    # Predicate queries
+    # ------------------------------------------------------------------
+
+    def query(self, kind: str, where=None) -> List:
+        """Evaluate a predicate query (see :mod:`repro.core.query`):
+        records of *kind* ("interfaces"/"gateways"/"subnets", singular
+        accepted) matching *where* (a Predicate, or None for all),
+        sorted by ``(last_modified, record_id)``.  Indexable predicates
+        cost O(result), not O(journal)."""
+        from . import query as query_module
+
+        table = _QUERY_KINDS.get(kind)
+        if table is None:
+            raise ValueError(f"unknown query kind: {kind!r}")
+        records = query_module.evaluate(self, table, where)
+        self._c_queries.inc()
+        return records
 
     def absorb_interface(self, foreign: InterfaceRecord) -> Tuple[InterfaceRecord, bool]:
         """Merge a record from a replicated Journal, preserving its
@@ -921,6 +1091,11 @@ class Journal(DirectSinkMixin):
             self.interfaces[record.record_id] = record
         changed = created
         for name, theirs in foreign.attributes.items():
+            if name == "gateway_id":
+                # Site-local record id: meaningless here, and absorbing
+                # it would ping-pong between replicas.  absorb_gateway
+                # re-anchors membership through the interface id map.
+                continue
             ours = record.attributes.get(name)
             if ours is None:
                 copied = Attribute(
@@ -961,6 +1136,8 @@ class Journal(DirectSinkMixin):
         if changed:
             self._c_changes.inc()
             self._touch("interface", record)
+        else:
+            self._note_modified("interface", record)
         return record, changed
 
     def absorb_gateway(
@@ -1031,6 +1208,8 @@ class Journal(DirectSinkMixin):
         record.last_modified = max(record.last_modified, foreign.last_modified)
         if changed:
             self._touch("subnet", record)
+        else:
+            self._note_modified("subnet", record)
         return record, changed
 
     # ------------------------------------------------------------------
@@ -1103,6 +1282,7 @@ class Journal(DirectSinkMixin):
             "batches_flushed": self.batches_flushed,
             "feed_deliveries": self.feed_deliveries,
             "feed_subscribers": self.feed_subscribers,
+            "queries_served": self.queries_served,
             "negative_evictions": self.negative_evictions,
             # Durability counters: zero unless a JournalStore is (or
             # was, for wal_recovered_records) attached.

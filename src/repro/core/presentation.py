@@ -22,6 +22,7 @@ from typing import Optional
 from ..netsim.addresses import Ipv4Address, Subnet
 from .correlate import Correlator
 from .journal import Journal
+from .query import InSubnet
 from .records import InterfaceRecord
 
 __all__ = [
@@ -85,14 +86,27 @@ def journal_dump(journal: Journal) -> str:
 
 def interface_report(journal: Journal, *, network: Optional[str] = None) -> str:
     """Level 1: all interfaces in a network, with address, DNS name, and
-    time since last (non-DNS) verification."""
+    time since last (non-DNS) verification.
+
+    ``network`` in CIDR form (``a.b.c.d/len``) runs as an indexed
+    ``InSubnet`` query — O(result), not O(journal); a bare prefix string
+    falls back to the original prefix match over everything.
+    """
+    prefix = network
+    records = None
+    if network is not None and "/" in network:
+        try:
+            records = journal.query("interfaces", InSubnet(network))
+            prefix = None
+        except ValueError:
+            records = None  # malformed CIDR: keep the prefix-match path
+    if records is None:
+        records = journal.all_interfaces()
     lines = [f"{'ADDRESS':<16} {'DNS NAME':<30} {'LAST SEEN':>10}"]
-    for record in sorted(
-        journal.all_interfaces(), key=lambda r: _sort_ip(r.ip)
-    ):
+    for record in sorted(records, key=lambda r: _sort_ip(r.ip)):
         if record.ip is None:
             continue
-        if network is not None and not record.ip.startswith(network):
+        if prefix is not None and not record.ip.startswith(prefix):
             continue
         last = _last_non_dns_verification(record)
         lines.append(
@@ -114,15 +128,10 @@ def subnet_interfaces_report(journal: Journal, subnet: str) -> str:
         f"{'NAME':<28}"
     )
     lines = [f"subnet {target}", header]
-    for record in sorted(journal.all_interfaces(), key=lambda r: _sort_ip(r.ip)):
-        if record.ip is None:
-            continue
-        try:
-            ip = Ipv4Address.parse(record.ip)
-        except ValueError:
-            continue
-        if ip not in target:
-            continue
+    # Indexed query instead of scanning and parsing every interface:
+    # membership filtering (including unparsable IPs) lives in InSubnet.
+    members = journal.query("interfaces", InSubnet(str(target)))
+    for record in sorted(members, key=lambda r: _sort_ip(r.ip)):
         lines.append(
             f"{record.ip:<16} {(record.mac or '-'):<18} "
             f"{'yes' if record.get('rip_source') else '-':<4} "

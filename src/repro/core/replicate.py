@@ -8,17 +8,55 @@ predicate-based queries to limit exchanged data to the parts that are
 needed."
 
 :class:`JournalReplicator` implements exactly that: an incremental,
-one-way push of records *modified since the last sync* (the predicate),
-with timestamp-preserving merges on the receiving side.  Run one
-replicator per direction for bidirectional sharing.  Works across any
-combination of Local/Remote journal clients, so two Journal Servers on
-different machines can exchange their findings over the wire.
+one-way push of records the source learned since the last sync, with
+timestamp-preserving merges on the receiving side.  Run one replicator
+per direction for bidirectional sharing.  Works across any combination
+of Local/Remote journal clients, so two Journal Servers on different
+machines can exchange their findings over the wire.
+
+Revision-cursor protocol
+------------------------
+
+The sync cursor is the source Journal's **revision counter**, not a
+``last_modified`` high-water timestamp.  Each pass:
+
+1. snapshots ``new_cursor = source.revision()`` *before* reading — a
+   write landing mid-pass is re-sent next pass rather than lost, and
+   absorbs are idempotent so the overlap is harmless;
+2. pulls each table with one predicate query,
+   ``SinceRevision(last_revision)`` (a full-table query on the first
+   pass or with ``full=True``), evaluated source-side against the
+   revision-ordered change log — O(delta), not O(journal);
+3. advances ``last_revision`` to the snapshot.
+
+Timestamps cannot carry this cursor: with strict-``>`` filtering, a
+record modified at *exactly* the high-water timestamp after the pass
+read it is never replicated (coarse clocks and step-clock simulations
+make such ties common), and ``>=`` resends ever-growing tails.  Every
+revision is handed out exactly once, so the revision cursor has no
+ties to lose.  The deliberate trade-off: verify-only refreshes (a
+re-observation confirming a known value) advance ``last_modified``
+*without* bumping the revision counter, so pure freshness updates do
+not ride along; the receiving side re-learns freshness from its own
+explorers, and actual value changes — the data that matters — are
+never missed.
+
+Gateway members are resolved in one **batched** ``RecordIds`` query
+per pass instead of a full interface scan per unresolved member (the
+old path was O(interfaces × members)).  A nameless gateway with no
+resolvable member cannot be anchored on the target side; it is counted
+in :attr:`SyncStats.gateways_skipped` and the
+``fremont_replication_gateways_skipped_total`` counter rather than
+dropped silently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Set
+
+from .query import RecordIds, SinceRevision
+from .telemetry import MetricsRegistry
 
 __all__ = ["JournalReplicator", "SyncStats"]
 
@@ -31,6 +69,9 @@ class SyncStats:
     interfaces_changed: int = 0
     gateways_sent: int = 0
     gateways_changed: int = 0
+    #: gateways that could not be anchored on the target side (no name,
+    #: no resolvable member interface) — replication loss, not silence
+    gateways_skipped: int = 0
     subnets_sent: int = 0
     subnets_changed: int = 0
 
@@ -48,70 +89,95 @@ class SyncStats:
 
 
 class JournalReplicator:
-    """One-way incremental replication: source journal -> target journal."""
+    """One-way incremental replication: source journal -> target journal.
+
+    See the module docstring for the revision-cursor protocol.
+    """
 
     def __init__(self, source, target) -> None:
         self.source = source
         self.target = target
-        #: high-water mark: source-side last_modified of what we've sent
-        self.last_sync = 0.0
+        #: source revision through which everything has been pushed
+        self.last_revision = 0
         self.syncs_completed = 0
+        #: skipped-gateway accounting lands in the target's registry
+        #: when it has one (operators watch the receiving side for
+        #: replication loss), else in a private registry.
+        registry = getattr(target, "telemetry", None)
+        if registry is None:
+            registry = MetricsRegistry()
+        self.telemetry = registry
+        self._c_skipped = registry.counter(
+            "fremont_replication_gateways_skipped_total",
+            "Gateways not replicated for lack of a target-side anchor",
+        )
+
+    def _source_revision(self) -> int:
+        """The source's current revision, client or bare Journal."""
+        revision = getattr(self.source, "revision")
+        return int(revision() if callable(revision) else revision)
 
     def sync(self, *, full: bool = False) -> SyncStats:
         """Push everything the source learned since the last sync.
 
-        With ``full=True`` the high-water mark is ignored and the whole
-        journal is pushed (initial seeding of a new replica).
+        With ``full=True`` the cursor is ignored and the whole journal
+        is pushed (initial seeding of a new replica).
         """
-        since = 0.0 if full else self.last_sync
+        # Snapshot before reading: anything committed after this point
+        # may or may not appear in the queries below, and will be
+        # re-sent next pass either way.  Idempotent absorbs make the
+        # overlap free; the gap a timestamp cursor had is gone.
+        new_cursor = self._source_revision()
+        where = (
+            None if full or self.last_revision <= 0
+            else SinceRevision(self.last_revision)
+        )
         stats = SyncStats()
-        high_water = self.last_sync
 
         # Interfaces first: gateway membership translates through them.
         interface_map: Dict[int, int] = {}
-        for foreign in self.source.interfaces_modified_since(since):
+        for foreign in self.source.query("interfaces", where):
             local, changed = self.target.absorb_interface(foreign)
             interface_map[foreign.record_id] = local.record_id
             stats.interfaces_sent += 1
             stats.interfaces_changed += changed
-            high_water = max(high_water, foreign.last_modified)
 
         # Gateways referencing unsent member interfaces need those ids
-        # resolvable: map any remaining members by address.
-        for foreign in self.source.gateways_modified_since(since):
-            for interface_id in foreign.interface_ids:
-                if interface_id in interface_map:
-                    continue
-                match = self._resolve_interface(interface_id)
-                if match is not None:
-                    interface_map[interface_id] = match
+        # resolvable.  Collect every unresolved member across the whole
+        # pass and fetch them in ONE batched id query — not a full
+        # interface scan per member.
+        gateways = self.source.query("gateways", where)
+        unresolved: Set[int] = {
+            interface_id
+            for foreign in gateways
+            for interface_id in foreign.interface_ids
+            if interface_id not in interface_map
+        }
+        if unresolved:
+            for member in self.source.query("interfaces", RecordIds(unresolved)):
+                local, _changed = self.target.absorb_interface(member)
+                interface_map[member.record_id] = local.record_id
+        for foreign in gateways:
             if foreign.name is None and not any(
                 interface_id in interface_map
                 for interface_id in foreign.interface_ids
             ):
-                continue  # nothing to anchor the gateway to on this side
+                # Nothing to anchor the gateway to on this side: count
+                # the loss where operators can see it.
+                stats.gateways_skipped += 1
+                self._c_skipped.inc()
+                continue
             local, changed = self.target.absorb_gateway(foreign, interface_map)
             stats.gateways_sent += 1
             stats.gateways_changed += changed
-            high_water = max(high_water, foreign.last_modified)
 
-        for foreign in self.source.subnets_modified_since(since):
+        for foreign in self.source.query("subnets", where):
             if foreign.subnet is None:
                 continue
             local, changed = self.target.absorb_subnet(foreign)
             stats.subnets_sent += 1
             stats.subnets_changed += changed
-            high_water = max(high_water, foreign.last_modified)
 
-        self.last_sync = high_water
+        self.last_revision = max(self.last_revision, new_cursor)
         self.syncs_completed += 1
         return stats
-
-    def _resolve_interface(self, source_record_id: int) -> Optional[int]:
-        """Map a source interface id to a target id by replaying the
-        record through absorb (idempotent for already-known records)."""
-        for record in self.source.all_interfaces():
-            if record.record_id == source_record_id:
-                local, _changed = self.target.absorb_interface(record)
-                return local.record_id
-        return None

@@ -61,6 +61,7 @@ _READ_OPS = frozenset(
         "get_interfaces",
         "get_gateways",
         "get_subnets",
+        "query",
         "negative_check",
         "changes_since",
         "dump",
@@ -80,6 +81,10 @@ _INLINE_OPS = frozenset(
         "metrics",
         "negative_check",
         "changes_since",
+        # Indexed predicate evaluation is O(result); a worst-case
+        # unindexable predicate still only reads — and the inline path
+        # only runs when the read lock is free anyway.
+        "query",
         "observe",
         "negative_put",
         "ensure_gateway",
@@ -397,6 +402,30 @@ class JournalDispatcher:
         else:
             raise wire.WireError(f"unknown selector: {by!r}")
         return {"ok": True, "records": [wire.interface_to_dict(r) for r in records]}
+
+    _QUERY_ENCODERS = {
+        "interfaces": wire.interface_to_dict,
+        "gateways": wire.gateway_to_dict,
+        "subnets": wire.subnet_to_dict,
+    }
+
+    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Server-side predicate evaluation: the paper's "predicate-based
+        queries to limit exchanged data to the parts that are needed".
+        The response carries the revision at evaluation time so clients
+        can anchor cache entries to their change-feed cursor."""
+        kind = request.get("kind")
+        encoder = self._QUERY_ENCODERS.get(kind)
+        if encoder is None:
+            raise wire.WireError(f"unknown query kind: {kind!r}")
+        where = request.get("where")
+        predicate = None if where is None else wire.predicate_from_dict(where)
+        records = self.journal.query(kind, predicate)
+        return {
+            "ok": True,
+            "revision": self.journal.revision,
+            "records": [encoder(record) for record in records],
+        }
 
     def _op_get_gateways(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if "since" in request:

@@ -41,6 +41,8 @@ __all__ = [
     "FrameReader",
     "attribute_to_dict",
     "attribute_from_dict",
+    "predicate_to_dict",
+    "predicate_from_dict",
     "batch_request",
     "changes_to_dict",
     "changes_from_dict",
@@ -65,6 +67,12 @@ class WireError(ValueError):
     """Raised for malformed wire data."""
 
 
+# The predicate codec lives with the AST in query.py (which imports
+# WireError lazily, below this definition, to avoid a cycle); re-export
+# it here so wire consumers see one codec surface.
+from .query import predicate_from_dict, predicate_to_dict  # noqa: E402
+
+
 # ----------------------------------------------------------------------
 # Protocol schema: ops and counters
 # ----------------------------------------------------------------------
@@ -84,6 +92,7 @@ WIRE_OPS = frozenset(
         # queries (read)
         "ping", "counts", "metrics",
         "get_interfaces", "get_gateways", "get_subnets",
+        "query",
         "negative_check", "changes_since", "dump", "save",
         # streaming
         "subscribe",
@@ -105,6 +114,7 @@ COUNTER_SCHEMA: Dict[str, str] = {
     "observations_coalesced": "fremont_observations_coalesced_total",
     "batches_flushed": "fremont_batches_flushed_total",
     "feed_deliveries": "fremont_feed_deliveries_total",
+    "queries_served": "fremont_queries_served_total",
     "negative_evictions": "fremont_negative_evictions_total",
     "wal_appends": "fremont_wal_appends_total",
     "wal_bytes": "fremont_wal_bytes_total",
@@ -164,6 +174,10 @@ def _base_to_dict(record) -> Dict[str, Any]:
         "record_id": record.record_id,
         "created_at": record.created_at,
         "last_modified": record.last_modified,
+        # The journal revision that last touched this record — the
+        # replicator's lost-update-proof sync cursor compares against
+        # it (SinceRevision), so it must survive the wire.
+        "revision": record.revision,
         "attributes": {
             name: attribute_to_dict(attribute)
             for name, attribute in record.attributes.items()
@@ -175,6 +189,7 @@ def _base_from_dict(record, data: Dict[str, Any]) -> None:
     record.record_id = data["record_id"]
     record.created_at = data.get("created_at")
     record.last_modified = data.get("last_modified", 0.0)
+    record.revision = int(data.get("revision", 0))
     record.attributes = {
         name: attribute_from_dict(attribute_data)
         for name, attribute_data in data.get("attributes", {}).items()
@@ -323,6 +338,8 @@ _CHANGE_SETS = (
     "deleted_interfaces",
     "deleted_gateways",
     "deleted_subnets",
+    # Touched index keys, for client-side QueryCache invalidation.
+    "keys",
 )
 
 
@@ -437,6 +454,7 @@ def journal_from_dict(data: Dict[str, Any], clock: Optional[Callable[[], float]]
         (kind, key): expiry for kind, key, expiry in data.get("negative", [])
     }
     journal._rebuild_gateway_index()
+    journal._rebuild_modified_index()
     # Loaded records keep their ids; push the process-global allocator
     # past them so records created after the load cannot collide (a
     # fresh process restarts the counter at 1).

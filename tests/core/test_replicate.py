@@ -182,3 +182,153 @@ class TestReplicatorOverSockets:
         absorbed = site_b.interfaces_by_ip("10.0.1.1")[0]
         assert absorbed.attribute("ip").first_discovered == 42.0
         assert site_b.all_gateways()[0].name == "gw"
+
+
+class TestRevisionCursor:
+    """The sync cursor is the revision counter, not a timestamp
+    high-water mark — timestamps lose same-instant writes."""
+
+    def test_same_timestamp_write_after_sync_is_not_lost(self, two_sites):
+        """Regression: with the old ``last_modified > last_sync`` filter
+        a record written at EXACTLY the high-water timestamp after a
+        pass was never replicated.  Step clocks make such ties routine."""
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        _observe(site_a, ip="10.0.1.1")
+        replicator = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
+        assert replicator.sync().interfaces_sent == 1
+        # The clock has NOT advanced: same timestamp, new record.
+        _observe(site_a, ip="10.0.1.2")
+        assert replicator.sync().interfaces_sent == 1
+        assert len(site_b.interfaces_by_ip("10.0.1.2")) == 1
+
+    def test_burst_of_same_timestamp_writes_straddling_a_sync(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 7.0
+        for index in range(1, 4):
+            _observe(site_a, ip=f"10.0.1.{index}")
+        replicator = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
+        replicator.sync()
+        for index in range(4, 7):  # still t=7.0
+            _observe(site_a, ip=f"10.0.1.{index}")
+        assert replicator.sync().interfaces_sent == 3
+        assert site_b.counts()["interfaces"] == 6
+
+    def test_cursor_advances_to_source_revision(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        _observe(site_a, ip="10.0.1.1")
+        replicator = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
+        replicator.sync()
+        assert replicator.last_revision == site_a.revision
+        assert replicator.syncs_completed == 1
+
+    def test_verify_only_refresh_does_not_resync(self, two_sites):
+        """The documented trade-off: a re-observation that confirms known
+        values advances last_modified without spending a revision, so it
+        does not ride along — value changes always do."""
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        _observe(site_a, ip="10.0.1.1", mac="aa:00:03:00:00:01")
+        replicator = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
+        replicator.sync()
+        state_a["now"] = 99.0
+        _observe(site_a, ip="10.0.1.1", mac="aa:00:03:00:00:01")  # verify only
+        assert replicator.sync().records_sent == 0
+        state_a["now"] = 100.0
+        _observe(site_a, ip="10.0.1.1", dns_name="gw.test")  # value change
+        assert replicator.sync().interfaces_sent == 1
+        assert site_b.interfaces_by_name("gw.test")
+
+
+class _CountingClient(LocalClient):
+    """LocalClient that counts read calls, to pin the replicator's
+    access pattern (no per-member table scans)."""
+
+    def __init__(self, journal):
+        super().__init__(journal)
+        self.all_interfaces_calls = 0
+        self.query_calls = 0
+
+    def all_interfaces(self):
+        self.all_interfaces_calls += 1
+        return super().all_interfaces()
+
+    def query(self, kind, where=None):
+        self.query_calls += 1
+        return super().query(kind, where)
+
+
+class TestBatchedMemberResolution:
+    def test_one_query_per_pass_not_one_scan_per_member(self, two_sites):
+        """Regression for the O(interfaces x members) rescan: resolving
+        a gateway's unsent members must cost ONE batched id query, not a
+        full interface scan each."""
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        members = [
+            _observe(site_a, ip=f"10.0.{index}.1", mac=f"aa:00:03:00:00:{index:02x}")
+            for index in range(1, 6)
+        ]
+        gateway, _ = site_a.ensure_gateway(
+            source="x", name="gw", interface_ids=[r.record_id for r in members]
+        )
+        source = _CountingClient(site_a)
+        replicator = JournalReplicator(source, LocalClient(site_b))
+        replicator.sync()
+        # Pass 2 touches ONLY the gateway: its members fall outside the
+        # incremental window and all need resolving.
+        state_a["now"] = 20.0
+        site_a.link_gateway_subnet(gateway.record_id, "10.0.1.0/24", source="x")
+        source.all_interfaces_calls = source.query_calls = 0
+        stats = replicator.sync()
+        assert stats.gateways_sent == 1
+        assert source.all_interfaces_calls == 0
+        # interfaces-delta + gateways-delta + ONE RecordIds batch + subnets-delta
+        assert source.query_calls == 4
+        target_gateway = site_b.all_gateways()[0]
+        assert len(target_gateway.interface_ids) == 5
+
+    def test_no_batch_query_when_members_ride_the_same_pass(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        record = _observe(site_a, ip="10.0.1.1")
+        site_a.ensure_gateway(source="x", name="gw", interface_ids=[record.record_id])
+        source = _CountingClient(site_a)
+        JournalReplicator(source, LocalClient(site_b)).sync()
+        assert source.all_interfaces_calls == 0
+        assert source.query_calls == 3  # one per table, no resolution batch
+
+
+class TestSkippedGateways:
+    def test_unanchorable_gateway_is_counted_not_silent(self, two_sites):
+        """A nameless gateway whose members no longer exist cannot be
+        anchored on the target: it must show up in stats and telemetry
+        instead of vanishing."""
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        record = _observe(site_a, ip="10.0.1.1")
+        site_a.ensure_gateway(source="x", name=None, interface_ids=[record.record_id])
+        site_a.delete_interface(record.record_id)
+        replicator = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
+        stats = replicator.sync()
+        assert stats.gateways_skipped == 1
+        assert stats.gateways_sent == 0
+        assert site_b.counts()["gateways"] == 0
+        counter = replicator.telemetry.counter(
+            "fremont_replication_gateways_skipped_total",
+            "Gateways not replicated for lack of a target-side anchor",
+        )
+        assert counter.value == 1
+
+    def test_named_gateway_without_members_still_replicates(self, two_sites):
+        (site_a, state_a), (site_b, state_b) = two_sites
+        state_a["now"] = 10.0
+        record = _observe(site_a, ip="10.0.1.1")
+        site_a.ensure_gateway(source="x", name="gw", interface_ids=[record.record_id])
+        site_a.delete_interface(record.record_id)
+        replicator = JournalReplicator(LocalClient(site_a), LocalClient(site_b))
+        stats = replicator.sync()
+        assert stats.gateways_sent == 1
+        assert stats.gateways_skipped == 0
+        assert site_b.all_gateways()[0].name == "gw"
