@@ -114,9 +114,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_dump(args: argparse.Namespace) -> int:
-    journal = Journal.load(args.journal)
+    source = _journal_source(args.journal)
+    if isinstance(source, Journal):
+        journal = source
+    else:
+        with connect(source) as client:
+            journal = _materialize(client)
     print(journal_dump(journal))
     return 0
+
+
+def _materialize(client) -> Journal:
+    """A local Journal holding everything a live target knows: a
+    sharded router snapshots its whole fleet; a single server is
+    pulled with one full replication pass."""
+    snapshot = getattr(client, "snapshot", None)
+    if callable(snapshot):
+        return snapshot()
+    from .core.replicate import JournalReplicator
+
+    journal = Journal()
+    JournalReplicator(client, connect(journal)).sync(full=True)
+    return journal
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -195,9 +214,12 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
 
 
 def _journal_source(spec: str):
-    """``host:port`` means a live server; anything else is a saved file."""
+    """``host:port`` (or a ``shard://`` / comma-separated multi-target)
+    means live server(s); anything else is a saved file."""
     import os
 
+    if spec.startswith("shard://") or ("," in spec and not os.path.exists(spec)):
+        return spec
     _host, sep, port = spec.rpartition(":")
     if sep and port.isdigit() and not os.path.exists(spec):
         return spec
@@ -243,11 +265,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
+    shard_identity = None
+    if args.shard:
+        from .core.shard import ShardMap, parse_shard_spec
+
+        index, total = parse_shard_spec(args.shard)
+        shard_identity = ShardMap(total).identity(index)
+
     store = None
     if args.durable:
         from repro.core import JournalStore
+        from repro.core.durability import shard_store_path
 
-        store = JournalStore(args.durable, fsync=args.fsync)
+        durable_dir = args.durable
+        if shard_identity is not None:
+            # Each shard of a fleet owns its own WAL/checkpoint
+            # directory under the shared base, so shards never contend
+            # for (or corrupt) one another's logs and a single shard
+            # can be killed and recovered independently.
+            durable_dir = shard_store_path(durable_dir, shard_identity["index"])
+        store = JournalStore(durable_dir, fsync=args.fsync)
         journal = store.recover(clock=time.time)
         report = store.last_recovery
         print(
@@ -270,11 +307,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             journal, host=args.host, port=args.port, max_workers=args.workers
         )
     server.persist_path = args.persist
+    if shard_identity is not None:
+        server.dispatcher.shard_identity = shard_identity
     server.start()
     host, port = server.address
+    shard_note = (
+        f" [shard {shard_identity['index']}/{shard_identity['shards']}]"
+        if shard_identity is not None
+        else ""
+    )
     print(
-        f"journal server ({args.transport}) listening on {host}:{port} "
-        "(ctrl-c to stop)"
+        f"journal server ({args.transport}) listening on {host}:{port}"
+        f"{shard_note} (ctrl-c to stop)"
     )
     exporter = None
     if args.metrics_port is not None:
@@ -301,24 +345,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    """Telemetry dashboard for a running Journal Server."""
+    """Telemetry dashboard for a running Journal Server — or, given
+    several targets (or a ``shard://`` list), one merged table with a
+    column per shard and a totals column."""
     import time
 
-    from .core.telemetry import render_stats
+    from .core.client import parse_targets
+    from .core.telemetry import render_fleet_stats, render_stats
 
-    with connect(args.address) as client:
-        try:
-            while True:
-                snapshot = client.metrics(spans=args.spans)
-                text = render_stats(snapshot, spans=args.spans)
-                if not args.watch:
-                    print(text)
-                    return 0
-                # Clear and repaint, terminal-dashboard style.
-                print("\x1b[2J\x1b[H" + text, flush=True)
-                time.sleep(args.interval)
-        except KeyboardInterrupt:
-            return 0
+    targets = [target for spec in args.address for target in parse_targets(spec)]
+    if len(targets) == 1:
+        host, port = targets[0]
+        with connect(f"{host}:{port}") as client:
+            try:
+                while True:
+                    snapshot = client.metrics(spans=args.spans)
+                    text = render_stats(snapshot, spans=args.spans)
+                    if not args.watch:
+                        print(text)
+                        return 0
+                    # Clear and repaint, terminal-dashboard style.
+                    print("\x1b[2J\x1b[H" + text, flush=True)
+                    time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+
+    names = [f"{host}:{port}" for host, port in targets]
+    clients = [connect(f"{host}:{port}") for host, port in targets]
+    try:
+        while True:
+            snapshots = [client.metrics(spans=0) for client in clients]
+            text = render_fleet_stats(snapshots, names)
+            if not args.watch:
+                print(text)
+                return 0
+            print("\x1b[2J\x1b[H" + text, flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        for client in clients:
+            client.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -352,7 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=_cmd_report)
 
     dump = commands.add_parser("dump", help="flat journal dump")
-    dump.add_argument("journal")
+    dump.add_argument(
+        "journal",
+        help="saved journal path, host:port of a running server, or a "
+        "shard://... fleet (dumped through an aggregate snapshot)",
+    )
     dump.set_defaults(func=_cmd_dump)
 
     export = commands.add_parser("export", help="topology export (Figure 2)")
@@ -399,7 +470,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--durable", default=None, metavar="DIR",
         help="durability directory: recover from (and WAL+checkpoint into) "
-        "this directory; takes precedence over --journal",
+        "this directory; takes precedence over --journal (with --shard K/N "
+        "the shard uses DIR/shard-K)",
+    )
+    serve.add_argument(
+        "--shard", default=None, metavar="K/N",
+        help="serve as shard K of an N-shard fleet (0-based): answers the "
+        "shard_info handshake so routers can verify their shard map, and "
+        "scopes --durable to a per-shard directory",
     )
     serve.add_argument(
         "--fsync", default="interval", choices=["always", "interval", "never"],
@@ -425,8 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="live telemetry from a running Journal Server"
     )
     stats.add_argument(
-        "address", nargs="?", default="127.0.0.1:3856",
-        help="host:port of the server (default: %(default)s)",
+        "address", nargs="*", default=["127.0.0.1:3856"],
+        help="host:port of the server (default: %(default)s); several "
+        "targets (or one shard://h1:p1,h2:p2 list) render a merged "
+        "per-shard table with totals",
     )
     stats.add_argument("--watch", action="store_true",
                        help="repaint continuously until interrupted")
@@ -440,7 +520,9 @@ def build_parser() -> argparse.ArgumentParser:
         "query", help="predicate query over a journal file or live server"
     )
     query.add_argument(
-        "journal", help="saved journal path, or host:port of a running server"
+        "journal",
+        help="saved journal path, host:port of a running server, or a "
+        "shard://... fleet (queried scatter-gather)",
     )
     query.add_argument(
         "--kind", default="interfaces",

@@ -9,9 +9,11 @@ from .client import (
     RemoteChangeFeed,
     RemoteClient,
     connect,
+    format_targets,
+    parse_targets,
 )
-from .correlate import Correlator
-from .durability import JournalStore, RecoveryReport
+from .correlate import Correlator, FederatedCorrelator
+from .durability import JournalStore, RecoveryReport, shard_store_path
 from .inquiry import NetworkPicture
 from .journal import (
     FeedSubscription,
@@ -29,15 +31,26 @@ from .records import (
     Quality,
     SubnetRecord,
 )
-from .replicate import JournalReplicator
+from .replicate import FederatedView, JournalReplicator
 from .server import JournalDispatcher, JournalServer, ThreadedJournalServer
+from .shard import (
+    ShardMap,
+    ShardedChangeFeed,
+    ShardedClient,
+    VectorCursor,
+    global_id,
+    parse_shard_spec,
+    split_global_id,
+)
 from .sink import BatchingSink, FlushStats, ObservationSink
 from .telemetry import (
     MetricsExporter,
     MetricsRegistry,
     Span,
     parse_prometheus,
+    render_fleet_stats,
     render_stats,
+    snapshot_to_prometheus,
     telemetry_of,
 )
 
@@ -47,6 +60,8 @@ __all__ = [
     "BatchingSink",
     "Correlator",
     "DiscoveryManager",
+    "FederatedCorrelator",
+    "FederatedView",
     "FeedSubscription",
     "FlushStats",
     "GatewayRecord",
@@ -71,11 +86,23 @@ __all__ = [
     "RecoveryReport",
     "RemoteChangeFeed",
     "RemoteClient",
+    "ShardMap",
+    "ShardedChangeFeed",
+    "ShardedClient",
     "Span",
     "SubnetRecord",
     "ThreadedJournalServer",
+    "VectorCursor",
     "connect",
+    "format_targets",
+    "global_id",
     "parse_prometheus",
+    "parse_shard_spec",
+    "parse_targets",
+    "render_fleet_stats",
     "render_stats",
+    "shard_store_path",
+    "snapshot_to_prometheus",
+    "split_global_id",
     "telemetry_of",
 ]

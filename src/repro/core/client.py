@@ -48,6 +48,8 @@ __all__ = [
     "QueryCache",
     "PendingReply",
     "connect",
+    "parse_targets",
+    "format_targets",
 ]
 
 
@@ -888,6 +890,13 @@ class RemoteClient:
         a replica or dashboard can skip a sync when it hasn't moved)."""
         return self._call({"op": "counts"})["counts"]["revision"]
 
+    def shard_info(self) -> Optional[Dict[str, Any]]:
+        """Federation handshake (the ``shard_info`` op): the server's
+        shard identity, or None when it is not part of a sharded
+        fleet.  :class:`~repro.core.shard.ShardedClient` calls this to
+        refuse a mis-assembled fleet."""
+        return wire.shard_info_from_dict(self._call({"op": "shard_info"}).get("shard"))
+
     # -- replication -----------------------------------------------------------
 
     def interfaces_modified_since(self, when: float) -> List[InterfaceRecord]:
@@ -1017,9 +1026,10 @@ class RemoteChangeFeed:
         event = frame.get("event")
         if event == "feed_lagged":
             # The server dropped our subscription — we were not keeping
-            # up.  Its revision marker tells us where pushes stopped;
-            # poll forward from there on the same connection.
-            self.revision = max(self.revision, int(frame.get("revision", 0)))
+            # up.  The frame's revision marker is where pushes STOPPED
+            # (the first delta that failed to enqueue, which we never
+            # received), so resuming from it would silently skip that
+            # delta.  Poll forward from the revision actually delivered.
             self.mode = "polling"
             return self._poll_changes()
         if event != "changes":
@@ -1133,6 +1143,14 @@ class QueryCache:
     """
 
     def __init__(self, client, *, max_entries: int = 128) -> None:
+        if getattr(client, "is_sharded", False):
+            raise TypeError(
+                "QueryCache cannot wrap a ShardedClient: sync() compares "
+                "a scalar feed cursor against the fleet's summed revision, "
+                "which can report 'caught up' while one shard's feed still "
+                "lags (another shard's deliveries cover the sum).  Cache "
+                "per shard, or query an aggregate FederatedView instead."
+            )
         self.client = client
         self.max_entries = max_entries
         #: (kind, canonical predicate key) -> _CacheEntry, LRU-ordered
@@ -1289,6 +1307,91 @@ def _parse_address(target: str) -> Tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
+def parse_targets(spec: str) -> List[Tuple[str, int]]:
+    """Parse a (possibly multi-address) remote target string.
+
+    Accepted forms: ``"host:port"``, ``"h1:p1,h2:p2,..."`` and the
+    explicit ``"shard://h1:p1,h2:p2"`` scheme.  Returns the parsed
+    ``(host, port)`` pairs in shard order; an empty host normalises to
+    ``127.0.0.1``.  Inverse of :func:`format_targets`.
+    """
+    body = spec[len("shard://"):] if spec.startswith("shard://") else spec
+    parts = [part.strip() for part in body.split(",")]
+    if not body or any(not part for part in parts):
+        raise ValueError(f"malformed multi-address target: {spec!r}")
+    return [_parse_address(part) for part in parts]
+
+
+def format_targets(addresses: Sequence[Tuple[str, int]]) -> str:
+    """Render ``(host, port)`` pairs as a connect() target string:
+    ``"host:port"`` for one address, ``"shard://h1:p1,h2:p2"`` for a
+    fleet.  ``parse_targets(format_targets(a)) == list(a)`` for any
+    normalised address list."""
+    if not addresses:
+        raise ValueError("no addresses to format")
+    rendered = ",".join(f"{host}:{int(port)}" for host, port in addresses)
+    return f"shard://{rendered}" if len(addresses) > 1 else rendered
+
+
+def _is_remote_target(target) -> bool:
+    return isinstance(target, str) or (
+        isinstance(target, tuple) and len(target) == 2
+    )
+
+
+def _connect_sharded(targets, *, retry, telemetry, clock):
+    """Build a ShardedClient from a list of per-shard targets.  All
+    targets must be remote (str / (host, port) / RemoteClient) or all
+    local (None / Journal / LocalClient) — a mixed fleet has no
+    coherent durability or failure story, so it is rejected outright."""
+    from .shard import ShardedClient
+
+    targets = list(targets)
+    if not targets:
+        raise ValueError("a sharded connect() needs at least one target")
+    remote_flags = [
+        _is_remote_target(target) or isinstance(target, RemoteClient)
+        for target in targets
+    ]
+    local_flags = [
+        target is None or isinstance(target, (Journal, LocalClient))
+        for target in targets
+    ]
+    if any(remote_flags) and any(local_flags):
+        raise ValueError(
+            "cannot mix local and remote targets in one sharded "
+            f"connect(): {targets!r} — every shard must be either an "
+            "address or a Journal/None, not a blend"
+        )
+    clients: List[Any] = []
+    if all(remote_flags):
+        for target in targets:
+            if isinstance(target, RemoteClient):
+                clients.append(target)
+            else:
+                if isinstance(target, str):
+                    host, port = _parse_address(target)
+                else:
+                    host, port = target[0], int(target[1])
+                clients.append(RemoteClient(host, port, **(retry or {})))
+    elif all(local_flags):
+        if retry:
+            raise ValueError("retry options only apply to remote targets")
+        for target in targets:
+            if isinstance(target, LocalClient):
+                clients.append(target)
+                continue
+            journal = (
+                target
+                if isinstance(target, Journal)
+                else Journal(clock=clock, telemetry=telemetry)
+            )
+            clients.append(LocalClient(journal))
+    else:
+        raise TypeError(f"cannot shard across {targets!r}")
+    return ShardedClient(clients)
+
+
 def connect(
     target: Union[Journal, ObservationSink, str, Tuple[str, int], None] = None,
     *,
@@ -1309,6 +1412,12 @@ def connect(
       ``reconnect_attempts``, ``reconnect_backoff``,
       ``reconnect_backoff_cap``, ``buffer_limit``) pass through to its
       constructor;
+    * ``"shard://h1:p1,h2:p2"`` (or a bare comma-joined address list) —
+      a :class:`~repro.core.shard.ShardedClient` routing across the
+      addressed shard servers, in the given order;
+    * a **list** of targets — one shard per element: all addresses, or
+      all local (``None``/:class:`Journal`).  Mixing local and remote
+      shards raises :class:`ValueError`;
     * any existing :class:`ObservationSink` — used as-is.
 
     *batching* optionally stacks a :class:`~repro.core.sink.BatchingSink`
@@ -1321,8 +1430,18 @@ def connect(
     stacks: every layer still exists, ``connect`` just wires it.
     """
     if isinstance(target, str):
-        host, port = _parse_address(target)
-        client: ObservationSink = RemoteClient(host, port, **(retry or {}))
+        if target.startswith("shard://") or "," in target:
+            client: ObservationSink = _connect_sharded(
+                parse_targets(target), retry=retry,
+                telemetry=telemetry, clock=clock,
+            )
+        else:
+            host, port = _parse_address(target)
+            client = RemoteClient(host, port, **(retry or {}))
+    elif isinstance(target, list):
+        client = _connect_sharded(
+            target, retry=retry, telemetry=telemetry, clock=clock
+        )
     elif isinstance(target, tuple):
         host, port = target
         client = RemoteClient(host, int(port), **(retry or {}))

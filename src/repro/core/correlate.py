@@ -43,7 +43,12 @@ from ..netsim.addresses import Ipv4Address, Netmask, Subnet
 from .journal import Journal, JournalChanges
 from .records import GatewayRecord, InterfaceRecord
 
-__all__ = ["Correlator", "CorrelationReport", "TopologyGraph"]
+__all__ = [
+    "Correlator",
+    "CorrelationReport",
+    "FederatedCorrelator",
+    "TopologyGraph",
+]
 
 SOURCE = "correlator"
 
@@ -547,3 +552,63 @@ class Correlator:
                 if gateway.record_id not in graph.subnets[key]:
                     graph.subnets[key].append(gateway.record_id)
         return graph
+
+
+class FederatedCorrelator:
+    """Cross-shard correlation over a sharded Journal fleet.
+
+    Gateways span subnets — and under subnet-prefix sharding, subnets
+    span shards — so the correlation inference cannot run inside any
+    single shard.  This wrapper runs it against a
+    :class:`~repro.core.replicate.FederatedView` aggregate (a plain
+    local Journal, so the persistent incremental :class:`Correlator`
+    works unmodified) and pushes the conclusions back out through the
+    scatter-gather router, where the owning shards absorb them:
+
+    1. ``view.refresh()`` — pull each shard's delta into the aggregate;
+    2. ``correlator.correlate()`` — the ordinary passes, on local data;
+    3. write-back — an incremental replicator from the aggregate to the
+       router routes every record the pass touched (gateway records,
+       subnet links, ``gateway_id`` assignments) to its owning shard.
+
+    Absorbs are idempotent and timestamp-preserving, so the next
+    refresh pulling a written-back record re-absorbs it with no change:
+    the loop converges exactly like bidirectional site replication.
+    Equivalence against a single-journal run is property-tested in
+    ``tests/integration/test_federation.py``.
+    """
+
+    def __init__(self, shards, *, view=None, default_prefix: int = 24) -> None:
+        from .client import LocalClient
+        from .replicate import FederatedView, JournalReplicator
+
+        self.view = view if view is not None else FederatedView(shards)
+        router = shards if hasattr(shards, "shard_map") else None
+        #: the scatter-gather router conclusions are written through;
+        #: None when constructed from bare shard clients (read-only)
+        self.router = router
+        self.correlator = Correlator(
+            self.view.journal, default_prefix=default_prefix
+        )
+        self._writeback = (
+            JournalReplicator(LocalClient(self.view.journal), router)
+            if router is not None
+            else None
+        )
+        if self._writeback is not None:
+            # The write-back cursor starts at the aggregate's current
+            # revision: everything already in the aggregate came FROM
+            # the shards, so only refresh pulls + correlator writes
+            # from here on need routing back.
+            self._writeback.last_revision = self.view.journal.revision
+
+    def correlate(self, *, full: bool = False) -> CorrelationReport:
+        """One federated pass: refresh, correlate, write back."""
+        self.view.refresh(full=full)
+        report = self.correlator.correlate(full=full)
+        if self._writeback is not None:
+            self._writeback.sync()
+        return report
+
+    def topology(self) -> TopologyGraph:
+        return self.correlator.topology()

@@ -71,6 +71,7 @@ __all__ = [
     "atomic_write_json",
     "encode_frame",
     "scan_segment",
+    "shard_store_path",
 ]
 
 #: accepted fsync policies, strongest first
@@ -88,6 +89,16 @@ MAX_RECORD_BYTES = 16 * 2**20
 
 _CHECKPOINT_FORMAT = "fremont-checkpoint-1"
 _SEGMENT_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+
+def shard_store_path(base_dir: str, index: int) -> str:
+    """The WAL/checkpoint directory for shard *index* of a fleet
+    sharing *base_dir*: each shard owns ``<base_dir>/shard-<K>`` so its
+    segments, checkpoints, and recovery are fully independent of its
+    siblings (``serve --shard K/N --durable DIR`` uses this)."""
+    if index < 0:
+        raise ValueError(f"shard index must be >= 0, got {index}")
+    return os.path.join(base_dir, f"shard-{index}")
 
 
 # ----------------------------------------------------------------------

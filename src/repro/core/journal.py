@@ -118,6 +118,12 @@ class JournalChanges:
     #: matches these against cached predicates' key watches to decide
     #: which entries a delta can have invalidated.
     keys: Set[str] = field(default_factory=set)
+    #: federation only: the per-shard revision components behind the
+    #: scalar ``revision`` when this delta was composed by a
+    #: :class:`~repro.core.shard.ShardedClient` (None on single-journal
+    #: deltas).  Resuming a federated feed needs this vector — the
+    #: scalar sum cannot be split back into per-shard cursors.
+    vector: Optional[List[int]] = None
 
     def empty(self) -> bool:
         return not (
@@ -143,6 +149,8 @@ class JournalChanges:
         for name in ("interfaces", "gateways", "subnets"):
             getattr(self, name).difference_update(getattr(self, "deleted_" + name))
         self.keys.update(other.keys)
+        if other.vector is not None:
+            self.vector = other.vector
         return self
 
 class FeedSubscription:
@@ -1340,6 +1348,79 @@ class Journal(DirectSinkMixin):
                 }
                 for rid in sorted(self.subnets)
             ],
+        }
+
+    def identity_state(self) -> Dict[str, object]:
+        """Like :meth:`canonical_state`, but *insertion-order
+        independent*: records sort by identity — an interface's
+        ``(ip, mac, dns_name)``, a gateway's attributes + member
+        identities, a subnet's key — instead of creation rank.  Two
+        Journals holding the same facts compare equal even when the
+        facts arrived in different orders or over different paths,
+        which is what federation equivalence needs: a sharded fleet's
+        aggregate view absorbs records in per-shard sync order, not the
+        original observation order."""
+
+        def identity_of(record) -> Tuple[str, str, str]:
+            return (record.ip or "", record.mac or "", record.dns_name or "")
+
+        def values_of(record, *, drop: Tuple[str, ...] = ()):
+            return sorted(
+                (name, attribute.value)
+                for name, attribute in record.attributes.items()
+                if name not in drop
+            )
+
+        interface_identity = {
+            rid: identity_of(record) for rid, record in self.interfaces.items()
+        }
+        gateway_identity = {
+            rid: (
+                record.name or "",
+                sorted(
+                    interface_identity[i]
+                    for i in record.interface_ids
+                    if i in interface_identity
+                ),
+            )
+            for rid, record in self.gateways.items()
+        }
+        return {
+            "interfaces": sorted(
+                (
+                    # gateway_id is a journal-local record id; the
+                    # linkage is captured identity-wise on the gateway
+                    # side (members), so it is dropped here.
+                    values_of(record, drop=("gateway_id",))
+                    for record in self.interfaces.values()
+                ),
+                key=repr,
+            ),
+            "gateways": sorted(
+                (
+                    (
+                        values_of(record),
+                        gateway_identity[rid][1],
+                        sorted(record.connected_subnets),
+                    )
+                    for rid, record in self.gateways.items()
+                ),
+                key=repr,
+            ),
+            "subnets": sorted(
+                (
+                    (
+                        values_of(record),
+                        sorted(
+                            gateway_identity[g]
+                            for g in record.gateway_ids
+                            if g in gateway_identity
+                        ),
+                    )
+                    for record in self.subnets.values()
+                ),
+                key=repr,
+            ),
         }
 
     def paper_equivalent_bytes(self) -> int:

@@ -53,12 +53,12 @@ dropped silently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
-from .query import RecordIds, SinceRevision
+from .query import And, Predicate, RecordIds, SinceRevision
 from .telemetry import MetricsRegistry
 
-__all__ = ["JournalReplicator", "SyncStats"]
+__all__ = ["JournalReplicator", "SyncStats", "FederatedView"]
 
 
 @dataclass
@@ -94,9 +94,17 @@ class JournalReplicator:
     See the module docstring for the revision-cursor protocol.
     """
 
-    def __init__(self, source, target) -> None:
+    def __init__(self, source, target, *, where: Optional[Predicate] = None) -> None:
         self.source = source
         self.target = target
+        #: optional interface-scoping predicate (e.g. ``InSubnet``):
+        #: ANDed with the revision cursor on the interfaces table and on
+        #: gateway member resolution, so a shard-to-shard sync only
+        #: exchanges the subnet slice it is responsible for.  Gateways
+        #: and subnets still ride the cursor unfiltered — an interface
+        #: predicate is vacuously false on them (``InSubnet`` matches no
+        #: gateway record), which would silently drop every one.
+        self.where = where
         #: source revision through which everything has been pushed
         self.last_revision = 0
         self.syncs_completed = 0
@@ -132,11 +140,21 @@ class JournalReplicator:
             None if full or self.last_revision <= 0
             else SinceRevision(self.last_revision)
         )
+
+        def scoped(predicate: Optional[Predicate]) -> Optional[Predicate]:
+            """Interface-table predicate: the cursor ANDed with the
+            replicator's scope filter."""
+            if self.where is None:
+                return predicate
+            if predicate is None:
+                return self.where
+            return And(self.where, predicate)
+
         stats = SyncStats()
 
         # Interfaces first: gateway membership translates through them.
         interface_map: Dict[int, int] = {}
-        for foreign in self.source.query("interfaces", where):
+        for foreign in self.source.query("interfaces", scoped(where)):
             local, changed = self.target.absorb_interface(foreign)
             interface_map[foreign.record_id] = local.record_id
             stats.interfaces_sent += 1
@@ -154,7 +172,12 @@ class JournalReplicator:
             if interface_id not in interface_map
         }
         if unresolved:
-            for member in self.source.query("interfaces", RecordIds(unresolved)):
+            # Member resolution honours the scope filter too: an
+            # out-of-scope member simply stays unresolved and drops from
+            # the absorbed gateway's membership on this side.
+            for member in self.source.query(
+                "interfaces", scoped(RecordIds(unresolved))
+            ):
                 local, _changed = self.target.absorb_interface(member)
                 interface_map[member.record_id] = local.record_id
         for foreign in gateways:
@@ -181,3 +204,109 @@ class JournalReplicator:
         self.last_revision = max(self.last_revision, new_cursor)
         self.syncs_completed += 1
         return stats
+
+
+class FederatedView:
+    """Read-only aggregate over a sharded fleet.
+
+    One local aggregate :class:`~repro.core.journal.Journal` kept fresh
+    by a per-shard incremental :class:`JournalReplicator` — the
+    federation promotion of pairwise site sync.  Cross-shard analysis
+    (the correlator above all: gateways span subnets, hence shards)
+    runs against :attr:`journal` exactly as it would against a single
+    site's Journal; gateway and subnet fragments split across shards
+    re-merge here by identity (name / subnet key / member identity).
+
+    :meth:`refresh` pulls each shard's delta (revision cursors, so a
+    pass is O(changes)).  An unreachable shard is skipped and recorded
+    in :attr:`stale_shards` with :attr:`partial` set — the view keeps
+    serving the last state it pulled from that shard (graceful
+    degradation, matching the router's partial-read contract).
+
+    Construct from a :class:`~repro.core.shard.ShardedClient` (its
+    per-shard clients are used directly, bypassing scatter-gather and
+    global-id translation) or from any sequence of shard clients.
+    """
+
+    def __init__(
+        self,
+        shards,
+        *,
+        aggregate=None,
+        clock: Optional[Callable[[], float]] = None,
+        where: Optional[Predicate] = None,
+    ) -> None:
+        from .client import LocalClient
+        from .journal import Journal
+
+        clients = getattr(shards, "clients", None)
+        self.clients: List[Any] = list(clients if clients is not None else shards)
+        if not self.clients:
+            raise ValueError("a federated view needs at least one shard")
+        self.journal = aggregate if aggregate is not None else Journal(clock=clock)
+        self._target = LocalClient(self.journal)
+        self.replicators = [
+            JournalReplicator(client, self._target, where=where)
+            for client in self.clients
+        ]
+        #: True while the most recent refresh could not reach a shard
+        self.partial = False
+        #: shard indexes whose data is stale (unreachable last refresh)
+        self.stale_shards: List[int] = []
+        self.refreshes = 0
+        self._c_stale = self.journal.telemetry.counter(
+            "fremont_federation_stale_refreshes_total",
+            "Aggregate refreshes that could not reach every shard",
+        )
+
+    def refresh(self, *, full: bool = False) -> SyncStats:
+        """Pull every shard's delta into the aggregate.  Returns the
+        summed :class:`SyncStats`; sets :attr:`partial` when a shard was
+        unreachable (its cursor stays put, so the next refresh catches
+        it back up from where it left off)."""
+        total = SyncStats()
+        stale: List[int] = []
+        for index, replicator in enumerate(self.replicators):
+            try:
+                stats = replicator.sync(full=full)
+            except (ConnectionError, TimeoutError):
+                stale.append(index)
+                continue
+            total.interfaces_sent += stats.interfaces_sent
+            total.interfaces_changed += stats.interfaces_changed
+            total.gateways_sent += stats.gateways_sent
+            total.gateways_changed += stats.gateways_changed
+            total.gateways_skipped += stats.gateways_skipped
+            total.subnets_sent += stats.subnets_sent
+            total.subnets_changed += stats.subnets_changed
+        self.partial = bool(stale)
+        self.stale_shards = stale
+        if stale:
+            self._c_stale.inc()
+        self.refreshes += 1
+        return total
+
+    # Analysis programs written against a journal client work on the
+    # view unmodified: delegate the read surface to the aggregate.
+    def query(self, kind: str, where: Optional[Predicate] = None) -> List[Any]:
+        return self.journal.query(kind, where)
+
+    def all_interfaces(self) -> List[Any]:
+        return self.journal.all_interfaces()
+
+    def all_gateways(self) -> List[Any]:
+        return self.journal.all_gateways()
+
+    def all_subnets(self) -> List[Any]:
+        return self.journal.all_subnets()
+
+    def counts(self) -> Dict[str, int]:
+        return self.journal.counts()
+
+    @property
+    def telemetry(self):
+        return self.journal.telemetry
+
+    def close(self) -> None:
+        """The view owns no sockets (shard clients are the caller's);
+        nothing to release."""

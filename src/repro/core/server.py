@@ -58,6 +58,7 @@ _READ_OPS = frozenset(
         "ping",
         "counts",
         "metrics",
+        "shard_info",
         "get_interfaces",
         "get_gateways",
         "get_subnets",
@@ -79,6 +80,7 @@ _INLINE_OPS = frozenset(
         "ping",
         "counts",
         "metrics",
+        "shard_info",
         "negative_check",
         "changes_since",
         # Indexed predicate evaluation is O(result); a worst-case
@@ -125,6 +127,10 @@ class JournalDispatcher:
         #: transport hook invoked by status ops (ping/counts) — the
         #: threaded server reaps finished connection threads here.
         self.on_status: Optional[Callable[[], None]] = None
+        #: federation handshake body (``{"version", "shards", "prefix",
+        #: "index"}``) when this server runs as one shard of a fleet
+        #: (``serve --shard K/N``); None for single-tenant servers.
+        self.shard_identity: Optional[Dict[str, int]] = None
         #: transport hook: when set, completed write ops call this
         #: (write lock held) instead of journal.publish() — the async
         #: server coalesces a burst of pipelined writes into one feed
@@ -511,6 +517,11 @@ class JournalDispatcher:
         thread (and any write op) bumping them concurrently."""
         spans = int(request.get("spans", 50))
         return {"ok": True, "metrics": self.telemetry.snapshot(spans=spans)}
+
+    def _op_shard_info(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Federation handshake: which shard of which map this server
+        is, or ``shard: None`` when it is not part of a fleet."""
+        return {"ok": True, "shard": wire.shard_info_to_dict(self.shard_identity)}
 
     def _op_counts(self, request: Dict[str, Any]) -> Dict[str, Any]:
         # counts() carries the journal revision, so remote clients can

@@ -56,7 +56,9 @@ __all__ = [
     "MetricsExporter",
     "Span",
     "parse_prometheus",
+    "render_fleet_stats",
     "render_stats",
+    "snapshot_to_prometheus",
     "telemetry_of",
 ]
 
@@ -894,4 +896,101 @@ def render_stats(snapshot: Dict[str, Any], *, spans: int = 12) -> str:
             f"{nested}{span.get('name'):<24} {_format_seconds(span.get('duration', 0)):>10}"
             f"  {tag_text}{status}"
         )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fleet rendering (fremont stats over several shards)
+# ----------------------------------------------------------------------
+
+
+def snapshot_to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` document back into
+    Prometheus text exposition.
+
+    The remote ``metrics`` wire op ships the structured snapshot, not
+    the text form; turning it back into text lets every consumer —
+    notably the multi-target ``fremont stats`` table — funnel through
+    the one battle-tested :func:`parse_prometheus` sample model instead
+    of growing a second snapshot walker.
+    """
+    lines: List[str] = []
+    for metric in snapshot.get("metrics", []):
+        name = metric.get("name", "")
+        for sample in metric.get("samples", []):
+            labels = dict(sample.get("labels", {}))
+            if metric.get("type") == "histogram":
+                for bound, total in sample.get("buckets", []):
+                    le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_render_labels({**labels, 'le': le})} "
+                        f"{total}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(float(sample.get('sum', 0.0)))}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {sample.get('count', 0)}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_value(float(sample.get('value', 0.0)))}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def render_fleet_stats(
+    snapshots: List[Dict[str, Any]], names: Optional[List[str]] = None
+) -> str:
+    """One merged table over several servers' metric snapshots: a row
+    per sample, a column per shard, and a totals column.
+
+    Each snapshot goes through :func:`snapshot_to_prometheus` and back
+    through :func:`parse_prometheus`, so the merge works on the same
+    ``(name, labels) -> value`` sample map the round-trip tests pin
+    down.  A sample absent on some shard renders as ``-`` and counts as
+    zero in the total; histogram percentiles are deliberately not
+    summed (only ``_sum``/``_count``/``_bucket`` series aggregate
+    meaningfully).
+    """
+    names = names or [f"shard{i}" for i in range(len(snapshots))]
+    parsed = [parse_prometheus(snapshot_to_prometheus(s)) for s in snapshots]
+    keys: List[Tuple[str, Tuple[Tuple[str, str], ...]]] = []
+    seen = set()
+    for samples in parsed:
+        for key in samples:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    keys.sort()
+
+    def cell(value: Optional[float]) -> str:
+        if value is None:
+            return "-"
+        return _format_value(value)
+
+    rows: List[List[str]] = []
+    for name, labels in keys:
+        label_text = ",".join(f"{k}={v}" for k, v in labels)
+        display = f"{name}{{{label_text}}}" if label_text else name
+        values = [samples.get((name, labels)) for samples in parsed]
+        total = sum(v for v in values if v is not None)
+        rows.append([display] + [cell(v) for v in values] + [cell(total)])
+
+    header = ["sample"] + list(names) + ["total"]
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows)) if rows
+        else len(header[col])
+        for col in range(len(header))
+    ]
+
+    def fmt(cells: List[str]) -> str:
+        first = cells[0].ljust(widths[0])
+        rest = [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join([first] + rest)
+
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)

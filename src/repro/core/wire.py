@@ -23,7 +23,7 @@ import json
 import select
 import socket
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .records import (
     Attribute,
@@ -94,6 +94,8 @@ WIRE_OPS = frozenset(
         "get_interfaces", "get_gateways", "get_subnets",
         "query",
         "negative_check", "changes_since", "dump", "save",
+        # federation handshake (read)
+        "shard_info",
         # streaming
         "subscribe",
     }
@@ -353,6 +355,9 @@ def changes_to_dict(changes) -> Dict[str, Any]:
     }
     for name in _CHANGE_SETS:
         data[name] = sorted(getattr(changes, name))
+    vector = getattr(changes, "vector", None)
+    if vector is not None:
+        data["vector"] = vector_cursor_to_dict(vector)
     return data
 
 
@@ -369,7 +374,65 @@ def changes_from_dict(data: Dict[str, Any]):
         raise WireError(f"changes delta missing field {missing}") from None
     for name in _CHANGE_SETS:
         getattr(changes, name).update(data.get(name, []))
+    if data.get("vector") is not None:
+        changes.vector = vector_cursor_from_dict(data["vector"])
     return changes
+
+
+# ----------------------------------------------------------------------
+# Federation framing
+# ----------------------------------------------------------------------
+
+
+def vector_cursor_to_dict(revisions: Sequence[int]) -> Dict[str, List[int]]:
+    """Wire form of a per-shard revision vector."""
+    return {"v": [int(r) for r in revisions]}
+
+
+def vector_cursor_from_dict(data: Any) -> List[int]:
+    """Per-shard revision components from the wire form; hostile-input
+    safe like the rest of the codec."""
+    if not isinstance(data, dict) or not isinstance(data.get("v"), list):
+        raise WireError(f"malformed vector cursor: {data!r}")
+    try:
+        components = [int(r) for r in data["v"]]
+    except (TypeError, ValueError):
+        raise WireError(f"malformed vector cursor: {data!r}") from None
+    if any(r < 0 for r in components):
+        raise WireError(f"vector cursor components must be >= 0: {data!r}")
+    return components
+
+
+def shard_info_to_dict(identity: Optional[Dict[str, int]]) -> Optional[Dict[str, int]]:
+    """Wire form of a shard's handshake identity (None when the server
+    is not running as part of a sharded fleet)."""
+    if identity is None:
+        return None
+    return {
+        "version": int(identity["version"]),
+        "shards": int(identity["shards"]),
+        "prefix": int(identity["prefix"]),
+        "index": int(identity["index"]),
+    }
+
+
+def shard_info_from_dict(data: Any) -> Optional[Dict[str, int]]:
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise WireError(f"malformed shard info: {data!r}")
+    try:
+        identity = {
+            "version": int(data["version"]),
+            "shards": int(data["shards"]),
+            "prefix": int(data["prefix"]),
+            "index": int(data["index"]),
+        }
+    except (KeyError, TypeError, ValueError):
+        raise WireError(f"malformed shard info: {data!r}") from None
+    if identity["shards"] < 1 or not 0 <= identity["index"] < identity["shards"]:
+        raise WireError(f"inconsistent shard info: {data!r}")
+    return identity
 
 
 # ----------------------------------------------------------------------

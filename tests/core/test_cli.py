@@ -196,3 +196,82 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestFleetStats:
+    def test_multi_target_renders_merged_table(self, capsys):
+        from repro.core import JournalServer
+        from repro.core.records import Observation as Obs
+
+        journals = [Journal(), Journal()]
+        journals[0].observe_interface(Obs(source="x", ip="10.0.0.1"))
+        servers = [JournalServer(j).start() for j in journals]
+        try:
+            endpoints = ["%s:%d" % s.address for s in servers]
+            assert main(["stats"] + endpoints) == 0
+            out = capsys.readouterr().out
+            # One column per shard plus the totals column.
+            header = out.splitlines()[0]
+            for endpoint in endpoints:
+                assert endpoint in header
+            assert "total" in header
+            assert "fremont_journal_revision" in out
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_shard_url_form(self, capsys):
+        from repro.core import JournalServer
+
+        journals = [Journal(), Journal()]
+        servers = [JournalServer(j).start() for j in journals]
+        try:
+            spec = "shard://" + ",".join("%s:%d" % s.address for s in servers)
+            assert main(["stats", spec]) == 0
+            assert "total" in capsys.readouterr().out
+        finally:
+            for server in servers:
+                server.stop()
+
+
+class TestShardedServeAndQuery:
+    def test_query_scatter_gathers_across_shards(self, capsys):
+        from repro.core import JournalServer
+        from repro.core.records import Observation as Obs
+
+        journals = [Journal(), Journal()]
+        journals[0].observe_interface(Obs(source="x", ip="10.1.1.1"))
+        journals[1].observe_interface(Obs(source="x", ip="10.2.2.2"))
+        servers = [JournalServer(j).start() for j in journals]
+        try:
+            spec = "shard://" + ",".join("%s:%d" % s.address for s in servers)
+            assert main(["query", spec]) == 0
+            out = capsys.readouterr().out
+            assert "10.1.1.1" in out
+            assert "10.2.2.2" in out
+            assert "2 record(s)" in out
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_dump_live_sharded_fleet(self, capsys):
+        from repro.core import JournalServer
+        from repro.core.records import Observation as Obs
+
+        journals = [Journal(), Journal()]
+        journals[0].observe_interface(Obs(source="x", ip="10.1.1.1"))
+        journals[1].observe_interface(Obs(source="x", ip="10.2.2.2"))
+        servers = [JournalServer(j).start() for j in journals]
+        try:
+            spec = "shard://" + ",".join("%s:%d" % s.address for s in servers)
+            assert main(["dump", spec]) == 0
+            out = capsys.readouterr().out
+            assert "10.1.1.1" in out
+            assert "10.2.2.2" in out
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_serve_rejects_bad_shard_spec(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["serve", "--shard", "5/2", "--port", "0"])

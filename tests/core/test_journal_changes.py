@@ -210,3 +210,57 @@ class TestNegativeCachePruning:
         loaded = Journal.load(path, clock=lambda: clock_state["now"])
         assert loaded.counts() == journal.counts()
         assert loaded.negative_check("ping", "10.9.0.1")
+
+
+class TestPruneClampMultipleSubscribers:
+    """prune_changes never prunes past the slowest open subscription,
+    even with several consumers parked at different cursors."""
+
+    def test_clamped_to_slowest_cursor(self, journal):
+        for index in range(1, 6):
+            _observe(journal, ip=f"10.0.0.{index}")
+        slow = journal.subscribe(since=2)
+        fast = journal.subscribe(since=5)
+        try:
+            journal.prune_changes(journal.revision)
+            # Clamped to the slow consumer: its window stays replayable.
+            replay = journal.changes_since(2)
+            assert replay.complete
+            assert len(replay.interfaces) == 3
+            # History at or below the clamp is gone.
+            assert not journal.changes_since(1).complete
+        finally:
+            slow.close()
+            fast.close()
+
+    def test_clamp_follows_consumption(self, journal):
+        for index in range(1, 6):
+            _observe(journal, ip=f"10.0.0.{index}")
+        slow = journal.subscribe(since=0)
+        fast = journal.subscribe(since=journal.revision)
+        try:
+            journal.prune_changes(journal.revision)
+            # The slow subscriber still holds the whole window open.
+            assert journal.changes_since(0).complete
+            # Consuming its backlog advances its cursor; the next prune
+            # may now discard what it consumed.
+            delta = slow.poll()
+            assert delta is not None and delta.revision == journal.revision
+            journal.prune_changes(journal.revision)
+            assert not journal.changes_since(0).complete
+            assert journal.changes_since(journal.revision).complete
+        finally:
+            slow.close()
+            fast.close()
+
+    def test_closing_slow_subscriber_releases_clamp(self, journal):
+        for index in range(1, 4):
+            _observe(journal, ip=f"10.0.0.{index}")
+        slow = journal.subscribe(since=0)
+        fast = journal.subscribe(since=journal.revision)
+        journal.prune_changes(journal.revision)
+        assert journal.changes_since(0).complete
+        slow.close()
+        journal.prune_changes(journal.revision)
+        assert not journal.changes_since(0).complete
+        fast.close()

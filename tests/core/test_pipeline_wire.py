@@ -300,3 +300,86 @@ class TestGracefulStop:
             assert server.live_connections == 0
         finally:
             sock.close()
+
+
+class TestFeedLaggedResume:
+    def test_resume_polls_from_delivered_revision_not_marker(self):
+        """Regression: the feed_lagged marker carries the revision of the
+        first delta that FAILED to enqueue — a delta the client never
+        received.  Re-arming the cursor from the marker silently skipped
+        it; the resume must poll from the revision actually delivered."""
+        from repro.core.client import RemoteChangeFeed
+        from repro.core.journal import JournalChanges
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        observed = {}
+
+        def fake_server():
+            conn, _addr = listener.accept()
+            try:
+                frames = wire.FrameReader(conn)
+                request = frames.read(5.0)
+                observed["subscribe"] = request
+                conn.sendall(wire.encode_message({"ok": True, "revision": 0}))
+                delivered = JournalChanges(since=0, revision=5)
+                delivered.interfaces.add(1)
+                conn.sendall(
+                    wire.encode_message(
+                        {
+                            "ok": True,
+                            "event": "changes",
+                            "changes": wire.changes_to_dict(delivered),
+                        }
+                    )
+                )
+                # Pushes stopped at revision 9: deltas 6..9 were dropped,
+                # never delivered.
+                conn.sendall(
+                    wire.encode_message(
+                        {
+                            "ok": True,
+                            "event": "feed_lagged",
+                            "revision": 9,
+                            "reason": "slow consumer; poll changes_since",
+                        }
+                    )
+                )
+                poll = frames.read(5.0)
+                observed["poll"] = poll
+                missing = JournalChanges(
+                    since=int(poll.get("since", -1)), revision=9
+                )
+                missing.interfaces.update({2, 3})
+                conn.sendall(
+                    wire.encode_message(
+                        {"ok": True, "changes": wire.changes_to_dict(missing)}
+                    )
+                )
+            finally:
+                conn.close()
+
+        thread = threading.Thread(target=fake_server, daemon=True)
+        thread.start()
+        feed = RemoteChangeFeed(host, port, since=0)
+        try:
+            first = feed.poll(5.0)
+            assert first is not None and first.revision == 5
+            # This poll reads the feed_lagged marker and transparently
+            # issues the changes_since fallback.
+            recovered = feed.poll(5.0)
+            thread.join(timeout=5.0)
+            assert observed["subscribe"]["op"] == "subscribe"
+            assert observed["poll"]["op"] == "changes_since"
+            # The heart of the regression: resume from 5 (delivered),
+            # never 9 (the dropped frame's marker).
+            assert observed["poll"]["since"] == 5
+            assert feed.mode == "polling"
+            assert recovered is not None
+            assert recovered.interfaces == {2, 3}
+            assert feed.revision == 9
+        finally:
+            feed.close()
+            listener.close()

@@ -246,3 +246,92 @@ class TestRemoteCache:
                 assert len(cache.query("interfaces", IN_SUBNET)) == 1
                 assert reader._next_id == before
                 assert cache.evictions == 0
+
+
+class TestFeedLaggedInvalidation:
+    """A cache whose push feed is demoted (feed_lagged) must trust
+    nothing once its delta window is pruned — full invalidate — and
+    sync() immediately afterwards must still give read-your-writes."""
+
+    def test_lag_demotion_invalidates_then_syncs(self):
+        import socket as socket_module
+        import time as time_module
+
+        def wait_for(predicate, timeout=10.0):
+            deadline = time_module.monotonic() + timeout
+            while time_module.monotonic() < deadline:
+                if predicate():
+                    return True
+                time_module.sleep(0.02)
+            return predicate()
+
+        journal = Journal()
+        server = JournalServer(journal, queue_limit=4)
+        server.start()
+        host, port = server.address
+        writer = RemoteClient(host, port)
+        fallbacks = journal.telemetry.get("fremont_server_feed_fallbacks_total")
+        try:
+            with QueryCache(RemoteClient(host, port)) as cache:
+                _observe(journal, ip="10.1.1.1")
+                primed = cache.query("interfaces", IN_SUBNET)
+                assert [r.ip for r in primed] == ["10.1.1.1"]
+                assert len(cache) == 1
+
+                # Clamp both ends of the cache's feed socket so the
+                # 4-frame outbox is the bottleneck, then flood from a
+                # second client until the server demotes the feed.
+                cache._feed._socket.setsockopt(
+                    socket_module.SOL_SOCKET, socket_module.SO_RCVBUF, 4096
+                )
+                assert wait_for(
+                    lambda: any(
+                        conn._subscription is not None
+                        for conn in server._connections
+                    )
+                )
+                (feed_conn,) = [
+                    conn
+                    for conn in server._connections
+                    if conn._subscription is not None
+                ]
+                feed_conn._writer.get_extra_info("socket").setsockopt(
+                    socket_module.SOL_SOCKET, socket_module.SO_SNDBUF, 4096
+                )
+                for batch in range(400):
+                    writer.observe_batch(
+                        [
+                            Observation(
+                                source="flood",
+                                ip=f"10.{200 + batch % 50}.{batch // 50}.{i + 1}",
+                            )
+                            for i in range(200)
+                        ]
+                    )
+                    if fallbacks.value >= 1:
+                        break
+                assert wait_for(lambda: fallbacks.value >= 1)
+
+                # The demotion unsubscribed the feed server-side; once
+                # that lands, pruning discards the cache's replay window.
+                assert wait_for(lambda: not journal._subscriptions)
+                journal.prune_changes(journal.revision)
+
+                # Read-your-writes through the SAME underlying client,
+                # immediately after the lag: sync() must surface it.
+                cache.client.observe_interface(
+                    Observation(source="t", ip="10.1.1.9")
+                )
+                cache.sync(timeout=30.0)
+                assert cache._feed.mode == "polling"
+                # The pruned (incomplete) delta nuked every entry.
+                assert len(cache) == 0
+                fresh = cache.query("interfaces", IN_SUBNET)
+                assert sorted(r.ip for r in fresh) == ["10.1.1.1", "10.1.1.9"]
+                # And the cached copy agrees with an uncached read.
+                assert [r.ip for r in cache.query("interfaces", IN_SUBNET)] == [
+                    r.ip for r in cache.client.query("interfaces", IN_SUBNET)
+                ]
+        finally:
+            writer.close()
+            server.stop()

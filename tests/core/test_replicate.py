@@ -332,3 +332,167 @@ class TestSkippedGateways:
         assert stats.gateways_sent == 1
         assert stats.gateways_skipped == 0
         assert site_b.all_gateways()[0].name == "gw"
+
+
+class TestScopedReplication:
+    """where= on the replicator: predicate-filtered shard-to-shard sync."""
+
+    def test_interfaces_outside_scope_stay_home(self, two_sites):
+        from repro.core import query as q
+
+        (site_a, state_a), (site_b, _state_b) = two_sites
+        state_a["now"] = 10.0
+        _observe(site_a, ip="10.1.1.1")
+        _observe(site_a, ip="10.1.1.2")
+        _observe(site_a, ip="10.2.2.1")
+        replicator = JournalReplicator(
+            LocalClient(site_a), LocalClient(site_b),
+            where=q.InSubnet("10.1.1.0/24"),
+        )
+        replicator.sync(full=True)
+        assert sorted(r.ip for r in site_b.all_interfaces()) == [
+            "10.1.1.1", "10.1.1.2",
+        ]
+
+    def test_scope_composes_with_incremental_cursor(self, two_sites):
+        from repro.core import query as q
+
+        (site_a, state_a), (site_b, _state_b) = two_sites
+        state_a["now"] = 10.0
+        _observe(site_a, ip="10.1.1.1")
+        replicator = JournalReplicator(
+            LocalClient(site_a), LocalClient(site_b),
+            where=q.InSubnet("10.1.1.0/24"),
+        )
+        replicator.sync(full=True)
+        state_a["now"] = 20.0
+        _observe(site_a, ip="10.1.1.7")
+        _observe(site_a, ip="10.3.3.3")
+        stats = replicator.sync()
+        assert stats.interfaces_sent == 1
+        assert sorted(r.ip for r in site_b.all_interfaces()) == [
+            "10.1.1.1", "10.1.1.7",
+        ]
+
+    def test_out_of_scope_members_drop_from_gateways(self, two_sites):
+        from repro.core import query as q
+
+        (site_a, state_a), (site_b, _state_b) = two_sites
+        state_a["now"] = 10.0
+        inside = _observe(site_a, ip="10.1.1.1")
+        outside = _observe(site_a, ip="10.2.2.1")
+        site_a.ensure_gateway(
+            source="t", name="gw", interface_ids=[inside.record_id, outside.record_id]
+        )
+        replicator = JournalReplicator(
+            LocalClient(site_a), LocalClient(site_b),
+            where=q.InSubnet("10.1.1.0/24"),
+        )
+        replicator.sync(full=True)
+        (gateway,) = site_b.all_gateways()
+        members = [site_b.interfaces[i].ip for i in gateway.interface_ids]
+        assert members == ["10.1.1.1"]
+
+
+class TestFederatedView:
+    """Aggregate read-only view over a sharded fleet."""
+
+    def _fleet(self, shards=3):
+        from repro.core import connect
+
+        journals = [Journal() for _ in range(shards)]
+        router = connect([connect(j) for j in journals])
+        return journals, router
+
+    def test_aggregate_sees_every_shard(self):
+        from repro.core import FederatedView
+
+        _journals, router = self._fleet()
+        for index in range(1, 8):
+            router.observe_interface(Observation(source="t", ip=f"10.{index}.1.1"))
+        view = FederatedView(router)
+        stats = view.refresh(full=True)
+        assert stats.interfaces_sent == 7
+        assert view.counts()["interfaces"] == 7
+        assert not view.partial
+
+    def test_refresh_is_incremental(self):
+        from repro.core import FederatedView
+
+        _journals, router = self._fleet()
+        router.observe_interface(Observation(source="t", ip="10.1.1.1"))
+        view = FederatedView(router)
+        view.refresh(full=True)
+        router.observe_interface(Observation(source="t", ip="10.2.2.2"))
+        stats = view.refresh()
+        assert stats.interfaces_sent == 1
+        assert view.counts()["interfaces"] == 2
+
+    def test_cross_shard_gateway_remerges_in_aggregate(self):
+        from repro.core import FederatedView
+
+        _journals, router = self._fleet()
+        left, _ = router.observe_interface(Observation(source="t", ip="10.1.1.1"))
+        right, _ = router.observe_interface(Observation(source="t", ip="10.2.2.1"))
+        router.ensure_gateway(
+            source="t", name="gw-span", interface_ids=[left.record_id, right.record_id]
+        )
+        # The router keeps per-shard fragments; the aggregate re-merges
+        # them into the one device a single Journal would hold.
+        assert len(router.all_gateways()) >= 1
+        view = FederatedView(router)
+        view.refresh(full=True)
+        gateways = view.all_gateways()
+        assert len(gateways) == 1
+        members = sorted(
+            view.journal.interfaces[i].ip for i in gateways[0].interface_ids
+        )
+        assert members == ["10.1.1.1", "10.2.2.1"]
+
+    def test_unreachable_shard_degrades_gracefully(self):
+        from repro.core import FederatedView
+
+        class _Dead:
+            def __getattr__(self, name):
+                def boom(*args, **kwargs):
+                    raise ConnectionError("down")
+                return boom
+
+        journal = Journal()
+        client = LocalClient(journal)
+        _observe(journal, ip="10.1.1.1")
+        view = FederatedView([client, _Dead()])
+        stats = view.refresh(full=True)
+        assert view.partial
+        assert view.stale_shards == [1]
+        assert stats.interfaces_sent == 1
+        # The aggregate keeps serving what it has.
+        assert view.counts()["interfaces"] == 1
+
+    def test_stale_shard_catches_up_from_its_cursor(self):
+        from repro.core import FederatedView
+
+        class _Flaky:
+            def __init__(self, client):
+                self._client = client
+                self.down = False
+
+            def __getattr__(self, name):
+                if self.down:
+                    raise ConnectionError("down")
+                return getattr(self._client, name)
+
+        journal = Journal()
+        flaky = _Flaky(LocalClient(journal))
+        _observe(journal, ip="10.1.1.1")
+        view = FederatedView([flaky])
+        view.refresh(full=True)
+        _observe(journal, ip="10.1.1.2")
+        flaky.down = True
+        view.refresh()
+        assert view.partial and view.stale_shards == [0]
+        flaky.down = False
+        stats = view.refresh()
+        assert not view.partial
+        assert stats.interfaces_sent == 1
+        assert view.counts()["interfaces"] == 2

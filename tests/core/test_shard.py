@@ -1,0 +1,405 @@
+"""Sharded Journal federation: ShardMap placement, global-id codec,
+vector cursors, and the ShardedClient scatter-gather router."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Journal,
+    LocalClient,
+    QueryCache,
+    ShardMap,
+    ShardedClient,
+    VectorCursor,
+    connect,
+    format_targets,
+    global_id,
+    parse_shard_spec,
+    parse_targets,
+    split_global_id,
+)
+from repro.core import query as q
+from repro.core import wire
+from repro.core.records import Observation
+from repro.core.shard import _normalize_cursor
+
+
+def make_router(shards: int = 3):
+    journals = [Journal() for _ in range(shards)]
+    router = connect([connect(j) for j in journals])
+    return journals, router
+
+
+class TestGlobalIdCodec:
+    def test_round_trip(self):
+        for shards in (1, 2, 3, 7):
+            for shard in range(shards):
+                for local in (1, 2, 17, 10_000):
+                    gid = global_id(local, shard, shards)
+                    assert split_global_id(gid, shards) == (shard, local)
+
+    def test_global_ids_never_collide_across_shards(self):
+        shards = 4
+        seen = set()
+        for shard in range(shards):
+            for local in range(1, 50):
+                gid = global_id(local, shard, shards)
+                assert gid not in seen
+                seen.add(gid)
+
+    def test_provisional_id_passes_through(self):
+        assert global_id(-1, 2, 4) == -1
+
+    def test_split_rejects_provisional(self):
+        with pytest.raises(ValueError):
+            split_global_id(-1, 4)
+
+
+class TestParseShardSpec:
+    def test_valid(self):
+        assert parse_shard_spec("0/1") == (0, 1)
+        assert parse_shard_spec("2/4") == (2, 4)
+
+    @pytest.mark.parametrize("bad", ["", "3", "4/4", "-1/4", "a/b", "1/0"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_shard_spec(bad)
+
+
+class TestShardMap:
+    def test_deterministic_across_instances(self):
+        first, second = ShardMap(5), ShardMap(5)
+        for ip in ("10.0.0.1", "128.138.243.9", "192.168.7.200"):
+            assert first.shard_for_ip(ip) == second.shard_for_ip(ip)
+
+    def test_subnet_colocates_interfaces(self):
+        shard_map = ShardMap(7)
+        # Every address of one /24 — and the subnet record itself —
+        # lands on the same shard.
+        shards = {shard_map.shard_for_ip(f"10.20.30.{i}") for i in range(1, 255)}
+        assert len(shards) == 1
+        assert shard_map.shard_for_subnet("10.20.30.0/24") in shards
+
+    def test_identity_fallbacks(self):
+        shard_map = ShardMap(5)
+        by_mac = shard_map.shard_for_identity(None, "08:00:20:aa:bb:cc", None)
+        assert by_mac == shard_map.shard_for_token("mac:08:00:20:aa:bb:cc")
+        by_name = shard_map.shard_for_identity(None, None, "host.cs")
+        assert by_name == shard_map.shard_for_token("name:host.cs")
+        assert shard_map.shard_for_identity(None, None, None) == 0
+
+    def test_non_ip_text_is_unanchored(self):
+        assert ShardMap(3).shard_for_ip("not-an-ip") is None
+        assert ShardMap(3).shard_for_ip("1.2.3.999") is None
+
+    def test_wire_round_trip(self):
+        shard_map = ShardMap(4, prefix=16)
+        assert ShardMap.from_dict(shard_map.to_dict()) == shard_map
+
+    def test_identity_handshake_codec(self):
+        identity = ShardMap(4).identity(2)
+        assert wire.shard_info_from_dict(wire.shard_info_to_dict(identity)) == {
+            "version": 1,
+            "shards": 4,
+            "prefix": 24,
+            "index": 2,
+        }
+
+    def test_handshake_codec_rejects_malformed(self):
+        assert wire.shard_info_to_dict(None) is None
+        assert wire.shard_info_from_dict(None) is None
+        with pytest.raises(wire.WireError):
+            wire.shard_info_from_dict({"shards": 0, "index": 0})
+        with pytest.raises(wire.WireError):
+            wire.shard_info_from_dict({"shards": 2, "index": 5})
+
+
+class TestVectorCursor:
+    def test_scalar_and_zero(self):
+        assert VectorCursor.zero(3).revisions == [0, 0, 0]
+        assert VectorCursor([2, 5, 1]).scalar == 8
+
+    def test_wire_round_trip(self):
+        cursor = VectorCursor([3, 0, 9])
+        assert VectorCursor.from_dict(cursor.to_dict()) == cursor
+
+    def test_wire_rejects_malformed(self):
+        with pytest.raises(wire.WireError):
+            wire.vector_cursor_from_dict({"v": [-1]})
+        with pytest.raises(wire.WireError):
+            wire.vector_cursor_from_dict(["not", "a", "dict"])
+
+    def test_normalize_rejects_nonzero_scalar(self):
+        with pytest.raises(ValueError, match="cannot be split"):
+            _normalize_cursor(7, 3)
+        assert _normalize_cursor(0, 3) == [0, 0, 0]
+        assert _normalize_cursor(None, 2) == [0, 0]
+
+    def test_normalize_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            _normalize_cursor([1, 2], 3)
+
+
+class TestShardedClientRouting:
+    def test_interfaces_route_by_subnet(self):
+        journals, router = make_router(3)
+        shard_map = router.shard_map
+        for i in range(1, 6):
+            router.observe_interface(Observation("t", ip=f"10.1.1.{i}"))
+            router.observe_interface(Observation("t", ip=f"10.2.2.{i}"))
+        for subnet_base in ("10.1.1.0", "10.2.2.0"):
+            owner = shard_map.shard_for_ip(subnet_base)
+            for index, journal in enumerate(journals):
+                in_subnet = [
+                    r for r in journal.all_interfaces()
+                    if (r.ip or "").startswith(subnet_base[:-1])
+                ]
+                assert bool(in_subnet) == (index == owner)
+
+    def test_by_ip_read_is_routed_not_scattered(self):
+        _journals, router = make_router(3)
+        router.observe_interface(Observation("t", ip="10.1.1.5", dns_name="a"))
+        scatter_before = router.telemetry.get(
+            "fremont_router_scatter_reads_total"
+        ).value
+        records = router.interfaces_by_ip("10.1.1.5")
+        assert [r.dns_name for r in records] == ["a"]
+        after = router.telemetry.get("fremont_router_scatter_reads_total").value
+        assert after == scatter_before
+
+    def test_global_ids_on_read_surface(self):
+        journals, router = make_router(3)
+        record, changed = router.observe_interface(
+            Observation("t", ip="10.9.9.9")
+        )
+        assert changed
+        shard, local = split_global_id(record.record_id, 3)
+        assert journals[shard].interfaces[local].ip == "10.9.9.9"
+        # The same global id comes back from every read path.
+        assert [r.record_id for r in router.interfaces_by_ip("10.9.9.9")] == [
+            record.record_id
+        ]
+        assert record.record_id in {
+            r.record_id for r in router.all_interfaces()
+        }
+
+    def test_scatter_merge_is_ordered(self):
+        _journals, router = make_router(4)
+        for i in range(1, 40):
+            router.observe_interface(Observation("t", ip=f"10.{i}.1.1"))
+        records = router.all_interfaces()
+        assert len(records) == 39
+        keys = [(r.last_modified, r.record_id) for r in records]
+        assert keys == sorted(keys)
+
+    def test_record_ids_predicate_localized_per_shard(self):
+        _journals, router = make_router(3)
+        wanted = []
+        for i in range(1, 10):
+            record, _ = router.observe_interface(
+                Observation("t", ip=f"10.{i}.0.1")
+            )
+            if i % 2:
+                wanted.append(record.record_id)
+        got = router.query("interfaces", q.RecordIds(wanted))
+        assert sorted(r.record_id for r in got) == sorted(wanted)
+
+    def test_since_revision_predicate_rejected(self):
+        _journals, router = make_router(2)
+        with pytest.raises(ValueError, match="SinceRevision"):
+            router.query("interfaces", q.SinceRevision(3))
+
+    def test_delete_routes_home(self):
+        _journals, router = make_router(3)
+        record, _ = router.observe_interface(Observation("t", ip="10.5.5.5"))
+        assert router.delete_interface(record.record_id)
+        assert router.interfaces_by_ip("10.5.5.5") == []
+
+    def test_counts_sum_across_shards(self):
+        _journals, router = make_router(3)
+        for i in range(1, 7):
+            router.observe_interface(Observation("t", ip=f"10.{i}.1.1"))
+        counts = router.counts()
+        assert counts["interfaces"] == 6
+        assert counts["revision"] == router.revision()
+
+
+class TestShardedChangesAndFeeds:
+    def test_changes_since_composes_vector(self):
+        _journals, router = make_router(3)
+        for i in range(1, 5):
+            router.observe_interface(Observation("t", ip=f"10.{i}.1.1"))
+        delta = router.changes_since(0)
+        assert delta.revision == router.revision()
+        assert delta.vector is not None
+        assert sum(delta.vector) == delta.revision
+        assert len(delta.interfaces) == 4
+
+        cursor = VectorCursor(delta.vector)
+        router.observe_interface(Observation("t", ip="10.99.1.1"))
+        tail = router.changes_since(cursor)
+        assert len(tail.interfaces) == 1
+        assert tail.since == cursor.scalar
+
+    def test_changes_since_rejects_scalar_cursor(self):
+        _journals, router = make_router(2)
+        router.observe_interface(Observation("t", ip="10.1.1.1"))
+        with pytest.raises(ValueError):
+            router.changes_since(1)
+
+    def test_feed_delivers_global_ids(self):
+        _journals, router = make_router(3)
+        feed = router.subscribe(since=0)
+        try:
+            record, _ = router.observe_interface(
+                Observation("t", ip="10.3.3.3")
+            )
+            delta = feed.poll(timeout=1.0)
+            assert delta is not None
+            assert record.record_id in delta.interfaces
+            assert delta.vector is not None
+            assert feed.revision == router.revision()
+        finally:
+            feed.close()
+
+    def test_wire_round_trip_carries_vector(self):
+        _journals, router = make_router(2)
+        router.observe_interface(Observation("t", ip="10.1.1.1"))
+        delta = router.changes_since(0)
+        encoded = wire.changes_to_dict(delta)
+        decoded = wire.changes_from_dict(encoded)
+        assert decoded.vector == delta.vector
+        assert decoded.revision == delta.revision
+
+
+class _DeadClient:
+    """A shard client whose every call fails like a lost connection."""
+
+    def __getattr__(self, name):
+        def boom(*args, **kwargs):
+            raise ConnectionError("shard down")
+
+        return boom
+
+
+class TestDegradation:
+    def test_scatter_read_sets_partial_flag(self):
+        journals = [Journal(), Journal()]
+        live = LocalClient(journals[0])
+        router = ShardedClient([live, _DeadClient()], check=False)
+        live.observe_interface(Observation("t", ip="10.0.0.1"))
+        records = router.all_interfaces()
+        assert [r.ip for r in records] == ["10.0.0.1"]
+        assert router.partial
+        assert router.missing_shards == [1]
+
+    def test_partial_clears_after_full_read(self):
+        journal = Journal()
+        router = ShardedClient([LocalClient(journal)], check=False)
+        router.partial = True
+        router.missing_shards = [0]
+        router.all_interfaces()
+        assert not router.partial
+        assert router.missing_shards == []
+
+    def test_counts_raise_on_unreachable_shard(self):
+        router = ShardedClient(
+            [LocalClient(Journal()), _DeadClient()], check=False
+        )
+        with pytest.raises(ConnectionError):
+            router.counts()
+
+
+class TestConnectTargets:
+    def test_local_list(self):
+        router = connect([None, None, None])
+        assert isinstance(router, ShardedClient)
+        assert router.shard_map.shards == 3
+
+    def test_journal_list(self):
+        journals = [Journal(), Journal()]
+        router = connect(journals[:])
+        record, _ = router.observe_interface(Observation("t", ip="10.1.1.1"))
+        assert record.record_id >= 2
+
+    def test_mixed_local_and_remote_rejected(self):
+        with pytest.raises(ValueError, match="mix local and remote"):
+            connect([Journal(), "127.0.0.1:9"])
+        with pytest.raises(ValueError, match="mix local and remote"):
+            connect([None, ("127.0.0.1", 9)])
+
+    def test_retry_rejected_for_local_shards(self):
+        with pytest.raises(ValueError, match="retry"):
+            connect([None, None], retry={"timeout": 1.0})
+
+    def test_parse_targets_forms(self):
+        assert parse_targets("shard://h1:1,h2:2") == [("h1", 1), ("h2", 2)]
+        assert parse_targets("h1:1,h2:2") == [("h1", 1), ("h2", 2)]
+        assert parse_targets("h1:1") == [("h1", 1)]
+
+    @pytest.mark.parametrize("bad", ["shard://", "a:1,,b:2", "a:1,b:x"])
+    def test_parse_targets_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_targets(bad)
+
+    def test_format_targets(self):
+        assert format_targets([("h", 1)]) == "h:1"
+        assert format_targets([("a", 1), ("b", 2)]) == "shard://a:1,b:2"
+        with pytest.raises(ValueError):
+            format_targets([])
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.from_regex(r"[a-z][a-z0-9.-]{0,20}", fullmatch=True),
+                st.integers(min_value=1, max_value=65535),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_target_string_round_trip(self, addresses):
+        assert parse_targets(format_targets(addresses)) == addresses
+
+
+class TestQueryCacheGuard:
+    def test_query_cache_refuses_sharded_client(self):
+        _journals, router = make_router(2)
+        with pytest.raises(TypeError, match="ShardedClient"):
+            QueryCache(router)
+
+
+class TestHandshakeVerification:
+    def test_mismatched_fleet_rejected(self):
+        class _Identified:
+            def __init__(self, identity):
+                self._identity = identity
+
+            def shard_info(self):
+                return self._identity
+
+        fleet = [
+            _Identified(ShardMap(2).identity(0)),
+            _Identified(ShardMap(3).identity(1)),
+        ]
+        with pytest.raises(ValueError, match="shard"):
+            ShardedClient(fleet)
+
+    def test_wrong_index_rejected(self):
+        class _Identified:
+            def __init__(self, identity):
+                self._identity = identity
+
+            def shard_info(self):
+                return self._identity
+
+        fleet = [
+            _Identified(ShardMap(2).identity(1)),
+            _Identified(ShardMap(2).identity(0)),
+        ]
+        with pytest.raises(ValueError, match="shard"):
+            ShardedClient(fleet)

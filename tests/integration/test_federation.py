@@ -1,0 +1,373 @@
+"""Federation integration: sharded fleet vs single Journal equivalence
+(hypothesis), the cross-shard correlator path, and crash injection — a
+SIGKILLed shard recovers from its own WAL while the router degrades
+gracefully (partial reads, reconnect-with-replay writes)."""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FederatedCorrelator,
+    FederatedView,
+    Journal,
+    LocalClient,
+    ShardMap,
+    ShardedClient,
+    connect,
+)
+from repro.core.records import Observation
+
+SUBNETS = ["10.1.1", "10.2.2", "10.3.3", "10.4.4"]
+GATEWAY_NAMES = ["gw-a", "gw-b", "gw-c"]
+
+
+# One operation of the randomized campaign, applied identically to the
+# single journal and to the sharded router.
+observe_ops = st.tuples(
+    st.just("observe"),
+    st.integers(min_value=0, max_value=len(SUBNETS) - 1),
+    st.integers(min_value=1, max_value=6),
+    st.booleans(),  # carry a MAC
+    st.booleans(),  # carry a DNS name
+)
+gateway_ops = st.tuples(
+    st.just("gateway"),
+    st.integers(min_value=0, max_value=len(GATEWAY_NAMES) - 1),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=len(SUBNETS) - 1),
+            st.integers(min_value=1, max_value=6),
+        ),
+        min_size=0,
+        max_size=3,
+    ),
+)
+link_ops = st.tuples(
+    st.just("link"),
+    st.integers(min_value=0, max_value=len(GATEWAY_NAMES) - 1),
+    st.integers(min_value=0, max_value=len(SUBNETS) - 1),
+)
+subnet_ops = st.tuples(
+    st.just("subnet"),
+    st.integers(min_value=0, max_value=len(SUBNETS) - 1),
+)
+campaign = st.lists(
+    st.one_of(observe_ops, gateway_ops, link_ops, subnet_ops),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _ip(subnet_index: int, host: int) -> str:
+    return f"{SUBNETS[subnet_index]}.{host}"
+
+
+def _apply(op, client, gateways_by_name):
+    """Apply one campaign op through a journal-client surface.
+
+    Identity stays stable (every sighting of one interface carries its
+    IP), which is exactly the placement contract under which the
+    sharded fleet promises single-journal equivalence."""
+    kind = op[0]
+    if kind == "observe":
+        _kind, subnet_index, host, with_mac, with_name = op
+        client.observe_interface(
+            Observation(
+                source="fed-test",
+                ip=_ip(subnet_index, host),
+                mac=(
+                    f"08:00:20:00:{subnet_index:02x}:{host:02x}"
+                    if with_mac
+                    else None
+                ),
+                dns_name=(
+                    f"h{host}.net{subnet_index}.edu" if with_name else None
+                ),
+            )
+        )
+    elif kind == "gateway":
+        _kind, name_index, members = op
+        member_ids = []
+        for subnet_index, host in members:
+            for record in client.interfaces_by_ip(_ip(subnet_index, host)):
+                member_ids.append(record.record_id)
+        record, _changed = client.ensure_gateway(
+            source="fed-test",
+            name=GATEWAY_NAMES[name_index],
+            interface_ids=member_ids,
+        )
+        gateways_by_name[GATEWAY_NAMES[name_index]] = record.record_id
+    elif kind == "link":
+        _kind, name_index, subnet_index = op
+        gateway_id = gateways_by_name.get(GATEWAY_NAMES[name_index])
+        if gateway_id is None:
+            return
+        client.link_gateway_subnet(
+            gateway_id,
+            f"{SUBNETS[subnet_index]}.0/24",
+            source="fed-test",
+        )
+    elif kind == "subnet":
+        _kind, subnet_index = op
+        client.ensure_subnet(
+            f"{SUBNETS[subnet_index]}.0/24", source="fed-test"
+        )
+
+
+class TestShardedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=campaign, shards=st.integers(min_value=1, max_value=4))
+    def test_fleet_aggregate_equals_single_journal(self, ops, shards):
+        state = {"now": 0.0}
+        clock = lambda: state["now"]  # noqa: E731
+        single = Journal(clock=clock)
+        single_client = LocalClient(single)
+        fleet = [Journal(clock=clock) for _ in range(shards)]
+        router = ShardedClient([LocalClient(j) for j in fleet])
+
+        single_gateways, router_gateways = {}, {}
+        for op in ops:
+            state["now"] += 1.0
+            _apply(op, single_client, single_gateways)
+            _apply(op, router, router_gateways)
+
+        # Scatter-gather reads carry the same facts (ids are global on
+        # the router side, so compare identity content).
+        assert sorted(
+            (r.ip or "", r.mac or "", r.dns_name or "")
+            for r in router.all_interfaces()
+        ) == sorted(
+            (r.ip or "", r.mac or "", r.dns_name or "")
+            for r in single.all_interfaces()
+        )
+        assert router.counts()["interfaces"] == single.counts()["interfaces"]
+
+        # The aggregate snapshot re-merges cross-shard gateway fragments:
+        # the fleet holds exactly the facts of the single journal.
+        aggregate = router.snapshot()
+        assert aggregate.identity_state() == single.identity_state()
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=campaign)
+    def test_federated_view_refresh_matches_snapshot(self, ops):
+        state = {"now": 0.0}
+        clock = lambda: state["now"]  # noqa: E731
+        fleet = [Journal(clock=clock) for _ in range(3)]
+        router = ShardedClient([LocalClient(j) for j in fleet])
+        gateways = {}
+        view = FederatedView(router, clock=clock)
+        for op in ops:
+            state["now"] += 1.0
+            _apply(op, router, gateways)
+        view.refresh(full=True)
+        assert view.journal.identity_state() == router.snapshot().identity_state()
+
+
+class TestFederatedCorrelator:
+    def _campaign(self, client):
+        for subnet_index in range(2):
+            for host in range(1, 4):
+                client.observe_interface(
+                    Observation(
+                        source="fed-test",
+                        ip=_ip(subnet_index, host),
+                        subnet_mask="255.255.255.0",
+                    )
+                )
+
+    def test_conclusions_match_single_journal_run(self):
+        state = {"now": 0.0}
+        clock = lambda: state["now"]  # noqa: E731
+
+        single = Journal(clock=clock)
+        fleet = [Journal(clock=clock) for _ in range(3)]
+        router = ShardedClient([LocalClient(j) for j in fleet])
+
+        state["now"] = 1.0
+        self._campaign(LocalClient(single))
+        self._campaign(router)
+
+        from repro.core import Correlator
+
+        state["now"] = 2.0
+        Correlator(single).correlate()
+        federated = FederatedCorrelator(router)
+        federated.correlate()
+
+        # The correlator's conclusions (subnet records inferred from
+        # masks, membership links) written back through the router leave
+        # the fleet holding what the single-journal run holds.
+        assert (
+            router.snapshot().identity_state() == single.identity_state()
+        )
+
+    def test_writeback_is_idempotent(self):
+        state = {"now": 1.0}
+        clock = lambda: state["now"]  # noqa: E731
+        fleet = [Journal(clock=clock) for _ in range(2)]
+        router = ShardedClient([LocalClient(j) for j in fleet])
+        self._campaign(router)
+        federated = FederatedCorrelator(router)
+        state["now"] = 2.0
+        federated.correlate()
+        before = router.snapshot().identity_state()
+        state["now"] = 3.0
+        federated.correlate()
+        assert router.snapshot().identity_state() == before
+
+
+def _free_shard_ips():
+    """Two /24s that land on different shards of a 2-way map, so the
+    crash test can target each shard deliberately."""
+    shard_map = ShardMap(2)
+    by_shard = {}
+    for third in range(1, 200):
+        base = f"10.77.{third}"
+        by_shard.setdefault(shard_map.shard_for_ip(base + ".1"), base)
+        if len(by_shard) == 2:
+            return by_shard[0], by_shard[1]
+    raise AssertionError("no pair of subnets split across 2 shards")
+
+
+class TestShardCrashRecovery:
+    def _spawn_shard(self, index, base_dir, port=0):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH")) if p
+        )
+        child = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--shard", f"{index}/2",
+                "--durable", str(base_dir),
+                "--fsync", "always",
+                "--port", str(port),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            line = child.stdout.readline().decode()
+            match = re.search(r"listening on [\d.]+:(\d+)", line)
+            if match:
+                return child, int(match.group(1))
+        child.kill()
+        raise AssertionError(f"shard {index} never reported its port")
+
+    def test_sigkilled_shard_recovers_from_own_wal(self, tmp_path):
+        shard0_ip, shard1_ip = _free_shard_ips()
+        children = {}
+        try:
+            children[0], port0 = self._spawn_shard(0, tmp_path)
+            children[1], port1 = self._spawn_shard(1, tmp_path)
+            retry = {
+                "timeout": 5.0,
+                "reconnect_attempts": 1,
+                "reconnect_backoff": 0.05,
+            }
+            router = connect(
+                f"shard://127.0.0.1:{port0},127.0.0.1:{port1}", retry=retry
+            )
+            router.observe_interface(
+                Observation(source="crash", ip=shard0_ip + ".1")
+            )
+            router.observe_interface(
+                Observation(source="crash", ip=shard1_ip + ".1")
+            )
+            assert len(router.all_interfaces()) == 2
+            assert not router.partial
+
+            # Kill shard 1 dead: no flush, no shutdown hook.
+            children[1].kill()
+            children[1].wait(timeout=30)
+            assert children[1].returncode == -signal.SIGKILL
+
+            # Scatter reads degrade: live shard's data plus the flag.
+            survivors = router.all_interfaces()
+            assert [r.ip for r in survivors] == [shard0_ip + ".1"]
+            assert router.partial
+            assert router.missing_shards == [1]
+            # A routed read on the dead shard fails like a plain client.
+            with pytest.raises(ConnectionError):
+                router.interfaces_by_ip(shard1_ip + ".1")
+            # A write routed to the dead shard inherits RemoteClient
+            # reconnect-with-replay: parked for the outage, answered
+            # with a provisional record (the -1 id passes through the
+            # global-id codec untranslated).
+            parked, _changed = router.observe_interface(
+                Observation(source="crash", ip=shard1_ip + ".2")
+            )
+            assert parked.record_id == -1
+            # The live shard keeps taking writes.
+            router.observe_interface(
+                Observation(source="crash", ip=shard0_ip + ".2")
+            )
+
+            # Each shard owns its own WAL directory under the base.
+            assert list((tmp_path / "shard-1").glob("wal-*.log"))
+
+            # Restart shard 1 from its own WAL; the router's reconnect
+            # loop replays the next write without a new client.
+            children[1], port1b = self._spawn_shard(1, tmp_path, port=port1)
+            deadline = time.monotonic() + 30.0
+            recovered = None
+            while time.monotonic() < deadline:
+                try:
+                    recovered = router.interfaces_by_ip(shard1_ip + ".1")
+                    break
+                except ConnectionError:
+                    time.sleep(0.2)
+            assert recovered is not None, "router never reconnected"
+            # The SIGKILLed write survived in the shard's WAL.
+            assert [r.ip for r in recovered] == [shard1_ip + ".1"]
+            # Reconnecting replays the outage-parked write.
+            router.flush()
+            router.observe_interface(
+                Observation(source="crash", ip=shard1_ip + ".3")
+            )
+            everything = router.all_interfaces()
+            assert not router.partial
+            assert sorted(r.ip for r in everything) == sorted(
+                [
+                    shard0_ip + ".1",
+                    shard0_ip + ".2",
+                    shard1_ip + ".1",
+                    shard1_ip + ".2",
+                    shard1_ip + ".3",
+                ]
+            )
+            router.close()
+        finally:
+            for child in children.values():
+                if child.poll() is None:
+                    child.kill()
+                    child.wait(timeout=30)
+
+    def test_handshake_rejects_misordered_fleet(self, tmp_path):
+        children = []
+        try:
+            child0, port0 = self._spawn_shard(0, tmp_path)
+            children.append(child0)
+            child1, port1 = self._spawn_shard(1, tmp_path)
+            children.append(child1)
+            with pytest.raises(ValueError, match="shard"):
+                connect(f"shard://127.0.0.1:{port1},127.0.0.1:{port0}")
+            router = connect(f"shard://127.0.0.1:{port0},127.0.0.1:{port1}")
+            assert router.counts()["interfaces"] == 0
+            router.close()
+        finally:
+            for child in children:
+                if child.poll() is None:
+                    child.kill()
+                    child.wait(timeout=30)
