@@ -1,0 +1,291 @@
+"""Perf benchmark: replica failover — promotion latency and acked-write
+safety under primary loss.
+
+The federation layer makes a shard's *capacity* redundant; `core/failover`
+makes its *availability* redundant.  A standby `JournalServer` tails its
+primary through the replication path, and a `FailoverClient` promotes the
+freshest standby — with epoch fencing — when the primary dies.  The two
+numbers a deployment plans around are measured here:
+
+* **Promotion latency** — the unavailability window an ingest client
+  observes when the primary vanishes mid-stream: from the first failed
+  write to the first write acknowledged by the promoted standby.  Each
+  trial builds a fresh primary + standby pair, streams writes until the
+  standby is caught up, drops the primary, and times the gap.  The run
+  reports p50/p99 across trials.
+* **Steady-state replication lag** — how far the standby trails a
+  primary under continuous ingest (sampled per acked write, in
+  revisions), and how long it takes to drain to zero once the stream
+  stops.
+
+Every trial also enforces the acknowledged-write guarantee: each write
+acked after the kill carries a real record id (no provisional ``-1``),
+and the promoted standby's ``identity_state()`` must equal a fault-free
+single-journal run of the same stream — zero acked-write loss, verified
+record for record.
+
+``--check`` gates: promotion p99 < 2 s, zero acked-write loss, and
+identity equivalence in every trial (quick and full runs alike).
+
+Results land in ``BENCH_failover.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_failover.py
+    PYTHONPATH=src python benchmarks/bench_perf_failover.py --quick --check
+
+(Not a pytest module: run it directly.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.core import (  # noqa: E402
+    FailoverClient,
+    Journal,
+    JournalServer,
+    Observation,
+    StandbyReplica,
+)
+
+SOURCE = "bench-failover"
+PROMOTION_GATE_S = 2.0
+
+
+def build_stream(count: int) -> List[Observation]:
+    return [
+        Observation(
+            source=SOURCE,
+            ip="10.70.{}.{}".format((index // 250) % 250, index % 250 + 1),
+            mac="08:00:2b:70:{:02x}:{:02x}".format(
+                (index >> 8) & 0xFF, index & 0xFF
+            ),
+            subnet_mask="255.255.255.0" if index % 3 == 0 else None,
+        )
+        for index in range(count)
+    ]
+
+
+def oracle_state(stream: List[Observation]):
+    journal = Journal()
+    for observation in stream:
+        journal.submit(observation)
+    return journal.identity_state()
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile; with few samples p99 degrades to max,
+    which is the conservative direction for a latency gate."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def wait_replicated(standby: StandbyReplica, revision: int,
+                    timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if standby.replicated_revision >= revision and standby.lag == 0:
+            return
+        time.sleep(0.01)
+    raise RuntimeError(
+        f"standby never replicated revision {revision} "
+        f"(at {standby.replicated_revision}, lag {standby.lag})"
+    )
+
+
+def measure_promotion(*, pre_writes: int, post_writes: int) -> Dict[str, object]:
+    """One kill trial: stream through a failover client, drop the
+    primary mid-stream, time the unavailability window, and verify the
+    promoted standby holds every acknowledged write."""
+    stream = build_stream(pre_writes + post_writes)
+    primary = JournalServer(Journal(), port=0)
+    primary.start()
+    standby: Optional[StandbyReplica] = None
+    client: Optional[FailoverClient] = None
+    try:
+        standby = StandbyReplica(primary.address, poll_interval=0.05)
+        standby.start()
+        client = FailoverClient([primary.address, standby.address])
+
+        acked = 0
+        for observation in stream[:pre_writes]:
+            record, _changed = client.resolve(observation)
+            if record.record_id != -1:
+                acked += 1
+        # Catch the standby up before the kill so the only write at risk
+        # is the in-flight one the client must carry across the seat.
+        wait_replicated(standby, pre_writes)
+
+        primary.stop()
+        started = time.perf_counter()
+        record, _changed = client.resolve(stream[pre_writes])
+        promotion_s = time.perf_counter() - started
+        if record.record_id != -1:
+            acked += 1
+
+        for observation in stream[pre_writes + 1:]:
+            record, _changed = client.resolve(observation)
+            if record.record_id != -1:
+                acked += 1
+        client.flush()
+
+        identity_match = (
+            standby.journal.identity_state() == oracle_state(stream)
+        )
+        return {
+            "writes": len(stream),
+            "acked": acked,
+            "acked_write_loss": len(stream) - acked,
+            "promotion_s": round(promotion_s, 4),
+            "promoted_role": standby.role,
+            "epoch": client.epoch,
+            "identity_state_matches": identity_match,
+        }
+    finally:
+        if client is not None:
+            client.close()
+        if standby is not None:
+            standby.stop()
+        primary.stop()
+
+
+def measure_steady_lag(*, writes: int) -> Dict[str, object]:
+    """Continuous ingest against a replicated pair: per-write lag
+    samples plus the drain time after the stream stops."""
+    stream = build_stream(writes)
+    primary = JournalServer(Journal(), port=0)
+    primary.start()
+    standby: Optional[StandbyReplica] = None
+    client: Optional[FailoverClient] = None
+    try:
+        standby = StandbyReplica(primary.address, poll_interval=0.05)
+        standby.start()
+        client = FailoverClient([primary.address, standby.address])
+
+        lags: List[int] = []
+        started = time.perf_counter()
+        for observation in stream:
+            client.resolve(observation)
+            lags.append(standby.lag)
+        ingest_s = time.perf_counter() - started
+
+        drain_started = time.perf_counter()
+        wait_replicated(standby, writes)
+        drain_s = time.perf_counter() - drain_started
+        return {
+            "writes": writes,
+            "writes_per_sec": round(writes / ingest_s, 1) if ingest_s else None,
+            "lag_mean": round(sum(lags) / len(lags), 2),
+            "lag_max": max(lags),
+            "drain_s": round(drain_s, 4),
+        }
+    finally:
+        if client is not None:
+            client.close()
+        if standby is not None:
+            standby.stop()
+        primary.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small run for CI smoke testing")
+    parser.add_argument("--trials", type=int, default=10,
+                        help="kill trials for the promotion distribution")
+    parser.add_argument("--writes", type=int, default=40,
+                        help="writes on each side of the kill, per trial")
+    parser.add_argument("--lag-writes", type=int, default=500,
+                        help="writes for the steady-state lag measurement")
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"fail unless promotion p99 < {PROMOTION_GATE_S} s, no trial "
+        "loses an acknowledged write, and every trial's end state matches "
+        "the fault-free run",
+    )
+    parser.add_argument("--output", default="BENCH_failover.json",
+                        help="result file path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.trials = min(args.trials, 3)
+        args.writes = min(args.writes, 15)
+        args.lag_writes = min(args.lag_writes, 120)
+
+    trials: List[Dict[str, object]] = []
+    for index in range(args.trials):
+        print(f"kill trial {index + 1}/{args.trials} ...", end=" ", flush=True)
+        trial = measure_promotion(
+            pre_writes=args.writes, post_writes=args.writes
+        )
+        trials.append(trial)
+        print(
+            f"promotion {trial['promotion_s'] * 1000:7.1f} ms, "
+            f"loss {trial['acked_write_loss']}, "
+            f"identity={trial['identity_state_matches']}"
+        )
+
+    promotions = [trial["promotion_s"] for trial in trials]
+    p50 = round(percentile(promotions, 0.50), 4)
+    p99 = round(percentile(promotions, 0.99), 4)
+    total_loss = sum(trial["acked_write_loss"] for trial in trials)
+    all_match = all(trial["identity_state_matches"] for trial in trials)
+    print(f"promotion p50 {p50 * 1000:.1f} ms, p99 {p99 * 1000:.1f} ms; "
+          f"acked-write loss {total_loss}")
+
+    print(f"steady-state lag over {args.lag_writes} writes ...",
+          end=" ", flush=True)
+    steady = measure_steady_lag(writes=args.lag_writes)
+    print(f"mean {steady['lag_mean']} rev, max {steady['lag_max']} rev, "
+          f"drain {steady['drain_s'] * 1000:.1f} ms")
+
+    result = {
+        "benchmark": "replica failover: promotion latency + acked-write safety",
+        "quick": args.quick,
+        "trials": trials,
+        "promotion": {
+            "p50_s": p50,
+            "p99_s": p99,
+            "gate_s": PROMOTION_GATE_S,
+        },
+        "acked_write_loss": total_loss,
+        "identity_state_matches": all_match,
+        "steady_state": steady,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = []
+        if p99 >= PROMOTION_GATE_S:
+            failures.append(
+                f"promotion p99 {p99}s >= {PROMOTION_GATE_S}s gate"
+            )
+        if total_loss:
+            failures.append(f"{total_loss} acknowledged write(s) lost")
+        if not all_match:
+            failures.append(
+                "end state diverged from the fault-free run"
+            )
+        if failures:
+            raise SystemExit("FAIL: " + "; ".join(failures))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -262,6 +262,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_promote(args: argparse.Namespace) -> int:
+    """Manually promote a replica to primary (see README 'Failover'
+    runbook).  The promotion moves the shard's fencing epoch forward;
+    ex-primaries still running at the old epoch reject stamped writes
+    and step down on first contact with a current client."""
+    from .core import RemoteClient
+
+    host, _sep, port = args.address.rpartition(":")
+    with RemoteClient(host or "127.0.0.1", int(port)) as client:
+        before = client.replica_info() or {}
+        epoch = client.promote(args.epoch)
+        print(
+            f"promoted {args.address}: {before.get('role', 'unknown')} "
+            f"(epoch {before.get('epoch', 0)}) -> primary (epoch {epoch})"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -298,7 +316,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal = Journal.load_or_empty(args.journal, clock=time.time)
     else:
         journal = Journal(clock=time.time)
-    if args.transport == "threaded":
+    replica = None
+    if args.standby_of:
+        from repro.core import StandbyReplica
+
+        replica = StandbyReplica(
+            args.standby_of,
+            journal=journal,
+            store=store,
+            host=args.host,
+            port=args.port,
+            server_options={"max_workers": args.workers},
+        )
+        server = replica.server
+    elif args.transport == "threaded":
         from repro.core import ThreadedJournalServer
 
         server = ThreadedJournalServer(journal, host=args.host, port=args.port)
@@ -309,16 +340,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server.persist_path = args.persist
     if shard_identity is not None:
         server.dispatcher.shard_identity = shard_identity
-    server.start()
+    if replica is not None:
+        replica.start()
+    else:
+        server.start()
     host, port = server.address
     shard_note = (
         f" [shard {shard_identity['index']}/{shard_identity['shards']}]"
         if shard_identity is not None
         else ""
     )
+    standby_note = (
+        f" [standby of {replica.primary_address[0]}:{replica.primary_address[1]},"
+        f" epoch {replica.epoch}]"
+        if replica is not None
+        else ""
+    )
     print(
         f"journal server ({args.transport}) listening on {host}:{port}"
-        f"{shard_note} (ctrl-c to stop)"
+        f"{shard_note}{standby_note} (ctrl-c to stop)"
     )
     exporter = None
     if args.metrics_port is not None:
@@ -331,14 +371,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_host, metrics_port = exporter.address
         print(f"prometheus metrics on http://{metrics_host}:{metrics_port}/metrics")
     try:
+        announced_promotion = False
         while True:
             time.sleep(1.0)
+            if (
+                replica is not None
+                and not announced_promotion
+                and replica.role == "primary"
+            ):
+                announced_promotion = True
+                print(f"promoted to primary (epoch {replica.epoch})")
     except KeyboardInterrupt:
         pass
     finally:
         if exporter is not None:
             exporter.stop()
-        server.stop()
+        if replica is not None:
+            replica.stop()
+        else:
+            server.stop()
         if store is not None:
             store.close()
     return 0
@@ -350,12 +401,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     column per shard and a totals column."""
     import time
 
-    from .core.client import parse_targets
+    from .core.client import RemoteClient, parse_replica_targets
     from .core.telemetry import render_fleet_stats, render_stats
 
-    targets = [target for spec in args.address for target in parse_targets(spec)]
-    if len(targets) == 1:
-        host, port = targets[0]
+    groups = [
+        group for spec in args.address for group in parse_replica_targets(spec)
+    ]
+    if len(groups) == 1 and len(groups[0]) == 1:
+        host, port = groups[0][0]
         with connect(f"{host}:{port}") as client:
             try:
                 while True:
@@ -370,12 +423,46 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             except KeyboardInterrupt:
                 return 0
 
-    names = [f"{host}:{port}" for host, port in targets]
-    clients = [connect(f"{host}:{port}") for host, port in targets]
+    # A fleet: one column per shard.  Each shard is asked via the first
+    # member of its replica group that answers; a fully unreachable
+    # shard keeps its column as an explicit DOWN row (with the epoch it
+    # was last seen at) instead of silently dropping out of the table.
+    names = [f"{group[0][0]}:{group[0][1]}" for group in groups]
+    last_epoch = [0] * len(groups)
+
+    def probe_group(index):
+        """(snapshot, down) for shard *index* via any live member."""
+        for host, port in groups[index]:
+            client = None
+            try:
+                client = RemoteClient(
+                    host, port, timeout=2.0, reconnect_attempts=1
+                )
+                info = client.replica_info() or {}
+                last_epoch[index] = max(
+                    last_epoch[index], int(info.get("epoch", 0))
+                )
+                return client.metrics(spans=0), False
+            except (OSError, ConnectionError, TimeoutError, RuntimeError):
+                continue
+            finally:
+                if client is not None:
+                    try:
+                        client.close()
+                    except (OSError, ConnectionError):
+                        pass
+        return {}, True
+
     try:
         while True:
-            snapshots = [client.metrics(spans=0) for client in clients]
-            text = render_fleet_stats(snapshots, names)
+            snapshots = []
+            down = {}
+            for index in range(len(groups)):
+                snapshot, is_down = probe_group(index)
+                snapshots.append(snapshot)
+                if is_down:
+                    down[index] = last_epoch[index]
+            text = render_fleet_stats(snapshots, names, down=down)
             if not args.watch:
                 print(text)
                 return 0
@@ -383,9 +470,6 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
-    finally:
-        for client in clients:
-            client.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -497,7 +581,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for Journal ops on the async transport "
         "(default: %(default)s)",
     )
+    serve.add_argument(
+        "--standby-of", default=None, metavar="HOST:PORT",
+        help="run as a hot-standby replica tailing this primary: serves "
+        "reads as a follower, rejects client writes, and is promotable "
+        "via 'fremont promote' (or automatically by failover-aware "
+        "clients); a non-empty local journal is handed back to the "
+        "primary on rejoin",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    promote = commands.add_parser(
+        "promote",
+        help="promote a replica to primary (moves the fencing epoch)",
+    )
+    promote.add_argument("address", help="host:port of the replica to promote")
+    promote.add_argument(
+        "--epoch", type=int, default=None,
+        help="explicit new fencing epoch (default: the server picks its "
+        "own epoch + 1); must be beyond every epoch the shard has seen",
+    )
+    promote.set_defaults(func=_cmd_promote)
 
     stats = commands.add_parser(
         "stats", help="live telemetry from a running Journal Server"
@@ -505,8 +609,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "address", nargs="*", default=["127.0.0.1:3856"],
         help="host:port of the server (default: %(default)s); several "
-        "targets (or one shard://h1:p1,h2:p2 list) render a merged "
-        "per-shard table with totals",
+        "targets (or one shard://h1:p1|r1:q1,h2:p2 replica list) render "
+        "a merged per-shard table with totals — unreachable shards show "
+        "as an explicit 'DOWN (epoch N)' status cell",
     )
     stats.add_argument("--watch", action="store_true",
                        help="repaint continuously until interrupted")

@@ -8,12 +8,16 @@ from .client import (
     QueryCache,
     RemoteChangeFeed,
     RemoteClient,
+    ReplyTimeout,
     connect,
+    format_replica_targets,
     format_targets,
+    parse_replica_targets,
     parse_targets,
 )
 from .correlate import Correlator, FederatedCorrelator
 from .durability import JournalStore, RecoveryReport, shard_store_path
+from .failover import FailoverClient, StandbyReplica
 from .inquiry import NetworkPicture
 from .journal import (
     FeedSubscription,
@@ -34,6 +38,7 @@ from .records import (
 from .replicate import FederatedView, JournalReplicator
 from .server import JournalDispatcher, JournalServer, ThreadedJournalServer
 from .shard import (
+    ShardFlushError,
     ShardMap,
     ShardedChangeFeed,
     ShardedClient,
@@ -60,6 +65,7 @@ __all__ = [
     "BatchingSink",
     "Correlator",
     "DiscoveryManager",
+    "FailoverClient",
     "FederatedCorrelator",
     "FederatedView",
     "FeedSubscription",
@@ -86,17 +92,22 @@ __all__ = [
     "RecoveryReport",
     "RemoteChangeFeed",
     "RemoteClient",
+    "ReplyTimeout",
+    "ShardFlushError",
     "ShardMap",
     "ShardedChangeFeed",
     "ShardedClient",
     "Span",
+    "StandbyReplica",
     "SubnetRecord",
     "ThreadedJournalServer",
     "VectorCursor",
     "connect",
+    "format_replica_targets",
     "format_targets",
     "global_id",
     "parse_prometheus",
+    "parse_replica_targets",
     "parse_shard_spec",
     "parse_targets",
     "render_fleet_stats",

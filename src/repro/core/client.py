@@ -29,6 +29,7 @@ per-request read timeout.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from collections import OrderedDict
@@ -47,10 +48,36 @@ __all__ = [
     "RemoteChangeFeed",
     "QueryCache",
     "PendingReply",
+    "ReplyTimeout",
     "connect",
     "parse_targets",
+    "parse_replica_targets",
     "format_targets",
+    "format_replica_targets",
 ]
+
+
+class ReplyTimeout(TimeoutError):
+    """A pipelined request missed its per-reply read deadline.
+
+    Subclasses :class:`TimeoutError`, so existing ``except
+    TimeoutError`` callers keep working; failover-aware callers treat
+    it (alongside :class:`ConnectionError`) as a health signal against
+    the server that went quiet."""
+
+
+def _raise_server_error(response: Dict[str, Any]) -> None:
+    """Turn an ``ok: false`` response into the right exception: a
+    :class:`~repro.core.wire.FencedError` when the server rejected the
+    request through epoch fencing, a plain RuntimeError otherwise."""
+    message = f"journal server error: {response.get('error')}"
+    if response.get("fenced"):
+        raise wire.FencedError(
+            message,
+            epoch=response.get("epoch", 0),
+            role=response.get("role", ""),
+        )
+    raise RuntimeError(message)
 
 
 class LocalClient(DirectSinkMixin):
@@ -127,6 +154,9 @@ class LocalClient(DirectSinkMixin):
         return self.journal.ensure_gateway(
             source=source, name=name, interface_ids=interface_ids
         )
+
+    def rename_gateway(self, record_id: int, name: str, *, source: str) -> bool:
+        return self.journal.rename_gateway(record_id, name, source=source)
 
     def link_gateway_subnet(self, gateway_id: int, subnet_key: str, *, source: str) -> bool:
         return self.journal.link_gateway_subnet(gateway_id, subnet_key, source=source)
@@ -263,7 +293,7 @@ class PendingReply:
         effective = self._timeout if timeout == -1.0 else timeout
         response = self._client._wait(self._rid, effective)
         if not response.get("ok"):
-            raise RuntimeError(f"journal server error: {response.get('error')}")
+            _raise_server_error(response)
         return response
 
 
@@ -327,10 +357,20 @@ class RemoteClient:
         reconnect_backoff: float = 0.1,
         reconnect_backoff_cap: float = 2.0,
         buffer_limit: int = 256,
+        fence_epoch: Optional[int] = None,
     ) -> None:
         self._host = host
         self._port = port
         self._timeout = timeout
+        #: when set, every write request is stamped with this fencing
+        #: epoch and the server rejects it unless the epochs agree —
+        #: see DESIGN.md §13.  Failover-aware callers keep it current;
+        #: plain clients leave it None and are never fenced by stamp.
+        self.fence_epoch = fence_epoch
+        #: per-client jitter source for reconnect backoff (thundering
+        #: herd: a restarted shard must not see every client's retry
+        #: land on the same tick)
+        self._rng = random.Random()
         #: per-reply read deadline (seconds; None disables)
         self._request_timeout = timeout if request_timeout is None else request_timeout
         self._reconnect_attempts = reconnect_attempts
@@ -416,12 +456,21 @@ class RemoteClient:
             pass
 
     def _reconnect(self) -> bool:
-        """Bounded reconnect with exponential backoff.  True on success."""
+        """Bounded reconnect with exponential backoff.  True on success.
+
+        Each sleep is scaled by a uniform [0.5, 1.5) jitter factor drawn
+        from a per-client RNG: when a shard restarts, its clients'
+        deterministic schedules would otherwise converge into one
+        thundering herd of simultaneous SYNs (and, once the server is
+        up, simultaneous replay bursts)."""
         self._disconnect()
         delay = self._reconnect_backoff
         for attempt in range(self._reconnect_attempts):
             if attempt:
-                time.sleep(min(delay, self._reconnect_backoff_cap))
+                time.sleep(
+                    min(delay, self._reconnect_backoff_cap)
+                    * (0.5 + self._rng.random())
+                )
                 delay *= 2.0
             try:
                 self._connect()
@@ -467,11 +516,19 @@ class RemoteClient:
         rids: List[int] = []
         tagged_requests: List[Dict[str, Any]] = []
         parts: List[bytes] = []
+        stamp = self.fence_epoch
         for request in requests:
             rid = self._next_id
             self._next_id += 1
             tagged = dict(request)
             tagged["id"] = rid
+            if (
+                stamp is not None
+                and "epoch" not in tagged
+                and tagged.get("op") not in wire.READ_OPS
+                and tagged.get("op") not in ("promote", "fence")
+            ):
+                tagged["epoch"] = int(stamp)
             rids.append(rid)
             tagged_requests.append(tagged)
             parts.append(wire.encode_message(tagged))
@@ -530,7 +587,7 @@ class RemoteClient:
                         self._c_timeouts.inc()
                         self._forget(rid)
                         self._disconnect()
-                        raise TimeoutError(
+                        raise ReplyTimeout(
                             f"no reply from journal server within {timeout}s"
                             f" (op {op!r})"
                         )
@@ -605,7 +662,7 @@ class RemoteClient:
             self._forget(rid)
             raise
         if not response.get("ok"):
-            raise RuntimeError(f"journal server error: {response.get('error')}")
+            _raise_server_error(response)
         self._c_replayed.inc(len(batch))
         # Only drop what was sent: a concurrent buffering caller may
         # have appended while the batch was in flight.
@@ -645,6 +702,49 @@ class RemoteClient:
         if self._pending:
             self._call(wire.batch_request([]))  # rides the _call flush path
         return self.replayed - before
+
+    def handoff(self) -> Tuple[List[Dict[str, Any]], int]:
+        """Surrender every unacknowledged write for replay elsewhere.
+
+        Returns ``(requests, coalesced_owed)``: parked requests plus
+        in-flight *writes* still awaiting a response, in send order,
+        with ``id``/``epoch`` stamps stripped so another connection can
+        re-send them under its own ids and fencing epoch.  In-flight
+        reads are dropped (nothing is lost by not re-asking) and their
+        waiters — like any waiter on this client — will fail; callers
+        performing a failover own that trade.  The client is left
+        disconnected with empty buffers, so a subsequent :meth:`close`
+        will not stall trying to reach the dead server."""
+        requests: List[Dict[str, Any]] = []
+        for tagged in self._inflight.values():
+            op = tagged.get("op")
+            if op in wire.READ_OPS or op in ("promote", "fence"):
+                continue
+            requests.append(
+                {k: v for k, v in tagged.items() if k not in ("id", "epoch")}
+            )
+        requests.extend(
+            {k: v for k, v in parked.items() if k not in ("id", "epoch")}
+            for parked in self._pending
+        )
+        owed = self._coalesced_owed
+        self._inflight.clear()
+        self._pending.clear()
+        self._results.clear()
+        self._sent_at.clear()
+        self._coalesced_owed = 0
+        self._disconnect()
+        return requests, owed
+
+    def adopt(self, requests: List[Dict[str, Any]], *, coalesced: int = 0) -> None:
+        """Park requests harvested from another client's :meth:`handoff`
+        ahead of this client's own buffer; they replay (as one batch,
+        stamped with this client's fencing epoch) before the next
+        request goes out.  Safe because every write op is an idempotent
+        merge: a request the dead server already applied re-applies as
+        a no-op."""
+        self._pending[:0] = requests
+        self._coalesced_owed += coalesced
 
     def settle(self, timeout: Optional[float] = -1.0) -> int:
         """Wait for every pipelined request still in flight (responses
@@ -792,6 +892,17 @@ class RemoteClient:
         )
         return wire.gateway_from_dict(response["record"]), response["changed"]
 
+    def rename_gateway(self, record_id: int, name: str, *, source: str) -> bool:
+        response = self._call(
+            {
+                "op": "rename_gateway",
+                "record_id": record_id,
+                "name": name,
+                "source": source,
+            }
+        )
+        return response["changed"]
+
     def link_gateway_subnet(self, gateway_id: int, subnet_key: str, *, source: str) -> bool:
         response = self._call(
             {
@@ -897,6 +1008,33 @@ class RemoteClient:
         refuse a mis-assembled fleet."""
         return wire.shard_info_from_dict(self._call({"op": "shard_info"}).get("shard"))
 
+    def replica_info(self) -> Optional[Dict[str, Any]]:
+        """The server's failover coordinates from the ``shard_info``
+        handshake: ``{"role", "epoch", "revision"}``.  None only when
+        talking to a peer that predates the failover protocol."""
+        return wire.replica_info_from_dict(
+            self._call({"op": "shard_info"}).get("replica")
+        )
+
+    def promote(self, epoch: Optional[int] = None) -> int:
+        """Seat this server as its shard's primary (the ``promote``
+        op).  *epoch* must move strictly forward; None asks the server
+        to bump its own epoch by one.  Returns the new epoch.  Raises
+        :class:`~repro.core.wire.FencedError` when the promotion loses
+        an epoch race."""
+        request: Dict[str, Any] = {"op": "promote"}
+        if epoch is not None:
+            request["epoch"] = int(epoch)
+        return int(self._call(request)["epoch"])
+
+    def fence(self, epoch: int) -> int:
+        """Demote a stale ex-primary (the ``fence`` op): after this the
+        server rejects every write — stamped or not — so clients that
+        missed the failover get hard errors instead of acknowledgements
+        into a journal nobody replicates.  Returns the server's
+        (updated) epoch."""
+        return int(self._call({"op": "fence", "epoch": int(epoch)})["epoch"])
+
     # -- replication -----------------------------------------------------------
 
     def interfaces_modified_since(self, when: float) -> List[InterfaceRecord]:
@@ -979,40 +1117,111 @@ class RemoteChangeFeed:
     :meth:`poll` issues a ``changes_since`` request on the same socket.
     Deltas stay correct either way (revision bookkeeping is identical);
     only the latency model changes.
+
+    A *dropped* stream is survived rather than surfaced: the feed
+    reconnects (bounded, jittered backoff) and re-subscribes from
+    :attr:`revision` — the cursor of the last delta actually delivered
+    — so the server replays everything past it as the new backlog.  A
+    flapping link therefore delays deltas but never duplicates or
+    skips one; each delta's ``since`` still equals the previous
+    delta's ``revision``.  Only when every resume attempt fails does
+    :meth:`poll` raise :class:`ConnectionError`.
     """
 
     def __init__(
-        self, host: str, port: int, *, since: int = 0, timeout: float = 10.0
+        self,
+        host: str,
+        port: int,
+        *,
+        since: int = 0,
+        timeout: float = 10.0,
+        reconnect_attempts: int = 5,
+        reconnect_backoff: float = 0.1,
+        reconnect_backoff_cap: float = 2.0,
     ) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_backoff = reconnect_backoff
+        self._reconnect_backoff_cap = reconnect_backoff_cap
+        self._rng = random.Random()
+        self._closed = False
+        self.frames_received = 0
+        #: reconnect-and-resubscribe cycles survived so far
+        self.resumes = 0
+        #: "push" until the server demotes us, then "polling"
+        self.mode = "push"
+        #: delivery cursor: every server change up to this revision has
+        #: been handed to the consumer (or predates the subscription).
+        #: Doubles as the resume point after a dropped stream.
+        self.revision = int(since)
+        #: server revision reported by the last subscribe handshake
+        self.server_revision = 0
+        self._subscribe()
+
+    def _subscribe(self) -> None:
+        """Open the stream socket and perform the subscribe handshake
+        from the current delivery cursor."""
+        self._socket = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
         self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # poll() manages its own deadlines via select(); the socket
         # itself must block so a frame is never torn mid-read.
         self._socket.settimeout(None)
         self._frames = wire.FrameReader(self._socket)
-        self._timeout = timeout
-        self._closed = False
-        self.frames_received = 0
-        #: "push" until the server demotes us, then "polling"
-        self.mode = "push"
         self._socket.sendall(
-            wire.encode_message({"op": "subscribe", "since": int(since)})
+            wire.encode_message({"op": "subscribe", "since": int(self.revision)})
         )
-        ack = self._read_frame(timeout)
+        try:
+            ack = self._frames.read(self._timeout)
+        except ConnectionError:
+            ack = None
         if ack is None:
-            self.close()
+            self._close_socket()
             raise ConnectionError("subscribe handshake timed out")
         if not ack.get("ok"):
-            self.close()
+            self._close_socket()
             raise ConnectionError(f"subscribe rejected: {ack.get('error')}")
-        #: server revision as of the last frame (handshake to start)
-        self.revision = int(ack.get("revision", 0))
+        self.server_revision = int(ack.get("revision", 0))
+
+    def _resume(self) -> None:
+        """The stream died mid-subscription: reconnect with bounded,
+        jittered backoff and re-subscribe from the delivery cursor."""
+        if self._closed:
+            raise ConnectionError("subscribe stream closed")
+        self._close_socket()
+        delay = self._reconnect_backoff
+        error: Optional[Exception] = None
+        for attempt in range(self._reconnect_attempts):
+            if attempt:
+                time.sleep(
+                    min(delay, self._reconnect_backoff_cap)
+                    * (0.5 + self._rng.random())
+                )
+                delay *= 2.0
+            try:
+                self._subscribe()
+            except (ConnectionError, OSError) as exc:
+                error = exc
+                continue
+            # The fresh subscription pushes again even if the old one
+            # had been demoted to polling.
+            self.mode = "push"
+            self.resumes += 1
+            return
+        raise ConnectionError(
+            f"subscribe stream to {self._host}:{self._port} lost and "
+            f"resume failed after {self._reconnect_attempts} attempt(s)"
+        ) from error
 
     def _read_frame(self, timeout: Optional[float]) -> Optional[Dict[str, Any]]:
         try:
             return self._frames.read(timeout)
         except ConnectionError:
-            raise ConnectionError("subscribe stream closed by server") from None
+            self._resume()
+            return self._frames.read(timeout)
 
     def poll(self, timeout: Optional[float] = 0.5) -> Optional[JournalChanges]:
         """The next delta, or None if nothing arrives within *timeout*
@@ -1044,9 +1253,17 @@ class RemoteChangeFeed:
         Straggler push frames (queued server-side before the demotion
         landed) are skipped — their changes are covered by the poll
         response's wider delta."""
-        self._socket.sendall(
-            wire.encode_message({"op": "changes_since", "since": int(self.revision)})
-        )
+        try:
+            self._socket.sendall(
+                wire.encode_message(
+                    {"op": "changes_since", "since": int(self.revision)}
+                )
+            )
+        except OSError:
+            # Resume re-subscribes in push mode; the replayed backlog
+            # covers the poll this send was asking for.
+            self._resume()
+            return self.poll(0.0)
         deadline = time.monotonic() + self._timeout
         while True:
             remaining = deadline - time.monotonic()
@@ -1077,14 +1294,17 @@ class RemoteChangeFeed:
                 return merged
             merged.merge(extra)
 
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+    def _close_socket(self) -> None:
         try:
             self._socket.close()
         except OSError:
             pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._close_socket()
 
     def __enter__(self) -> "RemoteChangeFeed":
         return self
@@ -1308,18 +1528,38 @@ def _parse_address(target: str) -> Tuple[str, int]:
 
 
 def parse_targets(spec: str) -> List[Tuple[str, int]]:
-    """Parse a (possibly multi-address) remote target string.
+    """Parse a (possibly multi-address) remote target string into a
+    flat address list.
 
-    Accepted forms: ``"host:port"``, ``"h1:p1,h2:p2,..."`` and the
-    explicit ``"shard://h1:p1,h2:p2"`` scheme.  Returns the parsed
-    ``(host, port)`` pairs in shard order; an empty host normalises to
-    ``127.0.0.1``.  Inverse of :func:`format_targets`.
+    Accepted forms: ``"host:port"``, ``"h1:p1,h2:p2,..."``, the
+    explicit ``"shard://h1:p1,h2:p2"`` scheme, and the replicated form
+    ``"shard://h1:p1|r1:q1,h2:p2|r2:q2"`` (``|`` separates a shard's
+    replicas).  Returns every addressed server in shard order,
+    primaries and replicas alike — the right view for fleet-wide
+    tooling like ``fremont stats``; routing keeps the grouping via
+    :func:`parse_replica_targets`.  An empty host normalises to
+    ``127.0.0.1``.
     """
+    return [
+        address for group in parse_replica_targets(spec) for address in group
+    ]
+
+
+def parse_replica_targets(spec: str) -> List[List[Tuple[str, int]]]:
+    """Parse a remote target string keeping the replica structure: one
+    address group per shard, the group's first address being the
+    preferred primary.  Inverse of :func:`format_replica_targets`."""
     body = spec[len("shard://"):] if spec.startswith("shard://") else spec
     parts = [part.strip() for part in body.split(",")]
     if not body or any(not part for part in parts):
         raise ValueError(f"malformed multi-address target: {spec!r}")
-    return [_parse_address(part) for part in parts]
+    groups: List[List[Tuple[str, int]]] = []
+    for part in parts:
+        members = [member.strip() for member in part.split("|")]
+        if any(not member for member in members):
+            raise ValueError(f"malformed replica list: {part!r} in {spec!r}")
+        groups.append([_parse_address(member) for member in members])
+    return groups
 
 
 def format_targets(addresses: Sequence[Tuple[str, int]]) -> str:
@@ -1333,10 +1573,46 @@ def format_targets(addresses: Sequence[Tuple[str, int]]) -> str:
     return f"shard://{rendered}" if len(addresses) > 1 else rendered
 
 
-def _is_remote_target(target) -> bool:
-    return isinstance(target, str) or (
-        isinstance(target, tuple) and len(target) == 2
+def format_replica_targets(groups: Sequence[Sequence[Tuple[str, int]]]) -> str:
+    """Render per-shard replica groups as a connect() target string —
+    ``shard://h1:p1|r1:q1,h2:p2|r2:q2``.  A single unreplicated group
+    renders as a bare ``host:port``."""
+    if not groups or any(not group for group in groups):
+        raise ValueError("no addresses to format")
+    rendered = ",".join(
+        "|".join(f"{host}:{int(port)}" for host, port in group)
+        for group in groups
     )
+    if len(groups) > 1 or any(len(group) > 1 for group in groups):
+        return f"shard://{rendered}"
+    return rendered
+
+
+def _is_remote_target(target) -> bool:
+    if isinstance(target, str):
+        return True
+    if isinstance(target, tuple) and len(target) == 2:
+        return True
+    # A replica group: a list of (host, port) addresses for one shard.
+    return (
+        isinstance(target, list)
+        and bool(target)
+        and all(
+            isinstance(member, tuple) and len(member) == 2 for member in target
+        )
+    )
+
+
+def _build_replicated_client(group, *, retry):
+    """One shard's client from its address group: a plain RemoteClient
+    for a single address, a FailoverClient over the replica set
+    otherwise."""
+    if len(group) == 1:
+        host, port = group[0]
+        return RemoteClient(host, int(port), **(retry or {}))
+    from .failover import FailoverClient
+
+    return FailoverClient(group, retry=retry)
 
 
 def _connect_sharded(targets, *, retry, telemetry, clock):
@@ -1349,8 +1625,11 @@ def _connect_sharded(targets, *, retry, telemetry, clock):
     targets = list(targets)
     if not targets:
         raise ValueError("a sharded connect() needs at least one target")
+    from .failover import FailoverClient
+
     remote_flags = [
-        _is_remote_target(target) or isinstance(target, RemoteClient)
+        _is_remote_target(target)
+        or isinstance(target, (RemoteClient, FailoverClient))
         for target in targets
     ]
     local_flags = [
@@ -1366,13 +1645,16 @@ def _connect_sharded(targets, *, retry, telemetry, clock):
     clients: List[Any] = []
     if all(remote_flags):
         for target in targets:
-            if isinstance(target, RemoteClient):
+            if isinstance(target, (RemoteClient, FailoverClient)):
                 clients.append(target)
+            elif isinstance(target, str):
+                (group,) = parse_replica_targets(target)
+                clients.append(_build_replicated_client(group, retry=retry))
+            elif isinstance(target, list):
+                group = [(host, int(port)) for host, port in target]
+                clients.append(_build_replicated_client(group, retry=retry))
             else:
-                if isinstance(target, str):
-                    host, port = _parse_address(target)
-                else:
-                    host, port = target[0], int(target[1])
+                host, port = target[0], int(target[1])
                 clients.append(RemoteClient(host, port, **(retry or {})))
     elif all(local_flags):
         if retry:
@@ -1432,9 +1714,12 @@ def connect(
     if isinstance(target, str):
         if target.startswith("shard://") or "," in target:
             client: ObservationSink = _connect_sharded(
-                parse_targets(target), retry=retry,
-                telemetry=telemetry, clock=clock,
+                [list(group) for group in parse_replica_targets(target)],
+                retry=retry, telemetry=telemetry, clock=clock,
             )
+        elif "|" in target:
+            (group,) = parse_replica_targets(target)
+            client = _build_replicated_client(group, retry=retry)
         else:
             host, port = _parse_address(target)
             client = RemoteClient(host, port, **(retry or {}))

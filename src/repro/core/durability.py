@@ -302,6 +302,7 @@ class JournalStore:
     """
 
     CHECKPOINT_NAME = "checkpoint.json"
+    EPOCH_NAME = "epoch.json"
 
     def __init__(
         self,
@@ -347,6 +348,32 @@ class JournalStore:
     @property
     def checkpoint_path(self) -> str:
         return os.path.join(self.directory, self.CHECKPOINT_NAME)
+
+    @property
+    def epoch_path(self) -> str:
+        return os.path.join(self.directory, self.EPOCH_NAME)
+
+    # -- fencing epoch ---------------------------------------------------
+
+    def read_epoch(self) -> int:
+        """The persisted fencing epoch (0 when never promoted/fenced).
+
+        Stored beside the checkpoint rather than inside it: the epoch
+        must survive a SIGKILL that races a checkpoint, and a resurrected
+        ex-primary must come back remembering how far the fleet had
+        moved when it last looked, so it cannot accept a stale client's
+        writes as if nothing happened."""
+        try:
+            with open(self.epoch_path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            return max(0, int(document["epoch"]))
+        except (OSError, ValueError, TypeError, KeyError):
+            return 0
+
+    def write_epoch(self, epoch: int) -> None:
+        """Durably record the fencing epoch (atomic replace + fsync:
+        an epoch acknowledged to the fleet must never roll back)."""
+        atomic_write_json(self.epoch_path, {"epoch": int(epoch)}, fsync=True)
 
     def _segment_path(self, seq: int) -> str:
         return os.path.join(self.directory, f"wal-{seq:08d}.log")

@@ -930,6 +930,16 @@ class Journal(DirectSinkMixin):
         changed = created
         if name is not None and gateway.set("name", name, now, source):
             changed = True
+        if name is not None:
+            # Two records claiming one gateway name are fragments of one
+            # device (the contract link_gateway_subnet relies on); fold
+            # any same-named siblings into the record we just chose.
+            for sibling in [
+                g
+                for g in list(self.gateways.values())
+                if g.name == name and g is not gateway
+            ]:
+                changed = self._merge_gateways(gateway, sibling, now) or changed
         for interface_id in interface_ids:
             other = self.gateway_for_interface(interface_id)
             if other is not None and other is not gateway:
@@ -949,6 +959,34 @@ class Journal(DirectSinkMixin):
         else:
             self._note_modified("gateway", gateway)
         return gateway, changed
+
+    def rename_gateway(self, record_id: int, name: str, *, source: str) -> bool:
+        """Rename one gateway record by id, folding any record already
+        holding the new name (two records claiming one name are
+        fragments of one device — the same rule ``ensure_gateway``
+        applies).  Returns False for an unknown id.
+
+        ``ensure_gateway`` can only address a gateway through a member
+        or its *current* name; this is the handle for a rename decided
+        elsewhere — a sharded router propagating a device rename to
+        fragments on other shards addresses them by record id."""
+        gateway = self.gateways.get(record_id)
+        if gateway is None:
+            return False
+        now = self.now
+        changed = gateway.set("name", name, now, source)
+        for sibling in [
+            g
+            for g in list(self.gateways.values())
+            if g.name == name and g is not gateway
+        ]:
+            changed = self._merge_gateways(gateway, sibling, now) or changed
+        if changed:
+            self._c_changes.inc()
+            self._touch("gateway", gateway)
+        else:
+            self._note_modified("gateway", gateway)
+        return changed
 
     def _merge_gateways(self, keeper: GatewayRecord, other: GatewayRecord, now: float) -> bool:
         """Two partial gateway records turn out to be one device."""

@@ -94,9 +94,24 @@ class JournalReplicator:
     See the module docstring for the revision-cursor protocol.
     """
 
-    def __init__(self, source, target, *, where: Optional[Predicate] = None) -> None:
+    def __init__(
+        self,
+        source,
+        target,
+        *,
+        where: Optional[Predicate] = None,
+        target_lock: Optional[Callable[[], Any]] = None,
+    ) -> None:
         self.source = source
         self.target = target
+        #: optional context-manager factory (e.g. a Journal Server RW
+        #: lock's ``write_locked``) entered around every target absorb.
+        #: A standby replica tails its primary into the very journal its
+        #: own server is serving reads from; without the lock a follower
+        #: read could observe a half-applied sync pass.  Source-side
+        #: queries run outside the lock — network reads must not stall
+        #: the target's readers.
+        self.target_lock = target_lock
         #: optional interface-scoping predicate (e.g. ``InSubnet``):
         #: ANDed with the revision cursor on the interfaces table and on
         #: gateway member resolution, so a shard-to-shard sync only
@@ -119,6 +134,13 @@ class JournalReplicator:
             "fremont_replication_gateways_skipped_total",
             "Gateways not replicated for lack of a target-side anchor",
         )
+
+    def _absorb(self, method, *args):
+        """One target absorb, under :attr:`target_lock` when set."""
+        if self.target_lock is None:
+            return method(*args)
+        with self.target_lock():
+            return method(*args)
 
     def _source_revision(self) -> int:
         """The source's current revision, client or bare Journal."""
@@ -155,7 +177,7 @@ class JournalReplicator:
         # Interfaces first: gateway membership translates through them.
         interface_map: Dict[int, int] = {}
         for foreign in self.source.query("interfaces", scoped(where)):
-            local, changed = self.target.absorb_interface(foreign)
+            local, changed = self._absorb(self.target.absorb_interface, foreign)
             interface_map[foreign.record_id] = local.record_id
             stats.interfaces_sent += 1
             stats.interfaces_changed += changed
@@ -178,7 +200,9 @@ class JournalReplicator:
             for member in self.source.query(
                 "interfaces", scoped(RecordIds(unresolved))
             ):
-                local, _changed = self.target.absorb_interface(member)
+                local, _changed = self._absorb(
+                    self.target.absorb_interface, member
+                )
                 interface_map[member.record_id] = local.record_id
         for foreign in gateways:
             if foreign.name is None and not any(
@@ -190,14 +214,16 @@ class JournalReplicator:
                 stats.gateways_skipped += 1
                 self._c_skipped.inc()
                 continue
-            local, changed = self.target.absorb_gateway(foreign, interface_map)
+            local, changed = self._absorb(
+                self.target.absorb_gateway, foreign, interface_map
+            )
             stats.gateways_sent += 1
             stats.gateways_changed += changed
 
         for foreign in self.source.query("subnets", where):
             if foreign.subnet is None:
                 continue
-            local, changed = self.target.absorb_subnet(foreign)
+            local, changed = self._absorb(self.target.absorb_subnet, foreign)
             stats.subnets_sent += 1
             stats.subnets_changed += changed
 

@@ -50,25 +50,11 @@ from .telemetry import DEPTH_BUCKETS, SIZE_BUCKETS
 
 __all__ = ["JournalDispatcher", "JournalServer", "ThreadedJournalServer"]
 
-#: ops that never mutate the Journal and therefore share the read lock.
-#: (negative_check may lazily evict an expired entry, but that eviction
-#: is idempotent and race-free — see Journal.negative_check.)
-_READ_OPS = frozenset(
-    {
-        "ping",
-        "counts",
-        "metrics",
-        "shard_info",
-        "get_interfaces",
-        "get_gateways",
-        "get_subnets",
-        "query",
-        "negative_check",
-        "changes_since",
-        "dump",
-        "save",
-    }
-)
+#: ops that never mutate the Journal and therefore share the read
+#: lock.  The set moved to wire.py (clients stamp fencing epochs onto
+#: exactly the complement); this alias keeps the dispatcher's call
+#: sites readable.
+_READ_OPS = wire.READ_OPS
 
 #: ops cheap enough to run on the event loop thread when the lock is
 #: free: O(1)-ish handlers that never serialise the whole journal and
@@ -136,7 +122,29 @@ class JournalDispatcher:
         #: server coalesces a burst of pipelined writes into one feed
         #: flush per loop tick instead of one delivery per write.
         self.publish_soon: Optional[Callable[[], None]] = None
+        #: failover coordinates.  Every server is a primary at epoch 0
+        #: until a standby tails it (role stays "primary") or it is
+        #: promoted/fenced.  Both fields are read and written only with
+        #: the write lock held (promote/fence are write ops).
+        self.role: str = "primary"
+        self.epoch: int = 0
+        #: hook called (write lock held) after a successful promote op:
+        #: ``on_promote(epoch, previous_role)`` — a StandbyReplica stops
+        #: its tail loop and persists the epoch here.
+        self.on_promote: Optional[Callable[[int, str], None]] = None
+        #: hook called (write lock held) after this server is fenced —
+        #: by an explicit ``fence`` op or by a write stamped with a
+        #: newer epoch: ``on_fence(epoch, previous_role)``.
+        self.on_fence: Optional[Callable[[int, str], None]] = None
         self.telemetry = journal.telemetry
+        self._g_epoch = self.telemetry.gauge(
+            "fremont_failover_epoch",
+            "Fencing epoch this server last accepted (0 = never promoted/fenced)",
+        )
+        self._c_fenced = self.telemetry.counter(
+            "fremont_server_fenced_writes_total",
+            "Writes rejected by epoch fencing (stale stamp, standby, or fenced role)",
+        )
         self._c_requests = self.telemetry.counter(
             "fremont_server_requests_total", "Requests dispatched by the Journal Server"
         )
@@ -212,6 +220,9 @@ class JournalDispatcher:
                 time.perf_counter() - waited_from
             )
             self._c_requests.inc()
+            rejection = self._fence_reject(op, request)
+            if rejection is not None:
+                return rejection
             response = handler(request)
             self._after_write(op)
             return response
@@ -229,6 +240,70 @@ class JournalDispatcher:
             store = self.journal.durability
             if store is not None and store.due():
                 store.checkpoint()
+
+    def _fence_reject(self, op, request) -> Optional[Dict[str, Any]]:
+        """Epoch-fencing gate, run with the write lock held before any
+        write handler.  Returns the rejection response, or None to let
+        the write proceed.
+
+        Three ways a write dies here: the server is a standby (read-only
+        follower), the server has been fenced (demoted ex-primary — even
+        unstamped writes are refused, so a zombie's clients cannot lose
+        acknowledged data into a journal nobody tails), or the request
+        carries an epoch stamp that disagrees with ours.  A stamp *newer*
+        than our epoch means the fleet moved on without us: step down
+        before rejecting, so the very first post-partition write from a
+        current client permanently fences this zombie."""
+        if op == "promote" or op == "fence":
+            return None
+        if self.role == "standby":
+            self._c_fenced.inc()
+            return self._fenced_response(
+                f"standby follower (epoch {self.epoch}) is read-only"
+            )
+        if self.role == "fenced":
+            self._c_fenced.inc()
+            return self._fenced_response(
+                f"fenced ex-primary (epoch {self.epoch}) rejects writes"
+            )
+        stamp = request.get("epoch")
+        if stamp is None:
+            return None
+        try:
+            stamp = int(stamp)
+        except (TypeError, ValueError):
+            raise wire.WireError(f"malformed epoch stamp: {stamp!r}") from None
+        if stamp == self.epoch:
+            return None
+        self._c_fenced.inc()
+        if stamp < self.epoch:
+            return self._fenced_response(
+                f"request epoch {stamp} behind server epoch {self.epoch}"
+            )
+        self._step_down(stamp)
+        return self._fenced_response(
+            f"server epoch behind request epoch {stamp}; stepping down"
+        )
+
+    def _fenced_response(self, message: str) -> Dict[str, Any]:
+        return {
+            "ok": False,
+            "fenced": True,
+            "epoch": self.epoch,
+            "role": self.role,
+            "error": f"fenced: {message}",
+        }
+
+    def _step_down(self, epoch: int) -> None:
+        """Demote to the fenced role (write lock held).  *epoch* is the
+        fleet epoch that superseded us; recording it lets operators see
+        `DOWN (epoch N)` with the epoch that did the fencing."""
+        previous = self.role
+        self.epoch = max(self.epoch, int(epoch))
+        self.role = "fenced"
+        self._g_epoch.set(self.epoch)
+        if self.on_fence is not None:
+            self.on_fence(self.epoch, previous)
 
     def dispatch_inline(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         """Non-blocking fast path for the event loop thread: run the
@@ -264,6 +339,10 @@ class JournalDispatcher:
                 sample = self._op_samples[op] = self._h_op.labels(op=op)
             started = time.perf_counter()
             self._c_requests.inc()
+            if not read:
+                rejection = self._fence_reject(op, request)
+                if rejection is not None:
+                    return rejection
             response = handler(request)
             if not read:
                 self._after_write(op)
@@ -488,6 +567,14 @@ class JournalDispatcher:
         )
         return {"ok": True, "changed": changed, "record": wire.gateway_to_dict(record)}
 
+    def _op_rename_gateway(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        changed = self.journal.rename_gateway(
+            request["record_id"],
+            request["name"],
+            source=request.get("source", "remote"),
+        )
+        return {"ok": True, "changed": changed}
+
     def _op_link_gateway_subnet(self, request: Dict[str, Any]) -> Dict[str, Any]:
         changed = self.journal.link_gateway_subnet(
             request["gateway_id"],
@@ -521,7 +608,63 @@ class JournalDispatcher:
     def _op_shard_info(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Federation handshake: which shard of which map this server
         is, or ``shard: None`` when it is not part of a fleet."""
-        return {"ok": True, "shard": wire.shard_info_to_dict(self.shard_identity)}
+        return {
+            "ok": True,
+            "shard": wire.shard_info_to_dict(self.shard_identity),
+            "replica": wire.replica_info_to_dict(
+                self.role, self.epoch, self.journal.revision
+            ),
+        }
+
+    def _op_promote(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Seat this server as the shard's primary at a new epoch.
+
+        Promotion must move the epoch strictly forward: a promote at or
+        behind the current epoch is itself fenced (two routers racing to
+        promote different standbys cannot both win — the loser's stamp
+        is stale the moment it arrives).  Re-promoting the sitting
+        primary at its own epoch is an idempotent no-op."""
+        stamp = request.get("epoch")
+        epoch = self.epoch + 1 if stamp is None else int(stamp)
+        if epoch == self.epoch and self.role == "primary":
+            return {"ok": True, "epoch": self.epoch, "role": "primary",
+                    "previous_role": "primary"}
+        if epoch <= self.epoch:
+            self._c_fenced.inc()
+            return self._fenced_response(
+                f"promote to epoch {epoch} not beyond current epoch {self.epoch}"
+            )
+        previous = self.role
+        self.epoch = epoch
+        self.role = "primary"
+        self._g_epoch.set(epoch)
+        if self.on_promote is not None:
+            self.on_promote(epoch, previous)
+        return {"ok": True, "epoch": epoch, "role": "primary",
+                "previous_role": previous}
+
+    def _op_fence(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Demote a stale ex-primary (or standby) out of the write path.
+
+        Routers fence the loser after a promotion so that clients which
+        never saw the failover get hard rejections instead of silently
+        acknowledged writes into a journal nobody replicates.  Fencing
+        the rightful primary requires a strictly newer epoch."""
+        epoch = int(request.get("epoch", 0))
+        if self.role == "primary" and epoch <= self.epoch:
+            return {
+                "ok": False,
+                "epoch": self.epoch,
+                "role": self.role,
+                "error": (
+                    f"fence epoch {epoch} not beyond sitting primary "
+                    f"epoch {self.epoch}"
+                ),
+            }
+        previous = self.role
+        self._step_down(epoch)
+        return {"ok": True, "epoch": self.epoch, "role": "fenced",
+                "previous_role": previous}
 
     def _op_counts(self, request: Dict[str, Any]) -> Dict[str, Any]:
         # counts() carries the journal revision, so remote clients can

@@ -59,10 +59,36 @@ __all__ = [
     "VectorCursor",
     "ShardedClient",
     "ShardedChangeFeed",
+    "ShardFlushError",
     "global_id",
     "split_global_id",
     "parse_shard_spec",
 ]
+
+
+class ShardFlushError(ConnectionError):
+    """One or more shards failed to flush.
+
+    Raised by :meth:`ShardedClient.flush` *after* every healthy shard
+    has drained, so a single dead shard never blocks the rest of the
+    fleet's buffered observations.  :attr:`failures` maps each failing
+    shard index to the exception it raised; the dead shards' own replay
+    buffers stay parked and drain on a later flush."""
+
+    def __init__(self, failures: Dict[int, BaseException]) -> None:
+        self.failures = dict(failures)
+        indexes = ", ".join(str(index) for index in sorted(self.failures))
+        super().__init__(
+            f"flush failed on shard(s) {indexes}: "
+            + "; ".join(
+                f"[{index}] {error}"
+                for index, error in sorted(self.failures.items())
+            )
+        )
+
+    @property
+    def shard_indexes(self) -> List[int]:
+        return sorted(self.failures)
 
 #: current ShardMap wire-handshake version
 SHARD_MAP_VERSION = 1
@@ -479,6 +505,11 @@ class ShardedClient:
             "fremont_router_routed_ops_total",
             "Operations routed to a single owning shard",
         )
+        self._g_down = self.telemetry.gauge(
+            "fremont_shard_down",
+            "1 while the router considers this shard unreachable",
+            labels=("shard",),
+        )
         if check:
             self._verify_shards()
 
@@ -606,11 +637,22 @@ class ShardedClient:
                     raise
                 missing.append(index)
                 results.append(None)
-        self.partial = bool(missing)
-        self.missing_shards = missing
+        self._note_down(missing)
         if missing:
             self._c_partial.inc()
         return results
+
+    def _note_down(self, missing: List[int]) -> None:
+        """Record the down/up view of the fleet after a fan-out: the
+        ``fremont_shard_down`` gauge flips per shard, and the
+        partial-read attributes update for callers that inspect them."""
+        self.partial = bool(missing)
+        self.missing_shards = missing
+        down = set(missing)
+        for index in range(self.shards):
+            self._g_down.labels(shard=str(index)).set(
+                1 if index in down else 0
+            )
 
     @staticmethod
     def _merge_records(per_shard: Iterable[Optional[List[Any]]]) -> List[Any]:
@@ -656,16 +698,21 @@ class ShardedClient:
 
     def flush(self) -> FlushStats:
         """Flush every shard.  A shard whose server is unreachable keeps
-        its replay buffer parked; the error is re-raised after the live
-        shards have flushed, so one dead shard never blocks the rest."""
-        error: Optional[ConnectionError] = None
-        for client in self.clients:
+        its replay buffer parked; all failures are aggregated into one
+        :class:`ShardFlushError` (listing the failing shard indexes)
+        raised after the live shards have flushed, so one dead shard
+        never blocks the rest from draining."""
+        failures: Dict[int, BaseException] = {}
+        for index, client in enumerate(self.clients):
             try:
                 client.flush()
             except ConnectionError as exc:
-                error = exc
-        if error is not None:
-            raise error
+                failures[index] = exc
+                self._g_down.labels(shard=str(index)).set(1)
+            else:
+                self._g_down.labels(shard=str(index)).set(0)
+        if failures:
+            raise ShardFlushError(failures)
         return FlushStats()
 
     def _partition(
@@ -754,12 +801,67 @@ class ShardedClient:
         self, groups: Dict[int, Any], name: Optional[str]
     ) -> int:
         """The shard that owns a gateway write: the lowest member shard
-        (deterministic), the name hash when memberless, else shard 0."""
+        (deterministic), the shard already holding a fragment of the
+        name, the name hash, else shard 0.
+
+        The existing-fragment probe matters for equivalence: a single
+        Journal matches a memberless ``ensure_gateway`` against the
+        named gateway wherever it is, and gateway identity follows
+        *members*, so the device can later be renamed away.  Minting a
+        fresh fragment on the name-hash shard instead would leave an
+        empty orphan that no re-merge can reclaim once the real
+        gateway's name moves on.  The probe is best-effort: with a
+        shard unreachable, the write falls back to the hash anchor
+        rather than failing."""
         if groups:
             return min(groups)
         if name:
+            where = query_module.FieldEquals("name", name)
+            for shard, client in enumerate(self.clients):
+                try:
+                    if client.query("gateways", where):
+                        return shard
+                except (ConnectionError, TimeoutError):
+                    continue
             return self.shard_map.shard_for_token("name:" + name)
         return 0
+
+    def _stale_fragments(
+        self, groups: Dict[int, List[int]], name: Optional[str]
+    ) -> List[Tuple[int, int]]:
+        """Fragments this write will strand under the device's old name.
+
+        A single Journal matches ``ensure_gateway`` by member first, so
+        passing a *new* name renames the whole device.  On the fleet the
+        device exists as per-shard fragments sharing the old name; only
+        the shards carrying members of *this call* see the write, so
+        every other same-named fragment (a name-anchored or
+        subnet-linked one included) must be renamed explicitly or the
+        aggregate re-merge — which matches by name — splits the device.
+        Returns ``(shard, local_id)`` pairs to rename after the write."""
+        if name is None or not groups:
+            return []
+        old_names = set()
+        for shard, rids in groups.items():
+            rid_set = set(rids)
+            for fragment in self.clients[shard].all_gateways():
+                if (
+                    fragment.name
+                    and fragment.name != name
+                    and rid_set.intersection(fragment.interface_ids)
+                ):
+                    old_names.add(fragment.name)
+        if not old_names:
+            return []
+        stale: List[Tuple[int, int]] = []
+        for shard, client in enumerate(self.clients):
+            member_rids = set(groups.get(shard, ()))
+            for fragment in client.all_gateways():
+                if fragment.name in old_names and not member_rids.intersection(
+                    fragment.interface_ids
+                ):
+                    stale.append((shard, fragment.record_id))
+        return stale
 
     def ensure_gateway(
         self,
@@ -772,6 +874,7 @@ class ShardedClient:
         for gid in interface_ids:
             shard, rid = self._route_id(gid)
             groups.setdefault(shard, []).append(rid)
+        stale = self._stale_fragments(groups, name)
         primary = self._anchor_shard(groups, name)
         order = [primary] + [shard for shard in sorted(groups) if shard != primary]
         record: Optional[GatewayRecord] = None
@@ -784,8 +887,42 @@ class ShardedClient:
             changed = changed or shard_changed
             if shard == primary:
                 record = self._globalize_gateway(local, shard)
+        for shard, local_id in stale:
+            self._c_routed.inc()
+            if self.clients[shard].rename_gateway(local_id, name, source=source):
+                changed = True
         assert record is not None
         return record, changed
+
+    def rename_gateway(self, record_id: int, name: str, *, source: str) -> bool:
+        """Rename a gateway fleet-wide: the addressed fragment by id,
+        then — fragments of one device share a name — every same-named
+        fragment on the other shards."""
+        shard, rid = self._route_id(record_id)
+        old = next(
+            (
+                fragment.name
+                for fragment in self.clients[shard].all_gateways()
+                if fragment.record_id == rid
+            ),
+            None,
+        )
+        self._c_routed.inc()
+        changed = self.clients[shard].rename_gateway(rid, name, source=source)
+        if old is not None and old != name:
+            for index, client in enumerate(self.clients):
+                if index == shard:
+                    continue
+                for fragment in client.all_gateways():
+                    if fragment.name == old:
+                        self._c_routed.inc()
+                        changed = (
+                            client.rename_gateway(
+                                fragment.record_id, name, source=source
+                            )
+                            or changed
+                        )
+        return changed
 
     def link_gateway_subnet(self, gateway_id: int, subnet_key: str, *, source: str) -> bool:
         """Attach gateway and subnet to each other.
@@ -1062,8 +1199,7 @@ class ShardedClient:
         merged.since = sum(components)
         merged.revision = sum(new_vector)
         merged.vector = new_vector
-        self.partial = bool(missing)
-        self.missing_shards = missing
+        self._note_down(missing)
         if missing:
             self._c_partial.inc()
         return merged

@@ -942,7 +942,10 @@ def snapshot_to_prometheus(snapshot: Dict[str, Any]) -> str:
 
 
 def render_fleet_stats(
-    snapshots: List[Dict[str, Any]], names: Optional[List[str]] = None
+    snapshots: List[Dict[str, Any]],
+    names: Optional[List[str]] = None,
+    *,
+    down: Optional[Dict[int, int]] = None,
 ) -> str:
     """One merged table over several servers' metric snapshots: a row
     per sample, a column per shard, and a totals column.
@@ -954,8 +957,14 @@ def render_fleet_stats(
     zero in the total; histogram percentiles are deliberately not
     summed (only ``_sum``/``_count``/``_bucket`` series aggregate
     meaningfully).
+
+    *down* maps column indexes of unreachable shards to their last
+    known fencing epoch: those columns get an explicit ``DOWN (epoch
+    N)`` status cell (rather than silently vanishing from the table)
+    and their samples render as ``-``.
     """
     names = names or [f"shard{i}" for i in range(len(snapshots))]
+    down = down or {}
     parsed = [parse_prometheus(snapshot_to_prometheus(s)) for s in snapshots]
     keys: List[Tuple[str, Tuple[Tuple[str, str], ...]]] = []
     seen = set()
@@ -978,6 +987,17 @@ def render_fleet_stats(
         values = [samples.get((name, labels)) for samples in parsed]
         total = sum(v for v in values if v is not None)
         rows.append([display] + [cell(v) for v in values] + [cell(total)])
+
+    if down:
+        rows.insert(
+            0,
+            ["status"]
+            + [
+                f"DOWN (epoch {down[i]})" if i in down else "up"
+                for i in range(len(snapshots))
+            ]
+            + [f"{len(down)} down"],
+        )
 
     header = ["sample"] + list(names) + ["total"]
     widths = [

@@ -36,6 +36,7 @@ from .records import (
 
 __all__ = [
     "COUNTER_SCHEMA",
+    "READ_OPS",
     "RUN_OUTCOMES",
     "WIRE_OPS",
     "FrameReader",
@@ -59,12 +60,34 @@ __all__ = [
     "journal_from_dict",
     "encode_message",
     "decode_message",
+    "replica_info_to_dict",
+    "replica_info_from_dict",
     "WireError",
+    "FencedError",
 ]
 
 
 class WireError(ValueError):
     """Raised for malformed wire data."""
+
+
+class FencedError(RuntimeError):
+    """A write was rejected by epoch fencing.
+
+    Raised client-side when a server answers with ``"fenced": true`` —
+    either the request's epoch stamp and the server's current epoch
+    disagree, or the server has stepped down (standby or fenced
+    ex-primary).  Failover-aware callers treat this as "my view of the
+    fleet is stale": re-discover the primary and retry; plain callers
+    see it as the hard error it is.
+    """
+
+    def __init__(self, message: str, *, epoch: int = 0, role: str = "") -> None:
+        super().__init__(message)
+        #: the epoch the rejecting server reported
+        self.epoch = int(epoch)
+        #: the role the rejecting server reported
+        self.role = str(role)
 
 
 # The predicate codec lives with the AST in query.py (which imports
@@ -88,7 +111,7 @@ WIRE_OPS = frozenset(
         "observe", "observe_batch",
         "absorb_interface", "absorb_gateway", "absorb_subnet",
         "ensure_gateway", "ensure_subnet", "link_gateway_subnet",
-        "delete_interface", "negative_put",
+        "rename_gateway", "delete_interface", "negative_put",
         # queries (read)
         "ping", "counts", "metrics",
         "get_interfaces", "get_gateways", "get_subnets",
@@ -96,8 +119,32 @@ WIRE_OPS = frozenset(
         "negative_check", "changes_since", "dump", "save",
         # federation handshake (read)
         "shard_info",
+        # failover control plane (write: they move the fencing epoch)
+        "promote", "fence",
         # streaming
         "subscribe",
+    }
+)
+
+#: ops that never mutate the Journal.  The dispatcher runs these under
+#: the shared read lock and exempts them from epoch fencing — a fenced
+#: ex-primary and a standby both keep serving reads.  (negative_check
+#: may lazily evict an expired entry, but that eviction is idempotent
+#: and race-free — see Journal.negative_check.)
+READ_OPS = frozenset(
+    {
+        "ping",
+        "counts",
+        "metrics",
+        "shard_info",
+        "get_interfaces",
+        "get_gateways",
+        "get_subnets",
+        "query",
+        "negative_check",
+        "changes_since",
+        "dump",
+        "save",
     }
 )
 
@@ -433,6 +480,38 @@ def shard_info_from_dict(data: Any) -> Optional[Dict[str, int]]:
     if identity["shards"] < 1 or not 0 <= identity["index"] < identity["shards"]:
         raise WireError(f"inconsistent shard info: {data!r}")
     return identity
+
+
+#: roles a server can hold in a replicated shard
+REPLICA_ROLES = ("primary", "standby", "fenced")
+
+
+def replica_info_to_dict(role: str, epoch: int, revision: int) -> Dict[str, Any]:
+    """Wire form of a server's failover coordinates, carried in the
+    ``shard_info`` handshake next to the shard identity."""
+    return {"role": str(role), "epoch": int(epoch), "revision": int(revision)}
+
+
+def replica_info_from_dict(data: Any) -> Optional[Dict[str, Any]]:
+    """Failover coordinates from the wire; None when the peer predates
+    the failover protocol (its handshake carries no ``replica`` key)."""
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise WireError(f"malformed replica info: {data!r}")
+    try:
+        info = {
+            "role": str(data["role"]),
+            "epoch": int(data["epoch"]),
+            "revision": int(data["revision"]),
+        }
+    except (KeyError, TypeError, ValueError):
+        raise WireError(f"malformed replica info: {data!r}") from None
+    if info["role"] not in REPLICA_ROLES:
+        raise WireError(f"unknown replica role: {data!r}")
+    if info["epoch"] < 0 or info["revision"] < 0:
+        raise WireError(f"malformed replica info: {data!r}")
+    return info
 
 
 # ----------------------------------------------------------------------

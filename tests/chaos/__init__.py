@@ -1,0 +1,11 @@
+"""Chaos tooling for the failover fault campaigns.
+
+`netsim` simulates the *discovered* network; these helpers attack the
+*serving* path instead — the TCP link between a journal client and its
+shard — without touching either end's code.  See
+:mod:`tests.chaos.proxy`.
+"""
+
+from .proxy import ChaosProxy
+
+__all__ = ["ChaosProxy"]

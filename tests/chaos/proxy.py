@@ -1,0 +1,230 @@
+"""A fault-injecting TCP proxy for the failover campaigns.
+
+A :class:`ChaosProxy` sits between a journal client and a real
+``JournalServer`` (or standby), relaying bytes both ways.  Faults are
+injected at the transport layer, where real networks fail, so neither
+end's code is instrumented:
+
+* **latency** — every relayed chunk is delayed by a configurable time;
+* **drops** — :meth:`kill_connections` abruptly closes every live
+  relay (mid-frame, both directions), modelling a link flap or an
+  RST-ing middlebox;
+* **half-open connections** — :const:`ChaosProxy.BLACKHOLE` mode keeps
+  every socket open but relays nothing: requests hang until the
+  client's own deadline fires (the classic half-open TCP failure,
+  invisible to ``connect()``);
+* **partitions** — :const:`ChaosProxy.PARTITION` mode kills live
+  relays and refuses new connections until healed.
+
+Mode changes take effect immediately, including for bytes already in
+flight.  The proxy counts connections, drops, and bytes relayed so a
+campaign can assert its faults actually happened.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import List, Optional, Tuple
+
+__all__ = ["ChaosProxy"]
+
+_CHUNK = 65536
+#: granularity at which blocked relays re-check the proxy mode
+_TICK = 0.02
+
+
+class _Relay:
+    """One proxied connection: a client socket, an upstream socket, and
+    a pump thread per direction."""
+
+    def __init__(self, proxy: "ChaosProxy", downstream: socket.socket,
+                 upstream: socket.socket) -> None:
+        self.proxy = proxy
+        self.downstream = downstream
+        self.upstream = upstream
+        self.alive = True
+        self._threads = [
+            threading.Thread(
+                target=self._pump, args=(downstream, upstream),
+                name="chaos-up", daemon=True,
+            ),
+            threading.Thread(
+                target=self._pump, args=(upstream, downstream),
+                name="chaos-down", daemon=True,
+            ),
+        ]
+
+    def start(self) -> None:
+        for thread in self._threads:
+            thread.start()
+
+    def kill(self) -> None:
+        """Abrupt bidirectional close — the mid-frame cut a link flap
+        delivers.  Idempotent."""
+        self.alive = False
+        for sock in (self.downstream, self.upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _pump(self, source: socket.socket, sink: socket.socket) -> None:
+        source.settimeout(_TICK)
+        try:
+            while self.alive:
+                try:
+                    chunk = source.recv(_CHUNK)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                # Hold the chunk while the link is black-holed: the
+                # connection stays open, nothing moves — half-open.
+                while self.alive and self.proxy.mode == ChaosProxy.BLACKHOLE:
+                    time.sleep(_TICK)
+                if not self.alive:
+                    break
+                latency = self.proxy.latency
+                if latency > 0:
+                    time.sleep(latency)
+                try:
+                    sink.sendall(chunk)
+                except OSError:
+                    break
+                with self.proxy._lock:
+                    self.proxy.bytes_relayed += len(chunk)
+        finally:
+            self.kill()
+            self.proxy._reap(self)
+
+
+class ChaosProxy:
+    """Fault-injecting TCP relay in front of ``target``.
+
+    Use as a context manager (or call :meth:`start`/:meth:`stop`); the
+    client-facing address is :attr:`address`.  All knobs are safe to
+    flip from any thread while traffic is flowing.
+    """
+
+    #: relay normally (subject to :attr:`latency`)
+    OPEN = "open"
+    #: keep sockets open, relay nothing (half-open connections)
+    BLACKHOLE = "blackhole"
+    #: kill live relays; refuse new connections until healed
+    PARTITION = "partition"
+
+    def __init__(self, target: Tuple[str, int], *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.target = (target[0], int(target[1]))
+        self.mode = self.OPEN
+        #: per-chunk one-way delay, seconds
+        self.latency = 0.0
+        self.connections_total = 0
+        self.connections_refused = 0
+        self.connections_killed = 0
+        self.bytes_relayed = 0
+        self._lock = threading.Lock()
+        self._relays: List[_Relay] = []
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(_TICK)
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._listener.getsockname()
+
+    def start(self) -> "ChaosProxy":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        self.kill_connections()
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- fault knobs -----------------------------------------------------
+
+    def partition(self) -> None:
+        """Cut the link: live relays die, new connections are refused
+        until :meth:`heal`."""
+        self.mode = self.PARTITION
+        self.kill_connections()
+
+    def blackhole(self) -> None:
+        """Half-open the link: sockets stay up, nothing moves."""
+        self.mode = self.BLACKHOLE
+
+    def heal(self) -> None:
+        self.mode = self.OPEN
+
+    def kill_connections(self) -> int:
+        """Abruptly close every live relay (a link flap).  Returns the
+        number of connections killed."""
+        with self._lock:
+            victims = list(self._relays)
+        for relay in victims:
+            relay.kill()
+        with self._lock:
+            self.connections_killed += len(victims)
+        return len(victims)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _reap(self, relay: _Relay) -> None:
+        with self._lock:
+            if relay in self._relays:
+                self._relays.remove(relay)
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                downstream, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if self.mode == self.PARTITION:
+                with self._lock:
+                    self.connections_refused += 1
+                try:
+                    downstream.close()
+                except OSError:
+                    pass
+                continue
+            try:
+                upstream = socket.create_connection(self.target, timeout=5.0)
+            except OSError:
+                try:
+                    downstream.close()
+                except OSError:
+                    pass
+                continue
+            for sock in (downstream, upstream):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            relay = _Relay(self, downstream, upstream)
+            with self._lock:
+                self._relays.append(relay)
+                self.connections_total += 1
+            relay.start()

@@ -1,0 +1,427 @@
+"""Unit tests for the failover subsystem (DESIGN.md §13).
+
+Covers the fencing state machine (promote/fence/epoch stamps), the
+``shard_info`` replica handshake, replica target parsing, epoch
+persistence, reconnect jitter, write handoff between connections,
+standby tailing/promotion, FailoverClient discovery and hedged reads,
+aggregated sharded flush errors, and change-feed resume correctness
+under a flapping link (chaos proxy).  The full fault campaign — SIGKILL
+and partitions against real processes — lives in
+``tests/integration/test_failover.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.core import (
+    FailoverClient,
+    Journal,
+    JournalServer,
+    JournalStore,
+    RemoteChangeFeed,
+    RemoteClient,
+    ShardFlushError,
+    ShardedClient,
+    StandbyReplica,
+    connect,
+    format_replica_targets,
+    parse_replica_targets,
+)
+from repro.core.records import Observation
+from repro.core.wire import FencedError
+
+from tests.chaos.proxy import ChaosProxy
+
+
+def obs(index, source="failover-test"):
+    return Observation(
+        source=source,
+        ip=f"10.40.{index // 250}.{index % 250 + 1}",
+        mac=f"08:00:2b:00:{(index >> 8) & 0xFF:02x}:{index & 0xFF:02x}",
+    )
+
+
+@pytest.fixture
+def server():
+    journal = Journal()
+    server = JournalServer(journal, port=0)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+class TestFencing:
+    """The epoch state machine, exercised over the wire."""
+
+    def test_promote_moves_epoch_and_reports_role(self, server):
+        host, port = server.address
+        with RemoteClient(host, port) as client:
+            info = client.replica_info()
+            assert info == {"role": "primary", "epoch": 0, "revision": 0}
+            assert client.promote() == 1
+            assert client.replica_info()["epoch"] == 1
+            # Idempotent re-promote of the sitting primary at its epoch.
+            assert client.promote(1) == 1
+            # Backwards promotion is fenced.
+            with pytest.raises(FencedError):
+                client.promote(1 - 1)
+
+    def test_stale_epoch_stamp_rejected(self, server):
+        host, port = server.address
+        with RemoteClient(host, port) as admin:
+            admin.promote(3)
+        with RemoteClient(host, port, fence_epoch=2) as stale:
+            with pytest.raises(FencedError) as excinfo:
+                stale.resolve(obs(1))
+            assert excinfo.value.epoch == 3
+            assert excinfo.value.role == "primary"
+
+    def test_matching_epoch_stamp_accepted(self, server):
+        host, port = server.address
+        with RemoteClient(host, port) as admin:
+            admin.promote(3)
+        with RemoteClient(host, port, fence_epoch=3) as current:
+            record, changed = current.resolve(obs(1))
+            assert changed
+
+    def test_newer_stamp_steps_server_down(self, server):
+        host, port = server.address
+        with RemoteClient(host, port, fence_epoch=5) as future:
+            with pytest.raises(FencedError):
+                future.resolve(obs(1))
+        with RemoteClient(host, port) as probe:
+            info = probe.replica_info()
+            assert info["role"] == "fenced"
+            assert info["epoch"] == 5
+
+    def test_fenced_server_rejects_even_unstamped_writes(self, server):
+        host, port = server.address
+        with RemoteClient(host, port) as admin:
+            admin.fence(1)
+            with pytest.raises(FencedError):
+                admin.resolve(obs(1))
+            # Reads still serve: followers and fenced servers answer them.
+            assert admin.all_interfaces() == []
+            # Re-promotion past the fence restores the write path.
+            assert admin.promote() == 2
+            _record, changed = admin.resolve(obs(2))
+            assert changed
+
+    def test_fence_of_sitting_primary_needs_newer_epoch(self, server):
+        host, port = server.address
+        with RemoteClient(host, port) as admin:
+            admin.promote(4)
+            with pytest.raises(RuntimeError):
+                admin.fence(4)
+            assert admin.replica_info()["role"] == "primary"
+            admin.fence(5)
+            assert admin.replica_info()["role"] == "fenced"
+
+
+class TestReplicaTargets:
+    def test_parse_and_format_round_trip(self):
+        spec = "shard://h1:1001|r1:2001,h2:1002|r2:2002|r3:2003"
+        groups = parse_replica_targets(spec)
+        assert groups == [
+            [("h1", 1001), ("r1", 2001)],
+            [("h2", 1002), ("r2", 2002), ("r3", 2003)],
+        ]
+        assert format_replica_targets(groups) == spec
+
+    def test_plain_targets_stay_single_member(self):
+        assert parse_replica_targets("h1:1001,h2:1002") == [
+            [("h1", 1001)],
+            [("h2", 1002)],
+        ]
+
+    def test_connect_replica_list_builds_failover_client(self, server):
+        host, port = server.address
+        with connect(f"{host}:{port}|127.0.0.1:1") as client:
+            assert isinstance(client, FailoverClient)
+            assert client.active_address == (host, port)
+
+
+class TestEpochPersistence:
+    def test_epoch_survives_store_reopen(self, tmp_path):
+        store = JournalStore(tmp_path)
+        assert store.read_epoch() == 0
+        store.write_epoch(7)
+        store.close()
+        reopened = JournalStore(tmp_path)
+        assert reopened.read_epoch() == 7
+        reopened.close()
+
+    def test_missing_or_garbage_epoch_reads_as_zero(self, tmp_path):
+        store = JournalStore(tmp_path)
+        with open(store.epoch_path, "w") as handle:
+            handle.write("not json")
+        assert store.read_epoch() == 0
+        store.close()
+
+
+class TestReconnectJitter:
+    def test_two_clients_retry_schedules_diverge(self, server, monkeypatch):
+        """The thundering-herd fix: with the same backoff parameters,
+        two clients must not sleep the same schedule."""
+        host, port = server.address
+        a = RemoteClient(host, port, reconnect_attempts=4)
+        b = RemoteClient(host, port, reconnect_attempts=4)
+        server.stop()
+        schedules = {}
+
+        def record(client, label):
+            sleeps = []
+            monkeypatch.setattr(
+                "repro.core.client.time.sleep", sleeps.append
+            )
+            assert not client._reconnect()
+            schedules[label] = sleeps
+
+        record(a, "a")
+        record(b, "b")
+        assert len(schedules["a"]) == len(schedules["b"]) == 3
+        assert schedules["a"] != schedules["b"]
+        # Jitter stays within the [0.5, 1.5) envelope of the base delay.
+        for sleeps in schedules.values():
+            for base, actual in zip((0.1, 0.2, 0.4), sleeps):
+                assert base * 0.5 <= actual < base * 1.5
+
+
+class TestHandoff:
+    def test_unacked_writes_move_to_the_replacement_connection(self, server):
+        host, port = server.address
+        victim = Journal()
+        victim_server = JournalServer(victim, port=0)
+        victim_server.start()
+        vh, vp = victim_server.address
+        doomed = RemoteClient(vh, vp, reconnect_attempts=1)
+        victim_server.stop()
+        # Observations against a dead server park for replay.
+        doomed.observe_interface(obs(1))
+        doomed.observe_interface(obs(2))
+        assert doomed.pending_replay == 2
+        carried, owed = doomed.handoff()
+        assert len(carried) == 2
+        assert doomed.pending_replay == 0
+        with RemoteClient(host, port) as replacement:
+            replacement.adopt(carried, coalesced=owed)
+            replacement.flush()
+            assert len(replacement.all_interfaces()) == 2
+
+    def test_handoff_drops_reads_and_strips_stamps(self, server):
+        host, port = server.address
+        client = RemoteClient(host, port, fence_epoch=2)
+        client._pending.append({"op": "ping"})
+        client._pending.append({"op": "observe", "epoch": 9, "observation": {}})
+        carried, _owed = client.handoff()
+        assert {"op": "ping"} in carried  # parked entries carry as-is
+        assert {"op": "observe", "observation": {}} in carried
+
+
+class TestShardedFlush:
+    class _StubShard:
+        def __init__(self, fail=False):
+            self.fail = fail
+            self.flushed = 0
+
+        def flush(self):
+            if self.fail:
+                raise ConnectionError("shard unreachable")
+            self.flushed += 1
+
+        def close(self):
+            pass
+
+    def test_failures_aggregate_and_healthy_shards_still_drain(self):
+        shards = [
+            self._StubShard(),
+            self._StubShard(fail=True),
+            self._StubShard(),
+            self._StubShard(fail=True),
+        ]
+        router = ShardedClient(shards, check=False)
+        with pytest.raises(ShardFlushError) as excinfo:
+            router.flush()
+        assert excinfo.value.shard_indexes == [1, 3]
+        assert "shard(s) 1, 3" in str(excinfo.value)
+        assert shards[0].flushed == 1 and shards[2].flushed == 1
+        down = {
+            labels["shard"]: sample.value
+            for labels, sample in router.telemetry.get(
+                "fremont_shard_down"
+            ).samples()
+        }
+        assert down == {"0": 0, "1": 1, "2": 0, "3": 1}
+
+    def test_all_healthy_flush_returns_cleanly(self):
+        shards = [self._StubShard(), self._StubShard()]
+        router = ShardedClient(shards, check=False)
+        router.flush()
+        assert [s.flushed for s in shards] == [1, 1]
+
+
+class TestStandbyReplica:
+    def test_tails_primary_and_serves_reads(self, server):
+        host, port = server.address
+        with StandbyReplica((host, port), poll_interval=0.05) as standby:
+            with RemoteClient(host, port) as client:
+                for index in range(10):
+                    client.resolve(obs(index))
+                revision = client.revision()
+            deadline = time.monotonic() + 10.0
+            while (
+                standby.replicated_revision < revision
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert standby.replicated_revision >= revision
+            assert standby.lag == 0
+            sh, sp = standby.address
+            with RemoteClient(sh, sp) as reader:
+                assert len(reader.all_interfaces()) == 10
+                with pytest.raises(FencedError):
+                    reader.resolve(obs(99))
+
+    def test_local_promote_stops_tailing_and_opens_writes(self, server):
+        host, port = server.address
+        with StandbyReplica((host, port), poll_interval=0.05) as standby:
+            assert standby.promote() == 1
+            assert standby.role == "primary"
+            assert standby._tail_stop.is_set()
+            sh, sp = standby.address
+            with RemoteClient(sh, sp) as client:
+                _record, changed = client.resolve(obs(1))
+                assert changed
+
+    def test_standby_adopts_primary_epoch(self, server):
+        host, port = server.address
+        with RemoteClient(host, port) as admin:
+            admin.promote(6)
+        with StandbyReplica((host, port), poll_interval=0.05) as standby:
+            deadline = time.monotonic() + 10.0
+            while standby.epoch < 6 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert standby.epoch == 6
+            # Promotion must go strictly beyond every observed epoch.
+            assert standby.promote() == 7
+
+
+class TestFailoverClient:
+    def test_failover_promotes_freshest_standby(self, server):
+        host, port = server.address
+        with StandbyReplica((host, port), poll_interval=0.05) as standby:
+            client = FailoverClient([(host, port), standby.address])
+            try:
+                for index in range(5):
+                    client.resolve(obs(index))
+                revision = client.revision()
+                deadline = time.monotonic() + 10.0
+                while (
+                    standby.replicated_revision < revision
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.02)
+                server.stop()
+                _record, changed = client.resolve(obs(100))
+                assert changed
+                assert client.active_address == standby.address
+                assert client.epoch == 1
+                assert standby.role == "primary"
+                assert len(client.all_interfaces()) == 6
+            finally:
+                client.close()
+
+    def test_read_hedges_to_follower_when_primary_dies(self, server):
+        host, port = server.address
+        with StandbyReplica((host, port), poll_interval=0.05) as standby:
+            client = FailoverClient([(host, port), standby.address])
+            try:
+                for index in range(3):
+                    client.resolve(obs(index))
+                deadline = time.monotonic() + 10.0
+                while (
+                    standby.replicated_revision < 3
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.02)
+                server.stop()
+                assert len(client.all_interfaces()) == 3
+                assert (
+                    client.telemetry.value("fremont_failover_hedged_reads_total")
+                    + client.telemetry.value("fremont_failover_failovers_total")
+                    > 0
+                )
+            finally:
+                client.close()
+
+    def test_no_reachable_replica_raises_connection_error(self):
+        with pytest.raises(ConnectionError):
+            FailoverClient([("127.0.0.1", 1)], probe_timeout=0.2)
+
+
+class TestFeedFlap:
+    """Satellite: RemoteChangeFeed across a flapping link must deliver
+    every delta exactly once, in order, across resumes."""
+
+    def test_no_delta_duplicated_or_skipped_across_resumes(self, server):
+        host, port = server.address
+        with ChaosProxy((host, port)) as proxy:
+            ph, pp = proxy.address
+            feed = RemoteChangeFeed(
+                ph, pp, since=0,
+                reconnect_attempts=10, reconnect_backoff=0.05,
+            )
+            try:
+                with RemoteClient(host, port) as writer:
+                    seen = []
+                    total = 30
+                    for index in range(total):
+                        writer.resolve(obs(index))
+                        if index % 7 == 3:
+                            # connect -> deliver -> drop -> heal, repeated
+                            proxy.kill_connections()
+                        deadline = time.monotonic() + 10.0
+                        while (
+                            feed.revision < index + 1
+                            and time.monotonic() < deadline
+                        ):
+                            delta = feed.poll(0.1)
+                            if delta is not None:
+                                seen.append(delta)
+                    assert feed.revision == total
+                    assert feed.resumes > 0
+                    # Exactly-once, in-order delivery: the per-delta
+                    # (since, revision] windows tile [0, total] with no
+                    # gap and no overlap.
+                    cursor = 0
+                    for delta in seen:
+                        assert delta.since == cursor
+                        assert delta.revision > delta.since
+                        cursor = delta.revision
+                    assert cursor == total
+            finally:
+                feed.close()
+
+    def test_blackhole_then_heal_resumes_without_loss(self, server):
+        host, port = server.address
+        with ChaosProxy((host, port)) as proxy:
+            ph, pp = proxy.address
+            feed = RemoteChangeFeed(ph, pp, since=0, timeout=5.0)
+            try:
+                with RemoteClient(host, port) as writer:
+                    writer.resolve(obs(1))
+                    delta = feed.poll(5.0)
+                    assert delta is not None and delta.revision == 1
+                    proxy.blackhole()
+                    writer.resolve(obs(2))
+                    assert feed.poll(0.3) is None  # half-open: silence
+                    proxy.heal()
+                    deadline = time.monotonic() + 10.0
+                    while feed.revision < 2 and time.monotonic() < deadline:
+                        feed.poll(0.1)
+                    assert feed.revision == 2
+            finally:
+                feed.close()

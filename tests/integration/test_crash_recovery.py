@@ -31,7 +31,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Journal, JournalServer, JournalStore, RemoteClient
-from repro.core.durability import scan_segment
+from repro.core.durability import SEGMENT_MAGIC, scan_segment
 from repro.core.records import Observation
 from repro.netsim.faults import corrupt_file, truncate_file
 
@@ -179,7 +179,12 @@ class TestPrefixTruncation:
         recovered = store.recover()
         assert recovered.recovered_records == expected
         assert recovered.canonical_state() == oracle[expected]
-        if cut not in (0, os.path.getsize(segment)) and cut not in scan.end_offsets:
+        # Clean cut points drop nothing: the empty file, the bare magic
+        # header (a segment opened but never appended to), any whole-
+        # frame boundary, and the untruncated file.  Everything else
+        # lands mid-frame and must be counted as a torn tail.
+        clean = {0, len(SEGMENT_MAGIC), os.path.getsize(segment), *scan.end_offsets}
+        if cut not in clean:
             assert store.last_recovery.torn_tail_dropped == 1
         store.close(checkpoint=False)
 

@@ -1,0 +1,319 @@
+"""The failover fault campaign (ISSUE 9 acceptance criteria).
+
+Three scenarios, each judged against a fault-free oracle via
+``identity_state()`` — the insertion-order-independent state digest
+federation equivalence already uses:
+
+* **SIGKILL-primary** — real ``fremont serve`` processes over durable
+  stores (``--fsync always``); the primary is SIGKILLed mid-ingest.
+  The failover client must promote the standby automatically, every
+  acknowledged write must survive, and — after the dead primary is
+  resurrected as a standby of the new primary (the rejoin handback) —
+  the shard's end state must equal the fault-free run's.
+* **Partition-then-heal** — a chaos proxy cuts the client↔primary
+  link.  Writes continue through the promoted standby; after the
+  partition heals, the zombie ex-primary is fenced and its late writes
+  are rejected at the wire layer with ``FencedError``.
+* **Flapping link** — the proxy repeatedly drops live connections
+  mid-stream.  Every acknowledged write survives, whether it rode out
+  the flap on a reconnect or crossed shards via failover + handback.
+
+All three assert *bounded unavailability*: ingest never stalls longer
+than the generous in-test budget (the benchmark gates the tight one).
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import (
+    FailoverClient,
+    Journal,
+    JournalServer,
+    LocalClient,
+    RemoteClient,
+    StandbyReplica,
+)
+from repro.core.records import Observation
+from repro.core.replicate import JournalReplicator
+from repro.core.wire import FencedError
+
+from tests.chaos.proxy import ChaosProxy
+
+#: generous per-scenario unavailability budget (the CI benchmark gates
+#: the tight 2 s promotion bound; the test only guards against hangs)
+UNAVAILABILITY_BUDGET = 30.0
+
+
+def build_stream(count):
+    return [
+        Observation(
+            source="campaign",
+            ip="10.60.{}.{}".format((index // 250) % 250, index % 250 + 1),
+            mac="08:00:2b:61:{:02x}:{:02x}".format(
+                (index >> 8) & 0xFF, index & 0xFF
+            ),
+            subnet_mask="255.255.255.0" if index % 3 == 0 else None,
+        )
+        for index in range(count)
+    ]
+
+
+def oracle_state(stream):
+    """identity_state of a fault-free single journal fed *stream*."""
+    journal = Journal()
+    for observation in stream:
+        journal.submit(observation)
+    return journal.identity_state()
+
+
+def fleet_state(host, port):
+    """identity_state of a running server, pulled through the same
+    replication path a rejoining replica uses."""
+    aggregate = Journal()
+    with RemoteClient(host, port) as client:
+        JournalReplicator(client, LocalClient(aggregate)).sync(full=True)
+    return aggregate.identity_state()
+
+
+def free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def wait_serving(port, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with RemoteClient("127.0.0.1", port, timeout=1.0,
+                              reconnect_attempts=1) as client:
+                client.revision()
+            return
+        except (OSError, ConnectionError, RuntimeError):
+            time.sleep(0.1)
+    raise AssertionError(f"server on port {port} never became reachable")
+
+
+def wait_caught_up(port, revision, timeout=30.0):
+    """Wait until the replica on *port* has replicated *revision*."""
+    deadline = time.monotonic() + timeout
+    with RemoteClient("127.0.0.1", port, timeout=2.0) as client:
+        while time.monotonic() < deadline:
+            if client.revision() >= revision:
+                return
+            time.sleep(0.1)
+    raise AssertionError(f"replica on port {port} never caught up")
+
+
+def serve(args):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args],
+        env={**os.environ, "PYTHONPATH": "src"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+class TestSigkillPrimary:
+    def test_kill_mid_ingest_promotes_standby_with_zero_acked_loss(
+        self, tmp_path
+    ):
+        primary_dir = tmp_path / "primary"
+        standby_dir = tmp_path / "standby"
+        primary_port, standby_port = free_port(), free_port()
+        stream = build_stream(60)
+        kill_at = 30
+        processes = []
+        try:
+            primary = serve([
+                "--port", str(primary_port),
+                "--durable", str(primary_dir), "--fsync", "always",
+            ])
+            processes.append(primary)
+            wait_serving(primary_port)
+            standby = serve([
+                "--port", str(standby_port),
+                "--durable", str(standby_dir), "--fsync", "always",
+                "--standby-of", f"127.0.0.1:{primary_port}",
+            ])
+            processes.append(standby)
+            wait_serving(standby_port)
+
+            client = FailoverClient(
+                [("127.0.0.1", primary_port), ("127.0.0.1", standby_port)]
+            )
+            try:
+                acked = []
+                stall = 0.0
+                for index, observation in enumerate(stream):
+                    if index == kill_at:
+                        primary.send_signal(signal.SIGKILL)
+                        primary.wait(timeout=10.0)
+                    started = time.monotonic()
+                    record, _changed = client.resolve(observation)
+                    stall = max(stall, time.monotonic() - started)
+                    assert record.record_id != -1  # acked = server id
+                    acked.append(observation)
+                assert len(acked) == len(stream)
+                assert stall < UNAVAILABILITY_BUDGET
+                assert client.active_address == ("127.0.0.1", standby_port)
+                assert client.epoch >= 1
+                client.flush()
+            finally:
+                client.close()
+
+            # Rejoin handback: resurrect the SIGKILLed primary as a
+            # standby of the promoted server.  Its WAL holds the acked
+            # writes the standby had not replicated at kill time; the
+            # handback pushes them to the new primary.
+            rejoin = serve([
+                "--port", str(primary_port),
+                "--durable", str(primary_dir), "--fsync", "always",
+                "--standby-of", f"127.0.0.1:{standby_port}",
+            ])
+            processes.append(rejoin)
+            wait_serving(primary_port)
+            deadline = time.monotonic() + 30.0
+            expected = oracle_state(stream)
+            while time.monotonic() < deadline:
+                if fleet_state("127.0.0.1", standby_port) == expected:
+                    break
+                time.sleep(0.25)
+            assert fleet_state("127.0.0.1", standby_port) == expected
+        finally:
+            for process in processes:
+                if process.poll() is None:
+                    process.kill()
+                process.wait(timeout=10.0)
+
+
+class TestPartitionThenHeal:
+    def test_writes_continue_and_zombie_is_fenced(self):
+        primary_journal = Journal()
+        primary = JournalServer(primary_journal, port=0)
+        primary.start()
+        try:
+            with ChaosProxy(primary.address) as proxy, StandbyReplica(
+                primary.address, poll_interval=0.05
+            ) as standby:
+                stream = build_stream(40)
+                client = FailoverClient([proxy.address, standby.address])
+                try:
+                    for observation in stream[:20]:
+                        client.resolve(observation)
+                    wait = time.monotonic() + 10.0
+                    while (
+                        standby.replicated_revision < 20
+                        and time.monotonic() < wait
+                    ):
+                        time.sleep(0.02)
+                    assert standby.lag == 0
+
+                    proxy.partition()
+                    stall = 0.0
+                    for observation in stream[20:]:
+                        started = time.monotonic()
+                        record, _changed = client.resolve(observation)
+                        stall = max(stall, time.monotonic() - started)
+                        assert record.record_id != -1
+                    assert stall < UNAVAILABILITY_BUDGET
+                    assert client.active_address == standby.address
+                    assert standby.role == "primary"
+                    assert client.epoch == 1
+
+                    # Heal.  A fresh discovery over the same replica
+                    # list finds the promoted standby at epoch 1 and
+                    # fences the zombie still calling itself primary.
+                    proxy.heal()
+                    rediscovered = FailoverClient(
+                        [proxy.address, standby.address]
+                    )
+                    try:
+                        assert rediscovered.active_address == standby.address
+                    finally:
+                        rediscovered.close()
+                    assert primary.dispatcher.role == "fenced"
+
+                    # The fenced ex-primary rejects late writes at the
+                    # wire layer — acknowledgement is impossible.
+                    with RemoteClient(*proxy.address) as stale:
+                        with pytest.raises(FencedError):
+                            stale.resolve(
+                                Observation(source="zombie", ip="10.66.0.1")
+                            )
+                        # ... but still serves reads as a follower.
+                        assert len(stale.all_interfaces()) == 20
+
+                    # Zero acked-write loss + equivalence: the shard's
+                    # line of record now matches a fault-free run.
+                    assert (
+                        standby.journal.identity_state()
+                        == oracle_state(stream)
+                    )
+                finally:
+                    client.close()
+        finally:
+            primary.stop()
+
+
+class TestFlappingLink:
+    def test_every_acked_write_survives_a_flapping_link(self):
+        primary_journal = Journal()
+        primary = JournalServer(primary_journal, port=0)
+        primary.start()
+        try:
+            with ChaosProxy(primary.address) as proxy, StandbyReplica(
+                primary.address, poll_interval=0.05
+            ) as standby:
+                stream = build_stream(80)
+                client = FailoverClient([proxy.address, standby.address])
+                try:
+                    started = time.monotonic()
+                    for index, observation in enumerate(stream):
+                        if index % 9 == 4:
+                            # The link flaps mid-stream: every live
+                            # connection dies abruptly, repeatedly.
+                            proxy.kill_connections()
+                        record, _changed = client.resolve(observation)
+                        assert record.record_id != -1
+                    elapsed = time.monotonic() - started
+                    assert elapsed < UNAVAILABILITY_BUDGET * 2
+                finally:
+                    client.close()
+                assert proxy.connections_killed > 0
+
+                # Converge the shard: if the flapping forced a failover,
+                # hand the ex-primary's tail back to the promoted
+                # standby (the runbook's rejoin step); either way the
+                # final line of record must equal the fault-free run.
+                expected = oracle_state(stream)
+                if standby.role == "primary":
+                    with RemoteClient(
+                        *standby.address,
+                        fence_epoch=standby.epoch,
+                    ) as target:
+                        JournalReplicator(
+                            LocalClient(primary_journal), target
+                        ).sync(full=True)
+                    final = standby.journal
+                else:
+                    wait = time.monotonic() + 15.0
+                    with RemoteClient(*primary.address) as probe:
+                        revision = probe.revision()
+                    while (
+                        standby.replicated_revision < revision
+                        and time.monotonic() < wait
+                    ):
+                        time.sleep(0.05)
+                    final = primary_journal
+                assert final.identity_state() == expected
+        finally:
+            primary.stop()
