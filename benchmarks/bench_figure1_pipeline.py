@@ -26,7 +26,7 @@ from repro.core.explorers import (
     TracerouteModule,
 )
 from repro.core.manager import DiscoveryManager
-from repro.core.presentation import dot_export, interface_report, sunnet_export
+from repro.core.presentation import render_report
 from repro.netsim import TrafficGenerator
 
 from . import paper
@@ -90,9 +90,9 @@ class TestFigure1:
         # Analysis and presentation consume the snapshot.
         Correlator(snapshot).correlate()
         findings = run_all_analyses(snapshot, stale_horizon=0.0)
-        report_text = interface_report(snapshot)
-        sunnet_text = sunnet_export(snapshot)
-        dot_text = dot_export(snapshot)
+        report_text = render_report(snapshot, "interfaces")
+        sunnet_text = render_report(snapshot, "sunnet")
+        dot_text = render_report(snapshot, "dot")
 
         paper.report(
             "Figure 1: end-to-end pipeline over the socket Journal Server",

@@ -17,7 +17,7 @@ import pytest
 
 from repro.core.correlate import Correlator
 from repro.core.explorers import DnsExplorer, RipWatch, TracerouteModule
-from repro.core.presentation import dot_export, sunnet_export
+from repro.core.presentation import render_report
 
 from . import paper
 
@@ -115,7 +115,7 @@ class TestFigure2:
         campus, journal = mapped_campus
 
         def export_both():
-            return sunnet_export(journal), dot_export(journal)
+            return render_report(journal, "sunnet"), render_report(journal, "dot")
 
         sunnet_text, dot_text = benchmark(export_both)
         graph = Correlator(journal).topology()

@@ -1,0 +1,259 @@
+"""Perf benchmark: incremental topology maintenance vs rebuild.
+
+Every topology question — an operator's ``path``/``impact``, the dot
+and SVG maps, the partitioned-subnet analysis — needs the discovered
+graph, and before the :class:`~repro.core.topology.TopologyStore` each
+consumer rebuilt it from the whole Journal.  The store subscribes to
+the change feed instead and folds deltas into a persistent graph, so
+a refresh after a discovery batch costs the *batch*, not the site.
+
+This harness builds campus-scale Journals (2k and 10k interfaces, a
+gateway backbone chaining the subnets), then drives discovery batches
+through two consumers: a feed-maintained store refreshed after every
+batch, and a from-scratch store built fresh each time (what every
+pre-store consumer effectively did).  Both must agree byte-for-byte
+on :meth:`~repro.core.topology.TopologyStore.canonical_text` after
+every batch — the equivalence contract the property tests pin down —
+so the comparison is between two ways of computing the *same* answer.
+It also times the operator queries (``path``/``impact``) against the
+warm store.
+
+``--check`` enforces the equivalence always, and gates the largest
+size's incremental speedup: >= 5x in full runs (>= 3x under
+``--quick``, where the small Journal shrinks the rebuild cost the
+incremental path is beating).
+
+Results land in ``BENCH_topology.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_topology.py
+    PYTHONPATH=src python benchmarks/bench_perf_topology.py --quick --check
+
+(Not a pytest module: run it directly.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List, Optional
+
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.core import Journal, Observation  # noqa: E402
+from repro.core.topology import TopologyStore  # noqa: E402
+
+SOURCE = "bench-topo"
+
+
+def _step_clock():
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += 1.0
+        return state["now"]
+
+    return clock
+
+
+def _build_site(interfaces: int) -> Journal:
+    """A connected campus: one /24 per ~50 interfaces, gateways
+    chaining subnet ``i`` to ``i + 1``."""
+    journal = Journal(clock=_step_clock())
+    subnets = max(2, interfaces // 50)
+    for index in range(interfaces):
+        subnet = index % subnets
+        journal.observe_interface(
+            Observation(
+                source=SOURCE,
+                ip=f"10.{subnet // 200}.{subnet % 200}.{index // subnets % 200 + 1}",
+                mac=f"08:00:2b:{index >> 16 & 0xFF:02x}:"
+                f"{index >> 8 & 0xFF:02x}:{index & 0xFF:02x}",
+                subnet_mask="255.255.255.0",
+            )
+        )
+    for subnet in range(subnets - 1):
+        gateway, _ = journal.ensure_gateway(
+            source=SOURCE, name=f"gw-{subnet}"
+        )
+        for neighbour in (subnet, subnet + 1):
+            journal.link_gateway_subnet(
+                gateway.record_id,
+                f"10.{neighbour // 200}.{neighbour % 200}.0/24",
+                source=SOURCE,
+            )
+    return journal
+
+
+def _discovery_batch(journal: Journal, rng: random.Random, subnets: int) -> None:
+    """One explorer round: a few fresh hosts, some re-verifications,
+    and an occasional gateway link change."""
+    for _ in range(10):
+        subnet = rng.randrange(subnets)
+        journal.observe_interface(
+            Observation(
+                source=SOURCE,
+                ip=f"10.{subnet // 200}.{subnet % 200}.{rng.randint(1, 250)}",
+                mac=f"08:00:2b:ff:{rng.randint(0, 255):02x}:"
+                f"{rng.randint(0, 255):02x}",
+                subnet_mask="255.255.255.0",
+            )
+        )
+    if rng.random() < 0.5:
+        gateways = sorted(journal.gateways)
+        if gateways:
+            gid = rng.choice(gateways)
+            subnet = rng.randrange(subnets)
+            journal.link_gateway_subnet(
+                gid,
+                f"10.{subnet // 200}.{subnet % 200}.0/24",
+                source=SOURCE,
+            )
+
+
+def measure_size(
+    interfaces: int, *, rounds: int, seed: int, check_every: int = 5
+) -> Dict[str, object]:
+    journal = _build_site(interfaces)
+    subnets = max(2, interfaces // 50)
+    rng = random.Random(seed + 1)
+
+    store = TopologyStore(journal, use_feed=True)
+    build_started = time.perf_counter()
+    store.refresh()  # first refresh: the one full build the store pays
+    first_build_s = time.perf_counter() - build_started
+
+    incremental_s = 0.0
+    rebuild_s = 0.0
+    mismatches = 0
+    for round_index in range(rounds):
+        _discovery_batch(journal, rng, subnets)
+
+        started = time.perf_counter()
+        mode = store.refresh()
+        incremental_s += time.perf_counter() - started
+        assert mode == "incremental", f"round {round_index} fell back to full"
+
+        started = time.perf_counter()
+        fresh = TopologyStore(journal, use_feed=False)
+        fresh.refresh()
+        rebuild_s += time.perf_counter() - started
+
+        if round_index % check_every == 0:
+            if store.canonical_text() != fresh.canonical_text():
+                mismatches += 1
+        fresh.close()
+
+    # Operator queries against the warm store.
+    keys = sorted(store.graph().subnets)
+    query_rng = random.Random(seed + 2)
+    path_started = time.perf_counter()
+    path_queries = 50
+    for _ in range(path_queries):
+        a, b = query_rng.sample(keys, 2)
+        result = store.path(a, b)
+        assert result.found
+    path_s = time.perf_counter() - path_started
+    impact_started = time.perf_counter()
+    impact_queries = 50
+    for _ in range(impact_queries):
+        result = store.impact(query_rng.choice(keys))
+        assert result.found
+    impact_s = time.perf_counter() - impact_started
+    store.close()
+
+    speedup = rebuild_s / incremental_s if incremental_s else None
+    return {
+        "interfaces": interfaces,
+        "subnets": subnets,
+        "rounds": rounds,
+        "first_build_ms": round(first_build_s * 1000, 2),
+        "incremental_ms_per_batch": round(incremental_s / rounds * 1000, 3),
+        "rebuild_ms_per_batch": round(rebuild_s / rounds * 1000, 3),
+        "incremental_speedup": round(speedup, 2) if speedup else None,
+        "equivalence_mismatches": mismatches,
+        "path_ms": round(path_s / path_queries * 1000, 3),
+        "impact_ms": round(impact_s / impact_queries * 1000, 3),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small run for CI smoke testing")
+    parser.add_argument("--sizes", type=int, nargs="+", default=[2000, 10000],
+                        help="journal sizes (interfaces) to measure")
+    parser.add_argument("--rounds", type=int, default=40,
+                        help="discovery batches per size")
+    parser.add_argument("--seed", type=int, default=1993)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on any incremental/rebuild divergence (always) or if "
+        "the largest size's incremental speedup falls below the gate "
+        "(5x full, 3x --quick)",
+    )
+    parser.add_argument("--output", default="BENCH_topology.json",
+                        help="result file path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.sizes = [500, 2000]
+        args.rounds = min(args.rounds, 15)
+
+    levels: List[Dict[str, object]] = []
+    for size in args.sizes:
+        print(f"{size} interfaces x {args.rounds} batches ...",
+              end=" ", flush=True)
+        level = measure_size(size, rounds=args.rounds, seed=args.seed)
+        levels.append(level)
+        print(
+            f"incremental {level['incremental_ms_per_batch']}ms vs rebuild "
+            f"{level['rebuild_ms_per_batch']}ms per batch "
+            f"({level['incremental_speedup']}x), path "
+            f"{level['path_ms']}ms, impact {level['impact_ms']}ms"
+        )
+
+    largest = max(levels, key=lambda level: level["interfaces"])
+    gate = 3.0 if args.quick else 5.0
+    result = {
+        "benchmark": "incremental topology maintenance vs rebuild",
+        "quick": args.quick,
+        "levels": levels,
+        "gate": {
+            "largest_interfaces": largest["interfaces"],
+            "speedup": largest["incremental_speedup"],
+            "required": gate,
+        },
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        diverged = sum(level["equivalence_mismatches"] for level in levels)
+        if diverged:
+            raise SystemExit(
+                f"FAIL: incremental store diverged from rebuild "
+                f"{diverged} time(s)"
+            )
+        speedup = largest["incremental_speedup"]
+        if speedup is None or speedup < gate:
+            raise SystemExit(
+                f"FAIL: incremental speedup {speedup}x at "
+                f"{largest['interfaces']} interfaces below {gate}x"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

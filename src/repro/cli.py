@@ -16,7 +16,18 @@ Subcommands mirror the paper's programs:
   ``metrics`` wire op rendered as a terminal dashboard);
 * ``query``    — predicate queries against a saved Journal *or* a live
   server (the ``query`` wire op): filter by subnet, MAC vendor,
-  staleness, confidence, or exact field values, combinable with AND.
+  staleness, confidence, or exact field values, combinable with AND;
+* ``path``     — confidence-weighted shortest path between two points
+  of the discovered topology (saved Journal, live server, or sharded
+  fleet — the ``path`` wire op);
+* ``impact``   — blast radius of losing a subnet or gateway (the
+  ``impact`` wire op).
+
+``report`` dispatches through the presentation registry: any report
+registered with :func:`repro.core.presentation.register_report` is
+reachable as ``fremont report JOURNAL NAME --param key=value``, and
+``--list`` enumerates them.  ``analyze --list`` does the same for the
+analysis-program registry.
 """
 
 from __future__ import annotations
@@ -26,7 +37,11 @@ import sys
 from typing import List, Optional
 
 from .core import Journal, JournalServer, connect
-from .core.analysis import address_space_report, run_all_analyses
+from .core.analysis import (
+    address_space_report,
+    analysis_programs,
+    run_all_analyses,
+)
 from .core.correlate import Correlator
 from .core.inquiry import NetworkPicture
 from .core.explorers import (
@@ -40,13 +55,10 @@ from .core.explorers import (
 )
 from .core.manager import DiscoveryManager
 from .core.presentation import (
-    dot_export,
-    interface_detail,
-    interface_report,
-    journal_dump,
-    subnet_interfaces_report,
-    sunnet_export,
-    svg_export,
+    list_reports,
+    render_impact,
+    render_path,
+    render_report,
 )
 from .netsim import TrafficGenerator, build_campus
 from .netsim.campus import CampusProfile
@@ -90,6 +102,13 @@ def _cmd_campus(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in analysis_programs():
+            print(name)
+        return 0
+    if args.journal is None:
+        print("analyze: a journal is required (or --list)", file=sys.stderr)
+        return 2
     journal = Journal.load(args.journal)
     findings = run_all_analyses(journal, stale_horizon=args.stale_horizon)
     total = 0
@@ -102,14 +121,45 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_params(specs) -> dict:
+    """``k=v`` pairs from repeated ``--param``; digit values become
+    ints (the svg report's width/height/seed)."""
+    params = {}
+    for spec in specs or ():
+        name, sep, value = spec.partition("=")
+        if not sep:
+            raise SystemExit(f"--param wants name=value, got {spec!r}")
+        params[name] = int(value) if value.isdigit() else value
+    return params
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.list:
+        for report in list_reports():
+            params = (
+                " ({})".format(", ".join(report.params)) if report.params else ""
+            )
+            print(f"{report.name}{params}: {report.description}")
+        return 0
+    if args.journal is None:
+        print("report: a journal is required (or --list)", file=sys.stderr)
+        return 2
     journal = Journal.load(args.journal)
+    if args.name:
+        try:
+            params = _parse_params(args.param)
+            print(render_report(journal, args.name, **params))
+        except ValueError as reason:
+            print(f"report: {reason}", file=sys.stderr)
+            return 2
+        return 0
+    # Legacy three-level browser flags, now routed through the registry.
     if args.ip:
-        print(interface_detail(journal, args.ip))
+        print(render_report(journal, "interface", ip=args.ip))
     elif args.subnet:
-        print(subnet_interfaces_report(journal, args.subnet))
+        print(render_report(journal, "subnet", subnet=args.subnet))
     else:
-        print(interface_report(journal, network=args.network))
+        print(render_report(journal, "interfaces", network=args.network))
     return 0
 
 
@@ -120,7 +170,7 @@ def _cmd_dump(args: argparse.Namespace) -> int:
     else:
         with connect(source) as client:
             journal = _materialize(client)
-    print(journal_dump(journal))
+    print(render_report(journal, "dump"))
     return 0
 
 
@@ -140,12 +190,7 @@ def _materialize(client) -> Journal:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     journal = Journal.load(args.journal)
-    if args.format == "dot":
-        text = dot_export(journal)
-    elif args.format == "svg":
-        text = svg_export(journal)
-    else:
-        text = sunnet_export(journal)
+    text = render_report(journal, args.format)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
@@ -168,6 +213,36 @@ def _cmd_route(args: argparse.Namespace) -> int:
             f"{hop.from_subnet} -> {hop.to_subnet} hop has gone silent"
         )
     return 0 if route.reachable else 1
+
+
+def _topology_client(spec: str):
+    """A client whose ``path``/``impact`` answer for *spec*: a saved
+    Journal (correlated first, like ``route``), a ``host:port`` server,
+    or a ``shard://`` fleet."""
+    source = _journal_source(spec)
+    if isinstance(source, Journal):
+        Correlator(source).correlate()
+    return connect(source)
+
+
+def _cmd_path(args: argparse.Namespace) -> int:
+    with _topology_client(args.target) as client:
+        path = client.path(args.source, args.destination)
+    print(render_path(path))
+    if getattr(client, "partial", False):
+        print(f"WARNING: partial answer; unreachable shards: "
+              f"{client.missing_shards}", file=sys.stderr)
+    return 0 if path.found else 1
+
+
+def _cmd_impact(args: argparse.Namespace) -> int:
+    with _topology_client(args.target) as client:
+        impact = client.impact(args.what)
+    print(render_impact(impact))
+    if getattr(client, "partial", False):
+        print(f"WARNING: partial answer; unreachable shards: "
+              f"{client.missing_shards}", file=sys.stderr)
+    return 0 if impact.found else 1
 
 
 def _cmd_whereis(args: argparse.Namespace) -> int:
@@ -491,12 +566,25 @@ def build_parser() -> argparse.ArgumentParser:
     campus.set_defaults(func=_cmd_campus)
 
     analyze = commands.add_parser("analyze", help="find network problems")
-    analyze.add_argument("journal")
+    analyze.add_argument("journal", nargs="?", default=None)
     analyze.add_argument("--stale-horizon", type=float, default=0.0)
+    analyze.add_argument("--list", action="store_true",
+                         help="list the registered analysis programs")
     analyze.set_defaults(func=_cmd_analyze)
 
-    report = commands.add_parser("report", help="interface browser")
-    report.add_argument("journal")
+    report = commands.add_parser(
+        "report", help="registry-dispatched reports (default: interface browser)"
+    )
+    report.add_argument("journal", nargs="?", default=None)
+    report.add_argument(
+        "name", nargs="?", default=None,
+        help="report name from the registry (see --list); omitted: the "
+        "classic three-level interface browser driven by the flags below",
+    )
+    report.add_argument("--param", action="append", metavar="NAME=VALUE",
+                        help="report parameter (repeatable)")
+    report.add_argument("--list", action="store_true",
+                        help="list the registered reports and their parameters")
     report.add_argument("--network", default=None, help="filter by prefix text")
     report.add_argument("--subnet", default=None, help="level 2: one subnet")
     report.add_argument("--ip", default=None, help="level 3: one interface")
@@ -524,6 +612,31 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("destination", help="destination subnet")
     route.add_argument("--silent-threshold", type=float, default=600.0)
     route.set_defaults(func=_cmd_route)
+
+    path = commands.add_parser(
+        "path",
+        help="confidence-weighted route between two topology endpoints",
+    )
+    path.add_argument(
+        "target",
+        help="saved journal path, host:port of a running server, or a "
+        "shard://... fleet (answered from the merged fleet topology)",
+    )
+    path.add_argument("source", help="subnet, gateway name, or interface IP")
+    path.add_argument("destination", help="subnet, gateway name, or interface IP")
+    path.set_defaults(func=_cmd_path)
+
+    impact = commands.add_parser(
+        "impact",
+        help="blast radius if a subnet or gateway fails (articulation analysis)",
+    )
+    impact.add_argument(
+        "target",
+        help="saved journal path, host:port of a running server, or a "
+        "shard://... fleet",
+    )
+    impact.add_argument("what", help="subnet, gateway name, or interface IP")
+    impact.set_defaults(func=_cmd_impact)
 
     whereis = commands.add_parser(
         "whereis", help="locate a host by address or DNS name"

@@ -58,6 +58,7 @@ from .telemetry import (
     snapshot_to_prometheus,
     telemetry_of,
 )
+from .topology import TopologyImpact, TopologyPath, TopologyStore
 
 __all__ = [
     "Attribute",
@@ -101,6 +102,9 @@ __all__ = [
     "StandbyReplica",
     "SubnetRecord",
     "ThreadedJournalServer",
+    "TopologyImpact",
+    "TopologyPath",
+    "TopologyStore",
     "VectorCursor",
     "connect",
     "format_replica_targets",

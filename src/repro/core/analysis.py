@@ -15,13 +15,22 @@ as one IP with several Ethernet addresses — is temporal: sequential
 (old interface stopped being verified before the new one appeared)
 means new hardware; overlapping verification means two live hosts
 fighting over the address.
+
+Finders plug into a registry via the :func:`analysis_program`
+decorator: a registered program takes ``(journal, options)`` and
+returns a list of findings.  :func:`run_all_analyses`, the
+:class:`AnalysisMonitor`, and the CLI all enumerate the registry, so a
+new finder needs only the decorator — no dispatch table to update.
+Beyond Table 8, two topology-backed programs watch the discovered
+graph itself: partitioned subnets and single-point-of-failure
+gateways.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..netsim.addresses import Ipv4Address, Netmask, Subnet
 from .journal import Journal
@@ -30,15 +39,20 @@ from .records import InterfaceRecord
 
 __all__ = [
     "AnalysisMonitor",
+    "AnalysisOptions",
     "Finding",
     "SubnetUtilisation",
     "address_space_report",
+    "analysis_program",
+    "analysis_programs",
     "find_stale_addresses",
     "find_hardware_changes",
     "find_duplicate_addresses",
     "find_mask_conflicts",
     "find_promiscuous_rip",
     "find_address_conflicts",
+    "find_partitioned_subnets",
+    "find_cut_gateways",
     "run_all_analyses",
 ]
 
@@ -49,6 +63,9 @@ KIND_MASK = "inconsistent-netmask"
 KIND_DUPLICATE = "duplicate-address"
 KIND_PROMISCUOUS = "promiscuous-rip"
 KIND_ADDRESS_CONFLICT = "address-conflict"
+#: topology-backed programs (beyond Table 8)
+KIND_PARTITIONED = "partitioned-subnet"
+KIND_CUT_GATEWAY = "single-point-of-failure"
 
 
 @dataclass
@@ -62,6 +79,47 @@ class Finding:
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.subject}: {self.details}"
+
+
+# ----------------------------------------------------------------------
+# The analysis-program registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Knobs shared by every registered analysis program."""
+
+    stale_horizon: float
+    default_prefix: int = 24
+
+
+AnalysisProgram = Callable[[Journal, AnalysisOptions], List[Finding]]
+
+_ANALYSES: Dict[str, AnalysisProgram] = {}
+
+
+def analysis_program(name: str) -> Callable[[AnalysisProgram], AnalysisProgram]:
+    """Register a standing analysis program under *name*.
+
+    The decorated callable takes ``(journal, options)`` and returns a
+    list of :class:`Finding`; :func:`run_all_analyses` runs every
+    registered program and keys its result dict by these names, in
+    registration order.
+    """
+
+    def register(program: AnalysisProgram) -> AnalysisProgram:
+        if name in _ANALYSES:
+            raise ValueError(f"analysis program already registered: {name}")
+        _ANALYSES[name] = program
+        return program
+
+    return register
+
+
+def analysis_programs() -> List[str]:
+    """Registered program names, in registration (report) order."""
+    return list(_ANALYSES)
 
 
 def _non_dns_last_verified(record: InterfaceRecord) -> Optional[float]:
@@ -270,30 +328,153 @@ def find_address_conflicts(journal: Journal) -> List[Finding]:
     return findings
 
 
+# ----------------------------------------------------------------------
+# Topology-backed finders: problems visible only in the discovered
+# graph, not in any single record
+# ----------------------------------------------------------------------
+
+
+def find_partitioned_subnets(
+    journal: Journal, *, default_prefix: int = 24
+) -> List[Finding]:
+    """Subnets disconnected from the main discovered component.
+
+    A campus network is expected to be one connected graph; a subnet in
+    a side component either lost its gateway or the explorers have not
+    found the link yet — both worth an operator's attention.
+    """
+    from .topology import TopologyStore
+
+    store = TopologyStore(journal, default_prefix=default_prefix, use_feed=False)
+    try:
+        components = store.graph().connected_components()
+    finally:
+        store.close()
+    findings: List[Finding] = []
+    if len(components) <= 1:
+        return findings
+    main = components[0]
+    for component in components[1:]:
+        for subnet in sorted(component):
+            findings.append(
+                Finding(
+                    kind=KIND_PARTITIONED,
+                    subject=subnet,
+                    details=(
+                        f"no discovered route to the main component of "
+                        f"{len(main)} subnet(s); isolated alongside "
+                        f"{len(component) - 1} other subnet(s)"
+                    ),
+                )
+            )
+    return findings
+
+
+def find_cut_gateways(
+    journal: Journal, *, default_prefix: int = 24
+) -> List[Finding]:
+    """Gateways whose failure would partition the discovered topology
+    (articulation points): single points of failure."""
+    from .topology import TopologyStore
+
+    store = TopologyStore(journal, default_prefix=default_prefix, use_feed=False)
+    try:
+        findings: List[Finding] = []
+        for gid, (name, subnet_keys) in sorted(store.graph().gateways.items()):
+            if len(subnet_keys) < 2:
+                continue
+            impact = store.impact(f"gateway-{gid}")
+            if not impact.found or not impact.articulation:
+                continue
+            findings.append(
+                Finding(
+                    kind=KIND_CUT_GATEWAY,
+                    subject=name,
+                    details=(
+                        f"failure cuts off {len(impact.cut_subnets)} "
+                        f"subnet(s) ({', '.join(impact.cut_subnets)}) and "
+                        f"{impact.isolated_hosts} host interface(s)"
+                    ),
+                    record_ids=[gid],
+                )
+            )
+        return findings
+    finally:
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Registrations: the Table 8 finders in their classic report order,
+# then the topology programs
+# ----------------------------------------------------------------------
+
+
+@analysis_program(KIND_STALE)
+def _run_stale(journal: Journal, options: AnalysisOptions) -> List[Finding]:
+    return find_stale_addresses(journal, horizon=options.stale_horizon)
+
+
+@analysis_program(KIND_HARDWARE)
+def _run_hardware(journal: Journal, options: AnalysisOptions) -> List[Finding]:
+    return find_hardware_changes(journal)
+
+
+@analysis_program(KIND_MASK)
+def _run_mask(journal: Journal, options: AnalysisOptions) -> List[Finding]:
+    return find_mask_conflicts(journal, default_prefix=options.default_prefix)
+
+
+@analysis_program(KIND_DUPLICATE)
+def _run_duplicate(journal: Journal, options: AnalysisOptions) -> List[Finding]:
+    return find_duplicate_addresses(journal)
+
+
+@analysis_program(KIND_PROMISCUOUS)
+def _run_promiscuous(journal: Journal, options: AnalysisOptions) -> List[Finding]:
+    return find_promiscuous_rip(journal)
+
+
+@analysis_program(KIND_ADDRESS_CONFLICT)
+def _run_address_conflict(
+    journal: Journal, options: AnalysisOptions
+) -> List[Finding]:
+    return find_address_conflicts(journal)
+
+
+@analysis_program(KIND_PARTITIONED)
+def _run_partitioned(journal: Journal, options: AnalysisOptions) -> List[Finding]:
+    return find_partitioned_subnets(
+        journal, default_prefix=options.default_prefix
+    )
+
+
+@analysis_program(KIND_CUT_GATEWAY)
+def _run_cut_gateways(journal: Journal, options: AnalysisOptions) -> List[Finding]:
+    return find_cut_gateways(journal, default_prefix=options.default_prefix)
+
+
 def run_all_analyses(
     journal: Journal,
     *,
     stale_horizon: Optional[float] = None,
     default_prefix: int = 24,
 ) -> Dict[str, List[Finding]]:
-    """Run every Table 8 finder.  ``stale_horizon`` defaults to a week
-    of simulated time before now."""
+    """Run every registered analysis program (Table 8 plus the
+    topology-backed finders).  ``stale_horizon`` defaults to a week of
+    simulated time before now."""
     if stale_horizon is None:
         stale_horizon = journal.now - 7 * 24 * 3600.0
+    options = AnalysisOptions(
+        stale_horizon=stale_horizon, default_prefix=default_prefix
+    )
     registry = journal.telemetry
     with registry.trace("analysis") as span:
         with registry.histogram(
             "fremont_analysis_seconds", "Duration of one full Table 8 analysis run"
         ).time():
             findings = {
-                KIND_STALE: find_stale_addresses(journal, horizon=stale_horizon),
-                KIND_HARDWARE: find_hardware_changes(journal),
-                KIND_MASK: find_mask_conflicts(
-                    journal, default_prefix=default_prefix
-                ),
-                KIND_DUPLICATE: find_duplicate_addresses(journal),
-                KIND_PROMISCUOUS: find_promiscuous_rip(journal),
-                KIND_ADDRESS_CONFLICT: find_address_conflicts(journal),
+                name: program(journal, options)
+                for name, program in _ANALYSES.items()
             }
         total = sum(len(items) for items in findings.values())
         span.set_tag("findings", total)

@@ -210,6 +210,26 @@ class LocalClient(DirectSinkMixin):
         """The journal's current change-tracking revision."""
         return self.journal.revision
 
+    # -- topology ---------------------------------------------------------
+
+    def _topology(self):
+        store = getattr(self, "_topology_store", None)
+        if store is None:
+            from .topology import TopologyStore
+
+            store = self._topology_store = TopologyStore(self.journal)
+        return store
+
+    def path(self, a: str, b: str):
+        """Confidence-weighted topology route (mirror of the ``path``
+        wire op); see :meth:`repro.core.topology.TopologyStore.path`."""
+        return self._topology().path(a, b)
+
+    def impact(self, target: str):
+        """Blast radius of *target* (mirror of the ``impact`` wire op);
+        see :meth:`repro.core.topology.TopologyStore.impact`."""
+        return self._topology().impact(target)
+
     # -- negative cache ---------------------------------------------------
 
     def negative_put(self, kind: str, key: str, *, ttl: float) -> None:
@@ -247,7 +267,12 @@ class LocalClient(DirectSinkMixin):
         return Journal.from_dict(self.journal.to_dict())
 
     def close(self) -> None:
-        """Nothing to release for the in-process client."""
+        """Release the lazy topology store's feed subscription, if one
+        was ever built; the in-process client owns nothing else."""
+        store = getattr(self, "_topology_store", None)
+        if store is not None:
+            store.close()
+            self._topology_store = None
 
 
 def _provisional_record(observation: Observation) -> InterfaceRecord:
@@ -988,6 +1013,21 @@ class RemoteClient:
 
     def counts(self) -> Dict[str, int]:
         return self._call({"op": "counts"})["counts"]
+
+    def path(self, a: str, b: str):
+        """Confidence-weighted topology route (the ``path`` wire op),
+        computed server-side against its feed-maintained topology
+        store; returns a :class:`~repro.core.topology.TopologyPath`."""
+        return wire.path_from_dict(
+            self._call({"op": "path", "a": str(a), "b": str(b)})["path"]
+        )
+
+    def impact(self, target: str):
+        """Blast radius of *target* (the ``impact`` wire op); returns a
+        :class:`~repro.core.topology.TopologyImpact`."""
+        return wire.impact_from_dict(
+            self._call({"op": "impact", "target": str(target)})["impact"]
+        )
 
     def metrics(self, *, spans: int = 50) -> Dict[str, Any]:
         """The server registry's snapshot (the ``metrics`` wire op):

@@ -11,21 +11,52 @@ The paper built three viewers:
    in the format expected by SunNet Manager").
 
 SunNet Manager is long gone; the exporter emits the same
-element/connection structure as a documented text format, plus a DOT
-rendering for modern graph viewers — both reproduce Figure 2's content.
+element/connection structure as a documented text format, plus DOT and
+SVG renderings for modern viewers — both reproduce Figure 2's content.
+
+Report registry
+---------------
+
+Every viewer is registered as a named *report*:
+``render_report(journal, name, **params)`` dispatches by name and
+``list_reports()`` is the catalogue.  The topology-store renderings
+(``topology``, ``path``, ``impact``) register exactly like the paper's
+three viewers — one extension surface instead of a growing pile of
+free functions.  The original free functions (``interface_report`` and
+friends) remain as one-release :class:`DeprecationWarning` shims, the
+same retirement policy ``connect()``'s aliases went through.
+
+Confidence badges: edge evidence renders as ``[+ method]`` for
+``good``-quality attachments and ``[? method]`` for ``questionable``
+ones; the DOT and SVG exports draw questionable edges dashed.
+
+Determinism: every rendering, including the SVG map, is byte-stable
+for a given journal state.  Node placement uses a seeded, pure-python
+force embedding over *sorted* nodes and edges (golden-file tested) —
+no dependence on dict insertion order or third-party layout engines.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+import math
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..netsim.addresses import Ipv4Address, Subnet
-from .correlate import Correlator
 from .journal import Journal
 from .query import InSubnet
 from .records import InterfaceRecord
 
 __all__ = [
+    "Report",
+    "render_report",
+    "list_reports",
+    "render_path",
+    "render_impact",
+    "BADGE_LEGEND",
+    # one-release deprecated shims (use render_report instead)
     "journal_dump",
     "interface_report",
     "subnet_interfaces_report",
@@ -34,6 +65,98 @@ __all__ = [
     "dot_export",
     "svg_export",
 ]
+
+#: confidence -> badge used in text renderings
+_BADGES = {"good": "+", "questionable": "?"}
+
+BADGE_LEGEND = (
+    "badges: [+ method] good confidence, [? method] questionable "
+    "(dashed in dot/svg exports)"
+)
+
+
+def _badge(confidence: str, method: str) -> str:
+    return f"[{_BADGES.get(confidence, '?')} {method}]"
+
+
+# ----------------------------------------------------------------------
+# The report registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Report:
+    """One registered report: a named renderer over a Journal."""
+
+    name: str
+    description: str
+    #: keyword parameters the renderer accepts
+    params: Tuple[str, ...]
+    render: Callable[..., str]
+
+
+_REPORTS: Dict[str, Report] = {}
+
+
+def _report(name: str, description: str, params: Tuple[str, ...] = ()):
+    """Register a renderer under *name* (module-internal decorator;
+    external reports register by calling :func:`register_report`)."""
+
+    def register(func: Callable[..., str]) -> Callable[..., str]:
+        _REPORTS[name] = Report(name, description, params, func)
+        return func
+
+    return register
+
+
+def register_report(
+    name: str,
+    description: str,
+    params: Tuple[str, ...] = (),
+) -> Callable[[Callable[..., str]], Callable[..., str]]:
+    """Public registration decorator for out-of-module reports."""
+    return _report(name, description, params)
+
+
+def list_reports() -> List[Report]:
+    """The report catalogue, sorted by name."""
+    return [_REPORTS[name] for name in sorted(_REPORTS)]
+
+
+def render_report(journal: Journal, name: str, **params: Any) -> str:
+    """Render the report *name* against *journal*.
+
+    Unknown names and parameters raise :class:`ValueError` naming the
+    valid choices — the CLI surfaces both directly.
+    """
+    report = _REPORTS.get(name)
+    if report is None:
+        known = ", ".join(sorted(_REPORTS))
+        raise ValueError(f"unknown report {name!r} (known: {known})")
+    unknown = sorted(set(params) - set(report.params))
+    if unknown:
+        allowed = ", ".join(report.params) or "none"
+        raise ValueError(
+            f"report {name!r} does not take {unknown} "
+            f"(allowed parameters: {allowed})"
+        )
+    return report.render(journal, **params)
+
+
+def _deprecated_shim(old: str, name: str) -> None:
+    warnings.warn(
+        f"presentation.{old}() is deprecated and will be removed next "
+        f"release; use render_report(journal, {name!r}, ...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _store(journal: Journal):
+    """A throwaway pull-mode topology store for one rendering."""
+    from .topology import TopologyStore
+
+    return TopologyStore(journal, use_feed=False)
 
 
 def _age(journal: Journal, when: Optional[float]) -> str:
@@ -63,8 +186,8 @@ def _last_non_dns_verification(record: InterfaceRecord) -> Optional[float]:
 # ----------------------------------------------------------------------
 
 
-def journal_dump(journal: Journal) -> str:
-    """Everything in the Journal, one line per record."""
+@_report("dump", "everything in the Journal, one line per record")
+def _render_dump(journal: Journal) -> str:
     lines = [f"# journal dump at t={journal.now:.1f}"]
     lines.append(f"# {journal.counts()}")
     lines.append("## interfaces (least recently modified first)")
@@ -84,14 +207,17 @@ def journal_dump(journal: Journal) -> str:
 # ----------------------------------------------------------------------
 
 
-def interface_report(journal: Journal, *, network: Optional[str] = None) -> str:
-    """Level 1: all interfaces in a network, with address, DNS name, and
-    time since last (non-DNS) verification.
-
-    ``network`` in CIDR form (``a.b.c.d/len``) runs as an indexed
-    ``InSubnet`` query — O(result), not O(journal); a bare prefix string
-    falls back to the original prefix match over everything.
-    """
+@_report(
+    "interfaces",
+    "level 1: interfaces with address, DNS name, last verification",
+    params=("network",),
+)
+def _render_interfaces(
+    journal: Journal, *, network: Optional[str] = None
+) -> str:
+    """``network`` in CIDR form (``a.b.c.d/len``) runs as an indexed
+    ``InSubnet`` query — O(result), not O(journal); a bare prefix
+    string falls back to the original prefix match over everything."""
     prefix = network
     records = None
     if network is not None and "/" in network:
@@ -116,9 +242,12 @@ def interface_report(journal: Journal, *, network: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
-def subnet_interfaces_report(journal: Journal, subnet: str) -> str:
-    """Level 2: one subnet's interfaces with MAC, RIP-source and
-    gateway-membership flags."""
+@_report(
+    "subnet",
+    "level 2: one subnet's interfaces with MAC/RIP/gateway flags",
+    params=("subnet",),
+)
+def _render_subnet(journal: Journal, *, subnet: str) -> str:
     try:
         target = Subnet.parse(subnet)
     except ValueError:
@@ -141,9 +270,12 @@ def subnet_interfaces_report(journal: Journal, subnet: str) -> str:
     return "\n".join(lines)
 
 
-def interface_detail(journal: Journal, ip: str) -> str:
-    """Level 3: every data item stored for one interface, with its
-    triple timestamps, source, and quality."""
+@_report(
+    "interface",
+    "level 3: one interface's attributes with provenance and history",
+    params=("ip",),
+)
+def _render_interface(journal: Journal, *, ip: str) -> str:
     records = journal.interfaces_by_ip(ip)
     if not records:
         return f"no interface records for {ip}"
@@ -172,16 +304,19 @@ def interface_detail(journal: Journal, ip: str) -> str:
 # ----------------------------------------------------------------------
 
 
-def sunnet_export(journal: Journal) -> str:
-    """The discovered structure in a SunNet-Manager-style element file.
-
-    One ``component`` record per subnet and gateway, one ``connection``
-    record per gateway-subnet attachment — the relationships SunNet
-    Manager could not discover by itself ("Using SunNet Manager, the
-    user must enter and maintain network relationship information
-    manually.  Fremont supports this function automatically.").
-    """
-    graph = Correlator(journal).topology()
+@_report("sunnet", "SunNet-Manager-style element/connection export")
+def _render_sunnet(journal: Journal) -> str:
+    """One ``component`` record per subnet and gateway, one
+    ``connection`` record per gateway-subnet attachment — the
+    relationships SunNet Manager could not discover by itself ("Using
+    SunNet Manager, the user must enter and maintain network
+    relationship information manually.  Fremont supports this function
+    automatically.")."""
+    store = _store(journal)
+    try:
+        graph = store.graph()
+    finally:
+        store.close()
     lines = ["! Fremont topology export (SunNet Manager element format)"]
     for subnet_key in sorted(graph.subnets):
         name = subnet_key.replace("/", "_")
@@ -200,57 +335,155 @@ def sunnet_export(journal: Journal) -> str:
     return "\n".join(lines)
 
 
-def dot_export(journal: Journal) -> str:
-    """The same graph as Graphviz DOT (the modern Figure 2 rendering)."""
-    graph = Correlator(journal).topology()
+@_report("dot", "Graphviz DOT rendering (questionable edges dashed)")
+def _render_dot(journal: Journal) -> str:
+    store = _store(journal)
+    try:
+        graph = store.graph()
+        edges = store.edges()
+    finally:
+        store.close()
     lines = [
         "graph fremont {",
         "  layout=neato;",
         '  node [fontname="Helvetica"];',
     ]
+    # Journal-local ordinals, not record ids: ids come from a
+    # process-global counter, so embedding them would make the output
+    # depend on allocation history rather than journal content.
+    ordinal = _gateway_ordinals(graph)
     for subnet_key in sorted(graph.subnets):
         lines.append(
             f'  "{subnet_key}" [shape=ellipse, style=filled, '
             'fillcolor=lightblue];'
         )
     for gateway_id, (name, _subnets) in sorted(graph.gateways.items()):
-        lines.append(f'  "gw:{name}#{gateway_id}" [shape=box, label="{name}"];')
-    for gateway_id, (name, subnet_keys) in sorted(graph.gateways.items()):
-        for subnet_key in subnet_keys:
-            lines.append(f'  "gw:{name}#{gateway_id}" -- "{subnet_key}";')
+        lines.append(
+            f'  "gw:{name}#{ordinal[gateway_id]}" [shape=box, label="{name}"];'
+        )
+    for edge in edges:
+        style = "" if edge.confidence == "good" else " [style=dashed]"
+        lines.append(
+            f'  "gw:{edge.gateway_name}#{ordinal[edge.gateway_id]}" -- '
+            f'"{edge.subnet}"{style};'
+        )
     lines.append("}")
     return "\n".join(lines)
 
 
-def svg_export(
+def _gateway_ordinals(graph) -> Dict[int, int]:
+    """Stable 1-based gateway numbering in record-id order."""
+    return {gid: index for index, gid in enumerate(sorted(graph.gateways), 1)}
+
+
+def _seeded_unit(seed: int, token: str) -> float:
+    """A stable float in [0, 1) from (seed, token): md5, not ``hash()``
+    (which is salted per process)."""
+    digest = hashlib.md5(f"{seed}:{token}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _spring_layout(
+    nodes: List[Tuple[str, Any]],
+    edges: List[Tuple[Tuple[str, Any], Tuple[str, Any]]],
+    *,
+    seed: int,
+    iterations: int = 60,
+) -> Dict[Tuple[str, Any], Tuple[float, float]]:
+    """Deterministic Fruchterman-Reingold-style embedding in the unit
+    square.  Pure python over *sorted* nodes/edges: identical input
+    graphs place identically on every run, platform, and library
+    version — the property the golden SVG tests pin down."""
+    if not nodes:
+        return {}
+    positions = {
+        node: (
+            _seeded_unit(seed, f"x:{node[0]}:{node[1]}"),
+            _seeded_unit(seed, f"y:{node[0]}:{node[1]}"),
+        )
+        for node in nodes
+    }
+    if len(nodes) == 1:
+        return {nodes[0]: (0.5, 0.5)}
+    k = math.sqrt(1.0 / len(nodes))
+    temperature = 0.1
+    cooling = temperature / (iterations + 1)
+    for _step in range(iterations):
+        forces = {node: [0.0, 0.0] for node in nodes}
+        for i, a in enumerate(nodes):
+            ax, ay = positions[a]
+            for b in nodes[i + 1:]:
+                bx, by = positions[b]
+                dx, dy = ax - bx, ay - by
+                distance = math.sqrt(dx * dx + dy * dy) or 1e-6
+                repulse = (k * k) / distance
+                fx, fy = dx / distance * repulse, dy / distance * repulse
+                forces[a][0] += fx
+                forces[a][1] += fy
+                forces[b][0] -= fx
+                forces[b][1] -= fy
+        for a, b in edges:
+            ax, ay = positions[a]
+            bx, by = positions[b]
+            dx, dy = ax - bx, ay - by
+            distance = math.sqrt(dx * dx + dy * dy) or 1e-6
+            attract = (distance * distance) / k
+            fx, fy = dx / distance * attract, dy / distance * attract
+            forces[a][0] -= fx
+            forces[a][1] -= fy
+            forces[b][0] += fx
+            forces[b][1] += fy
+        for node in nodes:
+            fx, fy = forces[node]
+            magnitude = math.sqrt(fx * fx + fy * fy) or 1e-6
+            step = min(magnitude, temperature)
+            x, y = positions[node]
+            positions[node] = (
+                min(1.0, max(0.0, x + fx / magnitude * step)),
+                min(1.0, max(0.0, y + fy / magnitude * step)),
+            )
+        temperature -= cooling
+    return positions
+
+
+@_report(
+    "svg",
+    "standalone SVG map (deterministic layout, questionable edges dashed)",
+    params=("width", "height", "seed"),
+)
+def _render_svg(
     journal: Journal,
     *,
     width: int = 1200,
     height: int = 900,
     seed: int = 7,
 ) -> str:
-    """The discovered map rendered as a standalone SVG document.
-
-    Layout comes from a networkx spring embedding over the bipartite
-    subnet/gateway incidence graph — the self-contained replacement for
-    the SunNet Manager window of Figure 2.
-    """
-    import networkx as nx
-
-    graph = Correlator(journal).topology()
-    nxg = nx.Graph()
-    for subnet_key in graph.subnets:
-        nxg.add_node(("subnet", subnet_key))
-    for gateway_id, (name, subnet_keys) in graph.gateways.items():
-        nxg.add_node(("gateway", gateway_id))
-        for subnet_key in subnet_keys:
-            nxg.add_edge(("gateway", gateway_id), ("subnet", subnet_key))
-    if not nxg:
+    """The discovered map rendered as a standalone SVG document — the
+    self-contained replacement for the SunNet Manager window of
+    Figure 2."""
+    store = _store(journal)
+    try:
+        graph = store.graph()
+        topo_edges = store.edges()
+    finally:
+        store.close()
+    # Layout keys use journal-local ordinals (see _gateway_ordinals):
+    # the embedding must depend on the journal's content, not on the
+    # process-global record-id counter.
+    ordinal = _gateway_ordinals(graph)
+    nodes: List[Tuple[str, Any]] = [
+        ("subnet", key) for key in sorted(graph.subnets)
+    ] + [("gateway", ordinal[gid]) for gid in sorted(graph.gateways)]
+    if not nodes:
         return (
             f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
             f'height="{height}"><text x="20" y="40">empty journal</text></svg>'
         )
-    positions = nx.spring_layout(nxg, seed=seed)
+    edge_pairs = [
+        (("gateway", ordinal[edge.gateway_id]), ("subnet", edge.subnet))
+        for edge in topo_edges
+    ]
+    positions = _spring_layout(nodes, edge_pairs, seed=seed)
 
     margin = 60.0
     xs = [p[0] for p in positions.values()]
@@ -270,20 +503,21 @@ def svg_export(
         "<style>text{font-family:sans-serif;font-size:9px}"
         ".subnet{fill:#cfe8ff;stroke:#336}"
         ".gateway{fill:#ffe9b3;stroke:#863}"
-        ".link{stroke:#999;stroke-width:1}</style>",
+        ".link{stroke:#999;stroke-width:1}"
+        ".lowconf{stroke-dasharray:4 3}</style>",
         f'<text x="{margin}" y="28" style="font-size:15px">'
         "Fremont: discovered network map</text>",
     ]
-    for gateway_id, (name, subnet_keys) in sorted(graph.gateways.items()):
-        gx, gy = place(("gateway", gateway_id))
-        for subnet_key in subnet_keys:
-            if ("subnet", subnet_key) not in positions:
-                continue
-            sx, sy = place(("subnet", subnet_key))
-            lines.append(
-                f'<line class="link" x1="{gx:.1f}" y1="{gy:.1f}" '
-                f'x2="{sx:.1f}" y2="{sy:.1f}"/>'
-            )
+    for edge in topo_edges:
+        if ("subnet", edge.subnet) not in positions:
+            continue
+        gx, gy = place(("gateway", ordinal[edge.gateway_id]))
+        sx, sy = place(("subnet", edge.subnet))
+        css = "link" if edge.confidence == "good" else "link lowconf"
+        lines.append(
+            f'<line class="{css}" x1="{gx:.1f}" y1="{gy:.1f}" '
+            f'x2="{sx:.1f}" y2="{sy:.1f}"/>'
+        )
     for subnet_key in sorted(graph.subnets):
         x, y = place(("subnet", subnet_key))
         lines.append(
@@ -292,7 +526,7 @@ def svg_export(
             f"{subnet_key.split('/')[0]}</text>"
         )
     for gateway_id, (name, _subnets) in sorted(graph.gateways.items()):
-        x, y = place(("gateway", gateway_id))
+        x, y = place(("gateway", ordinal[gateway_id]))
         label = name.split(".")[0]
         lines.append(
             f'<rect class="gateway" x="{x - 26:.1f}" y="{y - 9:.1f}" '
@@ -301,6 +535,168 @@ def svg_export(
         )
     lines.append("</svg>")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Topology-store reports: the operator troubleshooting surface
+# ----------------------------------------------------------------------
+
+
+@_report(
+    "topology",
+    "current topology edges with confidence badges and flap history",
+)
+def _render_topology(journal: Journal) -> str:
+    store = _store(journal)
+    try:
+        edges = store.edges()
+        graph = store.graph()
+    finally:
+        store.close()
+    components = graph.connected_components()
+    lines = [
+        f"# topology: {len(graph.subnets)} subnet(s), "
+        f"{len(graph.gateways)} gateway(s), {len(edges)} link(s), "
+        f"{len(components)} component(s)"
+    ]
+    for edge in edges:
+        flaps = f"  (flaps: {edge.flaps})" if edge.flaps else ""
+        lines.append(
+            f"  {edge.gateway_name} --{_badge(edge.confidence, edge.method)}"
+            f"-- {edge.subnet}{flaps}"
+        )
+    for index, component in enumerate(components):
+        lines.append(
+            f"component {index + 1}: " + " ".join(sorted(component))
+        )
+    lines.append(BADGE_LEGEND)
+    return "\n".join(lines)
+
+
+def render_path(path) -> str:
+    """Human rendering of a :class:`~repro.core.topology.TopologyPath`
+    (shared by the ``path`` report and the CLI subcommand, which also
+    answers from remote/sharded clients)."""
+    header = f"path {path.source} -> {path.destination}: "
+    if not path.found:
+        return header + (path.reason or "no route")
+    if not path.hops:
+        return header + f"same node ({path.nodes[0]})"
+    lines = [header + f"found, cost {path.cost:g}, {len(path.hops)} hop(s)"]
+    for index, hop in enumerate(path.hops):
+        lines.append(
+            f"  {index + 1}. {path.nodes[index]} "
+            f"--{_badge(hop['confidence'], hop['method'])}-- "
+            f"{path.nodes[index + 1]}"
+        )
+    lines.append(BADGE_LEGEND)
+    return "\n".join(lines)
+
+
+def render_impact(impact) -> str:
+    """Human rendering of a
+    :class:`~repro.core.topology.TopologyImpact`."""
+    if not impact.found:
+        return f"impact of {impact.target}: {impact.reason or 'unknown node'}"
+    lines = [
+        f"impact of {impact.target} ({impact.kind}): "
+        f"component of {len(impact.component_subnets)} subnet(s)"
+    ]
+    if not impact.articulation:
+        lines.append(
+            "  no partition: the surviving component stays connected"
+        )
+        return "\n".join(lines)
+    lines.append(
+        f"  cut off: {len(impact.cut_subnets)} subnet(s), "
+        f"{len(impact.cut_gateways)} gateway(s), "
+        f"{impact.isolated_hosts} host interface(s)"
+    )
+    for subnet in impact.cut_subnets:
+        lines.append(f"    subnet  {subnet}")
+    for gateway in impact.cut_gateways:
+        lines.append(f"    gateway {gateway}")
+    lines.append("  verdict: single point of failure")
+    return "\n".join(lines)
+
+
+@_report(
+    "path",
+    "confidence-weighted route between two endpoints with evidence",
+    params=("a", "b"),
+)
+def _render_path_report(journal: Journal, *, a: str, b: str) -> str:
+    store = _store(journal)
+    try:
+        return render_path(store.path(a, b))
+    finally:
+        store.close()
+
+
+@_report(
+    "impact",
+    "blast radius if the target subnet/gateway fails",
+    params=("target",),
+)
+def _render_impact_report(journal: Journal, *, target: str) -> str:
+    store = _store(journal)
+    try:
+        return render_impact(store.impact(target))
+    finally:
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# One-release deprecated shims over the registry
+# ----------------------------------------------------------------------
+
+
+def journal_dump(journal: Journal) -> str:
+    """Deprecated: use ``render_report(journal, "dump")``."""
+    _deprecated_shim("journal_dump", "dump")
+    return _render_dump(journal)
+
+
+def interface_report(journal: Journal, *, network: Optional[str] = None) -> str:
+    """Deprecated: use ``render_report(journal, "interfaces", ...)``."""
+    _deprecated_shim("interface_report", "interfaces")
+    return _render_interfaces(journal, network=network)
+
+
+def subnet_interfaces_report(journal: Journal, subnet: str) -> str:
+    """Deprecated: use ``render_report(journal, "subnet", ...)``."""
+    _deprecated_shim("subnet_interfaces_report", "subnet")
+    return _render_subnet(journal, subnet=subnet)
+
+
+def interface_detail(journal: Journal, ip: str) -> str:
+    """Deprecated: use ``render_report(journal, "interface", ...)``."""
+    _deprecated_shim("interface_detail", "interface")
+    return _render_interface(journal, ip=ip)
+
+
+def sunnet_export(journal: Journal) -> str:
+    """Deprecated: use ``render_report(journal, "sunnet")``."""
+    _deprecated_shim("sunnet_export", "sunnet")
+    return _render_sunnet(journal)
+
+
+def dot_export(journal: Journal) -> str:
+    """Deprecated: use ``render_report(journal, "dot")``."""
+    _deprecated_shim("dot_export", "dot")
+    return _render_dot(journal)
+
+
+def svg_export(
+    journal: Journal,
+    *,
+    width: int = 1200,
+    height: int = 900,
+    seed: int = 7,
+) -> str:
+    """Deprecated: use ``render_report(journal, "svg", ...)``."""
+    _deprecated_shim("svg_export", "svg")
+    return _render_svg(journal, width=width, height=height, seed=seed)
 
 
 def _sort_ip(ip: Optional[str]):

@@ -1146,6 +1146,40 @@ class ShardedClient:
 
         return self._merge_records(self._scatter(one_shard))
 
+    # -- topology ----------------------------------------------------------
+
+    def _topology(self):
+        """Router-side topology: scatter per-shard subgraphs, merge in
+        the router.  The per-shard pulls ride a
+        :class:`~repro.core.replicate.FederatedView` (incremental
+        revision-cursor sync, shards visited in index order — the same
+        gather order every scatter read uses), so gateway and subnet
+        fragments split across shards re-merge by identity before the
+        graph is computed.  Evidence in the merged answers names
+        gateways and subnets (globally meaningful); numeric gateway ids
+        are aggregate-local."""
+        if getattr(self, "_topology_store", None) is None:
+            from .replicate import FederatedView
+            from .topology import TopologyStore
+
+            self._topology_view = FederatedView(self.clients)
+            self._topology_store = TopologyStore(self._topology_view.journal)
+        self._topology_view.refresh()
+        if self._topology_view.partial:
+            self.partial = True
+            self.missing_shards = list(self._topology_view.stale_shards)
+        return self._topology_store
+
+    def path(self, a: str, b: str):
+        """Confidence-weighted route across the whole fleet's merged
+        subgraphs; see :meth:`repro.core.topology.TopologyStore.path`."""
+        return self._topology().path(a, b)
+
+    def impact(self, target: str):
+        """Fleet-wide blast radius of *target*; see
+        :meth:`repro.core.topology.TopologyStore.impact`."""
+        return self._topology().impact(target)
+
     def counts(self) -> Dict[str, int]:
         """Fleet totals: per-shard counts summed key-wise.  Raises when
         any shard is unreachable — totals over a partial fleet would

@@ -1,0 +1,869 @@
+"""The persistent topology store: from correlated evidence to a map.
+
+The Correlator leaves the discovered structure implicit in Journal
+records — gateway ``connected_subnets`` attributes, subnet records,
+interface masks — and :class:`~repro.core.correlate.TopologyGraph` is
+rebuilt transiently for each rendering.  The paper's promise, though,
+is an operator-facing picture: "the network and gateway entries" as a
+*queryable* map a troubleshooter can ask questions of.
+
+:class:`TopologyStore` is that layer.  It tails the Journal change
+feed (the same subscription machinery the Correlator and
+``AnalysisMonitor`` use) and maintains a persistent graph of devices,
+interfaces, and subnets whose edges carry *provenance*:
+
+* ``method`` — which explorer or correlation rule produced the
+  attachment (the ``source`` of the gateway's ``connected_subnets``
+  attribute: ``correlator``, ``Traceroute``, ``RIPwatch``, ...);
+* ``confidence`` — the attribute's quality (``good`` /
+  ``questionable``), which weights path selection and drives the
+  dashed-edge rendering in :mod:`~repro.core.presentation`;
+* a bounded per-edge history of appear/disappear transitions, so a
+  flapping link is visible *as history*, not just as current state.
+
+On top of the graph sit the two operator queries:
+
+* :meth:`~TopologyStore.path` — confidence-weighted shortest path over
+  the subnet/gateway incidence structure, returning the edge evidence
+  for every hop;
+* :meth:`~TopologyStore.impact` — blast radius: the subnets and hosts
+  cut off if the target fails (articulation analysis).
+
+Consistency contract (mirrors the PR 1 incremental-correlation
+contract): after any refresh, the store's :meth:`state` is
+byte-identical to a freshly built store's over the same Journal —
+incremental maintenance is an optimisation, never a divergence.
+Property-tested under randomized feed interleavings in
+``tests/core/test_topology.py``.
+
+Server integration: ``path``/``impact`` are wire ops served
+*read-locked* by the Journal Server, so the store must not mutate
+Journal structures while answering.  ``use_feed=False`` puts the store
+in pull mode: deltas come from :meth:`Journal.changes_since` (a pure
+read), the pin subscription's cursor advance is a single benign field
+write, and the store never prunes the change log (``prune=False``) —
+other consumers' prune calls clamp to our advancing cursor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..netsim.addresses import Ipv4Address, Netmask, Subnet
+from .correlate import TopologyGraph
+from .journal import Journal, JournalChanges
+
+__all__ = [
+    "TopologyStore",
+    "TopologyEdge",
+    "TopologyPath",
+    "TopologyImpact",
+    "CONFIDENCE_WEIGHTS",
+    "HISTORY_LIMIT",
+]
+
+#: Dijkstra edge cost by confidence: a questionable link is traversable
+#: but three confident hops are preferred over one shaky one.
+CONFIDENCE_WEIGHTS: Dict[str, float] = {"good": 1.0, "questionable": 3.0}
+
+#: appear/disappear transitions retained per edge (oldest dropped)
+HISTORY_LIMIT = 16
+
+
+@dataclass
+class TopologyEdge:
+    """One gateway-subnet attachment with its provenance.
+
+    The edge survives disappearance (``present=False``) so its
+    transition history keeps telling the flap story; only *present*
+    edges participate in :meth:`TopologyStore.state`, path finding,
+    and impact analysis.
+    """
+
+    gateway_id: int
+    gateway_name: str
+    subnet: str
+    #: explorer / correlation rule that produced the attachment
+    method: str
+    #: attribute quality backing the attachment: "good"/"questionable"
+    confidence: str
+    present: bool = True
+    #: bounded ("appear"|"disappear", journal-time) transitions
+    history: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def flaps(self) -> int:
+        """Disappearances recorded in the retained history window."""
+        return sum(1 for kind, _at in self.history if kind == "disappear")
+
+    def evidence(self) -> Dict[str, Any]:
+        """The wire/report form of this edge's provenance."""
+        return {
+            "gateway": self.gateway_id,
+            "gateway_name": self.gateway_name,
+            "subnet": self.subnet,
+            "method": self.method,
+            "confidence": self.confidence,
+        }
+
+
+@dataclass
+class TopologyPath:
+    """Result of :meth:`TopologyStore.path`: the route and its evidence."""
+
+    source: str
+    destination: str
+    found: bool
+    reason: Optional[str] = None
+    #: summed confidence-weighted edge cost
+    cost: float = 0.0
+    #: display labels along the route (subnet keys and gateway names)
+    nodes: List[str] = field(default_factory=list)
+    #: one evidence dict (see :meth:`TopologyEdge.evidence`) per hop
+    hops: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "destination": self.destination,
+            "found": self.found,
+            "reason": self.reason,
+            "cost": self.cost,
+            "nodes": list(self.nodes),
+            "hops": [dict(hop) for hop in self.hops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TopologyPath":
+        if not isinstance(data, dict):
+            raise ValueError("path payload must be an object")
+        source = data.get("source")
+        destination = data.get("destination")
+        found = data.get("found")
+        reason = data.get("reason")
+        cost = data.get("cost", 0.0)
+        nodes = data.get("nodes", [])
+        hops = data.get("hops", [])
+        if not isinstance(source, str) or not isinstance(destination, str):
+            raise ValueError("path endpoints must be strings")
+        if not isinstance(found, bool):
+            raise ValueError("path 'found' must be a boolean")
+        if reason is not None and not isinstance(reason, str):
+            raise ValueError("path 'reason' must be a string")
+        if isinstance(cost, bool) or not isinstance(cost, (int, float)):
+            raise ValueError("path 'cost' must be a number")
+        if not isinstance(nodes, list) or not all(
+            isinstance(node, str) for node in nodes
+        ):
+            raise ValueError("path 'nodes' must be a list of strings")
+        if not isinstance(hops, list) or not all(
+            isinstance(hop, dict) for hop in hops
+        ):
+            raise ValueError("path 'hops' must be a list of objects")
+        for hop in hops:
+            for key in ("gateway_name", "subnet", "method", "confidence"):
+                if not isinstance(hop.get(key), str):
+                    raise ValueError(f"path hop needs string {key!r}")
+            if isinstance(hop.get("gateway"), bool) or not isinstance(
+                hop.get("gateway"), int
+            ):
+                raise ValueError("path hop needs integer 'gateway'")
+        return cls(
+            source=source,
+            destination=destination,
+            found=found,
+            reason=reason,
+            cost=float(cost),
+            nodes=list(nodes),
+            hops=[dict(hop) for hop in hops],
+        )
+
+
+@dataclass
+class TopologyImpact:
+    """Result of :meth:`TopologyStore.impact`: the blast radius."""
+
+    target: str
+    found: bool
+    #: "subnet" or "gateway" once resolved
+    kind: Optional[str] = None
+    reason: Optional[str] = None
+    #: True when removing the target disconnects part of its component
+    articulation: bool = False
+    #: every subnet in the target's connected component
+    component_subnets: List[str] = field(default_factory=list)
+    #: subnets cut off from the surviving core if the target fails
+    cut_subnets: List[str] = field(default_factory=list)
+    #: gateway names cut off alongside them
+    cut_gateways: List[str] = field(default_factory=list)
+    #: interface records on the cut-off subnets
+    isolated_hosts: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "found": self.found,
+            "kind": self.kind,
+            "reason": self.reason,
+            "articulation": self.articulation,
+            "component_subnets": list(self.component_subnets),
+            "cut_subnets": list(self.cut_subnets),
+            "cut_gateways": list(self.cut_gateways),
+            "isolated_hosts": self.isolated_hosts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TopologyImpact":
+        if not isinstance(data, dict):
+            raise ValueError("impact payload must be an object")
+        target = data.get("target")
+        found = data.get("found")
+        kind = data.get("kind")
+        reason = data.get("reason")
+        articulation = data.get("articulation", False)
+        hosts = data.get("isolated_hosts", 0)
+        if not isinstance(target, str):
+            raise ValueError("impact 'target' must be a string")
+        if not isinstance(found, bool):
+            raise ValueError("impact 'found' must be a boolean")
+        if kind is not None and kind not in ("subnet", "gateway"):
+            raise ValueError("impact 'kind' must be 'subnet' or 'gateway'")
+        if reason is not None and not isinstance(reason, str):
+            raise ValueError("impact 'reason' must be a string")
+        if not isinstance(articulation, bool):
+            raise ValueError("impact 'articulation' must be a boolean")
+        if isinstance(hosts, bool) or not isinstance(hosts, int) or hosts < 0:
+            raise ValueError("impact 'isolated_hosts' must be a count")
+        lists = {}
+        for key in ("component_subnets", "cut_subnets", "cut_gateways"):
+            value = data.get(key, [])
+            if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise ValueError(f"impact {key!r} must be a list of strings")
+            lists[key] = list(value)
+        return cls(
+            target=target,
+            found=found,
+            kind=kind,
+            reason=reason,
+            articulation=articulation,
+            isolated_hosts=hosts,
+            **lists,
+        )
+
+
+@dataclass
+class _SubnetNode:
+    """Store-internal per-subnet bookkeeping."""
+
+    #: ids of live subnet records claiming this key
+    record_ids: Set[int] = field(default_factory=set)
+    #: interface record ids whose computed subnet is this key
+    interfaces: Set[int] = field(default_factory=set)
+    #: gateway ids with a *present* edge to this key
+    gateways: Set[int] = field(default_factory=set)
+
+    @property
+    def live(self) -> bool:
+        return bool(self.record_ids or self.interfaces or self.gateways)
+
+
+class TopologyStore:
+    """Feed-maintained topology graph with path and impact queries.
+
+    One store is meant to live as long as its Journal.  Every public
+    query refreshes first, so answers always reflect the Journal as of
+    the call.  Thread-safe: one internal lock serialises refreshes and
+    queries (the Journal Server answers ``path``/``impact`` from worker
+    threads under the read lock).
+
+    ``use_feed=True`` (the default) registers a change-feed callback:
+    publishes push deltas here and :meth:`refresh` consumes the merged
+    pending set, exactly like the feed-driven Correlator.
+    ``use_feed=False`` is pull mode for read-locked serving: deltas
+    come from ``changes_since`` and the subscription exists only to pin
+    the change history against pruning.
+    """
+
+    def __init__(
+        self,
+        journal: Journal,
+        *,
+        default_prefix: int = 24,
+        history_limit: int = HISTORY_LIMIT,
+        use_feed: bool = True,
+        prune: bool = False,
+    ) -> None:
+        self.journal = journal
+        self.default_prefix = default_prefix
+        self.history_limit = history_limit
+        self.use_feed = use_feed
+        self.prune = prune
+        #: Journal revision covered by the last refresh; None = never
+        self.last_revision: Optional[int] = None
+        self.full_refreshes = 0
+        self.incremental_refreshes = 0
+        self._pending: Optional[JournalChanges] = None
+        self._lock = threading.RLock()
+        if use_feed:
+            self.subscription = journal.subscribe(self._absorb_changes)
+        else:
+            self.subscription = journal.subscribe()
+        #: (gateway id, subnet key) -> edge (present and retired)
+        self._edges: Dict[Tuple[int, str], TopologyEdge] = {}
+        #: gateway id -> display name, for every live gateway record
+        self._gateway_names: Dict[int, str] = {}
+        #: gateway id -> present edge subnet keys
+        self._gateway_subnets: Dict[int, Set[str]] = {}
+        #: subnet key -> node bookkeeping
+        self._subnet_nodes: Dict[str, _SubnetNode] = {}
+        #: interface record id -> computed subnet key
+        self._iface_subnet: Dict[int, str] = {}
+        #: subnet record id -> key (for delete handling)
+        self._subnet_record_key: Dict[int, str] = {}
+        self._c_refreshes = journal.telemetry.counter(
+            "fremont_topology_refreshes_total",
+            "Topology store refreshes by mode",
+            labels=("mode",),
+        )
+        self._g_edges = journal.telemetry.gauge(
+            "fremont_topology_edges",
+            "Present gateway-subnet edges in the topology store",
+        )
+
+    # ------------------------------------------------------------------
+    # Feed consumption
+    # ------------------------------------------------------------------
+
+    def _absorb_changes(self, changes: JournalChanges) -> None:
+        """Feed callback: fold the pushed delta into the pending set."""
+        if self._pending is None:
+            self._pending = changes
+        else:
+            self._pending.merge(changes)
+
+    def close(self) -> None:
+        """Detach from the change feed."""
+        if self.subscription is not None:
+            self.subscription.close()
+            self.subscription = None
+
+    # ------------------------------------------------------------------
+    # Refresh: incremental by default, rebuild when history is gone
+    # ------------------------------------------------------------------
+
+    def refresh(self, *, full: bool = False) -> str:
+        """Bring the graph up to the Journal's current revision.
+
+        Returns the mode used: ``"full"`` or ``"incremental"``.
+        """
+        with self._lock:
+            journal = self.journal
+            changes: Optional[JournalChanges] = None
+            if self.use_feed:
+                # Pull through unpublished writes so the pending delta
+                # covers everything up to this instant.
+                journal.publish()
+                if not full and self.last_revision is not None:
+                    changes = self._pending
+                    if changes is None:
+                        changes = JournalChanges(
+                            since=self.last_revision, revision=journal.revision
+                        )
+            elif not full and self.last_revision is not None:
+                changes = journal.changes_since(self.last_revision)
+            self._pending = None
+            if changes is not None and not changes.complete:
+                changes = None  # history pruned out from under us
+            if self.last_revision is None or full or changes is None:
+                mode = "full"
+                self.full_refreshes += 1
+                self._rebuild()
+            else:
+                mode = "incremental"
+                self.incremental_refreshes += 1
+                self._apply(changes)
+            self.last_revision = journal.revision
+            if self.subscription is not None:
+                # Advance the pin cursor: skip redelivery of what we
+                # just consumed, and let other consumers prune past it.
+                self.subscription.last_revision = journal.revision
+            if self.prune:
+                journal.prune_changes(journal.revision)
+            self._c_refreshes.labels(mode=mode).inc()
+            self._g_edges.set(
+                sum(1 for edge in self._edges.values() if edge.present)
+            )
+            return mode
+
+    def _rebuild(self) -> None:
+        """Reconcile against the whole Journal (first refresh, or the
+        delta was pruned away).  Existing edges keep their transition
+        history: a rebuild diffs, it does not forget."""
+        journal = self.journal
+        for rid in sorted(set(self._iface_subnet) - set(journal.interfaces)):
+            self._drop_interface(rid)
+        for rid in sorted(journal.interfaces):
+            self._sync_interface(rid)
+        for rid in sorted(set(self._subnet_record_key) - set(journal.subnets)):
+            self._drop_subnet_record(rid)
+        for rid in sorted(journal.subnets):
+            self._sync_subnet_record(rid)
+        for gid in sorted(set(self._gateway_names) - set(journal.gateways)):
+            self._drop_gateway(gid)
+        for gid in sorted(journal.gateways):
+            self._sync_gateway(gid)
+
+    def _apply(self, changes: JournalChanges) -> None:
+        """Fold one (merged) feed delta into the graph."""
+        for rid in sorted(changes.deleted_interfaces):
+            self._drop_interface(rid)
+        for rid in sorted(changes.interfaces):
+            self._sync_interface(rid)
+        for rid in sorted(changes.deleted_subnets):
+            self._drop_subnet_record(rid)
+        for rid in sorted(changes.subnets):
+            self._sync_subnet_record(rid)
+        for gid in sorted(changes.deleted_gateways):
+            self._drop_gateway(gid)
+        for gid in sorted(changes.gateways):
+            self._sync_gateway(gid)
+
+    # ------------------------------------------------------------------
+    # Per-record reconciliation
+    # ------------------------------------------------------------------
+
+    def _node(self, key: str) -> _SubnetNode:
+        node = self._subnet_nodes.get(key)
+        if node is None:
+            node = self._subnet_nodes[key] = _SubnetNode()
+        return node
+
+    def _gc_node(self, key: str) -> None:
+        node = self._subnet_nodes.get(key)
+        if node is not None and not node.live:
+            del self._subnet_nodes[key]
+
+    def _compute_subnet(self, record) -> Optional[str]:
+        if record.ip is None:
+            return None
+        try:
+            ip = Ipv4Address.parse(record.ip)
+        except ValueError:
+            return None
+        mask_text = record.subnet_mask
+        if mask_text:
+            try:
+                return str(Subnet.containing(ip, Netmask.parse(mask_text)))
+            except ValueError:
+                pass
+        return str(
+            Subnet.containing(ip, Netmask.from_prefix(self.default_prefix))
+        )
+
+    def _sync_interface(self, rid: int) -> None:
+        record = self.journal.interfaces.get(rid)
+        if record is None:
+            self._drop_interface(rid)
+            return
+        key = self._compute_subnet(record)
+        old = self._iface_subnet.get(rid)
+        if old == key:
+            return
+        if old is not None:
+            self._node(old).interfaces.discard(rid)
+            self._gc_node(old)
+        if key is None:
+            self._iface_subnet.pop(rid, None)
+        else:
+            self._iface_subnet[rid] = key
+            self._node(key).interfaces.add(rid)
+
+    def _drop_interface(self, rid: int) -> None:
+        key = self._iface_subnet.pop(rid, None)
+        if key is not None:
+            node = self._subnet_nodes.get(key)
+            if node is not None:
+                node.interfaces.discard(rid)
+                self._gc_node(key)
+
+    def _sync_subnet_record(self, rid: int) -> None:
+        record = self.journal.subnets.get(rid)
+        if record is None or record.subnet is None:
+            self._drop_subnet_record(rid)
+            return
+        key = record.subnet
+        old = self._subnet_record_key.get(rid)
+        if old == key:
+            return
+        if old is not None:
+            self._drop_subnet_record(rid)
+        self._subnet_record_key[rid] = key
+        self._node(key).record_ids.add(rid)
+
+    def _drop_subnet_record(self, rid: int) -> None:
+        key = self._subnet_record_key.pop(rid, None)
+        if key is not None:
+            node = self._subnet_nodes.get(key)
+            if node is not None:
+                node.record_ids.discard(rid)
+                self._gc_node(key)
+
+    def _sync_gateway(self, gid: int) -> None:
+        record = self.journal.gateways.get(gid)
+        if record is None:
+            self._drop_gateway(gid)
+            return
+        name = record.name or f"gateway-{gid}"
+        self._gateway_names[gid] = name
+        now = self.journal.now
+        wanted: Dict[str, Tuple[str, str]] = {}
+        for key in sorted(record.connected_subnets):
+            attribute = record.connected_subnets[key]
+            wanted[key] = (
+                attribute.source or "unknown",
+                attribute.quality,
+            )
+        current = self._gateway_subnets.setdefault(gid, set())
+        for key in sorted(set(current) - set(wanted)):
+            self._retire_edge(gid, key, now)
+        for key, (method, confidence) in wanted.items():
+            edge = self._edges.get((gid, key))
+            if edge is None:
+                edge = TopologyEdge(
+                    gateway_id=gid,
+                    gateway_name=name,
+                    subnet=key,
+                    method=method,
+                    confidence=confidence,
+                )
+                self._record_transition(edge, "appear", now)
+                self._edges[(gid, key)] = edge
+            else:
+                if not edge.present:
+                    edge.present = True
+                    self._record_transition(edge, "appear", now)
+                edge.method = method
+                edge.confidence = confidence
+                edge.gateway_name = name
+            current.add(key)
+            self._node(key).gateways.add(gid)
+        # A rename must reach retired edges too: their history lines
+        # are rendered under the gateway's current name.
+        for (edge_gid, _key), edge in self._edges.items():
+            if edge_gid == gid:
+                edge.gateway_name = name
+
+    def _drop_gateway(self, gid: int) -> None:
+        now = self.journal.now
+        for key in sorted(self._gateway_subnets.get(gid, ())):
+            self._retire_edge(gid, key, now)
+        self._gateway_subnets.pop(gid, None)
+        self._gateway_names.pop(gid, None)
+        # The record is gone: retired edges would render under a dead
+        # id forever, so forget them with it.
+        for edge_key in [k for k in self._edges if k[0] == gid]:
+            del self._edges[edge_key]
+
+    def _retire_edge(self, gid: int, key: str, now: float) -> None:
+        edge = self._edges.get((gid, key))
+        if edge is not None and edge.present:
+            edge.present = False
+            self._record_transition(edge, "disappear", now)
+        subnets = self._gateway_subnets.get(gid)
+        if subnets is not None:
+            subnets.discard(key)
+        node = self._subnet_nodes.get(key)
+        if node is not None:
+            node.gateways.discard(gid)
+            self._gc_node(key)
+
+    def _record_transition(self, edge: TopologyEdge, kind: str, now: float) -> None:
+        edge.history.append((kind, now))
+        if len(edge.history) > self.history_limit:
+            del edge.history[: len(edge.history) - self.history_limit]
+
+    # ------------------------------------------------------------------
+    # Read surface
+    # ------------------------------------------------------------------
+
+    def edges(self) -> List[TopologyEdge]:
+        """Present edges, sorted by (gateway id, subnet key)."""
+        with self._lock:
+            self.refresh()
+            return [
+                self._edges[key]
+                for key in sorted(self._edges)
+                if self._edges[key].present
+            ]
+
+    def graph(self) -> TopologyGraph:
+        """The store's current structure as the classic
+        :class:`~repro.core.correlate.TopologyGraph` (what the
+        exporters and Figure 2 consume)."""
+        with self._lock:
+            self.refresh()
+            graph = TopologyGraph()
+            for key in sorted(self._subnet_nodes):
+                graph.subnets[key] = sorted(self._subnet_nodes[key].gateways)
+            for gid in sorted(self._gateway_names):
+                graph.gateways[gid] = (
+                    self._gateway_names[gid],
+                    sorted(self._gateway_subnets.get(gid, ())),
+                )
+            return graph
+
+    def state(self) -> Dict[str, Any]:
+        """Canonical JSON-able structure state (no history): the
+        incremental ≡ rebuilt equivalence surface."""
+        with self._lock:
+            self.refresh()
+            subnets = {
+                key: {
+                    "gateways": sorted(node.gateways),
+                    "interfaces": len(node.interfaces),
+                }
+                for key, node in sorted(self._subnet_nodes.items())
+            }
+            gateways = {
+                str(gid): {
+                    "name": self._gateway_names[gid],
+                    "subnets": sorted(self._gateway_subnets.get(gid, ())),
+                }
+                for gid in sorted(self._gateway_names)
+            }
+            edges = [
+                self._edges[key].evidence()
+                for key in sorted(self._edges)
+                if self._edges[key].present
+            ]
+            return {"subnets": subnets, "gateways": gateways, "edges": edges}
+
+    def canonical_text(self) -> str:
+        """:meth:`state` as deterministic bytes-comparable JSON."""
+        return json.dumps(self.state(), sort_keys=True, separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    # Endpoint resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, target: str) -> Optional[Tuple[str, Any]]:
+        """Resolve an operator-supplied endpoint to a graph node:
+        a subnet key, a gateway name / ``gateway-<id>`` / bare id, or
+        an interface IP (which lands on its subnet)."""
+        if target in self._subnet_nodes:
+            return ("subnet", target)
+        matches = [
+            gid
+            for gid in sorted(self._gateway_names)
+            if self._gateway_names[gid] == target
+        ]
+        if matches:
+            return ("gateway", matches[0])
+        if target.startswith("gateway-"):
+            suffix = target[len("gateway-"):]
+            if suffix.isdigit() and int(suffix) in self._gateway_names:
+                return ("gateway", int(suffix))
+        if target.isdigit() and int(target) in self._gateway_names:
+            return ("gateway", int(target))
+        try:
+            ip = Ipv4Address.parse(target)
+        except ValueError:
+            return None
+        for record in self.journal.interfaces_by_ip(target):
+            key = self._iface_subnet.get(record.record_id)
+            if key is not None:
+                return ("subnet", key)
+        key = str(
+            Subnet.containing(ip, Netmask.from_prefix(self.default_prefix))
+        )
+        if key in self._subnet_nodes:
+            return ("subnet", key)
+        return None
+
+    def _label(self, node: Tuple[str, Any]) -> str:
+        kind, value = node
+        if kind == "subnet":
+            return value
+        return self._gateway_names.get(value, f"gateway-{value}")
+
+    def _neighbours(
+        self, node: Tuple[str, Any]
+    ) -> List[Tuple[Tuple[str, Any], TopologyEdge]]:
+        """Adjacent nodes over present edges, deterministically ordered."""
+        kind, value = node
+        result: List[Tuple[Tuple[str, Any], TopologyEdge]] = []
+        if kind == "subnet":
+            bucket = self._subnet_nodes.get(value)
+            for gid in sorted(bucket.gateways if bucket else ()):
+                edge = self._edges.get((gid, value))
+                if edge is not None and edge.present:
+                    result.append((("gateway", gid), edge))
+        else:
+            for key in sorted(self._gateway_subnets.get(value, ())):
+                edge = self._edges.get((value, key))
+                if edge is not None and edge.present:
+                    result.append((("subnet", key), edge))
+        return result
+
+    @staticmethod
+    def _order(node: Tuple[str, Any]) -> Tuple[str, str]:
+        kind, value = node
+        return (kind, value if kind == "subnet" else f"{value:012d}")
+
+    # ------------------------------------------------------------------
+    # path: confidence-weighted shortest route
+    # ------------------------------------------------------------------
+
+    def path(self, a: str, b: str) -> TopologyPath:
+        """Confidence-weighted shortest path from *a* to *b* over the
+        subnet/gateway incidence graph, with edge evidence per hop.
+
+        Endpoints may be subnet keys (``10.0.1.0/24``), gateway names,
+        or interface IPs.  Questionable edges cost
+        ``CONFIDENCE_WEIGHTS["questionable"]`` per hop, so the route
+        prefers confident evidence where one exists.
+        """
+        with self._lock:
+            self.refresh()
+            source = self._resolve(a)
+            if source is None:
+                return TopologyPath(a, b, False, reason=f"unknown node: {a}")
+            destination = self._resolve(b)
+            if destination is None:
+                return TopologyPath(a, b, False, reason=f"unknown node: {b}")
+            if source == destination:
+                label = self._label(source)
+                return TopologyPath(a, b, True, nodes=[label])
+            distances: Dict[Tuple[str, Any], float] = {source: 0.0}
+            previous: Dict[
+                Tuple[str, Any], Tuple[Tuple[str, Any], TopologyEdge]
+            ] = {}
+            queue: List[Tuple[float, Tuple[str, str], Tuple[str, Any]]] = [
+                (0.0, self._order(source), source)
+            ]
+            visited: Set[Tuple[str, Any]] = set()
+            while queue:
+                cost, _order, node = heapq.heappop(queue)
+                if node in visited:
+                    continue
+                visited.add(node)
+                if node == destination:
+                    break
+                for neighbour, edge in self._neighbours(node):
+                    weight = CONFIDENCE_WEIGHTS.get(edge.confidence, 3.0)
+                    candidate = cost + weight
+                    known = distances.get(neighbour)
+                    if known is None or candidate < known:
+                        distances[neighbour] = candidate
+                        previous[neighbour] = (node, edge)
+                        heapq.heappush(
+                            queue,
+                            (candidate, self._order(neighbour), neighbour),
+                        )
+            if destination not in visited:
+                return TopologyPath(
+                    a, b, False,
+                    reason=(
+                        f"no discovered route between {self._label(source)} "
+                        f"and {self._label(destination)}"
+                    ),
+                )
+            nodes: List[str] = []
+            hops: List[Dict[str, Any]] = []
+            node = destination
+            while node != source:
+                parent, edge = previous[node]
+                nodes.append(self._label(node))
+                hops.append(edge.evidence())
+                node = parent
+            nodes.append(self._label(source))
+            nodes.reverse()
+            hops.reverse()
+            return TopologyPath(
+                a, b, True,
+                cost=distances[destination],
+                nodes=nodes,
+                hops=hops,
+            )
+
+    # ------------------------------------------------------------------
+    # impact: blast radius via articulation analysis
+    # ------------------------------------------------------------------
+
+    def impact(self, target: str) -> TopologyImpact:
+        """What fails with *target*: remove the node from its
+        component; whatever is disconnected from the surviving core
+        (the largest remaining piece) is the blast radius."""
+        with self._lock:
+            self.refresh()
+            resolved = self._resolve(target)
+            if resolved is None:
+                return TopologyImpact(
+                    target, False, reason=f"unknown node: {target}"
+                )
+            component = self._component(resolved, without=None)
+            component_subnets = sorted(
+                value for kind, value in component if kind == "subnet"
+            )
+            pieces: List[Set[Tuple[str, Any]]] = []
+            seen: Set[Tuple[str, Any]] = {resolved}
+            for node in sorted(component, key=self._order):
+                if node in seen:
+                    continue
+                piece = self._component(node, without=resolved)
+                seen |= piece
+                pieces.append(piece)
+            pieces.sort(
+                key=lambda piece: (
+                    -sum(1 for kind, _v in piece if kind == "subnet"),
+                    min(self._order(node) for node in piece),
+                )
+            )
+            cut: Set[Tuple[str, Any]] = set()
+            for piece in pieces[1:]:
+                cut |= piece
+            cut_subnets = sorted(
+                value for kind, value in cut if kind == "subnet"
+            )
+            cut_gateways = sorted(
+                self._label(node) for node in cut if node[0] == "gateway"
+            )
+            isolated = sum(
+                len(self._subnet_nodes[key].interfaces)
+                for key in cut_subnets
+                if key in self._subnet_nodes
+            )
+            return TopologyImpact(
+                target,
+                True,
+                kind=resolved[0],
+                articulation=bool(cut),
+                component_subnets=component_subnets,
+                cut_subnets=cut_subnets,
+                cut_gateways=cut_gateways,
+                isolated_hosts=isolated,
+            )
+
+    def _component(
+        self,
+        start: Tuple[str, Any],
+        *,
+        without: Optional[Tuple[str, Any]],
+    ) -> Set[Tuple[str, Any]]:
+        """BFS component of *start*, optionally with one node removed."""
+        component: Set[Tuple[str, Any]] = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour, _edge in self._neighbours(node):
+                if neighbour == without or neighbour in component:
+                    continue
+                component.add(neighbour)
+                frontier.append(neighbour)
+        return component

@@ -56,6 +56,10 @@ __all__ = [
     "subnet_from_dict",
     "observation_to_dict",
     "observation_from_dict",
+    "path_to_dict",
+    "path_from_dict",
+    "impact_to_dict",
+    "impact_from_dict",
     "journal_to_dict",
     "journal_from_dict",
     "encode_message",
@@ -115,7 +119,7 @@ WIRE_OPS = frozenset(
         # queries (read)
         "ping", "counts", "metrics",
         "get_interfaces", "get_gateways", "get_subnets",
-        "query",
+        "query", "path", "impact",
         "negative_check", "changes_since", "dump", "save",
         # federation handshake (read)
         "shard_info",
@@ -141,6 +145,8 @@ READ_OPS = frozenset(
         "get_gateways",
         "get_subnets",
         "query",
+        "path",
+        "impact",
         "negative_check",
         "changes_since",
         "dump",
@@ -424,6 +430,43 @@ def changes_from_dict(data: Dict[str, Any]):
     if data.get("vector") is not None:
         changes.vector = vector_cursor_from_dict(data["vector"])
     return changes
+
+
+# ----------------------------------------------------------------------
+# Topology query payloads (path / impact ops)
+# ----------------------------------------------------------------------
+
+
+def path_to_dict(path) -> Dict[str, Any]:
+    """Wire form of a :class:`~repro.core.topology.TopologyPath`."""
+    return path.to_dict()
+
+
+def path_from_dict(data: Any):
+    """A :class:`~repro.core.topology.TopologyPath` from the wire form;
+    hostile-input safe like the rest of the codec."""
+    from .topology import TopologyPath
+
+    try:
+        return TopologyPath.from_dict(data)
+    except (TypeError, ValueError, KeyError) as reason:
+        raise WireError(f"malformed path payload: {reason}") from None
+
+
+def impact_to_dict(impact) -> Dict[str, Any]:
+    """Wire form of a :class:`~repro.core.topology.TopologyImpact`."""
+    return impact.to_dict()
+
+
+def impact_from_dict(data: Any):
+    """A :class:`~repro.core.topology.TopologyImpact` from the wire
+    form; hostile-input safe like the rest of the codec."""
+    from .topology import TopologyImpact
+
+    try:
+        return TopologyImpact.from_dict(data)
+    except (TypeError, ValueError, KeyError) as reason:
+        raise WireError(f"malformed impact payload: {reason}") from None
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,25 @@
+"""Regenerate the golden export files after an intentional renderer
+change: ``PYTHONPATH=src python tests/core/make_goldens.py``."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+
+from repro.core.presentation import render_report  # noqa: E402
+
+from tests.core.test_presentation import GOLDEN_DIR, golden_journal  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    journal = golden_journal()
+    for name, filename in (("dot", "topology.dot"), ("svg", "topology.svg")):
+        path = GOLDEN_DIR / filename
+        path.write_text(render_report(journal, name))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ from repro.core.analysis import (
     KIND_MASK,
     KIND_PROMISCUOUS,
     KIND_STALE,
+    analysis_programs,
     find_address_conflicts,
     find_duplicate_addresses,
     find_hardware_changes,
@@ -181,7 +182,8 @@ class TestRunAll:
     def test_all_kinds_present(self, timed_journal):
         journal, state = timed_journal
         results = run_all_analyses(journal)
-        assert set(results) == {
+        assert set(results) == set(analysis_programs())
+        assert set(results) > {
             KIND_STALE,
             KIND_HARDWARE,
             KIND_MASK,

@@ -275,3 +275,134 @@ class TestShardedServeAndQuery:
     def test_serve_rejects_bad_shard_spec(self, tmp_path):
         with pytest.raises(ValueError):
             main(["serve", "--shard", "5/2", "--port", "0"])
+
+
+def _topology_journal(tmp_path):
+    """Three subnets in a line behind gw-a and gw-b, saved to disk."""
+    journal = Journal()
+    journal.observe_interface(
+        Observation(source="probe", ip="10.0.1.5", mac="08:00:20:00:00:05")
+    )
+    journal.observe_interface(
+        Observation(source="probe", ip="10.0.3.7", mac="08:00:20:00:00:07")
+    )
+    a, _ = journal.ensure_gateway(source="RIPwatch", name="gw-a")
+    for key in ("10.0.1.0/24", "10.0.2.0/24"):
+        journal.link_gateway_subnet(a.record_id, key, source="RIPwatch")
+    b, _ = journal.ensure_gateway(source="Traceroute", name="gw-b")
+    for key in ("10.0.2.0/24", "10.0.3.0/24"):
+        journal.link_gateway_subnet(b.record_id, key, source="Traceroute")
+    path = tmp_path / "topology.json"
+    journal.save(str(path))
+    return str(path)
+
+
+class TestPathAndImpact:
+    def test_path_on_saved_journal(self, tmp_path, capsys):
+        saved = _topology_journal(tmp_path)
+        assert main(["path", saved, "10.0.1.0/24", "10.0.3.0/24"]) == 0
+        out = capsys.readouterr().out
+        assert "found" in out
+        assert "gw-a" in out and "gw-b" in out
+        assert "[+ RIPwatch]" in out
+
+    def test_path_not_found_exits_one(self, tmp_path, capsys):
+        saved = _topology_journal(tmp_path)
+        assert main(["path", saved, "10.0.1.0/24", "99.0.0.0/24"]) == 1
+        assert "unknown node" in capsys.readouterr().out
+
+    def test_impact_on_saved_journal(self, tmp_path, capsys):
+        saved = _topology_journal(tmp_path)
+        assert main(["impact", saved, "gw-b"]) == 0
+        out = capsys.readouterr().out
+        assert "single point of failure" in out
+        assert "10.0.3.0/24" in out
+
+    def test_impact_unknown_target_exits_one(self, tmp_path, capsys):
+        saved = _topology_journal(tmp_path)
+        assert main(["impact", saved, "no-such-node"]) == 1
+
+    def test_path_against_live_server(self, tmp_path, capsys):
+        from repro.core import JournalServer
+
+        journal = Journal.load(_topology_journal(tmp_path))
+        server = JournalServer(journal).start()
+        try:
+            endpoint = "%s:%d" % server.address
+            assert main(["path", endpoint, "10.0.1.0/24", "10.0.3.0/24"]) == 0
+            assert "gw-b" in capsys.readouterr().out
+        finally:
+            server.stop()
+
+    def test_path_and_impact_across_live_sharded_fleet(self, capsys):
+        """The acceptance walk: each shard holds half the topology; the
+        router merges per-shard subgraphs and answers from the whole."""
+        from repro.core import JournalServer
+
+        journals = [Journal(), Journal()]
+        a, _ = journals[0].ensure_gateway(source="RIPwatch", name="gw-a")
+        for key in ("10.0.1.0/24", "10.0.2.0/24"):
+            journals[0].link_gateway_subnet(a.record_id, key, source="RIPwatch")
+        b, _ = journals[1].ensure_gateway(source="Traceroute", name="gw-b")
+        for key in ("10.0.2.0/24", "10.0.3.0/24"):
+            journals[1].link_gateway_subnet(
+                b.record_id, key, source="Traceroute"
+            )
+        journals[1].observe_interface(
+            Observation(source="probe", ip="10.0.3.9", mac="08:00:20:00:00:09")
+        )
+        servers = [JournalServer(j).start() for j in journals]
+        try:
+            spec = "shard://" + ",".join("%s:%d" % s.address for s in servers)
+            assert main(["path", spec, "10.0.1.0/24", "10.0.3.0/24"]) == 0
+            out = capsys.readouterr().out
+            assert "gw-a" in out and "gw-b" in out
+            assert main(["impact", spec, "gw-b"]) == 0
+            out = capsys.readouterr().out
+            assert "single point of failure" in out
+            assert "10.0.3.0/24" in out
+        finally:
+            for server in servers:
+                server.stop()
+
+
+class TestReportRegistryCli:
+    def test_report_list(self, capsys):
+        assert main(["report", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "topology" in out
+        assert "path (a, b)" in out
+
+    def test_report_by_name(self, tmp_path, capsys):
+        saved = _topology_journal(tmp_path)
+        assert main(["report", saved, "topology"]) == 0
+        out = capsys.readouterr().out
+        assert "gw-a --[+ RIPwatch]-- 10.0.1.0/24" in out
+
+    def test_report_with_params(self, tmp_path, capsys):
+        saved = _topology_journal(tmp_path)
+        assert main([
+            "report", saved, "path",
+            "--param", "a=10.0.1.0/24", "--param", "b=10.0.3.0/24",
+        ]) == 0
+        assert "found" in capsys.readouterr().out
+
+    def test_report_unknown_name_exits_two(self, tmp_path, capsys):
+        saved = _topology_journal(tmp_path)
+        assert main(["report", saved, "nosuch"]) == 2
+        assert "unknown report" in capsys.readouterr().err
+
+    def test_report_without_journal_exits_two(self, capsys):
+        assert main(["report"]) == 2
+
+    def test_analyze_list(self, capsys):
+        assert main(["analyze", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "promiscuous-rip" in out
+        assert "single-point-of-failure" in out
+
+    def test_analyze_reports_topology_findings(self, tmp_path, capsys):
+        saved = _topology_journal(tmp_path)
+        assert main(["analyze", saved]) == 0
+        out = capsys.readouterr().out
+        assert "single-point-of-failure: 2" in out

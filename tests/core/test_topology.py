@@ -1,0 +1,468 @@
+"""Topology store tests: feed maintenance, path/impact, and the wire.
+
+The central contract (mirrors PR 1's incremental-correlation contract):
+after any refresh, an incrementally maintained store's :meth:`state`
+is byte-identical to a freshly built store's over the same Journal.
+Randomized campaigns drive both and compare after every batch.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import Journal, JournalServer, RemoteClient
+from repro.core import wire
+from repro.core.correlate import Correlator, TopologyGraph
+from repro.core.records import Observation, Quality
+from repro.core.topology import (
+    CONFIDENCE_WEIGHTS,
+    TopologyImpact,
+    TopologyPath,
+    TopologyStore,
+)
+
+SOURCE = "test"
+
+
+@pytest.fixture
+def clock_state():
+    return {"now": 0.0}
+
+
+@pytest.fixture
+def journal(clock_state):
+    return Journal(clock=lambda: clock_state["now"])
+
+
+def _observe(journal, **fields):
+    journal.observe_interface(Observation(source=SOURCE, **fields))
+
+
+def _gateway(journal, name, subnets, *, source=SOURCE):
+    record, _ = journal.ensure_gateway(source=source, name=name)
+    for key in subnets:
+        journal.link_gateway_subnet(record.record_id, key, source=source)
+    return record
+
+
+def _line(journal):
+    """gw-a joins .1/.2, gw-b joins .2/.3: a three-subnet line."""
+    _observe(journal, ip="10.0.1.5", mac="aa:00:00:00:00:05")
+    _observe(journal, ip="10.0.3.7", mac="aa:00:00:00:00:07")
+    a = _gateway(journal, "gw-a", ["10.0.1.0/24", "10.0.2.0/24"],
+                 source="RIPwatch")
+    b = _gateway(journal, "gw-b", ["10.0.2.0/24", "10.0.3.0/24"],
+                 source="traceroute")
+    return a, b
+
+
+class TestEdges:
+    def test_edges_carry_provenance(self, journal):
+        _line(journal)
+        store = TopologyStore(journal)
+        edges = store.edges()
+        assert len(edges) == 4
+        methods = {(e.gateway_name, e.subnet): e.method for e in edges}
+        assert methods[("gw-a", "10.0.1.0/24")] == "RIPwatch"
+        assert methods[("gw-b", "10.0.3.0/24")] == "traceroute"
+        assert all(e.confidence == Quality.GOOD for e in edges)
+        assert all(e.present for e in edges)
+
+    def test_graph_matches_correlator_topology(self, journal):
+        _line(journal)
+        Correlator(journal).correlate()
+        store = TopologyStore(journal)
+        graph = store.graph()
+        reference = Correlator(journal).topology()
+        assert graph.subnets.keys() == reference.subnets.keys()
+        assert graph.gateways == reference.gateways
+
+    def test_first_refresh_full_then_incremental(self, journal):
+        store = TopologyStore(journal)
+        assert store.refresh() == "full"
+        _observe(journal, ip="10.0.1.9", mac="aa:00:00:00:00:09")
+        assert store.refresh() == "incremental"
+        assert store.full_refreshes == 1
+        assert store.incremental_refreshes >= 1
+
+    def test_edge_disappearance_is_history_not_amnesia(
+        self, journal, clock_state
+    ):
+        a, _b = _line(journal)
+        store = TopologyStore(journal)
+        assert len(store.edges()) == 4
+        clock_state["now"] += 60.0
+        # The link evidence is withdrawn out from under the store; a
+        # full refresh reconciles by diffing, keeping the edge record.
+        a.connected_subnets.pop("10.0.2.0/24")
+        store.refresh(full=True)
+        present = {(e.gateway_name, e.subnet) for e in store.edges()}
+        assert ("gw-a", "10.0.2.0/24") not in present
+        retired = store._edges[(a.record_id, "10.0.2.0/24")]
+        assert not retired.present
+        assert retired.flaps == 1
+        assert [kind for kind, _at in retired.history] == [
+            "appear", "disappear"
+        ]
+
+    def test_flapping_link_counts_and_bounds_history(
+        self, journal, clock_state
+    ):
+        a, _b = _line(journal)
+        store = TopologyStore(journal, history_limit=6)
+        store.refresh()
+        for _flap in range(5):
+            clock_state["now"] += 30.0
+            a.connected_subnets.pop("10.0.2.0/24")
+            store.refresh(full=True)
+            clock_state["now"] += 30.0
+            journal.link_gateway_subnet(
+                a.record_id, "10.0.2.0/24", source=SOURCE
+            )
+            store.refresh()
+        edge = store._edges[(a.record_id, "10.0.2.0/24")]
+        assert len(edge.history) == 6  # bounded: oldest dropped
+        assert edge.flaps >= 3
+        assert edge.present
+
+    def test_deleted_gateway_forgets_its_edges(self, journal):
+        a, _b = _line(journal)
+        store = TopologyStore(journal)
+        store.refresh()
+        del journal.gateways[a.record_id]
+        store.refresh(full=True)
+        assert all(e.gateway_id != a.record_id for e in store.edges())
+        assert all(gid != a.record_id for gid, _k in store._edges)
+
+
+class TestPath:
+    def test_path_across_the_line(self, journal):
+        _line(journal)
+        store = TopologyStore(journal)
+        path = store.path("10.0.1.0/24", "10.0.3.0/24")
+        assert path.found
+        assert path.cost == 4.0
+        assert path.nodes == [
+            "10.0.1.0/24", "gw-a", "10.0.2.0/24", "gw-b", "10.0.3.0/24",
+        ]
+        assert [hop["method"] for hop in path.hops] == [
+            "RIPwatch", "RIPwatch", "traceroute", "traceroute",
+        ]
+
+    def test_endpoints_resolve_by_ip_and_gateway_name(self, journal):
+        _line(journal)
+        store = TopologyStore(journal)
+        by_ip = store.path("10.0.1.5", "10.0.3.7")
+        assert by_ip.found and by_ip.cost == 4.0
+        to_gateway = store.path("10.0.1.0/24", "gw-b")
+        assert to_gateway.found and to_gateway.cost == 3.0
+
+    def test_questionable_edges_cost_more(self, journal):
+        # Two routes .1 -> .3: direct via gw-direct (1 questionable
+        # link) or around via gw-a/gw-b (4 good links).
+        a, _b = _line(journal)
+        direct = _gateway(journal, "gw-direct",
+                          ["10.0.1.0/24", "10.0.3.0/24"])
+        for attribute in direct.connected_subnets.values():
+            attribute.quality = Quality.QUESTIONABLE
+        store = TopologyStore(journal)
+        path = store.path("10.0.1.0/24", "10.0.3.0/24")
+        assert path.found
+        # 2 questionable hops cost 6.0; the good detour costs 4.0.
+        assert path.cost == 4.0
+        assert "gw-direct" not in path.nodes
+        weight = CONFIDENCE_WEIGHTS[Quality.QUESTIONABLE]
+        assert weight > CONFIDENCE_WEIGHTS[Quality.GOOD]
+
+    def test_path_symmetry(self, journal):
+        _line(journal)
+        store = TopologyStore(journal)
+        there = store.path("10.0.1.0/24", "10.0.3.0/24")
+        back = store.path("10.0.3.0/24", "10.0.1.0/24")
+        assert there.found and back.found
+        assert there.cost == back.cost
+        assert there.nodes == list(reversed(back.nodes))
+
+    def test_unknown_and_unreachable(self, journal):
+        _line(journal)
+        _observe(journal, ip="172.16.0.9", mac="aa:00:00:00:00:99")
+        store = TopologyStore(journal)
+        missing = store.path("10.0.1.0/24", "99.9.9.0/24")
+        assert not missing.found
+        assert "unknown node" in missing.reason
+        island = store.path("10.0.1.0/24", "172.16.0.0/24")
+        assert not island.found
+        assert "no discovered route" in island.reason
+
+    def test_same_node_is_a_zero_hop_path(self, journal):
+        _line(journal)
+        store = TopologyStore(journal)
+        path = store.path("10.0.1.0/24", "10.0.1.0/24")
+        assert path.found and path.cost == 0.0 and path.hops == []
+
+
+class TestImpact:
+    def test_cut_gateway_partitions(self, journal):
+        _line(journal)
+        store = TopologyStore(journal)
+        impact = store.impact("gw-b")
+        assert impact.found and impact.kind == "gateway"
+        assert impact.articulation
+        assert impact.cut_subnets == ["10.0.3.0/24"]
+        assert impact.isolated_hosts == 1
+
+    def test_redundant_gateway_is_no_articulation(self, journal):
+        _line(journal)
+        _gateway(journal, "gw-backup", ["10.0.2.0/24", "10.0.3.0/24"])
+        store = TopologyStore(journal)
+        impact = store.impact("gw-b")
+        assert impact.found and not impact.articulation
+        assert impact.cut_subnets == []
+
+    def test_impact_subnets_subset_of_component(self, journal):
+        _line(journal)
+        store = TopologyStore(journal)
+        for target in ("gw-a", "gw-b", "10.0.2.0/24"):
+            impact = store.impact(target)
+            assert impact.found
+            assert set(impact.cut_subnets) <= set(impact.component_subnets)
+
+    def test_unknown_target(self, journal):
+        store = TopologyStore(journal)
+        impact = store.impact("nothing-here")
+        assert not impact.found
+        assert "unknown node" in impact.reason
+
+
+class _Campaign:
+    """Randomized but seed-deterministic topology churn applied to one
+    journal watched by several stores (mirrors the correlator tests)."""
+
+    def __init__(self, seed, journal, clock_state):
+        self.rng = random.Random(seed)
+        self.journal = journal
+        self.clock_state = clock_state
+        self.gateways = {}
+        self.subnets = 2
+        self.serial = 0
+
+    def _mac(self):
+        self.serial += 1
+        return f"08:00:20:00:{self.serial >> 8:02x}:{self.serial & 0xFF:02x}"
+
+    def batch(self):
+        rng = self.rng
+        self.clock_state["now"] += 60.0
+        if rng.random() < 0.3:
+            self.subnets += 1
+        for _ in range(rng.randint(1, 4)):
+            subnet = rng.randint(1, self.subnets)
+            _observe(
+                self.journal,
+                ip=f"10.0.{subnet}.{rng.randint(10, 250)}",
+                mac=self._mac(),
+                subnet_mask="255.255.255.0" if rng.random() < 0.5 else None,
+            )
+        if rng.random() < 0.6:
+            # Attach (or re-verify) a gateway between two subnets.
+            name = f"gw-{rng.randint(1, 5)}"
+            a, b = rng.sample(range(1, self.subnets + 1), 2)
+            record = _gateway(
+                self.journal, name,
+                [f"10.0.{a}.0/24", f"10.0.{b}.0/24"],
+            )
+            self.gateways[name] = record
+        if self.gateways and rng.random() < 0.3:
+            # A link flaps away.
+            record = self.rng.choice(sorted(
+                self.gateways.values(), key=lambda r: r.record_id
+            ))
+            if record.connected_subnets:
+                key = rng.choice(sorted(record.connected_subnets))
+                record.connected_subnets.pop(key)
+                self.journal._touch("gateway", record)
+        if self.gateways and rng.random() < 0.1:
+            # A gateway record is withdrawn (as merge absorption does),
+            # with the deletion marked so the feed carries it.
+            name = rng.choice(sorted(self.gateways))
+            record = self.gateways.pop(name)
+            if self.journal.gateways.pop(record.record_id, None) is not None:
+                self.journal._mark_deleted("gateway", record.record_id)
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 42, 1993])
+    def test_incremental_equals_rebuilt_after_every_batch(
+        self, seed, journal, clock_state
+    ):
+        """Push-mode and pull-mode stores, maintained incrementally,
+        must stay byte-identical to a from-scratch store."""
+        push = TopologyStore(journal, use_feed=True)
+        pull = TopologyStore(journal, use_feed=False)
+        campaign = _Campaign(seed, journal, clock_state)
+        for _round in range(25):
+            campaign.batch()
+            push.refresh()
+            pull.refresh()
+            fresh = TopologyStore(journal, use_feed=False)
+            try:
+                expected = fresh.canonical_text()
+            finally:
+                fresh.close()
+            assert push.canonical_text() == expected
+            assert pull.canonical_text() == expected
+        assert push.incremental_refreshes >= 20
+        assert pull.incremental_refreshes >= 20
+        push.close()
+        pull.close()
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_forced_rebuild_changes_nothing(self, seed, journal, clock_state):
+        store = TopologyStore(journal)
+        campaign = _Campaign(seed, journal, clock_state)
+        for _round in range(20):
+            campaign.batch()
+            store.refresh()
+        before = store.canonical_text()
+        store.refresh(full=True)
+        assert store.canonical_text() == before
+        store.close()
+
+    @pytest.mark.parametrize("seed", [5])
+    def test_path_symmetric_and_impact_contained_under_churn(
+        self, seed, journal, clock_state
+    ):
+        store = TopologyStore(journal)
+        campaign = _Campaign(seed, journal, clock_state)
+        for _round in range(15):
+            campaign.batch()
+            subnets = sorted(store.graph().subnets)
+            if len(subnets) < 2:
+                continue
+            rng = random.Random(seed + _round)
+            a, b = rng.sample(subnets, 2)
+            there = store.path(a, b)
+            back = store.path(b, a)
+            assert there.found == back.found
+            if there.found:
+                assert there.cost == pytest.approx(back.cost)
+            impact = store.impact(a)
+            assert impact.found
+            assert set(impact.cut_subnets) <= set(impact.component_subnets)
+        store.close()
+
+
+class TestComponentsProperty:
+    @pytest.mark.parametrize("seed", [2, 9, 77])
+    def test_components_partition_the_subnets(self, seed):
+        """connected_components is a partition: disjoint, covering,
+        ordered largest-first, and consistent with the edge relation."""
+        rng = random.Random(seed)
+        graph = TopologyGraph()
+        subnets = [f"10.{i}.0.0/24" for i in range(rng.randint(2, 12))]
+        for key in subnets:
+            graph.subnets[key] = []
+        for gid in range(rng.randint(0, 8)):
+            attached = rng.sample(subnets, min(len(subnets), rng.randint(1, 3)))
+            graph.gateways[gid] = (f"g{gid}", sorted(attached))
+        components = graph.connected_components()
+        seen = set()
+        for component in components:
+            assert not (component & seen)
+            seen |= component
+        assert seen == set(subnets)
+        sizes = [len(component) for component in components]
+        assert sizes == sorted(sizes, reverse=True)
+        for _name, attached in graph.gateways.values():
+            owners = [
+                index
+                for index, component in enumerate(components)
+                if set(attached) & component
+            ]
+            # All subnets behind one gateway share one component.
+            assert len(set(owners)) <= 1 or not attached
+
+
+class TestWireSafety:
+    def test_roundtrip(self, journal):
+        _line(journal)
+        store = TopologyStore(journal)
+        path = store.path("10.0.1.0/24", "10.0.3.0/24")
+        assert TopologyPath.from_dict(
+            json.loads(json.dumps(path.to_dict()))
+        ) == path
+        impact = store.impact("gw-a")
+        assert TopologyImpact.from_dict(
+            json.loads(json.dumps(impact.to_dict()))
+        ) == impact
+
+    @pytest.mark.parametrize("payload", [
+        None,
+        [],
+        "text",
+        {},
+        {"source": 1, "destination": "b", "found": True},
+        {"source": "a", "destination": "b", "found": "yes"},
+        {"source": "a", "destination": "b", "found": True, "cost": "x"},
+        {"source": "a", "destination": "b", "found": True, "nodes": [1]},
+        {"source": "a", "destination": "b", "found": True, "hops": [{}]},
+        {"source": "a", "destination": "b", "found": True,
+         "hops": [{"gateway": True, "gateway_name": "g", "subnet": "s",
+                   "method": "m", "confidence": "good"}]},
+    ])
+    def test_hostile_path_payloads(self, payload):
+        with pytest.raises(wire.WireError):
+            wire.path_from_dict(payload)
+
+    @pytest.mark.parametrize("payload", [
+        None,
+        7,
+        {},
+        {"target": "x", "found": True, "kind": 3},
+        {"target": "x", "found": True, "articulation": "yes"},
+        {"target": "x", "found": True, "cut_subnets": "10.0.0.0/24"},
+        {"target": "x", "found": True, "isolated_hosts": "many"},
+    ])
+    def test_hostile_impact_payloads(self, payload):
+        with pytest.raises(wire.WireError):
+            wire.impact_from_dict(payload)
+
+    def test_ops_are_read_locked(self):
+        assert {"path", "impact"} <= wire.WIRE_OPS
+        assert {"path", "impact"} <= wire.READ_OPS
+
+
+class TestServer:
+    @pytest.fixture
+    def served(self, journal):
+        _line(journal)
+        server = JournalServer(journal).start()
+        client = RemoteClient(*server.address)
+        yield journal, client
+        client.close()
+        server.stop()
+
+    def test_path_and_impact_over_the_wire(self, served, clock_state):
+        journal, client = served
+        path = client.path("10.0.1.0/24", "10.0.3.0/24")
+        assert path.found and path.cost == 4.0
+        assert path.hops[0]["method"] == "RIPwatch"
+        impact = client.impact("gw-b")
+        assert impact.articulation
+        # The server-side store tracks later writes.
+        clock_state["now"] += 10.0
+        record, _ = journal.ensure_gateway(source=SOURCE, name="gw-backup")
+        for key in ("10.0.2.0/24", "10.0.3.0/24"):
+            journal.link_gateway_subnet(record.record_id, key, source=SOURCE)
+        assert not client.impact("gw-b").articulation
+
+    def test_malformed_requests_rejected(self, served):
+        # The dispatcher turns the WireError into an error reply; the
+        # client surfaces it without dropping the connection.
+        _journal, client = served
+        with pytest.raises(RuntimeError, match="string endpoints"):
+            client._call({"op": "path", "a": 5, "b": "10.0.1.0/24"})
+        with pytest.raises(RuntimeError, match="string 'target'"):
+            client._call({"op": "impact", "target": ["x"]})
+        assert client.path("10.0.1.0/24", "10.0.3.0/24").found

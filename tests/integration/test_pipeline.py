@@ -24,7 +24,7 @@ from repro.core.explorers import (
     TracerouteModule,
 )
 from repro.core.manager import DiscoveryManager
-from repro.core.presentation import dot_export, sunnet_export
+from repro.core.presentation import render_report
 from repro.netsim import TrafficGenerator, faults
 from repro.netsim.campus import CampusProfile, build_campus
 
@@ -96,8 +96,8 @@ class TestLocalPipeline:
         assert len(components[0]) >= len(campus.traceroute_visible_subnets())
 
         # Presentation programs run on the result.
-        assert "connection" in sunnet_export(journal)
-        assert "graph fremont" in dot_export(journal)
+        assert "connection" in render_report(journal, "sunnet")
+        assert "graph fremont" in render_report(journal, "dot")
 
     def test_journal_grows_monotonically_across_modules(self, small_campus):
         campus = small_campus
